@@ -1,0 +1,48 @@
+//! Error types for the allocation substrate.
+
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::Bytes;
+
+/// Failures of the shim / virtual address space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// The requested pool cannot hold the allocation.
+    PoolExhausted { pool: PoolKind, requested: Bytes, available: Bytes },
+    /// `free` of an address that is not the base of a live extent.
+    InvalidFree { addr: u64 },
+    /// A plan asked for an invalid split fraction.
+    BadSplit { hbm_fraction: f64 },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::PoolExhausted { pool, requested, available } => write!(
+                f,
+                "{pool} pool exhausted: requested {requested} bytes, {available} available"
+            ),
+            AllocError::InvalidFree { addr } => {
+                write!(f, "free of unknown extent base address {addr:#x}")
+            }
+            AllocError::BadSplit { hbm_fraction } => {
+                write!(f, "invalid HBM split fraction {hbm_fraction} (must be within [0, 1])")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AllocError::PoolExhausted { pool: PoolKind::Hbm, requested: 10, available: 5 };
+        let msg = e.to_string();
+        assert!(msg.contains("HBM") && msg.contains("10") && msg.contains('5'));
+        assert!(AllocError::InvalidFree { addr: 0xdead }.to_string().contains("0xdead"));
+        assert!(AllocError::BadSplit { hbm_fraction: 1.5 }.to_string().contains("1.5"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # hmpt-alloc — allocation interception and placement control
+//!
+//! The paper's tool controls data placement by **overriding memory
+//! management calls with a shim library**: every `malloc` is intercepted,
+//! attributed to its call-site via a stack trace, and redirected to a
+//! specific memory pool (DDR or HBM via `memkind`) according to a plan
+//! computed by the driver script.
+//!
+//! This crate rebuilds that mechanism against the simulated platform:
+//!
+//! * [`site`] — call-site identity. Allocations are keyed by a hash of
+//!   their (synthetic) stack trace; allocations from the same site alias
+//!   to one logical allocation, reproducing the paper's stated limitation
+//!   that loop iterations cannot be told apart.
+//! * [`vspace`] — a pool-aware virtual address space: each pool owns a
+//!   disjoint address range; extents are handed out page-aligned with
+//!   first-fit reuse and capacity accounting.
+//! * [`registry`] — the allocation log: live map, lifetime events,
+//!   per-site aggregates, and address→site attribution for the sampler.
+//! * [`plan`] — [`plan::PlacementPlan`]: the site→pool mapping the driver
+//!   hands to the shim (JSON-serializable, like the real tool's plan
+//!   files).
+//! * [`shim`] — [`shim::Shim`]: the interception layer workloads allocate
+//!   through.
+//! * [`policy`] — `numactl`-style fallback policies (bind / preferred /
+//!   interleave) used when no per-site plan entry exists.
+
+pub mod error;
+pub mod migrate;
+pub mod plan;
+pub mod policy;
+pub mod registry;
+pub mod shim;
+pub mod site;
+pub mod vspace;
+
+pub use error::AllocError;
+pub use migrate::{migration_cost_s, Migration};
+pub use plan::{Assignment, PlacementPlan};
+pub use policy::MemPolicy;
+pub use registry::{AllocationRecord, Registry, SiteStats};
+pub use shim::{Allocation, Shim};
+pub use site::{Frame, SiteId, StackTrace};
+pub use vspace::{Extent, VirtualSpace};

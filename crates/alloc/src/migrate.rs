@@ -1,0 +1,211 @@
+//! Live-allocation migration between pools (the `move_pages`/memkind
+//! rebind equivalent).
+//!
+//! The paper's static tool only places allocations at `malloc` time and
+//! notes that a "more dynamic approach … potentially allows for online
+//! profiling and control". Migration is the missing mechanism: copy an
+//! allocation's pages to the other pool while the application runs,
+//! paying a one-off bandwidth cost.
+
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AllocError;
+use crate::plan::Assignment;
+use crate::registry::AllocId;
+use crate::shim::Shim;
+
+/// Outcome of one migration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Migration {
+    pub id: AllocId,
+    pub bytes_moved: Bytes,
+    pub from_hbm_fraction: f64,
+    pub to_hbm_fraction: f64,
+    /// Wall-clock cost of the copy, seconds.
+    pub cost_s: f64,
+}
+
+/// Price a migration of `bytes` between the pools: the copy reads from
+/// one pool and writes to the other, so it is bound by the slower side
+/// (with the cross-write penalty when draining HBM to DDR).
+pub fn migration_cost_s(machine: &Machine, bytes: Bytes, to: PoolKind) -> f64 {
+    let tpt = 12.0;
+    let ddr = machine.socket_bw(PoolKind::Ddr, tpt);
+    let hbm = machine.socket_bw(PoolKind::Hbm, tpt);
+    let gb = bytes as f64 / 1e9;
+    match to {
+        // DDR → HBM: read DDR, write HBM; DDR binds.
+        PoolKind::Hbm => gb / ddr.min(hbm),
+        // HBM → DDR: the penalized direction (Fig 5a).
+        PoolKind::Ddr => gb / (ddr * machine.cross_write_penalty).min(hbm),
+    }
+}
+
+impl Shim {
+    /// Migrate a live allocation to a new assignment. The allocation's
+    /// address changes (a real `move_pages` keeps the virtual address;
+    /// here the vspace hands out a fresh extent, which the registry
+    /// tracks — samplers and cost resolution always go through the
+    /// registry, so the observable behaviour is identical).
+    pub fn migrate(
+        &mut self,
+        machine: &Machine,
+        id: AllocId,
+        to: Assignment,
+    ) -> Result<Migration, AllocError> {
+        to.validate()?;
+        let rec = self
+            .registry()
+            .records()
+            .get(id.0 as usize)
+            .filter(|r| r.is_live())
+            .ok_or(AllocError::InvalidFree { addr: id.0 })?;
+        let bytes = rec.bytes();
+        let from_hbm =
+            rec.bytes_in(PoolKind::Hbm) as f64 / bytes.max(1) as f64;
+        let site_trace = self
+            .registry()
+            .trace(rec.site)
+            .expect("live record has a trace")
+            .clone();
+
+        // Free, then re-allocate under a one-entry override plan. On
+        // failure, restore the allocation with its original placement
+        // (which must fit — we just freed it), like a failed
+        // `move_pages` that leaves the mapping untouched.
+        let saved_plan = self.plan().clone();
+        self.free(id)?;
+        let mut override_plan = saved_plan.clone();
+        override_plan.set(site_trace.site_id(), to)?;
+        self.set_plan(override_plan);
+        let new = self.malloc(&site_trace, bytes);
+        let new = match new {
+            Ok(a) => {
+                self.set_plan(saved_plan);
+                a
+            }
+            Err(e) => {
+                let restore = if from_hbm <= 0.0 {
+                    Assignment::Pool(PoolKind::Ddr)
+                } else if from_hbm >= 1.0 {
+                    Assignment::Pool(PoolKind::Hbm)
+                } else {
+                    Assignment::Split { hbm_fraction: from_hbm }
+                };
+                let mut plan = saved_plan.clone();
+                plan.set(site_trace.site_id(), restore)?;
+                self.set_plan(plan);
+                self.malloc(&site_trace, bytes).expect("restore after failed migration");
+                self.set_plan(saved_plan);
+                return Err(e);
+            }
+        };
+
+        let to_hbm = new.hbm_fraction();
+        let moved = (bytes as f64 * (to_hbm - from_hbm).abs()).round() as Bytes;
+        let dominant = if to_hbm >= from_hbm { PoolKind::Hbm } else { PoolKind::Ddr };
+        Ok(Migration {
+            id: new.id,
+            bytes_moved: moved,
+            from_hbm_fraction: from_hbm,
+            to_hbm_fraction: to_hbm,
+            cost_s: migration_cost_s(machine, moved, dominant),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlacementPlan;
+    use crate::site::StackTrace;
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::units::gib;
+
+    fn setup() -> (Machine, Shim) {
+        let m = xeon_max_9468();
+        let shim = Shim::new(&m, PlacementPlan::default());
+        (m, shim)
+    }
+
+    #[test]
+    fn migrate_ddr_to_hbm() {
+        let (m, mut shim) = setup();
+        let t = StackTrace::from_symbols(&["hot", "main"]);
+        let a = shim.malloc(&t, gib(4)).unwrap();
+        assert_eq!(shim.registry().live_bytes_in(PoolKind::Hbm), 0);
+        let mig = shim.migrate(&m, a.id, Assignment::Pool(PoolKind::Hbm)).unwrap();
+        assert_eq!(mig.bytes_moved, gib(4));
+        assert_eq!(shim.registry().live_bytes_in(PoolKind::Hbm), gib(4));
+        assert_eq!(shim.registry().live_bytes_in(PoolKind::Ddr), 0);
+        assert!(mig.cost_s > 0.0 && mig.cost_s < 1.0, "cost {}", mig.cost_s);
+    }
+
+    #[test]
+    fn hbm_drain_costs_more_than_fill() {
+        let m = xeon_max_9468();
+        let fill = migration_cost_s(&m, gib(4), PoolKind::Hbm);
+        let drain = migration_cost_s(&m, gib(4), PoolKind::Ddr);
+        assert!(drain > fill, "drain {drain} vs fill {fill}");
+        // Drain bound by penalized DDR write: 200 × 0.65.
+        let expect = gib(4) as f64 / 1e9 / 130.0;
+        assert!((drain - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn migrate_to_split_assignment() {
+        let (m, mut shim) = setup();
+        let t = StackTrace::from_symbols(&["half", "main"]);
+        let a = shim.malloc(&t, gib(8)).unwrap();
+        let mig = shim.migrate(&m, a.id, Assignment::Split { hbm_fraction: 0.5 }).unwrap();
+        assert!((mig.to_hbm_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(mig.bytes_moved, gib(4));
+    }
+
+    #[test]
+    fn migration_preserves_site_identity_and_plan() {
+        let (m, mut shim) = setup();
+        let t = StackTrace::from_symbols(&["stable", "main"]);
+        let a = shim.malloc(&t, gib(1)).unwrap();
+        let before_plan = shim.plan().clone();
+        let mig = shim.migrate(&m, a.id, Assignment::Pool(PoolKind::Hbm)).unwrap();
+        // Same site, restored plan.
+        let rec = shim.registry().records().get(mig.id.0 as usize).unwrap();
+        assert_eq!(rec.site, t.site_id());
+        assert_eq!(shim.plan().len(), before_plan.len());
+        // New allocations from that site still follow the original plan.
+        let b = shim.malloc(&t, gib(1)).unwrap();
+        assert_eq!(b.extents[0].pool, PoolKind::Ddr);
+    }
+
+    #[test]
+    fn migrating_dead_allocation_fails() {
+        let (m, mut shim) = setup();
+        let t = StackTrace::from_symbols(&["gone", "main"]);
+        let a = shim.malloc(&t, gib(1)).unwrap();
+        shim.free(a.id).unwrap();
+        assert!(shim.migrate(&m, a.id, Assignment::Pool(PoolKind::Hbm)).is_err());
+    }
+
+    #[test]
+    fn migration_respects_capacity() {
+        let (m, mut shim) = setup();
+        let t1 = StackTrace::from_symbols(&["big1", "main"]);
+        let t2 = StackTrace::from_symbols(&["big2", "main"]);
+        let mut plan = PlacementPlan::default();
+        plan.set(t1.site_id(), Assignment::Pool(PoolKind::Hbm)).unwrap();
+        shim.set_plan(plan);
+        shim.malloc(&t1, gib(120)).unwrap();
+        let b = shim.malloc(&t2, gib(64)).unwrap();
+        // 64 GiB cannot join 120 GiB in the 128 GiB HBM...
+        let err = shim.migrate(&m, b.id, Assignment::Pool(PoolKind::Hbm));
+        assert!(matches!(err.unwrap_err(), AllocError::PoolExhausted { .. }));
+        // ...and like a failed `move_pages`, the allocation survives in
+        // its original pool.
+        assert_eq!(shim.registry().live_bytes_in(PoolKind::Ddr), gib(64));
+        assert_eq!(shim.registry().live().count(), 2);
+    }
+}

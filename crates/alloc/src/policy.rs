@@ -1,0 +1,78 @@
+//! `numactl`-style memory policies.
+//!
+//! When a site has no explicit plan entry, the shim falls back to a
+//! machine-wide policy, mirroring how the real tool composes with
+//! `numactl --membind/--preferred/--interleave`.
+
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::plan::Assignment;
+use crate::vspace::VirtualSpace;
+
+/// Fallback placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemPolicy {
+    /// Hard-bind to a pool; allocation fails when the pool is full
+    /// (`numactl --membind`).
+    Bind(PoolKind),
+    /// Prefer a pool but fall back to the other when full
+    /// (`numactl --preferred`).
+    Preferred(PoolKind),
+    /// Interleave pages across both pools with the given HBM share
+    /// (`numactl --interleave`; 0.5 for round-robin over equal node
+    /// counts).
+    Interleave { hbm_share: f64 },
+}
+
+impl MemPolicy {
+    /// Resolve the policy into a concrete assignment for an allocation of
+    /// `bytes`, given current pool occupancy.
+    pub fn resolve(&self, bytes: Bytes, space: &VirtualSpace) -> Assignment {
+        match *self {
+            MemPolicy::Bind(pool) => Assignment::Pool(pool),
+            MemPolicy::Preferred(pool) => {
+                if space.available(pool) >= bytes {
+                    Assignment::Pool(pool)
+                } else {
+                    Assignment::Pool(pool.other())
+                }
+            }
+            MemPolicy::Interleave { hbm_share } => {
+                Assignment::Split { hbm_fraction: hbm_share.clamp(0.0, 1.0) }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::units::gib;
+
+    #[test]
+    fn bind_never_falls_back() {
+        let space = VirtualSpace::new(gib(4), gib(1));
+        let a = MemPolicy::Bind(PoolKind::Hbm).resolve(gib(2), &space);
+        assert_eq!(a, Assignment::Pool(PoolKind::Hbm));
+    }
+
+    #[test]
+    fn preferred_falls_back_when_full() {
+        let mut space = VirtualSpace::new(gib(4), gib(1));
+        let p = MemPolicy::Preferred(PoolKind::Hbm);
+        assert_eq!(p.resolve(gib(1), &space), Assignment::Pool(PoolKind::Hbm));
+        space.alloc(PoolKind::Hbm, gib(1)).unwrap();
+        assert_eq!(p.resolve(gib(1), &space), Assignment::Pool(PoolKind::Ddr));
+    }
+
+    #[test]
+    fn interleave_clamps_share() {
+        let space = VirtualSpace::new(gib(4), gib(4));
+        let a = MemPolicy::Interleave { hbm_share: 1.5 }.resolve(gib(1), &space);
+        assert_eq!(a, Assignment::Split { hbm_fraction: 1.0 });
+        let b = MemPolicy::Interleave { hbm_share: 0.5 }.resolve(gib(1), &space);
+        assert_eq!(b, Assignment::Split { hbm_fraction: 0.5 });
+    }
+}

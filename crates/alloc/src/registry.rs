@@ -1,0 +1,280 @@
+//! The allocation registry: every intercepted allocation's lifetime,
+//! placement, and call-site, plus address→allocation attribution.
+//!
+//! This is the data the paper's driver script collects from the shim:
+//! which sites allocate how much, when, and where each live byte sits, so
+//! that IBS samples (raw addresses) can be charged to logical allocations.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::site::{SiteId, StackTrace};
+use crate::vspace::Extent;
+
+/// Identity of one allocation event (unique within a run).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct AllocId(pub u64);
+
+/// One intercepted allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationRecord {
+    pub id: AllocId,
+    pub site: SiteId,
+    /// Extents backing the allocation (more than one for split placement).
+    pub extents: Vec<Extent>,
+    /// Logical clock at allocation.
+    pub alloc_seq: u64,
+    /// Logical clock at free, if freed.
+    pub free_seq: Option<u64>,
+}
+
+impl AllocationRecord {
+    pub fn bytes(&self) -> Bytes {
+        self.extents.iter().map(|e| e.bytes).sum()
+    }
+
+    pub fn is_live(&self) -> bool {
+        self.free_seq.is_none()
+    }
+
+    /// Bytes of this allocation residing in `pool`.
+    pub fn bytes_in(&self, pool: PoolKind) -> Bytes {
+        self.extents.iter().filter(|e| e.pool == pool).map(|e| e.bytes).sum()
+    }
+}
+
+/// Aggregate statistics for one call-site.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SiteStats {
+    /// Number of allocation events from this site.
+    pub count: u64,
+    /// Currently live bytes.
+    pub live_bytes: Bytes,
+    /// High-water mark of live bytes.
+    pub peak_bytes: Bytes,
+    /// Total bytes ever allocated.
+    pub total_bytes: Bytes,
+}
+
+/// The registry itself.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    records: Vec<AllocationRecord>,
+    /// Extent base address → record index, for attribution.
+    by_addr: BTreeMap<u64, usize>,
+    stats: HashMap<SiteId, SiteStats>,
+    traces: HashMap<SiteId, StackTrace>,
+    clock: u64,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Record a new allocation; returns its id.
+    pub fn record_alloc(&mut self, trace: &StackTrace, extents: Vec<Extent>) -> AllocId {
+        assert!(!extents.is_empty());
+        let site = trace.site_id();
+        let seq = self.tick();
+        let id = AllocId(self.records.len() as u64);
+        let bytes: Bytes = extents.iter().map(|e| e.bytes).sum();
+        let index = self.records.len();
+        for e in &extents {
+            let prev = self.by_addr.insert(e.addr, index);
+            debug_assert!(prev.is_none(), "address reuse while previous extent still live");
+        }
+        self.records.push(AllocationRecord { id, site, extents, alloc_seq: seq, free_seq: None });
+        self.traces.entry(site).or_insert_with(|| trace.clone());
+        let s = self.stats.entry(site).or_default();
+        s.count += 1;
+        s.live_bytes += bytes;
+        s.total_bytes += bytes;
+        s.peak_bytes = s.peak_bytes.max(s.live_bytes);
+        id
+    }
+
+    /// Record a free; returns the extents to hand back to the space.
+    pub fn record_free(&mut self, id: AllocId) -> Option<Vec<Extent>> {
+        let index = id.0 as usize;
+        let rec = self.records.get_mut(index)?;
+        if rec.free_seq.is_some() {
+            return None; // double free
+        }
+        rec.free_seq = Some(self.clock + 1);
+        self.clock += 1;
+        let extents = rec.extents.clone();
+        let bytes = rec.bytes();
+        let site = rec.site;
+        for e in &extents {
+            self.by_addr.remove(&e.addr);
+        }
+        if let Some(s) = self.stats.get_mut(&site) {
+            s.live_bytes = s.live_bytes.saturating_sub(bytes);
+        }
+        Some(extents)
+    }
+
+    /// Attribute a raw address to the live allocation containing it.
+    pub fn lookup(&self, addr: u64) -> Option<&AllocationRecord> {
+        let (_, &index) = self.by_addr.range(..=addr).next_back()?;
+        let rec = &self.records[index];
+        rec.extents.iter().any(|e| e.contains(addr)).then_some(rec)
+    }
+
+    /// All records (including freed ones), in allocation order.
+    pub fn records(&self) -> &[AllocationRecord] {
+        &self.records
+    }
+
+    /// Live allocations only.
+    pub fn live(&self) -> impl Iterator<Item = &AllocationRecord> {
+        self.records.iter().filter(|r| r.is_live())
+    }
+
+    /// Per-site aggregate statistics.
+    pub fn site_stats(&self) -> &HashMap<SiteId, SiteStats> {
+        &self.stats
+    }
+
+    /// The stack trace first seen for a site.
+    pub fn trace(&self, site: SiteId) -> Option<&StackTrace> {
+        self.traces.get(&site)
+    }
+
+    /// Total live bytes across all sites.
+    pub fn live_bytes(&self) -> Bytes {
+        self.stats.values().map(|s| s.live_bytes).sum()
+    }
+
+    /// Live bytes currently placed in `pool`.
+    pub fn live_bytes_in(&self, pool: PoolKind) -> Bytes {
+        self.live().map(|r| r.bytes_in(pool)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::StackTrace;
+    use crate::vspace::VirtualSpace;
+    use hmpt_sim::units::{gib, mib};
+
+    fn setup() -> (VirtualSpace, Registry) {
+        (VirtualSpace::new(gib(256), gib(128)), Registry::new())
+    }
+
+    fn trace(name: &str) -> StackTrace {
+        StackTrace::from_symbols(&[name, "main"])
+    }
+
+    #[test]
+    fn alloc_free_balance() {
+        let (mut v, mut r) = setup();
+        let e = v.alloc(PoolKind::Ddr, mib(10)).unwrap();
+        let id = r.record_alloc(&trace("a"), vec![e]);
+        assert_eq!(r.live_bytes(), mib(10));
+        let extents = r.record_free(id).unwrap();
+        for e in extents {
+            v.free(e);
+        }
+        assert_eq!(r.live_bytes(), 0);
+        assert_eq!(v.live_bytes(PoolKind::Ddr), 0);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (mut v, mut r) = setup();
+        let e = v.alloc(PoolKind::Ddr, mib(1)).unwrap();
+        let id = r.record_alloc(&trace("a"), vec![e]);
+        assert!(r.record_free(id).is_some());
+        assert!(r.record_free(id).is_none());
+    }
+
+    #[test]
+    fn lookup_attributes_interior_addresses() {
+        let (mut v, mut r) = setup();
+        let e1 = v.alloc(PoolKind::Ddr, mib(4)).unwrap();
+        let e2 = v.alloc(PoolKind::Hbm, mib(4)).unwrap();
+        let id1 = r.record_alloc(&trace("first"), vec![e1]);
+        let id2 = r.record_alloc(&trace("second"), vec![e2]);
+        assert_eq!(r.lookup(e1.addr + 1000).unwrap().id, id1);
+        assert_eq!(r.lookup(e2.addr + mib(4) - 1).unwrap().id, id2);
+        // An address past the end of e1's requested bytes is unattributed
+        // (it may be in the page-rounded tail).
+        assert!(r.lookup(e1.addr + mib(4)).is_none());
+    }
+
+    #[test]
+    fn lookup_ignores_freed_allocations() {
+        let (mut v, mut r) = setup();
+        let e = v.alloc(PoolKind::Ddr, mib(4)).unwrap();
+        let addr = e.addr;
+        let id = r.record_alloc(&trace("gone"), vec![e]);
+        r.record_free(id);
+        assert!(r.lookup(addr).is_none());
+    }
+
+    #[test]
+    fn site_aliasing_merges_stats() {
+        let (mut v, mut r) = setup();
+        // Two allocations from the same call path: one logical site.
+        for _ in 0..2 {
+            let e = v.alloc(PoolKind::Ddr, mib(8)).unwrap();
+            r.record_alloc(&trace("loop_body"), vec![e]);
+        }
+        let site = trace("loop_body").site_id();
+        let s = &r.site_stats()[&site];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.live_bytes, mib(16));
+        assert_eq!(s.peak_bytes, mib(16));
+        assert_eq!(r.site_stats().len(), 1);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let (mut v, mut r) = setup();
+        let e1 = v.alloc(PoolKind::Ddr, mib(8)).unwrap();
+        let id1 = r.record_alloc(&trace("x"), vec![e1]);
+        r.record_free(id1);
+        let e2 = v.alloc(PoolKind::Ddr, mib(4)).unwrap();
+        r.record_alloc(&trace("x"), vec![e2]);
+        let s = &r.site_stats()[&trace("x").site_id()];
+        assert_eq!(s.peak_bytes, mib(8));
+        assert_eq!(s.live_bytes, mib(4));
+        assert_eq!(s.total_bytes, mib(12));
+    }
+
+    #[test]
+    fn split_allocation_counts_both_pools() {
+        let (mut v, mut r) = setup();
+        let e1 = v.alloc(PoolKind::Ddr, mib(6)).unwrap();
+        let e2 = v.alloc(PoolKind::Hbm, mib(2)).unwrap();
+        r.record_alloc(&trace("split"), vec![e1, e2]);
+        assert_eq!(r.live_bytes_in(PoolKind::Ddr), mib(6));
+        assert_eq!(r.live_bytes_in(PoolKind::Hbm), mib(2));
+        let rec = r.records().last().unwrap();
+        assert_eq!(rec.bytes(), mib(8));
+    }
+
+    #[test]
+    fn lifetimes_are_ordered() {
+        let (mut v, mut r) = setup();
+        let e = v.alloc(PoolKind::Ddr, mib(1)).unwrap();
+        let id = r.record_alloc(&trace("t"), vec![e]);
+        let rec_seq = r.records()[id.0 as usize].alloc_seq;
+        r.record_free(id);
+        let freed = &r.records()[id.0 as usize];
+        assert!(freed.free_seq.unwrap() > rec_seq);
+    }
+}

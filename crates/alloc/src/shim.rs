@@ -1,0 +1,272 @@
+//! The shim: the interception layer every workload allocation flows
+//! through (the blue "SHIM Library" box of the paper's Fig 6).
+//!
+//! The shim owns the virtual address space and the registry, consults the
+//! current [`PlacementPlan`] (and optionally a fallback [`MemPolicy`]) on
+//! every `malloc`, and keeps per-site accounting up to date. The driver
+//! swaps plans between runs; the workload code never changes — that is
+//! the "non-intrusive" property the paper claims.
+
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::Bytes;
+
+use crate::error::AllocError;
+use crate::plan::{Assignment, PlacementPlan};
+use crate::policy::MemPolicy;
+use crate::registry::{AllocId, Registry};
+use crate::site::{SiteId, StackTrace};
+use crate::vspace::{Extent, VirtualSpace};
+
+/// A live allocation handle returned by [`Shim::malloc`].
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    pub id: AllocId,
+    pub site: SiteId,
+    pub bytes: Bytes,
+    pub extents: Vec<Extent>,
+}
+
+impl Allocation {
+    /// Fraction of this allocation's bytes residing in HBM.
+    pub fn hbm_fraction(&self) -> f64 {
+        if self.bytes == 0 {
+            return 0.0;
+        }
+        let hbm: Bytes =
+            self.extents.iter().filter(|e| e.pool == PoolKind::Hbm).map(|e| e.bytes).sum();
+        hbm as f64 / self.bytes as f64
+    }
+
+    /// Base address of the first extent (what the application "sees").
+    pub fn addr(&self) -> u64 {
+        self.extents[0].addr
+    }
+}
+
+/// The allocation-interception shim.
+///
+/// ```
+/// use hmpt_alloc::plan::PlacementPlan;
+/// use hmpt_alloc::shim::Shim;
+/// use hmpt_alloc::site::StackTrace;
+/// use hmpt_sim::machine::xeon_max_9468;
+/// use hmpt_sim::pool::PoolKind;
+///
+/// let machine = xeon_max_9468();
+/// let hot = StackTrace::from_symbols(&["alloc_u", "main"]);
+/// let plan = PlacementPlan::promote_to_hbm([hot.site_id()]);
+/// let mut shim = Shim::new(&machine, plan);
+///
+/// let a = shim.malloc(&hot, 1 << 30).unwrap();
+/// assert_eq!(a.extents[0].pool, PoolKind::Hbm);
+/// shim.free(a.id).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Shim {
+    space: VirtualSpace,
+    registry: Registry,
+    plan: PlacementPlan,
+    /// Fallback policy for sites without a plan entry; when `None` the
+    /// plan's default assignment applies.
+    fallback: Option<MemPolicy>,
+}
+
+impl Shim {
+    /// A shim over `machine`'s pools with the given plan.
+    pub fn new(machine: &Machine, plan: PlacementPlan) -> Self {
+        Shim { space: VirtualSpace::for_machine(machine), registry: Registry::new(), plan, fallback: None }
+    }
+
+    /// Install a fallback policy for un-planned sites.
+    pub fn with_fallback(mut self, policy: MemPolicy) -> Self {
+        self.fallback = Some(policy);
+        self
+    }
+
+    /// Replace the plan (between runs; live allocations keep their
+    /// placement, as on the real machine without migration).
+    pub fn set_plan(&mut self, plan: PlacementPlan) {
+        self.plan = plan;
+    }
+
+    pub fn plan(&self) -> &PlacementPlan {
+        &self.plan
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn space(&self) -> &VirtualSpace {
+        &self.space
+    }
+
+    fn assignment_for(&self, site: SiteId, bytes: Bytes) -> Assignment {
+        if let Some(a) = self.plan.by_site.get(&site) {
+            *a
+        } else if let Some(policy) = self.fallback {
+            policy.resolve(bytes, &self.space)
+        } else {
+            self.plan.default
+        }
+    }
+
+    /// Intercept a `malloc` from `trace` for `bytes` bytes.
+    pub fn malloc(&mut self, trace: &StackTrace, bytes: Bytes) -> Result<Allocation, AllocError> {
+        let site = trace.site_id();
+        let assignment = self.assignment_for(site, bytes);
+        assignment.validate()?;
+        let extents = match assignment {
+            Assignment::Pool(pool) => vec![self.space.alloc(pool, bytes)?],
+            Assignment::Split { hbm_fraction } => {
+                let hbm_bytes = (bytes as f64 * hbm_fraction).round() as Bytes;
+                let ddr_bytes = bytes - hbm_bytes.min(bytes);
+                let mut extents = Vec::with_capacity(2);
+                if ddr_bytes > 0 {
+                    extents.push(self.space.alloc(PoolKind::Ddr, ddr_bytes)?);
+                }
+                if hbm_bytes > 0 {
+                    match self.space.alloc(PoolKind::Hbm, hbm_bytes.min(bytes)) {
+                        Ok(e) => extents.push(e),
+                        Err(err) => {
+                            // Unwind the DDR part before propagating.
+                            for e in extents {
+                                self.space.free(e);
+                            }
+                            return Err(err);
+                        }
+                    }
+                }
+                extents
+            }
+        };
+        let id = self.registry.record_alloc(trace, extents.clone());
+        Ok(Allocation { id, site, bytes, extents })
+    }
+
+    /// Intercept a `free`.
+    pub fn free(&mut self, id: AllocId) -> Result<(), AllocError> {
+        let extents = self
+            .registry
+            .record_free(id)
+            .ok_or(AllocError::InvalidFree { addr: id.0 })?;
+        for e in extents {
+            self.space.free(e);
+        }
+        Ok(())
+    }
+
+    /// Free every live allocation (end-of-run teardown).
+    pub fn free_all(&mut self) {
+        let live: Vec<AllocId> = self.registry.live().map(|r| r.id).collect();
+        for id in live {
+            let _ = self.free(id);
+        }
+    }
+
+    /// Fraction of all live bytes currently in HBM.
+    pub fn hbm_footprint_fraction(&self) -> f64 {
+        let total = self.registry.live_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.registry.live_bytes_in(PoolKind::Hbm) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::units::gib;
+
+    fn trace(name: &str) -> StackTrace {
+        StackTrace::from_symbols(&[name, "main"])
+    }
+
+    fn shim(plan: PlacementPlan) -> Shim {
+        Shim::new(&xeon_max_9468(), plan)
+    }
+
+    #[test]
+    fn plan_routes_allocations() {
+        let plan = PlacementPlan::promote_to_hbm([trace("hot").site_id()]);
+        let mut s = shim(plan);
+        let hot = s.malloc(&trace("hot"), gib(1)).unwrap();
+        let cold = s.malloc(&trace("cold"), gib(1)).unwrap();
+        assert_eq!(hot.extents[0].pool, PoolKind::Hbm);
+        assert_eq!(cold.extents[0].pool, PoolKind::Ddr);
+        assert!((s.hbm_footprint_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_assignment_creates_two_extents() {
+        let mut plan = PlacementPlan::default();
+        plan.set(trace("s").site_id(), Assignment::Split { hbm_fraction: 0.25 }).unwrap();
+        let mut s = shim(plan);
+        let a = s.malloc(&trace("s"), gib(4)).unwrap();
+        assert_eq!(a.extents.len(), 2);
+        assert!((a.hbm_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(a.bytes, gib(4));
+    }
+
+    #[test]
+    fn hbm_exhaustion_is_an_error_under_bind() {
+        // Machine HBM = 128 GiB; ask for more.
+        let plan = PlacementPlan::all_in(PoolKind::Hbm);
+        let mut s = shim(plan);
+        s.malloc(&trace("big"), gib(120)).unwrap();
+        let err = s.malloc(&trace("big2"), gib(16)).unwrap_err();
+        assert!(matches!(err, AllocError::PoolExhausted { pool: PoolKind::Hbm, .. }));
+    }
+
+    #[test]
+    fn preferred_fallback_spills_to_ddr() {
+        let plan = PlacementPlan::all_in(PoolKind::Hbm);
+        let mut s = Shim::new(&xeon_max_9468(), PlacementPlan { by_site: plan.by_site, ..plan })
+            .with_fallback(MemPolicy::Preferred(PoolKind::Hbm));
+        s.malloc(&trace("a"), gib(120)).unwrap();
+        let spilled = s.malloc(&trace("b"), gib(16)).unwrap();
+        assert_eq!(spilled.extents[0].pool, PoolKind::Ddr);
+    }
+
+    #[test]
+    fn split_unwinds_on_partial_failure() {
+        let plan = PlacementPlan {
+            default: Assignment::Split { hbm_fraction: 0.9 },
+            by_site: Default::default(),
+        };
+        let mut s = shim(plan);
+        // 0.9 × 200 GiB = 180 GiB of HBM wanted; only 128 GiB exists.
+        let err = s.malloc(&trace("huge"), gib(200)).unwrap_err();
+        assert!(matches!(err, AllocError::PoolExhausted { pool: PoolKind::Hbm, .. }));
+        // The DDR side must have been rolled back.
+        assert_eq!(s.space().live_bytes(PoolKind::Ddr), 0);
+        assert_eq!(s.registry().live_bytes(), 0);
+    }
+
+    #[test]
+    fn free_all_resets_everything() {
+        let mut s = shim(PlacementPlan::default());
+        for i in 0..10 {
+            s.malloc(&trace(&format!("a{i}")), gib(1)).unwrap();
+        }
+        assert_eq!(s.registry().live().count(), 10);
+        s.free_all();
+        assert_eq!(s.registry().live().count(), 0);
+        assert_eq!(s.space().live_bytes(PoolKind::Ddr), 0);
+    }
+
+    #[test]
+    fn replan_affects_only_new_allocations() {
+        let mut s = shim(PlacementPlan::default());
+        let a = s.malloc(&trace("x"), gib(1)).unwrap();
+        s.set_plan(PlacementPlan::all_in(PoolKind::Hbm));
+        let b = s.malloc(&trace("y"), gib(1)).unwrap();
+        assert_eq!(a.extents[0].pool, PoolKind::Ddr);
+        assert_eq!(b.extents[0].pool, PoolKind::Hbm);
+        // No migration happened for `a`.
+        assert_eq!(s.registry().lookup(a.addr()).unwrap().extents[0].pool, PoolKind::Ddr);
+    }
+}

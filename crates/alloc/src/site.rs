@@ -1,0 +1,147 @@
+//! Call-site identity via stack traces.
+//!
+//! The real shim identifies an allocation by the stack trace of its
+//! `malloc` call; the trace hash becomes the stable key used to match the
+//! same logical allocation across profiling and tuning runs. Two
+//! consequences reproduced here:
+//!
+//! * allocations from the *same* call path are **aliased** (they share a
+//!   `SiteId` and are always placed together), and
+//! * the key is stable across runs as long as the call path is unchanged.
+
+use serde::{Deserialize, Serialize};
+
+/// One stack frame of a synthetic backtrace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    /// Function symbol (demangled).
+    pub function: String,
+    /// Source file.
+    pub file: String,
+    pub line: u32,
+}
+
+impl Frame {
+    pub fn new(function: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
+        Frame { function: function.into(), file: file.into(), line }
+    }
+}
+
+/// A synthetic backtrace of an allocation call, innermost frame first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StackTrace {
+    pub frames: Vec<Frame>,
+}
+
+impl StackTrace {
+    pub fn new(frames: Vec<Frame>) -> Self {
+        assert!(!frames.is_empty(), "a stack trace needs at least one frame");
+        StackTrace { frames }
+    }
+
+    /// Convenience: build a trace from `function@file:line` labels,
+    /// innermost first (used heavily by the workload models).
+    pub fn from_symbols(symbols: &[&str]) -> Self {
+        assert!(!symbols.is_empty());
+        StackTrace {
+            frames: symbols
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Frame::new(*s, "model.rs", i as u32 + 1))
+                .collect(),
+        }
+    }
+
+    /// Stable 64-bit identity of this call path (FNV-1a over frames).
+    pub fn site_id(&self) -> SiteId {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for f in &self.frames {
+            eat(f.function.as_bytes());
+            eat(&[0xff]);
+            eat(f.file.as_bytes());
+            eat(&f.line.to_le_bytes());
+        }
+        SiteId(h)
+    }
+
+    /// Innermost (allocating) frame.
+    pub fn leaf(&self) -> &Frame {
+        &self.frames[0]
+    }
+}
+
+/// Stable identity of an allocation call-site.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SiteId(pub u64);
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site:{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_trace_same_id() {
+        let a = StackTrace::from_symbols(&["alloc_u", "setup", "main"]);
+        let b = StackTrace::from_symbols(&["alloc_u", "setup", "main"]);
+        assert_eq!(a.site_id(), b.site_id());
+    }
+
+    #[test]
+    fn different_traces_differ() {
+        let ids: Vec<SiteId> = [
+            StackTrace::from_symbols(&["alloc_u", "setup", "main"]),
+            StackTrace::from_symbols(&["alloc_v", "setup", "main"]),
+            StackTrace::from_symbols(&["alloc_u", "init", "main"]),
+            StackTrace::from_symbols(&["alloc_u", "setup"]),
+        ]
+        .iter()
+        .map(StackTrace::site_id)
+        .collect();
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                assert_ne!(ids[i], ids[j], "collision between trace {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_number_distinguishes_sites() {
+        let a = StackTrace::new(vec![Frame::new("f", "x.c", 10)]);
+        let b = StackTrace::new(vec![Frame::new("f", "x.c", 11)]);
+        assert_ne!(a.site_id(), b.site_id());
+    }
+
+    #[test]
+    fn frame_order_matters() {
+        let a = StackTrace::from_symbols(&["f", "g"]);
+        let b = StackTrace::from_symbols(&["g", "f"]);
+        assert_ne!(a.site_id(), b.site_id());
+    }
+
+    #[test]
+    fn leaf_is_innermost() {
+        let t = StackTrace::from_symbols(&["alloc_r", "vcycle", "main"]);
+        assert_eq!(t.leaf().function, "alloc_r");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn rejects_empty_trace() {
+        StackTrace::new(vec![]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Pool-aware virtual address space.
+//!
+//! Each memory pool owns a disjoint region of a simulated 64-bit address
+//! space. Extents are handed out page-aligned, with a size-bucketed free
+//! list for reuse, and live-byte accounting against the pool capacity.
+//! Address disjointness is what lets the sampler attribute an access to a
+//! pool (and through the registry, to an allocation) from the address
+//! alone — exactly how IBS/PEBS attribution works on the real machine.
+
+use std::collections::BTreeMap;
+
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AllocError;
+
+/// Simulated page size (2 MiB huge pages, as HPC allocators use).
+pub const PAGE: Bytes = 2 * 1024 * 1024;
+
+/// Base virtual address of each pool's region.
+pub fn pool_base(pool: PoolKind) -> u64 {
+    match pool {
+        PoolKind::Ddr => 0x0000_1000_0000_0000,
+        PoolKind::Hbm => 0x0000_2000_0000_0000,
+    }
+}
+
+/// The pool an address belongs to, by region.
+pub fn pool_of_addr(addr: u64) -> Option<PoolKind> {
+    const REGION: u64 = 0x0000_1000_0000_0000;
+    match addr / REGION {
+        1 => Some(PoolKind::Ddr),
+        2 => Some(PoolKind::Hbm),
+        _ => None,
+    }
+}
+
+/// A contiguous allocated range in one pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extent {
+    pub addr: u64,
+    /// Requested size in bytes (the reserved range is page-rounded).
+    pub bytes: Bytes,
+    pub pool: PoolKind,
+}
+
+impl Extent {
+    /// Page-rounded reserved size.
+    pub fn reserved(&self) -> Bytes {
+        self.bytes.div_ceil(PAGE) * PAGE
+    }
+
+    /// Whether `addr` falls inside this extent's requested range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.addr + self.bytes
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct PoolRegion {
+    cursor: u64,
+    live: Bytes,
+    /// reserved-size → stack of reusable base addresses.
+    free: BTreeMap<Bytes, Vec<u64>>,
+}
+
+/// Per-pool extent allocator over the simulated address space.
+#[derive(Debug, Clone)]
+pub struct VirtualSpace {
+    capacity: [Bytes; 2],
+    regions: [PoolRegion; 2],
+}
+
+fn idx(pool: PoolKind) -> usize {
+    match pool {
+        PoolKind::Ddr => 0,
+        PoolKind::Hbm => 1,
+    }
+}
+
+impl VirtualSpace {
+    /// Create a space with the given per-pool capacities (whole machine).
+    pub fn new(ddr_capacity: Bytes, hbm_capacity: Bytes) -> Self {
+        VirtualSpace {
+            capacity: [ddr_capacity, hbm_capacity],
+            regions: [PoolRegion::default(), PoolRegion::default()],
+        }
+    }
+
+    /// Capacities taken from a simulated machine.
+    pub fn for_machine(machine: &hmpt_sim::machine::Machine) -> Self {
+        Self::new(machine.ddr_capacity(), machine.hbm_capacity())
+    }
+
+    pub fn capacity(&self, pool: PoolKind) -> Bytes {
+        self.capacity[idx(pool)]
+    }
+
+    pub fn live_bytes(&self, pool: PoolKind) -> Bytes {
+        self.regions[idx(pool)].live
+    }
+
+    pub fn available(&self, pool: PoolKind) -> Bytes {
+        self.capacity(pool) - self.live_bytes(pool)
+    }
+
+    /// Allocate `bytes` in `pool`.
+    pub fn alloc(&mut self, pool: PoolKind, bytes: Bytes) -> Result<Extent, AllocError> {
+        assert!(bytes > 0, "zero-byte allocation");
+        let reserved = bytes.div_ceil(PAGE) * PAGE;
+        let i = idx(pool);
+        if self.regions[i].live + reserved > self.capacity[i] {
+            return Err(AllocError::PoolExhausted {
+                pool,
+                requested: bytes,
+                available: self.available(pool),
+            });
+        }
+        let region = &mut self.regions[i];
+        let addr = if let Some((&size, stack)) = region.free.range_mut(reserved..).next() {
+            // First-fit reuse: take the smallest free block that fits.
+            let addr = stack.pop().expect("free bucket never left empty");
+            if stack.is_empty() {
+                region.free.remove(&size);
+            }
+            // A larger block than needed is used whole (no splitting);
+            // its full reserved size was already returned to `live` on
+            // free, so account for `size`, not `reserved`.
+            region.live += size;
+            return Ok(Extent { addr, bytes, pool });
+        } else {
+            let addr = pool_base(pool) + region.cursor;
+            region.cursor += reserved;
+            addr
+        };
+        region.live += reserved;
+        Ok(Extent { addr, bytes, pool })
+    }
+
+    /// Return an extent to its pool.
+    pub fn free(&mut self, extent: Extent) {
+        let i = idx(extent.pool);
+        let reserved = extent.reserved();
+        let region = &mut self.regions[i];
+        debug_assert!(region.live >= reserved, "double free or foreign extent");
+        region.live -= reserved;
+        region.free.entry(reserved).or_default().push(extent.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::units::{gib, mib};
+
+    fn space() -> VirtualSpace {
+        VirtualSpace::new(gib(256), gib(128))
+    }
+
+    #[test]
+    fn alloc_addresses_live_in_pool_regions() {
+        let mut v = space();
+        let d = v.alloc(PoolKind::Ddr, gib(1)).unwrap();
+        let h = v.alloc(PoolKind::Hbm, gib(1)).unwrap();
+        assert_eq!(pool_of_addr(d.addr), Some(PoolKind::Ddr));
+        assert_eq!(pool_of_addr(h.addr), Some(PoolKind::Hbm));
+        assert_eq!(pool_of_addr(0x42), None);
+    }
+
+    #[test]
+    fn extents_do_not_overlap() {
+        let mut v = space();
+        let a = v.alloc(PoolKind::Hbm, mib(3)).unwrap();
+        let b = v.alloc(PoolKind::Hbm, mib(3)).unwrap();
+        assert!(a.addr + a.reserved() <= b.addr || b.addr + b.reserved() <= a.addr);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut v = VirtualSpace::new(gib(1), gib(1));
+        v.alloc(PoolKind::Hbm, gib(1)).unwrap();
+        let err = v.alloc(PoolKind::Hbm, 1).unwrap_err();
+        assert!(matches!(err, AllocError::PoolExhausted { pool: PoolKind::Hbm, .. }));
+        // The other pool is unaffected.
+        v.alloc(PoolKind::Ddr, gib(1)).unwrap();
+    }
+
+    #[test]
+    fn free_makes_room_again() {
+        let mut v = VirtualSpace::new(gib(1), gib(1));
+        let e = v.alloc(PoolKind::Ddr, gib(1)).unwrap();
+        v.free(e);
+        assert_eq!(v.live_bytes(PoolKind::Ddr), 0);
+        v.alloc(PoolKind::Ddr, gib(1)).unwrap();
+    }
+
+    #[test]
+    fn freed_extent_is_reused() {
+        let mut v = space();
+        let e = v.alloc(PoolKind::Ddr, mib(64)).unwrap();
+        let addr = e.addr;
+        v.free(e);
+        let e2 = v.alloc(PoolKind::Ddr, mib(64)).unwrap();
+        assert_eq!(e2.addr, addr, "first-fit reuse expected");
+    }
+
+    #[test]
+    fn smaller_request_reuses_larger_block_whole() {
+        let mut v = space();
+        let e = v.alloc(PoolKind::Ddr, mib(64)).unwrap();
+        v.free(e);
+        let before = v.live_bytes(PoolKind::Ddr);
+        let e2 = v.alloc(PoolKind::Ddr, mib(2)).unwrap();
+        // Accounting charges the whole reused block.
+        assert_eq!(v.live_bytes(PoolKind::Ddr) - before, mib(64));
+        assert_eq!(e2.bytes, mib(2));
+    }
+
+    #[test]
+    fn contains_respects_requested_size() {
+        let mut v = space();
+        let e = v.alloc(PoolKind::Hbm, 100).unwrap();
+        assert!(e.contains(e.addr));
+        assert!(e.contains(e.addr + 99));
+        assert!(!e.contains(e.addr + 100));
+    }
+
+    #[test]
+    fn page_rounding() {
+        let e = Extent { addr: 0, bytes: 1, pool: PoolKind::Ddr };
+        assert_eq!(e.reserved(), PAGE);
+        let e = Extent { addr: 0, bytes: PAGE, pool: PoolKind::Ddr };
+        assert_eq!(e.reserved(), PAGE);
+        let e = Extent { addr: 0, bytes: PAGE + 1, pool: PoolKind::Ddr };
+        assert_eq!(e.reserved(), 2 * PAGE);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the allocation substrate: address disjointness,
+//! accounting balance, and attribution correctness under arbitrary
+//! alloc/free interleavings.
+
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_alloc::shim::Shim;
+use hmpt_alloc::site::StackTrace;
+use hmpt_alloc::vspace::{pool_of_addr, VirtualSpace};
+use hmpt_sim::machine::xeon_max_9468;
+use hmpt_sim::pool::PoolKind;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { site: u8, mib: u32, hbm: bool },
+    Free { slot: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..12, 1u32..512, any::<bool>())
+            .prop_map(|(site, mib, hbm)| Op::Alloc { site, mib, hbm }),
+        1 => (0usize..32).prop_map(|slot| Op::Free { slot }),
+    ]
+}
+
+proptest! {
+    /// Under any interleaving: live bytes balance, no extent overlaps,
+    /// and every interior address attributes to the right allocation.
+    #[test]
+    fn shim_invariants(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let machine = xeon_max_9468();
+        let mut shim = Shim::new(&machine, PlacementPlan::default());
+        let mut live: Vec<hmpt_alloc::shim::Allocation> = Vec::new();
+        let mut expected_live_bytes: u64 = 0;
+
+        for op in ops {
+            match op {
+                Op::Alloc { site, mib, hbm } => {
+                    let trace = StackTrace::from_symbols(&[
+                        if hbm { "hot" } else { "cold" },
+                        &format!("site{site}"),
+                    ]);
+                    let mut plan = PlacementPlan::default();
+                    if hbm {
+                        plan.by_site.insert(
+                            trace.site_id(),
+                            hmpt_alloc::plan::Assignment::Pool(PoolKind::Hbm),
+                        );
+                    }
+                    shim.set_plan(plan);
+                    let bytes = mib as u64 * 1024 * 1024;
+                    if let Ok(a) = shim.malloc(&trace, bytes) {
+                        expected_live_bytes += bytes;
+                        live.push(a);
+                    }
+                }
+                Op::Free { slot } => {
+                    if !live.is_empty() {
+                        let a = live.swap_remove(slot % live.len());
+                        shim.free(a.id).unwrap();
+                        expected_live_bytes -= a.bytes;
+                    }
+                }
+            }
+        }
+
+        // Accounting balance.
+        prop_assert_eq!(shim.registry().live_bytes(), expected_live_bytes);
+
+        // No two live extents overlap; every extent is in its pool region.
+        let mut extents: Vec<_> = live.iter().flat_map(|a| a.extents.iter()).collect();
+        extents.sort_by_key(|e| e.addr);
+        for w in extents.windows(2) {
+            prop_assert!(
+                w[0].addr + w[0].reserved() <= w[1].addr
+                    || pool_of_addr(w[0].addr) != pool_of_addr(w[1].addr),
+                "overlap between {:#x} and {:#x}", w[0].addr, w[1].addr
+            );
+        }
+        for e in &extents {
+            prop_assert_eq!(pool_of_addr(e.addr), Some(e.pool));
+        }
+
+        // Attribution: first/last interior byte of each live allocation.
+        for a in &live {
+            for e in &a.extents {
+                let rec = shim.registry().lookup(e.addr).expect("base attributes");
+                prop_assert_eq!(rec.id, a.id);
+                let rec = shim.registry().lookup(e.addr + e.bytes - 1).expect("last byte");
+                prop_assert_eq!(rec.id, a.id);
+            }
+        }
+    }
+
+    /// The virtual space never hands out more live bytes than capacity,
+    /// and available() + live == capacity (page-rounded accounting).
+    #[test]
+    fn vspace_capacity_conservation(sizes in prop::collection::vec(1u64..2_000_000_000, 1..40)) {
+        let cap = 64u64 * 1024 * 1024 * 1024;
+        let mut v = VirtualSpace::new(cap, cap);
+        for (i, bytes) in sizes.iter().enumerate() {
+            let pool = if i % 2 == 0 { PoolKind::Ddr } else { PoolKind::Hbm };
+            match v.alloc(pool, *bytes) {
+                Ok(_) => {}
+                Err(_) => prop_assert!(v.available(pool) < *bytes + 2 * 1024 * 1024),
+            }
+            for pool in PoolKind::ALL {
+                prop_assert!(v.live_bytes(pool) <= v.capacity(pool));
+                prop_assert_eq!(v.available(pool) + v.live_bytes(pool), v.capacity(pool));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Ablation bench: prints the four ablation studies, then measures the
+//! online tuner against the exhaustive campaign on MG.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_bench::ablations;
+use hmpt_core::driver::Driver;
+use hmpt_core::online::{tune, OnlineConfig};
+use hmpt_sim::machine::xeon_max_9468;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", ablations::render(&machine));
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let spec = hmpt_workloads::npb::mg::workload();
+    let driver = Driver::new(machine.clone());
+    let analysis = driver.analyze(&spec).unwrap();
+    g.bench_function("exhaustive_mg", |b| b.iter(|| driver.analyze(black_box(&spec))));
+    g.bench_function("online_mg", |b| {
+        b.iter(|| tune(&machine, black_box(&spec), &analysis.groups, &OnlineConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

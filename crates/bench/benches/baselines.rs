@@ -1,0 +1,25 @@
+//! Baselines bench: prints the numactl-style placement comparison for
+//! every benchmark, then measures the baseline evaluation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_core::baselines;
+use hmpt_sim::machine::xeon_max_9468;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    for spec in hmpt_workloads::table2_workloads() {
+        println!("{}", baselines::render(&machine, &spec).expect("baselines"));
+    }
+
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    let spec = hmpt_workloads::npb::mg::workload();
+    g.bench_function("evaluate_mg", |b| {
+        b.iter(|| baselines::evaluate(black_box(&machine), black_box(&spec)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

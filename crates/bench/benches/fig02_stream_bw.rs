@@ -1,0 +1,25 @@
+//! Fig 2 bench: prints the STREAM bandwidth series, then measures the
+//! cost of producing one sweep point through the full shim+model stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_bench::fig02;
+use hmpt_sim::machine::xeon_max_9468;
+use hmpt_sim::pool::PoolKind;
+use hmpt_workloads::stream_bench::average_bandwidth;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", fig02::render(&machine));
+
+    let mut g = c.benchmark_group("fig02");
+    g.sample_size(20);
+    g.bench_function("stream_avg_bw_point", |b| {
+        b.iter(|| average_bandwidth(black_box(&machine), PoolKind::Hbm, 12.0))
+    });
+    g.bench_function("full_series", |b| b.iter(|| fig02::series(black_box(&machine))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig 3 bench: prints the latency sweep, then measures the chase-latency
+//! evaluation path (cache blending + runner).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_bench::fig03;
+use hmpt_sim::machine::xeon_max_9468;
+use hmpt_sim::pool::PoolKind;
+use hmpt_workloads::pchase::latency_ns;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", fig03::render(&machine));
+
+    let mut g = c.benchmark_group("fig03");
+    g.sample_size(30);
+    g.bench_function("chase_latency_point", |b| {
+        b.iter(|| latency_ns(black_box(&machine), PoolKind::Hbm, 1 << 31))
+    });
+    g.bench_function("cache_blend_only", |b| {
+        b.iter(|| machine.caches.chase_latency(black_box(1 << 28), 95.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig 4 bench: prints the random-access speedup series, then measures
+//! the randsum evaluation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_bench::fig04;
+use hmpt_sim::machine::xeon_max_9468;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", fig04::render(&machine));
+
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(20);
+    g.bench_function("randsum_speedup_point", |b| {
+        b.iter(|| hmpt_workloads::randsum::speedup(black_box(&machine), 12.0))
+    });
+    g.bench_function("full_series", |b| b.iter(|| fig04::series(black_box(&machine))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig 5 bench: prints the mixed-placement STREAM tables, then measures
+//! the per-placement kernel pricing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_bench::fig05;
+use hmpt_sim::machine::xeon_max_9468;
+use hmpt_sim::pool::PoolKind::{Ddr as D, Hbm as H};
+use hmpt_workloads::stream_bench::{kernel_bandwidth, StreamKernel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", fig05::render(&machine));
+
+    let mut g = c.benchmark_group("fig05");
+    g.sample_size(20);
+    g.bench_function("copy_hbm_to_ddr", |b| {
+        b.iter(|| kernel_bandwidth(black_box(&machine), StreamKernel::Copy, [H, D, D], 12.0))
+    });
+    g.bench_function("add_all_placements", |b| {
+        b.iter(|| fig05::add_series(black_box(&machine)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

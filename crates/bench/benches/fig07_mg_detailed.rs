@@ -1,0 +1,24 @@
+//! Fig 7 bench: prints the MG detailed+summary views, then measures the
+//! cost of the full MG tuning pipeline and its pieces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_bench::fig07;
+use hmpt_core::driver::Driver;
+use hmpt_sim::machine::xeon_max_9468;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", fig07::render(&machine));
+
+    let mut g = c.benchmark_group("fig07");
+    g.sample_size(10);
+    let spec = hmpt_workloads::npb::mg::workload();
+    let driver = Driver::new(machine.clone());
+    g.bench_function("mg_full_pipeline", |b| b.iter(|| driver.analyze(black_box(&spec))));
+    g.bench_function("mg_profile_run", |b| b.iter(|| driver.profile(black_box(&spec))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

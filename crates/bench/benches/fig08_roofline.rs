@@ -1,0 +1,25 @@
+//! Fig 8 bench: prints the roofline table, then measures operating-point
+//! computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_bench::fig08;
+use hmpt_core::roofline::measure_point;
+use hmpt_sim::machine::xeon_max_9468;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", fig08::render(&machine));
+
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(20);
+    let spec = hmpt_workloads::npb::mg::workload();
+    g.bench_function("roofline_point", |b| {
+        b.iter(|| measure_point(black_box(&machine), black_box(&spec)))
+    });
+    g.bench_function("full_model", |b| b.iter(|| fig08::build(black_box(&machine))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

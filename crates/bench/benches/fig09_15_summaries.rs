@@ -1,0 +1,32 @@
+//! Figs 9–15 bench: prints all seven summary views with their
+//! paper-vs-measured footers, then measures one representative campaign
+//! per configuration-space size class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmpt_bench::summaries;
+use hmpt_core::driver::Driver;
+use hmpt_sim::machine::xeon_max_9468;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", summaries::render_all(&machine));
+
+    let mut g = c.benchmark_group("fig09_15");
+    g.sample_size(10);
+    let driver = Driver::new(machine.clone());
+    // mg: 2^3 configs; is: 2^4; lu: 2^7.
+    for spec in [
+        hmpt_workloads::npb::mg::workload(),
+        hmpt_workloads::npb::is::workload(),
+        hmpt_workloads::npb::lu::workload(),
+    ] {
+        g.bench_with_input(BenchmarkId::new("analyze", &spec.name), &spec, |b, s| {
+            b.iter(|| driver.analyze(black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

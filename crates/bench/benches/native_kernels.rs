@@ -1,0 +1,57 @@
+//! Native-kernel bench: *real* measurements on the host machine (no
+//! simulation). Validates the qualitative ordering the cost model
+//! assumes: sequential streaming ≫ random gather ≫ dependent chase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmpt_workloads::native::{chase, gather, sort, stream, triad};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Host triad bandwidth (printed for context, like STREAM's own output).
+    let t = triad::run(1 << 24, 3);
+    println!(
+        "native triad: {} elements, best {:.4}s, {:.1} GB/s",
+        t.elements, t.seconds, t.gbs
+    );
+
+    let mut g = c.benchmark_group("native_triad");
+    for elems in [1usize << 20, 1 << 22] {
+        g.throughput(Throughput::Bytes((elems * 24) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(elems), &elems, |b, &n| {
+            b.iter(|| triad::run(black_box(n), 1))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("native_chase");
+    g.sample_size(10);
+    for window in [64usize * 1024, 64 * 1024 * 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| chase::run(black_box(w), 500_000))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("native_gather");
+    g.sample_size(10);
+    g.bench_function("gather_64MiB_table", |b| {
+        b.iter(|| gather::run(black_box(1 << 23), 1_000_000, 5))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("native_stream");
+    g.sample_size(10);
+    g.bench_function("four_kernels_1M", |b| b.iter(|| stream::run(black_box(1 << 20), 1)));
+    g.finish();
+
+    let mut g = c.benchmark_group("native_sort");
+    g.sample_size(10);
+    g.bench_function("rank_1M_keys", |b| {
+        let keys = sort::generate_keys(1 << 20, 1 << 16, 7);
+        b.iter(|| sort::rank(black_box(&keys), 1 << 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

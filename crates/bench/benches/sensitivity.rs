@@ -1,0 +1,25 @@
+//! Machine-sensitivity bench: prints the HBM bandwidth/latency sweeps for
+//! MG and SP, then measures one sweep's cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_core::sensitivity::{render, sweep_hbm_bandwidth, sweep_hbm_latency};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mg = hmpt_workloads::npb::mg::workload();
+    let sp = hmpt_workloads::npb::sp::workload();
+    let bw = sweep_hbm_bandwidth(&mg, &[0.5, 0.75, 1.0, 1.5, 2.0]).unwrap();
+    println!("{}", render("mg.D: HBM bandwidth factor sweep", &bw));
+    let lat = sweep_hbm_latency(&sp, &[1.0, 1.2, 1.5, 2.0]).unwrap();
+    println!("{}", render("sp.D: HBM latency penalty sweep", &lat));
+
+    let mut g = c.benchmark_group("sensitivity");
+    g.sample_size(10);
+    g.bench_function("bw_sweep_mg", |b| {
+        b.iter(|| sweep_hbm_bandwidth(black_box(&mg), &[0.5, 1.0, 2.0]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Tables I & II bench: prints both tables, then measures the Table II
+//! row computation for the cheapest and priciest benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_bench::tables;
+use hmpt_core::driver::Driver;
+use hmpt_sim::machine::xeon_max_9468;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    println!("{}", tables::table1(&machine));
+    println!("{}", tables::table2(&machine));
+
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    let driver = Driver::new(machine.clone());
+    let mg = hmpt_workloads::npb::mg::workload();
+    g.bench_function("table2_row_mg", |b| {
+        b.iter(|| driver.analyze(black_box(&mg)).unwrap().table2)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! `paper` — regenerate every table and figure of the paper in text form.
+//!
+//! ```text
+//! paper                 # everything
+//! paper --fig 5         # one figure
+//! paper --table 2       # one table
+//! paper --ablations     # the ablation studies
+//! paper --baselines     # numactl-style placements vs the tuner
+//! ```
+
+use hmpt_bench::{ablations, fig02, fig03, fig04, fig05, fig07, fig08, summaries, tables};
+use hmpt_core::baselines;
+use hmpt_sim::machine::xeon_max_9468;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let machine = xeon_max_9468();
+
+    let print_fig = |n: u32| match n {
+        2 => println!("{}", fig02::render(&machine)),
+        3 => println!("{}", fig03::render(&machine)),
+        4 => println!("{}", fig04::render(&machine)),
+        5 => println!("{}", fig05::render(&machine)),
+        7 => println!("{}", fig07::render(&machine)),
+        8 => println!("{}", fig08::render(&machine)),
+        9..=15 => {
+            let name = summaries::PAPER_TARGETS.iter().find(|t| t.fig == n).unwrap().name;
+            let spec = hmpt_workloads::table2_workloads()
+                .into_iter()
+                .find(|w| w.name == name)
+                .unwrap();
+            println!("{}", summaries::render_one(&machine, &spec));
+        }
+        _ => eprintln!("no figure {n} (figures: 2,3,4,5,7,8,9..15)"),
+    };
+
+    match args.first().map(String::as_str) {
+        Some("--fig") => {
+            let n: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+            print_fig(n);
+        }
+        Some("--table") => match args.get(1).map(String::as_str) {
+            Some("1") => println!("{}", tables::table1(&machine)),
+            Some("2") => println!("{}", tables::table2(&machine)),
+            _ => eprintln!("tables: 1 or 2"),
+        },
+        Some("--ablations") => println!("{}", ablations::render(&machine)),
+        Some("--baselines") => {
+            for spec in hmpt_workloads::table2_workloads() {
+                println!("{}", baselines::render(&machine, &spec).expect("baselines"));
+            }
+        }
+        None => {
+            for n in [2u32, 3, 4, 5, 7, 8] {
+                print_fig(n);
+            }
+            println!("{}", summaries::render_all(&machine));
+            println!("{}", tables::table1(&machine));
+            println!("{}", tables::table2(&machine));
+            println!("{}", ablations::render(&machine));
+            for spec in hmpt_workloads::table2_workloads() {
+                println!("{}", baselines::render(&machine, &spec).expect("baselines"));
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown option {other}; usage: paper [--fig N | --table N | --ablations]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig 2: STREAM bandwidth vs threads/tile with all data in DDR or HBM.
+
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_workloads::stream_bench::average_bandwidth;
+use serde::Serialize;
+
+use crate::THREAD_SWEEP;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Point {
+    pub threads_per_tile: f64,
+    pub ddr_gbs: f64,
+    pub hbm_gbs: f64,
+}
+
+/// Compute the figure's two series.
+pub fn series(machine: &Machine) -> Vec<Point> {
+    THREAD_SWEEP
+        .iter()
+        .map(|&t| Point {
+            threads_per_tile: t,
+            ddr_gbs: average_bandwidth(machine, PoolKind::Ddr, t),
+            hbm_gbs: average_bandwidth(machine, PoolKind::Hbm, t),
+        })
+        .collect()
+}
+
+/// Text form of the figure.
+pub fn render(machine: &Machine) -> String {
+    let rows: Vec<Vec<f64>> = series(machine)
+        .iter()
+        .map(|p| vec![p.threads_per_tile, p.ddr_gbs, p.hbm_gbs])
+        .collect();
+    format!(
+        "Fig 2: STREAM bandwidth [GB/s] vs threads/tile (single socket)\n{}",
+        crate::format_table(&["threads/tile", "DDR avg", "HBM avg"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn endpoints_match_paper() {
+        let s = series(&xeon_max_9468());
+        let last = s.last().unwrap();
+        assert!((last.ddr_gbs - 200.0).abs() < 10.0, "DDR {}", last.ddr_gbs);
+        assert!(last.hbm_gbs > 600.0, "HBM {}", last.hbm_gbs);
+    }
+
+    #[test]
+    fn both_series_monotone() {
+        let s = series(&xeon_max_9468());
+        for w in s.windows(2) {
+            assert!(w[1].ddr_gbs >= w[0].ddr_gbs);
+            assert!(w[1].hbm_gbs >= w[0].hbm_gbs);
+        }
+    }
+}

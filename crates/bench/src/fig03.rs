@@ -1,0 +1,68 @@
+//! Fig 3: single-core pointer-chase latency vs window size (8 kB–256 MB,
+//! extended past the L3 to show the DRAM plateaus).
+
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_workloads::pchase::latency_ns;
+use serde::Serialize;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Point {
+    pub window_kb: u64,
+    pub ddr_ns: f64,
+    pub hbm_ns: f64,
+}
+
+/// Window sweep: 2^3 … 2^18 kB plus two DRAM-deep windows.
+pub fn windows_kb() -> Vec<u64> {
+    let mut v: Vec<u64> = (3..=18).map(|e| 1u64 << e).collect();
+    v.push(1 << 20);
+    v.push(1 << 22);
+    v
+}
+
+pub fn series(machine: &Machine) -> Vec<Point> {
+    windows_kb()
+        .into_iter()
+        .map(|kb| Point {
+            window_kb: kb,
+            ddr_ns: latency_ns(machine, PoolKind::Ddr, kb * 1024),
+            hbm_ns: latency_ns(machine, PoolKind::Hbm, kb * 1024),
+        })
+        .collect()
+}
+
+pub fn render(machine: &Machine) -> String {
+    let rows: Vec<Vec<f64>> = series(machine)
+        .iter()
+        .map(|p| vec![p.window_kb as f64, p.ddr_ns, p.hbm_ns, p.hbm_ns / p.ddr_ns])
+        .collect();
+    format!(
+        "Fig 3: pointer-chase latency [ns] vs window size [kB]\n{}",
+        crate::format_table(&["window kB", "DDR ns", "HBM ns", "HBM/DDR"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn dram_penalty_about_twenty_percent() {
+        let s = series(&xeon_max_9468());
+        let deep = s.last().unwrap();
+        let pen = deep.hbm_ns / deep.ddr_ns;
+        assert!(pen > 1.15 && pen < 1.25, "penalty {pen}");
+        assert!(deep.ddr_ns > 85.0 && deep.ddr_ns < 105.0);
+    }
+
+    #[test]
+    fn cache_region_is_pool_agnostic() {
+        let s = series(&xeon_max_9468());
+        // 8 kB window: all L1 hits, identical latency.
+        assert!((s[0].hbm_ns - s[0].ddr_ns).abs() < 0.2);
+        assert!(s[0].ddr_ns < 4.0);
+    }
+}

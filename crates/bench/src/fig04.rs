@@ -1,0 +1,61 @@
+//! Fig 4: HBM speedup of random indirect sum and random pointer chase
+//! over a 32 GB array, vs threads/tile.
+
+use hmpt_sim::machine::Machine;
+use hmpt_workloads::{pchase, randsum};
+use serde::Serialize;
+
+use crate::THREAD_SWEEP;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Point {
+    pub threads_per_tile: f64,
+    pub indirect_sum_speedup: f64,
+    pub pointer_chase_speedup: f64,
+}
+
+pub fn series(machine: &Machine) -> Vec<Point> {
+    THREAD_SWEEP
+        .iter()
+        .map(|&t| Point {
+            threads_per_tile: t,
+            indirect_sum_speedup: randsum::speedup(machine, t),
+            pointer_chase_speedup: pchase::parallel_chase_speedup(machine, t),
+        })
+        .collect()
+}
+
+pub fn render(machine: &Machine) -> String {
+    let rows: Vec<Vec<f64>> = series(machine)
+        .iter()
+        .map(|p| vec![p.threads_per_tile, p.indirect_sum_speedup, p.pointer_chase_speedup])
+        .collect();
+    format!(
+        "Fig 4: random access HBM speedup vs threads/tile (speedup < 1 ⇒ DDR faster)\n{}",
+        crate::format_table(&["threads/tile", "indirect sum", "ptr chase"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn shapes_match_paper() {
+        let s = series(&xeon_max_9468());
+        // Chase: flat, below one, 0.83–0.90 band.
+        for p in &s {
+            assert!(
+                p.pointer_chase_speedup > 0.8 && p.pointer_chase_speedup < 0.9,
+                "chase {} at {}",
+                p.pointer_chase_speedup,
+                p.threads_per_tile
+            );
+        }
+        // Indirect sum: starts below one, ends above one.
+        assert!(s.first().unwrap().indirect_sum_speedup < 0.95);
+        assert!(s.last().unwrap().indirect_sum_speedup > 1.0);
+    }
+}

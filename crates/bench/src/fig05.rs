@@ -1,0 +1,117 @@
+//! Fig 5: STREAM Copy and Add bandwidth per placement of each work
+//! array, vs threads/tile.
+
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind::{self, Ddr as D, Hbm as H};
+use hmpt_workloads::stream_bench::{kernel_bandwidth, StreamKernel};
+use serde::Serialize;
+
+use crate::THREAD_SWEEP;
+
+/// Copy placements (read array `a` → write array `c`), paper order.
+pub const COPY_CONFIGS: [(&str, [PoolKind; 3]); 4] = [
+    ("DDR→DDR", [D, D, D]),
+    ("DDR→HBM", [D, D, H]),
+    ("HBM→DDR", [H, D, D]),
+    ("HBM→HBM", [H, H, H]),
+];
+
+/// Add placements (read `a`+`b` → write `c`), paper order.
+pub const ADD_CONFIGS: [(&str, [PoolKind; 3]); 6] = [
+    ("DDR+DDR→DDR", [D, D, D]),
+    ("DDR+DDR→HBM", [D, D, H]),
+    ("DDR+HBM→DDR", [D, H, D]),
+    ("DDR+HBM→HBM", [D, H, H]),
+    ("HBM+HBM→DDR", [H, H, D]),
+    ("HBM+HBM→HBM", [H, H, H]),
+];
+
+/// One placement's bandwidth series over the thread sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub label: String,
+    pub gbs: Vec<f64>,
+}
+
+fn sweep(machine: &Machine, kernel: StreamKernel, pools: [PoolKind; 3]) -> Vec<f64> {
+    THREAD_SWEEP.iter().map(|&t| kernel_bandwidth(machine, kernel, pools, t)).collect()
+}
+
+/// Fig 5a: the four Copy placements.
+pub fn copy_series(machine: &Machine) -> Vec<Series> {
+    COPY_CONFIGS
+        .iter()
+        .map(|(label, pools)| Series {
+            label: label.to_string(),
+            gbs: sweep(machine, StreamKernel::Copy, *pools),
+        })
+        .collect()
+}
+
+/// Fig 5b: the six Add placements.
+pub fn add_series(machine: &Machine) -> Vec<Series> {
+    ADD_CONFIGS
+        .iter()
+        .map(|(label, pools)| Series {
+            label: label.to_string(),
+            gbs: sweep(machine, StreamKernel::Add, *pools),
+        })
+        .collect()
+}
+
+pub fn render(machine: &Machine) -> String {
+    let mut out = String::from("Fig 5a: STREAM Copy bandwidth [GB/s] per placement\n");
+    let fmt = |series: &[Series]| {
+        let mut s = format!("{:>14}", "threads/tile");
+        for x in series {
+            s.push_str(&format!("{:>14}", x.label));
+        }
+        s.push('\n');
+        for (i, &t) in THREAD_SWEEP.iter().enumerate() {
+            s.push_str(&format!("{t:>14.0}"));
+            for x in series {
+                s.push_str(&format!("{:>14.1}", x.gbs[i]));
+            }
+            s.push('\n');
+        }
+        s
+    };
+    out.push_str(&fmt(&copy_series(machine)));
+    out.push_str("\nFig 5b: STREAM Add bandwidth [GB/s] per placement\n");
+    out.push_str(&fmt(&add_series(machine)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn copy_asymmetry_at_full_threads() {
+        let m = xeon_max_9468();
+        let s = copy_series(&m);
+        let at12 = |label: &str| {
+            s.iter().find(|x| x.label == label).unwrap().gbs.last().copied().unwrap()
+        };
+        let dh = at12("DDR→HBM");
+        let hd = at12("HBM→DDR");
+        assert!((hd / dh - 0.65).abs() < 0.03, "asymmetry {}", hd / dh);
+        assert!(at12("HBM→HBM") > at12("DDR→DDR") * 3.0);
+    }
+
+    #[test]
+    fn add_one_ddr_input_is_free() {
+        let m = xeon_max_9468();
+        let s = add_series(&m);
+        let at12 = |label: &str| {
+            s.iter().find(|x| x.label == label).unwrap().gbs.last().copied().unwrap()
+        };
+        assert!(at12("DDR+HBM→HBM") > 0.97 * at12("HBM+HBM→HBM"));
+        // The two cross-writes land in the same class, well below HBM-only.
+        let down = at12("HBM+HBM→DDR");
+        let up = at12("DDR+DDR→HBM");
+        assert!(down < 0.75 * at12("HBM+HBM→HBM"));
+        assert!((down / up) > 0.7 && (down / up) < 1.45, "ratio {}", down / up);
+    }
+}

@@ -1,0 +1,62 @@
+//! Fig 8: the single-socket roofline with the NPB + STREAM points.
+
+use hmpt_core::roofline::RooflineModel;
+use hmpt_sim::machine::Machine;
+use hmpt_workloads::stream_bench::{workload as stream, StreamKernel};
+
+/// Build the roofline with the paper's point set (the five NPB FP codes
+/// plus STREAM Add and Triad for context).
+pub fn build(machine: &Machine) -> RooflineModel {
+    let mut specs = vec![
+        stream(StreamKernel::Add),
+        stream(StreamKernel::Triad),
+        hmpt_workloads::npb::mg::workload(),
+        hmpt_workloads::npb::bt::workload(),
+        hmpt_workloads::npb::lu::workload(),
+        hmpt_workloads::npb::sp::workload(),
+        hmpt_workloads::npb::ua::workload(),
+    ];
+    // Give the two STREAM entries distinct names for the legend.
+    specs[0].name = "STREAM:Add".into();
+    specs[1].name = "STREAM:Triad".into();
+    RooflineModel::build(machine, &specs).expect("roofline")
+}
+
+pub fn render(machine: &Machine) -> String {
+    format!("Fig 8: {}", build(machine).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::pool::PoolKind;
+
+    #[test]
+    fn has_all_seven_points() {
+        let model = build(&xeon_max_9468());
+        assert_eq!(model.points.len(), 7);
+        let names: Vec<&str> = model.points.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"STREAM:Triad") && names.contains(&"mg.D"));
+    }
+
+    #[test]
+    fn ai_ordering_matches_paper() {
+        // MG and UA are the low-AI outliers; BT has the highest AI.
+        let model = build(&xeon_max_9468());
+        let ai = |name: &str| {
+            model.points.iter().find(|p| p.name == name).unwrap().arithmetic_intensity
+        };
+        assert!(ai("mg.D") < ai("ua.D"));
+        assert!(ai("ua.D") < ai("lu.D"));
+        assert!(ai("bt.D") > ai("sp.D"));
+    }
+
+    #[test]
+    fn stream_points_sit_on_their_roofs() {
+        let model = build(&xeon_max_9468());
+        let p = model.points.iter().find(|p| p.name == "STREAM:Add").unwrap();
+        let ddr_roof = model.roofs.attainable(p.arithmetic_intensity, PoolKind::Ddr);
+        assert!((p.gflops_ddr - ddr_roof).abs() / ddr_roof < 0.05);
+    }
+}

@@ -1,0 +1,64 @@
+//! # hmpt-bench — the paper's evaluation, regenerated
+//!
+//! One module per table/figure of *Heterogeneous Memory Pool Tuning*.
+//! Every module exposes a `series()`/`build()` function producing the
+//! figure's data and a `render()` producing the text form printed by the
+//! `paper` binary; the criterion benches in `benches/` measure the
+//! underlying computations.
+//!
+//! | module | artifact |
+//! |---|---|
+//! | [`fig02`] | STREAM bandwidth vs threads/tile (DDR vs HBM) |
+//! | [`fig03`] | pointer-chase latency vs window size |
+//! | [`fig04`] | random access HBM speedup vs threads |
+//! | [`fig05`] | STREAM Copy/Add bandwidth per placement |
+//! | [`fig07`] | MG detailed analysis view |
+//! | [`fig08`] | roofline model |
+//! | [`summaries`] | Figs 9–15 summary views |
+//! | [`tables`] | Tables I and II |
+//! | [`ablations`] | design-choice ablations (penalty, grouping, online, estimator) |
+//!
+//! Additional bench targets in `benches/`: `baselines` (numactl-style
+//! placements vs the tuner), `sensitivity` (Table II vs machine
+//! parameters) and `native_kernels` (real host measurements).
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig07;
+pub mod fig08;
+pub mod summaries;
+pub mod tables;
+
+/// Threads-per-tile sweep used by Figs 2, 4, 5 (the paper's x-axis).
+pub const THREAD_SWEEP: [f64; 6] = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+
+/// Format a series of numeric rows under a header.
+pub fn format_table(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    for h in header {
+        out.push_str(&format!("{h:>14}"));
+    }
+    out.push('\n');
+    for row in rows {
+        for v in row {
+            out.push_str(&format!("{v:>14.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting() {
+        let s = format_table(&["a", "b"], &[vec![1.0, 2.0], vec![3.0, 4.5]]);
+        assert!(s.contains("1.00") && s.contains("4.50"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Figs 9–15: summary views for all seven benchmarks, plus the per-figure
+//! paper targets used to check reproduction quality.
+
+use hmpt_core::driver::{Analysis, Driver};
+use hmpt_sim::machine::Machine;
+use hmpt_workloads::model::WorkloadSpec;
+
+/// Paper-reported triple for one benchmark (Table II).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTarget {
+    pub fig: u32,
+    pub name: &'static str,
+    pub max_speedup: f64,
+    pub hbm_only: f64,
+    pub usage_90: f64,
+}
+
+/// The paper's Table II, verbatim.
+pub const PAPER_TARGETS: [PaperTarget; 7] = [
+    PaperTarget { fig: 9, name: "mg.D", max_speedup: 2.27, hbm_only: 2.26, usage_90: 69.6 },
+    PaperTarget { fig: 12, name: "bt.D", max_speedup: 1.15, hbm_only: 1.14, usage_90: 55.0 },
+    PaperTarget { fig: 13, name: "lu.D", max_speedup: 1.27, hbm_only: 1.27, usage_90: 58.8 },
+    PaperTarget { fig: 11, name: "sp.D", max_speedup: 1.79, hbm_only: 1.70, usage_90: 68.8 },
+    PaperTarget { fig: 10, name: "ua.D", max_speedup: 1.49, hbm_only: 1.49, usage_90: 68.8 },
+    PaperTarget { fig: 14, name: "is.Cx4", max_speedup: 2.21, hbm_only: 2.18, usage_90: 60.0 },
+    PaperTarget { fig: 15, name: "kwave", max_speedup: 1.32, hbm_only: 1.32, usage_90: 76.8 },
+];
+
+/// The target row for a workload name.
+pub fn target_for(name: &str) -> Option<&'static PaperTarget> {
+    PAPER_TARGETS.iter().find(|t| t.name == name)
+}
+
+/// Analyze one benchmark with the default (paper) settings.
+pub fn analyze(machine: &Machine, spec: &WorkloadSpec) -> Analysis {
+    Driver::new(machine.clone()).analyze(spec).expect("analysis")
+}
+
+/// Render one summary figure with its paper-vs-measured footer.
+pub fn render_one(machine: &Machine, spec: &WorkloadSpec) -> String {
+    let a = analyze(machine, spec);
+    let mut out = match target_for(&spec.name) {
+        Some(t) => format!("Fig {}: summary view for {}\n", t.fig, spec.name),
+        None => format!("Summary view for {}\n", spec.name),
+    };
+    out.push_str(&a.summary.render());
+    if let Some(t) = target_for(&spec.name) {
+        out.push_str(&format!(
+            "  paper:    max {:.2} | HBM-only {:.2} | 90% usage {:.1}%\n  measured: max {:.2} | HBM-only {:.2} | 90% usage {:.1}%\n",
+            t.max_speedup, t.hbm_only, t.usage_90,
+            a.table2.max_speedup, a.table2.hbm_only_speedup, a.table2.usage_90_pct
+        ));
+    }
+    out
+}
+
+/// Render Figs 9–15 in paper order.
+pub fn render_all(machine: &Machine) -> String {
+    let mut specs = hmpt_workloads::table2_workloads();
+    specs.sort_by_key(|s| target_for(&s.name).map(|t| t.fig).unwrap_or(99));
+    specs.iter().map(|s| render_one(machine, s)).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    /// The reproduction bands asserted for every benchmark: speedups
+    /// within ±0.15×, usage within ±8 percentage points.
+    #[test]
+    fn all_seven_benchmarks_within_reproduction_bands() {
+        let m = xeon_max_9468();
+        for spec in hmpt_workloads::table2_workloads() {
+            let t = target_for(&spec.name).expect("target");
+            let a = analyze(&m, &spec);
+            assert!(
+                (a.table2.max_speedup - t.max_speedup).abs() < 0.15,
+                "{}: max {} vs paper {}",
+                spec.name,
+                a.table2.max_speedup,
+                t.max_speedup
+            );
+            assert!(
+                (a.table2.hbm_only_speedup - t.hbm_only).abs() < 0.15,
+                "{}: hbm-only {} vs paper {}",
+                spec.name,
+                a.table2.hbm_only_speedup,
+                t.hbm_only
+            );
+            assert!(
+                (a.table2.usage_90_pct - t.usage_90).abs() < 8.0,
+                "{}: usage {} vs paper {}",
+                spec.name,
+                a.table2.usage_90_pct,
+                t.usage_90
+            );
+        }
+    }
+
+    #[test]
+    fn figure_numbering_is_complete() {
+        let mut figs: Vec<u32> = PAPER_TARGETS.iter().map(|t| t.fig).collect();
+        figs.sort_unstable();
+        assert_eq!(figs, vec![9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn render_mentions_paper_numbers() {
+        let m = xeon_max_9468();
+        let s = render_one(&m, &hmpt_workloads::npb::mg::workload());
+        assert!(s.contains("Fig 9"));
+        assert!(s.contains("paper:"));
+        assert!(s.contains("measured:"));
+    }
+}

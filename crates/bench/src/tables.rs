@@ -1,0 +1,47 @@
+//! Tables I and II, regenerated end-to-end through the tuner pipeline.
+
+use hmpt_core::driver::Driver;
+use hmpt_core::report;
+use hmpt_sim::machine::Machine;
+
+/// Table I: benchmark configurations (name, footprint, allocation count).
+pub fn table1(_machine: &Machine) -> String {
+    let specs = hmpt_workloads::table2_workloads();
+    let rows: Vec<(usize, usize)> =
+        specs.iter().enumerate().map(|(i, s)| (i, s.allocations.len())).collect();
+    let refs: Vec<(&hmpt_workloads::model::WorkloadSpec, usize)> =
+        rows.iter().map(|&(i, n)| (&specs[i], n)).collect();
+    report::table1(&refs)
+}
+
+/// Table II: the full measured summary.
+pub fn table2(machine: &Machine) -> String {
+    let driver = Driver::new(machine.clone());
+    let rows = driver.table2(&hmpt_workloads::table2_workloads()).expect("table2");
+    report::table2(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn table1_matches_paper_footprints() {
+        let t = table1(&xeon_max_9468());
+        // Spot-check the paper's Table I numbers.
+        assert!(t.contains("26.46"), "mg footprint\n{t}");
+        assert!(t.contains("10.68"), "bt footprint\n{t}");
+        assert!(t.contains("11.19"), "sp footprint\n{t}");
+        assert!(t.contains("9.79"), "kwave footprint\n{t}");
+        assert_eq!(t.lines().count(), 2 + 7);
+    }
+
+    #[test]
+    fn table2_has_all_rows() {
+        let t = table2(&xeon_max_9468());
+        for name in ["mg.D", "bt.D", "lu.D", "sp.D", "ua.D", "is.Cx4", "kwave"] {
+            assert!(t.contains(name), "{name} missing from\n{t}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The paper's two result views.
+//!
+//! * [`DetailedView`] (Fig 7a): every configuration with measured speedup
+//!   (blue bars), linear-estimate speedup (orange bars), HBM footprint
+//!   fraction (red dots) and sampled access fraction (blue crosses).
+//! * [`SummaryView`] (Fig 7b and Figs 9–15): speedup vs HBM footprint
+//!   scatter — yellow squares for single groups, blue dots for
+//!   combinations, grey crosses for estimates, plus the maximum and
+//!   90 %-of-maximum horizontal lines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::configspace::{fig7a_order, Config};
+use crate::estimate::LinearEstimator;
+use crate::grouping::AllocationGroup;
+use crate::measure::CampaignResult;
+use crate::metrics::Table2Row;
+
+/// One configuration's entry in the detailed view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetailedEntry {
+    pub config: Config,
+    /// Paper-style label: `[0 1]`.
+    pub label: String,
+    pub measured_speedup: f64,
+    pub estimated_speedup: f64,
+    /// Red dots: fraction of data in HBM.
+    pub hbm_usage: f64,
+    /// Blue crosses: fraction of access samples to HBM-placed groups.
+    pub access_fraction: f64,
+}
+
+/// Fig 7a: per-configuration bars, singles first, then pairs, …
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetailedView {
+    pub workload: String,
+    pub entries: Vec<DetailedEntry>,
+}
+
+impl DetailedView {
+    pub fn build(
+        workload: &str,
+        campaign: &CampaignResult,
+        groups: &[AllocationGroup],
+        estimator: &LinearEstimator,
+    ) -> Self {
+        let entries = fig7a_order(groups.len())
+            .into_iter()
+            // Skip configurations the campaign could not place (capacity
+            // pressure on machines smaller than the paper's).
+            .filter_map(|config| {
+                Some(DetailedEntry {
+                    config,
+                    label: config.label(),
+                    measured_speedup: campaign.speedup(config)?,
+                    estimated_speedup: estimator.estimate(config),
+                    hbm_usage: config.hbm_fraction(groups),
+                    access_fraction: config.access_fraction(groups),
+                })
+            })
+            .collect();
+        DetailedView { workload: workload.to_string(), entries }
+    }
+
+    /// ASCII rendering of the view (one row per configuration).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}\n{:<14} {:>9} {:>9} {:>9} {:>9}\n",
+            self.workload, "config", "measured", "est.", "hbm-usage", "samples"
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<14} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                e.label, e.measured_speedup, e.estimated_speedup, e.hbm_usage, e.access_fraction
+            ));
+        }
+        out
+    }
+}
+
+/// The kind of a summary-view point (the marker in the figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PointKind {
+    /// Yellow squares: single allocation groups (plus DDR-only).
+    Group,
+    /// Blue dots: combinations of two or more groups.
+    Combination,
+    /// Grey crosses: linear-combination estimates.
+    Estimate,
+}
+
+/// One point of the summary scatter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SummaryPoint {
+    pub hbm_footprint: f64,
+    pub speedup: f64,
+    pub kind: PointKind,
+    pub config: Config,
+}
+
+/// Fig 7b / Figs 9–15: speedup vs HBM footprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SummaryView {
+    /// The binary path shown as the plot title in the paper.
+    pub title: String,
+    pub points: Vec<SummaryPoint>,
+    /// Solid red line.
+    pub max_speedup: f64,
+    /// Dash-dotted orange line (90 % of the maximum gain).
+    pub ninety_pct_line: f64,
+    pub table2: Table2Row,
+}
+
+impl SummaryView {
+    pub fn build(
+        title: &str,
+        campaign: &CampaignResult,
+        groups: &[AllocationGroup],
+        estimator: &LinearEstimator,
+        table2: Table2Row,
+    ) -> Self {
+        let mut points = Vec::with_capacity(2 * campaign.measurements.len());
+        // DDR-only anchors the group series at (0, 1.0), as in the paper.
+        points.push(SummaryPoint {
+            hbm_footprint: 0.0,
+            speedup: 1.0,
+            kind: PointKind::Group,
+            config: Config::DDR_ONLY,
+        });
+        for m in &campaign.measurements {
+            if m.config == Config::DDR_ONLY {
+                continue;
+            }
+            let kind = if m.config.popcount() == 1 {
+                PointKind::Group
+            } else {
+                PointKind::Combination
+            };
+            let fp = m.config.hbm_fraction(groups);
+            points.push(SummaryPoint {
+                hbm_footprint: fp,
+                speedup: campaign.speedup(m.config).unwrap(),
+                kind,
+                config: m.config,
+            });
+            points.push(SummaryPoint {
+                hbm_footprint: fp,
+                speedup: estimator.estimate(m.config),
+                kind: PointKind::Estimate,
+                config: m.config,
+            });
+        }
+        let ninety = 1.0 + 0.9 * (table2.max_speedup - 1.0);
+        SummaryView {
+            title: title.to_string(),
+            points,
+            max_speedup: table2.max_speedup,
+            ninety_pct_line: ninety,
+            table2,
+        }
+    }
+
+    /// Measured points only (for plotting / assertions).
+    pub fn measured(&self) -> impl Iterator<Item = &SummaryPoint> {
+        self.points.iter().filter(|p| p.kind != PointKind::Estimate)
+    }
+
+    /// The Pareto front of measured points: minimal footprint for any
+    /// achieved speedup level.
+    pub fn pareto_front(&self) -> Vec<&SummaryPoint> {
+        let mut pts: Vec<&SummaryPoint> = self.measured().collect();
+        pts.sort_by(|a, b| {
+            a.hbm_footprint.total_cmp(&b.hbm_footprint).then(b.speedup.total_cmp(&a.speedup))
+        });
+        let mut front: Vec<&SummaryPoint> = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        for p in pts {
+            if p.speedup > best {
+                best = p.speedup;
+                front.push(p);
+            }
+        }
+        front
+    }
+
+    /// ASCII scatter rendering (footprint ascending).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}\n  max speedup {:.2} | 90% line {:.2} | 90% usage {:.1}%\n",
+            self.title, self.max_speedup, self.ninety_pct_line, self.table2.usage_90_pct
+        );
+        let mut measured: Vec<&SummaryPoint> = self.measured().collect();
+        measured.sort_by(|a, b| a.hbm_footprint.total_cmp(&b.hbm_footprint));
+        let width = 44usize;
+        let max_s = self.max_speedup.max(1.0);
+        for p in measured {
+            let frac = ((p.speedup - 1.0) / (max_s - 1.0).max(1e-9)).clamp(0.0, 1.0);
+            let bar = "#".repeat((frac * width as f64).round() as usize);
+            let marker = match p.kind {
+                PointKind::Group => 'G',
+                PointKind::Combination => 'C',
+                PointKind::Estimate => 'e',
+            };
+            out.push_str(&format!(
+                "  {:>5.1}% {marker} {:>5.2}x |{bar}\n",
+                p.hbm_footprint * 100.0,
+                p.speedup
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::ConfigMeasurement;
+
+    fn toy() -> (CampaignResult, Vec<AllocationGroup>, LinearEstimator) {
+        let groups: Vec<AllocationGroup> = (0..2)
+            .map(|id| AllocationGroup {
+                id,
+                label: format!("g{id}"),
+                members: vec![id],
+                bytes: 1_000_000_000,
+                density: if id == 0 { 0.7 } else { 0.3 },
+            })
+            .collect();
+        let campaign = CampaignResult {
+            measurements: vec![
+                ConfigMeasurement { config: Config(0), mean_s: 2.0, std_s: 0.0, hbm_fraction: 0.0 },
+                ConfigMeasurement { config: Config(1), mean_s: 1.25, std_s: 0.0, hbm_fraction: 0.5 },
+                ConfigMeasurement { config: Config(2), mean_s: 1.6, std_s: 0.0, hbm_fraction: 0.5 },
+                ConfigMeasurement { config: Config(3), mean_s: 1.0, std_s: 0.0, hbm_fraction: 1.0 },
+            ],
+            runs_per_config: 1,
+        };
+        let est = LinearEstimator::fit(&campaign, 2);
+        (campaign, groups, est)
+    }
+
+    #[test]
+    fn detailed_view_ordering_and_columns() {
+        let (c, g, e) = toy();
+        let v = DetailedView::build("toy", &c, &g, &e);
+        assert_eq!(v.entries.len(), 3);
+        assert_eq!(v.entries[0].label, "[0]");
+        assert_eq!(v.entries[2].label, "[0 1]");
+        let pair = &v.entries[2];
+        assert!((pair.measured_speedup - 2.0).abs() < 1e-12);
+        // est = 1 + 0.6 + 0.25 = 1.85.
+        assert!((pair.estimated_speedup - 1.85).abs() < 1e-12);
+        assert!((pair.access_fraction - 1.0).abs() < 1e-12);
+        assert!(v.render().contains("[0 1]"));
+    }
+
+    #[test]
+    fn summary_view_point_kinds() {
+        let (c, g, e) = toy();
+        let t2 = Table2Row::from_campaign("toy", &c, &g);
+        let v = SummaryView::build("./toy.x", &c, &g, &e, t2);
+        let groups = v.points.iter().filter(|p| p.kind == PointKind::Group).count();
+        let combos = v.points.iter().filter(|p| p.kind == PointKind::Combination).count();
+        let ests = v.points.iter().filter(|p| p.kind == PointKind::Estimate).count();
+        assert_eq!(groups, 3); // DDR-only + two singles
+        assert_eq!(combos, 1);
+        assert_eq!(ests, 3);
+        assert!((v.ninety_pct_line - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let (c, g, e) = toy();
+        let t2 = Table2Row::from_campaign("toy", &c, &g);
+        let v = SummaryView::build("t", &c, &g, &e, t2);
+        let front = v.pareto_front();
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[1].speedup > w[0].speedup);
+            assert!(w[1].hbm_footprint >= w[0].hbm_footprint);
+        }
+    }
+
+    #[test]
+    fn render_contains_headline_numbers() {
+        let (c, g, e) = toy();
+        let t2 = Table2Row::from_campaign("toy", &c, &g);
+        let v = SummaryView::build("./toy.x", &c, &g, &e, t2);
+        let s = v.render();
+        assert!(s.contains("max speedup 2.00"));
+        assert!(s.contains("./toy.x"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The placement configuration space.
+//!
+//! With pools `P = {DDR, HBM}` and allocation groups `AG`, every
+//! configuration is a subset of groups promoted to HBM:
+//! `C = {(∪x, AC \ ∪x) | x ∈ P(AG)}` — `2^|AG|` configurations
+//! (§III.A). A [`Config`] is that subset as a bitmask.
+
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::Bytes;
+use hmpt_workloads::model::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::grouping::AllocationGroup;
+
+/// Hard cap on exhaustively enumerable groups (2^24 configs).
+pub const MAX_GROUPS: usize = 24;
+
+/// One placement configuration: bit `i` set ⇒ group `i` in HBM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Config(pub u32);
+
+impl Config {
+    /// The all-DDR baseline.
+    pub const DDR_ONLY: Config = Config(0);
+
+    /// Everything in HBM.
+    pub fn all_hbm(n_groups: usize) -> Config {
+        Config(((1u64 << n_groups) - 1) as u32)
+    }
+
+    /// Promote a single group.
+    pub fn single(group: usize) -> Config {
+        Config(1 << group)
+    }
+
+    pub fn contains(&self, group: usize) -> bool {
+        self.0 >> group & 1 == 1
+    }
+
+    pub fn with(self, group: usize) -> Config {
+        Config(self.0 | 1 << group)
+    }
+
+    pub fn without(self, group: usize) -> Config {
+        Config(self.0 & !(1 << group))
+    }
+
+    /// Number of groups in HBM.
+    pub fn popcount(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Paper-style label: `[0 1 2]` (indices of HBM groups), `[]` for
+    /// DDR-only.
+    pub fn label(&self) -> String {
+        let idx: Vec<String> =
+            (0..32).filter(|&i| self.contains(i)).map(|i| i.to_string()).collect();
+        format!("[{}]", idx.join(" "))
+    }
+
+    /// Bytes this configuration places in HBM.
+    pub fn hbm_bytes(&self, groups: &[AllocationGroup]) -> Bytes {
+        groups.iter().filter(|g| self.contains(g.id)).map(|g| g.bytes).sum()
+    }
+
+    /// Fraction of the footprint in HBM (the x-axis of Fig 7b/9–15).
+    pub fn hbm_fraction(&self, groups: &[AllocationGroup]) -> f64 {
+        let total: Bytes = groups.iter().map(|g| g.bytes).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.hbm_bytes(groups) as f64 / total as f64
+        }
+    }
+
+    /// Combined sampled access density of the HBM groups (Fig 7a's blue
+    /// crosses).
+    pub fn access_fraction(&self, groups: &[AllocationGroup]) -> f64 {
+        groups.iter().filter(|g| self.contains(g.id)).map(|g| g.density).sum()
+    }
+
+    /// The placement plan realizing this configuration.
+    pub fn plan(&self, spec: &WorkloadSpec, groups: &[AllocationGroup]) -> PlacementPlan {
+        let sites = groups
+            .iter()
+            .filter(|g| self.contains(g.id))
+            .flat_map(|g| g.sites(spec));
+        let mut plan = PlacementPlan::promote_to_hbm(sites);
+        plan.default = hmpt_alloc::plan::Assignment::Pool(PoolKind::Ddr);
+        plan
+    }
+}
+
+/// Iterate every configuration of `n_groups` groups, DDR-only first.
+pub fn enumerate(n_groups: usize) -> impl Iterator<Item = Config> {
+    assert!(n_groups <= MAX_GROUPS, "too many groups for exhaustive enumeration");
+    (0..(1u64 << n_groups)).map(|m| Config(m as u32))
+}
+
+/// The paper's Fig 7a ordering: singles first, then pairs, then larger
+/// combinations; within equal size, ascending mask.
+pub fn fig7a_order(n_groups: usize) -> Vec<Config> {
+    let mut all: Vec<Config> = enumerate(n_groups).skip(1).collect();
+    all.sort_by_key(|c| (c.popcount(), c.0));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_groups() -> Vec<AllocationGroup> {
+        (0..3)
+            .map(|id| AllocationGroup {
+                id,
+                label: format!("g{id}"),
+                members: vec![id],
+                bytes: (id as u64 + 1) * 1_000_000_000,
+                density: 0.5 / (id as f64 + 1.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn enumeration_size_is_two_to_the_g() {
+        assert_eq!(enumerate(3).count(), 8);
+        assert_eq!(enumerate(8).count(), 256);
+        assert_eq!(enumerate(0).count(), 1);
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(Config::DDR_ONLY.label(), "[]");
+        assert_eq!(Config::single(1).label(), "[1]");
+        assert_eq!(Config(0b101).label(), "[0 2]");
+    }
+
+    #[test]
+    fn footprint_fractions() {
+        let groups = toy_groups();
+        assert_eq!(Config::DDR_ONLY.hbm_fraction(&groups), 0.0);
+        assert_eq!(Config::all_hbm(3).hbm_fraction(&groups), 1.0);
+        let f = Config::single(2).hbm_fraction(&groups);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_operations() {
+        let c = Config::DDR_ONLY.with(2).with(0);
+        assert!(c.contains(0) && c.contains(2) && !c.contains(1));
+        assert_eq!(c.without(2), Config::single(0));
+        assert_eq!(c.popcount(), 2);
+    }
+
+    #[test]
+    fn fig7a_order_is_by_size() {
+        let order = fig7a_order(3);
+        assert_eq!(order.len(), 7);
+        let sizes: Vec<u32> = order.iter().map(Config::popcount).collect();
+        assert_eq!(sizes, vec![1, 1, 1, 2, 2, 2, 3]);
+        assert_eq!(order[0].label(), "[0]");
+        assert_eq!(order[6].label(), "[0 1 2]");
+    }
+
+    #[test]
+    fn plan_promotes_the_right_sites() {
+        let spec = hmpt_workloads::npb::mg::workload();
+        let groups: Vec<AllocationGroup> = (0..3)
+            .map(|id| AllocationGroup {
+                id,
+                label: spec.allocations[id].label.clone(),
+                members: vec![id],
+                bytes: spec.allocations[id].bytes,
+                density: 0.3,
+            })
+            .collect();
+        let plan = Config(0b101).plan(&spec, &groups);
+        assert_eq!(plan.len(), 2);
+        let a0 = plan.assignment_for(spec.allocations[0].site());
+        assert_eq!(a0.hbm_fraction(), 1.0);
+        let a1 = plan.assignment_for(spec.allocations[1].site());
+        assert_eq!(a1.hbm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn access_fraction_sums_group_densities() {
+        let groups = toy_groups();
+        let f = Config(0b011).access_fraction(&groups);
+        assert!((f - (0.5 + 0.25)).abs() < 1e-12);
+    }
+}

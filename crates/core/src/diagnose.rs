@@ -1,0 +1,183 @@
+//! Per-phase bottleneck diagnosis: *why* a placement performs the way it
+//! does.
+//!
+//! The summary views say how fast a configuration is; developers also
+//! need to know which kernel is bound by what under a given placement —
+//! the per-phase analogue of the paper's roofline discussion. For each
+//! phase this reports the binding resource, the achieved throughput, and
+//! the utilization of each pool.
+
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_sim::cost::Bound;
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_workloads::model::WorkloadSpec;
+use hmpt_workloads::runner::{run_once, RunConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TunerError;
+
+/// Diagnosis of one phase under one placement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseDiagnosis {
+    pub label: String,
+    pub repeats: u64,
+    /// Share of total runtime spent in this phase.
+    pub time_share: f64,
+    pub bound: Bound,
+    pub throughput_gbs: f64,
+    pub gflops: f64,
+    /// Pool busy time as a fraction of the phase duration.
+    pub ddr_utilization: f64,
+    pub hbm_utilization: f64,
+}
+
+/// Whole-workload diagnosis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Diagnosis {
+    pub workload: String,
+    pub total_time_s: f64,
+    pub phases: Vec<PhaseDiagnosis>,
+}
+
+impl Diagnosis {
+    /// The phase dominating the runtime.
+    pub fn hottest_phase(&self) -> &PhaseDiagnosis {
+        self.phases
+            .iter()
+            .max_by(|a, b| a.time_share.total_cmp(&b.time_share))
+            .expect("workloads have phases")
+    }
+
+    /// Share of runtime spent in phases bound by `bound`.
+    pub fn share_bound_by(&self, bound: Bound) -> f64 {
+        self.phases.iter().filter(|p| p.bound == bound).map(|p| p.time_share).sum()
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: per-phase diagnosis ({:.3}s total)\n  {:<34} {:>6} {:>7} {:>9} {:>8} {:>6} {:>6}\n",
+            self.workload, self.total_time_s, "phase", "reps", "share", "GB/s", "GFLOP/s", "DDR%", "HBM%"
+        );
+        for p in &self.phases {
+            out.push_str(&format!(
+                "  {:<34} {:>6} {:>6.1}% {:>9.1} {:>8.1} {:>5.0}% {:>5.0}%  {:?}\n",
+                p.label,
+                p.repeats,
+                p.time_share * 100.0,
+                p.throughput_gbs,
+                p.gflops,
+                p.ddr_utilization * 100.0,
+                p.hbm_utilization * 100.0,
+                p.bound,
+            ));
+        }
+        out
+    }
+}
+
+/// Diagnose `spec` under `plan`.
+pub fn diagnose(
+    machine: &Machine,
+    spec: &WorkloadSpec,
+    plan: &PlacementPlan,
+) -> Result<Diagnosis, TunerError> {
+    let out = run_once(machine, spec, plan, &RunConfig::exact())?;
+    let total: f64 = out
+        .phase_costs
+        .iter()
+        .zip(&spec.phases)
+        .map(|(c, p)| c.time_s * p.repeats as f64)
+        .sum();
+    let phases = out
+        .phase_costs
+        .iter()
+        .zip(&spec.phases)
+        .map(|(c, p)| PhaseDiagnosis {
+            label: p.label.clone(),
+            repeats: p.repeats,
+            time_share: if total > 0.0 { c.time_s * p.repeats as f64 / total } else { 0.0 },
+            bound: c.bound,
+            throughput_gbs: c.throughput_gbs(),
+            gflops: c.gflops(),
+            ddr_utilization: if c.time_s > 0.0 { c.t_ddr / c.time_s } else { 0.0 },
+            hbm_utilization: if c.time_s > 0.0 { c.t_hbm / c.time_s } else { 0.0 },
+        })
+        .collect();
+    Ok(Diagnosis { workload: spec.name.clone(), total_time_s: total, phases })
+}
+
+/// Diagnose the DDR baseline and the tuned placement side by side.
+pub fn diagnose_before_after(
+    machine: &Machine,
+    spec: &WorkloadSpec,
+    tuned: &PlacementPlan,
+) -> Result<(Diagnosis, Diagnosis), TunerError> {
+    let before = diagnose(machine, spec, &PlacementPlan::all_in(PoolKind::Ddr))?;
+    let after = diagnose(machine, spec, tuned)?;
+    Ok((before, after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+    use crate::measure::CampaignConfig;
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::noise::NoiseModel;
+
+    fn exact_driver() -> Driver {
+        Driver::new(xeon_max_9468()).with_campaign(CampaignConfig {
+            runs_per_config: 1,
+            noise: NoiseModel::none(),
+            base_seed: 0,
+        })
+    }
+
+    #[test]
+    fn mg_baseline_is_ddr_bandwidth_bound() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::mg::workload();
+        let d = diagnose(&m, &spec, &PlacementPlan::default()).unwrap();
+        assert!(d.share_bound_by(Bound::DdrBandwidth) > 0.95, "{}", d.render());
+        // Every phase shares sum to 1.
+        let total: f64 = d.phases.iter().map(|p| p.time_share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mg_tuned_becomes_compute_bound() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::mg::workload();
+        let a = exact_driver().analyze(&spec).unwrap();
+        let (before, after) = diagnose_before_after(&m, &spec, &a.best_plan(&spec)).unwrap();
+        assert!(before.total_time_s > after.total_time_s * 2.0);
+        // Once the hot arrays are in HBM, the compute floor appears.
+        assert!(
+            after.share_bound_by(Bound::Compute) > 0.5,
+            "after:\n{}",
+            after.render()
+        );
+    }
+
+    #[test]
+    fn sp_chase_phase_is_latency_bound() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::sp::workload();
+        let d = diagnose(&m, &spec, &PlacementPlan::default()).unwrap();
+        let chase = d.phases.iter().find(|p| p.label.starts_with("back_substitution")).unwrap();
+        assert_eq!(chase.bound, Bound::Latency);
+    }
+
+    #[test]
+    fn render_mentions_every_phase() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::is::workload();
+        let d = diagnose(&m, &spec, &PlacementPlan::default()).unwrap();
+        let s = d.render();
+        assert!(s.contains("rank"));
+        assert!(s.contains("full_verify"));
+        assert_eq!(d.hottest_phase().label, "rank");
+    }
+}

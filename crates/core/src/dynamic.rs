@@ -1,0 +1,188 @@
+//! Dynamic tuning with live migration: profile the first iterations of a
+//! long-running application, pick a placement from the sampled densities
+//! alone (no measurement campaign), migrate the chosen groups to HBM
+//! while the application runs, and let the remaining iterations run
+//! tuned.
+//!
+//! This is the paper's "first step towards a more dynamic approach"
+//! carried to its conclusion — §III's architecture "potentially allows
+//! for online profiling and control", and with
+//! [`hmpt_alloc::migrate`] the control loop closes: no separate runs,
+//! no precomputed plan, a one-off migration cost amortized over the
+//! remaining iterations.
+
+use hmpt_alloc::migrate::migration_cost_s;
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_workloads::model::WorkloadSpec;
+use hmpt_workloads::runner::{run_once, RunConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::configspace::Config;
+use crate::error::TunerError;
+use crate::grouping::{group, GroupingConfig};
+use crate::planner::plan_greedy;
+
+/// Dynamic-tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicConfig {
+    /// Total iterations of the application's outer loop.
+    pub total_iterations: u64,
+    /// Iterations spent profiling in the initial (DDR) placement.
+    pub profile_iterations: u64,
+    /// HBM budget available to the migration (bytes).
+    pub hbm_budget: u64,
+    pub grouping: GroupingConfig,
+}
+
+impl DynamicConfig {
+    pub fn new(total_iterations: u64, hbm_budget: u64) -> Self {
+        DynamicConfig {
+            total_iterations,
+            profile_iterations: 1,
+            hbm_budget,
+            grouping: GroupingConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a dynamic tuning session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicResult {
+    /// The placement chosen from profiling data only.
+    pub chosen: Config,
+    /// Bytes migrated to HBM and the one-off cost.
+    pub migrated_bytes: u64,
+    pub migration_cost_s: f64,
+    /// Per-iteration times before/after migration.
+    pub iter_ddr_s: f64,
+    pub iter_tuned_s: f64,
+    /// End-to-end times over `total_iterations`.
+    pub dynamic_total_s: f64,
+    pub ddr_only_total_s: f64,
+    /// Iterations after which the dynamic run beats staying in DDR
+    /// (`None` if the migration never pays off within the run).
+    pub break_even_iterations: Option<u64>,
+}
+
+impl DynamicResult {
+    /// Speedup of the dynamic session over never tuning.
+    pub fn speedup(&self) -> f64 {
+        self.ddr_only_total_s / self.dynamic_total_s
+    }
+}
+
+/// Run a dynamic tuning session for `spec`.
+pub fn run_dynamic(
+    machine: &Machine,
+    spec: &WorkloadSpec,
+    cfg: &DynamicConfig,
+) -> Result<DynamicResult, TunerError> {
+    assert!(cfg.profile_iterations <= cfg.total_iterations);
+
+    // Profile iteration(s): DDR placement, IBS on.
+    let profile = run_once(machine, spec, &PlacementPlan::default(), &RunConfig::profiling(13))?;
+    let iter_ddr_s = profile.time_s;
+
+    // Choose a placement from densities alone (greedy knapsack on the
+    // sampled access densities, no measurement campaign).
+    let groups = group(spec, &profile.stats, &cfg.grouping);
+    let chosen = plan_greedy(&groups, cfg.hbm_budget).config;
+
+    // Migration: every chosen group's bytes move DDR→HBM once.
+    let migrated_bytes = chosen.hbm_bytes(&groups);
+    let migration_cost = migration_cost_s(machine, migrated_bytes, PoolKind::Hbm);
+
+    // Tuned iterations.
+    let plan = chosen.plan(spec, &groups);
+    let tuned = run_once(machine, spec, &plan, &RunConfig::exact())?;
+    let iter_tuned_s = tuned.time_s;
+
+    let n = cfg.total_iterations;
+    let p = cfg.profile_iterations;
+    let dynamic_total_s =
+        p as f64 * iter_ddr_s + migration_cost + (n - p) as f64 * iter_tuned_s;
+    let ddr_only_total_s = n as f64 * iter_ddr_s;
+
+    // Break-even: smallest k ≥ p with p·t_d + mig + (k−p)·t_t ≤ k·t_d.
+    let gain = iter_ddr_s - iter_tuned_s;
+    let break_even_iterations = if gain > 0.0 {
+        let k = p as f64 + migration_cost / gain;
+        let k = k.ceil() as u64;
+        (k <= n).then_some(k)
+    } else {
+        None
+    };
+
+    Ok(DynamicResult {
+        chosen,
+        migrated_bytes,
+        migration_cost_s: migration_cost,
+        iter_ddr_s,
+        iter_tuned_s,
+        dynamic_total_s,
+        ddr_only_total_s,
+        break_even_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn dynamic_mg_pays_off_quickly() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::mg::workload();
+        let cfg = DynamicConfig::new(50, m.hbm_capacity());
+        let r = run_dynamic(&m, &spec, &cfg).unwrap();
+        // Density-greedy finds a strong config without any campaign.
+        assert!(
+            r.iter_ddr_s / r.iter_tuned_s > 2.0,
+            "tuned iteration speedup {}",
+            r.iter_ddr_s / r.iter_tuned_s
+        );
+        // Migration of ~18 GB amortizes within a few iterations.
+        let k = r.break_even_iterations.expect("pays off");
+        assert!(k <= 3, "break-even at {k} iterations");
+        assert!(r.speedup() > 2.0, "session speedup {}", r.speedup());
+    }
+
+    #[test]
+    fn tiny_budget_migrates_less_and_gains_less() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::mg::workload();
+        let big = run_dynamic(&m, &spec, &DynamicConfig::new(50, m.hbm_capacity())).unwrap();
+        let small = run_dynamic(&m, &spec, &DynamicConfig::new(50, 10_000_000_000)).unwrap();
+        assert!(small.migrated_bytes < big.migrated_bytes);
+        assert!(small.migrated_bytes <= 10_000_000_000);
+        assert!(small.speedup() < big.speedup());
+        assert!(small.speedup() > 1.0, "even 10 GB of HBM helps MG");
+    }
+
+    #[test]
+    fn short_runs_may_not_break_even() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::bt::workload();
+        // BT gains ~1.15× per iteration; with a single post-profile
+        // iteration the migration may not amortize.
+        let r = run_dynamic(&m, &spec, &DynamicConfig::new(2, m.hbm_capacity())).unwrap();
+        if let Some(k) = r.break_even_iterations {
+            assert!(k <= 2);
+        } else {
+            assert!(r.speedup() < 1.05);
+        }
+    }
+
+    #[test]
+    fn zero_budget_is_a_no_op() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::mg::workload();
+        let r = run_dynamic(&m, &spec, &DynamicConfig::new(10, 0)).unwrap();
+        assert_eq!(r.chosen, Config::DDR_ONLY);
+        assert_eq!(r.migrated_bytes, 0);
+        assert_eq!(r.migration_cost_s, 0.0);
+    }
+}

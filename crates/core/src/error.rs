@@ -1,0 +1,55 @@
+//! Tuner error type.
+
+use hmpt_alloc::error::AllocError;
+
+/// Errors surfaced by the tuning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TunerError {
+    /// A measurement run failed to allocate (e.g. a configuration that
+    /// does not fit the HBM pool).
+    Alloc(AllocError),
+    /// The workload has no allocations to tune.
+    EmptyWorkload,
+    /// Too many groups requested for exhaustive enumeration.
+    TooManyGroups { groups: usize, limit: usize },
+}
+
+impl From<AllocError> for TunerError {
+    fn from(e: AllocError) -> Self {
+        TunerError::Alloc(e)
+    }
+}
+
+impl std::fmt::Display for TunerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerError::Alloc(e) => write!(f, "allocation failure during measurement: {e}"),
+            TunerError::EmptyWorkload => write!(f, "workload declares no allocations"),
+            TunerError::TooManyGroups { groups, limit } => {
+                write!(f, "{groups} groups exceed the exhaustive enumeration limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TunerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::pool::PoolKind;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: TunerError = AllocError::PoolExhausted {
+            pool: PoolKind::Hbm,
+            requested: 10,
+            available: 0,
+        }
+        .into();
+        assert!(e.to_string().contains("HBM"));
+        assert!(TunerError::EmptyWorkload.to_string().contains("no allocations"));
+        let t = TunerError::TooManyGroups { groups: 40, limit: 24 };
+        assert!(t.to_string().contains("40"));
+    }
+}

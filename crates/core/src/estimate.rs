@@ -1,0 +1,121 @@
+//! The linear independence estimator (the orange bars of Fig 7a and the
+//! grey crosses of the summary views).
+//!
+//! "The expected speedup is computed as linear combination of speedup
+//! achieved by each allocation group individually (i.e., allocation
+//! groups are assumed to be independent)": for a configuration `S`,
+//!
+//! ```text
+//! est(S) = 1 + Σ_{i ∈ S} (speedup({i}) − 1)
+//! ```
+//!
+//! The estimator is exact when groups never share a bottleneck (the
+//! per-array-phase benchmarks) and deviates when they do (MG, IS) — a
+//! deviation the paper's detailed view makes visible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::configspace::Config;
+use crate::measure::CampaignResult;
+
+/// Per-group single speedups, the estimator's inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearEstimator {
+    /// `single[i]` = measured speedup of configuration `{i}`.
+    pub single: Vec<f64>,
+}
+
+impl LinearEstimator {
+    /// Fit from a measured campaign (needs all single configurations).
+    pub fn fit(campaign: &CampaignResult, n_groups: usize) -> Self {
+        let single = (0..n_groups)
+            .map(|g| campaign.speedup(Config::single(g)).unwrap_or(1.0))
+            .collect();
+        LinearEstimator { single }
+    }
+
+    /// Estimated speedup of an arbitrary configuration.
+    pub fn estimate(&self, config: Config) -> f64 {
+        1.0 + (0..self.single.len())
+            .filter(|&g| config.contains(g))
+            .map(|g| self.single[g] - 1.0)
+            .sum::<f64>()
+    }
+
+    /// Mean absolute relative error against measured speedups.
+    pub fn mean_abs_error(&self, campaign: &CampaignResult) -> f64 {
+        let mut err = 0.0;
+        let mut n = 0usize;
+        for m in &campaign.measurements {
+            if m.config == Config::DDR_ONLY {
+                continue;
+            }
+            let measured = campaign.speedup(m.config).unwrap();
+            err += ((self.estimate(m.config) - measured) / measured).abs();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            err / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::ConfigMeasurement;
+
+    fn campaign(times: &[(u32, f64)]) -> CampaignResult {
+        CampaignResult {
+            measurements: times
+                .iter()
+                .map(|&(mask, t)| ConfigMeasurement {
+                    config: Config(mask),
+                    mean_s: t,
+                    std_s: 0.0,
+                    hbm_fraction: 0.0,
+                })
+                .collect(),
+            runs_per_config: 1,
+        }
+    }
+
+    #[test]
+    fn estimate_is_one_plus_sum_of_gains() {
+        let est = LinearEstimator { single: vec![1.6, 1.5, 1.1] };
+        assert!((est.estimate(Config::DDR_ONLY) - 1.0).abs() < 1e-12);
+        assert!((est.estimate(Config::single(0)) - 1.6).abs() < 1e-12);
+        let both = est.estimate(Config(0b011));
+        assert!((both - 2.1).abs() < 1e-12, "got {both}");
+        let all = est.estimate(Config(0b111));
+        assert!((all - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_reads_singles_from_campaign() {
+        // Baseline 2.0 s; singles at 1.25 s (1.6×) and 1.6 s (1.25×).
+        let c = campaign(&[(0, 2.0), (1, 1.25), (2, 1.6), (3, 1.0)]);
+        let est = LinearEstimator::fit(&c, 2);
+        assert!((est.single[0] - 1.6).abs() < 1e-12);
+        assert!((est.single[1] - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_is_zero_for_additive_systems() {
+        // Times constructed so gains add exactly in speedup space:
+        // baseline 2.0; single gains 0.6 and 0.25 → pair speedup 1.85.
+        let c = campaign(&[(0, 2.0), (1, 1.25), (2, 1.6), (3, 2.0 / 1.85)]);
+        let est = LinearEstimator::fit(&c, 2);
+        assert!(est.mean_abs_error(&c) < 1e-12);
+    }
+
+    #[test]
+    fn error_positive_for_interacting_systems() {
+        // Pair config much better than the sum of singles.
+        let c = campaign(&[(0, 2.0), (1, 1.8), (2, 1.8), (3, 0.8)]);
+        let est = LinearEstimator::fit(&c, 2);
+        assert!(est.mean_abs_error(&c) > 0.1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Serializable analysis artifacts.
+//!
+//! The driver script of the real tool leaves JSON artifacts behind
+//! (plans, per-configuration statistics) for dashboards and follow-up
+//! runs. [`ExportedAnalysis`] is the stable, fully serializable subset of
+//! [`crate::driver::Analysis`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{DetailedView, SummaryView};
+use crate::driver::Analysis;
+use crate::grouping::AllocationGroup;
+use crate::measure::ConfigMeasurement;
+use crate::metrics::Table2Row;
+
+/// The JSON artifact of one tuning session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExportedAnalysis {
+    pub workload: String,
+    pub groups: Vec<AllocationGroup>,
+    pub measurements: Vec<ConfigMeasurement>,
+    pub runs_per_config: usize,
+    pub single_speedups: Vec<f64>,
+    pub detailed: DetailedView,
+    pub summary: SummaryView,
+    pub table2: Table2Row,
+    /// Profiling-run metadata.
+    pub profile_samples: usize,
+    pub profile_unattributed: usize,
+}
+
+impl ExportedAnalysis {
+    pub fn from_analysis(a: &Analysis) -> Self {
+        ExportedAnalysis {
+            workload: a.workload.clone(),
+            groups: a.groups.clone(),
+            measurements: a.campaign.measurements.clone(),
+            runs_per_config: a.campaign.runs_per_config,
+            single_speedups: a.estimator.single.clone(),
+            detailed: a.detailed.clone(),
+            summary: a.summary.clone(),
+            table2: a.table2.clone(),
+            profile_samples: a.stats.total_samples,
+            profile_unattributed: a.stats.unattributed,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("analysis export")
+    }
+
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+    use crate::measure::CampaignConfig;
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::noise::NoiseModel;
+
+    #[test]
+    fn export_roundtrips_through_json() {
+        let spec = hmpt_workloads::npb::mg::workload();
+        let a = Driver::new(xeon_max_9468())
+            .with_campaign(CampaignConfig {
+                runs_per_config: 1,
+                noise: NoiseModel::none(),
+                base_seed: 0,
+            })
+            .analyze(&spec)
+            .unwrap();
+        let exported = ExportedAnalysis::from_analysis(&a);
+        let json = exported.to_json();
+        let back = ExportedAnalysis::from_json(&json).unwrap();
+        assert_eq!(back.workload, "mg.D");
+        assert_eq!(back.groups.len(), 3);
+        assert_eq!(back.measurements.len(), 8);
+        assert_eq!(back.single_speedups.len(), 3);
+        assert!((back.table2.max_speedup - a.table2.max_speedup).abs() < 1e-12);
+        assert!(back.profile_samples > 0);
+        // The summary view's points survive serialization.
+        assert_eq!(back.summary.points.len(), a.summary.points.len());
+    }
+
+    #[test]
+    fn export_is_plot_ready() {
+        // A downstream plotting script needs (x, y, kind) triples; make
+        // sure the JSON exposes them under stable names.
+        let spec = hmpt_workloads::npb::is::workload();
+        let a = Driver::new(xeon_max_9468())
+            .with_campaign(CampaignConfig {
+                runs_per_config: 1,
+                noise: NoiseModel::none(),
+                base_seed: 0,
+            })
+            .analyze(&spec)
+            .unwrap();
+        let json = ExportedAnalysis::from_analysis(&a).to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let pts = v["summary"]["points"].as_array().unwrap();
+        assert!(!pts.is_empty());
+        assert!(pts[0]["hbm_footprint"].is_number());
+        assert!(pts[0]["speedup"].is_number());
+        assert!(pts[0]["kind"].is_string());
+    }
+}

@@ -1,0 +1,212 @@
+//! The measurement campaign: `2^|AG|` configurations × `n` runs each
+//! ("roughly `2^|AG|·n` measurements … averaging over n runs for each
+//! configuration", §III.A).
+
+use hmpt_sim::machine::Machine;
+use hmpt_sim::noise::NoiseModel;
+use hmpt_workloads::model::WorkloadSpec;
+use hmpt_workloads::runner::{run_once, RunConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::configspace::{enumerate, Config};
+use crate::error::TunerError;
+use crate::grouping::AllocationGroup;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Runs averaged per configuration (the paper's `n`).
+    pub runs_per_config: usize,
+    pub noise: NoiseModel,
+    /// Base RNG seed; each (config, repetition) derives its own stream.
+    pub base_seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { runs_per_config: 3, noise: NoiseModel::default(), base_seed: 42 }
+    }
+}
+
+/// Measurement of one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigMeasurement {
+    pub config: Config,
+    /// Mean runtime over the repetitions, seconds.
+    pub mean_s: f64,
+    /// Sample standard deviation, seconds.
+    pub std_s: f64,
+    /// Fraction of the footprint in HBM.
+    pub hbm_fraction: f64,
+}
+
+/// All measurements of a campaign, DDR-only first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    pub measurements: Vec<ConfigMeasurement>,
+    pub runs_per_config: usize,
+}
+
+impl CampaignResult {
+    /// The DDR-only baseline time.
+    pub fn baseline_s(&self) -> f64 {
+        self.get(Config::DDR_ONLY).expect("baseline always measured").mean_s
+    }
+
+    /// Measurement for one configuration.
+    pub fn get(&self, config: Config) -> Option<&ConfigMeasurement> {
+        self.measurements.iter().find(|m| m.config == config)
+    }
+
+    /// Speedup of `config` relative to the DDR-only baseline.
+    pub fn speedup(&self, config: Config) -> Option<f64> {
+        Some(self.baseline_s() / self.get(config)?.mean_s)
+    }
+
+    /// Total simulated runs performed.
+    pub fn total_runs(&self) -> usize {
+        self.measurements.len() * self.runs_per_config
+    }
+}
+
+/// Measure one configuration (`n` runs, averaged).
+pub fn measure_config(
+    machine: &Machine,
+    spec: &WorkloadSpec,
+    groups: &[AllocationGroup],
+    config: Config,
+    cfg: &CampaignConfig,
+) -> Result<ConfigMeasurement, TunerError> {
+    let plan = config.plan(spec, groups);
+    let mut times = Vec::with_capacity(cfg.runs_per_config);
+    let mut hbm_fraction = 0.0;
+    for rep in 0..cfg.runs_per_config {
+        let seed = cfg
+            .base_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((config.0 as u64) << 8 | rep as u64);
+        let rc = RunConfig { noise: cfg.noise, seed, ibs: None };
+        let out = run_once(machine, spec, &plan, &rc)?;
+        times.push(out.time_s);
+        hbm_fraction = out.hbm_footprint_fraction;
+    }
+    let n = times.len() as f64;
+    let mean = times.iter().sum::<f64>() / n;
+    let var = if times.len() > 1 {
+        times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    Ok(ConfigMeasurement { config, mean_s: mean, std_s: var.sqrt(), hbm_fraction })
+}
+
+/// Run the full exhaustive campaign over all `2^groups` configurations.
+///
+/// Configurations that do not fit the machine's pools (HBM capacity
+/// pressure) are skipped, not fatal — the baseline is always feasible,
+/// so the campaign always has at least one measurement.
+pub fn run_campaign(
+    machine: &Machine,
+    spec: &WorkloadSpec,
+    groups: &[AllocationGroup],
+    cfg: &CampaignConfig,
+) -> Result<CampaignResult, TunerError> {
+    if groups.len() > crate::configspace::MAX_GROUPS {
+        return Err(TunerError::TooManyGroups {
+            groups: groups.len(),
+            limit: crate::configspace::MAX_GROUPS,
+        });
+    }
+    let mut measurements = Vec::with_capacity(1 << groups.len());
+    for config in enumerate(groups.len()) {
+        match measure_config(machine, spec, groups, config, cfg) {
+            Ok(m) => measurements.push(m),
+            Err(TunerError::Alloc(hmpt_alloc::error::AllocError::PoolExhausted { .. })) => {
+                // Infeasible placement on this machine: skip.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(CampaignResult { measurements, runs_per_config: cfg.runs_per_config })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    fn mg_groups() -> (WorkloadSpec, Vec<AllocationGroup>) {
+        let spec = hmpt_workloads::npb::mg::workload();
+        let groups = (0..3)
+            .map(|id| AllocationGroup {
+                id,
+                label: spec.allocations[id].label.clone(),
+                members: vec![id],
+                bytes: spec.allocations[id].bytes,
+                density: 0.33,
+            })
+            .collect();
+        (spec, groups)
+    }
+
+    #[test]
+    fn campaign_measures_every_config() {
+        let m = xeon_max_9468();
+        let (spec, groups) = mg_groups();
+        let cfg = CampaignConfig { runs_per_config: 2, ..Default::default() };
+        let result = run_campaign(&m, &spec, &groups, &cfg).unwrap();
+        assert_eq!(result.measurements.len(), 8);
+        assert_eq!(result.total_runs(), 16);
+        // Baseline has zero HBM.
+        assert_eq!(result.get(Config::DDR_ONLY).unwrap().hbm_fraction, 0.0);
+        // All-HBM config has everything there.
+        let full = result.get(Config::all_hbm(3)).unwrap();
+        assert!((full.hbm_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_hbm_speedup_in_paper_range() {
+        let m = xeon_max_9468();
+        let (spec, groups) = mg_groups();
+        let result = run_campaign(&m, &spec, &groups, &CampaignConfig::default()).unwrap();
+        let s = result.speedup(Config::all_hbm(3)).unwrap();
+        assert!(s > 2.1 && s < 2.4, "mg HBM-only speedup {s}");
+    }
+
+    #[test]
+    fn noise_shows_up_in_std() {
+        let m = xeon_max_9468();
+        let (spec, groups) = mg_groups();
+        let cfg = CampaignConfig { runs_per_config: 5, ..Default::default() };
+        let meas = measure_config(&m, &spec, &groups, Config::DDR_ONLY, &cfg).unwrap();
+        assert!(meas.std_s > 0.0);
+        assert!(meas.std_s / meas.mean_s < 0.05, "cv {}", meas.std_s / meas.mean_s);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = xeon_max_9468();
+        let (spec, groups) = mg_groups();
+        let cfg = CampaignConfig::default();
+        let a = measure_config(&m, &spec, &groups, Config(0b011), &cfg).unwrap();
+        let b = measure_config(&m, &spec, &groups, Config(0b011), &cfg).unwrap();
+        assert_eq!(a.mean_s, b.mean_s);
+    }
+
+    #[test]
+    fn too_many_groups_is_an_error() {
+        let m = xeon_max_9468();
+        let (spec, _) = mg_groups();
+        let groups: Vec<AllocationGroup> = (0..25)
+            .map(|id| AllocationGroup {
+                id,
+                label: format!("g{id}"),
+                members: vec![0],
+                bytes: 1,
+                density: 0.0,
+            })
+            .collect();
+        let err = run_campaign(&m, &spec, &groups, &CampaignConfig::default());
+        assert!(matches!(err, Err(TunerError::TooManyGroups { .. })));
+    }
+}

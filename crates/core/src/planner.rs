@@ -1,0 +1,220 @@
+//! Capacity-constrained placement planning.
+//!
+//! The paper's machine has 128 GiB of HBM — more than any evaluated
+//! benchmark — but the conclusion motivates "efficient use of fast
+//! memory of limited size". This module answers the follow-up question:
+//! *given an HBM budget smaller than the footprint, which groups go in?*
+//!
+//! Three strategies, trading optimality for cost:
+//!
+//! * [`plan_exhaustive`] — scan a measured campaign for the fastest
+//!   configuration that fits (optimal w.r.t. measurements).
+//! * [`plan_greedy`] — density-per-byte knapsack heuristic using only
+//!   profiling data (no measurement campaign needed).
+//! * [`plan_knapsack`] — dynamic-programming knapsack over estimated
+//!   gains (optimal under the linear independence assumption).
+
+use hmpt_sim::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::configspace::Config;
+use crate::estimate::LinearEstimator;
+use crate::grouping::AllocationGroup;
+use crate::measure::CampaignResult;
+
+/// A budgeted placement decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetedPlan {
+    pub config: Config,
+    pub hbm_bytes: Bytes,
+    pub budget: Bytes,
+    /// Speedup (measured or estimated, depending on the strategy).
+    pub speedup: f64,
+}
+
+/// Optimal under measurements: best measured config fitting the budget.
+pub fn plan_exhaustive(
+    campaign: &CampaignResult,
+    groups: &[AllocationGroup],
+    budget: Bytes,
+) -> BudgetedPlan {
+    let mut best = (Config::DDR_ONLY, 1.0f64);
+    for m in &campaign.measurements {
+        if m.config.hbm_bytes(groups) <= budget {
+            let s = campaign.speedup(m.config).unwrap();
+            if s > best.1 {
+                best = (m.config, s);
+            }
+        }
+    }
+    BudgetedPlan {
+        config: best.0,
+        hbm_bytes: best.0.hbm_bytes(groups),
+        budget,
+        speedup: best.1,
+    }
+}
+
+/// Greedy density-per-byte heuristic (profiling data only).
+pub fn plan_greedy(groups: &[AllocationGroup], budget: Bytes) -> BudgetedPlan {
+    let mut order: Vec<&AllocationGroup> = groups.iter().collect();
+    order.sort_by(|a, b| {
+        let da = a.density / a.bytes.max(1) as f64;
+        let db = b.density / b.bytes.max(1) as f64;
+        db.total_cmp(&da)
+    });
+    let mut config = Config::DDR_ONLY;
+    let mut used: Bytes = 0;
+    for g in order {
+        if used + g.bytes <= budget {
+            config = config.with(g.id);
+            used += g.bytes;
+        }
+    }
+    BudgetedPlan { config, hbm_bytes: used, budget, speedup: f64::NAN }
+}
+
+/// DP knapsack over the linear estimator's per-group gains.
+///
+/// Group sizes are quantized to `granularity` (default 256 MiB) to bound
+/// the DP table; the budget check on the final selection uses exact
+/// bytes.
+pub fn plan_knapsack(
+    groups: &[AllocationGroup],
+    estimator: &LinearEstimator,
+    budget: Bytes,
+    granularity: Bytes,
+) -> BudgetedPlan {
+    assert!(granularity > 0);
+    let cap = (budget / granularity) as usize;
+    let weights: Vec<usize> =
+        groups.iter().map(|g| g.bytes.div_ceil(granularity) as usize).collect();
+    let gains: Vec<f64> = groups
+        .iter()
+        .map(|g| (estimator.single.get(g.id).copied().unwrap_or(1.0) - 1.0).max(0.0))
+        .collect();
+
+    // dp[w] = (best gain, chosen set) at weight w.
+    let mut dp: Vec<(f64, u32)> = vec![(0.0, 0); cap + 1];
+    for (i, g) in groups.iter().enumerate() {
+        let w = weights[i];
+        if w > cap {
+            continue;
+        }
+        for j in (w..=cap).rev() {
+            let cand = dp[j - w].0 + gains[i];
+            if cand > dp[j].0 {
+                dp[j] = (cand, dp[j - w].1 | (1u32 << g.id));
+            }
+        }
+    }
+    let best = dp.iter().max_by(|a, b| a.0.total_cmp(&b.0)).copied().unwrap_or((0.0, 0));
+    let mut config = Config(best.1);
+    let mut gain = best.0;
+
+    // Ceil-quantized weights can reject selections that fit exactly; the
+    // greedy pick uses exact bytes, so take it when it estimates better.
+    let greedy = plan_greedy(groups, budget);
+    let greedy_gain: f64 = groups
+        .iter()
+        .filter(|g| greedy.config.contains(g.id))
+        .map(|g| (estimator.single.get(g.id).copied().unwrap_or(1.0) - 1.0).max(0.0))
+        .sum();
+    if greedy_gain > gain {
+        config = greedy.config;
+        gain = greedy_gain;
+    }
+
+    BudgetedPlan {
+        config,
+        hbm_bytes: config.hbm_bytes(groups),
+        budget,
+        speedup: 1.0 + gain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::ConfigMeasurement;
+
+    fn groups(specs: &[(u64, f64)]) -> Vec<AllocationGroup> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(id, &(bytes, density))| AllocationGroup {
+                id,
+                label: format!("g{id}"),
+                members: vec![id],
+                bytes,
+                density,
+            })
+            .collect()
+    }
+
+    const GB: u64 = 1_000_000_000;
+
+    #[test]
+    fn greedy_respects_budget() {
+        let g = groups(&[(4 * GB, 0.5), (2 * GB, 0.3), (GB, 0.2)]);
+        let p = plan_greedy(&g, 3 * GB);
+        assert!(p.hbm_bytes <= 3 * GB);
+        // Densest-per-byte first: g2 (0.2/GB), then g1 (0.15/GB).
+        assert!(p.config.contains(2) && p.config.contains(1));
+        assert!(!p.config.contains(0));
+    }
+
+    #[test]
+    fn knapsack_beats_greedy_on_adversarial_input() {
+        // Greedy takes the dense small item and wastes the budget;
+        // knapsack takes the two larger ones with higher total gain.
+        let g = groups(&[(3 * GB, 0.0), (3 * GB, 0.0), (2 * GB, 0.0)]);
+        let est = LinearEstimator { single: vec![1.30, 1.30, 1.25] };
+        // 6.5 GB: fits both 3 GB groups (after 256 MiB quantization) but
+        // not all three.
+        let budget = 13 * GB / 2;
+        let k = plan_knapsack(&g, &est, budget, 256 * 1024 * 1024);
+        assert_eq!(k.config, Config(0b011), "knapsack {:?}", k.config);
+        assert!((k.speedup - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knapsack_zero_budget_stays_in_ddr() {
+        let g = groups(&[(GB, 0.9)]);
+        let est = LinearEstimator { single: vec![2.0] };
+        let k = plan_knapsack(&g, &est, 0, 256 * 1024 * 1024);
+        assert_eq!(k.config, Config::DDR_ONLY);
+        assert_eq!(k.hbm_bytes, 0);
+    }
+
+    #[test]
+    fn exhaustive_picks_fastest_fitting() {
+        let g = groups(&[(2 * GB, 0.6), (2 * GB, 0.4)]);
+        let campaign = CampaignResult {
+            measurements: vec![
+                ConfigMeasurement { config: Config(0), mean_s: 2.0, std_s: 0.0, hbm_fraction: 0.0 },
+                ConfigMeasurement { config: Config(1), mean_s: 1.3, std_s: 0.0, hbm_fraction: 0.5 },
+                ConfigMeasurement { config: Config(2), mean_s: 1.5, std_s: 0.0, hbm_fraction: 0.5 },
+                ConfigMeasurement { config: Config(3), mean_s: 1.0, std_s: 0.0, hbm_fraction: 1.0 },
+            ],
+            runs_per_config: 1,
+        };
+        // Budget fits only one group: pick [0] (faster than [1]).
+        let p = plan_exhaustive(&campaign, &g, 2 * GB);
+        assert_eq!(p.config, Config(0b01));
+        // Budget fits everything: pick the optimum.
+        let p = plan_exhaustive(&campaign, &g, 4 * GB);
+        assert_eq!(p.config, Config(0b11));
+        assert!((p.speedup - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_strategies_agree_when_budget_is_ample() {
+        let g = groups(&[(GB, 0.5), (GB, 0.3), (GB, 0.2)]);
+        let est = LinearEstimator { single: vec![1.5, 1.3, 1.2] };
+        let k = plan_knapsack(&g, &est, 10 * GB, 256 * 1024 * 1024);
+        let gr = plan_greedy(&g, 10 * GB);
+        assert_eq!(k.config, Config(0b111));
+        assert_eq!(gr.config, Config(0b111));
+    }
+}

@@ -1,0 +1,111 @@
+//! Text and JSON report rendering (Tables I & II, group listings).
+
+use hmpt_workloads::model::WorkloadSpec;
+use serde::Serialize;
+
+use crate::driver::Analysis;
+use crate::metrics::Table2Row;
+
+/// Render the paper's Table I (benchmark configurations) from specs and
+/// their analyses.
+pub fn table1(rows: &[(&WorkloadSpec, usize)]) -> String {
+    let mut out = String::from(
+        "Table I: Benchmarks, their configuration and properties\n\
+         Application                   Memory [GB]   Filtered Allocations\n",
+    );
+    for (spec, filtered) in rows {
+        out.push_str(&format!(
+            "{:<28}  {:>10.2}   {:>20}\n",
+            spec.name,
+            spec.footprint() as f64 / 1e9,
+            filtered
+        ));
+    }
+    out
+}
+
+/// Render the paper's Table II from computed rows.
+pub fn table2(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "Table II: Summary of results\n\
+         Application                     Max    HBM-only  90% Usage [%]\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>6.2}x {:>6.2}x {:>10.1}\n",
+            r.name, r.max_speedup, r.hbm_only_speedup, r.usage_90_pct
+        ));
+    }
+    out
+}
+
+/// Render an analysis's group table (sizes, densities, ranks).
+pub fn groups(analysis: &Analysis) -> String {
+    let mut out = format!(
+        "{}: {} groups\n{:<4} {:<16} {:>10} {:>9} {:>8}\n",
+        analysis.workload, analysis.groups.len(), "id", "label", "size [GB]", "density", "members"
+    );
+    for g in &analysis.groups {
+        out.push_str(&format!(
+            "{:<4} {:<16} {:>10.2} {:>9.3} {:>8}\n",
+            g.id,
+            g.label,
+            g.bytes as f64 / 1e9,
+            g.density,
+            g.members.len()
+        ));
+    }
+    out
+}
+
+/// Serialize any report payload as pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("report serialization")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+    use crate::measure::CampaignConfig;
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::noise::NoiseModel;
+
+    fn analysis() -> (WorkloadSpec, Analysis) {
+        let spec = hmpt_workloads::npb::mg::workload();
+        let a = Driver::new(xeon_max_9468())
+            .with_campaign(CampaignConfig {
+                runs_per_config: 1,
+                noise: NoiseModel::none(),
+                base_seed: 0,
+            })
+            .analyze(&spec)
+            .unwrap();
+        (spec, a)
+    }
+
+    #[test]
+    fn tables_render() {
+        let (spec, a) = analysis();
+        let t1 = table1(&[(&spec, a.groups.len())]);
+        assert!(t1.contains("mg.D") && t1.contains("26.46"));
+        let t2 = table2(std::slice::from_ref(&a.table2));
+        assert!(t2.contains("mg.D"));
+    }
+
+    #[test]
+    fn groups_table_lists_all() {
+        let (_, a) = analysis();
+        let g = groups(&a);
+        assert!(g.contains(" u ") || g.contains("u "));
+        assert_eq!(g.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn json_roundtrips_table2() {
+        let (_, a) = analysis();
+        let json = to_json(&a.table2);
+        let back: Table2Row = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, a.table2.name);
+    }
+}

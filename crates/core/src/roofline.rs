@@ -1,0 +1,180 @@
+//! The roofline model (Fig 8): DDR and HBM bandwidth roofs, vector and
+//! scalar FMA peaks, and workload operating points with arithmetic
+//! intensity "roughly estimated from the number of memory read requests
+//! fulfilled by DRAM".
+
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_workloads::model::WorkloadSpec;
+use hmpt_workloads::runner::{run_once, RunConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TunerError;
+
+/// The machine-side roofs of Fig 8 (single socket).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Roofs {
+    pub ddr_bw_gbs: f64,
+    pub hbm_bw_gbs: f64,
+    pub l1_bw_gbs: f64,
+    pub l2_bw_gbs: f64,
+    pub vector_peak_gflops: f64,
+    pub scalar_peak_gflops: f64,
+}
+
+impl Roofs {
+    /// Single-socket roofs of `machine` at its base clock.
+    pub fn of(machine: &Machine) -> Roofs {
+        let cores = machine.topology.cores_per_socket() as f64;
+        // Fig 8 labels: L1 = 128 B/cycle/core, L2 = 64 B/cycle/core.
+        let l1 = machine.compute.freq_ghz * 128.0 * cores;
+        let l2 = machine.compute.freq_ghz * 64.0 * cores;
+        Roofs {
+            ddr_bw_gbs: machine.socket_bw(PoolKind::Ddr, 12.0),
+            hbm_bw_gbs: machine.socket_bw(PoolKind::Hbm, 12.0),
+            l1_bw_gbs: l1,
+            l2_bw_gbs: l2,
+            vector_peak_gflops: machine.compute.peak_vector_gflops(cores),
+            scalar_peak_gflops: machine.compute.peak_scalar_gflops(cores),
+        }
+    }
+
+    /// Attainable GFLOP/s at arithmetic intensity `ai` from `pool`.
+    pub fn attainable(&self, ai: f64, pool: PoolKind) -> f64 {
+        let bw = match pool {
+            PoolKind::Ddr => self.ddr_bw_gbs,
+            PoolKind::Hbm => self.hbm_bw_gbs,
+        };
+        (ai * bw).min(self.vector_peak_gflops)
+    }
+
+    /// The AI where a pool's bandwidth roof meets the vector peak.
+    pub fn ridge_point(&self, pool: PoolKind) -> f64 {
+        let bw = match pool {
+            PoolKind::Ddr => self.ddr_bw_gbs,
+            PoolKind::Hbm => self.hbm_bw_gbs,
+        };
+        self.vector_peak_gflops / bw
+    }
+}
+
+/// One workload's operating points (measured all-DDR and all-HBM).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    pub name: String,
+    /// FLOP per DRAM byte, from the counter channel.
+    pub arithmetic_intensity: f64,
+    pub gflops_ddr: f64,
+    pub gflops_hbm: f64,
+}
+
+/// Measure the Fig 8 operating point of one workload.
+pub fn measure_point(machine: &Machine, spec: &WorkloadSpec) -> Result<RooflinePoint, TunerError> {
+    let cfg = RunConfig::exact();
+    let ddr = run_once(machine, spec, &PlacementPlan::all_in(PoolKind::Ddr), &cfg)?;
+    let hbm = run_once(machine, spec, &PlacementPlan::all_in(PoolKind::Hbm), &cfg)?;
+    Ok(RooflinePoint {
+        name: spec.name.clone(),
+        arithmetic_intensity: ddr.counters.arithmetic_intensity(),
+        gflops_ddr: ddr.counters.gflops(),
+        gflops_hbm: hbm.counters.gflops(),
+    })
+}
+
+/// The full Fig 8: roofs plus a point per workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RooflineModel {
+    pub roofs: Roofs,
+    pub points: Vec<RooflinePoint>,
+}
+
+impl RooflineModel {
+    pub fn build(machine: &Machine, specs: &[WorkloadSpec]) -> Result<Self, TunerError> {
+        let points =
+            specs.iter().map(|s| measure_point(machine, s)).collect::<Result<Vec<_>, _>>()?;
+        Ok(RooflineModel { roofs: Roofs::of(machine), points })
+    }
+
+    /// Text rendering of the figure's content.
+    pub fn render(&self) -> String {
+        let r = &self.roofs;
+        let mut out = format!(
+            "Roofline (single socket @2.1 GHz)\n  L1 BW {:.1} GB/s | L2 BW {:.1} GB/s | DDR {:.1} GB/s | HBM {:.1} GB/s\n  DP Vector FMA Peak {:.1} GFLOP/s | DP Scalar FMA Peak {:.1} GFLOP/s\n",
+            r.l1_bw_gbs, r.l2_bw_gbs, r.ddr_bw_gbs, r.hbm_bw_gbs,
+            r.vector_peak_gflops, r.scalar_peak_gflops
+        );
+        out.push_str(&format!(
+            "  {:<10} {:>10} {:>12} {:>12}\n",
+            "workload", "AI [F/B]", "DDR GFLOP/s", "HBM GFLOP/s"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:<10} {:>10.3} {:>12.1} {:>12.1}\n",
+                p.name, p.arithmetic_intensity, p.gflops_ddr, p.gflops_hbm
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn roofs_match_fig8_labels() {
+        let r = Roofs::of(&xeon_max_9468());
+        assert!((r.vector_peak_gflops - 3225.6).abs() < 1e-6);
+        assert!((r.scalar_peak_gflops - 403.2).abs() < 1e-6);
+        assert!((r.ddr_bw_gbs - 200.0).abs() < 1e-6);
+        assert!((r.hbm_bw_gbs - 700.0).abs() < 1e-6);
+        assert!((r.l1_bw_gbs - 12902.4).abs() < 1e-6);
+        assert!((r.l2_bw_gbs - 6451.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roofs::of(&xeon_max_9468());
+        // Bandwidth-bound region.
+        assert!((r.attainable(0.1, PoolKind::Ddr) - 20.0).abs() < 1e-9);
+        assert!((r.attainable(0.1, PoolKind::Hbm) - 70.0).abs() < 1e-9);
+        // Compute-bound region.
+        assert!((r.attainable(1e4, PoolKind::Ddr) - 3225.6).abs() < 1e-9);
+        // Ridge points: HBM's is left of DDR's.
+        assert!(r.ridge_point(PoolKind::Hbm) < r.ridge_point(PoolKind::Ddr));
+    }
+
+    #[test]
+    fn mg_point_sits_on_the_bandwidth_roofs() {
+        let m = xeon_max_9468();
+        let p = measure_point(&m, &hmpt_workloads::npb::mg::workload()).unwrap();
+        // MG is bandwidth-bound in DDR: point on the DDR roof.
+        let roof_ddr = p.arithmetic_intensity * 200.0;
+        assert!((p.gflops_ddr - roof_ddr).abs() / roof_ddr < 0.05, "{} vs {roof_ddr}", p.gflops_ddr);
+        // In HBM it lifts but stays below the HBM roof (compute floor).
+        assert!(p.gflops_hbm > p.gflops_ddr * 2.0);
+        assert!(p.gflops_hbm <= p.arithmetic_intensity * 700.0 * 1.01);
+    }
+
+    #[test]
+    fn points_never_exceed_their_roof() {
+        let m = xeon_max_9468();
+        let model = RooflineModel::build(&m, &hmpt_workloads::table2_workloads()).unwrap();
+        for p in &model.points {
+            let roofs = &model.roofs;
+            assert!(
+                p.gflops_ddr <= roofs.attainable(p.arithmetic_intensity, PoolKind::Ddr) * 1.01,
+                "{} DDR point above roof",
+                p.name
+            );
+            assert!(
+                p.gflops_hbm <= roofs.attainable(p.arithmetic_intensity, PoolKind::Hbm) * 1.01,
+                "{} HBM point above roof",
+                p.name
+            );
+        }
+        assert!(model.render().contains("mg.D"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Sample → allocation attribution through the registry.
+
+use std::collections::HashMap;
+
+use hmpt_alloc::registry::Registry;
+use hmpt_alloc::site::SiteId;
+
+use crate::ibs::MemSample;
+
+/// Result of attributing a batch of samples.
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// Samples charged to each site.
+    pub by_site: HashMap<SiteId, Vec<MemSample>>,
+    /// Samples whose address matched no live allocation (skid past the
+    /// end, freed memory, stack/code addresses on real hardware).
+    pub unattributed: usize,
+}
+
+impl Attribution {
+    /// Total attributed samples.
+    pub fn attributed(&self) -> usize {
+        self.by_site.values().map(Vec::len).sum()
+    }
+
+    /// Sample count per site.
+    pub fn counts(&self) -> HashMap<SiteId, usize> {
+        self.by_site.iter().map(|(k, v)| (*k, v.len())).collect()
+    }
+}
+
+/// Attribute raw samples to allocation sites using the registry's live
+/// address map.
+pub fn attribute(samples: &[MemSample], registry: &Registry) -> Attribution {
+    let mut out = Attribution::default();
+    for s in samples {
+        match registry.lookup(s.addr) {
+            Some(rec) => out.by_site.entry(rec.site).or_default().push(*s),
+            None => out.unattributed += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_alloc::plan::PlacementPlan;
+    use hmpt_alloc::shim::Shim;
+    use hmpt_alloc::site::StackTrace;
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::pool::PoolKind;
+    use hmpt_sim::units::mib;
+
+    fn sample(addr: u64) -> MemSample {
+        MemSample { addr, latency_ns: 95.0, is_write: false, pool: PoolKind::Ddr }
+    }
+
+    #[test]
+    fn samples_land_on_their_sites() {
+        let machine = xeon_max_9468();
+        let mut shim = Shim::new(&machine, PlacementPlan::default());
+        let ta = StackTrace::from_symbols(&["a", "main"]);
+        let tb = StackTrace::from_symbols(&["b", "main"]);
+        let a = shim.malloc(&ta, mib(64)).unwrap();
+        let b = shim.malloc(&tb, mib(64)).unwrap();
+
+        let samples = vec![
+            sample(a.addr()),
+            sample(a.addr() + mib(1)),
+            sample(b.addr() + 17),
+            sample(0xdead_beef), // nowhere
+        ];
+        let attr = attribute(&samples, shim.registry());
+        assert_eq!(attr.attributed(), 3);
+        assert_eq!(attr.unattributed, 1);
+        assert_eq!(attr.by_site[&ta.site_id()].len(), 2);
+        assert_eq!(attr.by_site[&tb.site_id()].len(), 1);
+        assert_eq!(attr.counts()[&ta.site_id()], 2);
+    }
+
+    #[test]
+    fn freed_allocations_do_not_attract_samples() {
+        let machine = xeon_max_9468();
+        let mut shim = Shim::new(&machine, PlacementPlan::default());
+        let t = StackTrace::from_symbols(&["gone", "main"]);
+        let a = shim.malloc(&t, mib(8)).unwrap();
+        let addr = a.addr();
+        shim.free(a.id).unwrap();
+        let attr = attribute(&[sample(addr)], shim.registry());
+        assert_eq!(attr.attributed(), 0);
+        assert_eq!(attr.unattributed, 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let machine = xeon_max_9468();
+        let shim = Shim::new(&machine, PlacementPlan::default());
+        let attr = attribute(&[], shim.registry());
+        assert_eq!(attr.attributed(), 0);
+        assert_eq!(attr.unattributed, 0);
+    }
+}

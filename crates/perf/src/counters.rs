@@ -1,0 +1,137 @@
+//! Per-pool byte/FLOP counters: the "Linux perf" counter channel.
+//!
+//! The paper estimates arithmetic intensity "from the number of memory
+//! read requests fulfilled by DRAM" — i.e. uncore counters per memory
+//! controller plus core FLOP counts. The simulator knows these exactly;
+//! accumulating them per run gives the Fig 8 roofline operating points.
+
+use hmpt_sim::cost::PhaseCost;
+use hmpt_sim::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated hardware counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    pub ddr_bytes: Bytes,
+    pub hbm_bytes: Bytes,
+    pub flops: f64,
+    pub elapsed_s: f64,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate one priced phase (scaled by its repeat count).
+    pub fn add_phase(&mut self, cost: &PhaseCost, repeats: u64) {
+        self.ddr_bytes += cost.bytes_ddr * repeats;
+        self.hbm_bytes += cost.bytes_hbm * repeats;
+        self.flops += cost.flops * repeats as f64;
+        self.elapsed_s += cost.time_s * repeats as f64;
+    }
+
+    /// Total DRAM traffic.
+    pub fn dram_bytes(&self) -> Bytes {
+        self.ddr_bytes + self.hbm_bytes
+    }
+
+    /// Arithmetic intensity in FLOP/byte of DRAM traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.dram_bytes();
+        if b == 0 {
+            f64::INFINITY
+        } else {
+            self.flops / b as f64
+        }
+    }
+
+    /// Achieved GFLOP/s over the accumulated elapsed time.
+    pub fn gflops(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.flops / 1e9 / self.elapsed_s
+        }
+    }
+
+    /// Achieved combined DRAM bandwidth, GB/s.
+    pub fn dram_bandwidth_gbs(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.dram_bytes() as f64 / 1e9 / self.elapsed_s
+        }
+    }
+
+    /// Merge another counter set (e.g. across benchmark iterations).
+    pub fn merge(&mut self, other: &Counters) {
+        self.ddr_bytes += other.ddr_bytes;
+        self.hbm_bytes += other.hbm_bytes;
+        self.flops += other.flops;
+        self.elapsed_s += other.elapsed_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::cost::{phase_time, ExecCtx, PhaseLoad};
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::pool::PoolKind;
+    use hmpt_sim::stream::{Direction, ResolvedStream};
+
+    fn priced() -> PhaseCost {
+        let m = xeon_max_9468();
+        let streams = [
+            ResolvedStream::seq(10_000_000_000, PoolKind::Ddr, Direction::Read),
+            ResolvedStream::seq(5_000_000_000, PoolKind::Hbm, Direction::Write),
+        ];
+        phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&streams).with_flops(1.5e12))
+    }
+
+    #[test]
+    fn accumulation_scales_with_repeats() {
+        let cost = priced();
+        let mut c = Counters::new();
+        c.add_phase(&cost, 3);
+        assert_eq!(c.ddr_bytes, 30_000_000_000);
+        assert_eq!(c.hbm_bytes, 15_000_000_000);
+        assert!((c.flops - 4.5e12).abs() < 1.0);
+        assert!((c.elapsed_s - 3.0 * cost.time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_intensity_matches_hand_math() {
+        let mut c = Counters::new();
+        c.add_phase(&priced(), 1);
+        let ai = c.arithmetic_intensity();
+        assert!((ai - 1.5e12 / 15e9).abs() < 1e-9, "ai {ai}");
+    }
+
+    #[test]
+    fn empty_counters_edge_cases() {
+        let c = Counters::new();
+        assert_eq!(c.gflops(), 0.0);
+        assert_eq!(c.dram_bandwidth_gbs(), 0.0);
+        assert!(c.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Counters::new();
+        a.add_phase(&priced(), 1);
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.dram_bytes(), 2 * a.dram_bytes());
+        assert!((b.flops - 2.0 * a.flops).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_consistent_with_phase() {
+        let cost = priced();
+        let mut c = Counters::new();
+        c.add_phase(&cost, 1);
+        assert!((c.dram_bandwidth_gbs() - cost.throughput_gbs()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! Latency histograms over sampled accesses.
+//!
+//! Real IBS tooling (`perf mem report`) buckets sample latencies to
+//! separate cache hits, local-DRAM and remote-DRAM service; the paper's
+//! tool estimates "latency, cache hit rate, etc." per allocation. This
+//! module provides the bucketing and percentile machinery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ibs::MemSample;
+
+/// A log-scaled latency histogram (ns).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket upper bounds in ns (last bucket is open-ended).
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub total: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Buckets covering L1 (~1 ns) through remote DRAM (~500 ns).
+    pub fn new() -> Self {
+        let bounds: Vec<f64> =
+            [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 96.0, 128.0, 192.0, 256.0, 512.0].to_vec();
+        let n = bounds.len() + 1;
+        LatencyHistogram {
+            bounds,
+            counts: vec![0; n],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    pub fn record(&mut self, latency_ns: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| latency_ns <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(latency_ns);
+        self.max = self.max.max(latency_ns);
+        self.sum += latency_ns;
+    }
+
+    /// Build from a batch of samples.
+    pub fn from_samples<'a>(samples: impl IntoIterator<Item = &'a MemSample>) -> Self {
+        let mut h = Self::new();
+        for s in samples {
+            h.record(s.latency_ns);
+        }
+        h
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Approximate percentile (bucket upper bound containing it).
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0 * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return self.bounds.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples at or below `bound_ns` (a cache-hit-rate
+    /// estimate when `bound_ns` is set at the L3 latency).
+    pub fn fraction_below(&self, bound_ns: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let upper = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            if upper <= bound_ns {
+                acc += c;
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+
+    /// ASCII rendering, one row per non-empty bucket.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = 40usize;
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut lo = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let hi = self.bounds.get(i).copied();
+            if c > 0 {
+                let bar = "#".repeat((c as f64 / peak as f64 * width as f64).ceil() as usize);
+                match hi {
+                    Some(hi) => out.push_str(&format!("{lo:>6.0}-{hi:<6.0} ns {c:>8} {bar}\n")),
+                    None => out.push_str(&format!("{lo:>6.0}+{:<6} ns {c:>8} {bar}\n", "")),
+                }
+            }
+            lo = hi.unwrap_or(lo);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::pool::PoolKind;
+
+    fn sample(lat: f64) -> MemSample {
+        MemSample { addr: 0, latency_ns: lat, is_write: false, pool: PoolKind::Ddr }
+    }
+
+    #[test]
+    fn records_and_means() {
+        let mut h = LatencyHistogram::new();
+        for lat in [10.0, 20.0, 90.0, 120.0] {
+            h.record(lat);
+        }
+        assert_eq!(h.total, 4);
+        assert!((h.mean() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_distribution() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(95.0); // DRAM bucket (64, 96]
+        }
+        for _ in 0..10 {
+            h.record(3.0); // L1-ish bucket
+        }
+        assert!(h.percentile(5.0) <= 4.0);
+        assert!(h.percentile(50.0) > 64.0 && h.percentile(50.0) <= 96.0);
+        assert!(h.percentile(99.0) <= 96.0);
+    }
+
+    #[test]
+    fn hit_rate_estimate() {
+        let samples: Vec<MemSample> = (0..100)
+            .map(|i| sample(if i < 30 { 20.0 } else { 95.0 }))
+            .collect();
+        let h = LatencyHistogram::from_samples(&samples);
+        // 30 % of accesses at ≤32 ns → L3-or-better hits.
+        assert!((h.fraction_below(32.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.fraction_below(100.0), 0.0);
+        assert!(h.render().is_empty());
+    }
+
+    #[test]
+    fn render_shows_buckets() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..5 {
+            h.record(95.0);
+        }
+        let s = h.render();
+        assert!(s.contains("ns"), "{s}");
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn open_ended_bucket_catches_outliers() {
+        let mut h = LatencyHistogram::new();
+        h.record(10_000.0);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        assert_eq!(h.percentile(100.0), 10_000.0);
+    }
+}

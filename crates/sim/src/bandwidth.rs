@@ -1,0 +1,109 @@
+//! Saturating per-tile bandwidth curves (paper Fig 2).
+//!
+//! On the real machine, DDR bandwidth saturates with only a few active
+//! threads per tile (two DDR5 channels are easy to fill), while HBM keeps
+//! scaling almost linearly up to all 12 threads of a tile. Both behaviours
+//! are captured by a two-parameter saturating curve
+//!
+//! ```text
+//! bw(t) = sustained · x·(1+s) / (x+s),   x = t / t_max
+//! ```
+//!
+//! where `s` controls how early the curve bends: small `s` → early
+//! saturation (DDR), large `s` → near-linear scaling (HBM). The curve is
+//! exact at `t = t_max` and monotonically increasing.
+
+use serde::{Deserialize, Serialize};
+
+/// A saturating bandwidth-vs-threads curve for one tile of one pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BwCurve {
+    /// Sustained bandwidth per tile at `t_max` threads, GB/s.
+    pub sustained_tile: f64,
+    /// Thread count at which `sustained_tile` is reached (12 on SPR).
+    pub t_max: f64,
+    /// Shape parameter: saturation knee. Smaller saturates earlier.
+    pub knee: f64,
+}
+
+impl BwCurve {
+    /// Create a curve. `knee` must be positive.
+    pub fn new(sustained_tile: f64, t_max: f64, knee: f64) -> Self {
+        assert!(sustained_tile > 0.0 && t_max > 0.0 && knee > 0.0);
+        Self { sustained_tile, t_max, knee }
+    }
+
+    /// Bandwidth of one tile with `threads` active threads, GB/s.
+    ///
+    /// Fractional thread counts are allowed (the cost model averages over
+    /// tiles when a thread count does not divide evenly).
+    pub fn bw_per_tile(&self, threads: f64) -> f64 {
+        if threads <= 0.0 {
+            return 0.0;
+        }
+        let x = (threads / self.t_max).min(1.0);
+        self.sustained_tile * x * (1.0 + self.knee) / (x + self.knee)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DDR curve used by the Xeon Max preset: 50 GB/s per tile sustained.
+    fn ddr() -> BwCurve {
+        BwCurve::new(50.0, 12.0, 0.05)
+    }
+
+    /// HBM curve used by the Xeon Max preset: 175 GB/s per tile sustained.
+    fn hbm() -> BwCurve {
+        BwCurve::new(175.0, 12.0, 0.8)
+    }
+
+    #[test]
+    fn reaches_sustained_at_t_max() {
+        assert!((ddr().bw_per_tile(12.0) - 50.0).abs() < 1e-9);
+        assert!((hbm().bw_per_tile(12.0) - 175.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_threads_zero_bandwidth() {
+        assert_eq!(ddr().bw_per_tile(0.0), 0.0);
+        assert_eq!(hbm().bw_per_tile(-3.0), 0.0);
+    }
+
+    #[test]
+    fn monotonically_increasing() {
+        for curve in [ddr(), hbm()] {
+            let mut prev = 0.0;
+            for t in 1..=12 {
+                let b = curve.bw_per_tile(t as f64);
+                assert!(b > prev, "{curve:?} not monotone at t={t}");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn ddr_saturates_early_hbm_late() {
+        // Fig 2 shape: DDR is within 10 % of peak by 4 threads/tile,
+        // HBM is still below 80 % of peak at 6 threads/tile.
+        assert!(ddr().bw_per_tile(4.0) > 0.9 * 50.0);
+        assert!(hbm().bw_per_tile(6.0) < 0.8 * 175.0);
+        // ...but HBM already beats DDR peak with a single thread per tile.
+        assert!(hbm().bw_per_tile(2.0) > 50.0);
+    }
+
+    #[test]
+    fn clamped_beyond_t_max() {
+        // Oversubscription does not create bandwidth.
+        assert!((ddr().bw_per_tile(24.0) - ddr().bw_per_tile(12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn socket_figures_match_paper() {
+        // Four tiles per socket: 200 GB/s DDR, 700 GB/s HBM sustained.
+        assert!((4.0 * ddr().bw_per_tile(12.0) - 200.0).abs() < 1e-9);
+        assert!((4.0 * hbm().bw_per_tile(12.0) - 700.0).abs() < 1e-9);
+    }
+}

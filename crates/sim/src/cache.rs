@@ -1,0 +1,169 @@
+//! On-chip cache hierarchy and the pointer-chase latency curve (Fig 3).
+//!
+//! Fig 3 of the paper sweeps a pointer chase over windows from 8 kB to
+//! 256 MB and reads off the L1/L2/L3 plateaus followed by the DDR and HBM
+//! plateaus (HBM ≈ 20 % higher). We reproduce the curve with a standard
+//! working-set model: for a chase over a window `W`, the fraction of
+//! accesses hitting a cache of capacity `C` follows a smooth hit-rate
+//! function, and the observed latency is the hit-fraction-weighted blend
+//! of the level latencies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Bytes;
+
+/// One cache level as seen by a single core.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheLevel {
+    pub name: String,
+    /// Effective capacity visible to the chasing core, bytes.
+    pub capacity: Bytes,
+    /// Load-to-use latency at this level, ns.
+    pub latency_ns: f64,
+}
+
+/// An inclusive-ish cache hierarchy, ordered from L1 outwards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheHierarchy {
+    pub levels: Vec<CacheLevel>,
+}
+
+impl CacheHierarchy {
+    /// Create a hierarchy; levels must be ordered by strictly increasing
+    /// capacity and latency.
+    pub fn new(levels: Vec<CacheLevel>) -> Self {
+        assert!(!levels.is_empty());
+        for w in levels.windows(2) {
+            assert!(
+                w[1].capacity > w[0].capacity && w[1].latency_ns > w[0].latency_ns,
+                "cache levels must grow outward"
+            );
+        }
+        Self { levels }
+    }
+
+    /// Probability that a random line of a uniformly chased window of
+    /// `window` bytes hits in a cache of `capacity` bytes.
+    ///
+    /// A fully associative cache with perfect LRU under a uniform chase
+    /// would give `min(1, C/W)`; real caches soften the knee. We apply a
+    /// mild smoothing exponent so the simulated curve has the rounded
+    /// transitions visible in Fig 3.
+    fn hit_fraction(window: Bytes, capacity: Bytes) -> f64 {
+        if window == 0 {
+            return 1.0;
+        }
+        let ratio = capacity as f64 / window as f64;
+        if ratio >= 1.0 {
+            1.0
+        } else {
+            // Soften: slightly below the ideal C/W near the knee.
+            ratio.powf(1.15)
+        }
+    }
+
+    /// Average chase latency (ns) over a window of `window` bytes when
+    /// misses are served from memory with `mem_latency_ns`.
+    ///
+    /// Levels filter accesses outward: the L2 only sees L1 misses, etc.
+    pub fn chase_latency(&self, window: Bytes, mem_latency_ns: f64) -> f64 {
+        let mut remaining = 1.0; // fraction of accesses that reach this level
+        let mut total = 0.0;
+        for level in &self.levels {
+            let hit = Self::hit_fraction(window, level.capacity);
+            let served = remaining * hit;
+            total += served * level.latency_ns;
+            remaining -= served;
+            if remaining <= 0.0 {
+                return total;
+            }
+        }
+        total + remaining * mem_latency_ns
+    }
+
+    /// Capacity of the outermost (last-level) cache.
+    pub fn llc_capacity(&self) -> Bytes {
+        self.levels.last().map(|l| l.capacity).unwrap_or(0)
+    }
+}
+
+/// Single-core view of the SPR hierarchy used by the Xeon Max preset.
+///
+/// L3 is shared by the whole socket but a single-core chase typically has
+/// the 105 MB to itself on an otherwise idle machine, matching the Fig 3
+/// L3 plateau reaching past 2^16 kB windows.
+pub fn spr_core_hierarchy() -> CacheHierarchy {
+    use crate::units::{kib, mib};
+    CacheHierarchy::new(vec![
+        CacheLevel { name: "L1d".into(), capacity: kib(48), latency_ns: 2.2 },
+        CacheLevel { name: "L2".into(), capacity: mib(2), latency_ns: 7.5 },
+        CacheLevel { name: "L3".into(), capacity: mib(105), latency_ns: 33.0 },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{gib, kib, mib};
+
+    const DDR_LAT: f64 = 95.0;
+    const HBM_LAT: f64 = 114.0;
+
+    #[test]
+    fn tiny_window_is_l1_latency() {
+        let h = spr_core_hierarchy();
+        let lat = h.chase_latency(kib(8), DDR_LAT);
+        assert!((lat - 2.2).abs() < 0.3, "got {lat}");
+    }
+
+    #[test]
+    fn l2_plateau() {
+        let h = spr_core_hierarchy();
+        // Window comfortably between L1 and L2 capacities.
+        let lat = h.chase_latency(kib(512), DDR_LAT);
+        assert!(lat > 5.0 && lat < 12.0, "got {lat}");
+    }
+
+    #[test]
+    fn l3_plateau() {
+        let h = spr_core_hierarchy();
+        let lat = h.chase_latency(mib(32), DDR_LAT);
+        assert!(lat > 25.0 && lat < 40.0, "got {lat}");
+    }
+
+    #[test]
+    fn dram_plateau_reached_at_large_windows() {
+        let h = spr_core_hierarchy();
+        let ddr = h.chase_latency(gib(2), DDR_LAT);
+        let hbm = h.chase_latency(gib(2), HBM_LAT);
+        assert!(ddr > 0.9 * DDR_LAT, "got {ddr}");
+        // Fig 3: HBM ~20 % above DDR at the far right of the sweep.
+        let penalty = hbm / ddr;
+        assert!(penalty > 1.15 && penalty < 1.25, "got {penalty}");
+    }
+
+    #[test]
+    fn latency_monotone_in_window() {
+        let h = spr_core_hierarchy();
+        let mut prev = 0.0;
+        for exp in 3..=18 {
+            let lat = h.chase_latency(kib(1) << exp, DDR_LAT);
+            assert!(lat >= prev, "non-monotone at 2^{exp} kB");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grow outward")]
+    fn rejects_unordered_levels() {
+        CacheHierarchy::new(vec![
+            CacheLevel { name: "a".into(), capacity: mib(2), latency_ns: 5.0 },
+            CacheLevel { name: "b".into(), capacity: kib(48), latency_ns: 9.0 },
+        ]);
+    }
+
+    #[test]
+    fn llc_capacity_is_l3() {
+        assert_eq!(spr_core_hierarchy().llc_capacity(), mib(105));
+    }
+}

@@ -1,0 +1,520 @@
+//! The phase cost model: wall-clock time of one workload phase as a
+//! function of stream placement (the observable the whole paper is about).
+//!
+//! A phase runs all its streams concurrently; its duration is the maximum
+//! of the independently overlapping resources, roofline-style:
+//!
+//! * per-pool busy time (sequential traffic at the pool's saturating
+//!   bandwidth + random traffic at the MLP-limited random throughput),
+//! * the per-socket fabric cap on combined traffic (mixing pools cannot
+//!   exceed HBM-only throughput — Fig 5b),
+//! * serially dependent pointer-chase chains,
+//! * the compute floor (priced at the phase's *effective* compute
+//!   throughput, which for real kernels sits far below vector FMA peak).
+//!
+//! Pure store streams to DDR in a phase that also reads from HBM are
+//! derated by [`Machine::cross_write_penalty`], graded by the HBM share
+//! of the phase's read traffic. This reproduces the asymmetric `HBM→DDR`
+//! copy behaviour of Fig 5a (full penalty when all reads come from HBM)
+//! without penalizing in-place updates of DDR-resident arrays, which keep
+//! cache-line ownership and do not exhibit the effect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::Machine;
+use crate::pool::PoolKind;
+use crate::stream::{AccessPattern, Direction, ResolvedStream};
+use crate::units::Bytes;
+
+/// Which threads run the phase. `tiles` counts *active* tiles across all
+/// sockets (4 = one full socket on the Xeon Max preset).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecCtx {
+    pub threads_per_tile: f64,
+    pub tiles: usize,
+}
+
+impl ExecCtx {
+    /// One full socket of the Xeon Max: 4 tiles × 12 threads.
+    pub fn full_socket() -> Self {
+        ExecCtx { threads_per_tile: 12.0, tiles: 4 }
+    }
+
+    /// A partial socket with `t` threads per tile on all 4 tiles.
+    pub fn socket_threads_per_tile(t: f64) -> Self {
+        ExecCtx { threads_per_tile: t, tiles: 4 }
+    }
+
+    /// The whole dual-socket machine: 8 tiles × 12 threads. Pool
+    /// bandwidths scale with the active tiles (each tile owns its own
+    /// HBM stack and DDR channels); cross-socket traffic is assumed
+    /// node-local, as the paper binds both data and threads per socket.
+    pub fn whole_machine() -> Self {
+        ExecCtx { threads_per_tile: 12.0, tiles: 8 }
+    }
+
+    /// Total active cores (threads are pinned 1:1 on the testbed).
+    pub fn cores(&self) -> f64 {
+        self.threads_per_tile * self.tiles as f64
+    }
+}
+
+/// Per-phase sustained-bandwidth derating, relative to the STREAM-copy
+/// calibration. Captures kernel-dependent effects (write-allocate traffic,
+/// access mixes) that reduce achievable HBM bandwidth more than DDR
+/// (Fig 5b: the Add kernel tops out near 600 GB/s on HBM while DDR still
+/// reaches its 200 GB/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolEfficiency {
+    pub ddr: f64,
+    pub hbm: f64,
+}
+
+impl Default for PoolEfficiency {
+    fn default() -> Self {
+        Self { ddr: 1.0, hbm: 1.0 }
+    }
+}
+
+impl PoolEfficiency {
+    pub fn of(&self, kind: PoolKind) -> f64 {
+        match kind {
+            PoolKind::Ddr => self.ddr,
+            PoolKind::Hbm => self.hbm,
+        }
+    }
+}
+
+/// Everything needed to price one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseLoad<'a> {
+    pub streams: &'a [ResolvedStream],
+    /// Double-precision FLOPs performed by the phase (for counters and
+    /// the roofline operating point).
+    pub flops: f64,
+    /// Effective compute throughput per core, GFLOP/s. Real kernels sit
+    /// far below the 67.2 GFLOP/s vector peak; `None` prices compute at
+    /// peak (microbenchmarks).
+    pub gflops_per_core_cap: Option<f64>,
+    pub eff: PoolEfficiency,
+}
+
+impl<'a> PhaseLoad<'a> {
+    /// A pure-traffic load (no compute floor, default efficiency).
+    pub fn streams_only(streams: &'a [ResolvedStream]) -> Self {
+        PhaseLoad { streams, flops: 0.0, gflops_per_core_cap: None, eff: PoolEfficiency::default() }
+    }
+
+    pub fn with_flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    pub fn with_compute_cap(mut self, gflops_per_core: f64) -> Self {
+        self.gflops_per_core_cap = Some(gflops_per_core);
+        self
+    }
+
+    pub fn with_eff(mut self, eff: PoolEfficiency) -> Self {
+        self.eff = eff;
+        self
+    }
+}
+
+/// The resource that determined a phase's duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    DdrBandwidth,
+    HbmBandwidth,
+    Fabric,
+    Latency,
+    Compute,
+}
+
+/// Priced phase: total time plus the full component breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Phase duration in seconds (max of the component times).
+    pub time_s: f64,
+    pub t_ddr: f64,
+    pub t_hbm: f64,
+    pub t_fabric: f64,
+    pub t_chase: f64,
+    pub t_compute: f64,
+    /// DRAM traffic per pool (read + write), bytes.
+    pub bytes_ddr: Bytes,
+    pub bytes_hbm: Bytes,
+    pub flops: f64,
+    pub bound: Bound,
+}
+
+impl PhaseCost {
+    /// Aggregate DRAM traffic of the phase.
+    pub fn total_bytes(&self) -> Bytes {
+        self.bytes_ddr + self.bytes_hbm
+    }
+
+    /// Achieved combined memory throughput, GB/s.
+    pub fn throughput_gbs(&self) -> f64 {
+        if self.time_s == 0.0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / 1e9 / self.time_s
+        }
+    }
+
+    /// Achieved GFLOP/s (for roofline operating points).
+    pub fn gflops(&self) -> f64 {
+        if self.time_s == 0.0 {
+            0.0
+        } else {
+            self.flops / 1e9 / self.time_s
+        }
+    }
+}
+
+/// Price one phase.
+///
+/// ```
+/// use hmpt_sim::cost::{phase_time, ExecCtx, PhaseLoad};
+/// use hmpt_sim::machine::xeon_max_9468;
+/// use hmpt_sim::pool::PoolKind;
+/// use hmpt_sim::stream::{Direction, ResolvedStream};
+///
+/// // A 20 GB sequential read from HBM on one full socket: ~700 GB/s.
+/// let machine = xeon_max_9468();
+/// let streams = [ResolvedStream::seq(20_000_000_000, PoolKind::Hbm, Direction::Read)];
+/// let cost = phase_time(&machine, ExecCtx::full_socket(), &PhaseLoad::streams_only(&streams));
+/// assert!((cost.throughput_gbs() - 700.0).abs() < 7.0);
+/// ```
+pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> PhaseCost {
+    assert!(ctx.threads_per_tile > 0.0 && ctx.tiles > 0, "empty execution context");
+    let cores = ctx.cores();
+
+    // Gather per-pool traffic. Index 0 = DDR, 1 = HBM.
+    let mut seq_read = [0u64; 2];
+    let mut seq_write_nt = [0u64; 2]; // pure store streams
+    let mut seq_write_rmw = [0u64; 2]; // write half of read-modify-write
+    let mut rand_bytes = [0u64; 2];
+    let mut t_chase = 0.0f64;
+    let idx = |k: PoolKind| match k {
+        PoolKind::Ddr => 0usize,
+        PoolKind::Hbm => 1usize,
+    };
+
+    for s in load.streams {
+        match s.pattern {
+            AccessPattern::Sequential => {
+                seq_read[idx(s.pool)] += s.read_bytes();
+                match s.dir {
+                    Direction::Write => seq_write_nt[idx(s.pool)] += s.write_bytes(),
+                    _ => seq_write_rmw[idx(s.pool)] += s.write_bytes(),
+                }
+            }
+            AccessPattern::Random => {
+                rand_bytes[idx(s.pool)] += s.bytes;
+            }
+            AccessPattern::PointerChase { window } => {
+                let pool = machine.pool(s.pool);
+                let lat = machine.caches.chase_latency(window, pool.idle_latency_ns);
+                let gbps = machine.latency.chase_throughput(lat, (cores as usize).max(1));
+                t_chase += s.bytes as f64 / 1e9 / gbps;
+            }
+        }
+    }
+
+    // Cross-pool write penalty: pure stores to DDR are derated by the HBM
+    // share of this phase's read traffic.
+    let reads_total = (seq_read[0] + seq_read[1] + rand_bytes[0] + rand_bytes[1]) as f64;
+    let hbm_read_share =
+        if reads_total > 0.0 { (seq_read[1] + rand_bytes[1]) as f64 / reads_total } else { 0.0 };
+    let ddr_nt_derate = 1.0 - (1.0 - machine.cross_write_penalty) * hbm_read_share;
+
+    let mut t_pool = [0.0f64; 2];
+    for kind in PoolKind::ALL {
+        let i = idx(kind);
+        let spec = machine.pool(kind);
+        let bw = spec.bw.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64 * load.eff.of(kind);
+        let nt_derate = if kind == PoolKind::Ddr { ddr_nt_derate } else { 1.0 };
+        let mut t = 0.0;
+        let seq = seq_read[i] + seq_write_rmw[i];
+        if seq + seq_write_nt[i] > 0 {
+            t += (seq as f64 + seq_write_nt[i] as f64 / nt_derate) / 1e9 / bw;
+        }
+        if rand_bytes[i] > 0 {
+            let gbps = machine.latency.random_throughput(
+                spec,
+                cores as usize,
+                ctx.threads_per_tile,
+                ctx.tiles,
+            );
+            t += rand_bytes[i] as f64 / 1e9 / gbps;
+        }
+        t_pool[i] = t;
+    }
+
+    let bytes_ddr = seq_read[0] + seq_write_nt[0] + seq_write_rmw[0] + rand_bytes[0];
+    let bytes_hbm = seq_read[1] + seq_write_nt[1] + seq_write_rmw[1] + rand_bytes[1];
+
+    // Fabric cap applies to combined DRAM traffic (chase traffic is
+    // latency-dominated and negligible in volume).
+    let fabric_bw = machine.fabric.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64;
+    let t_fabric = (bytes_ddr + bytes_hbm) as f64 / 1e9 / fabric_bw;
+
+    let t_compute = if load.flops > 0.0 {
+        let peak_per_core = machine.compute.freq_ghz * machine.compute.dp_flops_per_cycle_vector;
+        let per_core = load
+            .gflops_per_core_cap
+            .map(|cap| cap.min(peak_per_core))
+            .unwrap_or(peak_per_core);
+        load.flops / (per_core * cores * 1e9)
+    } else {
+        0.0
+    };
+
+    let components = [
+        (t_pool[0], Bound::DdrBandwidth),
+        (t_pool[1], Bound::HbmBandwidth),
+        (t_fabric, Bound::Fabric),
+        (t_chase, Bound::Latency),
+        (t_compute, Bound::Compute),
+    ];
+    let (time_s, bound) = components
+        .iter()
+        .copied()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap();
+
+    PhaseCost {
+        time_s,
+        t_ddr: t_pool[0],
+        t_hbm: t_pool[1],
+        t_fabric,
+        t_chase,
+        t_compute,
+        bytes_ddr,
+        bytes_hbm,
+        flops: load.flops,
+        bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::xeon_max_9468;
+    use crate::stream::Direction;
+    use crate::units::gb;
+
+    const N: Bytes = 16_000_000_000; // one STREAM array, 16 GB
+
+    fn copy(from: PoolKind, to: PoolKind) -> Vec<ResolvedStream> {
+        vec![
+            ResolvedStream::seq(N, from, Direction::Read),
+            ResolvedStream::seq(N, to, Direction::Write),
+        ]
+    }
+
+    fn eff_bw(streams: &[ResolvedStream]) -> f64 {
+        let m = xeon_max_9468();
+        let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(streams));
+        c.throughput_gbs()
+    }
+
+    #[test]
+    fn stream_copy_matches_fig5a_shapes() {
+        let dd = eff_bw(&copy(PoolKind::Ddr, PoolKind::Ddr));
+        let dh = eff_bw(&copy(PoolKind::Ddr, PoolKind::Hbm));
+        let hd = eff_bw(&copy(PoolKind::Hbm, PoolKind::Ddr));
+        let hh = eff_bw(&copy(PoolKind::Hbm, PoolKind::Hbm));
+        assert!((dd - 200.0).abs() < 2.0, "DDR→DDR {dd}");
+        assert!((hh - 700.0).abs() < 7.0, "HBM→HBM {hh}");
+        assert!((dh - 400.0).abs() < 5.0, "DDR→HBM {dh}");
+        // HBM→DDR reaches only ~65 % of its complementary configuration.
+        let ratio = hd / dh;
+        assert!((ratio - 0.65).abs() < 0.02, "asymmetry {ratio}");
+    }
+
+    #[test]
+    fn mixed_add_cannot_beat_hbm_only() {
+        // Fig 5b: DDR+HBM→HBM matches HBM+HBM→HBM (fabric cap).
+        let m = xeon_max_9468();
+        let eff = PoolEfficiency { ddr: 1.0, hbm: 600.0 / 700.0 };
+        let mixed = vec![
+            ResolvedStream::seq(N, PoolKind::Ddr, Direction::Read),
+            ResolvedStream::seq(N, PoolKind::Hbm, Direction::Read),
+            ResolvedStream::seq(N, PoolKind::Hbm, Direction::Write),
+        ];
+        let hbm_only = vec![
+            ResolvedStream::seq(N, PoolKind::Hbm, Direction::Read),
+            ResolvedStream::seq(N, PoolKind::Hbm, Direction::Read),
+            ResolvedStream::seq(N, PoolKind::Hbm, Direction::Write),
+        ];
+        let ctx = ExecCtx::full_socket();
+        let t_mixed =
+            phase_time(&m, ctx, &PhaseLoad::streams_only(&mixed).with_eff(eff)).time_s;
+        let t_hbm =
+            phase_time(&m, ctx, &PhaseLoad::streams_only(&hbm_only).with_eff(eff)).time_s;
+        // Keeping one input array in DDR costs (almost) nothing...
+        assert!(t_mixed <= t_hbm * 1.02, "mixed {t_mixed} vs hbm {t_hbm}");
+        // ...but does not beat HBM-only either.
+        assert!(t_mixed >= t_hbm * 0.95, "mixed {t_mixed} vs hbm {t_hbm}");
+    }
+
+    #[test]
+    fn rmw_updates_are_not_penalized() {
+        // In-place update of a DDR array while streaming from HBM keeps
+        // full DDR bandwidth (the penalty is a non-temporal store effect).
+        let m = xeon_max_9468();
+        let ctx = ExecCtx::full_socket();
+        let rmw = vec![
+            ResolvedStream::seq(N, PoolKind::Hbm, Direction::Read),
+            ResolvedStream::seq(N, PoolKind::Ddr, Direction::ReadWrite),
+        ];
+        let c = phase_time(&m, ctx, &PhaseLoad::streams_only(&rmw));
+        // DDR side: N bytes at 200 GB/s with no derating.
+        assert!((c.t_ddr - N as f64 / 1e9 / 200.0).abs() < 1e-6, "t_ddr {}", c.t_ddr);
+    }
+
+    #[test]
+    fn penalty_grades_with_hbm_read_share() {
+        let m = xeon_max_9468();
+        let ctx = ExecCtx::full_socket();
+        // Half the reads from HBM → half the penalty.
+        let half = vec![
+            ResolvedStream::seq(N, PoolKind::Hbm, Direction::Read),
+            ResolvedStream::seq(N, PoolKind::Ddr, Direction::Read),
+            ResolvedStream::seq(N, PoolKind::Ddr, Direction::Write),
+        ];
+        let c = phase_time(&m, ctx, &PhaseLoad::streams_only(&half));
+        let derate = 1.0 - (1.0 - 0.65) * 0.5;
+        let expect = (N as f64 + N as f64 / derate) / 1e9 / 200.0;
+        assert!((c.t_ddr - expect).abs() < 1e-6, "t_ddr {} expect {expect}", c.t_ddr);
+    }
+
+    #[test]
+    fn compute_floor_binds_small_traffic() {
+        let m = xeon_max_9468();
+        let streams = [ResolvedStream::seq(gb(0.001), PoolKind::Hbm, Direction::Read)];
+        let c = phase_time(
+            &m,
+            ExecCtx::full_socket(),
+            &PhaseLoad::streams_only(&streams).with_flops(1e12),
+        );
+        assert_eq!(c.bound, Bound::Compute);
+        // 1 TFLOP at 3225.6 GFLOP/s.
+        assert!((c.time_s - 1e12 / 3.2256e12).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_cap_slows_compute_floor() {
+        let m = xeon_max_9468();
+        let load = PhaseLoad::streams_only(&[]).with_flops(1e12).with_compute_cap(1.0);
+        let c = phase_time(&m, ExecCtx::full_socket(), &load);
+        // 48 cores × 1 GFLOP/s.
+        assert!((c.time_s - 1e12 / 48e9).abs() < 1e-6, "got {}", c.time_s);
+        // Cap above peak is clamped to peak.
+        let load = PhaseLoad::streams_only(&[]).with_flops(1e12).with_compute_cap(1e6);
+        let c = phase_time(&m, ExecCtx::full_socket(), &load);
+        assert!((c.time_s - 1e12 / 3.2256e12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chase_binds_latency_phase() {
+        let m = xeon_max_9468();
+        let streams = [ResolvedStream {
+            bytes: gb(32.0),
+            pool: PoolKind::Ddr,
+            dir: Direction::Read,
+            pattern: AccessPattern::PointerChase { window: gb(32.0) },
+        }];
+        let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&streams));
+        assert_eq!(c.bound, Bound::Latency);
+        // 48 cores × 64 B / ~95 ns ≈ 32 GB/s — two orders below bandwidth.
+        assert!(c.throughput_gbs() < 50.0);
+    }
+
+    #[test]
+    fn zero_streams_is_pure_compute() {
+        let m = xeon_max_9468();
+        let c = phase_time(
+            &m,
+            ExecCtx::full_socket(),
+            &PhaseLoad::streams_only(&[]).with_flops(3.2256e12),
+        );
+        assert_eq!(c.bound, Bound::Compute);
+        assert!((c.time_s - 1.0).abs() < 1e-9);
+        assert_eq!(c.total_bytes(), 0);
+    }
+
+    #[test]
+    fn penalty_only_applies_with_hbm_reads() {
+        let m = xeon_max_9468();
+        let ctx = ExecCtx::full_socket();
+        // Pure DDR writes: no derating even though penalty < 1.
+        let w = [ResolvedStream::seq(N, PoolKind::Ddr, Direction::Write)];
+        let c = phase_time(&m, ctx, &PhaseLoad::streams_only(&w));
+        assert!((c.throughput_gbs() - 200.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn random_stream_throughput_capped() {
+        let m = xeon_max_9468();
+        let s = [ResolvedStream {
+            bytes: gb(32.0),
+            pool: PoolKind::Ddr,
+            dir: Direction::Read,
+            pattern: AccessPattern::Random,
+        }];
+        let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
+        let seq = phase_time(
+            &m,
+            ExecCtx::full_socket(),
+            &PhaseLoad::streams_only(&[ResolvedStream::seq(
+                gb(32.0),
+                PoolKind::Ddr,
+                Direction::Read,
+            )]),
+        );
+        assert!(c.time_s > seq.time_s, "random must be slower than sequential");
+    }
+
+    #[test]
+    fn threads_scale_bandwidth_phase() {
+        let m = xeon_max_9468();
+        let s = [ResolvedStream::seq(N, PoolKind::Hbm, Direction::Read)];
+        let t2 = phase_time(
+            &m,
+            ExecCtx::socket_threads_per_tile(2.0),
+            &PhaseLoad::streams_only(&s),
+        );
+        let t12 = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
+        assert!(t2.time_s > 2.0 * t12.time_s, "HBM should scale strongly with threads");
+    }
+}
+
+#[cfg(test)]
+mod dual_socket_tests {
+    use super::*;
+    use crate::machine::xeon_max_9468;
+    use crate::stream::Direction;
+
+    #[test]
+    fn dual_socket_doubles_bandwidth() {
+        let m = xeon_max_9468();
+        let s = [ResolvedStream::seq(32_000_000_000, PoolKind::Hbm, Direction::Read)];
+        let one = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
+        let two = phase_time(&m, ExecCtx::whole_machine(), &PhaseLoad::streams_only(&s));
+        assert!((one.time_s / two.time_s - 2.0).abs() < 1e-9);
+        assert!((two.throughput_gbs() - 1400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn dual_socket_doubles_compute() {
+        let m = xeon_max_9468();
+        let load = PhaseLoad::streams_only(&[]).with_flops(6.4512e12);
+        let c = phase_time(&m, ExecCtx::whole_machine(), &load);
+        // 96 cores at vector peak: 6451.2 GFLOP/s.
+        assert!((c.time_s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Latency-bound access models: pointer chases and random gathers (Fig 4).
+//!
+//! Two regimes matter for the paper's analysis:
+//!
+//! * **Dependent chains** (pointer chase): one outstanding access per
+//!   core, throughput = `1 / latency` lines per core regardless of thread
+//!   count. HBM is simply ~20 % slower — the flat `≈0.86` speedup line of
+//!   Fig 4.
+//! * **Independent random accesses** (gather/indirect sum): each core
+//!   sustains `mlp` outstanding misses (limited by fill buffers), so the
+//!   demanded line rate grows with threads until it hits the pool's random
+//!   bandwidth cap. DDR caps first; HBM keeps scaling, which produces the
+//!   crossover above `1.0` near 10 threads/tile in Fig 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::PoolSpec;
+use crate::units::CACHE_LINE;
+
+/// Core-side parameters of the latency model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Sustainable outstanding L1 misses per core for independent random
+    /// accesses (≈ effective fill-buffer occupancy; SPR has 16 fill
+    /// buffers but address generation and TLB misses keep the effective
+    /// number lower).
+    pub mlp_per_core: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // Calibrated so the Fig 4 random-sum crossover lands near
+        // 10 threads/tile: 48·mlp·64B/95ns ≈ DDR random cap.
+        Self { mlp_per_core: 7.2 }
+    }
+}
+
+impl LatencyModel {
+    /// Throughput (GB/s) of fully independent random cache-line reads by
+    /// `cores` cores against `pool`, with `threads_per_tile` used for the
+    /// pool's bandwidth scaling across `tiles` tiles.
+    pub fn random_throughput(
+        &self,
+        pool: &PoolSpec,
+        cores: usize,
+        threads_per_tile: f64,
+        tiles: usize,
+    ) -> f64 {
+        let demand =
+            cores as f64 * self.mlp_per_core * CACHE_LINE as f64 / pool.idle_latency_ns; // B/ns = GB/s
+        let cap = pool.socket_random_bw_cap(threads_per_tile, tiles);
+        demand.min(cap)
+    }
+
+    /// Throughput (GB/s) of dependent pointer-chase traffic: one
+    /// outstanding access per core, each taking `effective_latency_ns`
+    /// (which includes cache filtering, see [`crate::cache`]).
+    pub fn chase_throughput(&self, effective_latency_ns: f64, cores: usize) -> f64 {
+        cores as f64 * CACHE_LINE as f64 / effective_latency_ns
+    }
+
+    /// Time in seconds to perform `lines` independent random line accesses.
+    pub fn random_time_s(
+        &self,
+        pool: &PoolSpec,
+        lines: u64,
+        cores: usize,
+        threads_per_tile: f64,
+        tiles: usize,
+    ) -> f64 {
+        let gbps = self.random_throughput(pool, cores, threads_per_tile, tiles);
+        (lines * CACHE_LINE) as f64 / 1e9 / gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BwCurve;
+    use crate::pool::PoolKind;
+    use crate::units::gib;
+
+    fn ddr() -> PoolSpec {
+        PoolSpec {
+            kind: PoolKind::Ddr,
+            capacity_per_tile: gib(32),
+            peak_bw_tile: 76.8,
+            bw: BwCurve::new(50.0, 12.0, 0.05),
+            idle_latency_ns: 95.0,
+            random_bw_fraction: 0.95,
+        }
+    }
+
+    fn hbm() -> PoolSpec {
+        PoolSpec {
+            kind: PoolKind::Hbm,
+            capacity_per_tile: gib(16),
+            peak_bw_tile: 409.6,
+            bw: BwCurve::new(175.0, 12.0, 0.8),
+            idle_latency_ns: 114.0,
+            random_bw_fraction: 0.55,
+        }
+    }
+
+    #[test]
+    fn chase_favors_ddr_by_latency_ratio() {
+        let m = LatencyModel::default();
+        let d = m.chase_throughput(95.0, 48);
+        let h = m.chase_throughput(114.0, 48);
+        let speedup = h / d;
+        // Fig 4 "Random Pointer Chase": flat ≈ 0.83–0.88.
+        assert!(speedup > 0.80 && speedup < 0.90, "got {speedup}");
+    }
+
+    #[test]
+    fn random_sum_crosses_over_with_threads() {
+        let m = LatencyModel::default();
+        // Low thread count: latency-bound, DDR wins.
+        let d2 = m.random_throughput(&ddr(), 8, 2.0, 4);
+        let h2 = m.random_throughput(&hbm(), 8, 2.0, 4);
+        assert!(h2 / d2 < 1.0, "low-thread speedup {}", h2 / d2);
+        // Full socket: DDR hits its random cap, HBM pulls ahead.
+        let d12 = m.random_throughput(&ddr(), 48, 12.0, 4);
+        let h12 = m.random_throughput(&hbm(), 48, 12.0, 4);
+        let s = h12 / d12;
+        assert!(s > 1.0 && s < 1.15, "full-socket speedup {s}");
+    }
+
+    #[test]
+    fn random_demand_scales_linearly_before_cap() {
+        let m = LatencyModel::default();
+        let t1 = m.random_throughput(&hbm(), 4, 1.0, 4);
+        let t2 = m.random_throughput(&hbm(), 8, 2.0, 4);
+        assert!((t2 / t1 - 2.0).abs() < 0.05, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn random_time_inverse_of_throughput() {
+        let m = LatencyModel::default();
+        let lines = gib(32) / CACHE_LINE;
+        let t = m.random_time_s(&ddr(), lines, 48, 12.0, 4);
+        let gbps = m.random_throughput(&ddr(), 48, 12.0, 4);
+        let expect = (lines * CACHE_LINE) as f64 / 1e9 / gbps;
+        assert!((t - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! # hmpt-sim — simulated heterogeneous-memory platform
+//!
+//! A software model of the dual-socket **Intel Xeon Max 9468** (Sapphire
+//! Rapids + HBM) machine used in *Heterogeneous Memory Pool Tuning*
+//! (IPPS 2025). The real platform exposes, in flat SNC4 mode, sixteen NUMA
+//! nodes: eight backed by DDR5 (32 GB / tile, ~200 GB/s per socket
+//! sustained) and eight backed by on-package HBM2e (16 GB / tile,
+//! ~700 GB/s per socket sustained, ~20 % higher idle latency).
+//!
+//! The tuner reproduced by this repository only ever observes the platform
+//! through two channels:
+//!
+//! 1. **wall-clock time of a fixed workload as a function of data
+//!    placement**, and
+//! 2. **sampled memory accesses** attributed to address ranges.
+//!
+//! This crate therefore models exactly the effects that shape those two
+//! observables, calibrated against the paper's own platform measurements
+//! (its Figures 2–5):
+//!
+//! * per-pool saturating bandwidth curves ([`bandwidth`], Fig 2),
+//! * cache hierarchy and idle-latency gap ([`cache`], [`latency`], Fig 3),
+//! * memory-level-parallelism-limited random access ([`latency`], Fig 4),
+//! * mixed-pool stream behaviour including the asymmetric HBM→DDR write
+//!   penalty and the per-socket fabric cap ([`cost`], Fig 5),
+//! * compute rooflines ([`machine`], Fig 8).
+//!
+//! The main entry point is [`machine::Machine`] (usually built with
+//! [`machine::xeon_max_9468`]) combined with [`cost::phase_time`], which
+//! prices one execution phase of a workload given the placement of every
+//! stream it touches.
+
+pub mod bandwidth;
+pub mod cache;
+pub mod cost;
+pub mod latency;
+pub mod machine;
+pub mod noise;
+pub mod pool;
+pub mod stream;
+pub mod topology;
+pub mod units;
+
+pub use bandwidth::BwCurve;
+pub use cache::{CacheHierarchy, CacheLevel};
+pub use cost::{phase_time, PhaseCost};
+pub use latency::LatencyModel;
+pub use machine::{xeon_max_9468, Machine, MachineBuilder};
+pub use noise::NoiseModel;
+pub use pool::{PoolKind, PoolSpec};
+pub use stream::{AccessPattern, Direction, ResolvedStream};
+pub use topology::{NumaNode, SncMode, Topology};
+pub use units::{gb, gib, kib, mib, Bytes};

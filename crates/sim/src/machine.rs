@@ -1,0 +1,232 @@
+//! The assembled machine model and the calibrated Xeon Max 9468 preset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bandwidth::BwCurve;
+use crate::cache::{spr_core_hierarchy, CacheHierarchy};
+use crate::latency::LatencyModel;
+use crate::pool::{PoolKind, PoolSpec};
+use crate::topology::Topology;
+use crate::units::{gib, Bytes};
+
+/// Core compute capability (for the roofline and compute-bound phases).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Compute {
+    /// Base clock in GHz (2.1 on the Xeon Max 9468).
+    pub freq_ghz: f64,
+    /// Double-precision FLOPs per cycle per core with full vector FMA
+    /// issue (2 × AVX-512 FMA × 8 lanes × 2 ops = 32 on SPR).
+    pub dp_flops_per_cycle_vector: f64,
+    /// Double-precision FLOPs per cycle per core with scalar FMA
+    /// (2 × FMA × 2 ops = 4 on SPR).
+    pub dp_flops_per_cycle_scalar: f64,
+}
+
+impl Compute {
+    /// Peak vector GFLOP/s for `cores` cores.
+    pub fn peak_vector_gflops(&self, cores: f64) -> f64 {
+        self.freq_ghz * self.dp_flops_per_cycle_vector * cores
+    }
+
+    /// Peak scalar GFLOP/s for `cores` cores.
+    pub fn peak_scalar_gflops(&self, cores: f64) -> f64 {
+        self.freq_ghz * self.dp_flops_per_cycle_scalar * cores
+    }
+}
+
+/// The complete platform model used by the cost function and the tuner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    pub topology: Topology,
+    pub ddr: PoolSpec,
+    pub hbm: PoolSpec,
+    pub caches: CacheHierarchy,
+    pub latency: LatencyModel,
+    /// Per-tile cap on the combined DDR+HBM traffic a tile's mesh stop can
+    /// sustain. On the real machine mixing pools never exceeds HBM-only
+    /// throughput (Fig 5b: `DDR+HBM→HBM` matches `HBM+HBM→HBM`), so the
+    /// cap sits just above the HBM sustained bandwidth.
+    pub fabric: BwCurve,
+    /// Efficiency of DDR writes whose data is sourced from HBM reads in
+    /// the same phase (Fig 5a: HBM→DDR copy reaches only ~65 % of the
+    /// bandwidth its complementary configuration achieves).
+    pub cross_write_penalty: f64,
+    pub compute: Compute,
+}
+
+impl Machine {
+    pub fn pool(&self, kind: PoolKind) -> &PoolSpec {
+        match kind {
+            PoolKind::Ddr => &self.ddr,
+            PoolKind::Hbm => &self.hbm,
+        }
+    }
+
+    /// Sustained socket bandwidth of a pool at `threads_per_tile`, GB/s.
+    pub fn socket_bw(&self, kind: PoolKind, threads_per_tile: f64) -> f64 {
+        self.pool(kind).socket_bw(threads_per_tile, self.topology.tiles_per_socket)
+    }
+
+    /// HBM capacity of the whole machine.
+    pub fn hbm_capacity(&self) -> Bytes {
+        self.hbm.capacity_per_tile
+            * (self.topology.tiles_per_socket * self.topology.sockets) as u64
+    }
+
+    /// DDR capacity of the whole machine.
+    pub fn ddr_capacity(&self) -> Bytes {
+        self.ddr.capacity_per_tile
+            * (self.topology.tiles_per_socket * self.topology.sockets) as u64
+    }
+
+    /// Idle-latency penalty of HBM relative to DDR (≈1.2 on Xeon Max).
+    pub fn hbm_latency_penalty(&self) -> f64 {
+        self.hbm.idle_latency_ns / self.ddr.idle_latency_ns
+    }
+}
+
+/// Builder for hypothetical machines (used by the ablation benches).
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    machine: Machine,
+}
+
+impl MachineBuilder {
+    /// Start from the calibrated Xeon Max preset.
+    pub fn xeon_max() -> Self {
+        Self { machine: xeon_max_9468() }
+    }
+
+    /// Disable the asymmetric HBM→DDR write penalty (ablation).
+    pub fn without_cross_write_penalty(mut self) -> Self {
+        self.machine.cross_write_penalty = 1.0;
+        self
+    }
+
+    /// Scale the HBM idle latency penalty (1.0 = same latency as DDR).
+    pub fn with_hbm_latency_penalty(mut self, penalty: f64) -> Self {
+        assert!(penalty > 0.0);
+        self.machine.hbm.idle_latency_ns = self.machine.ddr.idle_latency_ns * penalty;
+        self
+    }
+
+    /// Scale the sustained HBM bandwidth by `factor` (fabric cap follows).
+    pub fn with_hbm_bw_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.machine.hbm.bw.sustained_tile *= factor;
+        self.machine.fabric.sustained_tile *= factor;
+        self
+    }
+
+    /// Override the per-tile HBM capacity (capacity-pressure studies).
+    pub fn with_hbm_capacity_per_tile(mut self, capacity: Bytes) -> Self {
+        self.machine.hbm.capacity_per_tile = capacity;
+        self
+    }
+
+    pub fn build(self) -> Machine {
+        self.machine
+    }
+}
+
+/// The calibrated dual Intel Xeon Max 9468 model (flat SNC4).
+///
+/// Constants come straight from the paper's platform analysis:
+/// 200 / 700 GB/s sustained per socket (Fig 2), HBM idle latency 1.2× DDR
+/// (Fig 3), the Fig 4 random-access crossover, and the Fig 5a mixed-copy
+/// asymmetry of ~0.65.
+pub fn xeon_max_9468() -> Machine {
+    Machine {
+        topology: Topology::dual_xeon_max_snc4(),
+        ddr: PoolSpec {
+            kind: PoolKind::Ddr,
+            capacity_per_tile: gib(32),
+            peak_bw_tile: 76.8,
+            bw: BwCurve::new(50.0, 12.0, 0.05),
+            idle_latency_ns: 95.0,
+            // DDR keeps a large share of its sequential bandwidth under
+            // random access thanks to low queueing and many banks.
+            random_bw_fraction: 0.95,
+        },
+        hbm: PoolSpec {
+            kind: PoolKind::Hbm,
+            capacity_per_tile: gib(16),
+            peak_bw_tile: 409.6,
+            bw: BwCurve::new(175.0, 12.0, 0.8),
+            idle_latency_ns: 114.0,
+            // Wide, deeply banked stacks lose more of their headline
+            // bandwidth to random cache-line traffic.
+            random_bw_fraction: 0.55,
+        },
+        caches: spr_core_hierarchy(),
+        latency: LatencyModel::default(),
+        // Per-tile mesh-stop cap slightly above HBM sustained bandwidth.
+        fabric: BwCurve::new(180.0, 12.0, 0.8),
+        cross_write_penalty: 0.65,
+        compute: Compute {
+            freq_ghz: 2.1,
+            dp_flops_per_cycle_vector: 32.0,
+            dp_flops_per_cycle_scalar: 4.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_matches_paper_headline_numbers() {
+        let m = xeon_max_9468();
+        assert!((m.socket_bw(PoolKind::Ddr, 12.0) - 200.0).abs() < 1e-6);
+        assert!((m.socket_bw(PoolKind::Hbm, 12.0) - 700.0).abs() < 1e-6);
+        assert_eq!(m.hbm_capacity(), gib(128));
+        assert_eq!(m.ddr_capacity(), gib(256));
+        let pen = m.hbm_latency_penalty();
+        assert!(pen > 1.15 && pen < 1.25, "latency penalty {pen}");
+    }
+
+    #[test]
+    fn roofline_peaks_match_fig8_labels() {
+        let m = xeon_max_9468();
+        let socket_cores = m.topology.cores_per_socket() as f64;
+        // Fig 8: "DP Vector FMA Peak: 3225.6 GFLOPs", scalar 403.2.
+        assert!((m.compute.peak_vector_gflops(socket_cores) - 3225.6).abs() < 1e-6);
+        assert!((m.compute.peak_scalar_gflops(socket_cores) - 403.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fabric_cap_sits_just_above_hbm() {
+        let m = xeon_max_9468();
+        let hbm = m.socket_bw(PoolKind::Hbm, 12.0);
+        let fabric = m.fabric.bw_per_tile(12.0) * m.topology.tiles_per_socket as f64;
+        assert!(fabric > hbm && fabric < 1.1 * hbm, "fabric {fabric} vs hbm {hbm}");
+    }
+
+    #[test]
+    fn builder_ablations_apply() {
+        let m = MachineBuilder::xeon_max()
+            .without_cross_write_penalty()
+            .with_hbm_latency_penalty(1.0)
+            .build();
+        assert_eq!(m.cross_write_penalty, 1.0);
+        assert!((m.hbm.idle_latency_ns - m.ddr.idle_latency_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_bw_factor_scales_fabric_too() {
+        let base = xeon_max_9468();
+        let m = MachineBuilder::xeon_max().with_hbm_bw_factor(0.5).build();
+        assert!((m.hbm.bw.sustained_tile - base.hbm.bw.sustained_tile * 0.5).abs() < 1e-9);
+        assert!((m.fabric.sustained_tile - base.fabric.sustained_tile * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn machine_serializes_roundtrip() {
+        let m = xeon_max_9468();
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: Machine = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.topology.total_cores(), m.topology.total_cores());
+        assert_eq!(back.cross_write_penalty, m.cross_write_penalty);
+    }
+}

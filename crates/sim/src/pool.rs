@@ -1,0 +1,142 @@
+//! Memory pool kinds and per-pool hardware characteristics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bandwidth::BwCurve;
+use crate::units::Bytes;
+
+/// The kind of a physical memory pool.
+///
+/// The evaluated platform exposes two kinds; the enum is exhaustive on
+/// purpose — the paper's configuration space is `P = {DDR, HBM}` and the
+/// tuner enumerates `2^|AG|` placements over it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Off-package DDR5, two channels per tile (32 GB / tile on the
+    /// evaluated machine). Higher capacity, lower bandwidth, lower latency.
+    Ddr,
+    /// On-package HBM2e, one stack per tile (16 GB / tile). Limited
+    /// capacity, ~3.5× the DDR bandwidth, ~20 % higher idle latency.
+    Hbm,
+}
+
+impl PoolKind {
+    /// All pool kinds, in the order used throughout reports.
+    pub const ALL: [PoolKind; 2] = [PoolKind::Ddr, PoolKind::Hbm];
+
+    /// Short label used in figures (`DDR`, `HBM`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PoolKind::Ddr => "DDR",
+            PoolKind::Hbm => "HBM",
+        }
+    }
+
+    /// The opposite pool on a two-pool platform.
+    pub fn other(self) -> PoolKind {
+        match self {
+            PoolKind::Ddr => PoolKind::Hbm,
+            PoolKind::Hbm => PoolKind::Ddr,
+        }
+    }
+}
+
+impl std::fmt::Display for PoolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hardware description of one memory pool *per tile*.
+///
+/// Socket- and machine-level figures are derived by multiplying by the
+/// number of active tiles; this mirrors how the real machine behaves in
+/// SNC4 mode, where each tile owns one HBM stack and one dual-channel DDR
+/// controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolSpec {
+    pub kind: PoolKind,
+    /// Capacity per tile in bytes (16 GiB HBM / 32 GiB DDR on Xeon Max).
+    pub capacity_per_tile: Bytes,
+    /// Theoretical peak bandwidth per tile in GB/s (409.6 HBM / 76.8 DDR).
+    pub peak_bw_tile: f64,
+    /// Sustained STREAM-like bandwidth curve per tile.
+    pub bw: BwCurve,
+    /// Idle (single outstanding access) load-to-use latency in ns.
+    pub idle_latency_ns: f64,
+    /// Fraction of the sustained sequential bandwidth achievable with
+    /// fully random cache-line accesses (row-buffer misses, open-page
+    /// policy defeated). Caps the MLP-driven random throughput.
+    pub random_bw_fraction: f64,
+}
+
+impl PoolSpec {
+    /// Sustained sequential bandwidth of this pool for a whole socket at
+    /// `threads_per_tile` active threads on each of `tiles` tiles, GB/s.
+    pub fn socket_bw(&self, threads_per_tile: f64, tiles: usize) -> f64 {
+        self.bw.bw_per_tile(threads_per_tile) * tiles as f64
+    }
+
+    /// Upper bound on random-access throughput (GB/s) for a socket,
+    /// regardless of how much memory-level parallelism the cores expose.
+    pub fn socket_random_bw_cap(&self, threads_per_tile: f64, tiles: usize) -> f64 {
+        self.socket_bw(threads_per_tile, tiles) * self.random_bw_fraction
+    }
+
+    /// Pool capacity for a whole socket.
+    pub fn socket_capacity(&self, tiles: usize) -> Bytes {
+        self.capacity_per_tile * tiles as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+
+    fn hbm_spec() -> PoolSpec {
+        PoolSpec {
+            kind: PoolKind::Hbm,
+            capacity_per_tile: gib(16),
+            peak_bw_tile: 409.6,
+            bw: BwCurve::new(175.0, 12.0, 0.8),
+            idle_latency_ns: 114.0,
+            random_bw_fraction: 0.55,
+        }
+    }
+
+    #[test]
+    fn other_is_involution() {
+        for k in PoolKind::ALL {
+            assert_eq!(k.other().other(), k);
+            assert_ne!(k.other(), k);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(PoolKind::Ddr.to_string(), "DDR");
+        assert_eq!(PoolKind::Hbm.to_string(), "HBM");
+    }
+
+    #[test]
+    fn socket_bw_scales_with_tiles() {
+        let s = hbm_spec();
+        let one = s.socket_bw(12.0, 1);
+        let four = s.socket_bw(12.0, 4);
+        assert!((four - 4.0 * one).abs() < 1e-9);
+        // Full socket at full threads reaches the sustained figure.
+        assert!((four - 700.0).abs() < 1.0, "got {four}");
+    }
+
+    #[test]
+    fn random_cap_below_sequential() {
+        let s = hbm_spec();
+        assert!(s.socket_random_bw_cap(12.0, 4) < s.socket_bw(12.0, 4));
+    }
+
+    #[test]
+    fn socket_capacity_sums_tiles() {
+        assert_eq!(hbm_spec().socket_capacity(4), gib(64));
+    }
+}

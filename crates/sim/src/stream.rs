@@ -1,0 +1,104 @@
+//! Stream descriptors: the traffic a workload phase pushes at the memory
+//! system, after placement has been resolved to concrete pools.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::PoolKind;
+use crate::units::Bytes;
+
+/// Direction of a stream's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Pure load stream.
+    Read,
+    /// Pure store stream (non-temporal style: no read-for-ownership).
+    Write,
+    /// Update stream; the byte volume is split evenly between reads and
+    /// writes (e.g. `u[i] += ...`).
+    ReadWrite,
+}
+
+/// Spatial/temporal access pattern of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Unit-stride streaming; priced by the pool's sequential bandwidth.
+    Sequential,
+    /// Independent random cache-line accesses (gathers); priced by the
+    /// MLP-limited random throughput model.
+    Random,
+    /// Serially dependent chain of accesses over a window of the given
+    /// size; priced by per-core effective latency (one access in flight).
+    PointerChase {
+        /// Working-set window the chain wanders over, bytes.
+        window: Bytes,
+    },
+}
+
+/// One stream of one phase with its placement already resolved.
+///
+/// Allocation-level placement plans are resolved into these by the
+/// workload layer; an allocation split across pools (interleaving) simply
+/// becomes two `ResolvedStream`s with proportional byte counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResolvedStream {
+    /// Total bytes moved by this stream during the phase.
+    pub bytes: Bytes,
+    /// Pool serving the stream.
+    pub pool: PoolKind,
+    pub dir: Direction,
+    pub pattern: AccessPattern,
+}
+
+impl ResolvedStream {
+    /// Convenience constructor for a sequential stream.
+    pub fn seq(bytes: Bytes, pool: PoolKind, dir: Direction) -> Self {
+        Self { bytes, pool, dir, pattern: AccessPattern::Sequential }
+    }
+
+    /// Read bytes contributed by this stream.
+    pub fn read_bytes(&self) -> Bytes {
+        match self.dir {
+            Direction::Read => self.bytes,
+            Direction::Write => 0,
+            Direction::ReadWrite => self.bytes / 2,
+        }
+    }
+
+    /// Write bytes contributed by this stream.
+    pub fn write_bytes(&self) -> Bytes {
+        match self.dir {
+            Direction::Read => 0,
+            Direction::Write => self.bytes,
+            Direction::ReadWrite => self.bytes - self.bytes / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+
+    #[test]
+    fn direction_split_conserves_bytes() {
+        for dir in [Direction::Read, Direction::Write, Direction::ReadWrite] {
+            let s = ResolvedStream::seq(gib(3) + 1, PoolKind::Ddr, dir);
+            assert_eq!(s.read_bytes() + s.write_bytes(), s.bytes, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn read_write_split_is_even() {
+        let s = ResolvedStream::seq(1000, PoolKind::Hbm, Direction::ReadWrite);
+        assert_eq!(s.read_bytes(), 500);
+        assert_eq!(s.write_bytes(), 500);
+    }
+
+    #[test]
+    fn pure_directions() {
+        let r = ResolvedStream::seq(10, PoolKind::Ddr, Direction::Read);
+        assert_eq!((r.read_bytes(), r.write_bytes()), (10, 0));
+        let w = ResolvedStream::seq(10, PoolKind::Ddr, Direction::Write);
+        assert_eq!((w.read_bytes(), w.write_bytes()), (0, 10));
+    }
+}

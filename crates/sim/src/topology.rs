@@ -1,0 +1,180 @@
+//! NUMA topology of the simulated platform (paper Fig 1).
+//!
+//! In flat **SNC4** (sub-NUMA clustering) mode each socket of the Xeon Max
+//! exposes four tiles; each tile contributes one DDR-backed NUMA node and
+//! one HBM-backed NUMA node. On the dual-socket evaluation machine that
+//! yields nodes 0–7 (DDR, one per tile) and 8–15 (HBM, one per tile), with
+//! cores `12·t .. 12·(t+1)` attached to tile `t`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::PoolKind;
+
+/// Sub-NUMA clustering mode. The paper evaluates `Snc4`; `Quad` (one node
+/// pair per socket) is provided for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SncMode {
+    /// One NUMA node pair per socket.
+    Quad,
+    /// One NUMA node pair per tile (four per socket on SPR).
+    Snc4,
+}
+
+/// One NUMA node: a contiguous physical memory region of a single kind,
+/// local to one tile of one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NumaNode {
+    /// OS-visible node id (matches Fig 1 numbering: DDR first, then HBM).
+    pub id: usize,
+    pub socket: usize,
+    /// Tile index within the socket.
+    pub tile: usize,
+    pub kind: PoolKind,
+}
+
+/// Machine topology: sockets × tiles × cores plus the NUMA node list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    pub sockets: usize,
+    pub tiles_per_socket: usize,
+    pub cores_per_tile: usize,
+    pub snc: SncMode,
+}
+
+impl Topology {
+    /// The evaluated dual Xeon Max 9468 in flat SNC4 mode.
+    pub fn dual_xeon_max_snc4() -> Self {
+        Topology { sockets: 2, tiles_per_socket: 4, cores_per_tile: 12, snc: SncMode::Snc4 }
+    }
+
+    /// Number of memory-domain groups per socket (tiles in SNC4, 1 in Quad).
+    pub fn domains_per_socket(&self) -> usize {
+        match self.snc {
+            SncMode::Quad => 1,
+            SncMode::Snc4 => self.tiles_per_socket,
+        }
+    }
+
+    pub fn cores_per_socket(&self) -> usize {
+        self.tiles_per_socket * self.cores_per_tile
+    }
+
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket()
+    }
+
+    /// Total number of NUMA nodes (one DDR + one HBM per domain).
+    pub fn numa_node_count(&self) -> usize {
+        2 * self.sockets * self.domains_per_socket()
+    }
+
+    /// Enumerate NUMA nodes with Fig 1 numbering: all DDR nodes first
+    /// (socket-major, tile-minor), then all HBM nodes in the same order.
+    pub fn numa_nodes(&self) -> Vec<NumaNode> {
+        let domains = self.domains_per_socket();
+        let half = self.sockets * domains;
+        let mut nodes = Vec::with_capacity(2 * half);
+        for (offset, kind) in [(0, PoolKind::Ddr), (half, PoolKind::Hbm)] {
+            for socket in 0..self.sockets {
+                for tile in 0..domains {
+                    nodes.push(NumaNode { id: offset + socket * domains + tile, socket, tile, kind });
+                }
+            }
+        }
+        nodes
+    }
+
+    /// The NUMA node of `kind` local to (`socket`, `tile`).
+    pub fn local_node(&self, socket: usize, tile: usize, kind: PoolKind) -> NumaNode {
+        let domains = self.domains_per_socket();
+        let tile = tile.min(domains - 1);
+        let half = self.sockets * domains;
+        let offset = match kind {
+            PoolKind::Ddr => 0,
+            PoolKind::Hbm => half,
+        };
+        NumaNode { id: offset + socket * domains + tile, socket, tile, kind }
+    }
+
+    /// `numactl --hardware`-style relative distance between the cores of
+    /// node `a`'s domain and the memory of node `b`. Matches the
+    /// conventions of the real machine: 10 local, 12/13 same-socket,
+    /// 21/23 cross-socket (HBM one step further than DDR).
+    pub fn distance(&self, a: &NumaNode, b: &NumaNode) -> u32 {
+        let hbm_extra = match b.kind {
+            PoolKind::Ddr => 0,
+            PoolKind::Hbm => 1,
+        };
+        if a.socket == b.socket {
+            if a.tile == b.tile {
+                10 + hbm_extra
+            } else {
+                12 + hbm_extra
+            }
+        } else {
+            21 + 2 * hbm_extra
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_xeon_max_counts() {
+        let t = Topology::dual_xeon_max_snc4();
+        assert_eq!(t.total_cores(), 96);
+        assert_eq!(t.cores_per_socket(), 48);
+        assert_eq!(t.numa_node_count(), 16);
+    }
+
+    #[test]
+    fn node_numbering_matches_fig1() {
+        let t = Topology::dual_xeon_max_snc4();
+        let nodes = t.numa_nodes();
+        assert_eq!(nodes.len(), 16);
+        // Nodes 0..8 are DDR, 8..16 are HBM.
+        for n in &nodes[..8] {
+            assert_eq!(n.kind, PoolKind::Ddr);
+        }
+        for n in &nodes[8..] {
+            assert_eq!(n.kind, PoolKind::Hbm);
+        }
+        // Fig 1: tile with cores 0-11 is socket 0 / tile 0 → nodes 0 and 8.
+        assert_eq!(t.local_node(0, 0, PoolKind::Ddr).id, 0);
+        assert_eq!(t.local_node(0, 0, PoolKind::Hbm).id, 8);
+        // Tile with cores 84-95 is socket 1 / tile 3 → nodes 7 and 15.
+        assert_eq!(t.local_node(1, 3, PoolKind::Ddr).id, 7);
+        assert_eq!(t.local_node(1, 3, PoolKind::Hbm).id, 15);
+    }
+
+    #[test]
+    fn node_ids_unique_and_dense() {
+        let t = Topology::dual_xeon_max_snc4();
+        let mut ids: Vec<usize> = t.numa_nodes().iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quad_mode_collapses_tiles() {
+        let t = Topology { snc: SncMode::Quad, ..Topology::dual_xeon_max_snc4() };
+        assert_eq!(t.numa_node_count(), 4);
+        assert_eq!(t.local_node(1, 2, PoolKind::Hbm).tile, 0);
+    }
+
+    #[test]
+    fn distances_are_ordered() {
+        let t = Topology::dual_xeon_max_snc4();
+        let local_ddr = t.local_node(0, 0, PoolKind::Ddr);
+        let local_hbm = t.local_node(0, 0, PoolKind::Hbm);
+        let far_ddr = t.local_node(0, 2, PoolKind::Ddr);
+        let remote_hbm = t.local_node(1, 0, PoolKind::Hbm);
+        let d = |b: &NumaNode| t.distance(&local_ddr, b);
+        assert_eq!(d(&local_ddr), 10);
+        assert_eq!(d(&local_hbm), 11);
+        assert!(d(&far_ddr) > d(&local_ddr));
+        assert!(d(&remote_hbm) > d(&far_ddr));
+    }
+}

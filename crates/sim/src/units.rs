@@ -1,0 +1,93 @@
+//! Byte/size/time unit helpers shared across the workspace.
+//!
+//! Bandwidths in this workspace are expressed in **GB/s (10⁹ bytes per
+//! second)** to match the paper's figures (STREAM-style decimal units),
+//! while capacities use binary units (GiB) to match `numactl`/`lstopo`
+//! output on the real platform.
+
+/// Size of an allocation or transfer in bytes.
+pub type Bytes = u64;
+
+/// One cache line on Sapphire Rapids, in bytes.
+pub const CACHE_LINE: Bytes = 64;
+
+/// `n` KiB in bytes.
+#[inline]
+pub const fn kib(n: u64) -> Bytes {
+    n * 1024
+}
+
+/// `n` MiB in bytes.
+#[inline]
+pub const fn mib(n: u64) -> Bytes {
+    n * 1024 * 1024
+}
+
+/// `n` GiB in bytes.
+#[inline]
+pub const fn gib(n: u64) -> Bytes {
+    n * 1024 * 1024 * 1024
+}
+
+/// `x` decimal gigabytes (10⁹ bytes) in bytes, rounded down.
+#[inline]
+pub fn gb(x: f64) -> Bytes {
+    (x * 1e9) as Bytes
+}
+
+/// Bytes as decimal gigabytes (for bandwidth math against GB/s figures).
+#[inline]
+pub fn as_gb(bytes: Bytes) -> f64 {
+    bytes as f64 / 1e9
+}
+
+/// Bytes as binary gibibytes (for capacity reporting).
+#[inline]
+pub fn as_gib(bytes: Bytes) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_units_compose() {
+        assert_eq!(kib(1), 1024);
+        assert_eq!(mib(1), 1024 * kib(1));
+        assert_eq!(gib(1), 1024 * mib(1));
+        assert_eq!(gib(16), 17_179_869_184);
+    }
+
+    #[test]
+    fn decimal_gb_roundtrip() {
+        assert_eq!(gb(1.0), 1_000_000_000);
+        let b = gb(26.46);
+        assert!((as_gb(b) - 26.46).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gib_vs_gb_gap_is_seven_percent() {
+        // Sanity: the two unit systems differ by ~7.4 %; mixing them up
+        // would visibly skew every footprint fraction in the summary views.
+        let ratio = gib(1) as f64 / gb(1.0) as f64;
+        assert!((ratio - 1.0737).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cache_line_divides_typical_sizes() {
+        assert_eq!(mib(2) % CACHE_LINE, 0);
+        assert_eq!(gib(16) % CACHE_LINE, 0);
+    }
+}
+
+#[cfg(test)]
+mod conversion_tests {
+    use super::*;
+
+    #[test]
+    fn as_gib_roundtrip() {
+        assert!((as_gib(gib(128)) - 128.0).abs() < 1e-12);
+        assert!((as_gib(gb(1.0)) - 0.9313).abs() < 1e-3);
+    }
+}

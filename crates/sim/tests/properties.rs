@@ -1,0 +1,131 @@
+//! Property-based tests for the platform model invariants the tuner
+//! relies on.
+
+use hmpt_sim::cost::{phase_time, ExecCtx, PhaseLoad};
+use hmpt_sim::machine::xeon_max_9468;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::stream::{AccessPattern, Direction, ResolvedStream};
+use proptest::prelude::*;
+
+fn arb_pool() -> impl Strategy<Value = PoolKind> {
+    prop_oneof![Just(PoolKind::Ddr), Just(PoolKind::Hbm)]
+}
+
+fn arb_dir() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Read), Just(Direction::Write), Just(Direction::ReadWrite)]
+}
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Sequential),
+        Just(AccessPattern::Random),
+        (20u64..36).prop_map(|e| AccessPattern::PointerChase { window: 1 << e }),
+    ]
+}
+
+fn arb_stream() -> impl Strategy<Value = ResolvedStream> {
+    (1u64..64_000_000_000, arb_pool(), arb_dir(), arb_pattern()).prop_map(
+        |(bytes, pool, dir, pattern)| ResolvedStream { bytes, pool, dir, pattern },
+    )
+}
+
+proptest! {
+    /// Time is strictly positive and finite for any non-empty stream set.
+    #[test]
+    fn phase_time_positive(streams in prop::collection::vec(arb_stream(), 1..8)) {
+        let m = xeon_max_9468();
+        let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&streams));
+        prop_assert!(c.time_s.is_finite());
+        prop_assert!(c.time_s > 0.0);
+    }
+
+    /// Doubling every stream's bytes can never make the phase faster
+    /// (monotonicity in traffic).
+    #[test]
+    fn phase_time_monotone_in_bytes(streams in prop::collection::vec(arb_stream(), 1..6)) {
+        let m = xeon_max_9468();
+        let ctx = ExecCtx::full_socket();
+        let base = phase_time(&m, ctx, &PhaseLoad::streams_only(&streams)).time_s;
+        let doubled: Vec<_> = streams
+            .iter()
+            .map(|s| ResolvedStream { bytes: s.bytes * 2, ..s.clone() })
+            .collect();
+        let double = phase_time(&m, ctx, &PhaseLoad::streams_only(&doubled)).time_s;
+        prop_assert!(double >= base * 0.999, "doubling traffic sped phase up: {base} -> {double}");
+    }
+
+    /// More threads never slow a phase down in this model.
+    #[test]
+    fn phase_time_monotone_in_threads(
+        streams in prop::collection::vec(arb_stream(), 1..6),
+        t in 1u32..12,
+    ) {
+        let m = xeon_max_9468();
+        let lo = ExecCtx::socket_threads_per_tile(t as f64);
+        let hi = ExecCtx::socket_threads_per_tile(t as f64 + 1.0);
+        let a = phase_time(&m, lo, &PhaseLoad::streams_only(&streams).with_flops(1e9)).time_s;
+        let b = phase_time(&m, hi, &PhaseLoad::streams_only(&streams).with_flops(1e9)).time_s;
+        prop_assert!(b <= a * 1.001, "threads {t}→{} slowed phase: {a} -> {b}", t + 1);
+    }
+
+    /// The reported bound component equals the total time.
+    #[test]
+    fn bound_component_equals_total(streams in prop::collection::vec(arb_stream(), 1..8)) {
+        use hmpt_sim::cost::Bound;
+        let m = xeon_max_9468();
+        let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&streams).with_flops(1e10));
+        let component = match c.bound {
+            Bound::DdrBandwidth => c.t_ddr,
+            Bound::HbmBandwidth => c.t_hbm,
+            Bound::Fabric => c.t_fabric,
+            Bound::Latency => c.t_chase,
+            Bound::Compute => c.t_compute,
+        };
+        prop_assert!((component - c.time_s).abs() < 1e-15);
+    }
+
+    /// Traffic accounting: bytes_ddr + bytes_hbm equals the non-chase
+    /// stream volume (chase traffic is latency-priced, not bandwidth).
+    #[test]
+    fn traffic_accounting(streams in prop::collection::vec(arb_stream(), 1..8)) {
+        let m = xeon_max_9468();
+        let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&streams));
+        let expected: u64 = streams
+            .iter()
+            .filter(|s| !matches!(s.pattern, AccessPattern::PointerChase { .. }))
+            .map(|s| s.bytes)
+            .sum();
+        prop_assert_eq!(c.total_bytes(), expected);
+    }
+
+    /// Moving any single sequential read stream from DDR to HBM never
+    /// slows the phase down when there are no DDR writes to penalize —
+    /// the core assumption behind ranking allocations by access density.
+    #[test]
+    fn hbm_promotion_of_read_streams_helps(
+        mut streams in prop::collection::vec(
+            (1u64..32_000_000_000).prop_map(|b| ResolvedStream::seq(b, PoolKind::Ddr, Direction::Read)),
+            1..6,
+        ),
+        pick in 0usize..6,
+    ) {
+        let m = xeon_max_9468();
+        let ctx = ExecCtx::full_socket();
+        let before = phase_time(&m, ctx, &PhaseLoad::streams_only(&streams)).time_s;
+        let i = pick % streams.len();
+        streams[i].pool = PoolKind::Hbm;
+        let after = phase_time(&m, ctx, &PhaseLoad::streams_only(&streams)).time_s;
+        prop_assert!(after <= before * 1.0001, "promotion slowed read-only phase: {before} -> {after}");
+    }
+
+    /// Chase latency is monotone in window size for both pools.
+    #[test]
+    fn chase_latency_monotone(w1 in 13u32..38, w2 in 13u32..38) {
+        let m = xeon_max_9468();
+        let (lo, hi) = (w1.min(w2), w1.max(w2));
+        for kind in PoolKind::ALL {
+            let lat = |e: u32| m.caches.chase_latency(1u64 << e, m.pool(kind).idle_latency_ns);
+            prop_assert!(lat(hi) >= lat(lo));
+        }
+    }
+}

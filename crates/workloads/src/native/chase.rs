@@ -1,0 +1,101 @@
+//! Native pointer chase: a random Hamiltonian cycle of cache lines.
+//!
+//! The host-side twin of [`crate::pchase`]: builds a permutation where
+//! each 64-byte node stores the index of the next, then walks it. Used to
+//! validate that dependent chains really are latency-bound (orders of
+//! magnitude below streaming throughput) on any machine this repo runs
+//! on.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One cache line holding the next index (padded to 64 bytes).
+#[repr(align(64))]
+#[derive(Clone, Copy)]
+struct Node {
+    next: usize,
+    _pad: [u64; 7],
+}
+
+/// Result of a native chase run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseResult {
+    pub window_bytes: usize,
+    pub accesses: usize,
+    pub seconds: f64,
+    pub ns_per_access: f64,
+}
+
+/// Build a single random cycle over `nodes` entries (Sattolo's algorithm
+/// guarantees one cycle, so the walk cannot short-circuit).
+fn build_cycle(nodes: usize, seed: u64) -> Vec<Node> {
+    let mut order: Vec<usize> = (0..nodes).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut arr = vec![Node { next: 0, _pad: [0; 7] }; nodes];
+    for w in order.windows(2) {
+        arr[w[0]].next = w[1];
+    }
+    arr[order[nodes - 1]].next = order[0];
+    arr
+}
+
+/// Chase `accesses` dependent loads over a window of `window_bytes`.
+pub fn run(window_bytes: usize, accesses: usize) -> ChaseResult {
+    let nodes = (window_bytes / std::mem::size_of::<Node>()).max(2);
+    let arr = build_cycle(nodes, 0xc0ffee);
+    let mut idx = 0usize;
+    let t0 = std::time::Instant::now();
+    for _ in 0..accesses {
+        idx = arr[idx].next;
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    // Keep `idx` alive.
+    assert!(idx < nodes);
+    ChaseResult {
+        window_bytes,
+        accesses,
+        seconds,
+        ns_per_access: seconds * 1e9 / accesses as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_visits_every_node() {
+        let nodes = 1024;
+        let arr = build_cycle(nodes, 7);
+        let mut seen = vec![false; nodes];
+        let mut idx = 0usize;
+        for _ in 0..nodes {
+            assert!(!seen[idx], "short cycle at {idx}");
+            seen[idx] = true;
+            idx = arr[idx].next;
+        }
+        assert_eq!(idx, 0, "walk must return to start");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn node_is_cache_line_sized() {
+        assert_eq!(std::mem::size_of::<Node>(), 64);
+        assert_eq!(std::mem::align_of::<Node>(), 64);
+    }
+
+    #[test]
+    fn larger_windows_are_slower_per_access() {
+        // L1-resident vs far-beyond-LLC window.
+        let small = run(16 * 1024, 2_000_000);
+        let large = run(256 * 1024 * 1024, 2_000_000);
+        assert!(
+            large.ns_per_access > 2.0 * small.ns_per_access,
+            "small {} ns vs large {} ns",
+            small.ns_per_access,
+            large.ns_per_access
+        );
+    }
+}

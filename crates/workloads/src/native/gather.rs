@@ -1,0 +1,89 @@
+//! Native random indirect sum: the host-side twin of [`crate::randsum`].
+//!
+//! Sums values at precomputed random indices. Unlike the pointer chase,
+//! the indices are independent, so out-of-order cores keep many loads in
+//! flight — the distinction behind the two Fig 4 curves.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Result of one gather run.
+#[derive(Debug, Clone, Copy)]
+pub struct GatherResult {
+    pub elements: usize,
+    pub accesses: usize,
+    pub seconds: f64,
+    pub ns_per_access: f64,
+    /// Checksum (prevents dead-code elimination; deterministic per seed).
+    pub checksum: u64,
+}
+
+/// Sum `accesses` random u64s from a table of `elements` entries, in
+/// parallel across all rayon threads.
+pub fn run(elements: usize, accesses: usize, seed: u64) -> GatherResult {
+    assert!(elements > 0 && accesses > 0);
+    let table: Vec<u64> = (0..elements as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let indices: Vec<u32> =
+        (0..accesses).map(|_| rng.random_range(0..elements as u32)).collect();
+
+    let t0 = std::time::Instant::now();
+    let checksum: u64 = indices
+        .par_chunks(64 * 1024)
+        .map(|chunk| {
+            let mut acc = 0u64;
+            for &i in chunk {
+                acc = acc.wrapping_add(table[i as usize]);
+            }
+            acc
+        })
+        .reduce(|| 0, u64::wrapping_add);
+    let seconds = t0.elapsed().as_secs_f64();
+
+    GatherResult {
+        elements,
+        accesses,
+        seconds,
+        ns_per_access: seconds * 1e9 / accesses as f64,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let a = run(1 << 16, 1 << 18, 42);
+        let b = run(1 << 16, 1 << 18, 42);
+        assert_eq!(a.checksum, b.checksum);
+        let c = run(1 << 16, 1 << 18, 43);
+        assert_ne!(a.checksum, c.checksum, "different seed, different indices");
+    }
+
+    #[test]
+    fn gather_beats_dependent_chase_per_access() {
+        // Independent accesses over a DRAM-sized table must be faster
+        // per access than a dependent chain over the same footprint —
+        // the MLP assumption of the simulator's latency model.
+        let elements = 1 << 24; // 128 MiB table
+        let gather = run(elements, 4_000_000, 7);
+        let chase = crate::native::chase::run(elements * 8, 4_000_000);
+        assert!(
+            gather.ns_per_access < chase.ns_per_access,
+            "gather {:.1} ns vs chase {:.1} ns",
+            gather.ns_per_access,
+            chase.ns_per_access
+        );
+    }
+
+    #[test]
+    fn small_table_is_cache_fast() {
+        let small = run(1 << 12, 2_000_000, 1); // 32 KiB table
+        let large = run(1 << 24, 2_000_000, 1);
+        assert!(small.ns_per_access < large.ns_per_access);
+    }
+}

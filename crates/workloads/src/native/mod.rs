@@ -1,0 +1,12 @@
+//! Native kernels that really execute on the host.
+//!
+//! These are not models: they allocate real memory and run real parallel
+//! loops (rayon / std threads). They validate the *qualitative* ordering
+//! the simulator assumes (sequential ≫ random ≫ dependent-chase
+//! throughput) and serve as realistic example payloads.
+
+pub mod chase;
+pub mod gather;
+pub mod sort;
+pub mod stream;
+pub mod triad;

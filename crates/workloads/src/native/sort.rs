@@ -1,0 +1,126 @@
+//! Native integer histogram sort: the host-side twin of NPB IS.
+//!
+//! Counting sort over bounded keys: rank (histogram + prefix sum), then
+//! permute. Parallel histogram via per-thread local counts merged at the
+//! end — the same structure NPB IS uses per ranking iteration.
+
+use rayon::prelude::*;
+
+/// Result of one native sort run.
+#[derive(Debug, Clone)]
+pub struct SortResult {
+    pub keys: usize,
+    pub max_key: u32,
+    pub seconds: f64,
+    /// Ranked keys throughput, million keys/s.
+    pub mkeys_per_s: f64,
+}
+
+/// Generate `n` pseudo-random keys in `[0, max_key)` (NPB-style LCG).
+pub fn generate_keys(n: usize, max_key: u32, seed: u64) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % max_key
+        })
+        .collect()
+}
+
+/// Rank the keys: histogram + exclusive prefix sum.
+pub fn rank(keys: &[u32], max_key: u32) -> Vec<u64> {
+    let buckets = max_key as usize;
+    let nthreads = rayon::current_num_threads().max(1);
+    let chunk = keys.len().div_ceil(nthreads);
+    let locals: Vec<Vec<u64>> = keys
+        .par_chunks(chunk.max(1))
+        .map(|part| {
+            let mut h = vec![0u64; buckets];
+            for &k in part {
+                h[k as usize] += 1;
+            }
+            h
+        })
+        .collect();
+    let mut hist = vec![0u64; buckets];
+    for l in locals {
+        for (h, v) in hist.iter_mut().zip(l) {
+            *h += v;
+        }
+    }
+    // Exclusive prefix sum → starting rank of each key value.
+    let mut sum = 0u64;
+    for h in hist.iter_mut() {
+        let c = *h;
+        *h = sum;
+        sum += c;
+    }
+    hist
+}
+
+/// Full counting sort using [`rank`].
+pub fn sort(keys: &[u32], max_key: u32) -> Vec<u32> {
+    let mut ranks = rank(keys, max_key);
+    let mut out = vec![0u32; keys.len()];
+    for &k in keys {
+        let r = &mut ranks[k as usize];
+        out[*r as usize] = k;
+        *r += 1;
+    }
+    out
+}
+
+/// Run the IS-style benchmark: `iterations` ranking passes plus one full
+/// permutation, like NPB IS.
+pub fn run(n: usize, max_key: u32, iterations: usize) -> SortResult {
+    let keys = generate_keys(n, max_key, 314159);
+    let t0 = std::time::Instant::now();
+    for _ in 0..iterations {
+        let ranks = rank(&keys, max_key);
+        assert_eq!(ranks[0], 0);
+    }
+    let sorted = sort(&keys, max_key);
+    let seconds = t0.elapsed().as_secs_f64();
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
+    SortResult {
+        keys: n,
+        max_key,
+        seconds,
+        mkeys_per_s: (n * iterations) as f64 / 1e6 / seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_is_correct() {
+        let keys = generate_keys(100_000, 1 << 12, 42);
+        let sorted = sort(&keys, 1 << 12);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn rank_is_exclusive_prefix_sum() {
+        let keys = vec![2u32, 0, 2, 1, 0];
+        let ranks = rank(&keys, 4);
+        assert_eq!(ranks, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn keys_are_bounded() {
+        let keys = generate_keys(10_000, 100, 1);
+        assert!(keys.iter().all(|&k| k < 100));
+        // And not degenerate.
+        assert!(keys.iter().any(|&k| k > 50));
+    }
+
+    #[test]
+    fn benchmark_runs() {
+        let r = run(200_000, 1 << 10, 2);
+        assert!(r.mkeys_per_s > 0.1);
+    }
+}

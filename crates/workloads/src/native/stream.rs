@@ -1,0 +1,105 @@
+//! Native STREAM: all four kernels, host execution with rayon.
+//!
+//! The host-side twin of [`crate::stream_bench`]; reports the classic
+//! per-kernel best-of-N bandwidths.
+
+use rayon::prelude::*;
+
+/// Per-kernel best bandwidths of one native STREAM run, GB/s.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamResult {
+    pub elements: usize,
+    pub copy_gbs: f64,
+    pub scale_gbs: f64,
+    pub add_gbs: f64,
+    pub triad_gbs: f64,
+}
+
+impl StreamResult {
+    pub fn average(&self) -> f64 {
+        (self.copy_gbs + self.scale_gbs + self.add_gbs + self.triad_gbs) / 4.0
+    }
+}
+
+/// Run all four kernels `reps` times over `elements` doubles per array.
+pub fn run(elements: usize, reps: usize) -> StreamResult {
+    assert!(elements > 0 && reps > 0);
+    let scalar = 3.0f64;
+    let mut a: Vec<f64> = (0..elements).map(|i| i as f64).collect();
+    let mut b: Vec<f64> = vec![2.0; elements];
+    let mut c: Vec<f64> = vec![0.5; elements];
+
+    let bytes2 = 2.0 * 8.0 * elements as f64;
+    let bytes3 = 3.0 * 8.0 * elements as f64;
+    let mut best = [f64::INFINITY; 4];
+
+    for _ in 0..reps {
+        // Copy: c = a
+        let t = std::time::Instant::now();
+        c.par_iter_mut().zip(a.par_iter()).for_each(|(c, a)| *c = *a);
+        best[0] = best[0].min(t.elapsed().as_secs_f64());
+        // Scale: b = s·c
+        let t = std::time::Instant::now();
+        b.par_iter_mut().zip(c.par_iter()).for_each(|(b, c)| *b = scalar * c);
+        best[1] = best[1].min(t.elapsed().as_secs_f64());
+        // Add: c = a + b
+        let t = std::time::Instant::now();
+        c.par_iter_mut()
+            .zip(a.par_iter().zip(b.par_iter()))
+            .for_each(|(c, (a, b))| *c = a + b);
+        best[2] = best[2].min(t.elapsed().as_secs_f64());
+        // Triad: a = b + s·c
+        let t = std::time::Instant::now();
+        a.par_iter_mut()
+            .zip(b.par_iter().zip(c.par_iter()))
+            .for_each(|(a, (b, c))| *a = b + scalar * c);
+        best[3] = best[3].min(t.elapsed().as_secs_f64());
+    }
+    assert!(a[elements / 2].is_finite());
+
+    StreamResult {
+        elements,
+        copy_gbs: bytes2 / 1e9 / best[0],
+        scale_gbs: bytes2 / 1e9 / best[1],
+        add_gbs: bytes3 / 1e9 / best[2],
+        triad_gbs: bytes3 / 1e9 / best[3],
+    }
+}
+
+/// Verify kernel arithmetic on a small instance.
+pub fn verify(elements: usize) -> bool {
+    let scalar = 3.0f64;
+    let a: Vec<f64> = (0..elements).map(|i| i as f64).collect();
+    let b: Vec<f64> = vec![2.0; elements];
+    // After copy (c=a), scale (b=3c), add (c=a+b), triad (a=b+3c):
+    let mut c: Vec<f64> = a.clone();
+    let b2: Vec<f64> = c.iter().map(|&x| scalar * x).collect();
+    c = a.iter().zip(&b2).map(|(x, y)| x + y).collect();
+    let a2: Vec<f64> = b2.iter().zip(&c).map(|(x, y)| x + scalar * y).collect();
+    // Hand-check index 2: a=2, c=2, b=6, c=8, a=6+24=30.
+    (a2[2] - 30.0).abs() < 1e-12 && b[0] == 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_are_correct() {
+        assert!(verify(100));
+    }
+
+    #[test]
+    fn reports_sane_bandwidths() {
+        let r = run(1 << 20, 2);
+        for (name, v) in [
+            ("copy", r.copy_gbs),
+            ("scale", r.scale_gbs),
+            ("add", r.add_gbs),
+            ("triad", r.triad_gbs),
+        ] {
+            assert!(v > 0.1 && v < 10_000.0, "{name}: {v} GB/s");
+        }
+        assert!(r.average() > 0.1);
+    }
+}

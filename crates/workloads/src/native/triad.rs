@@ -1,0 +1,67 @@
+//! Native STREAM triad: `a[i] = b[i] + s*c[i]` with rayon.
+
+use rayon::prelude::*;
+
+/// Result of one native triad run.
+#[derive(Debug, Clone, Copy)]
+pub struct TriadResult {
+    pub elements: usize,
+    pub seconds: f64,
+    /// STREAM-convention bandwidth: 3 arrays × 8 bytes / time.
+    pub gbs: f64,
+}
+
+/// Run the triad `reps` times over `elements` doubles per array and
+/// report the best (STREAM convention) pass.
+pub fn run(elements: usize, reps: usize) -> TriadResult {
+    assert!(elements > 0 && reps > 0);
+    let scalar = 3.0f64;
+    let b: Vec<f64> = (0..elements).map(|i| i as f64 * 0.5).collect();
+    let c: Vec<f64> = (0..elements).map(|i| (i % 97) as f64).collect();
+    let mut a = vec![0.0f64; elements];
+
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        a.par_iter_mut()
+            .zip(b.par_iter().zip(c.par_iter()))
+            .for_each(|(a, (b, c))| *a = b + scalar * c);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    // Defeat dead-code elimination.
+    assert!(a[elements / 2].is_finite());
+    let bytes = 3.0 * 8.0 * elements as f64;
+    TriadResult { elements, seconds: best, gbs: bytes / 1e9 / best }
+}
+
+/// Verify the kernel's arithmetic on a small instance.
+pub fn verify(elements: usize) -> bool {
+    let scalar = 3.0f64;
+    let b: Vec<f64> = (0..elements).map(|i| i as f64 * 0.5).collect();
+    let c: Vec<f64> = (0..elements).map(|i| (i % 97) as f64).collect();
+    let mut a = vec![0.0f64; elements];
+    a.par_iter_mut()
+        .zip(b.par_iter().zip(c.par_iter()))
+        .for_each(|(a, (b, c))| *a = b + scalar * c);
+    a.iter()
+        .enumerate()
+        .all(|(i, &v)| (v - (i as f64 * 0.5 + scalar * (i % 97) as f64)).abs() < 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_is_correct() {
+        assert!(verify(10_000));
+    }
+
+    #[test]
+    fn reports_positive_bandwidth() {
+        let r = run(1 << 20, 2);
+        assert!(r.gbs > 0.1, "bandwidth {}", r.gbs);
+        assert!(r.seconds > 0.0);
+        assert_eq!(r.elements, 1 << 20);
+    }
+}

@@ -1,0 +1,92 @@
+//! NPB Block Tri-diagonal solver (bt.D): Fig 12, Tables I & II.
+//!
+//! bt.D keeps 9 significant allocations in 10.68 GB (Table I): the three
+//! large 5-component grid arrays `u`, `rhs`, `forcing` plus six smaller
+//! per-cell auxiliary fields (`us`, `vs`, `ws`, `qs`, `rho_i`, `square`).
+//!
+//! BT is the most compute-heavy benchmark of the set (it factorizes a
+//! dense 5×5 block per cell per direction per sweep), which we model with
+//! a dominant serial block-LU phase; the memory phases carry each array's
+//! aggregate solver traffic. `u` and `rhs` take ~91 % of the traffic
+//! while `forcing` is only read during right-hand-side assembly, so the
+//! speedup curve is steep early and flat late.
+//!
+//! Reproduced paper numbers: max speedup 1.14× (paper 1.15), HBM-only
+//! 1.14 (1.14), 90 %-speedup HBM usage 54.6 % (55.0).
+
+use hmpt_sim::stream::Direction;
+
+use super::common::{gbf, mem_phase, serial_for_speedup, serial_phase};
+use crate::model::{StreamSpec, WorkloadSpec};
+
+/// Total DRAM traffic of one run, GB.
+const TRAFFIC_GB: f64 = 40.0;
+/// Target HBM-only speedup (Table II).
+const HBM_ONLY: f64 = 1.14;
+/// Arithmetic intensity (Fig 8: BT sits far right of the NPB pack).
+const AI: f64 = 5.0;
+
+/// The bt.D workload model.
+pub fn workload() -> WorkloadSpec {
+    let mut w = WorkloadSpec::new("bt.D", "../../NPB3.4.3/NPB3.4-OMP/bin/bt.D.x");
+    let u = w.alloc("u", gbf(2.70));
+    let rhs = w.alloc("rhs", gbf(2.70));
+    let forcing = w.alloc("forcing", gbf(2.70));
+    let small_labels = ["us", "vs", "ws", "qs", "rho_i", "square"];
+    let smalls: Vec<usize> = small_labels.iter().map(|l| w.alloc(l, gbf(0.43))).collect();
+
+    // Traffic shares (fractions of TRAFFIC_GB), calibrated to Table II.
+    let t = |share: f64| gbf(TRAFFIC_GB * share);
+    w.push_phase(mem_phase(
+        "xyz_solve (u sweeps)",
+        vec![StreamSpec::seq(u, t(0.455), Direction::ReadWrite)],
+    ));
+    w.push_phase(mem_phase(
+        "xyz_solve (rhs sweeps)",
+        vec![StreamSpec::seq(rhs, t(0.455), Direction::ReadWrite)],
+    ));
+    w.push_phase(mem_phase(
+        "exact_rhs (forcing)",
+        vec![StreamSpec::seq(forcing, t(0.012), Direction::ReadWrite)],
+    ));
+    for (&idx, label) in smalls.iter().zip(small_labels) {
+        w.push_phase(mem_phase(
+            &format!("compute_rhs ({label})"),
+            vec![StreamSpec::seq(idx, t(0.013), Direction::ReadWrite)],
+        ));
+    }
+    // Dense 5×5 block LU factorization: the serial compute that pins the
+    // HBM-only ceiling at 1.14×.
+    let serial_s = serial_for_speedup(gbf(TRAFFIC_GB), HBM_ONLY);
+    let flops = AI * gbf(TRAFFIC_GB) as f64;
+    w.push_phase(serial_phase("block_lu_factor", serial_s, flops));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row() {
+        let w = workload();
+        let gb = w.footprint() as f64 / 1e9;
+        assert!((gb - 10.68).abs() < 0.01, "footprint {gb}");
+        assert_eq!(w.allocations.len(), 9);
+    }
+
+    #[test]
+    fn u_and_rhs_dominate_traffic() {
+        let w = workload();
+        let share = w.traffic_share();
+        let hot = share[0] + share[1];
+        assert!(hot > 0.88 && hot < 0.95, "u+rhs share {hot}");
+    }
+
+    #[test]
+    fn traffic_adds_up() {
+        let w = workload();
+        let gb = w.total_traffic() as f64 / 1e9;
+        assert!((gb - TRAFFIC_GB).abs() < 0.1, "traffic {gb}");
+    }
+}

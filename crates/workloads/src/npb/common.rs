@@ -1,0 +1,105 @@
+//! Shared helpers for the NPB traffic models.
+
+use hmpt_sim::units::Bytes;
+
+use crate::model::{Phase, StreamSpec};
+
+/// Decimal gigabytes → bytes (the paper reports footprints in GB).
+pub fn gbf(x: f64) -> Bytes {
+    (x * 1e9) as Bytes
+}
+
+/// A bandwidth-style phase with a compute floor expressed as an
+/// *effective memory bandwidth equivalent*: the phase takes at least
+/// `traffic / k_eff_gbs` seconds no matter where the data sits. The
+/// floor is realized through the FLOP count and per-core compute cap so
+/// the roofline sees a consistent (AI, GFLOP/s) operating point:
+///
+/// * `flops = ai · traffic`
+/// * `cap_per_core = ai · k_eff_gbs / 48` (one socket of 48 cores)
+///
+/// which yields `t_compute = flops / (cap · 48) = traffic / k_eff_gbs`.
+pub fn floored_phase(label: &str, streams: Vec<StreamSpec>, k_eff_gbs: f64, ai: f64) -> Phase {
+    let traffic: u64 = streams.iter().map(|s| s.bytes).sum();
+    let flops = ai * traffic as f64;
+    let cap_per_core = ai * k_eff_gbs / 48.0;
+    Phase::new(label, streams).flops(flops).compute_cap(cap_per_core)
+}
+
+/// A pure serial-compute phase lasting `seconds` on a full socket, with
+/// `flops` total work (sets the benchmark's roofline position).
+pub fn serial_phase(label: &str, seconds: f64, flops: f64) -> Phase {
+    let cap_per_core = flops / (seconds * 48.0 * 1e9);
+    Phase::new(label, Vec::new()).flops(flops).compute_cap(cap_per_core)
+}
+
+/// A pure-bandwidth phase: streams with no compute floor (the serial
+/// phase of the benchmark carries the FLOPs).
+pub fn mem_phase(label: &str, streams: Vec<StreamSpec>) -> Phase {
+    Phase::new(label, streams)
+}
+
+/// The serial-compute duration that pins a linear-gain benchmark's
+/// HBM-only speedup at `s`: solves
+/// `(M/200 + c) / (M/700 + c) = s` for `c`, with `M` the total DRAM
+/// traffic in bytes.
+pub fn serial_for_speedup(total_traffic: Bytes, s: f64) -> f64 {
+    let m = total_traffic as f64 / 1e9;
+    m * (1.0 / 200.0 - s / 700.0) / (s - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::cost::{phase_time, ExecCtx, PhaseLoad};
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::pool::PoolKind;
+    use hmpt_sim::stream::{Direction, ResolvedStream};
+
+    #[test]
+    fn floored_phase_realizes_k_eff() {
+        // A floored phase with all data in HBM should take traffic/k_eff.
+        let m = xeon_max_9468();
+        let phase = floored_phase(
+            "p",
+            vec![StreamSpec::seq(0, gbf(10.0), Direction::Read)],
+            454.0,
+            0.12,
+        );
+        let streams =
+            [ResolvedStream::seq(gbf(10.0), PoolKind::Hbm, Direction::Read)];
+        let load = PhaseLoad {
+            streams: &streams,
+            flops: phase.flops,
+            gflops_per_core_cap: phase.gflops_per_core_cap,
+            eff: phase.eff,
+        };
+        let c = phase_time(&m, ExecCtx::full_socket(), &load);
+        let expect = 10.0 / 454.0;
+        assert!((c.time_s - expect).abs() / expect < 1e-9, "got {}", c.time_s);
+    }
+
+    #[test]
+    fn serial_phase_duration() {
+        let m = xeon_max_9468();
+        let phase = serial_phase("factor", 0.5, 1e12);
+        let load = PhaseLoad {
+            streams: &[],
+            flops: phase.flops,
+            gflops_per_core_cap: phase.gflops_per_core_cap,
+            eff: phase.eff,
+        };
+        let c = phase_time(&m, ExecCtx::full_socket(), &load);
+        assert!((c.time_s - 0.5).abs() < 1e-9, "got {}", c.time_s);
+    }
+
+    #[test]
+    fn serial_for_speedup_solves_the_ceiling() {
+        let total = gbf(40.0);
+        let s = 1.14;
+        let c = serial_for_speedup(total, s);
+        let t0 = 40.0 / 200.0 + c;
+        let th = 40.0 / 700.0 + c;
+        assert!((t0 / th - s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,10 @@
+//! NAS Parallel Benchmark (NPB 3.4, OpenMP, class D unless noted) traffic
+//! models, one module per benchmark evaluated in the paper.
+
+pub mod common;
+pub mod bt;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+pub mod ua;

@@ -1,0 +1,108 @@
+//! Pointer-chase benchmarks (Fig 3 latency sweep, Fig 4 parallel chase).
+//!
+//! A single dependent chain of loads wanders a window of the given size;
+//! reported latency is nanoseconds per access. The parallel variant runs
+//! one independent chain per core over a large array, the configuration
+//! whose HBM/DDR speedup is the flat ≈0.86 line of Fig 4.
+
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_sim::cost::ExecCtx;
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::{Bytes, CACHE_LINE};
+
+use crate::model::{Phase, StreamSpec, WorkloadSpec};
+use crate::runner::{run_once, RunConfig};
+
+/// Chase workload: `accesses` dependent loads over a `window`-byte array.
+pub fn workload(window: Bytes, accesses: u64) -> WorkloadSpec {
+    let mut w = WorkloadSpec::new("pchase", "./pchase.x");
+    let arr = w.alloc("chain", window.max(CACHE_LINE));
+    w.push_phase(Phase::new("chase", vec![StreamSpec::chase(arr, accesses * CACHE_LINE, window)]));
+    // Fig 3 is measured with a single active core.
+    w.ctx = ExecCtx { threads_per_tile: 1.0, tiles: 1 };
+    w
+}
+
+/// Fig 3's metric: average load-to-use latency (ns) of a single-core
+/// chase over `window` bytes resident in `pool`.
+pub fn latency_ns(machine: &Machine, pool: PoolKind, window: Bytes) -> f64 {
+    let accesses = 1_000_000u64;
+    let w = workload(window, accesses);
+    let plan = PlacementPlan::all_in(pool);
+    let out = run_once(machine, &w, &plan, &RunConfig::exact()).expect("window fits");
+    out.time_s * 1e9 / accesses as f64
+}
+
+/// Fig 4's "Random Pointer Chase" series: HBM/DDR speedup of per-core
+/// independent chains over a 32 GB array at `threads_per_tile` on one
+/// socket.
+pub fn parallel_chase_speedup(machine: &Machine, threads_per_tile: f64) -> f64 {
+    let window: Bytes = 32_000_000_000;
+    let accesses = 100_000_000u64;
+    let mut w = workload(window, accesses);
+    w.ctx = ExecCtx::socket_threads_per_tile(threads_per_tile);
+    let t = |pool| {
+        run_once(machine, &w, &PlacementPlan::all_in(pool), &RunConfig::exact())
+            .expect("fits")
+            .time_s
+    };
+    t(PoolKind::Ddr) / t(PoolKind::Hbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::units::{gib, kib, mib};
+
+    #[test]
+    fn fig3_plateaus() {
+        let m = xeon_max_9468();
+        // L1 region.
+        let l1 = latency_ns(&m, PoolKind::Ddr, kib(16));
+        assert!(l1 < 4.0, "L1 latency {l1}");
+        // L2 plateau.
+        let l2 = latency_ns(&m, PoolKind::Ddr, kib(1024));
+        assert!(l2 > 4.0 && l2 < 15.0, "L2 latency {l2}");
+        // DRAM plateaus, DDR vs HBM ≈ +20 %.
+        let ddr = latency_ns(&m, PoolKind::Ddr, gib(4));
+        let hbm = latency_ns(&m, PoolKind::Hbm, gib(4));
+        assert!(ddr > 85.0 && ddr < 100.0, "DDR latency {ddr}");
+        let pen = hbm / ddr;
+        assert!(pen > 1.15 && pen < 1.25, "penalty {pen}");
+    }
+
+    #[test]
+    fn fig3_monotone_sweep() {
+        let m = xeon_max_9468();
+        let mut prev = 0.0;
+        for exp in 3..=18u32 {
+            let lat = latency_ns(&m, PoolKind::Hbm, kib(1) << exp);
+            assert!(lat >= prev, "non-monotone at 2^{exp} kB");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn fig4_chase_speedup_flat_below_one() {
+        let m = xeon_max_9468();
+        for t in [2.0, 6.0, 12.0] {
+            let s = parallel_chase_speedup(&m, t);
+            assert!(s > 0.80 && s < 0.90, "chase speedup {s} at {t} threads/tile");
+        }
+        // Flat: spread between low and high thread counts is small.
+        let lo = parallel_chase_speedup(&m, 2.0);
+        let hi = parallel_chase_speedup(&m, 12.0);
+        assert!((lo - hi).abs() < 0.03, "not flat: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn small_window_latency_pool_independent() {
+        // Cache-resident chases don't care where the backing memory is.
+        let m = xeon_max_9468();
+        let d = latency_ns(&m, PoolKind::Ddr, mib(1));
+        let h = latency_ns(&m, PoolKind::Hbm, mib(1));
+        assert!((d - h).abs() / d < 0.02, "{d} vs {h}");
+    }
+}

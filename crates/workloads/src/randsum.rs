@@ -1,0 +1,79 @@
+//! Random indirect sum (Fig 4): summation of randomly spaced values.
+//!
+//! Unlike the pointer chase, the random indices are known up front, so
+//! every core keeps several independent loads in flight. At low thread
+//! counts the extra HBM latency loses; once DDR's random-access
+//! throughput saturates, HBM pulls ahead — the Fig 4 crossover slightly
+//! above 1.0 near 10–12 threads/tile.
+
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_sim::cost::ExecCtx;
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::stream::Direction;
+use hmpt_sim::units::Bytes;
+
+use crate::model::{Phase, StreamSpec, WorkloadSpec};
+use crate::runner::{run_once, RunConfig};
+
+/// Array size from the paper: 32 GB uniformly spread over the nodes of a
+/// single socket.
+pub const ARRAY_BYTES: Bytes = 32_000_000_000;
+
+/// The random-indirect-sum workload: one pass of random cache-line reads
+/// over the array.
+pub fn workload(threads_per_tile: f64) -> WorkloadSpec {
+    let mut w = WorkloadSpec::new("randsum", "./randsum.x");
+    let arr = w.alloc("values", ARRAY_BYTES);
+    w.push_phase(Phase::new("gather", vec![StreamSpec::random(arr, ARRAY_BYTES, Direction::Read)]));
+    w.ctx = ExecCtx::socket_threads_per_tile(threads_per_tile);
+    w
+}
+
+/// Fig 4's "Random Indirect Sum" series: HBM/DDR speedup.
+pub fn speedup(machine: &Machine, threads_per_tile: f64) -> f64 {
+    let w = workload(threads_per_tile);
+    let t = |pool| {
+        run_once(machine, &w, &PlacementPlan::all_in(pool), &RunConfig::exact())
+            .expect("fits")
+            .time_s
+    };
+    t(PoolKind::Ddr) / t(PoolKind::Hbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn fig4_crossover_shape() {
+        let m = xeon_max_9468();
+        // Latency-bound at low thread counts: DDR wins.
+        let lo = speedup(&m, 2.0);
+        assert!(lo > 0.8 && lo < 0.95, "low-thread speedup {lo}");
+        // Crosses above 1.0 by full occupancy.
+        let hi = speedup(&m, 12.0);
+        assert!(hi > 1.0 && hi < 1.1, "full-socket speedup {hi}");
+    }
+
+    #[test]
+    fn speedup_monotone_in_threads() {
+        let m = xeon_max_9468();
+        let mut prev = 0.0;
+        for t in 1..=12 {
+            let s = speedup(&m, t as f64);
+            assert!(s >= prev - 1e-9, "non-monotone at {t} threads/tile");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn crossover_in_the_last_quarter_of_the_sweep() {
+        let m = xeon_max_9468();
+        // The paper's crossover sits near the right edge of the sweep
+        // (≈10–12 threads/tile); ours lands between 11 and 12.
+        assert!(speedup(&m, 8.0) < 1.0, "8t {}", speedup(&m, 8.0));
+        assert!(speedup(&m, 12.0) > 1.0, "12t {}", speedup(&m, 12.0));
+    }
+}

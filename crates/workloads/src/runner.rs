@@ -1,0 +1,274 @@
+//! Execute one workload run on the simulated platform.
+//!
+//! This is the "Evaluated Application/Benchmark" box of the paper's Fig 6
+//! wired to the rest of the stack: allocations flow through the shim
+//! (placement control), phases are priced by the platform model
+//! (measurement), and the IBS sampler observes the traffic (profiling).
+
+use hmpt_alloc::error::AllocError;
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_alloc::shim::{Allocation, Shim};
+use hmpt_perf::attr::attribute;
+use hmpt_perf::counters::Counters;
+use hmpt_perf::ibs::{IbsConfig, MemSample, Sampler};
+use hmpt_perf::stats::AccessStats;
+use hmpt_sim::cost::{phase_time, PhaseCost, PhaseLoad};
+use hmpt_sim::machine::Machine;
+use hmpt_sim::noise::NoiseModel;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::stream::{AccessPattern, ResolvedStream};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::model::WorkloadSpec;
+
+/// Configuration of one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunConfig {
+    pub noise: NoiseModel,
+    /// Seed for noise and sampling (vary per repetition).
+    pub seed: u64,
+    /// Enable IBS sampling with this configuration (profiling runs).
+    pub ibs: Option<IbsConfig>,
+}
+
+impl RunConfig {
+    /// Noise-free, unsampled run (model ground truth).
+    pub fn exact() -> Self {
+        RunConfig { noise: NoiseModel::none(), seed: 0, ibs: None }
+    }
+
+    /// Profiling run with default IBS sampling.
+    pub fn profiling(seed: u64) -> Self {
+        RunConfig { noise: NoiseModel::default(), seed, ibs: Some(IbsConfig::default()) }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything observed during one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Measured wall-clock time (with noise).
+    pub time_s: f64,
+    /// Hardware counters (noise-free model totals).
+    pub counters: Counters,
+    /// Raw IBS samples (empty unless profiling was enabled).
+    pub samples: Vec<MemSample>,
+    /// Attributed per-site access statistics.
+    pub stats: AccessStats,
+    /// Fraction of the footprint placed in HBM during the run.
+    pub hbm_footprint_fraction: f64,
+    /// Per-phase cost breakdown (one entry per phase, not per repeat).
+    pub phase_costs: Vec<PhaseCost>,
+}
+
+/// Resolve a workload stream against the extents actually backing its
+/// allocation: a split allocation yields one stream per extent with
+/// proportional traffic.
+fn resolve_streams(
+    spec: &WorkloadSpec,
+    phase_idx: usize,
+    allocations: &[Allocation],
+) -> Vec<ResolvedStream> {
+    let phase = &spec.phases[phase_idx];
+    let mut out = Vec::with_capacity(phase.streams.len());
+    for s in &phase.streams {
+        let alloc = &allocations[s.alloc];
+        let total = alloc.bytes.max(1);
+        for e in &alloc.extents {
+            let share = e.bytes as f64 / total as f64;
+            let bytes = (s.bytes as f64 * share).round() as u64;
+            if bytes == 0 {
+                continue;
+            }
+            // A chase over a split allocation wanders a smaller window in
+            // each pool.
+            let pattern = match s.pattern {
+                AccessPattern::PointerChase { window } => AccessPattern::PointerChase {
+                    window: ((window as f64 * share).round() as u64).max(1),
+                },
+                p => p,
+            };
+            out.push(ResolvedStream { bytes, pool: e.pool, dir: s.dir, pattern });
+        }
+    }
+    out
+}
+
+/// Run `spec` once on `machine` under `plan`.
+pub fn run_once(
+    machine: &Machine,
+    spec: &WorkloadSpec,
+    plan: &PlacementPlan,
+    cfg: &RunConfig,
+) -> Result<RunOutcome, AllocError> {
+    let mut shim = Shim::new(machine, plan.clone());
+    let mut allocations = Vec::with_capacity(spec.allocations.len());
+    for a in &spec.allocations {
+        allocations.push(shim.malloc(&a.trace, a.bytes)?);
+    }
+    let hbm_footprint_fraction = shim.hbm_footprint_fraction();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut sampler = cfg.ibs.map(|ibs| {
+        Sampler::new(ibs, ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x1b5)))
+    });
+
+    let mut counters = Counters::new();
+    let mut model_time = 0.0;
+    let mut samples: Vec<MemSample> = Vec::new();
+    let mut phase_costs = Vec::with_capacity(spec.phases.len());
+
+    for (i, phase) in spec.phases.iter().enumerate() {
+        let streams = resolve_streams(spec, i, &allocations);
+        let load = PhaseLoad {
+            streams: &streams,
+            flops: phase.flops,
+            gflops_per_core_cap: phase.gflops_per_core_cap,
+            eff: phase.eff,
+        };
+        let cost = phase_time(machine, spec.ctx, &load);
+        counters.add_phase(&cost, phase.repeats);
+        model_time += cost.time_s * phase.repeats as f64;
+
+        if let Some(sampler) = sampler.as_mut() {
+            for (spec_stream, alloc_ref) in
+                phase.streams.iter().map(|s| (s, &allocations[s.alloc]))
+            {
+                let traffic = spec_stream.bytes * phase.repeats;
+                samples.extend(sampler.sample_stream(
+                    &alloc_ref.extents,
+                    traffic,
+                    spec_stream.dir,
+                    |pool: PoolKind| machine.pool(pool).idle_latency_ns,
+                ));
+            }
+        }
+        phase_costs.push(cost);
+    }
+
+    let stats = if samples.is_empty() {
+        AccessStats::default()
+    } else {
+        AccessStats::from_attribution(&attribute(&samples, shim.registry()))
+    };
+
+    let time_s = cfg.noise.perturb(model_time, &mut rng);
+    shim.free_all();
+
+    Ok(RunOutcome {
+        time_s,
+        counters,
+        samples,
+        stats,
+        hbm_footprint_fraction,
+        phase_costs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Phase, StreamSpec, WorkloadSpec};
+    use hmpt_alloc::plan::{Assignment, PlacementPlan};
+    use hmpt_sim::machine::xeon_max_9468;
+    use hmpt_sim::stream::Direction;
+    use hmpt_sim::units::gib;
+
+    fn toy() -> WorkloadSpec {
+        let mut w = WorkloadSpec::new("toy", "./toy.x");
+        let hot = w.alloc("hot", gib(4));
+        let cold = w.alloc("cold", gib(4));
+        w.push_phase(
+            Phase::new(
+                "sweep",
+                vec![
+                    StreamSpec::seq(hot, gib(8), Direction::Read),
+                    StreamSpec::seq(cold, gib(1), Direction::Read),
+                ],
+            )
+            .repeats(5),
+        );
+        w
+    }
+
+    #[test]
+    fn hbm_placement_speeds_up_hot_workload() {
+        let m = xeon_max_9468();
+        let w = toy();
+        let cfg = RunConfig::exact();
+        let ddr = run_once(&m, &w, &PlacementPlan::all_in(PoolKind::Ddr), &cfg).unwrap();
+        let hot_site = w.allocations[0].site();
+        let promoted =
+            run_once(&m, &w, &PlacementPlan::promote_to_hbm([hot_site]), &cfg).unwrap();
+        assert!(promoted.time_s < ddr.time_s * 0.6, "{} vs {}", promoted.time_s, ddr.time_s);
+        assert!((promoted.hbm_footprint_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_track_repeats() {
+        let m = xeon_max_9468();
+        let w = toy();
+        let out = run_once(&m, &w, &PlacementPlan::default(), &RunConfig::exact()).unwrap();
+        assert_eq!(out.counters.dram_bytes(), 5 * gib(9));
+        assert_eq!(out.phase_costs.len(), 1);
+    }
+
+    #[test]
+    fn profiling_produces_attributed_samples() {
+        let m = xeon_max_9468();
+        let w = toy();
+        let out = run_once(&m, &w, &PlacementPlan::default(), &RunConfig::profiling(3)).unwrap();
+        assert!(!out.samples.is_empty());
+        // Hot allocation gets ~8/9 of the samples.
+        let hot = out.stats.density(w.allocations[0].site());
+        assert!(hot > 0.8 && hot < 0.95, "hot density {hot}");
+        // Unattributed samples only from skid (≤ a few).
+        assert!(out.stats.unattributed < out.samples.len() / 100 + 5);
+    }
+
+    #[test]
+    fn split_plan_splits_traffic() {
+        let m = xeon_max_9468();
+        let w = toy();
+        let mut plan = PlacementPlan::default();
+        plan.set(w.allocations[0].site(), Assignment::Split { hbm_fraction: 0.5 }).unwrap();
+        let out = run_once(&m, &w, &plan, &RunConfig::exact()).unwrap();
+        // hot traffic 40 GiB split evenly + cold 5 GiB in DDR.
+        let expect_hbm = 5 * gib(4);
+        assert!((out.counters.hbm_bytes as f64 - expect_hbm as f64).abs() < gib(1) as f64);
+    }
+
+    #[test]
+    fn infeasible_plan_errors() {
+        let m = xeon_max_9468();
+        let mut w = WorkloadSpec::new("big", "./big.x");
+        w.alloc("huge", gib(200)); // > 128 GiB HBM
+        let err = run_once(&m, &w, &PlacementPlan::all_in(PoolKind::Hbm), &RunConfig::exact());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn noise_free_runs_are_identical() {
+        let m = xeon_max_9468();
+        let w = toy();
+        let a = run_once(&m, &w, &PlacementPlan::default(), &RunConfig::exact()).unwrap();
+        let b = run_once(&m, &w, &PlacementPlan::default(), &RunConfig::exact()).unwrap();
+        assert_eq!(a.time_s, b.time_s);
+    }
+
+    #[test]
+    fn noisy_runs_differ_but_slightly() {
+        let m = xeon_max_9468();
+        let w = toy();
+        let cfg = RunConfig::default();
+        let a = run_once(&m, &w, &PlacementPlan::default(), &cfg.with_seed(1)).unwrap();
+        let b = run_once(&m, &w, &PlacementPlan::default(), &cfg.with_seed(2)).unwrap();
+        assert_ne!(a.time_s, b.time_s);
+        assert!((a.time_s / b.time_s - 1.0).abs() < 0.1);
+    }
+}

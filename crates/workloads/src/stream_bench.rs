@@ -1,0 +1,246 @@
+//! STREAM benchmark model (Figs 2 and 5).
+//!
+//! Three 16 GB work arrays `a`, `b`, `c` and the four classic kernels:
+//!
+//! | kernel | operation        | traffic            |
+//! |--------|------------------|--------------------|
+//! | Copy   | `c[i] = a[i]`    | read a, write c    |
+//! | Scale  | `b[i] = s·c[i]`  | read c, write b    |
+//! | Add    | `c[i] = a+b`     | read a,b; write c  |
+//! | Triad  | `a[i] = b+s·c`   | read b,c; write a  |
+//!
+//! Copy/Scale use non-temporal stores and reach the full sustained
+//! bandwidth; Add/Triad top out lower on HBM (~600 GB/s, Fig 5b's y-axis)
+//! which we model with a per-phase HBM efficiency derating.
+
+use hmpt_alloc::plan::PlacementPlan;
+use hmpt_sim::cost::{ExecCtx, PoolEfficiency};
+use hmpt_sim::machine::Machine;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::stream::Direction;
+use hmpt_sim::units::Bytes;
+
+use crate::model::{Phase, StreamSpec, WorkloadSpec};
+use crate::runner::{run_once, RunConfig};
+
+/// One STREAM array: 16 GB, matching the paper's configuration
+/// ("16 GB per array", Fig 5).
+pub const ARRAY_BYTES: Bytes = 16_000_000_000;
+
+/// The four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKernel {
+    Copy,
+    Scale,
+    Add,
+    Triad,
+}
+
+impl StreamKernel {
+    pub const ALL: [StreamKernel; 4] =
+        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "Copy",
+            StreamKernel::Scale => "Scale",
+            StreamKernel::Add => "Add",
+            StreamKernel::Triad => "Triad",
+        }
+    }
+
+    /// (read arrays, written array), as indices 0=a 1=b 2=c.
+    fn traffic(self) -> (&'static [usize], usize) {
+        match self {
+            StreamKernel::Copy => (&[0], 2),
+            StreamKernel::Scale => (&[2], 1),
+            StreamKernel::Add => (&[0, 1], 2),
+            StreamKernel::Triad => (&[1, 2], 0),
+        }
+    }
+
+    /// FLOPs per element pair (Copy 0, Scale/Add 1, Triad 2).
+    fn flops_per_element(self) -> f64 {
+        match self {
+            StreamKernel::Copy => 0.0,
+            StreamKernel::Scale | StreamKernel::Add => 1.0,
+            StreamKernel::Triad => 2.0,
+        }
+    }
+
+    /// HBM bandwidth derating for this kernel (see module docs).
+    fn pool_eff(self) -> PoolEfficiency {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => PoolEfficiency::default(),
+            StreamKernel::Add | StreamKernel::Triad => {
+                PoolEfficiency { ddr: 1.0, hbm: 600.0 / 700.0 }
+            }
+        }
+    }
+}
+
+/// STREAM as a workload: one phase running `kernel` once over the arrays.
+pub fn workload(kernel: StreamKernel) -> WorkloadSpec {
+    let mut w = WorkloadSpec::new("stream", "./stream.x");
+    let a = w.alloc("a", ARRAY_BYTES);
+    let b = w.alloc("b", ARRAY_BYTES);
+    let c = w.alloc("c", ARRAY_BYTES);
+    let arrays = [a, b, c];
+    let (reads, write) = kernel.traffic();
+    let mut streams: Vec<StreamSpec> =
+        reads.iter().map(|&i| StreamSpec::seq(arrays[i], ARRAY_BYTES, Direction::Read)).collect();
+    streams.push(StreamSpec::seq(arrays[write], ARRAY_BYTES, Direction::Write));
+    let elements = ARRAY_BYTES as f64 / 8.0;
+    w.push_phase(
+        Phase::new(kernel.label(), streams)
+            .flops(elements * kernel.flops_per_element())
+            .eff(kernel.pool_eff()),
+    );
+    w
+}
+
+/// Plan placing arrays `a`, `b`, `c` in the given pools.
+pub fn plan_for(w: &WorkloadSpec, pools: [PoolKind; 3]) -> PlacementPlan {
+    let mut plan = PlacementPlan::all_in(PoolKind::Ddr);
+    for (alloc, pool) in w.allocations.iter().zip(pools) {
+        plan.set(alloc.site(), hmpt_alloc::plan::Assignment::Pool(pool)).unwrap();
+    }
+    plan
+}
+
+/// STREAM-reported bandwidth (total bytes moved / kernel time) in GB/s
+/// for `kernel` with the given per-array placement at `threads_per_tile`
+/// on one socket.
+pub fn kernel_bandwidth(
+    machine: &Machine,
+    kernel: StreamKernel,
+    pools: [PoolKind; 3],
+    threads_per_tile: f64,
+) -> f64 {
+    let mut w = workload(kernel);
+    w.ctx = ExecCtx::socket_threads_per_tile(threads_per_tile);
+    let plan = plan_for(&w, pools);
+    let out = run_once(machine, &w, &plan, &RunConfig::exact()).expect("stream fits");
+    out.counters.dram_bandwidth_gbs()
+}
+
+/// Fig 2's metric: bandwidth averaged over all four kernels with every
+/// array bound to `pool`.
+pub fn average_bandwidth(machine: &Machine, pool: PoolKind, threads_per_tile: f64) -> f64 {
+    let sum: f64 = StreamKernel::ALL
+        .iter()
+        .map(|&k| kernel_bandwidth(machine, k, [pool; 3], threads_per_tile))
+        .sum();
+    sum / StreamKernel::ALL.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn fig2_endpoints() {
+        let m = xeon_max_9468();
+        let ddr = average_bandwidth(&m, PoolKind::Ddr, 12.0);
+        let hbm = average_bandwidth(&m, PoolKind::Hbm, 12.0);
+        // Paper: ~200 and ~700 GB/s sustained per socket (Add/Triad pull
+        // the HBM average below the copy figure).
+        assert!((ddr - 200.0).abs() < 10.0, "DDR avg {ddr}");
+        assert!(hbm > 600.0 && hbm <= 710.0, "HBM avg {hbm}");
+        assert!(hbm / ddr > 3.0, "ratio {}", hbm / ddr);
+    }
+
+    #[test]
+    fn fig2_scaling_shapes() {
+        let m = xeon_max_9468();
+        // DDR nearly saturated by 4 threads/tile; HBM still climbing.
+        let d4 = average_bandwidth(&m, PoolKind::Ddr, 4.0);
+        let d12 = average_bandwidth(&m, PoolKind::Ddr, 12.0);
+        assert!(d4 > 0.85 * d12, "DDR 4t {d4} vs 12t {d12}");
+        let h4 = average_bandwidth(&m, PoolKind::Hbm, 4.0);
+        let h12 = average_bandwidth(&m, PoolKind::Hbm, 12.0);
+        assert!(h4 < 0.75 * h12, "HBM 4t {h4} vs 12t {h12}");
+    }
+
+    #[test]
+    fn fig5a_copy_placements() {
+        let m = xeon_max_9468();
+        use PoolKind::{Ddr as D, Hbm as H};
+        let bw = |p| kernel_bandwidth(&m, StreamKernel::Copy, p, 12.0);
+        let dd = bw([D, D, D]);
+        let dh = bw([D, D, H]); // read a (DDR) → write c (HBM)
+        let hd = bw([H, D, D]); // read a (HBM) → write c (DDR)
+        let hh = bw([H, H, H]);
+        assert!(dd < dh && dh < hh, "ordering {dd} {dh} {hh}");
+        // The asymmetry: HBM→DDR ≈ 65 % of DDR→HBM.
+        assert!((hd / dh - 0.65).abs() < 0.03, "asymmetry {}", hd / dh);
+    }
+
+    #[test]
+    fn fig5b_add_placements() {
+        let m = xeon_max_9468();
+        use PoolKind::{Ddr as D, Hbm as H};
+        let bw = |p| kernel_bandwidth(&m, StreamKernel::Add, p, 12.0);
+        let hhh = bw([H, H, H]);
+        let dhh = bw([D, H, H]); // one input in DDR
+        let ddh = bw([D, D, H]);
+        let hhd = bw([H, H, D]);
+        // HBM-only Add tops out near 600 GB/s.
+        assert!((hhh - 600.0).abs() < 10.0, "HBM add {hhh}");
+        // One input in DDR costs (almost) nothing.
+        assert!(dhh > 0.97 * hhh, "D+H→H {dhh} vs {hhh}");
+        // The two "2 in one pool + result in the other" configs are in the
+        // same performance class, both well below HBM-only.
+        assert!(hhd < 0.75 * hhh && ddh < 0.75 * hhh, "hhd {hhd} ddh {ddh}");
+        let ratio = hhd / ddh;
+        assert!(ratio > 0.75 && ratio < 1.45, "similarity ratio {ratio}");
+    }
+
+    #[test]
+    fn kernel_traffic_volumes() {
+        let copy = workload(StreamKernel::Copy);
+        assert_eq!(copy.total_traffic(), 2 * ARRAY_BYTES);
+        let add = workload(StreamKernel::Add);
+        assert_eq!(add.total_traffic(), 3 * ARRAY_BYTES);
+        assert_eq!(add.footprint(), 3 * ARRAY_BYTES);
+    }
+
+    #[test]
+    fn triad_has_flops() {
+        let w = workload(StreamKernel::Triad);
+        assert!((w.total_flops() - 2.0 * ARRAY_BYTES as f64 / 8.0).abs() < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+    use hmpt_sim::machine::xeon_max_9468;
+
+    #[test]
+    fn scale_mirrors_copy_traffic() {
+        let w = workload(StreamKernel::Scale);
+        assert_eq!(w.total_traffic(), 2 * ARRAY_BYTES);
+        // Scale reads c, writes b: exactly one read + one write stream.
+        let phase = &w.phases[0];
+        assert_eq!(phase.streams.len(), 2);
+        // One FLOP per element.
+        assert!((w.total_flops() - ARRAY_BYTES as f64 / 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn scale_bandwidth_matches_copy_class() {
+        let m = xeon_max_9468();
+        let scale = kernel_bandwidth(&m, StreamKernel::Scale, [PoolKind::Hbm; 3], 12.0);
+        let copy = kernel_bandwidth(&m, StreamKernel::Copy, [PoolKind::Hbm; 3], 12.0);
+        assert!((scale - copy).abs() < 1.0, "scale {scale} vs copy {copy}");
+    }
+
+    #[test]
+    fn triad_carries_the_add_derating() {
+        let m = xeon_max_9468();
+        let triad = kernel_bandwidth(&m, StreamKernel::Triad, [PoolKind::Hbm; 3], 12.0);
+        assert!((triad - 600.0).abs() < 10.0, "triad {triad}");
+    }
+}

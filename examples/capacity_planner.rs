@@ -1,0 +1,46 @@
+//! Capacity planning: what happens when HBM is *smaller* than the
+//! working set? Sweep an HBM budget and compare the three planning
+//! strategies (exhaustive / greedy / knapsack) on NPB Multi-Grid.
+//!
+//! ```text
+//! cargo run --release --example capacity_planner
+//! ```
+
+use hmpt_repro::core::driver::Driver;
+use hmpt_repro::core::planner::{plan_exhaustive, plan_greedy, plan_knapsack};
+
+fn main() {
+    let spec = hmpt_repro::workloads::npb::mg::workload();
+    let driver = Driver::new(hmpt_repro::machine());
+    let a = driver.analyze(&spec).expect("mg analysis");
+
+    let footprint = spec.footprint();
+    println!(
+        "mg.D footprint {:.2} GB; sweeping HBM budgets with three planners\n",
+        footprint as f64 / 1e9
+    );
+    println!(
+        "{:>10} {:>22} {:>16} {:>22}",
+        "budget", "exhaustive (speedup)", "greedy (config)", "knapsack (est. speedup)"
+    );
+    for pct in [25u64, 50, 75, 100] {
+        let budget = footprint * pct / 100;
+        let ex = plan_exhaustive(&a.campaign, &a.groups, budget);
+        let gr = plan_greedy(&a.groups, budget);
+        let kn = plan_knapsack(&a.groups, &a.estimator, budget, 256 * 1024 * 1024);
+        println!(
+            "{:>9}% {:>14} ({:.2}x) {:>16} {:>15} ({:.2}x)",
+            pct,
+            ex.config.label(),
+            ex.speedup,
+            gr.config.label(),
+            kn.config.label(),
+            kn.speedup,
+        );
+    }
+
+    println!(
+        "\nat a 50% budget the planners already pick the hot {{u, r}} pair the\n\
+         exhaustive search found — density ranking is a good capacity heuristic."
+    );
+}

@@ -1,0 +1,49 @@
+//! Dynamic tuning with live migration: the paper's "online profiling and
+//! control" direction, end to end. Profile the first iteration of a
+//! long-running solver, choose a placement from sampled densities alone,
+//! migrate while running, and amortize the migration cost.
+//!
+//! ```text
+//! cargo run --release --example dynamic_migration
+//! ```
+
+use hmpt_repro::core::dynamic::{run_dynamic, DynamicConfig};
+
+fn main() {
+    let machine = hmpt_repro::machine();
+    println!(
+        "{:<8} {:>6} {:>12} {:>10} {:>10} {:>10} {:>11}",
+        "workload", "iters", "migrated GB", "cost [s]", "iter DDR", "iter tuned", "break-even"
+    );
+    for spec in hmpt_repro::workloads::table2_workloads() {
+        let cfg = DynamicConfig::new(50, machine.hbm_capacity());
+        let r = run_dynamic(&machine, &spec, &cfg).expect("dynamic run");
+        println!(
+            "{:<8} {:>6} {:>12.2} {:>10.3} {:>10.3} {:>10.3} {:>11}",
+            spec.name,
+            50,
+            r.migrated_bytes as f64 / 1e9,
+            r.migration_cost_s,
+            r.iter_ddr_s,
+            r.iter_tuned_s,
+            r.break_even_iterations
+                .map(|k| format!("iter {k}"))
+                .unwrap_or_else(|| "never".into()),
+        );
+    }
+
+    // The capacity-pressure scenario: only 32 GB of HBM for mg.D's 26 GB
+    // working set plus competing tenants — give the tuner a 16 GB slice.
+    println!("\nmg.D with a 16 GB HBM slice (co-tenancy):");
+    let spec = hmpt_repro::workloads::npb::mg::workload();
+    let r = run_dynamic(&machine, &spec, &DynamicConfig::new(50, 16_000_000_000)).unwrap();
+    println!(
+        "  chose {} | migrated {:.1} GB | session speedup {:.2}x (vs {:.2}x with full HBM)",
+        r.chosen.label(),
+        r.migrated_bytes as f64 / 1e9,
+        r.speedup(),
+        run_dynamic(&machine, &spec, &DynamicConfig::new(50, machine.hbm_capacity()))
+            .unwrap()
+            .speedup(),
+    );
+}

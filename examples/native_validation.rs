@@ -1,0 +1,70 @@
+//! Native validation: run the real host kernels (rayon triad, pointer
+//! chase, histogram sort) and check the qualitative ordering the
+//! simulator's cost model assumes — streaming ≫ random ≫ dependent chase.
+//!
+//! ```text
+//! cargo run --release --example native_validation
+//! ```
+
+use hmpt_repro::workloads::native::{chase, gather, sort, stream, triad};
+
+fn main() {
+    println!("host-side kernel validation (real execution, not simulated)\n");
+
+    // Streaming bandwidth.
+    let t = triad::run(1 << 25, 3);
+    println!(
+        "triad : {:>10} doubles/array  {:>8.1} GB/s ({:.4}s best of 3)",
+        t.elements, t.gbs, t.seconds
+    );
+
+    // Dependent-chain latency: small (cache) vs large (DRAM) windows.
+    let small = chase::run(64 * 1024, 5_000_000);
+    let large = chase::run(512 * 1024 * 1024, 5_000_000);
+    println!(
+        "chase : {:>10} B window     {:>8.2} ns/access (cache)",
+        small.window_bytes, small.ns_per_access
+    );
+    println!(
+        "chase : {:>10} B window     {:>8.2} ns/access (DRAM)",
+        large.window_bytes, large.ns_per_access
+    );
+
+    // Independent random gather (the Fig 4 "indirect sum" regime).
+    let g = gather::run(1 << 26, 8_000_000, 99);
+    println!(
+        "gather: {:>10} entry table    {:>8.2} ns/access (independent random)",
+        g.elements, g.ns_per_access
+    );
+
+    // Full native STREAM for context.
+    let st = stream::run(1 << 24, 3);
+    println!(
+        "stream: copy {:.1} / scale {:.1} / add {:.1} / triad {:.1} GB/s (avg {:.1})",
+        st.copy_gbs, st.scale_gbs, st.add_gbs, st.triad_gbs, st.average()
+    );
+
+    // Histogram sort (IS-style).
+    let s = sort::run(1 << 23, 1 << 19, 5);
+    println!(
+        "sort  : {:>10} keys          {:>8.1} Mkeys/s over {} rank passes",
+        s.keys, s.mkeys_per_s, 5
+    );
+
+    // The ordering the simulator assumes: streaming ≫ independent
+    // random ≫ dependent chase (per effective access).
+    let chase_gbs = 64.0 / large.ns_per_access; // one line per access
+    println!(
+        "\nordering check: triad {:.1} GB/s  ≫  single-thread chase {:.2} GB/s",
+        t.gbs, chase_gbs
+    );
+    assert!(
+        t.gbs > 3.0 * chase_gbs,
+        "streaming should dominate dependent chasing on any modern host"
+    );
+    assert!(
+        g.ns_per_access < large.ns_per_access,
+        "independent random access should beat the dependent chain"
+    );
+    println!("ok: the cost model's regime separation holds on this host");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: tune one benchmark end-to-end and inspect every artifact
+//! the tool produces.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hmpt_repro::core::report;
+
+fn main() {
+    // 1. Pick a workload — NPB Multi-Grid, the paper's walkthrough.
+    let spec = hmpt_repro::workloads::npb::mg::workload();
+    println!(
+        "workload {} — {:.2} GB across {} allocations\n",
+        spec.name,
+        spec.footprint() as f64 / 1e9,
+        spec.allocations.len()
+    );
+
+    // 2. Run the full tuning pipeline on the simulated Xeon Max:
+    //    profile (IBS sampling) → group → measure 2^|AG| configs → analyze.
+    let analysis = hmpt_repro::tune(&spec).expect("tuning pipeline");
+
+    // 3. The allocation groups the tuner decided to work with.
+    println!("{}", report::groups(&analysis));
+
+    // 4. The detailed per-configuration view (paper Fig 7a).
+    println!("{}", analysis.detailed.render());
+
+    // 5. The summary view (paper Fig 7b): speedup vs HBM footprint.
+    println!("{}", analysis.summary.render());
+
+    // 6. The Table II triple and the plan you would ship.
+    println!(
+        "max speedup {:.2}x | HBM-only {:.2}x | 90% of peak with {:.1}% of data in HBM",
+        analysis.table2.max_speedup,
+        analysis.table2.hbm_only_speedup,
+        analysis.table2.usage_90_pct
+    );
+    println!("\nplacement plan for the best configuration:");
+    println!("{}", analysis.best_plan(&spec).to_json());
+}

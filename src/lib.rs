@@ -1,0 +1,43 @@
+//! # hmpt-repro — Heterogeneous Memory Pool Tuning, reproduced
+//!
+//! Umbrella crate re-exporting the whole stack with a small convenience
+//! API. See `README.md` for the tour and `DESIGN.md` for how each crate
+//! maps onto the paper.
+//!
+//! ```
+//! // Tune NPB Multi-Grid on the simulated Xeon Max and print the
+//! // summary view (the paper's Fig 9):
+//! let analysis = hmpt_repro::tune(&hmpt_repro::workloads::npb::mg::workload()).unwrap();
+//! println!("{}", analysis.summary.render());
+//! assert!(analysis.table2.max_speedup > 2.0);
+//! ```
+
+pub use hmpt_alloc as alloc;
+pub use hmpt_core as core;
+pub use hmpt_perf as perf;
+pub use hmpt_sim as sim;
+pub use hmpt_workloads as workloads;
+
+use hmpt_core::driver::{Analysis, Driver};
+use hmpt_core::error::TunerError;
+use hmpt_workloads::model::WorkloadSpec;
+
+/// Tune a workload on the calibrated Xeon Max model with the paper's
+/// default settings (8 groups, 3 runs per configuration).
+pub fn tune(spec: &WorkloadSpec) -> Result<Analysis, TunerError> {
+    Driver::new(hmpt_sim::machine::xeon_max_9468()).analyze(spec)
+}
+
+/// The calibrated machine (dual Intel Xeon Max 9468, flat SNC4).
+pub fn machine() -> hmpt_sim::machine::Machine {
+    hmpt_sim::machine::xeon_max_9468()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_tunes_mg() {
+        let a = super::tune(&hmpt_workloads::npb::mg::workload()).unwrap();
+        assert_eq!(a.workload, "mg.D");
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration: the whole stack from workload declaration to
+//! shipped placement plan, across crate boundaries, with realistic
+//! (noisy, multi-run) campaigns.
+
+use hmpt_repro::alloc::plan::PlacementPlan;
+use hmpt_repro::core::driver::Driver;
+use hmpt_repro::core::measure::CampaignConfig;
+use hmpt_repro::sim::noise::NoiseModel;
+use hmpt_repro::sim::pool::PoolKind;
+use hmpt_repro::workloads::runner::{run_once, RunConfig};
+
+#[test]
+fn noisy_campaign_still_finds_the_mg_optimum() {
+    let spec = hmpt_repro::workloads::npb::mg::workload();
+    let driver = Driver::new(hmpt_repro::machine()).with_campaign(CampaignConfig {
+        runs_per_config: 5,
+        noise: NoiseModel { cv: 0.02 }, // 2.5× the default noise
+        base_seed: 1234,
+    });
+    let a = driver.analyze(&spec).unwrap();
+    // The {u, r} optimum survives realistic measurement noise.
+    let best = a.table2.best_config;
+    assert_eq!(best.popcount(), 2, "best config {}", best.label());
+    assert!((a.table2.usage_90_pct - 69.6).abs() < 5.0);
+}
+
+#[test]
+fn best_plan_roundtrips_through_json_and_replays() {
+    let spec = hmpt_repro::workloads::npb::lu::workload();
+    let machine = hmpt_repro::machine();
+    let a = Driver::new(machine.clone()).analyze(&spec).unwrap();
+
+    // Serialize the plan like the driver script would, reload it, and
+    // re-run the workload under the reloaded plan.
+    let json = a.best_plan(&spec).to_json();
+    let reloaded = PlacementPlan::from_json(&json).unwrap();
+    let replay = run_once(&machine, &spec, &reloaded, &RunConfig::exact()).unwrap();
+    let baseline =
+        run_once(&machine, &spec, &PlacementPlan::default(), &RunConfig::exact()).unwrap();
+    let speedup = baseline.time_s / replay.time_s;
+    assert!(
+        (speedup - a.table2.max_speedup).abs() < 0.05,
+        "replayed speedup {speedup} vs analyzed {}",
+        a.table2.max_speedup
+    );
+}
+
+#[test]
+fn profiling_attributes_and_counts_consistently() {
+    let spec = hmpt_repro::workloads::npb::sp::workload();
+    let machine = hmpt_repro::machine();
+    let out = run_once(
+        &machine,
+        &spec,
+        &PlacementPlan::default(),
+        &RunConfig::profiling(99),
+    )
+    .unwrap();
+    // Sample densities sum to one over attributed samples.
+    let total: f64 = out.stats.by_site.values().map(|s| s.density).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // Counter traffic equals the spec's declared traffic (seq streams).
+    let declared: u64 = spec
+        .phases
+        .iter()
+        .map(|p| {
+            p.streams
+                .iter()
+                .filter(|s| matches!(s.pattern, hmpt_repro::sim::stream::AccessPattern::Sequential))
+                .map(|s| s.bytes)
+                .sum::<u64>()
+                * p.repeats
+        })
+        .sum();
+    assert_eq!(out.counters.dram_bytes(), declared);
+}
+
+#[test]
+fn hbm_capacity_pressure_fails_loudly_then_planner_fits() {
+    use hmpt_repro::core::planner::plan_exhaustive;
+    use hmpt_repro::sim::machine::MachineBuilder;
+    use hmpt_repro::sim::units::gib;
+
+    // Shrink HBM to 2 GiB/tile (16 GiB total): is.Cx4 (20 GB) cannot go
+    // all-in.
+    let small = MachineBuilder::xeon_max().with_hbm_capacity_per_tile(gib(2)).build();
+    let spec = hmpt_repro::workloads::npb::is::workload();
+    let err = run_once(
+        &small,
+        &spec,
+        &PlacementPlan::all_in(PoolKind::Hbm),
+        &RunConfig::exact(),
+    );
+    assert!(err.is_err(), "20 GB cannot fit 16 GiB of HBM");
+
+    // The planner, fed the full-machine campaign, picks a fitting config.
+    let a = Driver::new(hmpt_repro::machine()).analyze(&spec).unwrap();
+    let plan = plan_exhaustive(&a.campaign, &a.groups, gib(16));
+    assert!(plan.hbm_bytes <= gib(16));
+    assert!(plan.speedup > 1.5, "budgeted speedup {}", plan.speedup);
+    // And the chosen plan actually runs on the small machine.
+    let p = plan.config.plan(&spec, &a.groups);
+    run_once(&small, &spec, &p, &RunConfig::exact()).expect("budgeted plan must fit");
+}
+
+#[test]
+fn online_and_exhaustive_agree_across_the_suite() {
+    use hmpt_repro::core::online::{tune, OnlineConfig};
+    let machine = hmpt_repro::machine();
+    let driver = Driver::new(machine.clone());
+    for spec in hmpt_repro::workloads::table2_workloads() {
+        let a = driver.analyze(&spec).unwrap();
+        let r = tune(&machine, &spec, &a.groups, &OnlineConfig::default()).unwrap();
+        assert!(
+            r.speedup >= 0.93 * a.table2.max_speedup,
+            "{}: online {:.3} vs exhaustive {:.3}",
+            spec.name,
+            r.speedup,
+            a.table2.max_speedup
+        );
+    }
+}
+
+#[test]
+fn snc_quad_mode_topology_is_consistent() {
+    use hmpt_repro::sim::topology::{SncMode, Topology};
+    let quad = Topology { snc: SncMode::Quad, ..Topology::dual_xeon_max_snc4() };
+    assert_eq!(quad.numa_node_count(), 4);
+    assert_eq!(quad.total_cores(), 96);
+    let nodes = quad.numa_nodes();
+    assert_eq!(nodes.len(), 4);
+}

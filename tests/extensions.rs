@@ -1,0 +1,140 @@
+//! Integration tests for the extension features: dynamic migration,
+//! per-phase diagnosis, analysis export, sensitivity sweeps, and
+//! baselines — exercised together across crate boundaries.
+
+use hmpt_repro::alloc::plan::{Assignment, PlacementPlan};
+use hmpt_repro::alloc::shim::Shim;
+use hmpt_repro::alloc::site::StackTrace;
+use hmpt_repro::core::diagnose::diagnose;
+use hmpt_repro::core::driver::Driver;
+use hmpt_repro::core::dynamic::{run_dynamic, DynamicConfig};
+use hmpt_repro::core::export::ExportedAnalysis;
+use hmpt_repro::core::sensitivity;
+use hmpt_repro::sim::cost::Bound;
+use hmpt_repro::sim::pool::PoolKind;
+
+#[test]
+fn dynamic_session_matches_static_best_within_migration_overhead() {
+    let machine = hmpt_repro::machine();
+    let spec = hmpt_repro::workloads::npb::mg::workload();
+
+    // Static: the offline exhaustive optimum per iteration.
+    let a = Driver::new(machine.clone()).analyze(&spec).unwrap();
+    // Dynamic: profile 1 iteration, migrate, run 49 more.
+    let r = run_dynamic(&machine, &spec, &DynamicConfig::new(50, machine.hbm_capacity()))
+        .unwrap();
+
+    // The tuned iteration time should be within a few percent of the
+    // exhaustive optimum (greedy-by-density is near-optimal on MG).
+    let static_iter = r.iter_ddr_s / a.table2.max_speedup;
+    assert!(
+        r.iter_tuned_s < static_iter * 1.05,
+        "dynamic iter {} vs static optimum {static_iter}",
+        r.iter_tuned_s
+    );
+    // Over 50 iterations the session speedup approaches the static one.
+    assert!(r.speedup() > 0.9 * a.table2.max_speedup);
+}
+
+#[test]
+fn migration_sequence_reaches_planned_placement() {
+    // Drive the shim through the exact migrations the dynamic tuner
+    // would issue and verify the final footprint matches the plan.
+    let machine = hmpt_repro::machine();
+    let mut shim = Shim::new(&machine, PlacementPlan::default());
+    let traces: Vec<StackTrace> = (0..4)
+        .map(|i| StackTrace::from_symbols(&[&format!("arr{i}"), "main"]))
+        .collect();
+    let allocs: Vec<_> =
+        traces.iter().map(|t| shim.malloc(t, 2_000_000_000).unwrap()).collect();
+    assert_eq!(shim.hbm_footprint_fraction(), 0.0);
+
+    let mut total_cost = 0.0;
+    let mut current: Vec<_> = allocs.iter().map(|a| a.id).collect();
+    for (i, id) in current.iter_mut().enumerate().take(2) {
+        let m = shim.migrate(&machine, *id, Assignment::Pool(PoolKind::Hbm)).unwrap();
+        total_cost += m.cost_s;
+        *id = m.id;
+        assert!((shim.hbm_footprint_fraction() - (i + 1) as f64 * 0.25).abs() < 1e-9);
+    }
+    assert!(total_cost > 0.0);
+    // Migrate one back: footprint drops again.
+    let back = shim.migrate(&machine, current[0], Assignment::Pool(PoolKind::Ddr)).unwrap();
+    assert_eq!(back.to_hbm_fraction, 0.0);
+    assert!((shim.hbm_footprint_fraction() - 0.25).abs() < 1e-9);
+}
+
+#[test]
+fn diagnosis_explains_the_speedup() {
+    // The runtime share of DDR-bandwidth-bound phases must shrink when
+    // the tuned plan is applied — that's what "tuning" means.
+    let machine = hmpt_repro::machine();
+    for spec in [
+        hmpt_repro::workloads::npb::mg::workload(),
+        hmpt_repro::workloads::npb::is::workload(),
+    ] {
+        let a = Driver::new(machine.clone()).analyze(&spec).unwrap();
+        let before = diagnose(&machine, &spec, &PlacementPlan::default()).unwrap();
+        let after = diagnose(&machine, &spec, &a.best_plan(&spec)).unwrap();
+        let before_ddr = before.share_bound_by(Bound::DdrBandwidth);
+        let after_ddr = after.share_bound_by(Bound::DdrBandwidth);
+        assert!(
+            after_ddr < before_ddr,
+            "{}: DDR-bound share {before_ddr} → {after_ddr}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn export_preserves_the_table2_triple() {
+    let machine = hmpt_repro::machine();
+    let spec = hmpt_repro::workloads::kwave::workload();
+    let a = Driver::new(machine).analyze(&spec).unwrap();
+    let json = ExportedAnalysis::from_analysis(&a).to_json();
+    let back = ExportedAnalysis::from_json(&json).unwrap();
+    assert_eq!(back.workload, "kwave");
+    assert!((back.table2.usage_90_pct - a.table2.usage_90_pct).abs() < 1e-12);
+    assert_eq!(back.groups.len(), 7);
+}
+
+#[test]
+fn sensitivity_recovers_the_stock_machine_at_unity() {
+    let spec = hmpt_repro::workloads::npb::mg::workload();
+    let rows = sensitivity::sweep_hbm_bandwidth(&spec, &[1.0]).unwrap();
+    assert!((rows[0].max_speedup - 2.27).abs() < 0.1);
+    let rows = sensitivity::sweep_hbm_latency(&spec, &[1.2]).unwrap();
+    assert!((rows[0].usage_90_pct - 69.6).abs() < 3.0);
+}
+
+#[test]
+fn custom_json_workload_flows_through_the_whole_pipeline() {
+    use hmpt_repro::workloads::model::WorkloadSpec;
+    // Author a workload as JSON (as an external user would), load it,
+    // tune it, and check the obvious optimum emerges.
+    let mut authored = WorkloadSpec::new("custom", "./custom.x");
+    let hot = authored.alloc("hot", 4_000_000_000);
+    let cold = authored.alloc("cold", 12_000_000_000);
+    authored.push_phase(hmpt_repro::workloads::model::Phase::new(
+        "hot_sweep",
+        vec![hmpt_repro::workloads::model::StreamSpec::seq(
+            hot,
+            20_000_000_000,
+            hmpt_repro::sim::stream::Direction::ReadWrite,
+        )],
+    ));
+    authored.push_phase(hmpt_repro::workloads::model::Phase::new(
+        "cold_touch",
+        vec![hmpt_repro::workloads::model::StreamSpec::seq(
+            cold,
+            200_000_000,
+            hmpt_repro::sim::stream::Direction::Read,
+        )],
+    ));
+    let spec = WorkloadSpec::from_json(&authored.to_json()).unwrap();
+    let a = hmpt_repro::tune(&spec).unwrap();
+    // The hot quarter of the footprint carries ~99 % of the traffic.
+    assert_eq!(a.groups[0].label, "hot");
+    assert!(a.table2.usage_90_pct < 30.0, "usage {}", a.table2.usage_90_pct);
+    assert!(a.table2.max_speedup > 2.0);
+}

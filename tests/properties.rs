@@ -1,0 +1,141 @@
+//! Property-based integration tests: tuner invariants over randomly
+//! generated synthetic workloads.
+
+use hmpt_repro::core::configspace::Config;
+use hmpt_repro::core::driver::Driver;
+use hmpt_repro::core::measure::CampaignConfig;
+use hmpt_repro::core::planner::{plan_greedy, plan_knapsack};
+use hmpt_repro::sim::noise::NoiseModel;
+use hmpt_repro::sim::stream::Direction;
+use hmpt_repro::workloads::model::{Phase, StreamSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A random small workload: 2–6 allocations, 1–4 phases of sequential
+/// traffic with optional compute floors.
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    let alloc_count = 2usize..6;
+    alloc_count
+        .prop_flat_map(|n| {
+            let sizes = prop::collection::vec(1u64..8, n);
+            let phases = prop::collection::vec(
+                (
+                    prop::collection::vec((0..n, 1u64..12, 0..3u8), 1..4),
+                    prop::option::of(1u64..40),
+                ),
+                1..4,
+            );
+            (Just(n), sizes, phases)
+        })
+        .prop_map(|(_n, sizes, phases)| {
+            let mut w = WorkloadSpec::new("synthetic", "./synthetic.x");
+            let idx: Vec<usize> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &gb)| w.alloc(&format!("a{i}"), gb * 1_000_000_000))
+                .collect();
+            for (pi, (streams, floor)) in phases.into_iter().enumerate() {
+                let specs: Vec<StreamSpec> = streams
+                    .into_iter()
+                    .map(|(a, gb, dir)| {
+                        let dir = match dir {
+                            0 => Direction::Read,
+                            1 => Direction::Write,
+                            _ => Direction::ReadWrite,
+                        };
+                        StreamSpec::seq(idx[a], gb * 1_000_000_000, dir)
+                    })
+                    .collect();
+                let mut phase = Phase::new(&format!("p{pi}"), specs);
+                if let Some(gf) = floor {
+                    phase = phase.flops(gf as f64 * 1e9).compute_cap(1.0);
+                }
+                w.push_phase(phase);
+            }
+            w
+        })
+}
+
+fn exact_driver() -> Driver {
+    Driver::new(hmpt_repro::machine()).with_campaign(CampaignConfig {
+        runs_per_config: 1,
+        noise: NoiseModel::none(),
+        base_seed: 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exhaustive max is at least every single-group speedup and at
+    /// least the HBM-only speedup; the baseline speedup is exactly 1.
+    #[test]
+    fn max_dominates_singles_and_hbm_only(spec in arb_workload()) {
+        let a = exact_driver().analyze(&spec).unwrap();
+        prop_assert!((a.campaign.speedup(Config::DDR_ONLY).unwrap() - 1.0).abs() < 1e-12);
+        for (g, s) in a.estimator.single.iter().enumerate() {
+            prop_assert!(
+                a.table2.max_speedup >= s - 1e-9,
+                "single {g} = {s} beats max {}", a.table2.max_speedup
+            );
+        }
+        prop_assert!(a.table2.max_speedup >= a.table2.hbm_only_speedup - 1e-9);
+    }
+
+    /// The 90 %-usage config really reaches the threshold, and no
+    /// measured config with smaller footprint does.
+    #[test]
+    fn ninety_percent_config_is_minimal(spec in arb_workload()) {
+        let a = exact_driver().analyze(&spec).unwrap();
+        let threshold = 1.0 + 0.9 * (a.table2.max_speedup - 1.0);
+        let s90 = a.campaign.speedup(a.table2.config_90).unwrap();
+        prop_assert!(s90 >= threshold - 1e-9);
+        let fp90 = a.table2.config_90.hbm_fraction(&a.groups);
+        for m in &a.campaign.measurements {
+            let s = a.campaign.speedup(m.config).unwrap();
+            if s >= threshold {
+                prop_assert!(m.config.hbm_fraction(&a.groups) >= fp90 - 1e-12);
+            }
+        }
+    }
+
+    /// Group footprints always cover the workload footprint exactly.
+    #[test]
+    fn groups_partition_footprint(spec in arb_workload()) {
+        let a = exact_driver().analyze(&spec).unwrap();
+        let total: u64 = a.groups.iter().map(|g| g.bytes).sum();
+        prop_assert_eq!(total, spec.footprint());
+        // Densities are a (sub-)distribution.
+        let d: f64 = a.groups.iter().map(|g| g.density).sum();
+        prop_assert!(d <= 1.0 + 1e-9);
+    }
+
+    /// Planners never exceed their budget, and the knapsack plan's
+    /// estimated speedup is at least the greedy pick's estimate.
+    #[test]
+    fn planners_respect_budget(spec in arb_workload(), budget_gb in 1u64..24) {
+        let a = exact_driver().analyze(&spec).unwrap();
+        let budget = budget_gb * 1_000_000_000;
+        let g = plan_greedy(&a.groups, budget);
+        prop_assert!(g.hbm_bytes <= budget);
+        let k = plan_knapsack(&a.groups, &a.estimator, budget, 64 * 1024 * 1024);
+        prop_assert!(k.hbm_bytes <= budget + 64 * 1024 * 1024 * a.groups.len() as u64);
+        let greedy_est = a.estimator.estimate(g.config);
+        prop_assert!(k.speedup >= greedy_est - 1e-9,
+            "knapsack {} below greedy estimate {greedy_est}", k.speedup);
+    }
+
+    /// Measurement is deterministic for a fixed seed even with noise.
+    #[test]
+    fn campaigns_are_reproducible(spec in arb_workload(), seed in 0u64..1000) {
+        let driver = Driver::new(hmpt_repro::machine()).with_campaign(CampaignConfig {
+            runs_per_config: 2,
+            noise: NoiseModel::default(),
+            base_seed: seed,
+        });
+        let a = driver.analyze(&spec).unwrap();
+        let b = driver.analyze(&spec).unwrap();
+        for (x, y) in a.campaign.measurements.iter().zip(&b.campaign.measurements) {
+            prop_assert_eq!(x.mean_s, y.mean_s);
+        }
+    }
+}
