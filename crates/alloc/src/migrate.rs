@@ -64,13 +64,8 @@ impl Shim {
             .filter(|r| r.is_live())
             .ok_or(AllocError::InvalidFree { addr: id.0 })?;
         let bytes = rec.bytes();
-        let from_hbm =
-            rec.bytes_in(PoolKind::Hbm) as f64 / bytes.max(1) as f64;
-        let site_trace = self
-            .registry()
-            .trace(rec.site)
-            .expect("live record has a trace")
-            .clone();
+        let from_hbm = rec.bytes_in(PoolKind::Hbm) as f64 / bytes.max(1) as f64;
+        let site_trace = self.registry().trace(rec.site).expect("live record has a trace").clone();
 
         // Free, then re-allocate under a one-entry override plan. On
         // failure, restore the allocation with its original placement

@@ -20,9 +20,7 @@ pub enum Assignment {
     Pool(PoolKind),
     /// Split across pools: this fraction of each allocation goes to HBM,
     /// the rest to DDR (page-interleaving in the real tool).
-    Split {
-        hbm_fraction: f64,
-    },
+    Split { hbm_fraction: f64 },
 }
 
 impl Assignment {
@@ -110,6 +108,13 @@ impl PlacementPlan {
     /// Load from a JSON plan file.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
+    }
+
+    /// Stable content fingerprint (default assignment + per-site
+    /// overrides, site-order independent). Used as a component of the
+    /// fleet's content-addressed measurement-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        hmpt_sim::fingerprint::fingerprint_of(self)
     }
 }
 

@@ -15,9 +15,7 @@ use crate::site::{SiteId, StackTrace};
 use crate::vspace::Extent;
 
 /// Identity of one allocation event (unique within a run).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AllocId(pub u64);
 
 /// One intercepted allocation.

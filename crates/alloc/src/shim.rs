@@ -75,7 +75,12 @@ pub struct Shim {
 impl Shim {
     /// A shim over `machine`'s pools with the given plan.
     pub fn new(machine: &Machine, plan: PlacementPlan) -> Self {
-        Shim { space: VirtualSpace::for_machine(machine), registry: Registry::new(), plan, fallback: None }
+        Shim {
+            space: VirtualSpace::for_machine(machine),
+            registry: Registry::new(),
+            plan,
+            fallback: None,
+        }
     }
 
     /// Install a fallback policy for un-planned sites.
@@ -147,10 +152,8 @@ impl Shim {
 
     /// Intercept a `free`.
     pub fn free(&mut self, id: AllocId) -> Result<(), AllocError> {
-        let extents = self
-            .registry
-            .record_free(id)
-            .ok_or(AllocError::InvalidFree { addr: id.0 })?;
+        let extents =
+            self.registry.record_free(id).ok_or(AllocError::InvalidFree { addr: id.0 })?;
         for e in extents {
             self.space.free(e);
         }

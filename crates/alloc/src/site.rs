@@ -79,9 +79,7 @@ impl StackTrace {
 }
 
 /// Stable identity of an allocation call-site.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SiteId(pub u64);
 
 impl std::fmt::Display for SiteId {

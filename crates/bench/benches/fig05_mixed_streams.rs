@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("copy_hbm_to_ddr", |b| {
         b.iter(|| kernel_bandwidth(black_box(&machine), StreamKernel::Copy, [H, D, D], 12.0))
     });
-    g.bench_function("add_all_placements", |b| {
-        b.iter(|| fig05::add_series(black_box(&machine)))
-    });
+    g.bench_function("add_all_placements", |b| b.iter(|| fig05::add_series(black_box(&machine))));
     g.finish();
 }
 

@@ -1,0 +1,64 @@
+//! Fleet bench: the full Table II campaign batch through the three
+//! execution strategies — serial, parallel (work-stealing pool), and
+//! warmed content-addressed cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_core::driver::Driver;
+use hmpt_core::exec::{available_workers, ExecutorKind};
+use hmpt_core::grouping::{group, GroupingConfig};
+use hmpt_core::measure::run_campaign_with;
+use hmpt_fleet::{Fleet, FleetConfig, TuningJob};
+use hmpt_sim::machine::xeon_max_9468;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = xeon_max_9468();
+    let specs = hmpt_workloads::table2_workloads();
+
+    // Profile + group once; the campaign is what the executors change.
+    let prepared: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let driver = Driver::new(machine.clone());
+            let profile = driver.profile(spec).expect("profile");
+            let groups = group(spec, &profile.stats, &GroupingConfig::default());
+            (spec, groups, driver.campaign)
+        })
+        .collect();
+
+    let run_batch = |exec: ExecutorKind| {
+        for (spec, groups, campaign) in &prepared {
+            black_box(
+                run_campaign_with(&exec, &machine, spec, groups, campaign).expect("campaign"),
+            );
+        }
+    };
+
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    g.bench_function("table2_campaigns_serial", |b| b.iter(|| run_batch(ExecutorKind::Serial)));
+    g.bench_function(format!("table2_campaigns_parallel_x{}", available_workers()).as_str(), |b| {
+        b.iter(|| run_batch(ExecutorKind::parallel()))
+    });
+
+    // Warm a fleet cache once, then measure fully-cached batch answers.
+    let jobs: Vec<TuningJob> = specs.iter().map(|s| TuningJob::new(s.clone())).collect();
+    let fleet = Fleet::new(FleetConfig { online_check: false, ..FleetConfig::default() });
+    fleet.run(&jobs).expect("warm-up batch");
+    g.bench_function("table2_batch_warmed_cache", |b| {
+        b.iter(|| black_box(fleet.run(black_box(&jobs)).expect("cached batch")))
+    });
+    g.finish();
+
+    let stats = fleet.cache().stats();
+    println!(
+        "fleet cache after bench: {} entries, {} hits / {} misses (hit-rate {:.1}%)",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,10 +9,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     // Host triad bandwidth (printed for context, like STREAM's own output).
     let t = triad::run(1 << 24, 3);
-    println!(
-        "native triad: {} elements, best {:.4}s, {:.1} GB/s",
-        t.elements, t.seconds, t.gbs
-    );
+    println!("native triad: {} elements, best {:.4}s, {:.1} GB/s", t.elements, t.seconds, t.gbs);
 
     let mut g = c.benchmark_group("native_triad");
     for elems in [1usize << 20, 1 << 22] {

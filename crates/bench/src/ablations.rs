@@ -150,13 +150,20 @@ pub fn render(machine: &Machine) -> String {
     for r in online(machine) {
         out.push_str(&format!(
             "  {:<10} {:>12} {:>9.2}x {:>12} {:>9.2}x\n",
-            r.workload, r.exhaustive_configs, r.exhaustive_speedup, r.online_measurements,
+            r.workload,
+            r.exhaustive_configs,
+            r.exhaustive_speedup,
+            r.online_measurements,
             r.online_speedup
         ));
     }
     out.push_str("\nAblation: linear estimator accuracy\n");
     for r in estimator(machine) {
-        out.push_str(&format!("  {:<10} mean |err| {:>6.2}%\n", r.workload, r.mean_abs_error * 100.0));
+        out.push_str(&format!(
+            "  {:<10} mean |err| {:>6.2}%\n",
+            r.workload,
+            r.mean_abs_error * 100.0
+        ));
     }
     out
 }

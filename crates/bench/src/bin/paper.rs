@@ -25,10 +25,8 @@ fn main() {
         8 => println!("{}", fig08::render(&machine)),
         9..=15 => {
             let name = summaries::PAPER_TARGETS.iter().find(|t| t.fig == n).unwrap().name;
-            let spec = hmpt_workloads::table2_workloads()
-                .into_iter()
-                .find(|w| w.name == name)
-                .unwrap();
+            let spec =
+                hmpt_workloads::table2_workloads().into_iter().find(|w| w.name == name).unwrap();
             println!("{}", summaries::render_one(&machine, &spec));
         }
         _ => eprintln!("no figure {n} (figures: 2,3,4,5,7,8,9..15)"),

@@ -29,10 +29,8 @@ pub fn series(machine: &Machine) -> Vec<Point> {
 
 /// Text form of the figure.
 pub fn render(machine: &Machine) -> String {
-    let rows: Vec<Vec<f64>> = series(machine)
-        .iter()
-        .map(|p| vec![p.threads_per_tile, p.ddr_gbs, p.hbm_gbs])
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        series(machine).iter().map(|p| vec![p.threads_per_tile, p.ddr_gbs, p.hbm_gbs]).collect();
     format!(
         "Fig 2: STREAM bandwidth [GB/s] vs threads/tile (single socket)\n{}",
         crate::format_table(&["threads/tile", "DDR avg", "HBM avg"], &rows)

@@ -91,9 +91,8 @@ mod tests {
     fn copy_asymmetry_at_full_threads() {
         let m = xeon_max_9468();
         let s = copy_series(&m);
-        let at12 = |label: &str| {
-            s.iter().find(|x| x.label == label).unwrap().gbs.last().copied().unwrap()
-        };
+        let at12 =
+            |label: &str| s.iter().find(|x| x.label == label).unwrap().gbs.last().copied().unwrap();
         let dh = at12("DDR→HBM");
         let hd = at12("HBM→DDR");
         assert!((hd / dh - 0.65).abs() < 0.03, "asymmetry {}", hd / dh);
@@ -104,9 +103,8 @@ mod tests {
     fn add_one_ddr_input_is_free() {
         let m = xeon_max_9468();
         let s = add_series(&m);
-        let at12 = |label: &str| {
-            s.iter().find(|x| x.label == label).unwrap().gbs.last().copied().unwrap()
-        };
+        let at12 =
+            |label: &str| s.iter().find(|x| x.label == label).unwrap().gbs.last().copied().unwrap();
         assert!(at12("DDR+HBM→HBM") > 0.97 * at12("HBM+HBM→HBM"));
         // The two cross-writes land in the same class, well below HBM-only.
         let down = at12("HBM+HBM→DDR");

@@ -5,9 +5,7 @@ use hmpt_sim::machine::Machine;
 
 /// Run the MG pipeline (the paper's walkthrough).
 pub fn analyze(machine: &Machine) -> Analysis {
-    Driver::new(machine.clone())
-        .analyze(&hmpt_workloads::npb::mg::workload())
-        .expect("mg analysis")
+    Driver::new(machine.clone()).analyze(&hmpt_workloads::npb::mg::workload()).expect("mg analysis")
 }
 
 pub fn render(machine: &Machine) -> String {
@@ -43,7 +41,9 @@ mod tests {
         // *better* than the linear expectation — visible in Fig 7a as
         // blue bars above the orange ones.
         let pair = by_label("[0 1]");
-        assert!((by_label("[0]").estimated_speedup - by_label("[0]").measured_speedup).abs() < 1e-9);
+        assert!(
+            (by_label("[0]").estimated_speedup - by_label("[0]").measured_speedup).abs() < 1e-9
+        );
         assert!(pair.measured_speedup > pair.estimated_speedup + 0.02);
     }
 

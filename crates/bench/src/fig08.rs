@@ -44,9 +44,8 @@ mod tests {
     fn ai_ordering_matches_paper() {
         // MG and UA are the low-AI outliers; BT has the highest AI.
         let model = build(&xeon_max_9468());
-        let ai = |name: &str| {
-            model.points.iter().find(|p| p.name == name).unwrap().arithmetic_intensity
-        };
+        let ai =
+            |name: &str| model.points.iter().find(|p| p.name == name).unwrap().arithmetic_intensity;
         assert!(ai("mg.D") < ai("ua.D"));
         assert!(ai("ua.D") < ai("lu.D"));
         assert!(ai("bt.D") > ai("sp.D"));

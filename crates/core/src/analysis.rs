@@ -131,11 +131,8 @@ impl SummaryView {
             if m.config == Config::DDR_ONLY {
                 continue;
             }
-            let kind = if m.config.popcount() == 1 {
-                PointKind::Group
-            } else {
-                PointKind::Combination
-            };
+            let kind =
+                if m.config.popcount() == 1 { PointKind::Group } else { PointKind::Combination };
             let fp = m.config.hbm_fraction(groups);
             points.push(SummaryPoint {
                 hbm_footprint: fp,
@@ -226,15 +223,20 @@ mod tests {
                 density: if id == 0 { 0.7 } else { 0.3 },
             })
             .collect();
-        let campaign = CampaignResult {
-            measurements: vec![
+        let campaign = CampaignResult::new(
+            vec![
                 ConfigMeasurement { config: Config(0), mean_s: 2.0, std_s: 0.0, hbm_fraction: 0.0 },
-                ConfigMeasurement { config: Config(1), mean_s: 1.25, std_s: 0.0, hbm_fraction: 0.5 },
+                ConfigMeasurement {
+                    config: Config(1),
+                    mean_s: 1.25,
+                    std_s: 0.0,
+                    hbm_fraction: 0.5,
+                },
                 ConfigMeasurement { config: Config(2), mean_s: 1.6, std_s: 0.0, hbm_fraction: 0.5 },
                 ConfigMeasurement { config: Config(3), mean_s: 1.0, std_s: 0.0, hbm_fraction: 1.0 },
             ],
-            runs_per_config: 1,
-        };
+            1,
+        );
         let est = LinearEstimator::fit(&campaign, 2);
         (campaign, groups, est)
     }

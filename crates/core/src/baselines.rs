@@ -84,8 +84,8 @@ pub fn evaluate(machine: &Machine, spec: &WorkloadSpec) -> Result<Vec<BaselineRo
 
     // Interleave by the machine's HBM:DDR capacity ratio (numactl
     // --interleave over all 16 nodes gives 1:2 on the Xeon Max).
-    let hbm_share = machine.hbm_capacity() as f64
-        / (machine.hbm_capacity() + machine.ddr_capacity()) as f64;
+    let hbm_share =
+        machine.hbm_capacity() as f64 / (machine.hbm_capacity() + machine.ddr_capacity()) as f64;
     let interleave = PlacementPlan {
         default: Assignment::Split { hbm_fraction: hbm_share },
         by_site: Default::default(),
@@ -154,9 +154,8 @@ mod tests {
         let m = xeon_max_9468();
         let spec = hmpt_workloads::npb::sp::workload();
         let rows = evaluate(&m, &spec).unwrap();
-        let get = |name: &str| {
-            rows.iter().find(|r| r.name.starts_with(name)).unwrap().speedup.unwrap()
-        };
+        let get =
+            |name: &str| rows.iter().find(|r| r.name.starts_with(name)).unwrap().speedup.unwrap();
         let tuned = get("tuned");
         assert!(tuned >= get("HBM-only") - 1e-9);
         assert!(tuned > get("interleave"));
@@ -170,9 +169,8 @@ mod tests {
         let m = xeon_max_9468();
         let spec = hmpt_workloads::npb::mg::workload();
         let rows = evaluate(&m, &spec).unwrap();
-        let get = |name: &str| {
-            rows.iter().find(|r| r.name.starts_with(name)).unwrap().speedup.unwrap()
-        };
+        let get =
+            |name: &str| rows.iter().find(|r| r.name.starts_with(name)).unwrap().speedup.unwrap();
         assert!(get("interleave") < 0.8 * get("tuned"));
         assert!(get("interleave") > 1.0, "striping still helps a little");
     }

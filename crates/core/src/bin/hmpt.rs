@@ -39,9 +39,8 @@ use hmpt_workloads::model::WorkloadSpec;
 /// emits.
 fn find_workload(name: &str) -> Option<WorkloadSpec> {
     if let Some(path) = name.strip_prefix('@') {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| eprintln!("cannot read {path}: {e}"))
-            .ok()?;
+        let json =
+            std::fs::read_to_string(path).map_err(|e| eprintln!("cannot read {path}: {e}")).ok()?;
         return WorkloadSpec::from_json(&json)
             .map_err(|e| eprintln!("invalid workload spec {path}: {e}"))
             .ok();
@@ -195,7 +194,11 @@ fn main() {
             let (before, after) =
                 diagnose_before_after(&machine, &spec, &a.best_plan(&spec)).expect("diagnosis");
             println!("--- DDR-only baseline ---\n{}", before.render());
-            println!("--- tuned placement {} ---\n{}", a.table2.best_config.label(), after.render());
+            println!(
+                "--- tuned placement {} ---\n{}",
+                a.table2.best_config.label(),
+                after.render()
+            );
         }
         Some("sensitivity") => {
             let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());

@@ -82,10 +82,7 @@ impl Config {
 
     /// The placement plan realizing this configuration.
     pub fn plan(&self, spec: &WorkloadSpec, groups: &[AllocationGroup]) -> PlacementPlan {
-        let sites = groups
-            .iter()
-            .filter(|g| self.contains(g.id))
-            .flat_map(|g| g.sites(spec));
+        let sites = groups.iter().filter(|g| self.contains(g.id)).flat_map(|g| g.sites(spec));
         let mut plan = PlacementPlan::promote_to_hbm(sites);
         plan.default = hmpt_alloc::plan::Assignment::Pool(PoolKind::Ddr);
         plan

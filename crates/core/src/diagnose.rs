@@ -84,12 +84,8 @@ pub fn diagnose(
     plan: &PlacementPlan,
 ) -> Result<Diagnosis, TunerError> {
     let out = run_once(machine, spec, plan, &RunConfig::exact())?;
-    let total: f64 = out
-        .phase_costs
-        .iter()
-        .zip(&spec.phases)
-        .map(|(c, p)| c.time_s * p.repeats as f64)
-        .sum();
+    let total: f64 =
+        out.phase_costs.iter().zip(&spec.phases).map(|(c, p)| c.time_s * p.repeats as f64).sum();
     let phases = out
         .phase_costs
         .iter()
@@ -154,11 +150,7 @@ mod tests {
         let (before, after) = diagnose_before_after(&m, &spec, &a.best_plan(&spec)).unwrap();
         assert!(before.total_time_s > after.total_time_s * 2.0);
         // Once the hot arrays are in HBM, the compute floor appears.
-        assert!(
-            after.share_bound_by(Bound::Compute) > 0.5,
-            "after:\n{}",
-            after.render()
-        );
+        assert!(after.share_bound_by(Bound::Compute) > 0.5, "after:\n{}", after.render());
     }
 
     #[test]

@@ -18,8 +18,9 @@ use hmpt_workloads::runner::{run_once, RunConfig, RunOutcome};
 use crate::analysis::{DetailedView, SummaryView};
 use crate::error::TunerError;
 use crate::estimate::LinearEstimator;
+use crate::exec::ExecutorKind;
 use crate::grouping::{group, AllocationGroup, GroupingConfig};
-use crate::measure::{run_campaign, CampaignConfig, CampaignResult};
+use crate::measure::{run_campaign_with, CampaignConfig, CampaignResult};
 use crate::metrics::Table2Row;
 
 /// Everything the tuner produces for one workload.
@@ -73,6 +74,9 @@ pub struct Driver {
     pub campaign: CampaignConfig,
     /// Seed of the profiling run.
     pub profile_seed: u64,
+    /// How campaign cells are executed (serial by default; results are
+    /// bit-identical across executors).
+    pub executor: ExecutorKind,
 }
 
 impl Driver {
@@ -82,6 +86,7 @@ impl Driver {
             grouping: GroupingConfig::default(),
             campaign: CampaignConfig::default(),
             profile_seed: 7,
+            executor: ExecutorKind::Serial,
         }
     }
 
@@ -92,6 +97,11 @@ impl Driver {
 
     pub fn with_campaign(mut self, campaign: CampaignConfig) -> Self {
         self.campaign = campaign;
+        self
+    }
+
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
         self
     }
 
@@ -108,13 +118,28 @@ impl Driver {
     pub fn analyze(&self, spec: &WorkloadSpec) -> Result<Analysis, TunerError> {
         let profile = self.profile(spec)?;
         let groups = group(spec, &profile.stats, &self.grouping);
-        let campaign = run_campaign(&self.machine, spec, &groups, &self.campaign)?;
+        let campaign =
+            run_campaign_with(&self.executor, &self.machine, spec, &groups, &self.campaign)?;
+        Ok(self.assemble(spec, profile, groups, campaign))
+    }
+
+    /// Steps 4–5 of the pipeline: turn a profile + grouping + campaign
+    /// into the full [`Analysis`]. Exposed so alternative campaign
+    /// front ends (the fleet's cached executor) can reuse the exact
+    /// analysis construction the driver performs.
+    pub fn assemble(
+        &self,
+        spec: &WorkloadSpec,
+        profile: RunOutcome,
+        groups: Vec<AllocationGroup>,
+        campaign: CampaignResult,
+    ) -> Analysis {
         let estimator = LinearEstimator::fit(&campaign, groups.len());
         let table2 = Table2Row::from_campaign(&spec.name, &campaign, &groups);
         let detailed = DetailedView::build(&spec.name, &campaign, &groups, &estimator);
         let summary =
             SummaryView::build(&spec.binary, &campaign, &groups, &estimator, table2.clone());
-        Ok(Analysis {
+        Analysis {
             workload: spec.name.clone(),
             groups,
             stats: profile.stats.clone(),
@@ -124,7 +149,7 @@ impl Driver {
             summary,
             table2,
             profile,
-        })
+        }
     }
 
     /// Convenience: Table II for a batch of workloads.
@@ -194,6 +219,22 @@ mod tests {
                 a.label,
                 shares[i]
             );
+        }
+    }
+
+    #[test]
+    fn parallel_executor_analysis_is_bit_identical() {
+        let spec = hmpt_workloads::npb::mg::workload();
+        let serial = Driver::new(xeon_max_9468()).analyze(&spec).unwrap();
+        let parallel = Driver::new(xeon_max_9468())
+            .with_executor(crate::exec::ExecutorKind::parallel())
+            .analyze(&spec)
+            .unwrap();
+        assert_eq!(serial.table2.max_speedup.to_bits(), parallel.table2.max_speedup.to_bits());
+        assert_eq!(serial.table2.usage_90_pct.to_bits(), parallel.table2.usage_90_pct.to_bits());
+        for (a, b) in serial.campaign.measurements.iter().zip(&parallel.campaign.measurements) {
+            assert_eq!(a.mean_s.to_bits(), b.mean_s.to_bits());
+            assert_eq!(a.std_s.to_bits(), b.std_s.to_bits());
         }
     }
 

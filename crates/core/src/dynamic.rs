@@ -101,8 +101,7 @@ pub fn run_dynamic(
 
     let n = cfg.total_iterations;
     let p = cfg.profile_iterations;
-    let dynamic_total_s =
-        p as f64 * iter_ddr_s + migration_cost + (n - p) as f64 * iter_tuned_s;
+    let dynamic_total_s = p as f64 * iter_ddr_s + migration_cost + (n - p) as f64 * iter_tuned_s;
     let ddr_only_total_s = n as f64 * iter_ddr_s;
 
     // Break-even: smallest k ≥ p with p·t_d + mig + (k−p)·t_t ≤ k·t_d.

@@ -41,12 +41,8 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: TunerError = AllocError::PoolExhausted {
-            pool: PoolKind::Hbm,
-            requested: 10,
-            available: 0,
-        }
-        .into();
+        let e: TunerError =
+            AllocError::PoolExhausted { pool: PoolKind::Hbm, requested: 10, available: 0 }.into();
         assert!(e.to_string().contains("HBM"));
         assert!(TunerError::EmptyWorkload.to_string().contains("no allocations"));
         let t = TunerError::TooManyGroups { groups: 40, limit: 24 };

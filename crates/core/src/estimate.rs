@@ -28,9 +28,8 @@ pub struct LinearEstimator {
 impl LinearEstimator {
     /// Fit from a measured campaign (needs all single configurations).
     pub fn fit(campaign: &CampaignResult, n_groups: usize) -> Self {
-        let single = (0..n_groups)
-            .map(|g| campaign.speedup(Config::single(g)).unwrap_or(1.0))
-            .collect();
+        let single =
+            (0..n_groups).map(|g| campaign.speedup(Config::single(g)).unwrap_or(1.0)).collect();
         LinearEstimator { single }
     }
 
@@ -68,8 +67,8 @@ mod tests {
     use crate::measure::ConfigMeasurement;
 
     fn campaign(times: &[(u32, f64)]) -> CampaignResult {
-        CampaignResult {
-            measurements: times
+        CampaignResult::new(
+            times
                 .iter()
                 .map(|&(mask, t)| ConfigMeasurement {
                     config: Config(mask),
@@ -78,8 +77,8 @@ mod tests {
                     hbm_fraction: 0.0,
                 })
                 .collect(),
-            runs_per_config: 1,
-        }
+            1,
+        )
     }
 
     #[test]

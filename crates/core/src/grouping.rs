@@ -83,7 +83,9 @@ pub fn group(
         }
     }
     candidates.sort_by(|&a, &b| {
-        density(b).total_cmp(&density(a)).then(spec.allocations[a].label.cmp(&spec.allocations[b].label))
+        density(b)
+            .total_cmp(&density(a))
+            .then(spec.allocations[a].label.cmp(&spec.allocations[b].label))
     });
 
     let top_n = cfg.max_groups.saturating_sub(1).max(1);
@@ -121,8 +123,7 @@ fn group_by_hint(
     let groups = hint
         .iter()
         .map(|members| {
-            let density =
-                members.iter().map(|&i| stats.density(spec.allocations[i].site())).sum();
+            let density = members.iter().map(|&i| stats.density(spec.allocations[i].site())).sum();
             let label = if members.len() == 1 {
                 spec.allocations[members[0]].label.clone()
             } else {

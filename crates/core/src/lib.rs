@@ -28,6 +28,7 @@ pub mod driver;
 pub mod dynamic;
 pub mod error;
 pub mod estimate;
+pub mod exec;
 pub mod export;
 pub mod grouping;
 pub mod measure;
@@ -35,11 +36,12 @@ pub mod metrics;
 pub mod online;
 pub mod planner;
 pub mod report;
-pub mod sensitivity;
 pub mod roofline;
+pub mod sensitivity;
 
 pub use analysis::{DetailedView, SummaryView};
 pub use driver::{Analysis, Driver};
 pub use error::TunerError;
+pub use exec::{ExecutorKind, ParallelExecutor, RunExecutor, SerialExecutor};
 pub use grouping::{AllocationGroup, GroupingConfig};
 pub use metrics::Table2Row;

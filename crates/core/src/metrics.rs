@@ -45,9 +45,7 @@ impl Table2Row {
                 .measurements
                 .iter()
                 .max_by(|a, b| {
-                    a.config
-                        .hbm_fraction(groups)
-                        .total_cmp(&b.config.hbm_fraction(groups))
+                    a.config.hbm_fraction(groups).total_cmp(&b.config.hbm_fraction(groups))
                 })
                 .expect("baseline always measured");
             campaign.speedup(fullest.config).unwrap()
@@ -105,8 +103,8 @@ mod tests {
     }
 
     fn campaign(times: &[(u32, f64)]) -> CampaignResult {
-        CampaignResult {
-            measurements: times
+        CampaignResult::new(
+            times
                 .iter()
                 .map(|&(mask, t)| ConfigMeasurement {
                     config: Config(mask),
@@ -115,8 +113,8 @@ mod tests {
                     hbm_fraction: 0.0,
                 })
                 .collect(),
-            runs_per_config: 1,
-        }
+            1,
+        )
     }
 
     #[test]

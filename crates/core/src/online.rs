@@ -19,8 +19,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::configspace::Config;
 use crate::error::TunerError;
+use crate::exec::ExecutorKind;
 use crate::grouping::AllocationGroup;
-use crate::measure::{measure_config, CampaignConfig};
+use crate::measure::{measure_config_with, CampaignConfig};
 
 /// Online tuner parameters.
 #[derive(Debug, Clone, Copy)]
@@ -30,11 +31,20 @@ pub struct OnlineConfig {
     /// Minimum relative improvement to accept a move.
     pub min_gain: f64,
     pub campaign: CampaignConfig,
+    /// Executor for the repetitions of each probed configuration (the
+    /// probes themselves are inherently sequential — each depends on the
+    /// previous accept/reject decision).
+    pub executor: ExecutorKind,
 }
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        OnlineConfig { patience: 2, min_gain: 0.002, campaign: CampaignConfig::default() }
+        OnlineConfig {
+            patience: 2,
+            min_gain: 0.002,
+            campaign: CampaignConfig::default(),
+            executor: ExecutorKind::Serial,
+        }
     }
 }
 
@@ -56,13 +66,41 @@ pub fn tune(
     groups: &[AllocationGroup],
     cfg: &OnlineConfig,
 ) -> Result<OnlineResult, TunerError> {
+    tune_with_measure(groups, cfg, &mut |config| {
+        Ok(measure_config_with(&cfg.executor, machine, spec, groups, config, &cfg.campaign)?.mean_s)
+    })
+}
+
+/// Hill-climb with a caller-supplied measurement function (the fleet
+/// interposes its content-addressed cache here: online probes revisit
+/// configurations the exhaustive campaign already measured, so a warmed
+/// cache answers them without simulated runs).
+pub fn tune_with_measure(
+    groups: &[AllocationGroup],
+    cfg: &OnlineConfig,
+    measure_mean: &mut dyn FnMut(Config) -> Result<f64, TunerError>,
+) -> Result<OnlineResult, TunerError> {
     let mut measurements = 0usize;
-    let mut measure = |config: Config| -> Result<f64, TunerError> {
+    // A probe of an infeasible candidate (HBM capacity pressure) is a
+    // rejected move, not a fatal error — mirroring how the exhaustive
+    // campaign skips infeasible configurations. Represented as `None`.
+    let mut measure = |config: Config| -> Result<Option<f64>, TunerError> {
         measurements += 1;
-        Ok(measure_config(machine, spec, groups, config, &cfg.campaign)?.mean_s)
+        match measure_mean(config) {
+            Ok(t) => Ok(Some(t)),
+            Err(TunerError::Alloc(hmpt_alloc::error::AllocError::PoolExhausted { .. })) => Ok(None),
+            Err(e) => Err(e),
+        }
     };
 
-    let baseline = measure(Config::DDR_ONLY)?;
+    // The all-DDR baseline is always feasible; a failure here is real.
+    let baseline = measure(Config::DDR_ONLY)?.ok_or(TunerError::Alloc(
+        hmpt_alloc::error::AllocError::PoolExhausted {
+            pool: hmpt_sim::pool::PoolKind::Ddr,
+            requested: 0,
+            available: 0,
+        },
+    ))?;
     let mut current = Config::DDR_ONLY;
     let mut current_t = baseline;
     let mut trajectory = Vec::new();
@@ -77,39 +115,38 @@ pub fn tune(
             break;
         }
         let candidate = current.with(g.id);
-        let t = measure(candidate)?;
-        if t < current_t * (1.0 - cfg.min_gain) {
-            current = candidate;
-            current_t = t;
-            trajectory.push((g.id, true));
-            misses = 0;
-        } else {
-            misses += 1;
+        match measure(candidate)? {
+            Some(t) if t < current_t * (1.0 - cfg.min_gain) => {
+                current = candidate;
+                current_t = t;
+                trajectory.push((g.id, true));
+                misses = 0;
+            }
+            _ => misses += 1,
         }
     }
 
     // Demotion probes: try pulling each accepted group back out, coldest
     // first — catches latency-sensitive groups that only hurt once the
-    // bandwidth picture changed.
+    // bandwidth picture changed. (Demotions only shrink the HBM
+    // footprint, so feasibility cannot regress; the `None` arm is for
+    // symmetry.)
     for g in order.iter().rev() {
         if !current.contains(g.id) {
             continue;
         }
         let candidate = current.without(g.id);
-        let t = measure(candidate)?;
-        if t < current_t * (1.0 - cfg.min_gain) {
-            current = candidate;
-            current_t = t;
-            trajectory.push((g.id, false));
+        match measure(candidate)? {
+            Some(t) if t < current_t * (1.0 - cfg.min_gain) => {
+                current = candidate;
+                current_t = t;
+                trajectory.push((g.id, false));
+            }
+            _ => {}
         }
     }
 
-    Ok(OnlineResult {
-        config: current,
-        speedup: baseline / current_t,
-        measurements,
-        trajectory,
-    })
+    Ok(OnlineResult { config: current, speedup: baseline / current_t, measurements, trajectory })
 }
 
 #[cfg(test)]
@@ -124,11 +161,25 @@ mod tests {
         CampaignConfig { runs_per_config: 1, noise: NoiseModel::none(), base_seed: 0 }
     }
 
+    #[test]
+    fn infeasible_probes_are_rejected_moves_not_errors() {
+        // Shrink HBM so all-in placements stop fitting: the hill-climb
+        // must keep tuning within capacity instead of failing.
+        use hmpt_sim::machine::MachineBuilder;
+        use hmpt_sim::units::gib;
+        let small = MachineBuilder::xeon_max().with_hbm_capacity_per_tile(gib(2)).build();
+        let spec = hmpt_workloads::npb::is::workload(); // 20 GB > 16 GiB HBM
+        let a =
+            Driver::new(xeon_max_9468()).with_campaign(exact_campaign()).analyze(&spec).unwrap();
+        let cfg = OnlineConfig { campaign: exact_campaign(), ..Default::default() };
+        let r = tune(&small, &spec, &a.groups, &cfg).expect("infeasible probes tolerated");
+        // Whatever it settled on fits the small machine's HBM.
+        assert!(r.config.hbm_bytes(&a.groups) <= small.hbm_capacity());
+        assert!(r.speedup >= 1.0 - 1e-9, "never worse than baseline: {}", r.speedup);
+    }
+
     fn analyzed(spec: &hmpt_workloads::model::WorkloadSpec) -> crate::driver::Analysis {
-        Driver::new(xeon_max_9468())
-            .with_campaign(exact_campaign())
-            .analyze(spec)
-            .unwrap()
+        Driver::new(xeon_max_9468()).with_campaign(exact_campaign()).analyze(spec).unwrap()
     }
 
     #[test]

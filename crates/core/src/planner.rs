@@ -47,12 +47,7 @@ pub fn plan_exhaustive(
             }
         }
     }
-    BudgetedPlan {
-        config: best.0,
-        hbm_bytes: best.0.hbm_bytes(groups),
-        budget,
-        speedup: best.1,
-    }
+    BudgetedPlan { config: best.0, hbm_bytes: best.0.hbm_bytes(groups), budget, speedup: best.1 }
 }
 
 /// Greedy density-per-byte heuristic (profiling data only).
@@ -125,12 +120,7 @@ pub fn plan_knapsack(
         gain = greedy_gain;
     }
 
-    BudgetedPlan {
-        config,
-        hbm_bytes: config.hbm_bytes(groups),
-        budget,
-        speedup: 1.0 + gain,
-    }
+    BudgetedPlan { config, hbm_bytes: config.hbm_bytes(groups), budget, speedup: 1.0 + gain }
 }
 
 #[cfg(test)]
@@ -190,15 +180,15 @@ mod tests {
     #[test]
     fn exhaustive_picks_fastest_fitting() {
         let g = groups(&[(2 * GB, 0.6), (2 * GB, 0.4)]);
-        let campaign = CampaignResult {
-            measurements: vec![
+        let campaign = CampaignResult::new(
+            vec![
                 ConfigMeasurement { config: Config(0), mean_s: 2.0, std_s: 0.0, hbm_fraction: 0.0 },
                 ConfigMeasurement { config: Config(1), mean_s: 1.3, std_s: 0.0, hbm_fraction: 0.5 },
                 ConfigMeasurement { config: Config(2), mean_s: 1.5, std_s: 0.0, hbm_fraction: 0.5 },
                 ConfigMeasurement { config: Config(3), mean_s: 1.0, std_s: 0.0, hbm_fraction: 1.0 },
             ],
-            runs_per_config: 1,
-        };
+            1,
+        );
         // Budget fits only one group: pick [0] (faster than [1]).
         let p = plan_exhaustive(&campaign, &g, 2 * GB);
         assert_eq!(p.config, Config(0b01));

@@ -43,7 +43,13 @@ pub fn table2(rows: &[Table2Row]) -> String {
 pub fn groups(analysis: &Analysis) -> String {
     let mut out = format!(
         "{}: {} groups\n{:<4} {:<16} {:>10} {:>9} {:>8}\n",
-        analysis.workload, analysis.groups.len(), "id", "label", "size [GB]", "density", "members"
+        analysis.workload,
+        analysis.groups.len(),
+        "id",
+        "label",
+        "size [GB]",
+        "density",
+        "members"
     );
     for g in &analysis.groups {
         out.push_str(&format!(

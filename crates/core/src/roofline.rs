@@ -152,7 +152,11 @@ mod tests {
         let p = measure_point(&m, &hmpt_workloads::npb::mg::workload()).unwrap();
         // MG is bandwidth-bound in DDR: point on the DDR roof.
         let roof_ddr = p.arithmetic_intensity * 200.0;
-        assert!((p.gflops_ddr - roof_ddr).abs() / roof_ddr < 0.05, "{} vs {roof_ddr}", p.gflops_ddr);
+        assert!(
+            (p.gflops_ddr - roof_ddr).abs() / roof_ddr < 0.05,
+            "{} vs {roof_ddr}",
+            p.gflops_ddr
+        );
         // In HBM it lifts but stays below the HBM roof (compute floor).
         assert!(p.gflops_hbm > p.gflops_ddr * 2.0);
         assert!(p.gflops_hbm <= p.arithmetic_intensity * 700.0 * 1.01);

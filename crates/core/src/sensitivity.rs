@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::driver::Driver;
 use crate::error::TunerError;
+use crate::exec::ExecutorKind;
 use crate::measure::CampaignConfig;
 
 /// One sweep point of the sensitivity study.
@@ -25,16 +26,23 @@ pub struct SensitivityRow {
     pub usage_90_pct: f64,
 }
 
-fn fast_driver(machine: Machine) -> Driver {
-    Driver::new(machine).with_campaign(CampaignConfig {
-        runs_per_config: 1,
-        noise: hmpt_sim::noise::NoiseModel::none(),
-        base_seed: 0,
-    })
+fn fast_driver(machine: Machine, executor: ExecutorKind) -> Driver {
+    Driver::new(machine)
+        .with_campaign(CampaignConfig {
+            runs_per_config: 1,
+            noise: hmpt_sim::noise::NoiseModel::none(),
+            base_seed: 0,
+        })
+        .with_executor(executor)
 }
 
-fn row(machine: Machine, spec: &WorkloadSpec, value: f64) -> Result<SensitivityRow, TunerError> {
-    let a = fast_driver(machine).analyze(spec)?;
+fn row(
+    machine: Machine,
+    spec: &WorkloadSpec,
+    value: f64,
+    executor: ExecutorKind,
+) -> Result<SensitivityRow, TunerError> {
+    let a = fast_driver(machine, executor).analyze(spec)?;
     Ok(SensitivityRow {
         value,
         max_speedup: a.table2.max_speedup,
@@ -49,11 +57,21 @@ pub fn sweep_hbm_bandwidth(
     spec: &WorkloadSpec,
     factors: &[f64],
 ) -> Result<Vec<SensitivityRow>, TunerError> {
+    sweep_hbm_bandwidth_with(spec, factors, ExecutorKind::Serial)
+}
+
+/// [`sweep_hbm_bandwidth`] with each sweep point's campaign cells run
+/// through the given executor.
+pub fn sweep_hbm_bandwidth_with(
+    spec: &WorkloadSpec,
+    factors: &[f64],
+    executor: ExecutorKind,
+) -> Result<Vec<SensitivityRow>, TunerError> {
     factors
         .iter()
         .map(|&f| {
             let m = MachineBuilder::xeon_max().with_hbm_bw_factor(f).build();
-            row(m, spec, f)
+            row(m, spec, f, executor)
         })
         .collect()
 }
@@ -63,11 +81,21 @@ pub fn sweep_hbm_latency(
     spec: &WorkloadSpec,
     penalties: &[f64],
 ) -> Result<Vec<SensitivityRow>, TunerError> {
+    sweep_hbm_latency_with(spec, penalties, ExecutorKind::Serial)
+}
+
+/// [`sweep_hbm_latency`] with each sweep point's campaign cells run
+/// through the given executor.
+pub fn sweep_hbm_latency_with(
+    spec: &WorkloadSpec,
+    penalties: &[f64],
+    executor: ExecutorKind,
+) -> Result<Vec<SensitivityRow>, TunerError> {
     penalties
         .iter()
         .map(|&p| {
             let m = MachineBuilder::xeon_max().with_hbm_latency_penalty(p).build();
-            row(m, spec, p)
+            row(m, spec, p, executor)
         })
         .collect()
 }

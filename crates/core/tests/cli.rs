@@ -8,11 +8,7 @@ fn hmpt(args: &[&str]) -> std::process::Output {
 
 fn stdout(args: &[&str]) -> String {
     let out = hmpt(args);
-    assert!(
-        out.status.success(),
-        "hmpt {args:?} failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "hmpt {args:?} failed: {}", String::from_utf8_lossy(&out.stderr));
     String::from_utf8(out.stdout).expect("utf8")
 }
 

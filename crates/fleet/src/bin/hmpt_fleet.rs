@@ -1,0 +1,310 @@
+//! `hmpt-fleet` — run a batch of tuning campaigns through the fleet.
+//!
+//! ```text
+//! hmpt-fleet                       # full Table II batch: compare + cached run + JSON
+//! hmpt-fleet mg sp                 # a subset of workloads
+//! hmpt-fleet --workers 4           # explicit pool size
+//! hmpt-fleet --serial              # force the serial executor
+//! hmpt-fleet --runs 5 --seed 9     # campaign settings
+//! hmpt-fleet --no-compare          # skip the serial-vs-parallel timing pass
+//! hmpt-fleet --no-online           # skip the online cache-warm verification
+//! hmpt-fleet --json report.json    # write the JSON report to a file
+//! ```
+//!
+//! The default invocation reproduces all seven Table II rows in one
+//! batch and reports, alongside each row: the serial-vs-parallel
+//! wall-clock comparison (with a bit-identity check of the two
+//! campaigns), the cache hit-rate of the batch, and per-job online
+//! verification.
+
+use hmpt_core::driver::Driver;
+use hmpt_core::exec::{available_workers, ExecutorKind, RunExecutor};
+use hmpt_core::measure::{run_campaign_with, CampaignConfig};
+use hmpt_fleet::{Fleet, FleetConfig, TuningJob};
+use hmpt_workloads::model::WorkloadSpec;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct JobRow {
+    workload: String,
+    groups: usize,
+    max_speedup: f64,
+    hbm_only_speedup: f64,
+    usage_90_pct: f64,
+    campaign_measurements: usize,
+    online_speedup: Option<f64>,
+    online_measurements: Option<usize>,
+    cache_hits: u64,
+    cache_misses: u64,
+    wall_s: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Comparison {
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    machine: String,
+    workers: usize,
+    executor: String,
+    runs_per_config: usize,
+    base_seed: u64,
+    comparison: Option<Comparison>,
+    jobs: Vec<JobRow>,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    cells_per_s: f64,
+    total_wall_s: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmpt-fleet [options] [workload...]\n\
+         options:\n\
+         \x20 --workers N    parallel worker count (default: available parallelism)\n\
+         \x20 --serial       use the serial executor for the batch\n\
+         \x20 --runs N       runs per configuration (default 3)\n\
+         \x20 --seed S       campaign base seed (default: paper default)\n\
+         \x20 --no-compare   skip the serial-vs-parallel comparison pass\n\
+         \x20 --no-online    skip the online-tuner verification pass\n\
+         \x20 --json PATH    write the JSON report to PATH (default: stdout)\n\
+         (workloads: built-in names like mg, sp, kwave; default: all seven)"
+    );
+    std::process::exit(2);
+}
+
+fn find_workload(name: &str) -> Option<WorkloadSpec> {
+    hmpt_workloads::table2_workloads()
+        .into_iter()
+        .find(|w| w.name == name || w.name.starts_with(name))
+}
+
+/// Serial vs parallel on the same campaigns, checking bit-identity.
+fn compare(jobs: &[TuningJob], parallel: ExecutorKind) -> Comparison {
+    // Profile + group once per job; time only the campaigns (the part
+    // the executor abstraction parallelizes).
+    let prepared: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            let driver = Driver::new(job.machine.clone()).with_campaign(job.campaign);
+            let profile = driver.profile(&job.spec).expect("profiling");
+            let groups = hmpt_core::grouping::group(
+                &job.spec,
+                &profile.stats,
+                &hmpt_core::grouping::GroupingConfig::default(),
+            );
+            (job, groups)
+        })
+        .collect();
+
+    let run_all = |exec: ExecutorKind| {
+        prepared
+            .iter()
+            .map(|(job, groups)| {
+                run_campaign_with(&exec, &job.machine, &job.spec, groups, &job.campaign)
+                    .expect("campaign")
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let t0 = Instant::now();
+    let serial = run_all(ExecutorKind::Serial);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let par = run_all(parallel);
+    let parallel_s = t0.elapsed().as_secs_f64();
+
+    let bit_identical = serial.iter().zip(&par).all(|(a, b)| {
+        a.measurements.len() == b.measurements.len()
+            && a.measurements.iter().zip(&b.measurements).all(|(x, y)| {
+                x.config == y.config
+                    && x.mean_s.to_bits() == y.mean_s.to_bits()
+                    && x.std_s.to_bits() == y.std_s.to_bits()
+            })
+    });
+    Comparison { serial_s, parallel_s, speedup: serial_s / parallel_s.max(1e-12), bit_identical }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers = 0usize;
+    let mut serial = false;
+    let mut runs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut do_compare = true;
+    let mut online = true;
+    let mut json_path: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--serial" => serial = true,
+            "--runs" => {
+                runs = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--seed" => {
+                seed = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--no-compare" => do_compare = false,
+            "--no-online" => online = false,
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let mut campaign = CampaignConfig::default();
+    if let Some(r) = runs {
+        campaign.runs_per_config = r;
+    }
+    if let Some(s) = seed {
+        campaign.base_seed = s;
+    }
+
+    let specs: Vec<WorkloadSpec> = if names.is_empty() {
+        hmpt_workloads::table2_workloads()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                find_workload(n).unwrap_or_else(|| {
+                    eprintln!("unknown workload {n}; built-ins: mg bt lu sp ua is kwave");
+                    std::process::exit(1);
+                })
+            })
+            .collect()
+    };
+    let jobs: Vec<TuningJob> =
+        specs.into_iter().map(|s| TuningJob::new(s).with_campaign(campaign)).collect();
+
+    let executor = if serial { ExecutorKind::Serial } else { ExecutorKind::Parallel { workers } };
+    let pool = if serial {
+        1
+    } else if workers == 0 {
+        available_workers()
+    } else {
+        workers
+    };
+
+    eprintln!(
+        "hmpt-fleet: {} job(s) on {} ({} runs/config, seed {})",
+        jobs.len(),
+        executor.label(),
+        campaign.runs_per_config,
+        campaign.base_seed
+    );
+
+    let comparison = if do_compare {
+        let c = compare(&jobs, ExecutorKind::Parallel { workers });
+        eprintln!(
+            "campaign executor comparison: serial {:.3}s vs parallel {:.3}s ({:.2}x, {})",
+            c.serial_s,
+            c.parallel_s,
+            c.speedup,
+            if c.bit_identical { "bit-identical" } else { "MISMATCH" }
+        );
+        if !c.bit_identical {
+            eprintln!("error: parallel campaign diverged from serial campaign");
+            std::process::exit(1);
+        }
+        Some(c)
+    } else {
+        None
+    };
+
+    let fleet =
+        Fleet::new(FleetConfig { executor, online_check: online, ..FleetConfig::default() });
+
+    eprintln!("workload     max   HBM-only   90% usage   online   cells (hit/miss)   wall");
+    let t0 = Instant::now();
+    let report = fleet
+        .run_streaming(&jobs, |_, r| {
+            let t2 = &r.analysis.table2;
+            eprintln!(
+                "{:<10} {:>5.2}x {:>7.2}x {:>9.1}%  {:>6}  {:>7}/{:<7} {:>7.3}s",
+                r.analysis.workload,
+                t2.max_speedup,
+                t2.hbm_only_speedup,
+                t2.usage_90_pct,
+                r.online
+                    .as_ref()
+                    .map(|o| format!("{:.2}x", o.speedup))
+                    .unwrap_or_else(|| "-".to_string()),
+                r.cache.hits,
+                r.cache.misses,
+                r.wall_s
+            );
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("fleet batch failed: {e}");
+            std::process::exit(1);
+        });
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = report.stats;
+    eprintln!(
+        "batch: {} jobs, {} cells ({} hits / {} misses, hit-rate {:.1}%), {:.0} cells/s, {:.3}s",
+        stats.jobs,
+        stats.cache.hits + stats.cache.misses,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0,
+        stats.cells_per_s,
+        stats.wall_s
+    );
+
+    let out = Report {
+        machine: "xeon_max_9468".to_string(),
+        workers: pool,
+        executor: executor.label(),
+        runs_per_config: campaign.runs_per_config,
+        base_seed: campaign.base_seed,
+        comparison,
+        jobs: report
+            .reports
+            .iter()
+            .map(|r| JobRow {
+                workload: r.analysis.workload.clone(),
+                groups: r.analysis.groups.len(),
+                max_speedup: r.analysis.table2.max_speedup,
+                hbm_only_speedup: r.analysis.table2.hbm_only_speedup,
+                usage_90_pct: r.analysis.table2.usage_90_pct,
+                campaign_measurements: r.analysis.campaign.measurements.len(),
+                online_speedup: r.online.as_ref().map(|o| o.speedup),
+                online_measurements: r.online.as_ref().map(|o| o.measurements),
+                cache_hits: r.cache.hits,
+                cache_misses: r.cache.misses,
+                wall_s: r.wall_s,
+            })
+            .collect(),
+        cache_hits: stats.cache.hits,
+        cache_misses: stats.cache.misses,
+        cache_hit_rate: stats.cache.hit_rate(),
+        cells_per_s: stats.cells_per_s,
+        total_wall_s,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("report serialization");
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -1,0 +1,57 @@
+//! # hmpt-fleet — parallel campaign execution with a measurement cache
+//!
+//! The paper's dominant cost is the measurement campaign: "roughly
+//! `2^|AG|·n` measurements" per workload (§III.A), which the base tuner
+//! executes strictly serially. This crate turns the tuner into a small
+//! *service* that answers batches of tuning jobs fast:
+//!
+//! * **Executors** ([`RunExecutor`], [`SerialExecutor`],
+//!   [`ParallelExecutor`], re-exported from `hmpt_core::exec`): every
+//!   (configuration, repetition) cell of a campaign is an independent
+//!   simulated run with a derived seed, so a work-stealing pool of std
+//!   threads evaluates them concurrently and reassembles results in
+//!   canonical order — **bit-identical** to serial execution.
+//! * **[`MeasurementCache`]**: a content-addressed cell cache keyed by
+//!   fingerprints of (machine, workload spec, placement plan, run
+//!   config). Identical cells across jobs — shared DDR-only baselines,
+//!   sensitivity sweeps re-visiting the stock machine, online-search
+//!   probes of configurations the exhaustive campaign already measured —
+//!   are simulated once.
+//! * **[`Fleet`]**: the batch front end. It accepts tuning jobs
+//!   (workload × machine × campaign settings), schedules their cells
+//!   across the pool through the cache, streams per-job
+//!   [`hmpt_core::driver::Analysis`] results, and reports cache-hit and
+//!   throughput statistics.
+//!
+//! The `hmpt-fleet` binary runs the paper's entire Table II campaign in
+//! one command and emits a JSON report.
+//!
+//! See `DESIGN.md` (§ "The fleet subsystem") for the cache-key scheme
+//! and the bit-identity argument.
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{CacheStats, CellKey, MeasurementCache};
+pub use hmpt_core::exec::{
+    available_workers, ExecutorKind, ParallelExecutor, RunExecutor, SerialExecutor,
+};
+pub use service::{Fleet, FleetConfig, FleetReport, FleetStats, JobReport, TuningJob};
+
+/// Send + Sync audit: everything a campaign cell touches crosses thread
+/// boundaries in the parallel executor, and the fleet shares its cache
+/// across workers. This compiles only while those types stay thread-safe.
+#[allow(dead_code)]
+fn send_sync_audit() {
+    fn ok<T: Send + Sync>() {}
+    ok::<hmpt_sim::machine::Machine>();
+    ok::<hmpt_workloads::model::WorkloadSpec>();
+    ok::<hmpt_alloc::plan::PlacementPlan>();
+    ok::<hmpt_core::grouping::AllocationGroup>();
+    ok::<hmpt_core::measure::CampaignConfig>();
+    ok::<hmpt_core::measure::CampaignResult>();
+    ok::<hmpt_core::driver::Analysis>();
+    ok::<hmpt_core::error::TunerError>();
+    ok::<MeasurementCache>();
+    ok::<Fleet>();
+}

@@ -1,0 +1,353 @@
+//! The fleet front end: batches of tuning jobs over a shared pool and
+//! cache.
+//!
+//! Each job runs the full Fig 6 pipeline (profile → group → measure →
+//! analyze), with the measurement campaign decomposed into cells that
+//! flow through the shared [`MeasurementCache`] and the configured
+//! executor. An optional per-job *online verification pass* replays the
+//! paper's incremental tuner through the same cache — its probes revisit
+//! configurations the exhaustive campaign just measured (same derived
+//! seeds), so a warmed cache answers them without new simulated runs
+//! while proving exhaustive and online tuning agree.
+
+use std::time::Instant;
+
+use hmpt_core::configspace::{enumerate, Config};
+use hmpt_core::driver::{Analysis, Driver};
+use hmpt_core::error::TunerError;
+use hmpt_core::exec::ExecutorKind;
+use hmpt_core::grouping::{group, GroupingConfig};
+use hmpt_core::measure::{
+    assemble_config, measure_cell_with_plan, run_campaign_cells, CampaignConfig, CellOutcome,
+};
+use hmpt_core::online::{self, OnlineConfig, OnlineResult};
+use hmpt_sim::machine::{xeon_max_9468, Machine};
+use hmpt_workloads::model::WorkloadSpec;
+
+use crate::cache::{CacheStats, MeasurementCache};
+
+/// Fleet-wide settings.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// How campaign cells are executed (default: auto-sized parallel).
+    pub executor: ExecutorKind,
+    pub grouping: GroupingConfig,
+    /// Seed of each job's profiling run.
+    pub profile_seed: u64,
+    /// Run the online tuner through the warmed cache after each job's
+    /// exhaustive campaign (verifies agreement; free on cache hits).
+    pub online_check: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            executor: ExecutorKind::parallel(),
+            grouping: GroupingConfig::default(),
+            profile_seed: 7,
+            online_check: true,
+        }
+    }
+}
+
+/// One tuning request: a workload on a machine under campaign settings.
+#[derive(Debug, Clone)]
+pub struct TuningJob {
+    pub spec: WorkloadSpec,
+    pub machine: Machine,
+    pub campaign: CampaignConfig,
+}
+
+impl TuningJob {
+    /// A job on the calibrated Xeon Max with the paper's default
+    /// campaign settings.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        TuningJob { spec, machine: xeon_max_9468(), campaign: CampaignConfig::default() }
+    }
+
+    pub fn with_campaign(mut self, campaign: CampaignConfig) -> Self {
+        self.campaign = campaign;
+        self
+    }
+
+    pub fn with_machine(mut self, machine: Machine) -> Self {
+        self.machine = machine;
+        self
+    }
+}
+
+/// What the fleet streams back per job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    pub analysis: Analysis,
+    /// Online-tuner verification (present when
+    /// [`FleetConfig::online_check`] is set).
+    pub online: Option<OnlineResult>,
+    /// Cache traffic attributable to this job.
+    pub cache: CacheStats,
+    pub wall_s: f64,
+}
+
+impl JobReport {
+    /// Simulated runs this job actually executed (cache misses), versus
+    /// the runs a cache-less tuner would have needed.
+    pub fn simulated_runs(&self) -> u64 {
+        self.cache.misses
+    }
+}
+
+/// Whole-batch statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetStats {
+    pub jobs: usize,
+    pub cache: CacheStats,
+    pub wall_s: f64,
+    /// Campaign cells evaluated per wall-clock second (hits + misses).
+    pub cells_per_s: f64,
+}
+
+/// A completed batch.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    pub reports: Vec<JobReport>,
+    pub stats: FleetStats,
+}
+
+/// Per-configuration placement plans with their content fingerprints,
+/// indexed by configuration bits.
+struct ConfigPlans(Vec<(hmpt_alloc::plan::PlacementPlan, u64)>);
+
+/// The campaign-execution service: a shared executor + measurement cache
+/// answering batches of tuning jobs.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    cache: MeasurementCache,
+}
+
+impl Fleet {
+    pub fn new(cfg: FleetConfig) -> Self {
+        Fleet { cfg, cache: MeasurementCache::new() }
+    }
+
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    pub fn cache(&self) -> &MeasurementCache {
+        &self.cache
+    }
+
+    /// One cell through the cache: content key from fingerprints, value
+    /// from the simulator on a miss. The plan and its fingerprint are
+    /// identical across a configuration's repetitions, so callers build
+    /// them once per configuration (see [`ConfigPlans`]) and pass them in.
+    #[allow(clippy::too_many_arguments)]
+    fn cell_cached(
+        &self,
+        machine_fp: u64,
+        spec_fp: u64,
+        job: &TuningJob,
+        plan: &hmpt_alloc::plan::PlacementPlan,
+        plan_fp: u64,
+        config: Config,
+        rep: usize,
+    ) -> Result<CellOutcome, TunerError> {
+        let rc = job.campaign.cell_run_config(config, rep);
+        let key = (machine_fp, spec_fp, plan_fp, rc.fingerprint());
+        self.cache.get_or_measure(key, || {
+            measure_cell_with_plan(&job.machine, &job.spec, plan, config, rep, &job.campaign)
+        })
+    }
+
+    /// Mean runtime of one configuration through the cache, aggregated
+    /// by the campaign's own [`assemble_config`] (so online probes
+    /// reproduce campaign statistics bit-for-bit).
+    fn config_mean_cached(
+        &self,
+        machine_fp: u64,
+        spec_fp: u64,
+        job: &TuningJob,
+        plans: &ConfigPlans,
+        config: Config,
+    ) -> Result<f64, TunerError> {
+        let (plan, plan_fp) = &plans.0[config.0 as usize];
+        let cells: Vec<Result<CellOutcome, TunerError>> = (0..job.campaign.runs_per_config.max(1))
+            .map(|rep| self.cell_cached(machine_fp, spec_fp, job, plan, *plan_fp, config, rep))
+            .collect();
+        Ok(assemble_config(config, &cells)?.mean_s)
+    }
+
+    /// Run one job through the shared pool and cache.
+    pub fn run_job(&self, job: &TuningJob) -> Result<JobReport, TunerError> {
+        let t0 = Instant::now();
+        let before = self.cache.stats();
+
+        let driver = Driver::new(job.machine.clone())
+            .with_grouping(self.cfg.grouping)
+            .with_campaign(job.campaign)
+            .with_executor(self.cfg.executor);
+        let profile = driver.profile(&job.spec)?;
+        let groups = group(&job.spec, &profile.stats, &self.cfg.grouping);
+
+        let machine_fp = job.machine.fingerprint();
+        let spec_fp = job.spec.fingerprint();
+        let configs: Vec<Config> = enumerate(groups.len()).collect();
+        // One plan + fingerprint per configuration (`config.0` doubles as
+        // the index since `enumerate` yields masks in order), shared by
+        // every repetition of the campaign and the online probes.
+        let plans = ConfigPlans(
+            configs
+                .iter()
+                .map(|c| {
+                    let plan = c.plan(&job.spec, &groups);
+                    let fp = plan.fingerprint();
+                    (plan, fp)
+                })
+                .collect(),
+        );
+        let campaign =
+            run_campaign_cells(&self.cfg.executor, &configs, &job.campaign, &|config, rep| {
+                let (plan, plan_fp) = &plans.0[config.0 as usize];
+                self.cell_cached(machine_fp, spec_fp, job, plan, *plan_fp, config, rep)
+            })?;
+        let analysis = driver.assemble(&job.spec, profile, groups, campaign);
+
+        let online = if self.cfg.online_check {
+            let ocfg = OnlineConfig {
+                campaign: job.campaign,
+                executor: self.cfg.executor,
+                ..OnlineConfig::default()
+            };
+            Some(online::tune_with_measure(&analysis.groups, &ocfg, &mut |config| {
+                self.config_mean_cached(machine_fp, spec_fp, job, &plans, config)
+            })?)
+        } else {
+            None
+        };
+
+        Ok(JobReport {
+            analysis,
+            online,
+            cache: self.cache.stats().since(&before),
+            wall_s: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Run a batch, streaming each finished job to `on_report`.
+    pub fn run_streaming(
+        &self,
+        jobs: &[TuningJob],
+        mut on_report: impl FnMut(usize, &JobReport),
+    ) -> Result<FleetReport, TunerError> {
+        let t0 = Instant::now();
+        let before = self.cache.stats();
+        let mut reports = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let report = self.run_job(job)?;
+            on_report(i, &report);
+            reports.push(report);
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let cache = self.cache.stats().since(&before);
+        let cells = cache.hits + cache.misses;
+        Ok(FleetReport {
+            reports,
+            stats: FleetStats {
+                jobs: jobs.len(),
+                cache,
+                wall_s,
+                cells_per_s: if wall_s > 0.0 { cells as f64 / wall_s } else { 0.0 },
+            },
+        })
+    }
+
+    /// Run a batch, collecting all job reports.
+    pub fn run(&self, jobs: &[TuningJob]) -> Result<FleetReport, TunerError> {
+        self.run_streaming(jobs, |_, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mg_job() -> TuningJob {
+        TuningJob::new(hmpt_workloads::npb::mg::workload())
+    }
+
+    #[test]
+    fn fleet_analysis_matches_plain_driver_bitwise() {
+        let fleet = Fleet::new(FleetConfig::default());
+        let report = fleet.run_job(&mg_job()).unwrap();
+        let plain =
+            Driver::new(xeon_max_9468()).analyze(&hmpt_workloads::npb::mg::workload()).unwrap();
+        assert_eq!(
+            report.analysis.table2.max_speedup.to_bits(),
+            plain.table2.max_speedup.to_bits()
+        );
+        assert_eq!(
+            report.analysis.table2.usage_90_pct.to_bits(),
+            plain.table2.usage_90_pct.to_bits()
+        );
+        for (a, b) in report.analysis.campaign.measurements.iter().zip(&plain.campaign.measurements)
+        {
+            assert_eq!(a.mean_s.to_bits(), b.mean_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn online_check_hits_the_warmed_cache() {
+        let fleet = Fleet::new(FleetConfig::default());
+        let report = fleet.run_job(&mg_job()).unwrap();
+        let online = report.online.expect("online check on by default");
+        // Online probes revisit campaign cells → answered from cache.
+        assert!(report.cache.hits > 0, "stats: {:?}", report.cache);
+        // And agree with the exhaustive result.
+        assert!(online.speedup > 0.97 * report.analysis.table2.max_speedup);
+        // Misses == the exhaustive campaign's simulated cells.
+        assert_eq!(report.cache.misses as usize, report.analysis.campaign.total_runs());
+    }
+
+    #[test]
+    fn repeated_job_is_answered_entirely_from_cache() {
+        let fleet = Fleet::new(FleetConfig::default());
+        let first = fleet.run_job(&mg_job()).unwrap();
+        let second = fleet.run_job(&mg_job()).unwrap();
+        assert_eq!(second.cache.misses, 0, "every cell cached: {:?}", second.cache);
+        assert_eq!(
+            first.analysis.table2.max_speedup.to_bits(),
+            second.analysis.table2.max_speedup.to_bits()
+        );
+    }
+
+    #[test]
+    fn different_machines_do_not_share_cells() {
+        use hmpt_sim::machine::MachineBuilder;
+        let fleet = Fleet::new(FleetConfig { online_check: false, ..Default::default() });
+        let a = fleet.run_job(&mg_job()).unwrap();
+        let slower = MachineBuilder::xeon_max().with_hbm_bw_factor(0.5).build();
+        let b = fleet.run_job(&mg_job().with_machine(slower)).unwrap();
+        assert_eq!(a.cache.hits, 0);
+        assert_eq!(b.cache.hits, 0, "different machine must re-measure");
+        assert!(b.analysis.table2.max_speedup < a.analysis.table2.max_speedup);
+    }
+
+    #[test]
+    fn batch_streams_in_order_and_counts_stats() {
+        let fleet = Fleet::new(FleetConfig::default());
+        let jobs = vec![mg_job(), TuningJob::new(hmpt_workloads::npb::is::workload()), mg_job()];
+        let mut seen = Vec::new();
+        let report =
+            fleet.run_streaming(&jobs, |i, r| seen.push((i, r.analysis.workload.clone()))).unwrap();
+        assert_eq!(
+            seen,
+            vec![(0, "mg.D".to_string()), (1, "is.Cx4".to_string()), (2, "mg.D".to_string())]
+        );
+        assert_eq!(report.stats.jobs, 3);
+        // The duplicated mg job dedups against the first one.
+        assert_eq!(report.reports[2].cache.misses, 0);
+        assert!(report.stats.cache.hit_rate() > 0.0);
+        assert!(report.stats.cells_per_s > 0.0);
+    }
+}

@@ -87,7 +87,11 @@ mod tests {
             ResolvedStream::seq(10_000_000_000, PoolKind::Ddr, Direction::Read),
             ResolvedStream::seq(5_000_000_000, PoolKind::Hbm, Direction::Write),
         ];
-        phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&streams).with_flops(1.5e12))
+        phase_time(
+            &m,
+            ExecCtx::full_socket(),
+            &PhaseLoad::streams_only(&streams).with_flops(1.5e12),
+        )
     }
 
     #[test]

@@ -44,11 +44,7 @@ impl LatencyHistogram {
     }
 
     pub fn record(&mut self, latency_ns: f64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| latency_ns <= b)
-            .unwrap_or(self.bounds.len());
+        let idx = self.bounds.iter().position(|&b| latency_ns <= b).unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.total += 1;
         self.min = self.min.min(latency_ns);
@@ -162,9 +158,8 @@ mod tests {
 
     #[test]
     fn hit_rate_estimate() {
-        let samples: Vec<MemSample> = (0..100)
-            .map(|i| sample(if i < 30 { 20.0 } else { 95.0 }))
-            .collect();
+        let samples: Vec<MemSample> =
+            (0..100).map(|i| sample(if i < 30 { 20.0 } else { 95.0 })).collect();
         let h = LatencyHistogram::from_samples(&samples);
         // 30 % of accesses at ≤32 ns → L3-or-better hits.
         assert!((h.fraction_below(32.0) - 0.3).abs() < 1e-12);

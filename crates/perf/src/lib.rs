@@ -21,13 +21,13 @@
 //!   arithmetic-intensity estimate behind the paper's roofline (Fig 8).
 
 pub mod attr;
-pub mod histogram;
 pub mod counters;
+pub mod histogram;
 pub mod ibs;
 pub mod stats;
 
 pub use attr::{attribute, Attribution};
-pub use histogram::LatencyHistogram;
 pub use counters::Counters;
+pub use histogram::LatencyHistogram;
 pub use ibs::{IbsConfig, MemSample, Sampler};
 pub use stats::{AccessStats, SiteAccess};

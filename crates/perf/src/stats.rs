@@ -64,8 +64,7 @@ impl AccessStats {
 
     /// Sites ranked by descending density.
     pub fn ranked(&self) -> Vec<(SiteId, f64)> {
-        let mut v: Vec<(SiteId, f64)> =
-            self.by_site.iter().map(|(k, s)| (*k, s.density)).collect();
+        let mut v: Vec<(SiteId, f64)> = self.by_site.iter().map(|(k, s)| (*k, s.density)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }

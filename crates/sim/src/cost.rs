@@ -263,10 +263,8 @@ pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> Phas
 
     let t_compute = if load.flops > 0.0 {
         let peak_per_core = machine.compute.freq_ghz * machine.compute.dp_flops_per_cycle_vector;
-        let per_core = load
-            .gflops_per_core_cap
-            .map(|cap| cap.min(peak_per_core))
-            .unwrap_or(peak_per_core);
+        let per_core =
+            load.gflops_per_core_cap.map(|cap| cap.min(peak_per_core)).unwrap_or(peak_per_core);
         load.flops / (per_core * cores * 1e9)
     } else {
         0.0
@@ -279,11 +277,7 @@ pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> Phas
         (t_chase, Bound::Latency),
         (t_compute, Bound::Compute),
     ];
-    let (time_s, bound) = components
-        .iter()
-        .copied()
-        .max_by(|a, b| a.0.total_cmp(&b.0))
-        .unwrap();
+    let (time_s, bound) = components.iter().copied().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
 
     PhaseCost {
         time_s,
@@ -351,10 +345,8 @@ mod tests {
             ResolvedStream::seq(N, PoolKind::Hbm, Direction::Write),
         ];
         let ctx = ExecCtx::full_socket();
-        let t_mixed =
-            phase_time(&m, ctx, &PhaseLoad::streams_only(&mixed).with_eff(eff)).time_s;
-        let t_hbm =
-            phase_time(&m, ctx, &PhaseLoad::streams_only(&hbm_only).with_eff(eff)).time_s;
+        let t_mixed = phase_time(&m, ctx, &PhaseLoad::streams_only(&mixed).with_eff(eff)).time_s;
+        let t_hbm = phase_time(&m, ctx, &PhaseLoad::streams_only(&hbm_only).with_eff(eff)).time_s;
         // Keeping one input array in DDR costs (almost) nothing...
         assert!(t_mixed <= t_hbm * 1.02, "mixed {t_mixed} vs hbm {t_hbm}");
         // ...but does not beat HBM-only either.
@@ -483,11 +475,8 @@ mod tests {
     fn threads_scale_bandwidth_phase() {
         let m = xeon_max_9468();
         let s = [ResolvedStream::seq(N, PoolKind::Hbm, Direction::Read)];
-        let t2 = phase_time(
-            &m,
-            ExecCtx::socket_threads_per_tile(2.0),
-            &PhaseLoad::streams_only(&s),
-        );
+        let t2 =
+            phase_time(&m, ExecCtx::socket_threads_per_tile(2.0), &PhaseLoad::streams_only(&s));
         let t12 = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
         assert!(t2.time_s > 2.0 * t12.time_s, "HBM should scale strongly with threads");
     }

@@ -1,0 +1,157 @@
+//! Stable content fingerprints for cache keys.
+//!
+//! The fleet's measurement cache is *content-addressed*: a cached cell is
+//! keyed by what was measured (machine model, workload spec, placement
+//! plan, run configuration), not by object identity. [`fingerprint_of`]
+//! derives a stable 64-bit fingerprint from any serializable value by
+//! hashing its serialized value tree — deterministic across runs and
+//! processes (object keys are sorted, floats hash by IEEE bit pattern),
+//! and automatically covering every field a type serializes.
+
+use serde::{Serialize, Value};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over structural input.
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    pub fn write_u8(&mut self, v: u8) -> &mut Self {
+        self.write_bytes(&[v])
+    }
+
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write_bytes(s.as_bytes())
+    }
+
+    pub fn finish(&self) -> u64 {
+        // One final avalanche so short inputs spread across all bits.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn hash_value(h: &mut StableHasher, v: &Value) {
+    match v {
+        Value::Null => {
+            h.write_u8(0);
+        }
+        Value::Bool(b) => {
+            h.write_u8(1).write_u8(*b as u8);
+        }
+        Value::U64(n) => {
+            h.write_u8(2).write_u64(*n);
+        }
+        Value::I64(n) => {
+            h.write_u8(3).write_u64(*n as u64);
+        }
+        Value::F64(n) => {
+            h.write_u8(4).write_f64(*n);
+        }
+        Value::Str(s) => {
+            h.write_u8(5).write_str(s);
+        }
+        Value::Array(a) => {
+            h.write_u8(6).write_u64(a.len() as u64);
+            for e in a {
+                hash_value(h, e);
+            }
+        }
+        Value::Object(m) => {
+            h.write_u8(7).write_u64(m.len() as u64);
+            // BTreeMap iteration is key-sorted → order-independent of
+            // construction.
+            for (k, e) in m {
+                h.write_str(k);
+                hash_value(h, e);
+            }
+        }
+    }
+}
+
+/// Stable 64-bit content fingerprint of any serializable value.
+pub fn fingerprint_of<T: Serialize + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::new();
+    hash_value(&mut h, &value.serialize_value());
+    h.finish()
+}
+
+impl crate::machine::Machine {
+    /// Content fingerprint of the full platform model (every calibrated
+    /// constant participates — two machines fingerprint equal iff their
+    /// serialized models are identical).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{xeon_max_9468, MachineBuilder};
+
+    #[test]
+    fn machine_fingerprint_is_stable_and_content_addressed() {
+        let a = xeon_max_9468();
+        let b = xeon_max_9468();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A clone fingerprints identically (content, not identity).
+        assert_eq!(a.clone().fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn any_calibration_change_moves_the_fingerprint() {
+        let base = xeon_max_9468().fingerprint();
+        let ablated = MachineBuilder::xeon_max().without_cross_write_penalty().build();
+        assert_ne!(base, ablated.fingerprint());
+        let slower = MachineBuilder::xeon_max().with_hbm_bw_factor(0.999).build();
+        assert_ne!(base, slower.fingerprint());
+    }
+
+    #[test]
+    fn primitive_fingerprints_distinguish_values_and_types() {
+        assert_ne!(fingerprint_of(&1u64), fingerprint_of(&2u64));
+        assert_ne!(fingerprint_of(&1u64), fingerprint_of(&1.0f64));
+        assert_ne!(fingerprint_of("a"), fingerprint_of("b"));
+        assert_ne!(fingerprint_of(&vec![1u64, 2]), fingerprint_of(&vec![2u64, 1]));
+        assert_eq!(fingerprint_of(&vec![1u64, 2]), fingerprint_of(&vec![1u64, 2]));
+    }
+
+    #[test]
+    fn float_fingerprints_use_bit_patterns() {
+        assert_ne!(fingerprint_of(&0.1f64), fingerprint_of(&(0.1f64 + 1e-16)));
+        assert_eq!(fingerprint_of(&0.25f64), fingerprint_of(&0.25f64));
+    }
+}

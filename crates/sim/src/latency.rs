@@ -46,8 +46,7 @@ impl LatencyModel {
         threads_per_tile: f64,
         tiles: usize,
     ) -> f64 {
-        let demand =
-            cores as f64 * self.mlp_per_core * CACHE_LINE as f64 / pool.idle_latency_ns; // B/ns = GB/s
+        let demand = cores as f64 * self.mlp_per_core * CACHE_LINE as f64 / pool.idle_latency_ns; // B/ns = GB/s
         let cap = pool.socket_random_bw_cap(threads_per_tile, tiles);
         demand.min(cap)
     }

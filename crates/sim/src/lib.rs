@@ -33,6 +33,7 @@
 pub mod bandwidth;
 pub mod cache;
 pub mod cost;
+pub mod fingerprint;
 pub mod latency;
 pub mod machine;
 pub mod noise;
@@ -44,6 +45,7 @@ pub mod units;
 pub use bandwidth::BwCurve;
 pub use cache::{CacheHierarchy, CacheLevel};
 pub use cost::{phase_time, PhaseCost};
+pub use fingerprint::{fingerprint_of, StableHasher};
 pub use latency::LatencyModel;
 pub use machine::{xeon_max_9468, Machine, MachineBuilder};
 pub use noise::NoiseModel;

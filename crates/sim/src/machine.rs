@@ -69,14 +69,12 @@ impl Machine {
 
     /// HBM capacity of the whole machine.
     pub fn hbm_capacity(&self) -> Bytes {
-        self.hbm.capacity_per_tile
-            * (self.topology.tiles_per_socket * self.topology.sockets) as u64
+        self.hbm.capacity_per_tile * (self.topology.tiles_per_socket * self.topology.sockets) as u64
     }
 
     /// DDR capacity of the whole machine.
     pub fn ddr_capacity(&self) -> Bytes {
-        self.ddr.capacity_per_tile
-            * (self.topology.tiles_per_socket * self.topology.sockets) as u64
+        self.ddr.capacity_per_tile * (self.topology.tiles_per_socket * self.topology.sockets) as u64
     }
 
     /// Idle-latency penalty of HBM relative to DDR (≈1.2 on Xeon Max).

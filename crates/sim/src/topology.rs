@@ -77,7 +77,12 @@ impl Topology {
         for (offset, kind) in [(0, PoolKind::Ddr), (half, PoolKind::Hbm)] {
             for socket in 0..self.sockets {
                 for tile in 0..domains {
-                    nodes.push(NumaNode { id: offset + socket * domains + tile, socket, tile, kind });
+                    nodes.push(NumaNode {
+                        id: offset + socket * domains + tile,
+                        socket,
+                        tile,
+                        kind,
+                    });
                 }
             }
         }

@@ -24,9 +24,8 @@ fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
 }
 
 fn arb_stream() -> impl Strategy<Value = ResolvedStream> {
-    (1u64..64_000_000_000, arb_pool(), arb_dir(), arb_pattern()).prop_map(
-        |(bytes, pool, dir, pattern)| ResolvedStream { bytes, pool, dir, pattern },
-    )
+    (1u64..64_000_000_000, arb_pool(), arb_dir(), arb_pattern())
+        .prop_map(|(bytes, pool, dir, pattern)| ResolvedStream { bytes, pool, dir, pattern })
 }
 
 proptest! {

@@ -1,0 +1,179 @@
+//! Vendored minimal `criterion`: a timing harness with criterion's API
+//! shape (groups, `bench_function`, `bench_with_input`, `iter`) that
+//! reports mean wall-clock time per iteration on stdout.
+//!
+//! No statistical analysis, warm-up scheduling, or HTML reports — just
+//! honest timings so `cargo bench` works offline. Bench targets set
+//! `harness = false` in Cargo.toml, exactly as with real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, reported alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the measured closure and accumulates timing.
+pub struct Bencher {
+    samples: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = Some(t0.elapsed() / self.samples as u32);
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { samples, mean: None };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => {
+            let extra = match throughput {
+                Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+                    format!("  {:.2} GB/s", n as f64 / 1e9 / mean.as_secs_f64())
+                }
+                Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+                    format!("  {:.2} Melem/s", n as f64 / 1e6 / mean.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("{label:<50} {mean:>12.3?}/iter  ({samples} samples){extra}");
+        }
+        None => println!("{label:<50} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, None, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,106 @@
+//! Vendored `rayon` shim: the `par_iter` API surface this workspace uses,
+//! executed sequentially.
+//!
+//! The workspace's genuinely parallel execution lives in
+//! `hmpt_fleet`'s work-stealing executor (std threads); the native
+//! kernels that use the rayon idiom fall back to sequential iteration
+//! here, which preserves semantics and determinism. Swapping in real
+//! rayon is a Cargo.toml change once a registry is reachable.
+
+/// Number of "worker threads" (the host's available parallelism, so chunk
+/// sizing in callers stays sensible).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// rayon-style reduce: fold from `identity()`.
+    pub fn reduce<F, G>(self, identity: G, op: F) -> I::Item
+    where
+        F: Fn(I::Item, I::Item) -> I::Item,
+        G: Fn() -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+pub trait ParSliceExt<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+}
+
+pub trait ParSliceMutExt<T> {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{Par, ParSliceExt, ParSliceMutExt};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_serial() {
+        let v: Vec<u64> = (0..1000).collect();
+        let total: u64 = v.par_chunks(64).map(|c| c.iter().sum::<u64>()).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn zip_for_each_writes() {
+        let mut dst = [0u32; 16];
+        let src: Vec<u32> = (0..16).collect();
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, s)| *d = *s * 2);
+        assert_eq!(dst[15], 30);
+    }
+}

@@ -1,0 +1,420 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! The build container has no registry access, so this crate re-implements
+//! the subset of serde_derive the workspace actually uses, with no `syn`
+//! or `quote` dependency: the item is parsed directly from the token
+//! stream and the impl is emitted as a formatted string.
+//!
+//! Supported shapes (everything the workspace derives):
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, as in real serde).
+//!
+//! Not supported: generic types and `#[serde(...)]` attributes — the
+//! macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Skip one attribute (`#` already consumed ⇒ consume the `[...]` group).
+fn skip_attr(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    match iter.next() {
+        Some(TokenTree::Group(_)) => {}
+        other => panic!("serde_derive: malformed attribute: {other:?}"),
+    }
+}
+
+/// Skip a visibility modifier if present (`pub`, `pub(crate)`, …).
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Parse the named fields of a brace group: `pub a: T, pub b: U, ...`.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        // Attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    skip_attr(&mut iter);
+                }
+                _ => break,
+            }
+        }
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the fields of a paren group (tuple struct / tuple variant).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for tt in group {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                    pending = true;
+                } else if c == '>' {
+                    depth -= 1;
+                    pending = true;
+                } else if c == ',' && depth == 0 {
+                    count += 1;
+                    pending = false;
+                } else {
+                    pending = true;
+                }
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    skip_attr(&mut iter);
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Optional trailing comma.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(i)) => {
+                let s = i.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc.: the paren group is consumed in
+                // the next iteration as a stray token, which is fine here.
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    if kind == "struct" {
+        let fields = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde_derive: malformed struct body: {other:?}"),
+        };
+        Item::Struct { name, fields }
+    } else {
+        let variants = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_variants(g.stream())
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        };
+        Item::Enum { name, variants }
+    }
+}
+
+fn ser_body(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => "::serde::Value::Null".to_string(),
+            Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+            Fields::Named(fs) => {
+                let mut s = String::from("{ let mut __m = ::serde::Map::new(); ");
+                for f in fs {
+                    s.push_str(&format!(
+                        "__m.insert(String::from(\"{f}\"), ::serde::Serialize::serialize_value(&self.{f})); "
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m) }");
+                let _ = name;
+                s
+            }
+        },
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => {{ let mut __m = ::serde::Map::new(); \
+                         __m.insert(String::from(\"{v}\"), ::serde::Serialize::serialize_value(__f0)); \
+                         ::serde::Value::Object(__m) }},\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(String::from(\"{v}\"), ::serde::Value::Array(vec![{}])); \
+                             ::serde::Value::Object(__m) }},\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let mut inner = String::from("let mut __o = ::serde::Map::new(); ");
+                        for f in fs {
+                            inner.push_str(&format!(
+                                "__o.insert(String::from(\"{f}\"), ::serde::Serialize::serialize_value({f})); "
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} \
+                             let mut __m = ::serde::Map::new(); \
+                             __m.insert(String::from(\"{v}\"), ::serde::Value::Object(__o)); \
+                             ::serde::Value::Object(__m) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    }
+}
+
+fn de_named(path: &str, fields: &[String], obj: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value({obj}.get(\"{f}\")\
+                 .unwrap_or(&::serde::Value::Null)).map_err(|__e| __e.context(\"{f}\"))?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn de_body(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("Ok({name})"),
+            Fields::Tuple(1) => {
+                format!("Ok({name}(::serde::Deserialize::deserialize_value(__v)?))")
+            }
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize_value(__arr.get({i})\
+                             .unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{ let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?; \
+                     Ok({name}({})) }}",
+                    elems.join(", ")
+                )
+            }
+            Fields::Named(fs) => format!(
+                "{{ let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?; \
+                 Ok({}) }}",
+                de_named(name, fs, "__obj")
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        str_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                        obj_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::deserialize_value(__payload)\
+                         .map_err(|__e| __e.context(\"{v}\"))?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize_value(__arr.get({i})\
+                                     .unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{v}\" => {{ let __arr = __payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{v}\"))?; \
+                             Ok({name}::{v}({})) }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => obj_arms.push_str(&format!(
+                        "\"{v}\" => {{ let __obj = __payload.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}::{v}\"))?; \
+                         Ok({}) }},\n",
+                        de_named(&format!("{name}::{v}"), fs, "__obj")
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __payload) = __m.iter().next().expect(\"len checked\");\n\
+                 let _ = __payload;\n\
+                 match __k.as_str() {{\n{obj_arms}\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::custom(\"expected string or single-key object for {name}\")),\n\
+                 }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = ser_body(&item);
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables, unused_mut)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = de_body(&item);
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables, unused_mut)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         #[allow(unused_imports)] use ::core::result::Result::{{Ok, Err}};\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -62,7 +62,12 @@ impl StreamSpec {
     }
 
     pub fn chase(alloc: usize, bytes: Bytes, window: Bytes) -> Self {
-        StreamSpec { alloc, bytes, dir: Direction::Read, pattern: AccessPattern::PointerChase { window } }
+        StreamSpec {
+            alloc,
+            bytes,
+            dir: Direction::Read,
+            pattern: AccessPattern::PointerChase { window },
+        }
     }
 }
 
@@ -197,6 +202,13 @@ impl WorkloadSpec {
     /// Index of the allocation with a given label.
     pub fn alloc_index(&self, label: &str) -> Option<usize> {
         self.allocations.iter().position(|a| a.label == label)
+    }
+
+    /// Stable content fingerprint of the whole spec (allocations, phase
+    /// structure, execution context, grouping hint). Used as a component
+    /// of the fleet's content-addressed measurement-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        hmpt_sim::fingerprint::fingerprint_of(self)
     }
 
     /// Serialize to the JSON workload format (the input the CLI's

@@ -53,12 +53,7 @@ pub fn run(window_bytes: usize, accesses: usize) -> ChaseResult {
     let seconds = t0.elapsed().as_secs_f64();
     // Keep `idx` alive.
     assert!(idx < nodes);
-    ChaseResult {
-        window_bytes,
-        accesses,
-        seconds,
-        ns_per_access: seconds * 1e9 / accesses as f64,
-    }
+    ChaseResult { window_bytes, accesses, seconds, ns_per_access: seconds * 1e9 / accesses as f64 }
 }
 
 #[cfg(test)]

@@ -24,10 +24,10 @@ pub struct GatherResult {
 /// parallel across all rayon threads.
 pub fn run(elements: usize, accesses: usize, seed: u64) -> GatherResult {
     assert!(elements > 0 && accesses > 0);
-    let table: Vec<u64> = (0..elements as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let table: Vec<u64> =
+        (0..elements as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let indices: Vec<u32> =
-        (0..accesses).map(|_| rng.random_range(0..elements as u32)).collect();
+    let indices: Vec<u32> = (0..accesses).map(|_| rng.random_range(0..elements as u32)).collect();
 
     let t0 = std::time::Instant::now();
     let checksum: u64 = indices

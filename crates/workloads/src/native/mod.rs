@@ -1,9 +1,16 @@
 //! Native kernels that really execute on the host.
 //!
-//! These are not models: they allocate real memory and run real parallel
-//! loops (rayon / std threads). They validate the *qualitative* ordering
-//! the simulator assumes (sequential ≫ random ≫ dependent-chase
-//! throughput) and serve as realistic example payloads.
+//! These are not models: they allocate real memory and run real loops.
+//! They validate the *qualitative* ordering the simulator assumes
+//! (sequential ≫ random ≫ dependent-chase throughput) and serve as
+//! realistic example payloads.
+//!
+//! **Parallelism caveat:** the kernels are written against the rayon
+//! `par_iter` API, but this workspace vendors a *sequential* rayon
+//! stand-in (`crates/vendor/rayon`, no registry access at build time).
+//! Until real rayon is swapped back in, reported bandwidths here are
+//! single-core numbers — fine for the qualitative ordering the tests
+//! assert, not comparable to the paper's saturated-socket GB/s.
 
 pub mod chase;
 pub mod gather;

@@ -82,12 +82,7 @@ pub fn run(n: usize, max_key: u32, iterations: usize) -> SortResult {
     let sorted = sort(&keys, max_key);
     let seconds = t0.elapsed().as_secs_f64();
     assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
-    SortResult {
-        keys: n,
-        max_key,
-        seconds,
-        mkeys_per_s: (n * iterations) as f64 / 1e6 / seconds,
-    }
+    SortResult { keys: n, max_key, seconds, mkeys_per_s: (n * iterations) as f64 / 1e6 / seconds }
 }
 
 #[cfg(test)]

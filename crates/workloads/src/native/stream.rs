@@ -44,9 +44,7 @@ pub fn run(elements: usize, reps: usize) -> StreamResult {
         best[1] = best[1].min(t.elapsed().as_secs_f64());
         // Add: c = a + b
         let t = std::time::Instant::now();
-        c.par_iter_mut()
-            .zip(a.par_iter().zip(b.par_iter()))
-            .for_each(|(c, (a, b))| *c = a + b);
+        c.par_iter_mut().zip(a.par_iter().zip(b.par_iter())).for_each(|(c, (a, b))| *c = a + b);
         best[2] = best[2].min(t.elapsed().as_secs_f64());
         // Triad: a = b + s·c
         let t = std::time::Instant::now();

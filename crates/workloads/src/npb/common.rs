@@ -60,14 +60,9 @@ mod tests {
     fn floored_phase_realizes_k_eff() {
         // A floored phase with all data in HBM should take traffic/k_eff.
         let m = xeon_max_9468();
-        let phase = floored_phase(
-            "p",
-            vec![StreamSpec::seq(0, gbf(10.0), Direction::Read)],
-            454.0,
-            0.12,
-        );
-        let streams =
-            [ResolvedStream::seq(gbf(10.0), PoolKind::Hbm, Direction::Read)];
+        let phase =
+            floored_phase("p", vec![StreamSpec::seq(0, gbf(10.0), Direction::Read)], 454.0, 0.12);
+        let streams = [ResolvedStream::seq(gbf(10.0), PoolKind::Hbm, Direction::Read)];
         let load = PhaseLoad {
             streams: &streams,
             flops: phase.flops,

@@ -1,8 +1,8 @@
 //! NAS Parallel Benchmark (NPB 3.4, OpenMP, class D unless noted) traffic
 //! models, one module per benchmark evaluated in the paper.
 
-pub mod common;
 pub mod bt;
+pub mod common;
 pub mod is;
 pub mod lu;
 pub mod mg;

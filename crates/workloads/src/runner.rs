@@ -19,11 +19,12 @@ use hmpt_sim::pool::PoolKind;
 use hmpt_sim::stream::{AccessPattern, ResolvedStream};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::model::WorkloadSpec;
 
 /// Configuration of one run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct RunConfig {
     pub noise: NoiseModel,
     /// Seed for noise and sampling (vary per repetition).
@@ -46,6 +47,13 @@ impl RunConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Stable content fingerprint (noise model, seed, sampling setup).
+    /// Used as a component of the fleet's content-addressed
+    /// measurement-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        hmpt_sim::fingerprint::fingerprint_of(self)
     }
 }
 
@@ -114,9 +122,9 @@ pub fn run_once(
     let hbm_footprint_fraction = shim.hbm_footprint_fraction();
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut sampler = cfg.ibs.map(|ibs| {
-        Sampler::new(ibs, ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x1b5)))
-    });
+    let mut sampler = cfg
+        .ibs
+        .map(|ibs| Sampler::new(ibs, ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x1b5))));
 
     let mut counters = Counters::new();
     let mut model_time = 0.0;
@@ -136,8 +144,7 @@ pub fn run_once(
         model_time += cost.time_s * phase.repeats as f64;
 
         if let Some(sampler) = sampler.as_mut() {
-            for (spec_stream, alloc_ref) in
-                phase.streams.iter().map(|s| (s, &allocations[s.alloc]))
+            for (spec_stream, alloc_ref) in phase.streams.iter().map(|s| (s, &allocations[s.alloc]))
             {
                 let traffic = spec_stream.bytes * phase.repeats;
                 samples.extend(sampler.sample_stream(
@@ -160,14 +167,7 @@ pub fn run_once(
     let time_s = cfg.noise.perturb(model_time, &mut rng);
     shim.free_all();
 
-    Ok(RunOutcome {
-        time_s,
-        counters,
-        samples,
-        stats,
-        hbm_footprint_fraction,
-        phase_costs,
-    })
+    Ok(RunOutcome { time_s, counters, samples, stats, hbm_footprint_fraction, phase_costs })
 }
 
 #[cfg(test)]
@@ -203,8 +203,7 @@ mod tests {
         let cfg = RunConfig::exact();
         let ddr = run_once(&m, &w, &PlacementPlan::all_in(PoolKind::Ddr), &cfg).unwrap();
         let hot_site = w.allocations[0].site();
-        let promoted =
-            run_once(&m, &w, &PlacementPlan::promote_to_hbm([hot_site]), &cfg).unwrap();
+        let promoted = run_once(&m, &w, &PlacementPlan::promote_to_hbm([hot_site]), &cfg).unwrap();
         assert!(promoted.time_s < ddr.time_s * 0.6, "{} vs {}", promoted.time_s, ddr.time_s);
         assert!((promoted.hbm_footprint_fraction - 0.5).abs() < 1e-9);
     }

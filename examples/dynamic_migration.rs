@@ -26,9 +26,7 @@ fn main() {
             r.migration_cost_s,
             r.iter_ddr_s,
             r.iter_tuned_s,
-            r.break_even_iterations
-                .map(|k| format!("iter {k}"))
-                .unwrap_or_else(|| "never".into()),
+            r.break_even_iterations.map(|k| format!("iter {k}")).unwrap_or_else(|| "never".into()),
         );
     }
 

@@ -41,7 +41,11 @@ fn main() {
     let st = stream::run(1 << 24, 3);
     println!(
         "stream: copy {:.1} / scale {:.1} / add {:.1} / triad {:.1} GB/s (avg {:.1})",
-        st.copy_gbs, st.scale_gbs, st.add_gbs, st.triad_gbs, st.average()
+        st.copy_gbs,
+        st.scale_gbs,
+        st.add_gbs,
+        st.triad_gbs,
+        st.average()
     );
 
     // Histogram sort (IS-style).

@@ -33,9 +33,7 @@ fn main() {
     // 6. The Table II triple and the plan you would ship.
     println!(
         "max speedup {:.2}x | HBM-only {:.2}x | 90% of peak with {:.1}% of data in HBM",
-        analysis.table2.max_speedup,
-        analysis.table2.hbm_only_speedup,
-        analysis.table2.usage_90_pct
+        analysis.table2.max_speedup, analysis.table2.hbm_only_speedup, analysis.table2.usage_90_pct
     );
     println!("\nplacement plan for the best configuration:");
     println!("{}", analysis.best_plan(&spec).to_json());

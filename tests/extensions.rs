@@ -21,8 +21,7 @@ fn dynamic_session_matches_static_best_within_migration_overhead() {
     // Static: the offline exhaustive optimum per iteration.
     let a = Driver::new(machine.clone()).analyze(&spec).unwrap();
     // Dynamic: profile 1 iteration, migrate, run 49 more.
-    let r = run_dynamic(&machine, &spec, &DynamicConfig::new(50, machine.hbm_capacity()))
-        .unwrap();
+    let r = run_dynamic(&machine, &spec, &DynamicConfig::new(50, machine.hbm_capacity())).unwrap();
 
     // The tuned iteration time should be within a few percent of the
     // exhaustive optimum (greedy-by-density is near-optimal on MG).
@@ -42,11 +41,9 @@ fn migration_sequence_reaches_planned_placement() {
     // would issue and verify the final footprint matches the plan.
     let machine = hmpt_repro::machine();
     let mut shim = Shim::new(&machine, PlacementPlan::default());
-    let traces: Vec<StackTrace> = (0..4)
-        .map(|i| StackTrace::from_symbols(&[&format!("arr{i}"), "main"]))
-        .collect();
-    let allocs: Vec<_> =
-        traces.iter().map(|t| shim.malloc(t, 2_000_000_000).unwrap()).collect();
+    let traces: Vec<StackTrace> =
+        (0..4).map(|i| StackTrace::from_symbols(&[&format!("arr{i}"), "main"])).collect();
+    let allocs: Vec<_> = traces.iter().map(|t| shim.malloc(t, 2_000_000_000).unwrap()).collect();
     assert_eq!(shim.hbm_footprint_fraction(), 0.0);
 
     let mut total_cost = 0.0;
@@ -69,10 +66,9 @@ fn diagnosis_explains_the_speedup() {
     // The runtime share of DDR-bandwidth-bound phases must shrink when
     // the tuned plan is applied — that's what "tuning" means.
     let machine = hmpt_repro::machine();
-    for spec in [
-        hmpt_repro::workloads::npb::mg::workload(),
-        hmpt_repro::workloads::npb::is::workload(),
-    ] {
+    for spec in
+        [hmpt_repro::workloads::npb::mg::workload(), hmpt_repro::workloads::npb::is::workload()]
+    {
         let a = Driver::new(machine.clone()).analyze(&spec).unwrap();
         let before = diagnose(&machine, &spec, &PlacementPlan::default()).unwrap();
         let after = diagnose(&machine, &spec, &a.best_plan(&spec)).unwrap();

@@ -1,0 +1,141 @@
+//! Property tests for the fleet subsystem: the parallel executor is
+//! bit-identical to the serial one, and a warmed measurement cache never
+//! changes an analysis result while eliminating simulated runs.
+
+use hmpt_fleet::{Fleet, FleetConfig, TuningJob};
+use hmpt_repro::core::driver::Driver;
+use hmpt_repro::core::exec::ExecutorKind;
+use hmpt_repro::core::measure::CampaignConfig;
+use hmpt_repro::sim::noise::NoiseModel;
+use hmpt_repro::sim::stream::Direction;
+use hmpt_repro::workloads::model::{Phase, StreamSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A random small workload: 2–6 allocations, 1–4 phases of sequential
+/// traffic with optional compute floors (same generator family as
+/// `tests/properties.rs`).
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    let alloc_count = 2usize..6;
+    alloc_count
+        .prop_flat_map(|n| {
+            let sizes = prop::collection::vec(1u64..8, n);
+            let phases = prop::collection::vec(
+                (prop::collection::vec((0..n, 1u64..12, 0..3u8), 1..4), prop::option::of(1u64..40)),
+                1..4,
+            );
+            (Just(n), sizes, phases)
+        })
+        .prop_map(|(_n, sizes, phases)| {
+            let mut w = WorkloadSpec::new("synthetic", "./synthetic.x");
+            let idx: Vec<usize> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &gb)| w.alloc(&format!("a{i}"), gb * 1_000_000_000))
+                .collect();
+            for (pi, (streams, floor)) in phases.into_iter().enumerate() {
+                let specs: Vec<StreamSpec> = streams
+                    .into_iter()
+                    .map(|(a, gb, dir)| {
+                        let dir = match dir {
+                            0 => Direction::Read,
+                            1 => Direction::Write,
+                            _ => Direction::ReadWrite,
+                        };
+                        StreamSpec::seq(idx[a], gb * 1_000_000_000, dir)
+                    })
+                    .collect();
+                let mut phase = Phase::new(&format!("p{pi}"), specs);
+                if let Some(gf) = floor {
+                    phase = phase.flops(gf as f64 * 1e9).compute_cap(1.0);
+                }
+                w.push_phase(phase);
+            }
+            w
+        })
+}
+
+fn campaign(seed: u64) -> CampaignConfig {
+    CampaignConfig { runs_per_config: 2, noise: NoiseModel::default(), base_seed: seed }
+}
+
+fn assert_analyses_bit_identical(
+    a: &hmpt_repro::core::driver::Analysis,
+    b: &hmpt_repro::core::driver::Analysis,
+) -> Result<(), proptest::TestCaseError> {
+    prop_assert_eq!(a.campaign.measurements.len(), b.campaign.measurements.len());
+    for (x, y) in a.campaign.measurements.iter().zip(&b.campaign.measurements) {
+        prop_assert_eq!(x.config, y.config);
+        prop_assert_eq!(x.mean_s.to_bits(), y.mean_s.to_bits());
+        prop_assert_eq!(x.std_s.to_bits(), y.std_s.to_bits());
+        prop_assert_eq!(x.hbm_fraction.to_bits(), y.hbm_fraction.to_bits());
+    }
+    prop_assert_eq!(a.table2.max_speedup.to_bits(), b.table2.max_speedup.to_bits());
+    prop_assert_eq!(a.table2.hbm_only_speedup.to_bits(), b.table2.hbm_only_speedup.to_bits());
+    prop_assert_eq!(a.table2.usage_90_pct.to_bits(), b.table2.usage_90_pct.to_bits());
+    prop_assert_eq!(a.table2.best_config, b.table2.best_config);
+    for (s, p) in a.estimator.single.iter().zip(&b.estimator.single) {
+        prop_assert_eq!(s.to_bits(), p.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `ParallelExecutor` output is bit-identical to `SerialExecutor`
+    /// for random workloads, seeds, and worker counts.
+    #[test]
+    fn parallel_executor_is_bit_identical(
+        spec in arb_workload(),
+        seed in 0u64..1000,
+        workers in 2usize..6,
+    ) {
+        let serial = Driver::new(hmpt_repro::machine())
+            .with_campaign(campaign(seed))
+            .analyze(&spec)
+            .unwrap();
+        let parallel = Driver::new(hmpt_repro::machine())
+            .with_campaign(campaign(seed))
+            .with_executor(ExecutorKind::Parallel { workers })
+            .analyze(&spec)
+            .unwrap();
+        assert_analyses_bit_identical(&serial, &parallel)?;
+    }
+
+    /// A warmed `MeasurementCache` never changes an `Analysis` result
+    /// while reducing the simulated run count to zero, and the cached
+    /// pipeline agrees bit-for-bit with the plain driver.
+    #[test]
+    fn warmed_cache_preserves_results_and_skips_runs(
+        spec in arb_workload(),
+        seed in 0u64..1000,
+    ) {
+        let job = TuningJob::new(spec.clone()).with_campaign(campaign(seed));
+        let fleet = Fleet::new(FleetConfig::default());
+
+        let cold = fleet.run_job(&job).unwrap();
+        let warm = fleet.run_job(&job).unwrap();
+
+        // The cold pass simulated every campaign cell; the warm pass none.
+        prop_assert_eq!(
+            cold.cache.misses as usize,
+            cold.analysis.campaign.total_runs()
+        );
+        prop_assert_eq!(warm.cache.misses, 0);
+        prop_assert!(warm.cache.hits > 0);
+        prop_assert!(warm.simulated_runs() < cold.simulated_runs());
+
+        assert_analyses_bit_identical(&cold.analysis, &warm.analysis)?;
+
+        // And neither deviates from the executor-only (cache-less) path.
+        let plain = Driver::new(hmpt_repro::machine())
+            .with_campaign(campaign(seed))
+            .analyze(&spec)
+            .unwrap();
+        assert_analyses_bit_identical(&plain, &warm.analysis)?;
+
+        // The online verification rides the warmed cache and agrees.
+        let online = warm.online.as_ref().expect("online check on by default");
+        prop_assert!(online.speedup >= 0.9 * warm.analysis.table2.max_speedup);
+    }
+}

@@ -37,12 +37,7 @@ fn conclusion_quarter_stays_in_ddr() {
         }
         let a = driver.analyze(&spec).unwrap();
         let in_ddr = 100.0 - a.table2.usage_90_pct;
-        assert!(
-            (25.0..=40.0).contains(&in_ddr),
-            "{}: {:.1}% kept in DDR",
-            spec.name,
-            in_ddr
-        );
+        assert!((25.0..=40.0).contains(&in_ddr), "{}: {:.1}% kept in DDR", spec.name, in_ddr);
     }
 }
 
@@ -124,8 +119,7 @@ fn lu_single_allocation_claim() {
     // gain.
     let g0 = &a.groups[0];
     assert_eq!(g0.label, "rsd");
-    let footprint_share = g0.bytes as f64
-        / a.groups.iter().map(|g| g.bytes).sum::<u64>() as f64;
+    let footprint_share = g0.bytes as f64 / a.groups.iter().map(|g| g.bytes).sum::<u64>() as f64;
     assert!((footprint_share - 0.25).abs() < 0.02);
     let single = a.estimator.single[0];
     let gain_share = (single - 1.0) / (a.table2.max_speedup - 1.0);

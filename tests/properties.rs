@@ -18,10 +18,7 @@ fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
         .prop_flat_map(|n| {
             let sizes = prop::collection::vec(1u64..8, n);
             let phases = prop::collection::vec(
-                (
-                    prop::collection::vec((0..n, 1u64..12, 0..3u8), 1..4),
-                    prop::option::of(1u64..40),
-                ),
+                (prop::collection::vec((0..n, 1u64..12, 0..3u8), 1..4), prop::option::of(1u64..40)),
                 1..4,
             );
             (Just(n), sizes, phases)
