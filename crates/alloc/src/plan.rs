@@ -113,8 +113,8 @@ impl PlacementPlan {
     /// Stable content fingerprint (default assignment + per-site
     /// overrides, site-order independent). Used as a component of the
     /// fleet's content-addressed measurement-cache keys.
-    pub fn fingerprint(&self) -> u64 {
-        hmpt_sim::fingerprint::fingerprint_of(self)
+    pub fn fingerprint(&self) -> hmpt_sim::fingerprint::Fingerprint {
+        hmpt_sim::fingerprint::Fingerprint::of(self)
     }
 }
 

@@ -1,8 +1,10 @@
-//! Fleet bench: the full Table II campaign batch through the three
-//! execution strategies — serial, parallel (work-stealing pool), and
-//! warmed content-addressed cache.
+//! Fleet bench: the full Table II campaign batch through the execution
+//! strategies the campaign-plan IR composes — serial, parallel
+//! (work-stealing pool), adaptive repetitions (confidence-targeted
+//! early stopping), and warmed content-addressed cache.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hmpt_core::campaign::{CampaignPlan, RepPolicy};
 use hmpt_core::driver::Driver;
 use hmpt_core::exec::{available_workers, ExecutorKind};
 use hmpt_core::grouping::{group, GroupingConfig};
@@ -39,6 +41,19 @@ fn bench(c: &mut Criterion) {
     g.bench_function("table2_campaigns_serial", |b| b.iter(|| run_batch(ExecutorKind::Serial)));
     g.bench_function(format!("table2_campaigns_parallel_x{}", available_workers()).as_str(), |b| {
         b.iter(|| run_batch(ExecutorKind::parallel()))
+    });
+
+    // Adaptive repetitions: same campaigns, configurations retired once
+    // their mean is known to ±2 % — fewer simulated cells, same optima.
+    g.bench_function("table2_campaigns_adaptive_ci2pct", |b| {
+        b.iter(|| {
+            for (spec, groups, campaign) in &prepared {
+                let plan = CampaignPlan::new(&machine, spec, groups, *campaign)
+                    .expect("plan")
+                    .with_policy(RepPolicy::confidence(0.02, campaign.runs_per_config));
+                black_box(plan.execute(&ExecutorKind::parallel()).expect("campaign"));
+            }
+        })
     });
 
     // Warm a fleet cache once, then measure fully-cached batch answers.

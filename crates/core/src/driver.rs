@@ -9,6 +9,8 @@
 //! 5. **Plan** — emit the best placement plan (optionally under a
 //!    capacity budget via [`crate::planner`]).
 
+use std::sync::Arc;
+
 use hmpt_alloc::plan::PlacementPlan;
 use hmpt_perf::stats::AccessStats;
 use hmpt_sim::machine::Machine;
@@ -16,11 +18,13 @@ use hmpt_workloads::model::WorkloadSpec;
 use hmpt_workloads::runner::{run_once, RunConfig, RunOutcome};
 
 use crate::analysis::{DetailedView, SummaryView};
+use crate::cache::MeasurementCache;
+use crate::campaign::{CampaignPlan, RepPolicy};
 use crate::error::TunerError;
 use crate::estimate::LinearEstimator;
-use crate::exec::ExecutorKind;
+use crate::exec::{cell_executor, ExecutorKind};
 use crate::grouping::{group, AllocationGroup, GroupingConfig};
-use crate::measure::{run_campaign_with, CampaignConfig, CampaignResult};
+use crate::measure::{CampaignConfig, CampaignResult};
 use crate::metrics::Table2Row;
 
 /// Everything the tuner produces for one workload.
@@ -77,6 +81,15 @@ pub struct Driver {
     /// How campaign cells are executed (serial by default; results are
     /// bit-identical across executors).
     pub executor: ExecutorKind,
+    /// How many repetitions each configuration gets (fixed `n` by
+    /// default; adaptive policies stop early, bit-identically across
+    /// executors).
+    pub rep_policy: RepPolicy,
+    /// Optional shared measurement cache, consulted per cell through a
+    /// [`crate::exec::CachingExecutor`]. A warmed cache never changes a result —
+    /// cells are content-keyed down to the derived seed — it only skips
+    /// simulated runs.
+    pub cache: Option<Arc<MeasurementCache>>,
 }
 
 impl Driver {
@@ -87,6 +100,8 @@ impl Driver {
             campaign: CampaignConfig::default(),
             profile_seed: 7,
             executor: ExecutorKind::Serial,
+            rep_policy: RepPolicy::Fixed,
+            cache: None,
         }
     }
 
@@ -105,6 +120,16 @@ impl Driver {
         self
     }
 
+    pub fn with_rep_policy(mut self, rep_policy: RepPolicy) -> Self {
+        self.rep_policy = rep_policy;
+        self
+    }
+
+    pub fn with_cache(mut self, cache: Arc<MeasurementCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Step 1: the profiling run (all-DDR, IBS on).
     pub fn profile(&self, spec: &WorkloadSpec) -> Result<RunOutcome, TunerError> {
         if spec.allocations.is_empty() {
@@ -114,12 +139,29 @@ impl Driver {
         Ok(run_once(&self.machine, spec, &plan, &RunConfig::profiling(self.profile_seed))?)
     }
 
+    /// Step 3: plan the measurement campaign for an already-grouped
+    /// workload. The plan carries the driver's repetition policy;
+    /// callers pick the executor (and may wrap it in a cache).
+    pub fn plan_campaign<'a>(
+        &'a self,
+        spec: &'a WorkloadSpec,
+        groups: &'a [AllocationGroup],
+    ) -> Result<CampaignPlan<'a>, TunerError> {
+        Ok(CampaignPlan::new(&self.machine, spec, groups, self.campaign)?
+            .with_policy(self.rep_policy))
+    }
+
+    /// Execute a campaign plan with the driver's executor, consulting
+    /// the driver's cache (if configured) per cell.
+    pub fn run_plan(&self, plan: &CampaignPlan<'_>) -> Result<CampaignResult, TunerError> {
+        plan.execute(&*cell_executor(self.executor, self.cache.clone()))
+    }
+
     /// The full pipeline.
     pub fn analyze(&self, spec: &WorkloadSpec) -> Result<Analysis, TunerError> {
         let profile = self.profile(spec)?;
         let groups = group(spec, &profile.stats, &self.grouping);
-        let campaign =
-            run_campaign_with(&self.executor, &self.machine, spec, &groups, &self.campaign)?;
+        let campaign = self.run_plan(&self.plan_campaign(spec, &groups)?)?;
         Ok(self.assemble(spec, profile, groups, campaign))
     }
 
@@ -245,5 +287,36 @@ mod tests {
         let a = d.analyze(&spec).unwrap();
         // 2^3 configs × 1 run + 1 profile run.
         assert_eq!(a.total_runs(), 9);
+    }
+
+    #[test]
+    fn cached_driver_is_bit_identical_and_skips_reruns() {
+        let spec = hmpt_workloads::npb::mg::workload();
+        let cache = Arc::new(MeasurementCache::new());
+        let cached_driver = Driver::new(xeon_max_9468()).with_cache(Arc::clone(&cache));
+        let first = cached_driver.analyze(&spec).unwrap();
+        assert_eq!(cache.stats().misses as usize, first.campaign.total_runs());
+        let second = cached_driver.analyze(&spec).unwrap();
+        // Re-analysis re-profiles but answers every campaign cell from
+        // the cache.
+        assert_eq!(cache.stats().misses as usize, first.campaign.total_runs());
+        assert_eq!(first.table2.max_speedup.to_bits(), second.table2.max_speedup.to_bits());
+        let plain = Driver::new(xeon_max_9468()).analyze(&spec).unwrap();
+        assert_eq!(plain.table2.max_speedup.to_bits(), first.table2.max_speedup.to_bits());
+    }
+
+    #[test]
+    fn adaptive_driver_spends_fewer_runs() {
+        let spec = hmpt_workloads::npb::mg::workload();
+        // Default (noisy) campaign so the CI target is exercised.
+        let fixed = Driver::new(xeon_max_9468()).analyze(&spec).unwrap();
+        let adaptive = Driver::new(xeon_max_9468())
+            .with_rep_policy(RepPolicy::confidence(0.02, 3))
+            .analyze(&spec)
+            .unwrap();
+        assert!(adaptive.campaign.executed_runs < fixed.campaign.executed_runs);
+        assert!(adaptive.campaign.cells_skipped() > 0);
+        // The Table II triple stays within the paper band.
+        assert!((adaptive.table2.max_speedup - 2.27).abs() < 0.1);
     }
 }

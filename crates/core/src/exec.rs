@@ -9,6 +9,15 @@
 //! canonical index order, so the two executors are **bit-identical** —
 //! the parallel path changes wall-clock time, never results.
 //!
+//! On top of the index-level abstraction sits the *cell* level:
+//! [`CellExecutor`] evaluates batches of campaign cells
+//! ([`crate::campaign::CellSpec`]) — every [`RunExecutor`] is trivially
+//! a [`CellExecutor`], and [`CachingExecutor`] wraps any of them with a
+//! content-addressed [`MeasurementCache`] consult per cell. Caching at
+//! the executor layer (instead of inside one front end) means the
+//! driver, the online tuner, sensitivity sweeps, and the fleet all
+//! share the same cache plumbing.
+//!
 //! This module is the in-tree home of the abstraction so the tuner
 //! pipeline ([`crate::measure`], [`crate::driver`], [`crate::online`],
 //! [`crate::sensitivity`]) can thread it through without a dependency
@@ -17,6 +26,12 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::cache::MeasurementCache;
+use crate::campaign::CellSpec;
+use crate::error::TunerError;
+use crate::measure::CellOutcome;
 
 /// Evaluate `n` independent cells `f(0) .. f(n-1)`, returning results in
 /// index order regardless of execution order.
@@ -169,6 +184,90 @@ impl RunExecutor for ExecutorKind {
     }
 }
 
+/// Evaluate a batch of campaign cells, returning outcomes in cell
+/// order. The cell level is where caching composes: a cell carries its
+/// content key, so a caching wrapper can short-circuit the measurement
+/// without knowing anything about campaigns.
+pub trait CellExecutor: Sync {
+    fn run_cells(
+        &self,
+        cells: &[CellSpec],
+        measure: &(dyn Fn(&CellSpec) -> Result<CellOutcome, TunerError> + Sync),
+    ) -> Vec<Result<CellOutcome, TunerError>>;
+
+    /// Human-readable label for reports.
+    fn describe(&self) -> String;
+}
+
+/// Every index-level executor evaluates cells by index.
+impl<E: RunExecutor> CellExecutor for E {
+    fn run_cells(
+        &self,
+        cells: &[CellSpec],
+        measure: &(dyn Fn(&CellSpec) -> Result<CellOutcome, TunerError> + Sync),
+    ) -> Vec<Result<CellOutcome, TunerError>> {
+        self.run(cells.len(), |i| measure(&cells[i]))
+    }
+
+    fn describe(&self) -> String {
+        self.label()
+    }
+}
+
+/// A [`CellExecutor`] adapter that consults a shared
+/// [`MeasurementCache`] before (and populates it after) every cell the
+/// wrapped executor evaluates. Because a cell's key covers everything
+/// the simulation depends on — machine, spec, plan, noise ⊕ seed — a
+/// hit returns the bit-identical outcome the run would have produced.
+#[derive(Debug, Clone)]
+pub struct CachingExecutor<E: RunExecutor = ExecutorKind> {
+    inner: E,
+    cache: Arc<MeasurementCache>,
+}
+
+impl<E: RunExecutor> CachingExecutor<E> {
+    pub fn new(inner: E, cache: Arc<MeasurementCache>) -> Self {
+        CachingExecutor { inner, cache }
+    }
+
+    pub fn cache(&self) -> &Arc<MeasurementCache> {
+        &self.cache
+    }
+
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: RunExecutor> CellExecutor for CachingExecutor<E> {
+    fn run_cells(
+        &self,
+        cells: &[CellSpec],
+        measure: &(dyn Fn(&CellSpec) -> Result<CellOutcome, TunerError> + Sync),
+    ) -> Vec<Result<CellOutcome, TunerError>> {
+        self.inner
+            .run(cells.len(), |i| self.cache.get_or_measure(cells[i].key, || measure(&cells[i])))
+    }
+
+    fn describe(&self) -> String {
+        format!("{}+cache", self.inner.label())
+    }
+}
+
+/// The standard executor stack: an index-level executor choice,
+/// optionally wrapped in a measurement cache. The one place the
+/// cache-or-plain branch lives — the driver and the fleet both build
+/// their stacks here.
+pub fn cell_executor(
+    kind: ExecutorKind,
+    cache: Option<Arc<MeasurementCache>>,
+) -> Box<dyn CellExecutor> {
+    match cache {
+        Some(cache) => Box::new(CachingExecutor::new(kind, cache)),
+        None => Box::new(kind),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +322,54 @@ mod tests {
     fn empty_batch_is_fine() {
         let out: Vec<u32> = ParallelExecutor::new().run(0, |_| unreachable!());
         assert!(out.is_empty());
+    }
+
+    fn synthetic_cells(n: usize) -> Vec<CellSpec> {
+        use hmpt_sim::fingerprint::Fingerprint;
+        (0..n)
+            .map(|i| CellSpec {
+                config: crate::configspace::Config(0),
+                rep: i,
+                seed: i as u64,
+                key: (
+                    Fingerprint::from_raw(1),
+                    Fingerprint::from_raw(2),
+                    Fingerprint::from_raw(3),
+                    Fingerprint::from_raw(i as u64),
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_executors_are_cell_executors() {
+        let cells = synthetic_cells(5);
+        let measure = |c: &CellSpec| Ok(CellOutcome { time_s: c.rep as f64, hbm_fraction: 0.0 });
+        let out = CellExecutor::run_cells(&SerialExecutor, &cells, &measure);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[3].as_ref().unwrap().time_s, 3.0);
+        assert_eq!(CellExecutor::describe(&SerialExecutor), "serial");
+    }
+
+    #[test]
+    fn caching_executor_deduplicates_by_key() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = Arc::new(MeasurementCache::new());
+        let exec = CachingExecutor::new(ExecutorKind::Serial, Arc::clone(&cache));
+        let cells = synthetic_cells(4);
+        let calls = AtomicUsize::new(0);
+        let measure = |c: &CellSpec| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(CellOutcome { time_s: c.rep as f64, hbm_fraction: 0.0 })
+        };
+        let first = exec.run_cells(&cells, &measure);
+        let second = exec.run_cells(&cells, &measure);
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "second pass fully cached");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.as_ref().unwrap().time_s.to_bits(), b.as_ref().unwrap().time_s.to_bits());
+        }
+        assert_eq!(cache.stats().hits, 4);
+        assert!(exec.describe().contains("cache"));
+        assert_eq!(exec.inner(), &ExecutorKind::Serial);
     }
 }

@@ -1,7 +1,7 @@
 //! Allocation grouping (§III.A of the paper).
 //!
 //! The captured allocations are "filtered and possibly grouped to
-//! restrict [the] configuration space and thus analysis time. Typically,
+//! restrict \[the\] configuration space and thus analysis time. Typically,
 //! allocations smaller than L2 or L3 cache size can be assumed to be
 //! insignificant and are ignored or folded into a single allocation
 //! group. … we decided to aim for 8 allocation groups, which are chosen

@@ -22,6 +22,8 @@
 
 pub mod analysis;
 pub mod baselines;
+pub mod cache;
+pub mod campaign;
 pub mod configspace;
 pub mod diagnose;
 pub mod driver;
@@ -40,8 +42,12 @@ pub mod roofline;
 pub mod sensitivity;
 
 pub use analysis::{DetailedView, SummaryView};
+pub use cache::{CacheStats, CellKey, MeasurementCache};
+pub use campaign::{CampaignPlan, CellSink, CellSpec, RepPolicy};
 pub use driver::{Analysis, Driver};
 pub use error::TunerError;
-pub use exec::{ExecutorKind, ParallelExecutor, RunExecutor, SerialExecutor};
+pub use exec::{
+    CachingExecutor, CellExecutor, ExecutorKind, ParallelExecutor, RunExecutor, SerialExecutor,
+};
 pub use grouping::{AllocationGroup, GroupingConfig};
 pub use metrics::Table2Row;

@@ -3,11 +3,18 @@
 //! configuration", §III.A).
 //!
 //! The campaign is decomposed into independent **cells** — one simulated
-//! run of one (configuration, repetition) pair with a derived seed — so
-//! any [`RunExecutor`] can evaluate them serially or in parallel with
-//! bit-identical results ([`run_campaign_with`]). The `hmpt-fleet` crate
-//! reuses the same cell plumbing ([`run_campaign_cells`]) to interpose
-//! its content-addressed measurement cache.
+//! run of one (configuration, repetition) pair with a derived seed —
+//! described by the campaign-plan IR ([`crate::campaign::CampaignPlan`])
+//! and streamed in bounded chunks through any
+//! [`crate::exec::CellExecutor`] with bit-identical
+//! results ([`run_campaign_with`]). Caching composes at the executor
+//! layer ([`crate::exec::CachingExecutor`]), so the driver, the online
+//! tuner, sensitivity sweeps, and the fleet all share it.
+//!
+//! This module keeps the campaign *vocabulary* — settings
+//! ([`CampaignConfig`]), per-cell outcomes ([`CellOutcome`]), assembled
+//! statistics ([`ConfigMeasurement`], [`CampaignResult`]) — and the
+//! convenience front ends over the IR.
 
 use std::collections::HashMap;
 
@@ -17,9 +24,10 @@ use hmpt_workloads::model::WorkloadSpec;
 use hmpt_workloads::runner::{run_once, RunConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::configspace::{enumerate, Config};
+use crate::campaign::CampaignPlan;
+use crate::configspace::Config;
 use crate::error::TunerError;
-use crate::exec::{RunExecutor, SerialExecutor};
+use crate::exec::{CellExecutor, SerialExecutor};
 use crate::grouping::AllocationGroup;
 
 /// Campaign parameters.
@@ -87,7 +95,16 @@ pub struct ConfigMeasurement {
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
     pub measurements: Vec<ConfigMeasurement>,
+    /// Nominal repetitions per configuration (the paper's `n`). Under an
+    /// adaptive [`RepPolicy`](crate::campaign::RepPolicy) individual
+    /// configurations may have executed fewer or more — see
+    /// `executed_runs`.
     pub runs_per_config: usize,
+    /// Cells the plan would have evaluated with no early stopping.
+    pub planned_runs: usize,
+    /// Cells actually evaluated (simulated or answered from a cache),
+    /// including feasibility probes of infeasible configurations.
+    pub executed_runs: usize,
     /// Config bits → index into `measurements`, so `get`/`baseline_s` are
     /// O(1) instead of a linear scan over up to 2^|AG| entries (hot in
     /// analysis, estimator fitting, and the fleet cache path).
@@ -97,12 +114,16 @@ pub struct CampaignResult {
 // Manual serde impls: the index is derivable state, so it is neither
 // serialized (keeping the JSON format identical to the pre-index era)
 // nor trusted from input (rebuilt by `new`, so a hand-edited document
-// can never desync lookup from `measurements`).
+// can never desync lookup from `measurements`). The run-accounting
+// fields default to the pre-IR fixed-repetition arithmetic when absent,
+// so documents written before they existed still load.
 impl serde::Serialize for CampaignResult {
     fn serialize_value(&self) -> serde::Value {
         let mut m = serde::Map::new();
         m.insert("measurements".to_string(), self.measurements.serialize_value());
         m.insert("runs_per_config".to_string(), self.runs_per_config.serialize_value());
+        m.insert("planned_runs".to_string(), self.planned_runs.serialize_value());
+        m.insert("executed_runs".to_string(), self.executed_runs.serialize_value());
         serde::Value::Object(m)
     }
 }
@@ -113,20 +134,46 @@ impl serde::Deserialize for CampaignResult {
             .as_object()
             .ok_or_else(|| serde::Error::custom("expected object for CampaignResult"))?;
         let null = serde::Value::Null;
-        Ok(CampaignResult::new(
+        let measurements: Vec<ConfigMeasurement> =
             serde::Deserialize::deserialize_value(obj.get("measurements").unwrap_or(&null))
-                .map_err(|e| e.context("measurements"))?,
+                .map_err(|e| e.context("measurements"))?;
+        let runs_per_config: usize =
             serde::Deserialize::deserialize_value(obj.get("runs_per_config").unwrap_or(&null))
-                .map_err(|e| e.context("runs_per_config"))?,
-        ))
+                .map_err(|e| e.context("runs_per_config"))?;
+        let fallback = measurements.len() * runs_per_config;
+        let opt_usize = |field: &str| -> Result<Option<usize>, serde::Error> {
+            match obj.get(field) {
+                None => Ok(None),
+                Some(v) => {
+                    serde::Deserialize::deserialize_value(v).map(Some).map_err(|e| e.context(field))
+                }
+            }
+        };
+        let planned = opt_usize("planned_runs")?.unwrap_or(fallback);
+        let executed = opt_usize("executed_runs")?.unwrap_or(fallback);
+        Ok(CampaignResult::with_accounting(measurements, runs_per_config, planned, executed))
     }
 }
 
 impl CampaignResult {
     /// Build a result, indexing measurements by configuration bits.
+    /// Accounting assumes the classic eager fixed-repetition campaign
+    /// (every measured configuration ran exactly `runs_per_config`
+    /// cells); streaming/adaptive paths use [`Self::with_accounting`].
     pub fn new(measurements: Vec<ConfigMeasurement>, runs_per_config: usize) -> Self {
+        let cells = measurements.len() * runs_per_config;
+        Self::with_accounting(measurements, runs_per_config, cells, cells)
+    }
+
+    /// Build a result with explicit planned/executed cell accounting.
+    pub fn with_accounting(
+        measurements: Vec<ConfigMeasurement>,
+        runs_per_config: usize,
+        planned_runs: usize,
+        executed_runs: usize,
+    ) -> Self {
         let index = measurements.iter().enumerate().map(|(i, m)| (m.config.0, i)).collect();
-        CampaignResult { measurements, runs_per_config, index }
+        CampaignResult { measurements, runs_per_config, planned_runs, executed_runs, index }
     }
 
     /// The DDR-only baseline time.
@@ -144,9 +191,16 @@ impl CampaignResult {
         Some(self.baseline_s() / self.get(config)?.mean_s)
     }
 
-    /// Total simulated runs performed.
+    /// Total cells evaluated by the campaign.
     pub fn total_runs(&self) -> usize {
-        self.measurements.len() * self.runs_per_config
+        self.executed_runs
+    }
+
+    /// Cells saved relative to the plan's upper bound (early stopping
+    /// under an adaptive repetition policy, plus repetitions of
+    /// infeasible configurations that were never attempted).
+    pub fn cells_skipped(&self) -> usize {
+        self.planned_runs.saturating_sub(self.executed_runs)
     }
 }
 
@@ -205,7 +259,7 @@ pub fn assemble_config(
 }
 
 /// Measure one configuration (`n` runs, averaged) through an executor.
-pub fn measure_config_with<E: RunExecutor + ?Sized>(
+pub fn measure_config_with<E: CellExecutor + ?Sized>(
     exec: &E,
     machine: &Machine,
     spec: &WorkloadSpec,
@@ -213,13 +267,10 @@ pub fn measure_config_with<E: RunExecutor + ?Sized>(
     config: Config,
     cfg: &CampaignConfig,
 ) -> Result<ConfigMeasurement, TunerError> {
-    let plan = config.plan(spec, groups);
-    // Same `.max(1)` floor as `run_campaign_cells`, so a degenerate
-    // `runs_per_config: 0` takes one sample instead of producing NaN.
-    let cells = exec.run(cfg.runs_per_config.max(1), |rep| {
-        measure_cell_with_plan(machine, spec, &plan, config, rep, cfg)
-    });
-    assemble_config(config, &cells)
+    // `CampaignPlan::measure_config` applies the same `.max(1)` floor as
+    // campaign execution, so a degenerate `runs_per_config: 0` takes one
+    // sample instead of producing NaN.
+    CampaignPlan::new(machine, spec, groups, *cfg)?.measure_config(exec, config)
 }
 
 /// Measure one configuration (`n` runs, averaged) serially.
@@ -233,63 +284,22 @@ pub fn measure_config(
     measure_config_with(&SerialExecutor, machine, spec, groups, config, cfg)
 }
 
-/// Evaluate a campaign over an explicit configuration list, with the
-/// cell evaluation supplied by the caller (the fleet cache interposes
-/// here). Cells are flattened configuration-major / repetition-minor,
-/// handed to the executor as one batch, and reassembled in canonical
-/// order — so results do not depend on the executor.
+/// Run the full exhaustive campaign over all `2^groups` configurations
+/// through an executor: plan the campaign
+/// ([`crate::campaign::CampaignPlan`]) and stream its cells in chunks.
+/// Results are bit-identical for every executor and chunking.
 ///
 /// Configurations whose cells fail with pool exhaustion (HBM capacity
 /// pressure) are skipped, not fatal — the baseline is always feasible,
 /// so the campaign always has at least one measurement.
-pub fn run_campaign_cells<E: RunExecutor + ?Sized>(
-    exec: &E,
-    configs: &[Config],
-    cfg: &CampaignConfig,
-    cell: &(dyn Fn(Config, usize) -> Result<CellOutcome, TunerError> + Sync),
-) -> Result<CampaignResult, TunerError> {
-    let reps = cfg.runs_per_config.max(1);
-    let outcomes = exec.run(configs.len() * reps, |i| cell(configs[i / reps], i % reps));
-    let mut measurements = Vec::with_capacity(configs.len());
-    for (ci, &config) in configs.iter().enumerate() {
-        match assemble_config(config, &outcomes[ci * reps..(ci + 1) * reps]) {
-            Ok(m) => measurements.push(m),
-            Err(TunerError::Alloc(hmpt_alloc::error::AllocError::PoolExhausted { .. })) => {
-                // Infeasible placement on this machine: skip. Extra
-                // repetitions of an infeasible config cost only a failed
-                // allocation attempt (run_once bails before simulating),
-                // so evaluating the whole batch before assembling wastes
-                // nothing measurable even under capacity pressure.
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(CampaignResult::new(measurements, reps))
-}
-
-/// Run the full exhaustive campaign over all `2^groups` configurations
-/// through an executor.
-pub fn run_campaign_with<E: RunExecutor + ?Sized>(
+pub fn run_campaign_with<E: CellExecutor + ?Sized>(
     exec: &E,
     machine: &Machine,
     spec: &WorkloadSpec,
     groups: &[AllocationGroup],
     cfg: &CampaignConfig,
 ) -> Result<CampaignResult, TunerError> {
-    if groups.len() > crate::configspace::MAX_GROUPS {
-        return Err(TunerError::TooManyGroups {
-            groups: groups.len(),
-            limit: crate::configspace::MAX_GROUPS,
-        });
-    }
-    let configs: Vec<Config> = enumerate(groups.len()).collect();
-    // One plan per configuration, shared by all its repetitions.
-    // `enumerate` yields config masks in index order, so `config.0`
-    // doubles as the plan index.
-    let plans: Vec<_> = configs.iter().map(|c| c.plan(spec, groups)).collect();
-    run_campaign_cells(exec, &configs, cfg, &|config, rep| {
-        measure_cell_with_plan(machine, spec, &plans[config.0 as usize], config, rep, cfg)
-    })
+    CampaignPlan::new(machine, spec, groups, *cfg)?.execute(exec)
 }
 
 /// Run the full exhaustive campaign serially (the paper's driver).

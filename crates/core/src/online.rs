@@ -13,15 +13,19 @@
 //! The ablation bench compares measurement counts and achieved speedup
 //! against the exhaustive campaign.
 
+use std::sync::Arc;
+
 use hmpt_sim::machine::Machine;
 use hmpt_workloads::model::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::MeasurementCache;
+use crate::campaign::CampaignPlan;
 use crate::configspace::Config;
 use crate::error::TunerError;
-use crate::exec::ExecutorKind;
+use crate::exec::{CachingExecutor, CellExecutor, ExecutorKind};
 use crate::grouping::AllocationGroup;
-use crate::measure::{measure_config_with, CampaignConfig};
+use crate::measure::CampaignConfig;
 
 /// Online tuner parameters.
 #[derive(Debug, Clone, Copy)]
@@ -66,15 +70,41 @@ pub fn tune(
     groups: &[AllocationGroup],
     cfg: &OnlineConfig,
 ) -> Result<OnlineResult, TunerError> {
-    tune_with_measure(groups, cfg, &mut |config| {
-        Ok(measure_config_with(&cfg.executor, machine, spec, groups, config, &cfg.campaign)?.mean_s)
+    let plan = CampaignPlan::new(machine, spec, groups, cfg.campaign)?;
+    tune_plan(&plan, cfg, &cfg.executor)
+}
+
+/// [`tune`] with every probe answered through a shared measurement
+/// cache: probes of configurations an exhaustive campaign already
+/// measured (same machine, spec, seeds) cost no simulated runs.
+pub fn tune_cached(
+    machine: &Machine,
+    spec: &WorkloadSpec,
+    groups: &[AllocationGroup],
+    cfg: &OnlineConfig,
+    cache: Arc<MeasurementCache>,
+) -> Result<OnlineResult, TunerError> {
+    let plan = CampaignPlan::new(machine, spec, groups, cfg.campaign)?;
+    tune_plan(&plan, cfg, &CachingExecutor::new(cfg.executor, cache))
+}
+
+/// Hill-climb over an existing campaign plan through an arbitrary cell
+/// executor. The plan's memoized fingerprints make each probe's cache
+/// keys cheap, and probe cells are the campaign's own cells (identical
+/// derived seeds), so caching layers dedupe them exactly.
+pub fn tune_plan<E: CellExecutor + ?Sized>(
+    plan: &CampaignPlan<'_>,
+    cfg: &OnlineConfig,
+    exec: &E,
+) -> Result<OnlineResult, TunerError> {
+    tune_with_measure(plan.groups(), cfg, &mut |config| {
+        Ok(plan.measure_config(exec, config)?.mean_s)
     })
 }
 
-/// Hill-climb with a caller-supplied measurement function (the fleet
-/// interposes its content-addressed cache here: online probes revisit
-/// configurations the exhaustive campaign already measured, so a warmed
-/// cache answers them without simulated runs).
+/// Hill-climb with a caller-supplied measurement function (custom
+/// probe transports; the standard paths are [`tune`], [`tune_cached`],
+/// and [`tune_plan`]).
 pub fn tune_with_measure(
     groups: &[AllocationGroup],
     cfg: &OnlineConfig,
@@ -268,6 +298,23 @@ mod noisy_tests {
             r.speedup,
             a.table2.max_speedup
         );
+    }
+
+    /// Online probes through a cache warmed by the exhaustive campaign
+    /// (same machine, spec, campaign settings → same cell seeds and
+    /// keys) cost zero additional simulated runs.
+    #[test]
+    fn cached_online_probes_reuse_campaign_cells() {
+        let m = xeon_max_9468();
+        let spec = hmpt_workloads::npb::mg::workload();
+        let cache = Arc::new(MeasurementCache::new());
+        let a = Driver::new(m.clone()).with_cache(Arc::clone(&cache)).analyze(&spec).unwrap();
+        let warmed_misses = cache.stats().misses;
+        let r = tune_cached(&m, &spec, &a.groups, &OnlineConfig::default(), Arc::clone(&cache))
+            .unwrap();
+        assert_eq!(cache.stats().misses, warmed_misses, "probes answered from warmed cache");
+        assert!(cache.stats().hits > 0);
+        assert!(r.speedup > 0.97 * a.table2.max_speedup);
     }
 
     /// min_gain filters out noise-level "improvements": with a huge

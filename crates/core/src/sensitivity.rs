@@ -7,10 +7,13 @@
 //! parameter at a time, quantifying how robust the "60–75 % in HBM"
 //! envelope is.
 
+use std::sync::Arc;
+
 use hmpt_sim::machine::{Machine, MachineBuilder};
 use hmpt_workloads::model::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::MeasurementCache;
 use crate::driver::Driver;
 use crate::error::TunerError;
 use crate::exec::ExecutorKind;
@@ -26,14 +29,22 @@ pub struct SensitivityRow {
     pub usage_90_pct: f64,
 }
 
-fn fast_driver(machine: Machine, executor: ExecutorKind) -> Driver {
-    Driver::new(machine)
+fn fast_driver(
+    machine: Machine,
+    executor: ExecutorKind,
+    cache: Option<&Arc<MeasurementCache>>,
+) -> Driver {
+    let driver = Driver::new(machine)
         .with_campaign(CampaignConfig {
             runs_per_config: 1,
             noise: hmpt_sim::noise::NoiseModel::none(),
             base_seed: 0,
         })
-        .with_executor(executor)
+        .with_executor(executor);
+    match cache {
+        Some(c) => driver.with_cache(Arc::clone(c)),
+        None => driver,
+    }
 }
 
 fn row(
@@ -41,14 +52,34 @@ fn row(
     spec: &WorkloadSpec,
     value: f64,
     executor: ExecutorKind,
+    cache: Option<&Arc<MeasurementCache>>,
 ) -> Result<SensitivityRow, TunerError> {
-    let a = fast_driver(machine, executor).analyze(spec)?;
+    let a = fast_driver(machine, executor, cache).analyze(spec)?;
     Ok(SensitivityRow {
         value,
         max_speedup: a.table2.max_speedup,
         hbm_only_speedup: a.table2.hbm_only_speedup,
         usage_90_pct: a.table2.usage_90_pct,
     })
+}
+
+/// One swept parameter → machine variant mapping.
+fn sweep(
+    spec: &WorkloadSpec,
+    values: &[f64],
+    executor: ExecutorKind,
+    cache: Option<&Arc<MeasurementCache>>,
+    build: impl Fn(f64) -> Machine,
+) -> Result<Vec<SensitivityRow>, TunerError> {
+    values.iter().map(|&v| row(build(v), spec, v, executor, cache)).collect()
+}
+
+fn bw_machine(factor: f64) -> Machine {
+    MachineBuilder::xeon_max().with_hbm_bw_factor(factor).build()
+}
+
+fn latency_machine(penalty: f64) -> Machine {
+    MachineBuilder::xeon_max().with_hbm_latency_penalty(penalty).build()
 }
 
 /// Sweep the HBM sustained-bandwidth factor (1.0 = the Xeon Max's 700
@@ -67,13 +98,20 @@ pub fn sweep_hbm_bandwidth_with(
     factors: &[f64],
     executor: ExecutorKind,
 ) -> Result<Vec<SensitivityRow>, TunerError> {
-    factors
-        .iter()
-        .map(|&f| {
-            let m = MachineBuilder::xeon_max().with_hbm_bw_factor(f).build();
-            row(m, spec, f, executor)
-        })
-        .collect()
+    sweep(spec, factors, executor, None, bw_machine)
+}
+
+/// [`sweep_hbm_bandwidth_with`] through a shared measurement cache:
+/// sweep points revisiting an already-measured machine (the stock
+/// factor appearing in several studies, re-runs with extra points)
+/// cost no simulated runs.
+pub fn sweep_hbm_bandwidth_cached(
+    spec: &WorkloadSpec,
+    factors: &[f64],
+    executor: ExecutorKind,
+    cache: &Arc<MeasurementCache>,
+) -> Result<Vec<SensitivityRow>, TunerError> {
+    sweep(spec, factors, executor, Some(cache), bw_machine)
 }
 
 /// Sweep the HBM idle-latency penalty (1.2 = the Xeon Max).
@@ -91,13 +129,18 @@ pub fn sweep_hbm_latency_with(
     penalties: &[f64],
     executor: ExecutorKind,
 ) -> Result<Vec<SensitivityRow>, TunerError> {
-    penalties
-        .iter()
-        .map(|&p| {
-            let m = MachineBuilder::xeon_max().with_hbm_latency_penalty(p).build();
-            row(m, spec, p, executor)
-        })
-        .collect()
+    sweep(spec, penalties, executor, None, latency_machine)
+}
+
+/// [`sweep_hbm_latency_with`] through a shared measurement cache (see
+/// [`sweep_hbm_bandwidth_cached`]).
+pub fn sweep_hbm_latency_cached(
+    spec: &WorkloadSpec,
+    penalties: &[f64],
+    executor: ExecutorKind,
+    cache: &Arc<MeasurementCache>,
+) -> Result<Vec<SensitivityRow>, TunerError> {
+    sweep(spec, penalties, executor, Some(cache), latency_machine)
 }
 
 /// Text table for one sweep.
@@ -150,6 +193,31 @@ mod tests {
         let spec = hmpt_workloads::npb::bt::workload();
         let rows = sweep_hbm_bandwidth(&spec, &[0.75, 1.5]).unwrap();
         assert!((rows[0].max_speedup - rows[1].max_speedup).abs() < 0.08);
+    }
+
+    #[test]
+    fn cached_sweep_dedupes_repeated_points_bit_identically() {
+        let spec = hmpt_workloads::npb::mg::workload();
+        let cache = Arc::new(MeasurementCache::new());
+        let factors = [0.5, 1.0];
+        let first =
+            sweep_hbm_bandwidth_cached(&spec, &factors, ExecutorKind::Serial, &cache).unwrap();
+        let misses_after_first = cache.stats().misses;
+        assert!(misses_after_first > 0);
+        // Re-sweeping (plus the stock point showing up again) is fully
+        // answered from the cache, with bit-identical rows.
+        let second =
+            sweep_hbm_bandwidth_cached(&spec, &factors, ExecutorKind::Serial, &cache).unwrap();
+        assert_eq!(cache.stats().misses, misses_after_first);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.max_speedup.to_bits(), b.max_speedup.to_bits());
+            assert_eq!(a.usage_90_pct.to_bits(), b.usage_90_pct.to_bits());
+        }
+        // And matches the cache-less sweep bit-for-bit.
+        let plain = sweep_hbm_bandwidth(&spec, &factors).unwrap();
+        for (a, b) in first.iter().zip(&plain) {
+            assert_eq!(a.max_speedup.to_bits(), b.max_speedup.to_bits());
+        }
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //! hmpt-fleet mg sp                 # a subset of workloads
 //! hmpt-fleet --workers 4           # explicit pool size
 //! hmpt-fleet --serial              # force the serial executor
-//! hmpt-fleet --runs 5 --seed 9     # campaign settings
+//! hmpt-fleet --reps 5 --seed 9     # campaign settings (--runs is an alias)
+//! hmpt-fleet --ci-target 0.02     # adaptive repetitions: stop a config once
+//!                                  # its 95% CI half-width ≤ 2% of the mean
+//! hmpt-fleet --max-reps 5          # adaptive repetition ceiling (default: --reps)
+//! hmpt-fleet --no-cache            # bypass the content-addressed cell cache
 //! hmpt-fleet --no-compare          # skip the serial-vs-parallel timing pass
 //! hmpt-fleet --no-online           # skip the online cache-warm verification
 //! hmpt-fleet --json report.json    # write the JSON report to a file
@@ -14,13 +18,13 @@
 //! The default invocation reproduces all seven Table II rows in one
 //! batch and reports, alongside each row: the serial-vs-parallel
 //! wall-clock comparison (with a bit-identity check of the two
-//! campaigns), the cache hit-rate of the batch, and per-job online
-//! verification.
+//! campaigns), the cache hit-rate of the batch, cells skipped by
+//! adaptive early stopping, and per-job online verification.
 
 use hmpt_core::driver::Driver;
 use hmpt_core::exec::{available_workers, ExecutorKind, RunExecutor};
 use hmpt_core::measure::{run_campaign_with, CampaignConfig};
-use hmpt_fleet::{Fleet, FleetConfig, TuningJob};
+use hmpt_fleet::{Fleet, FleetConfig, RepPolicy, TuningJob};
 use hmpt_workloads::model::WorkloadSpec;
 use serde::Serialize;
 use std::time::Instant;
@@ -33,6 +37,9 @@ struct JobRow {
     hbm_only_speedup: f64,
     usage_90_pct: f64,
     campaign_measurements: usize,
+    planned_cells: usize,
+    executed_cells: usize,
+    cells_skipped: usize,
     online_speedup: Option<f64>,
     online_measurements: Option<usize>,
     cache_hits: u64,
@@ -54,12 +61,17 @@ struct Report {
     workers: usize,
     executor: String,
     runs_per_config: usize,
+    rep_policy: String,
+    cache_enabled: bool,
     base_seed: u64,
     comparison: Option<Comparison>,
     jobs: Vec<JobRow>,
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
+    planned_cells: u64,
+    executed_cells: u64,
+    cells_skipped: u64,
     cells_per_s: f64,
     total_wall_s: f64,
 }
@@ -68,13 +80,17 @@ fn usage() -> ! {
     eprintln!(
         "usage: hmpt-fleet [options] [workload...]\n\
          options:\n\
-         \x20 --workers N    parallel worker count (default: available parallelism)\n\
-         \x20 --serial       use the serial executor for the batch\n\
-         \x20 --runs N       runs per configuration (default 3)\n\
-         \x20 --seed S       campaign base seed (default: paper default)\n\
-         \x20 --no-compare   skip the serial-vs-parallel comparison pass\n\
-         \x20 --no-online    skip the online-tuner verification pass\n\
-         \x20 --json PATH    write the JSON report to PATH (default: stdout)\n\
+         \x20 --workers N     parallel worker count (default: available parallelism)\n\
+         \x20 --serial        use the serial executor for the batch\n\
+         \x20 --reps N        runs per configuration (default 3; --runs is an alias)\n\
+         \x20 --ci-target X   adaptive repetitions: retire a configuration once its\n\
+         \x20                 95% CI half-width falls to X of the mean (e.g. 0.02)\n\
+         \x20 --max-reps M    repetition ceiling under --ci-target (default: --reps)\n\
+         \x20 --seed S        campaign base seed (default: paper default)\n\
+         \x20 --no-cache      bypass the content-addressed measurement cache\n\
+         \x20 --no-compare    skip the serial-vs-parallel comparison pass\n\
+         \x20 --no-online     skip the online-tuner verification pass\n\
+         \x20 --json PATH     write the JSON report to PATH (default: stdout)\n\
          (workloads: built-in names like mg, sp, kwave; default: all seven)"
     );
     std::process::exit(2);
@@ -138,7 +154,10 @@ fn main() {
     let mut workers = 0usize;
     let mut serial = false;
     let mut runs: Option<usize> = None;
+    let mut ci_target: Option<f64> = None;
+    let mut max_reps: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut cache_enabled = true;
     let mut do_compare = true;
     let mut online = true;
     let mut json_path: Option<String> = None;
@@ -151,12 +170,19 @@ fn main() {
                 workers = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
             "--serial" => serial = true,
-            "--runs" => {
+            "--runs" | "--reps" => {
                 runs = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--ci-target" => {
+                ci_target = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--max-reps" => {
+                max_reps = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
             }
             "--seed" => {
                 seed = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
             }
+            "--no-cache" => cache_enabled = false,
             "--no-compare" => do_compare = false,
             "--no-online" => online = false,
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
@@ -173,6 +199,16 @@ fn main() {
     if let Some(s) = seed {
         campaign.base_seed = s;
     }
+    let rep_policy = match ci_target {
+        Some(hw) => RepPolicy::confidence(hw, max_reps.unwrap_or(campaign.runs_per_config)),
+        None => {
+            if max_reps.is_some() {
+                eprintln!("--max-reps only applies with --ci-target");
+                usage();
+            }
+            RepPolicy::Fixed
+        }
+    };
 
     let specs: Vec<WorkloadSpec> = if names.is_empty() {
         hmpt_workloads::table2_workloads()
@@ -200,11 +236,12 @@ fn main() {
     };
 
     eprintln!(
-        "hmpt-fleet: {} job(s) on {} ({} runs/config, seed {})",
+        "hmpt-fleet: {} job(s) on {} (reps {}, seed {}, cache {})",
         jobs.len(),
         executor.label(),
-        campaign.runs_per_config,
-        campaign.base_seed
+        rep_policy.label(campaign.runs_per_config),
+        campaign.base_seed,
+        if cache_enabled { "on" } else { "off" }
     );
 
     let comparison = if do_compare {
@@ -225,8 +262,13 @@ fn main() {
         None
     };
 
-    let fleet =
-        Fleet::new(FleetConfig { executor, online_check: online, ..FleetConfig::default() });
+    let fleet = Fleet::new(FleetConfig {
+        executor,
+        rep_policy,
+        online_check: online,
+        cache_enabled,
+        ..FleetConfig::default()
+    });
 
     eprintln!("workload     max   HBM-only   90% usage   online   cells (hit/miss)   wall");
     let t0 = Instant::now();
@@ -256,9 +298,12 @@ fn main() {
 
     let stats = report.stats;
     eprintln!(
-        "batch: {} jobs, {} cells ({} hits / {} misses, hit-rate {:.1}%), {:.0} cells/s, {:.3}s",
+        "batch: {} jobs, {}/{} cells executed ({} skipped by early stop), \
+         {} hits / {} misses (hit-rate {:.1}%), {:.0} cells/s, {:.3}s",
         stats.jobs,
-        stats.cache.hits + stats.cache.misses,
+        stats.executed_cells,
+        stats.planned_cells,
+        stats.cells_skipped,
         stats.cache.hits,
         stats.cache.misses,
         stats.cache.hit_rate() * 100.0,
@@ -271,6 +316,8 @@ fn main() {
         workers: pool,
         executor: executor.label(),
         runs_per_config: campaign.runs_per_config,
+        rep_policy: rep_policy.label(campaign.runs_per_config),
+        cache_enabled,
         base_seed: campaign.base_seed,
         comparison,
         jobs: report
@@ -283,6 +330,9 @@ fn main() {
                 hbm_only_speedup: r.analysis.table2.hbm_only_speedup,
                 usage_90_pct: r.analysis.table2.usage_90_pct,
                 campaign_measurements: r.analysis.campaign.measurements.len(),
+                planned_cells: r.analysis.campaign.planned_runs,
+                executed_cells: r.analysis.campaign.executed_runs,
+                cells_skipped: r.cells_skipped(),
                 online_speedup: r.online.as_ref().map(|o| o.speedup),
                 online_measurements: r.online.as_ref().map(|o| o.measurements),
                 cache_hits: r.cache.hits,
@@ -293,6 +343,9 @@ fn main() {
         cache_hits: stats.cache.hits,
         cache_misses: stats.cache.misses,
         cache_hit_rate: stats.cache.hit_rate(),
+        planned_cells: stats.planned_cells,
+        executed_cells: stats.executed_cells,
+        cells_skipped: stats.cells_skipped,
         cells_per_s: stats.cells_per_s,
         total_wall_s,
     };

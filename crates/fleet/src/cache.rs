@@ -1,198 +1,10 @@
 //! The content-addressed measurement cache.
 //!
-//! A cached entry is one campaign **cell** — a single simulated run —
-//! keyed by *what* was measured, never by object identity:
-//!
-//! ```text
-//! key = ( machine.fingerprint(),       # full platform model
-//!         spec.fingerprint(),          # workload allocations + phases
-//!         plan.fingerprint(),          # realized placement plan
-//!         run_config.fingerprint() )   # noise model + derived cell seed
-//! ```
-//!
-//! Each component is a stable 64-bit content hash
-//! ([`hmpt_sim::fingerprint`]); the composite 256-bit key makes
-//! accidental collisions implausible. Because the key includes the
-//! derived per-cell seed, a hit returns the *bit-identical* outcome the
-//! simulation would have produced — a warmed cache can never change an
-//! analysis result, only skip simulated runs.
-//!
-//! Infeasible cells (pool exhaustion under capacity pressure) are cached
-//! too: re-asking whether a placement fits is as redundant as re-timing
-//! it.
+//! The cache implementation lives in [`hmpt_core::cache`] since the
+//! campaign-plan IR moved cache integration into the executor layer
+//! ([`hmpt_core::exec::CachingExecutor`]) — the driver, the online
+//! tuner, and sensitivity sweeps consult it exactly like the fleet
+//! does. This module re-exports it under the historical
+//! `hmpt_fleet::cache` path.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-use hmpt_core::error::TunerError;
-use hmpt_core::measure::CellOutcome;
-use serde::Serialize;
-
-/// Composite content key of one measurement cell.
-pub type CellKey = (u64, u64, u64, u64);
-
-/// Cache counters (monotonic over the cache's lifetime).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
-pub struct CacheStats {
-    pub hits: u64,
-    pub misses: u64,
-    pub entries: u64,
-}
-
-impl CacheStats {
-    /// Fraction of lookups answered from the cache.
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-
-    /// Counter difference since an earlier snapshot (`entries` is the
-    /// number of entries added in the interval).
-    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
-        CacheStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            entries: self.entries.saturating_sub(earlier.entries),
-        }
-    }
-}
-
-/// Thread-safe content-addressed store of measured cells.
-#[derive(Debug, Default)]
-pub struct MeasurementCache {
-    map: Mutex<HashMap<CellKey, Result<CellOutcome, TunerError>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl MeasurementCache {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Look up a cell; on a miss, run `measure` and remember its result.
-    ///
-    /// The measurement runs outside the lock, so concurrent workers never
-    /// serialize on the cache. Two workers racing on the same key may
-    /// both measure; both produce the identical (seeded, deterministic)
-    /// outcome, so the duplicate write is harmless.
-    pub fn get_or_measure<F>(&self, key: CellKey, measure: F) -> Result<CellOutcome, TunerError>
-    where
-        F: FnOnce() -> Result<CellOutcome, TunerError>,
-    {
-        if let Some(cached) = self.map.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
-        }
-        let outcome = measure();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().expect("cache poisoned").insert(key, outcome.clone());
-        outcome
-    }
-
-    /// Peek without measuring.
-    pub fn get(&self, key: &CellKey) -> Option<Result<CellOutcome, TunerError>> {
-        self.map.lock().expect("cache poisoned").get(key).cloned()
-    }
-
-    pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Drop all entries (counters keep accumulating).
-    pub fn clear(&self) {
-        self.map.lock().expect("cache poisoned").clear();
-    }
-
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.len() as u64,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn cell(t: f64) -> Result<CellOutcome, TunerError> {
-        Ok(CellOutcome { time_s: t, hbm_fraction: 0.5 })
-    }
-
-    #[test]
-    fn second_lookup_hits_without_measuring() {
-        let cache = MeasurementCache::new();
-        let mut calls = 0;
-        let key = (1, 2, 3, 4);
-        for _ in 0..3 {
-            let out = cache
-                .get_or_measure(key, || {
-                    calls += 1;
-                    cell(1.5)
-                })
-                .unwrap();
-            assert_eq!(out.time_s, 1.5);
-        }
-        assert_eq!(calls, 1);
-        let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
-        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn distinct_keys_do_not_alias() {
-        let cache = MeasurementCache::new();
-        cache.get_or_measure((1, 0, 0, 0), || cell(1.0)).unwrap();
-        cache.get_or_measure((0, 1, 0, 0), || cell(2.0)).unwrap();
-        assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&(1, 0, 0, 0)).unwrap().unwrap().time_s, 1.0);
-        assert_eq!(cache.get(&(0, 1, 0, 0)).unwrap().unwrap().time_s, 2.0);
-    }
-
-    #[test]
-    fn errors_are_cached_like_outcomes() {
-        let cache = MeasurementCache::new();
-        let key = (9, 9, 9, 9);
-        let mut calls = 0;
-        for _ in 0..2 {
-            let r = cache.get_or_measure(key, || {
-                calls += 1;
-                Err(TunerError::EmptyWorkload)
-            });
-            assert!(matches!(r, Err(TunerError::EmptyWorkload)));
-        }
-        assert_eq!(calls, 1);
-    }
-
-    #[test]
-    fn concurrent_access_is_consistent() {
-        let cache = MeasurementCache::new();
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for i in 0..100u64 {
-                        let out = cache.get_or_measure((i % 8, 0, 0, 0), || cell(i as f64 % 8.0));
-                        // Whoever inserted first, the value is keyed by
-                        // i % 8 in both key and payload.
-                        assert_eq!(out.unwrap().time_s, (i % 8) as f64);
-                    }
-                });
-            }
-        });
-        assert_eq!(cache.len(), 8);
-        let s = cache.stats();
-        assert_eq!(s.hits + s.misses, 400);
-        assert!(s.hits >= 400 - 4 * 8, "at most one miss per key per racing thread");
-    }
-}
+pub use hmpt_core::cache::{CacheStats, CellKey, MeasurementCache};

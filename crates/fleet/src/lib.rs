@@ -11,17 +11,25 @@
 //!   simulated run with a derived seed, so a work-stealing pool of std
 //!   threads evaluates them concurrently and reassembles results in
 //!   canonical order — **bit-identical** to serial execution.
-//! * **[`MeasurementCache`]**: a content-addressed cell cache keyed by
-//!   fingerprints of (machine, workload spec, placement plan, run
-//!   config). Identical cells across jobs — shared DDR-only baselines,
-//!   sensitivity sweeps re-visiting the stock machine, online-search
-//!   probes of configurations the exhaustive campaign already measured —
-//!   are simulated once.
+//! * **[`MeasurementCache`]** (re-exported from `hmpt_core::cache`): a
+//!   content-addressed cell cache keyed by fingerprints of (machine,
+//!   workload spec, placement plan, noise ⊕ seed). Identical cells
+//!   across jobs — shared DDR-only baselines, sensitivity sweeps
+//!   re-visiting the stock machine, online-search probes of
+//!   configurations the exhaustive campaign already measured — are
+//!   simulated once. Caching composes at the executor layer
+//!   ([`CachingExecutor`]), so plain drivers benefit from it too.
+//! * **Campaign-plan IR** ([`hmpt_core::campaign::CampaignPlan`]):
+//!   campaigns are planned (cells enumerated lazily, fingerprints
+//!   memoized) and streamed in bounded chunks; an adaptive
+//!   [`RepPolicy`] can retire configurations early once their mean
+//!   runtime is known tightly enough — bit-identically across serial,
+//!   parallel, and cached execution.
 //! * **[`Fleet`]**: the batch front end. It accepts tuning jobs
 //!   (workload × machine × campaign settings), schedules their cells
 //!   across the pool through the cache, streams per-job
-//!   [`hmpt_core::driver::Analysis`] results, and reports cache-hit and
-//!   throughput statistics.
+//!   [`hmpt_core::driver::Analysis`] results, and reports cache-hit,
+//!   early-stop, and throughput statistics.
 //!
 //! The `hmpt-fleet` binary runs the paper's entire Table II campaign in
 //! one command and emits a JSON report.
@@ -33,8 +41,10 @@ pub mod cache;
 pub mod service;
 
 pub use cache::{CacheStats, CellKey, MeasurementCache};
+pub use hmpt_core::campaign::{CampaignPlan, CellSink, CellSpec, RepPolicy};
 pub use hmpt_core::exec::{
-    available_workers, ExecutorKind, ParallelExecutor, RunExecutor, SerialExecutor,
+    available_workers, CachingExecutor, CellExecutor, ExecutorKind, ParallelExecutor, RunExecutor,
+    SerialExecutor,
 };
 pub use service::{Fleet, FleetConfig, FleetReport, FleetStats, JobReport, TuningJob};
 

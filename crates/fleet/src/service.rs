@@ -2,24 +2,26 @@
 //! cache.
 //!
 //! Each job runs the full Fig 6 pipeline (profile → group → measure →
-//! analyze), with the measurement campaign decomposed into cells that
-//! flow through the shared [`MeasurementCache`] and the configured
-//! executor. An optional per-job *online verification pass* replays the
-//! paper's incremental tuner through the same cache — its probes revisit
-//! configurations the exhaustive campaign just measured (same derived
-//! seeds), so a warmed cache answers them without new simulated runs
-//! while proving exhaustive and online tuning agree.
+//! analyze). The measurement campaign is planned as a
+//! [`CampaignPlan`] — cells enumerated lazily, fingerprints memoized
+//! once per job — and streamed through the configured executor, wrapped
+//! in a [`hmpt_core::exec::CachingExecutor`] over the shared
+//! [`MeasurementCache`] unless caching is disabled. An optional per-job *online verification pass*
+//! replays the paper's incremental tuner through the same plan and
+//! cache — its probes revisit configurations the exhaustive campaign
+//! just measured (same derived seeds), so a warmed cache answers them
+//! without new simulated runs while proving exhaustive and online
+//! tuning agree.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use hmpt_core::configspace::{enumerate, Config};
+use hmpt_core::campaign::{CampaignPlan, RepPolicy};
 use hmpt_core::driver::{Analysis, Driver};
 use hmpt_core::error::TunerError;
-use hmpt_core::exec::ExecutorKind;
+use hmpt_core::exec::{cell_executor, CellExecutor, ExecutorKind};
 use hmpt_core::grouping::{group, GroupingConfig};
-use hmpt_core::measure::{
-    assemble_config, measure_cell_with_plan, run_campaign_cells, CampaignConfig, CellOutcome,
-};
+use hmpt_core::measure::CampaignConfig;
 use hmpt_core::online::{self, OnlineConfig, OnlineResult};
 use hmpt_sim::machine::{xeon_max_9468, Machine};
 use hmpt_workloads::model::WorkloadSpec;
@@ -31,21 +33,35 @@ use crate::cache::{CacheStats, MeasurementCache};
 pub struct FleetConfig {
     /// How campaign cells are executed (default: auto-sized parallel).
     pub executor: ExecutorKind,
+    /// How many repetitions each configuration gets (default: the
+    /// campaign's fixed `n`; [`RepPolicy::ConfidenceTarget`] stops
+    /// configurations early once their mean is known tightly enough).
+    pub rep_policy: RepPolicy,
     pub grouping: GroupingConfig,
     /// Seed of each job's profiling run.
     pub profile_seed: u64,
     /// Run the online tuner through the warmed cache after each job's
     /// exhaustive campaign (verifies agreement; free on cache hits).
+    /// Probes measure at the campaign's nominal `runs_per_config`, so
+    /// under an adaptive `rep_policy` they simulate the repetitions
+    /// early stopping skipped for the configurations the hill-climb
+    /// visits (a fraction of the space; those cells then stay cached) —
+    /// disable the check to keep the full early-stop saving.
     pub online_check: bool,
+    /// Consult the shared content-addressed cache per cell (`false`
+    /// re-simulates everything — useful for timing baselines).
+    pub cache_enabled: bool,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
             executor: ExecutorKind::parallel(),
+            rep_policy: RepPolicy::Fixed,
             grouping: GroupingConfig::default(),
             profile_seed: 7,
             online_check: true,
+            cache_enabled: true,
         }
     }
 }
@@ -94,6 +110,12 @@ impl JobReport {
     pub fn simulated_runs(&self) -> u64 {
         self.cache.misses
     }
+
+    /// Campaign cells this job's repetition policy never scheduled
+    /// (early stopping + retired infeasible configurations).
+    pub fn cells_skipped(&self) -> usize {
+        self.analysis.campaign.cells_skipped()
+    }
 }
 
 /// Whole-batch statistics.
@@ -101,6 +123,13 @@ impl JobReport {
 pub struct FleetStats {
     pub jobs: usize,
     pub cache: CacheStats,
+    /// Campaign cells the batch's plans could have executed.
+    pub planned_cells: u64,
+    /// Campaign cells actually evaluated (cache hits + misses).
+    pub executed_cells: u64,
+    /// Cells the repetition policy skipped (early stopping); on top of
+    /// these, `cache.hits` of the executed cells cost no simulation.
+    pub cells_skipped: u64,
     pub wall_s: f64,
     /// Campaign cells evaluated per wall-clock second (hits + misses).
     pub cells_per_s: f64,
@@ -113,21 +142,23 @@ pub struct FleetReport {
     pub stats: FleetStats,
 }
 
-/// Per-configuration placement plans with their content fingerprints,
-/// indexed by configuration bits.
-struct ConfigPlans(Vec<(hmpt_alloc::plan::PlacementPlan, u64)>);
-
 /// The campaign-execution service: a shared executor + measurement cache
 /// answering batches of tuning jobs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Fleet {
     cfg: FleetConfig,
-    cache: MeasurementCache,
+    cache: Arc<MeasurementCache>,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Fleet::new(FleetConfig::default())
+    }
 }
 
 impl Fleet {
     pub fn new(cfg: FleetConfig) -> Self {
-        Fleet { cfg, cache: MeasurementCache::new() }
+        Fleet { cfg, cache: Arc::new(MeasurementCache::new()) }
     }
 
     pub fn config(&self) -> &FleetConfig {
@@ -138,44 +169,10 @@ impl Fleet {
         &self.cache
     }
 
-    /// One cell through the cache: content key from fingerprints, value
-    /// from the simulator on a miss. The plan and its fingerprint are
-    /// identical across a configuration's repetitions, so callers build
-    /// them once per configuration (see [`ConfigPlans`]) and pass them in.
-    #[allow(clippy::too_many_arguments)]
-    fn cell_cached(
-        &self,
-        machine_fp: u64,
-        spec_fp: u64,
-        job: &TuningJob,
-        plan: &hmpt_alloc::plan::PlacementPlan,
-        plan_fp: u64,
-        config: Config,
-        rep: usize,
-    ) -> Result<CellOutcome, TunerError> {
-        let rc = job.campaign.cell_run_config(config, rep);
-        let key = (machine_fp, spec_fp, plan_fp, rc.fingerprint());
-        self.cache.get_or_measure(key, || {
-            measure_cell_with_plan(&job.machine, &job.spec, plan, config, rep, &job.campaign)
-        })
-    }
-
-    /// Mean runtime of one configuration through the cache, aggregated
-    /// by the campaign's own [`assemble_config`] (so online probes
-    /// reproduce campaign statistics bit-for-bit).
-    fn config_mean_cached(
-        &self,
-        machine_fp: u64,
-        spec_fp: u64,
-        job: &TuningJob,
-        plans: &ConfigPlans,
-        config: Config,
-    ) -> Result<f64, TunerError> {
-        let (plan, plan_fp) = &plans.0[config.0 as usize];
-        let cells: Vec<Result<CellOutcome, TunerError>> = (0..job.campaign.runs_per_config.max(1))
-            .map(|rep| self.cell_cached(machine_fp, spec_fp, job, plan, *plan_fp, config, rep))
-            .collect();
-        Ok(assemble_config(config, &cells)?.mean_s)
+    /// The fleet's executor stack: the configured pool, wrapped in the
+    /// shared cache unless caching is disabled.
+    fn exec_stack(&self) -> Box<dyn CellExecutor> {
+        cell_executor(self.cfg.executor, self.cfg.cache_enabled.then(|| Arc::clone(&self.cache)))
     }
 
     /// Run one job through the shared pool and cache.
@@ -190,28 +187,13 @@ impl Fleet {
         let profile = driver.profile(&job.spec)?;
         let groups = group(&job.spec, &profile.stats, &self.cfg.grouping);
 
-        let machine_fp = job.machine.fingerprint();
-        let spec_fp = job.spec.fingerprint();
-        let configs: Vec<Config> = enumerate(groups.len()).collect();
-        // One plan + fingerprint per configuration (`config.0` doubles as
-        // the index since `enumerate` yields masks in order), shared by
-        // every repetition of the campaign and the online probes.
-        let plans = ConfigPlans(
-            configs
-                .iter()
-                .map(|c| {
-                    let plan = c.plan(&job.spec, &groups);
-                    let fp = plan.fingerprint();
-                    (plan, fp)
-                })
-                .collect(),
-        );
-        let campaign =
-            run_campaign_cells(&self.cfg.executor, &configs, &job.campaign, &|config, rep| {
-                let (plan, plan_fp) = &plans.0[config.0 as usize];
-                self.cell_cached(machine_fp, spec_fp, job, plan, *plan_fp, config, rep)
-            })?;
-        let analysis = driver.assemble(&job.spec, profile, groups, campaign);
+        // Plan once per job: fingerprints (machine, spec, noise, per-
+        // config placement plans) are memoized on the plan and shared by
+        // the campaign cells and every online probe.
+        let plan = CampaignPlan::new(&job.machine, &job.spec, &groups, job.campaign)?
+            .with_policy(self.cfg.rep_policy);
+        let exec = self.exec_stack();
+        let campaign = plan.execute(&*exec)?;
 
         let online = if self.cfg.online_check {
             let ocfg = OnlineConfig {
@@ -219,13 +201,13 @@ impl Fleet {
                 executor: self.cfg.executor,
                 ..OnlineConfig::default()
             };
-            Some(online::tune_with_measure(&analysis.groups, &ocfg, &mut |config| {
-                self.config_mean_cached(machine_fp, spec_fp, job, &plans, config)
-            })?)
+            Some(online::tune_plan(&plan, &ocfg, &*exec)?)
         } else {
             None
         };
+        drop(plan);
 
+        let analysis = driver.assemble(&job.spec, profile, groups, campaign);
         Ok(JobReport {
             analysis,
             online,
@@ -243,8 +225,11 @@ impl Fleet {
         let t0 = Instant::now();
         let before = self.cache.stats();
         let mut reports = Vec::with_capacity(jobs.len());
+        let (mut planned, mut executed) = (0u64, 0u64);
         for (i, job) in jobs.iter().enumerate() {
             let report = self.run_job(job)?;
+            planned += report.analysis.campaign.planned_runs as u64;
+            executed += report.analysis.campaign.executed_runs as u64;
             on_report(i, &report);
             reports.push(report);
         }
@@ -256,6 +241,9 @@ impl Fleet {
             stats: FleetStats {
                 jobs: jobs.len(),
                 cache,
+                planned_cells: planned,
+                executed_cells: executed,
+                cells_skipped: planned.saturating_sub(executed),
                 wall_s,
                 cells_per_s: if wall_s > 0.0 { cells as f64 / wall_s } else { 0.0 },
             },
@@ -322,6 +310,42 @@ mod tests {
     }
 
     #[test]
+    fn disabling_the_cache_re_simulates_identically() {
+        let fleet = Fleet::new(FleetConfig { cache_enabled: false, ..Default::default() });
+        let first = fleet.run_job(&mg_job()).unwrap();
+        let second = fleet.run_job(&mg_job()).unwrap();
+        // No cache traffic at all, yet bit-identical results.
+        assert_eq!(first.cache, CacheStats::default());
+        assert_eq!(second.cache, CacheStats::default());
+        assert!(fleet.cache().is_empty());
+        assert_eq!(
+            first.analysis.table2.max_speedup.to_bits(),
+            second.analysis.table2.max_speedup.to_bits()
+        );
+    }
+
+    #[test]
+    fn adaptive_fleet_skips_cells_and_reports_them() {
+        let fixed = Fleet::new(FleetConfig { online_check: false, ..Default::default() });
+        let adaptive = Fleet::new(FleetConfig {
+            online_check: false,
+            rep_policy: RepPolicy::confidence(0.02, 3),
+            ..Default::default()
+        });
+        let jobs = vec![mg_job(), TuningJob::new(hmpt_workloads::npb::is::workload())];
+        let f = fixed.run(&jobs).unwrap();
+        let a = adaptive.run(&jobs).unwrap();
+        assert_eq!(f.stats.cells_skipped, 0);
+        assert!(a.stats.cells_skipped > 0, "stats: {:?}", a.stats);
+        assert!(a.stats.executed_cells < f.stats.executed_cells);
+        assert_eq!(a.stats.planned_cells, f.stats.planned_cells);
+        // Early stopping keeps the Table II triple within the band.
+        for (fr, ar) in f.reports.iter().zip(&a.reports) {
+            assert!((fr.analysis.table2.max_speedup - ar.analysis.table2.max_speedup).abs() < 0.05);
+        }
+    }
+
+    #[test]
     fn different_machines_do_not_share_cells() {
         use hmpt_sim::machine::MachineBuilder;
         let fleet = Fleet::new(FleetConfig { online_check: false, ..Default::default() });
@@ -349,5 +373,9 @@ mod tests {
         assert_eq!(report.reports[2].cache.misses, 0);
         assert!(report.stats.cache.hit_rate() > 0.0);
         assert!(report.stats.cells_per_s > 0.0);
+        assert_eq!(
+            report.stats.executed_cells,
+            report.reports.iter().map(|r| r.analysis.campaign.executed_runs as u64).sum::<u64>()
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Per-site access statistics: the densities behind the paper's analysis.
 //!
-//! "Relative memory access density [is] determined as the fraction of all
+//! "Relative memory access density \[is\] determined as the fraction of all
 //! memory accesses (sampled using IBS/PEBS) falling in the address range
 //! of the allocation" — these are the blue crosses of Fig 7a and the
 //! ranking signal for allocation grouping.

@@ -8,10 +8,51 @@
 //! processes (object keys are sorted, floats hash by IEEE bit pattern),
 //! and automatically covering every field a type serializes.
 
+use std::fmt;
+
 use serde::{Serialize, Value};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A computed content fingerprint: a cheap `Copy` handle that can be
+/// passed around, compared, and combined without re-serializing the
+/// value it summarizes. Campaign layers compute one per (machine, spec,
+/// plan, noise model) and reuse it for every cell key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Fingerprint of any serializable value (see [`fingerprint_of`]).
+    pub fn of<T: Serialize + ?Sized>(value: &T) -> Fingerprint {
+        Fingerprint(fingerprint_of(value))
+    }
+
+    /// Wrap an already-computed raw hash.
+    pub const fn from_raw(raw: u64) -> Fingerprint {
+        Fingerprint(raw)
+    }
+
+    /// The raw 64-bit hash.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Derive a sub-fingerprint by mixing in one extra word (e.g. a
+    /// per-cell seed on top of a memoized noise-model fingerprint) —
+    /// much cheaper than re-serializing the composite value.
+    pub fn combine(self, word: u64) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_u64(self.0).write_u64(word);
+        Fingerprint(h.finish())
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
 
 /// Incremental FNV-1a over structural input.
 #[derive(Debug, Clone, Copy)]
@@ -112,8 +153,8 @@ impl crate::machine::Machine {
     /// Content fingerprint of the full platform model (every calibrated
     /// constant participates — two machines fingerprint equal iff their
     /// serialized models are identical).
-    pub fn fingerprint(&self) -> u64 {
-        fingerprint_of(self)
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of(self)
     }
 }
 
@@ -153,5 +194,16 @@ mod tests {
     fn float_fingerprints_use_bit_patterns() {
         assert_ne!(fingerprint_of(&0.1f64), fingerprint_of(&(0.1f64 + 1e-16)));
         assert_eq!(fingerprint_of(&0.25f64), fingerprint_of(&0.25f64));
+    }
+
+    #[test]
+    fn combine_derives_distinct_sub_fingerprints() {
+        let base = Fingerprint::of(&"noise-model");
+        assert_ne!(base.combine(0), base.combine(1));
+        assert_eq!(base.combine(7), base.combine(7));
+        // Combining is position-sensitive: (a ⊕ b) ≠ (b ⊕ a) in general.
+        let other = Fingerprint::of(&"other");
+        assert_ne!(base.combine(other.raw()), other.combine(base.raw()));
+        assert_eq!(Fingerprint::from_raw(base.raw()), base);
     }
 }

@@ -45,7 +45,7 @@ pub mod units;
 pub use bandwidth::BwCurve;
 pub use cache::{CacheHierarchy, CacheLevel};
 pub use cost::{phase_time, PhaseCost};
-pub use fingerprint::{fingerprint_of, StableHasher};
+pub use fingerprint::{fingerprint_of, Fingerprint, StableHasher};
 pub use latency::LatencyModel;
 pub use machine::{xeon_max_9468, Machine, MachineBuilder};
 pub use noise::NoiseModel;

@@ -207,8 +207,8 @@ impl WorkloadSpec {
     /// Stable content fingerprint of the whole spec (allocations, phase
     /// structure, execution context, grouping hint). Used as a component
     /// of the fleet's content-addressed measurement-cache keys.
-    pub fn fingerprint(&self) -> u64 {
-        hmpt_sim::fingerprint::fingerprint_of(self)
+    pub fn fingerprint(&self) -> hmpt_sim::fingerprint::Fingerprint {
+        hmpt_sim::fingerprint::Fingerprint::of(self)
     }
 
     /// Serialize to the JSON workload format (the input the CLI's

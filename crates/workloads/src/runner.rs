@@ -52,8 +52,8 @@ impl RunConfig {
     /// Stable content fingerprint (noise model, seed, sampling setup).
     /// Used as a component of the fleet's content-addressed
     /// measurement-cache keys.
-    pub fn fingerprint(&self) -> u64 {
-        hmpt_sim::fingerprint::fingerprint_of(self)
+    pub fn fingerprint(&self) -> hmpt_sim::fingerprint::Fingerprint {
+        hmpt_sim::fingerprint::Fingerprint::of(self)
     }
 }
 

@@ -1,11 +1,19 @@
 //! Property tests for the fleet subsystem: the parallel executor is
-//! bit-identical to the serial one, and a warmed measurement cache never
-//! changes an analysis result while eliminating simulated runs.
+//! bit-identical to the serial one, a warmed measurement cache never
+//! changes an analysis result while eliminating simulated runs, chunked
+//! streaming over the campaign-plan IR matches eager execution for any
+//! chunk size, and adaptive (confidence-targeted) repetition campaigns
+//! are deterministic across execution strategies.
+
+use std::sync::Arc;
 
 use hmpt_fleet::{Fleet, FleetConfig, TuningJob};
+use hmpt_repro::core::campaign::{CampaignPlan, RepPolicy};
 use hmpt_repro::core::driver::Driver;
-use hmpt_repro::core::exec::ExecutorKind;
-use hmpt_repro::core::measure::CampaignConfig;
+use hmpt_repro::core::exec::{CachingExecutor, ExecutorKind, ParallelExecutor, SerialExecutor};
+use hmpt_repro::core::grouping::{group, GroupingConfig};
+use hmpt_repro::core::measure::{CampaignConfig, CampaignResult};
+use hmpt_repro::core::MeasurementCache;
 use hmpt_repro::sim::noise::NoiseModel;
 use hmpt_repro::sim::stream::Direction;
 use hmpt_repro::workloads::model::{Phase, StreamSpec, WorkloadSpec};
@@ -56,6 +64,30 @@ fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
 
 fn campaign(seed: u64) -> CampaignConfig {
     CampaignConfig { runs_per_config: 2, noise: NoiseModel::default(), base_seed: seed }
+}
+
+/// Profile + group a random workload the way the driver would, so
+/// plan-level properties exercise realistic groupings.
+fn grouped(spec: &WorkloadSpec) -> Vec<hmpt_repro::core::AllocationGroup> {
+    let driver = Driver::new(hmpt_repro::machine());
+    let profile = driver.profile(spec).expect("profiling");
+    group(spec, &profile.stats, &GroupingConfig::default())
+}
+
+fn assert_campaigns_bit_identical(
+    a: &CampaignResult,
+    b: &CampaignResult,
+) -> Result<(), proptest::TestCaseError> {
+    prop_assert_eq!(a.measurements.len(), b.measurements.len());
+    prop_assert_eq!(a.executed_runs, b.executed_runs);
+    prop_assert_eq!(a.planned_runs, b.planned_runs);
+    for (x, y) in a.measurements.iter().zip(&b.measurements) {
+        prop_assert_eq!(x.config, y.config);
+        prop_assert_eq!(x.mean_s.to_bits(), y.mean_s.to_bits());
+        prop_assert_eq!(x.std_s.to_bits(), y.std_s.to_bits());
+        prop_assert_eq!(x.hbm_fraction.to_bits(), y.hbm_fraction.to_bits());
+    }
+    Ok(())
 }
 
 fn assert_analyses_bit_identical(
@@ -137,5 +169,73 @@ proptest! {
         // The online verification rides the warmed cache and agrees.
         let online = warm.online.as_ref().expect("online check on by default");
         prop_assert!(online.speedup >= 0.9 * warm.analysis.table2.max_speedup);
+    }
+
+    /// Streaming-chunked execution and `CachingExecutor` are
+    /// bit-identical to the eager serial path: any chunk size, with or
+    /// without a (cold or warmed) cache, produces the same campaign
+    /// bits.
+    #[test]
+    fn chunked_and_cached_streaming_match_eager_serial(
+        spec in arb_workload(),
+        seed in 0u64..1000,
+        chunk in 1usize..40,
+    ) {
+        let machine = hmpt_repro::machine();
+        let groups = grouped(&spec);
+        let cfg = campaign(seed);
+
+        // Eager reference: one chunk spanning every cell.
+        let plan = CampaignPlan::new(&machine, &spec, &groups, cfg).unwrap();
+        let eager = plan.execute_chunked(&SerialExecutor, usize::MAX).unwrap();
+
+        let chunked = plan.execute_chunked(&SerialExecutor, chunk).unwrap();
+        assert_campaigns_bit_identical(&eager, &chunked)?;
+
+        let cache = Arc::new(MeasurementCache::new());
+        let caching = CachingExecutor::new(ExecutorKind::Serial, Arc::clone(&cache));
+        let cold = plan.execute_chunked(&caching, chunk).unwrap();
+        assert_campaigns_bit_identical(&eager, &cold)?;
+        prop_assert_eq!(cache.stats().misses as usize, eager.executed_runs);
+
+        // Warmed: zero new simulated runs, identical bits.
+        let warm = plan.execute_chunked(&caching, chunk).unwrap();
+        assert_campaigns_bit_identical(&eager, &warm)?;
+        prop_assert_eq!(cache.stats().misses as usize, eager.executed_runs);
+    }
+
+    /// `ConfidenceTarget` campaigns are deterministic across serial,
+    /// parallel, and cached executors: the same cells retire after the
+    /// same rounds, so executed-run counts and every measurement bit
+    /// agree.
+    #[test]
+    fn confidence_target_is_deterministic_across_executors(
+        spec in arb_workload(),
+        seed in 0u64..1000,
+        workers in 2usize..6,
+        chunk in 1usize..40,
+    ) {
+        let machine = hmpt_repro::machine();
+        let groups = grouped(&spec);
+        let cfg = CampaignConfig { runs_per_config: 3, noise: NoiseModel::default(), base_seed: seed };
+        let policy = RepPolicy::confidence(0.02, 5);
+
+        let plan = CampaignPlan::new(&machine, &spec, &groups, cfg).unwrap().with_policy(policy);
+        let serial = plan.execute(&SerialExecutor).unwrap();
+        prop_assert!(serial.executed_runs <= serial.planned_runs);
+
+        let par = plan
+            .execute_chunked(&ParallelExecutor::with_workers(workers), chunk)
+            .unwrap();
+        assert_campaigns_bit_identical(&serial, &par)?;
+
+        let cache = Arc::new(MeasurementCache::new());
+        let cached = plan
+            .execute_chunked(
+                &CachingExecutor::new(ExecutorKind::Parallel { workers }, cache),
+                chunk,
+            )
+            .unwrap();
+        assert_campaigns_bit_identical(&serial, &cached)?;
     }
 }
