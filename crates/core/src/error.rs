@@ -12,6 +12,9 @@ pub enum TunerError {
     EmptyWorkload,
     /// Too many groups requested for exhaustive enumeration.
     TooManyGroups { groups: usize, limit: usize },
+    /// A scenario names a machine description that fails validation
+    /// (e.g. a zoo axis factor of zero).
+    InvalidMachine { name: String, reason: String },
 }
 
 impl From<AllocError> for TunerError {
@@ -27,6 +30,9 @@ impl std::fmt::Display for TunerError {
             TunerError::EmptyWorkload => write!(f, "workload declares no allocations"),
             TunerError::TooManyGroups { groups, limit } => {
                 write!(f, "{groups} groups exceed the exhaustive enumeration limit of {limit}")
+            }
+            TunerError::InvalidMachine { name, reason } => {
+                write!(f, "machine `{name}` is invalid: {reason}")
             }
         }
     }
@@ -47,5 +53,7 @@ mod tests {
         assert!(TunerError::EmptyWorkload.to_string().contains("no allocations"));
         let t = TunerError::TooManyGroups { groups: 40, limit: 24 };
         assert!(t.to_string().contains("40"));
+        let m = TunerError::InvalidMachine { name: "zoo".into(), reason: "zero bw".into() };
+        assert!(m.to_string().contains("zoo") && m.to_string().contains("zero bw"));
     }
 }

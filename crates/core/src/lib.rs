@@ -19,6 +19,9 @@
 //! [`analysis`] renders the paper's two result views (detailed, Fig 7a;
 //! summary, Fig 7b/9–15), [`metrics`] computes the Table II triple,
 //! [`roofline`] the Fig 8 model, and [`report`] the text/JSON artifacts.
+//! [`scenario`] lifts all of it across platforms: a lazily enumerated
+//! matrix of machines × workloads × HBM budgets × repetition policies ×
+//! noise levels, with cross-machine report views.
 
 pub mod analysis;
 pub mod baselines;
@@ -39,6 +42,7 @@ pub mod online;
 pub mod planner;
 pub mod report;
 pub mod roofline;
+pub mod scenario;
 pub mod sensitivity;
 
 pub use analysis::{DetailedView, SummaryView};
@@ -51,3 +55,4 @@ pub use exec::{
 };
 pub use grouping::{AllocationGroup, GroupingConfig};
 pub use metrics::Table2Row;
+pub use scenario::{MatrixReport, Scenario, ScenarioMatrix, ScenarioRow};

@@ -1,0 +1,740 @@
+//! The scenario-matrix IR: cross-platform campaigns as data.
+//!
+//! A [`ScenarioMatrix`] describes the cross-product of five axes —
+//! machines ([`hmpt_sim::zoo::ZooEntry`]) × workloads × HBM budgets ×
+//! repetition policies × noise levels — and enumerates its cells
+//! ([`Scenario`]) **lazily**, mirroring the campaign-plan IR's design
+//! one level up: a matrix never materializes its product, just as a
+//! [`CampaignPlan`](crate::campaign::CampaignPlan) never materializes
+//! its `2^|AG|·n` cells. Index `i` decodes to a scenario by mixed-radix
+//! arithmetic, so enumeration is deterministic, duplicate-free, and
+//! O(1) per cell.
+//!
+//! Nothing in this module runs anything. Execution lives with the
+//! fleet (`hmpt_fleet::matrix::run_matrix`), which streams scenarios
+//! through the existing `Fleet`/[`CellExecutor`](crate::exec::CellExecutor)
+//! stack so the shared content-addressed
+//! [`MeasurementCache`](crate::cache::MeasurementCache) dedups campaign
+//! cells across scenarios that share a machine fingerprint — two
+//! budgets of the same (machine, workload) campaign cost one set of
+//! simulated runs.
+//!
+//! The result side is also defined here: [`ScenarioRow`] is one
+//! Table-II-style line per scenario, and [`MatrixReport::assemble`]
+//! derives the cross-machine views — speedup-vs-HBM-bandwidth curves,
+//! budget-vs-slowdown frontiers, and the allocation groups that stay
+//! HBM-resident across the whole zoo.
+//!
+//! The axis order is budget-innermost on purpose: consecutive scenarios
+//! differ only in budget, which does not change the measurement
+//! campaign — a warmed cache answers every cell of the next budget row
+//! without new simulated runs.
+
+use hmpt_sim::machine::Machine;
+use hmpt_sim::noise::NoiseModel;
+use hmpt_sim::pool::PoolKind;
+use hmpt_sim::units::{as_gib, Bytes};
+use hmpt_sim::zoo::{Zoo, ZooEntry};
+use hmpt_workloads::model::WorkloadSpec;
+use serde::Serialize;
+
+use crate::cache::CacheStats;
+use crate::campaign::RepPolicy;
+use crate::driver::Analysis;
+use crate::error::TunerError;
+use crate::measure::CampaignConfig;
+use crate::planner::plan_exhaustive;
+
+/// Position of one scenario along every axis of its matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ScenarioCoords {
+    pub machine: usize,
+    pub workload: usize,
+    pub noise: usize,
+    pub policy: usize,
+    pub budget: usize,
+}
+
+/// One cell of a scenario matrix: a complete tuning question (which
+/// machine, which workload, under which budget / repetition policy /
+/// noise level), ready to be turned into a fleet job.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in the matrix's canonical enumeration.
+    pub index: usize,
+    pub coords: ScenarioCoords,
+    /// The platform, as zoo data (built into a [`Machine`] at
+    /// execution time).
+    pub entry: ZooEntry,
+    pub workload: WorkloadSpec,
+    /// HBM capacity budget for the placement decision (`None` = the
+    /// machine's full HBM). The budget constrains the *plan*, not the
+    /// measurement campaign, so scenarios differing only in budget
+    /// share every campaign cell.
+    pub budget: Option<Bytes>,
+    pub rep_policy: RepPolicy,
+    /// Campaign settings with this scenario's noise level applied.
+    pub campaign: CampaignConfig,
+}
+
+impl Scenario {
+    /// Build (and validate) this scenario's machine.
+    pub fn build_machine(&self) -> Result<Machine, TunerError> {
+        self.entry.try_build().map_err(|e| TunerError::InvalidMachine {
+            name: self.entry.name.clone(),
+            reason: e.to_string(),
+        })
+    }
+
+    /// Human-readable cell label
+    /// (`mg.D @ xeon-max | budget 16.0 GiB | fixed×3 | cv 0.80%`).
+    pub fn label(&self) -> String {
+        let budget = match self.budget {
+            Some(b) => format!("budget {:.1} GiB", as_gib(b)),
+            None => "unbudgeted".to_string(),
+        };
+        format!(
+            "{} @ {} | {budget} | {} | cv {:.2}%",
+            self.workload.name,
+            self.entry.name,
+            self.rep_policy.label(self.campaign.runs_per_config),
+            self.campaign.noise.cv * 100.0,
+        )
+    }
+}
+
+/// The lazy cross-product of machines × workloads × budgets ×
+/// repetition policies × noise levels.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    machines: Vec<ZooEntry>,
+    workloads: Vec<WorkloadSpec>,
+    budgets: Vec<Option<Bytes>>,
+    rep_policies: Vec<RepPolicy>,
+    /// `None` → a single level at the base campaign's noise cv.
+    noise_cvs: Option<Vec<f64>>,
+    base: CampaignConfig,
+}
+
+impl ScenarioMatrix {
+    /// A matrix over `zoo` × `workloads` with a single unbudgeted,
+    /// fixed-repetition, default-noise level on the remaining axes.
+    pub fn new(zoo: Zoo, workloads: Vec<WorkloadSpec>) -> Self {
+        ScenarioMatrix {
+            machines: zoo.into_entries(),
+            workloads,
+            budgets: vec![None],
+            rep_policies: vec![RepPolicy::Fixed],
+            noise_cvs: None,
+            base: CampaignConfig::default(),
+        }
+    }
+
+    /// Set the HBM-budget axis (an empty list resets to unbudgeted).
+    pub fn with_budgets(mut self, budgets: Vec<Option<Bytes>>) -> Self {
+        self.budgets = if budgets.is_empty() { vec![None] } else { budgets };
+        self
+    }
+
+    /// Set the repetition-policy axis (empty resets to fixed `n`).
+    pub fn with_rep_policies(mut self, policies: Vec<RepPolicy>) -> Self {
+        self.rep_policies = if policies.is_empty() { vec![RepPolicy::Fixed] } else { policies };
+        self
+    }
+
+    /// Set the noise axis as coefficients of variation (empty resets to
+    /// the base campaign's level).
+    pub fn with_noise_cvs(mut self, cvs: Vec<f64>) -> Self {
+        self.noise_cvs = if cvs.is_empty() { None } else { Some(cvs) };
+        self
+    }
+
+    /// Set the base campaign settings (repetitions, seed, default
+    /// noise). Per-scenario noise levels override the noise model.
+    pub fn with_campaign(mut self, base: CampaignConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    pub fn machines(&self) -> &[ZooEntry] {
+        &self.machines
+    }
+
+    pub fn workloads(&self) -> &[WorkloadSpec] {
+        &self.workloads
+    }
+
+    pub fn budgets(&self) -> &[Option<Bytes>] {
+        &self.budgets
+    }
+
+    pub fn rep_policies(&self) -> &[RepPolicy] {
+        &self.rep_policies
+    }
+
+    /// The noise axis (resolved against the base campaign).
+    pub fn noise_cvs(&self) -> Vec<f64> {
+        match &self.noise_cvs {
+            Some(cvs) => cvs.clone(),
+            None => vec![self.base.noise.cv],
+        }
+    }
+
+    pub fn campaign(&self) -> &CampaignConfig {
+        &self.base
+    }
+
+    fn noise_len(&self) -> usize {
+        self.noise_cvs.as_ref().map_or(1, Vec::len)
+    }
+
+    fn noise_cv(&self, i: usize) -> f64 {
+        match &self.noise_cvs {
+            Some(cvs) => cvs[i],
+            None => self.base.noise.cv,
+        }
+    }
+
+    /// Number of scenarios the matrix describes (never materialized).
+    pub fn len(&self) -> usize {
+        self.machines.len()
+            * self.workloads.len()
+            * self.budgets.len()
+            * self.rep_policies.len()
+            * self.noise_len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decode index `i` into its scenario — mixed-radix over
+    /// (machine, workload, noise, policy, budget), budget innermost, so
+    /// the canonical order keeps campaign-sharing scenarios adjacent.
+    pub fn scenario(&self, index: usize) -> Scenario {
+        assert!(index < self.len(), "scenario {index} out of range (len {})", self.len());
+        let mut i = index;
+        let budget = i % self.budgets.len();
+        i /= self.budgets.len();
+        let policy = i % self.rep_policies.len();
+        i /= self.rep_policies.len();
+        let noise = i % self.noise_len();
+        i /= self.noise_len();
+        let workload = i % self.workloads.len();
+        let machine = i / self.workloads.len();
+        let coords = ScenarioCoords { machine, workload, noise, policy, budget };
+        Scenario {
+            index,
+            coords,
+            entry: self.machines[machine].clone(),
+            workload: self.workloads[workload].clone(),
+            budget: self.budgets[budget],
+            rep_policy: self.rep_policies[policy],
+            campaign: CampaignConfig {
+                noise: NoiseModel { cv: self.noise_cv(noise) },
+                ..self.base
+            },
+        }
+    }
+
+    /// Lazily enumerate every scenario in canonical order. Like
+    /// [`CampaignPlan::cells`](crate::campaign::CampaignPlan::cells),
+    /// this is an index walk — taking the first `k` cells of an
+    /// arbitrarily large matrix costs O(k).
+    pub fn scenarios(&self) -> impl Iterator<Item = Scenario> + '_ {
+        (0..self.len()).map(|i| self.scenario(i))
+    }
+}
+
+/// The budgeted placement decision of one scenario row.
+#[derive(Debug, Clone, Serialize)]
+pub struct BudgetedRow {
+    /// The fastest measured configuration fitting the budget.
+    pub config: String,
+    /// Bytes that configuration places in HBM.
+    pub hbm_bytes: Bytes,
+    /// Its measured speedup over the DDR baseline.
+    pub speedup: f64,
+    /// How much slower the budgeted optimum is than the unconstrained
+    /// one (`max_speedup / speedup`, ≥ 1).
+    pub slowdown_vs_best: f64,
+    /// The chosen placement respects the budget by two *independent*
+    /// accounts: the planner's group-byte arithmetic and the HBM
+    /// footprint the allocation shim actually placed during the
+    /// configuration's measured runs.
+    pub fits: bool,
+}
+
+/// One Table-II-style line of the matrix report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioRow {
+    pub scenario: usize,
+    pub coords: ScenarioCoords,
+    pub machine: String,
+    /// Content fingerprint of the built machine — rows sharing it share
+    /// campaign cells in the measurement cache.
+    pub machine_fingerprint: String,
+    pub workload: String,
+    pub rep_policy: String,
+    pub noise_cv: f64,
+    pub budget_bytes: Option<Bytes>,
+    pub hbm_capacity_bytes: Bytes,
+    /// Sustained HBM socket bandwidth of this machine, GB/s (the
+    /// x-coordinate of the speedup-vs-bandwidth view).
+    pub hbm_socket_bw_gbs: f64,
+    pub max_speedup: f64,
+    pub hbm_only_speedup: f64,
+    pub usage_90_pct: f64,
+    /// Labels of the allocation groups the unconstrained optimum keeps
+    /// in HBM.
+    pub best_groups: Vec<String>,
+    pub budgeted: BudgetedRow,
+    pub planned_cells: usize,
+    pub executed_cells: usize,
+}
+
+impl ScenarioRow {
+    /// Fold one executed scenario (its machine and tuning analysis)
+    /// into a report row. The budgeted decision reuses the measured
+    /// campaign through [`plan_exhaustive`] — no extra runs.
+    pub fn build(scenario: &Scenario, machine: &Machine, analysis: &Analysis) -> ScenarioRow {
+        let capacity = machine.hbm_capacity();
+        let effective = scenario.budget.unwrap_or(capacity).min(capacity);
+        let plan = plan_exhaustive(&analysis.campaign, &analysis.groups, effective);
+        // `plan_exhaustive` filtered on the planner's own group-byte
+        // arithmetic; cross-check against the HBM bytes the allocation
+        // shim *measured* during the chosen configuration's runs (an
+        // independent accounting — this is what makes `fits`, and the
+        // CLI/CI capacity audit on top of it, a real check).
+        let footprint = scenario.workload.footprint() as f64;
+        let measured_hbm_bytes = analysis
+            .campaign
+            .get(plan.config)
+            .map_or(plan.hbm_bytes as f64, |m| m.hbm_fraction * footprint);
+        let fits =
+            plan.hbm_bytes <= effective && measured_hbm_bytes <= effective as f64 * (1.0 + 1e-9);
+        let table2 = &analysis.table2;
+        let best_groups = analysis
+            .groups
+            .iter()
+            .filter(|g| table2.best_config.contains(g.id))
+            .map(|g| g.label.clone())
+            .collect();
+        ScenarioRow {
+            scenario: scenario.index,
+            coords: scenario.coords,
+            machine: scenario.entry.name.clone(),
+            machine_fingerprint: machine.fingerprint().to_string(),
+            workload: scenario.workload.name.clone(),
+            rep_policy: scenario.rep_policy.label(scenario.campaign.runs_per_config),
+            noise_cv: scenario.campaign.noise.cv,
+            budget_bytes: scenario.budget,
+            hbm_capacity_bytes: capacity,
+            hbm_socket_bw_gbs: machine.socket_bw(PoolKind::Hbm, machine.hbm.bw.t_max),
+            max_speedup: table2.max_speedup,
+            hbm_only_speedup: table2.hbm_only_speedup,
+            usage_90_pct: table2.usage_90_pct,
+            best_groups,
+            budgeted: BudgetedRow {
+                config: plan.config.label(),
+                hbm_bytes: plan.hbm_bytes,
+                speedup: plan.speedup,
+                slowdown_vs_best: table2.max_speedup / plan.speedup,
+                fits,
+            },
+            planned_cells: analysis.campaign.planned_runs,
+            executed_cells: analysis.campaign.executed_runs,
+        }
+    }
+
+    /// Reference rows (first noise level, first repetition policy) feed
+    /// the cross-machine views.
+    fn is_reference(&self) -> bool {
+        self.coords.noise == 0 && self.coords.policy == 0
+    }
+}
+
+/// One machine's point on a workload's speedup-vs-HBM-bandwidth curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupBwPoint {
+    pub machine: String,
+    pub hbm_socket_bw_gbs: f64,
+    pub max_speedup: f64,
+}
+
+/// Speedup as a function of HBM bandwidth across the zoo, per workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct BwCurveView {
+    pub workload: String,
+    pub points: Vec<SpeedupBwPoint>,
+}
+
+/// One budget's point on a (machine, workload) frontier.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrontierPoint {
+    pub budget_bytes: Option<Bytes>,
+    pub hbm_bytes: Bytes,
+    pub speedup: f64,
+    pub slowdown_vs_best: f64,
+}
+
+/// Budget-vs-slowdown frontier of one workload on one machine.
+#[derive(Debug, Clone, Serialize)]
+pub struct BudgetFrontier {
+    pub machine: String,
+    pub workload: String,
+    pub points: Vec<FrontierPoint>,
+}
+
+/// The allocation groups of one workload whose unconstrained optimum
+/// keeps them in HBM on *every* machine of the zoo.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResidentGroups {
+    pub workload: String,
+    pub groups: Vec<String>,
+}
+
+/// Whole-matrix execution statistics.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MatrixStats {
+    pub scenarios: usize,
+    /// Campaign cells the scenarios' plans could have executed.
+    pub planned_cells: u64,
+    /// Cells actually evaluated (cache hits + simulated runs).
+    pub executed_cells: u64,
+    /// Shared-cache traffic of the whole matrix; `hits > 0` whenever
+    /// two scenarios share a machine fingerprint.
+    pub cache: CacheStats,
+    pub wall_s: f64,
+    pub scenarios_per_s: f64,
+}
+
+/// Everything a scenario-matrix run produces: per-scenario rows plus
+/// the cross-machine views derived from them.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixReport {
+    pub scenarios: Vec<ScenarioRow>,
+    pub bw_curves: Vec<BwCurveView>,
+    pub frontiers: Vec<BudgetFrontier>,
+    pub resident_groups: Vec<ResidentGroups>,
+    pub stats: MatrixStats,
+}
+
+impl MatrixReport {
+    /// Derive the cross-machine views from executed rows. Views use the
+    /// *reference* rows (first noise level and repetition policy); the
+    /// bandwidth curve and resident-group views additionally fix the
+    /// first budget so every machine contributes exactly one row.
+    pub fn assemble(rows: Vec<ScenarioRow>, stats: MatrixStats) -> MatrixReport {
+        let mut bw_curves: Vec<BwCurveView> = Vec::new();
+        let mut frontiers: Vec<BudgetFrontier> = Vec::new();
+        let mut resident: Vec<(String, Vec<String>)> = Vec::new();
+
+        for row in rows.iter().filter(|r| r.is_reference()) {
+            if row.coords.budget == 0 {
+                // Speedup-vs-bandwidth: one point per machine per workload.
+                match bw_curves.iter_mut().find(|c| c.workload == row.workload) {
+                    Some(curve) => curve.points.push(SpeedupBwPoint {
+                        machine: row.machine.clone(),
+                        hbm_socket_bw_gbs: row.hbm_socket_bw_gbs,
+                        max_speedup: row.max_speedup,
+                    }),
+                    None => bw_curves.push(BwCurveView {
+                        workload: row.workload.clone(),
+                        points: vec![SpeedupBwPoint {
+                            machine: row.machine.clone(),
+                            hbm_socket_bw_gbs: row.hbm_socket_bw_gbs,
+                            max_speedup: row.max_speedup,
+                        }],
+                    }),
+                }
+                // HBM-resident groups: intersect the optimum's group
+                // set across machines, keeping first-machine order.
+                match resident.iter_mut().find(|(w, _)| *w == row.workload) {
+                    Some((_, groups)) => groups.retain(|g| row.best_groups.contains(g)),
+                    None => resident.push((row.workload.clone(), row.best_groups.clone())),
+                }
+            }
+            // Budget frontier: one point per budget per (machine, workload).
+            let point = FrontierPoint {
+                budget_bytes: row.budget_bytes,
+                hbm_bytes: row.budgeted.hbm_bytes,
+                speedup: row.budgeted.speedup,
+                slowdown_vs_best: row.budgeted.slowdown_vs_best,
+            };
+            match frontiers
+                .iter_mut()
+                .find(|fr| fr.machine == row.machine && fr.workload == row.workload)
+            {
+                Some(frontier) => frontier.points.push(point),
+                None => frontiers.push(BudgetFrontier {
+                    machine: row.machine.clone(),
+                    workload: row.workload.clone(),
+                    points: vec![point],
+                }),
+            }
+        }
+
+        MatrixReport {
+            scenarios: rows,
+            bw_curves,
+            frontiers,
+            resident_groups: resident
+                .into_iter()
+                .map(|(workload, groups)| ResidentGroups { workload, groups })
+                .collect(),
+            stats,
+        }
+    }
+
+    /// Bitwise equality of everything execution determines — used to
+    /// assert serial, parallel, and cached matrix runs agree exactly.
+    /// Wall-clock and cache statistics are excluded (they legitimately
+    /// differ between execution strategies).
+    pub fn bit_identical(&self, other: &MatrixReport) -> bool {
+        self.scenarios.len() == other.scenarios.len()
+            && self.scenarios.iter().zip(&other.scenarios).all(|(a, b)| {
+                a.scenario == b.scenario
+                    && a.machine == b.machine
+                    && a.machine_fingerprint == b.machine_fingerprint
+                    && a.workload == b.workload
+                    && a.max_speedup.to_bits() == b.max_speedup.to_bits()
+                    && a.hbm_only_speedup.to_bits() == b.hbm_only_speedup.to_bits()
+                    && a.usage_90_pct.to_bits() == b.usage_90_pct.to_bits()
+                    && a.best_groups == b.best_groups
+                    && a.budgeted.config == b.budgeted.config
+                    && a.budgeted.hbm_bytes == b.budgeted.hbm_bytes
+                    && a.budgeted.speedup.to_bits() == b.budgeted.speedup.to_bits()
+                    && a.planned_cells == b.planned_cells
+                    && a.executed_cells == b.executed_cells
+            })
+    }
+
+    /// Every scenario's chosen placement respects its budget and its
+    /// machine's HBM capacity.
+    pub fn capacity_ok(&self) -> bool {
+        self.scenarios.iter().all(|r| {
+            r.budgeted.fits
+                && r.budgeted.hbm_bytes <= r.hbm_capacity_bytes
+                && r.budget_bytes.is_none_or(|b| r.budgeted.hbm_bytes <= b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_sim::units::gib;
+    use hmpt_sim::zoo::{scale_hbm_bw, Preset};
+
+    fn small_matrix() -> ScenarioMatrix {
+        let zoo = Zoo::parse("xeon-max,hbm-flat").unwrap();
+        let workloads =
+            vec![hmpt_workloads::npb::mg::workload(), hmpt_workloads::npb::is::workload()];
+        ScenarioMatrix::new(zoo, workloads)
+            .with_budgets(vec![None, Some(gib(16)), Some(gib(8))])
+            .with_rep_policies(vec![RepPolicy::Fixed, RepPolicy::confidence(0.02, 3)])
+            .with_noise_cvs(vec![0.008, 0.0])
+    }
+
+    #[test]
+    fn len_is_the_axis_product() {
+        let m = small_matrix();
+        assert_eq!(m.len(), 2 * 2 * 3 * 2 * 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.scenarios().count(), m.len());
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_duplicate_free() {
+        let m = small_matrix();
+        let a: Vec<ScenarioCoords> = m.scenarios().map(|s| s.coords).collect();
+        let b: Vec<ScenarioCoords> = m.scenarios().map(|s| s.coords).collect();
+        assert_eq!(a, b, "two enumerations must agree");
+        let mut seen = std::collections::HashSet::new();
+        for (i, c) in a.iter().enumerate() {
+            assert!(
+                seen.insert((c.machine, c.workload, c.noise, c.policy, c.budget)),
+                "coords {c:?} repeated at {i}"
+            );
+        }
+        assert_eq!(seen.len(), m.len());
+    }
+
+    #[test]
+    fn index_decode_matches_iterator_order() {
+        let m = small_matrix();
+        for (i, s) in m.scenarios().enumerate() {
+            let direct = m.scenario(i);
+            assert_eq!(s.index, i);
+            assert_eq!(direct.coords, s.coords);
+            assert_eq!(direct.label(), s.label());
+        }
+    }
+
+    #[test]
+    fn budget_is_the_innermost_axis() {
+        let m = small_matrix();
+        let s0 = m.scenario(0);
+        let s1 = m.scenario(1);
+        // Adjacent scenarios share the campaign (machine, workload,
+        // noise, policy) and differ only in budget.
+        assert_eq!(s0.entry, s1.entry);
+        assert_eq!(s0.workload.name, s1.workload.name);
+        assert_eq!(s0.rep_policy, s1.rep_policy);
+        assert_eq!(s0.campaign.noise.cv, s1.campaign.noise.cv);
+        assert_ne!(s0.budget, s1.budget);
+    }
+
+    #[test]
+    fn noise_axis_overrides_the_base_campaign() {
+        let m = small_matrix();
+        let cvs: std::collections::HashSet<u64> =
+            m.scenarios().map(|s| s.campaign.noise.cv.to_bits()).collect();
+        assert_eq!(cvs.len(), 2);
+        // Defaulted noise axis follows the base campaign.
+        let plain = ScenarioMatrix::new(Zoo::standard(), vec![]);
+        assert_eq!(plain.noise_cvs(), vec![CampaignConfig::default().noise.cv]);
+        assert!(plain.is_empty(), "no workloads, no scenarios");
+    }
+
+    #[test]
+    fn enumeration_is_lazy_for_huge_matrices() {
+        // 16 machines × 1 workload × 10k budgets × 2 policies × 100
+        // noise levels = 32M scenarios; taking three must be instant.
+        let zoo = scale_hbm_bw(
+            Preset::XeonMaxSnc4,
+            &(1..=16).map(|i| i as f64 / 16.0).collect::<Vec<_>>(),
+        );
+        let m = ScenarioMatrix::new(zoo, vec![hmpt_workloads::npb::mg::workload()])
+            .with_budgets((0..10_000).map(|i| Some(gib(1) + i)).collect())
+            .with_rep_policies(vec![RepPolicy::Fixed, RepPolicy::confidence(0.02, 3)])
+            .with_noise_cvs((0..100).map(|i| i as f64 * 1e-4).collect());
+        assert_eq!(m.len(), 16 * 10_000 * 2 * 100);
+        let first: Vec<Scenario> = m.scenarios().take(3).collect();
+        assert_eq!(first.len(), 3);
+        assert_eq!(first[2].coords.budget, 2);
+        // And the far end decodes directly, without walking there.
+        let last = m.scenario(m.len() - 1);
+        assert_eq!(last.coords.machine, 15);
+        assert_eq!(last.coords.budget, 9_999);
+    }
+
+    fn synthetic_row(
+        machine: &str,
+        workload: &str,
+        coords: ScenarioCoords,
+        budget: Option<Bytes>,
+        bw: f64,
+        speedup: f64,
+        best_groups: &[&str],
+    ) -> ScenarioRow {
+        ScenarioRow {
+            scenario: 0,
+            coords,
+            machine: machine.to_string(),
+            machine_fingerprint: format!("fp-{machine}"),
+            workload: workload.to_string(),
+            rep_policy: "fixed×3".to_string(),
+            noise_cv: 0.008,
+            budget_bytes: budget,
+            hbm_capacity_bytes: gib(128),
+            hbm_socket_bw_gbs: bw,
+            max_speedup: speedup,
+            hbm_only_speedup: speedup,
+            usage_90_pct: 70.0,
+            best_groups: best_groups.iter().map(|s| s.to_string()).collect(),
+            budgeted: BudgetedRow {
+                config: "[0]".to_string(),
+                hbm_bytes: budget.unwrap_or(gib(20)).min(gib(20)),
+                speedup: speedup * 0.9,
+                slowdown_vs_best: 1.0 / 0.9,
+                fits: true,
+            },
+            planned_cells: 24,
+            executed_cells: 24,
+        }
+    }
+
+    #[test]
+    fn assemble_derives_the_cross_machine_views() {
+        let c = |m, b| ScenarioCoords { machine: m, workload: 0, noise: 0, policy: 0, budget: b };
+        let rows = vec![
+            synthetic_row("fast", "mg.D", c(0, 0), None, 700.0, 2.3, &["u", "r"]),
+            synthetic_row("fast", "mg.D", c(0, 1), Some(gib(8)), 700.0, 2.3, &["u", "r"]),
+            synthetic_row("slow", "mg.D", c(1, 0), None, 350.0, 1.6, &["r", "v"]),
+            synthetic_row("slow", "mg.D", c(1, 1), Some(gib(8)), 350.0, 1.6, &["r", "v"]),
+        ];
+        let stats = MatrixStats {
+            scenarios: rows.len(),
+            planned_cells: 96,
+            executed_cells: 96,
+            cache: CacheStats::default(),
+            wall_s: 1.0,
+            scenarios_per_s: 4.0,
+        };
+        let report = MatrixReport::assemble(rows, stats);
+
+        assert_eq!(report.bw_curves.len(), 1);
+        let curve = &report.bw_curves[0];
+        assert_eq!(curve.workload, "mg.D");
+        assert_eq!(curve.points.len(), 2, "one point per machine");
+        assert_eq!(curve.points[0].machine, "fast");
+        assert!(curve.points[0].max_speedup > curve.points[1].max_speedup);
+
+        assert_eq!(report.frontiers.len(), 2, "one frontier per (machine, workload)");
+        assert_eq!(report.frontiers[0].points.len(), 2, "one point per budget");
+
+        assert_eq!(report.resident_groups.len(), 1);
+        // Only `r` stays HBM-resident on both machines.
+        assert_eq!(report.resident_groups[0].groups, vec!["r".to_string()]);
+
+        assert!(report.capacity_ok());
+        assert!(report.bit_identical(&report.clone()));
+    }
+
+    #[test]
+    fn bit_identical_detects_any_result_drift() {
+        let c = ScenarioCoords { machine: 0, workload: 0, noise: 0, policy: 0, budget: 0 };
+        let rows = vec![synthetic_row("m", "w", c, None, 700.0, 2.0, &[])];
+        let stats = MatrixStats {
+            scenarios: 1,
+            planned_cells: 1,
+            executed_cells: 1,
+            cache: CacheStats::default(),
+            wall_s: 0.1,
+            scenarios_per_s: 10.0,
+        };
+        let a = MatrixReport::assemble(rows.clone(), stats);
+        let mut drifted_rows = rows;
+        drifted_rows[0].max_speedup += 1e-15;
+        let b = MatrixReport::assemble(drifted_rows, stats);
+        assert!(!a.bit_identical(&b));
+    }
+
+    #[test]
+    fn capacity_check_catches_over_budget_plans() {
+        let c = ScenarioCoords { machine: 0, workload: 0, noise: 0, policy: 0, budget: 0 };
+        let mut row = synthetic_row("m", "w", c, Some(gib(8)), 700.0, 2.0, &[]);
+        row.budgeted.hbm_bytes = gib(9);
+        let stats = MatrixStats {
+            scenarios: 1,
+            planned_cells: 1,
+            executed_cells: 1,
+            cache: CacheStats::default(),
+            wall_s: 0.1,
+            scenarios_per_s: 10.0,
+        };
+        let report = MatrixReport::assemble(vec![row], stats);
+        assert!(!report.capacity_ok());
+    }
+
+    #[test]
+    fn invalid_zoo_entries_surface_as_tuner_errors() {
+        let zoo = scale_hbm_bw(Preset::XeonMaxSnc4, &[0.0]);
+        let m = ScenarioMatrix::new(zoo, vec![hmpt_workloads::npb::mg::workload()]);
+        let err = m.scenario(0).build_machine().unwrap_err();
+        assert!(matches!(err, TunerError::InvalidMachine { .. }), "{err}");
+        assert!(err.to_string().contains("hbm-bw:0"));
+    }
+}

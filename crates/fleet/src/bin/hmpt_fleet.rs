@@ -20,11 +20,38 @@
 //! wall-clock comparison (with a bit-identity check of the two
 //! campaigns), the cache hit-rate of the batch, cells skipped by
 //! adaptive early stopping, and per-job online verification.
+//!
+//! ## Scenario matrices (`hmpt-fleet scenarios`)
+//!
+//! ```text
+//! hmpt-fleet scenarios             # standard zoo × Table II workloads × budgets
+//! hmpt-fleet scenarios mg is \
+//!   --zoo xeon-max,hbm-flat,cxl-far,xeon-max*hbm-bw:0.5 \
+//!   --budgets none,16,8            # HBM budgets in GiB ("none" = unbudgeted)
+//! hmpt-fleet scenarios --noise 0.008,0   # noise-level axis (cv values)
+//! hmpt-fleet scenarios --job-workers 0   # run scenarios concurrently (0 = auto)
+//! hmpt-fleet scenarios --matrix-out matrix.json
+//! hmpt-fleet scenarios --no-verify       # skip the serial/parallel/cached
+//!                                        # bit-identity re-runs
+//! ```
+//!
+//! The scenarios mode enumerates the machines × workloads × budgets ×
+//! noise cross-product lazily, executes every cell through the shared
+//! measurement cache (budget rows of one machine dedup completely),
+//! verifies that serial, parallel, and cached execution produce
+//! bit-identical rows, checks every placement against its budget and
+//! machine capacity, and writes a JSON matrix report with per-scenario
+//! Table-II-style rows plus cross-machine views.
 
 use hmpt_core::driver::Driver;
 use hmpt_core::exec::{available_workers, ExecutorKind, RunExecutor};
 use hmpt_core::measure::{run_campaign_with, CampaignConfig};
-use hmpt_fleet::{Fleet, FleetConfig, RepPolicy, TuningJob};
+use hmpt_fleet::{
+    run_matrix, Fleet, FleetConfig, MatrixConfig, MatrixReport, RepPolicy, ScenarioMatrix,
+    TuningJob,
+};
+use hmpt_sim::units::as_gib;
+use hmpt_sim::zoo::Zoo;
 use hmpt_workloads::model::WorkloadSpec;
 use serde::Serialize;
 use std::time::Instant;
@@ -79,6 +106,7 @@ struct Report {
 fn usage() -> ! {
     eprintln!(
         "usage: hmpt-fleet [options] [workload...]\n\
+         \x20      hmpt-fleet scenarios [options] [workload...]\n\
          options:\n\
          \x20 --workers N     parallel worker count (default: available parallelism)\n\
          \x20 --serial        use the serial executor for the batch\n\
@@ -91,9 +119,60 @@ fn usage() -> ! {
          \x20 --no-compare    skip the serial-vs-parallel comparison pass\n\
          \x20 --no-online     skip the online-tuner verification pass\n\
          \x20 --json PATH     write the JSON report to PATH (default: stdout)\n\
+         \x20 --job-workers N concurrent jobs/scenarios (default 1; 0 = auto)\n\
+         scenarios options:\n\
+         \x20 --zoo LIST      comma-separated machines: presets (xeon-max,\n\
+         \x20                 xeon-max-quad, hbm-flat, cxl-far, small-hbm) with\n\
+         \x20                 optional axes, e.g. xeon-max*hbm-bw:0.5*lat-gap:2\n\
+         \x20                 (default: every preset)\n\
+         \x20 --budgets LIST  HBM budgets in GiB; `none` = unbudgeted\n\
+         \x20                 (default: none,16,8)\n\
+         \x20 --noise LIST    noise-level axis as cv values (default: campaign cv)\n\
+         \x20 --matrix-out P  write the JSON matrix report to P (default: stdout)\n\
+         \x20 --no-verify     skip the serial/parallel/cached bit-identity re-runs\n\
          (workloads: built-in names like mg, sp, kwave; default: all seven)"
     );
     std::process::exit(2);
+}
+
+/// Parse the `--budgets` list: GiB values with `none` for unbudgeted.
+fn parse_budgets(csv: &str) -> Result<Vec<Option<u64>>, String> {
+    csv.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s {
+            "none" | "inf" => Ok(None),
+            _ => s
+                .parse::<f64>()
+                .map_err(|_| format!("budget `{s}` is neither a GiB value nor `none`"))
+                .and_then(|gib| {
+                    if gib > 0.0 && gib.is_finite() {
+                        Ok(Some((gib * (1u64 << 30) as f64) as u64))
+                    } else {
+                        Err(format!("budget `{s}` must be positive"))
+                    }
+                }),
+        })
+        .collect()
+}
+
+/// Parse the `--noise` list of coefficients of variation.
+fn parse_noise(csv: &str) -> Result<Vec<f64>, String> {
+    csv.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>().map_err(|_| format!("noise level `{s}` is not a number")).and_then(
+                |cv| {
+                    if cv.is_finite() && cv >= 0.0 {
+                        Ok(cv)
+                    } else {
+                        Err(format!("noise level `{s}` must be ≥ 0"))
+                    }
+                },
+            )
+        })
+        .collect()
 }
 
 fn find_workload(name: &str) -> Option<WorkloadSpec> {
@@ -162,6 +241,13 @@ fn main() {
     let mut online = true;
     let mut json_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
+    let mut scenarios_mode = false;
+    let mut zoo_spec: Option<String> = None;
+    let mut budgets_spec: Option<String> = None;
+    let mut noise_spec: Option<String> = None;
+    let mut matrix_out: Option<String> = None;
+    let mut job_workers = 1usize;
+    let mut verify = true;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -186,8 +272,17 @@ fn main() {
             "--no-compare" => do_compare = false,
             "--no-online" => online = false,
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--zoo" => zoo_spec = Some(it.next().unwrap_or_else(|| usage())),
+            "--budgets" => budgets_spec = Some(it.next().unwrap_or_else(|| usage())),
+            "--noise" => noise_spec = Some(it.next().unwrap_or_else(|| usage())),
+            "--matrix-out" => matrix_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--job-workers" => {
+                job_workers = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--no-verify" => verify = false,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
+            "scenarios" if names.is_empty() && !scenarios_mode => scenarios_mode = true,
             name => names.push(name.to_string()),
         }
     }
@@ -223,10 +318,53 @@ fn main() {
             })
             .collect()
     };
+    let executor = if serial { ExecutorKind::Serial } else { ExecutorKind::Parallel { workers } };
+
+    if scenarios_mode {
+        // Batch-only flags must not be silently ignored either.
+        for (flag, given) in [
+            ("--json (use --matrix-out)", json_path.is_some()),
+            ("--no-compare", !do_compare),
+            ("--no-online", !online),
+        ] {
+            if given {
+                eprintln!("{flag} only applies to the batch mode");
+                usage();
+            }
+        }
+        run_scenarios(ScenarioArgs {
+            specs,
+            campaign,
+            rep_policy,
+            executor,
+            job_workers,
+            cache_enabled,
+            verify,
+            zoo_spec,
+            budgets_spec,
+            noise_spec,
+            matrix_out,
+        });
+        return;
+    }
+
+    // Scenario-only flags must not be silently ignored in batch mode.
+    for (flag, given) in [
+        ("--zoo", zoo_spec.is_some()),
+        ("--budgets", budgets_spec.is_some()),
+        ("--noise", noise_spec.is_some()),
+        ("--matrix-out", matrix_out.is_some()),
+        ("--no-verify", !verify),
+    ] {
+        if given {
+            eprintln!("{flag} only applies to the scenarios mode (hmpt-fleet scenarios ...)");
+            usage();
+        }
+    }
+
     let jobs: Vec<TuningJob> =
         specs.into_iter().map(|s| TuningJob::new(s).with_campaign(campaign)).collect();
 
-    let executor = if serial { ExecutorKind::Serial } else { ExecutorKind::Parallel { workers } };
     let pool = if serial {
         1
     } else if workers == 0 {
@@ -267,6 +405,7 @@ fn main() {
         rep_policy,
         online_check: online,
         cache_enabled,
+        job_workers,
         ..FleetConfig::default()
     });
 
@@ -357,6 +496,172 @@ fn main() {
                 std::process::exit(1);
             });
             eprintln!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+struct ScenarioArgs {
+    specs: Vec<WorkloadSpec>,
+    campaign: CampaignConfig,
+    rep_policy: RepPolicy,
+    executor: ExecutorKind,
+    job_workers: usize,
+    cache_enabled: bool,
+    verify: bool,
+    zoo_spec: Option<String>,
+    budgets_spec: Option<String>,
+    noise_spec: Option<String>,
+    matrix_out: Option<String>,
+}
+
+/// The `scenarios` mode: enumerate the zoo × workload × budget × noise
+/// matrix lazily, execute it through the shared cache, verify
+/// bit-identity across execution strategies, check every placement
+/// against budget and capacity, and emit the JSON matrix report.
+fn run_scenarios(args: ScenarioArgs) {
+    let fail = |msg: String| -> ! {
+        eprintln!("hmpt-fleet scenarios: {msg}");
+        std::process::exit(1);
+    };
+
+    let zoo = match &args.zoo_spec {
+        Some(spec) => {
+            let zoo = Zoo::parse(spec).unwrap_or_else(|e| fail(e));
+            if zoo.is_empty() {
+                fail(format!("--zoo `{spec}` names no machines"));
+            }
+            zoo
+        }
+        None => {
+            // The named presets plus a short HBM-bandwidth sweep, so the
+            // report's speedup-vs-bandwidth curves have a real x-axis.
+            let mut zoo = Zoo::standard();
+            for factor in [0.5, 0.25] {
+                zoo.push(
+                    hmpt_sim::zoo::ZooEntry::preset(hmpt_sim::zoo::Preset::XeonMaxSnc4)
+                        .with_axis(hmpt_sim::zoo::Axis::ScaleHbmBw(factor)),
+                );
+            }
+            zoo
+        }
+    };
+    let budgets = match &args.budgets_spec {
+        Some(spec) => parse_budgets(spec).unwrap_or_else(|e| fail(e)),
+        None => vec![None, Some(16 * (1u64 << 30)), Some(8 * (1u64 << 30))],
+    };
+    let noise_cvs = match &args.noise_spec {
+        Some(spec) => parse_noise(spec).unwrap_or_else(|e| fail(e)),
+        None => Vec::new(),
+    };
+
+    let matrix = ScenarioMatrix::new(zoo, args.specs)
+        .with_budgets(budgets)
+        .with_rep_policies(vec![args.rep_policy])
+        .with_noise_cvs(noise_cvs)
+        .with_campaign(args.campaign);
+
+    eprintln!(
+        "hmpt-fleet scenarios: {} machines × {} workloads × {} budgets × {} noise levels \
+         = {} scenarios ({}, {} job workers, cache {})",
+        matrix.machines().len(),
+        matrix.workloads().len(),
+        matrix.budgets().len(),
+        matrix.noise_cvs().len(),
+        matrix.len(),
+        args.executor.label(),
+        if args.job_workers == 0 { available_workers() } else { args.job_workers },
+        if args.cache_enabled { "on" } else { "off" },
+    );
+
+    let cfg = MatrixConfig {
+        executor: args.executor,
+        job_workers: args.job_workers,
+        cache_enabled: args.cache_enabled,
+        ..MatrixConfig::default()
+    };
+    let report = run_matrix(&matrix, &cfg).unwrap_or_else(|e| fail(format!("matrix failed: {e}")));
+
+    eprintln!(
+        "workload     machine                     budget     max  budgeted  slowdown  90% usage"
+    );
+    for row in &report.scenarios {
+        eprintln!(
+            "{:<12} {:<26} {:>8} {:>6.2}x {:>7.2}x {:>8.2}x {:>9.1}%",
+            row.workload,
+            row.machine,
+            row.budget_bytes.map(|b| format!("{:.0}GiB", as_gib(b))).unwrap_or_else(|| "-".into()),
+            row.max_speedup,
+            row.budgeted.speedup,
+            row.budgeted.slowdown_vs_best,
+            row.usage_90_pct,
+        );
+    }
+    let stats = &report.stats;
+    eprintln!(
+        "matrix: {} scenarios, {}/{} cells executed, {} hits / {} misses \
+         (hit-rate {:.1}%), {:.2} scenarios/s, {:.3}s",
+        stats.scenarios,
+        stats.executed_cells,
+        stats.planned_cells,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0,
+        stats.scenarios_per_s,
+        stats.wall_s
+    );
+
+    if !report.capacity_ok() {
+        fail("a scenario's placement exceeds its budget or machine capacity".into());
+    }
+
+    if args.verify {
+        let mut strategies = vec![
+            (
+                "serial-uncached",
+                MatrixConfig {
+                    executor: ExecutorKind::Serial,
+                    job_workers: 1,
+                    cache_enabled: false,
+                    ..MatrixConfig::default()
+                },
+            ),
+            (
+                "parallel-uncached",
+                MatrixConfig {
+                    executor: ExecutorKind::parallel(),
+                    job_workers: 0,
+                    cache_enabled: false,
+                    ..MatrixConfig::default()
+                },
+            ),
+        ];
+        if !args.cache_enabled {
+            // The main run was uncached, so a cached pass must run here
+            // for the verified claim to cover all three strategies.
+            strategies.push(("parallel-cached", MatrixConfig::default()));
+        }
+        for (name, vcfg) in strategies {
+            let other = run_matrix(&matrix, &vcfg).unwrap_or_else(|e| fail(format!("{name}: {e}")));
+            if !report.bit_identical(&other) {
+                fail(format!("{name} execution diverged from the main run"));
+            }
+        }
+        eprintln!("verified: serial, parallel, and cached runs are bit-identical");
+    }
+
+    write_matrix_report(&report, args.matrix_out.as_deref());
+}
+
+fn write_matrix_report(report: &MatrixReport, path: Option<&str>) {
+    let json = serde_json::to_string_pretty(report).expect("matrix report serialization");
+    match path {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("matrix report written to {path}");
         }
         None => println!("{json}"),
     }

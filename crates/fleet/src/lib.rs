@@ -27,17 +27,29 @@
 //!   parallel, and cached execution.
 //! * **[`Fleet`]**: the batch front end. It accepts tuning jobs
 //!   (workload × machine × campaign settings), schedules their cells
-//!   across the pool through the cache, streams per-job
-//!   [`hmpt_core::driver::Analysis`] results, and reports cache-hit,
-//!   early-stop, and throughput statistics.
+//!   across the pool through the cache — concurrently across jobs when
+//!   [`FleetConfig::job_workers`] allows — streams per-job
+//!   [`hmpt_core::driver::Analysis`] results in deterministic order,
+//!   and reports cache-hit, early-stop, and throughput statistics.
+//! * **Scenario matrices** ([`matrix`], over
+//!   [`hmpt_core::scenario::ScenarioMatrix`] and the machine zoo
+//!   [`hmpt_sim::zoo`]): lazily enumerated cross-platform campaigns —
+//!   machines × workloads × HBM budgets × repetition policies × noise
+//!   levels — executed through the same fleet stack, so scenarios
+//!   sharing a machine fingerprint dedup their campaign cells in the
+//!   cache. The aggregated [`MatrixReport`] adds cross-machine views:
+//!   speedup-vs-HBM-bandwidth curves, budget-vs-slowdown frontiers,
+//!   and zoo-wide HBM-resident groups.
 //!
 //! The `hmpt-fleet` binary runs the paper's entire Table II campaign in
-//! one command and emits a JSON report.
+//! one command and emits a JSON report; its `scenarios` mode does the
+//! same for a whole machine zoo.
 //!
 //! See `DESIGN.md` (§ "The fleet subsystem") for the cache-key scheme
 //! and the bit-identity argument.
 
 pub mod cache;
+pub mod matrix;
 pub mod service;
 
 pub use cache::{CacheStats, CellKey, MeasurementCache};
@@ -46,6 +58,8 @@ pub use hmpt_core::exec::{
     available_workers, CachingExecutor, CellExecutor, ExecutorKind, ParallelExecutor, RunExecutor,
     SerialExecutor,
 };
+pub use hmpt_core::scenario::{MatrixReport, Scenario, ScenarioMatrix, ScenarioRow};
+pub use matrix::{run_matrix, run_matrix_with_cache, MatrixConfig};
 pub use service::{Fleet, FleetConfig, FleetReport, FleetStats, JobReport, TuningJob};
 
 /// Send + Sync audit: everything a campaign cell touches crosses thread

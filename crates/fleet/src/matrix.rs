@@ -1,0 +1,255 @@
+//! Scenario-matrix execution: the bridge between the lazy
+//! [`ScenarioMatrix`] IR and the fleet's executor/cache stack.
+//!
+//! [`run_matrix`] streams scenarios in bounded chunks (the matrix is
+//! never materialized), turns each into a [`TuningJob`] — the
+//! scenario's zoo entry built into a validated machine, its noise level
+//! and repetition policy applied — and runs the chunk through a
+//! [`Fleet`] over one shared [`MeasurementCache`]. Because a cell's
+//! cache key starts with the machine fingerprint, every scenario pair
+//! that shares a platform (e.g. two HBM budgets of the same machine ×
+//! workload, which need the *same* campaign) costs one set of simulated
+//! runs; the budget axis is the matrix's innermost, so those pairs are
+//! adjacent in the stream.
+//!
+//! Execution strategy — serial or parallel cells, sequential or
+//! concurrent jobs, cache on or off — never changes a row's bits
+//! (property-tested in `tests/scenario_properties.rs` and re-checked at
+//! runtime by the CLI's verification passes).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hmpt_core::error::TunerError;
+use hmpt_core::exec::ExecutorKind;
+use hmpt_core::grouping::GroupingConfig;
+use hmpt_core::scenario::{MatrixReport, MatrixStats, Scenario, ScenarioMatrix, ScenarioRow};
+
+use crate::cache::MeasurementCache;
+use crate::service::{Fleet, FleetConfig, TuningJob};
+
+/// How a scenario matrix is executed.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixConfig {
+    /// Cell-level executor of each scenario's campaign.
+    pub executor: ExecutorKind,
+    /// Concurrent scenarios (`1` = sequential, `0` = auto-size).
+    pub job_workers: usize,
+    /// Consult the shared content-addressed cache per cell.
+    pub cache_enabled: bool,
+    pub grouping: GroupingConfig,
+    /// Seed of each scenario's profiling run.
+    pub profile_seed: u64,
+    /// Scenarios pulled from the lazy enumeration per fleet batch
+    /// (`0` = auto: a few chunks per worker). Affects scheduling and
+    /// peak memory only, never results.
+    pub chunk: usize,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        MatrixConfig {
+            executor: ExecutorKind::parallel(),
+            job_workers: 1,
+            cache_enabled: true,
+            grouping: GroupingConfig::default(),
+            profile_seed: 7,
+            chunk: 0,
+        }
+    }
+}
+
+impl MatrixConfig {
+    fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            executor: self.executor,
+            grouping: self.grouping,
+            profile_seed: self.profile_seed,
+            online_check: false,
+            cache_enabled: self.cache_enabled,
+            job_workers: self.job_workers,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn chunk_size(&self) -> usize {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        let workers = if self.job_workers == 0 {
+            hmpt_core::exec::available_workers()
+        } else {
+            self.job_workers
+        };
+        (workers * 4).max(8)
+    }
+}
+
+/// Execute a scenario matrix over a fresh shared cache.
+pub fn run_matrix(matrix: &ScenarioMatrix, cfg: &MatrixConfig) -> Result<MatrixReport, TunerError> {
+    run_matrix_with_cache(matrix, cfg, Arc::new(MeasurementCache::new()))
+}
+
+/// Execute a scenario matrix over an existing cache (warm-start: a
+/// matrix sharing machines with an earlier run answers those campaigns
+/// without new simulated runs), streaming one chunk of scenarios at a
+/// time through a [`Fleet`].
+pub fn run_matrix_with_cache(
+    matrix: &ScenarioMatrix,
+    cfg: &MatrixConfig,
+    cache: Arc<MeasurementCache>,
+) -> Result<MatrixReport, TunerError> {
+    let t0 = Instant::now();
+    let before = cache.stats();
+    let fleet = Fleet::with_cache(cfg.fleet_config(), cache);
+    let chunk_size = cfg.chunk_size();
+
+    let mut rows: Vec<ScenarioRow> = Vec::with_capacity(matrix.len());
+    let (mut planned, mut executed) = (0u64, 0u64);
+    let mut scenarios = matrix.scenarios();
+    loop {
+        let chunk: Vec<Scenario> = scenarios.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let jobs: Vec<TuningJob> = chunk
+            .iter()
+            .map(|s| {
+                Ok(TuningJob::new(s.workload.clone())
+                    .with_machine(s.build_machine()?)
+                    .with_campaign(s.campaign)
+                    .with_rep_policy(s.rep_policy))
+            })
+            .collect::<Result<_, TunerError>>()?;
+        let report = fleet.run(&jobs)?;
+        planned += report.stats.planned_cells;
+        executed += report.stats.executed_cells;
+        for ((scenario, job), job_report) in chunk.iter().zip(&jobs).zip(&report.reports) {
+            rows.push(ScenarioRow::build(scenario, &job.machine, &job_report.analysis));
+        }
+    }
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = MatrixStats {
+        scenarios: rows.len(),
+        planned_cells: planned,
+        executed_cells: executed,
+        cache: fleet.cache().stats().since(&before),
+        wall_s,
+        scenarios_per_s: if wall_s > 0.0 { rows.len() as f64 / wall_s } else { 0.0 },
+    };
+    Ok(MatrixReport::assemble(rows, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmpt_core::campaign::RepPolicy;
+    use hmpt_core::measure::CampaignConfig;
+    use hmpt_sim::units::gib;
+    use hmpt_sim::zoo::Zoo;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        let zoo = Zoo::parse("xeon-max,hbm-flat").unwrap();
+        ScenarioMatrix::new(zoo, vec![hmpt_workloads::npb::mg::workload()])
+            .with_budgets(vec![None, Some(gib(16))])
+    }
+
+    #[test]
+    fn matrix_runs_and_budget_rows_share_campaign_cells() {
+        let report = run_matrix(&tiny_matrix(), &MatrixConfig::default()).unwrap();
+        assert_eq!(report.scenarios.len(), 4);
+        // Each machine's second budget re-asks the same campaign: half
+        // the executed cells are answered by the cache.
+        assert!(report.stats.cache.hits > 0, "stats: {:?}", report.stats.cache);
+        assert_eq!(report.stats.cache.hits, report.stats.cache.misses);
+        assert!(report.capacity_ok());
+        // Budgeted rows respect their budget.
+        let budgeted: Vec<_> =
+            report.scenarios.iter().filter(|r| r.budget_bytes.is_some()).collect();
+        assert_eq!(budgeted.len(), 2);
+        for row in budgeted {
+            assert!(row.budgeted.hbm_bytes <= gib(16));
+            assert!(row.budgeted.slowdown_vs_best >= 1.0);
+        }
+    }
+
+    #[test]
+    fn execution_strategy_never_changes_row_bits() {
+        let matrix = tiny_matrix();
+        let serial = run_matrix(
+            &matrix,
+            &MatrixConfig {
+                executor: ExecutorKind::Serial,
+                job_workers: 1,
+                cache_enabled: false,
+                ..MatrixConfig::default()
+            },
+        )
+        .unwrap();
+        let parallel = run_matrix(
+            &matrix,
+            &MatrixConfig { job_workers: 4, cache_enabled: false, ..MatrixConfig::default() },
+        )
+        .unwrap();
+        let cached = run_matrix(
+            &matrix,
+            &MatrixConfig { job_workers: 4, chunk: 1, ..MatrixConfig::default() },
+        )
+        .unwrap();
+        assert!(serial.bit_identical(&parallel), "parallel diverged");
+        assert!(serial.bit_identical(&cached), "cached diverged");
+        assert_eq!(serial.stats.cache.hits + serial.stats.cache.misses, 0, "cache was off");
+    }
+
+    #[test]
+    fn warm_cache_answers_a_whole_matrix() {
+        let matrix = tiny_matrix();
+        let cfg = MatrixConfig::default();
+        let cache = Arc::new(MeasurementCache::new());
+        let cold = run_matrix_with_cache(&matrix, &cfg, Arc::clone(&cache)).unwrap();
+        let warm = run_matrix_with_cache(&matrix, &cfg, Arc::clone(&cache)).unwrap();
+        assert!(cold.bit_identical(&warm));
+        assert_eq!(warm.stats.cache.misses, 0, "everything cached: {:?}", warm.stats.cache);
+    }
+
+    #[test]
+    fn cross_machine_views_cover_the_zoo() {
+        let report = run_matrix(&tiny_matrix(), &MatrixConfig::default()).unwrap();
+        assert_eq!(report.bw_curves.len(), 1, "one curve per workload");
+        assert_eq!(report.bw_curves[0].points.len(), 2, "one point per machine");
+        assert_eq!(report.frontiers.len(), 2, "one frontier per (machine, workload)");
+        for frontier in &report.frontiers {
+            assert_eq!(frontier.points.len(), 2, "one point per budget");
+        }
+        assert_eq!(report.resident_groups.len(), 1);
+        assert!(
+            !report.resident_groups[0].groups.is_empty(),
+            "mg's hot groups stay resident on both machines"
+        );
+    }
+
+    #[test]
+    fn rep_policy_axis_changes_cost_not_correctness() {
+        let zoo = Zoo::parse("xeon-max").unwrap();
+        let matrix = ScenarioMatrix::new(zoo, vec![hmpt_workloads::npb::mg::workload()])
+            .with_rep_policies(vec![RepPolicy::Fixed, RepPolicy::confidence(0.02, 3)])
+            .with_campaign(CampaignConfig::default());
+        let report = run_matrix(&matrix, &MatrixConfig::default()).unwrap();
+        assert_eq!(report.scenarios.len(), 2);
+        let fixed = &report.scenarios[0];
+        let adaptive = &report.scenarios[1];
+        assert_eq!(fixed.planned_cells, adaptive.planned_cells);
+        assert!(adaptive.executed_cells < fixed.executed_cells);
+        assert!((fixed.max_speedup - adaptive.max_speedup).abs() < 0.05);
+    }
+
+    #[test]
+    fn invalid_zoo_entry_fails_the_run_with_its_name() {
+        let zoo = hmpt_sim::zoo::scale_hbm_bw(hmpt_sim::zoo::Preset::XeonMaxSnc4, &[1.0, 0.0]);
+        let matrix = ScenarioMatrix::new(zoo, vec![hmpt_workloads::npb::mg::workload()]);
+        let err = run_matrix(&matrix, &MatrixConfig::default()).unwrap_err();
+        assert!(matches!(err, TunerError::InvalidMachine { .. }), "{err}");
+        assert!(err.to_string().contains("hbm-bw:0"));
+    }
+}

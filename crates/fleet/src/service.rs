@@ -19,7 +19,9 @@ use std::time::Instant;
 use hmpt_core::campaign::{CampaignPlan, RepPolicy};
 use hmpt_core::driver::{Analysis, Driver};
 use hmpt_core::error::TunerError;
-use hmpt_core::exec::{cell_executor, CellExecutor, ExecutorKind};
+use hmpt_core::exec::{
+    available_workers, cell_executor, CellExecutor, ExecutorKind, ParallelExecutor, RunExecutor,
+};
 use hmpt_core::grouping::{group, GroupingConfig};
 use hmpt_core::measure::CampaignConfig;
 use hmpt_core::online::{self, OnlineConfig, OnlineResult};
@@ -51,6 +53,13 @@ pub struct FleetConfig {
     /// Consult the shared content-addressed cache per cell (`false`
     /// re-simulates everything — useful for timing baselines).
     pub cache_enabled: bool,
+    /// How many *jobs* run concurrently (on top of per-campaign cell
+    /// parallelism). `1` (the default) preserves strictly sequential
+    /// job execution; `0` auto-sizes to the host. Reports are always
+    /// delivered in job-index order, and results are bit-identical to
+    /// sequential execution; only per-job cache *attribution* becomes
+    /// approximate when concurrent jobs race on shared cells.
+    pub job_workers: usize,
 }
 
 impl Default for FleetConfig {
@@ -62,6 +71,7 @@ impl Default for FleetConfig {
             profile_seed: 7,
             online_check: true,
             cache_enabled: true,
+            job_workers: 1,
         }
     }
 }
@@ -72,13 +82,21 @@ pub struct TuningJob {
     pub spec: WorkloadSpec,
     pub machine: Machine,
     pub campaign: CampaignConfig,
+    /// Per-job repetition-policy override (`None` = the fleet's
+    /// configured policy). Scenario matrices sweep this as an axis.
+    pub rep_policy: Option<RepPolicy>,
 }
 
 impl TuningJob {
     /// A job on the calibrated Xeon Max with the paper's default
     /// campaign settings.
     pub fn new(spec: WorkloadSpec) -> Self {
-        TuningJob { spec, machine: xeon_max_9468(), campaign: CampaignConfig::default() }
+        TuningJob {
+            spec,
+            machine: xeon_max_9468(),
+            campaign: CampaignConfig::default(),
+            rep_policy: None,
+        }
     }
 
     pub fn with_campaign(mut self, campaign: CampaignConfig) -> Self {
@@ -88,6 +106,11 @@ impl TuningJob {
 
     pub fn with_machine(mut self, machine: Machine) -> Self {
         self.machine = machine;
+        self
+    }
+
+    pub fn with_rep_policy(mut self, rep_policy: RepPolicy) -> Self {
+        self.rep_policy = Some(rep_policy);
         self
     }
 }
@@ -158,7 +181,14 @@ impl Default for Fleet {
 
 impl Fleet {
     pub fn new(cfg: FleetConfig) -> Self {
-        Fleet { cfg, cache: Arc::new(MeasurementCache::new()) }
+        Fleet::with_cache(cfg, Arc::new(MeasurementCache::new()))
+    }
+
+    /// A fleet over an externally owned cache — several fleets (e.g.
+    /// the per-policy fleets of a scenario matrix) can share one
+    /// content-addressed store.
+    pub fn with_cache(cfg: FleetConfig, cache: Arc<MeasurementCache>) -> Self {
+        Fleet { cfg, cache }
     }
 
     pub fn config(&self) -> &FleetConfig {
@@ -169,21 +199,32 @@ impl Fleet {
         &self.cache
     }
 
-    /// The fleet's executor stack: the configured pool, wrapped in the
+    /// The fleet's executor stack: a cell-level pool, wrapped in the
     /// shared cache unless caching is disabled.
-    fn exec_stack(&self) -> Box<dyn CellExecutor> {
-        cell_executor(self.cfg.executor, self.cfg.cache_enabled.then(|| Arc::clone(&self.cache)))
+    fn exec_stack(&self, executor: ExecutorKind) -> Box<dyn CellExecutor> {
+        cell_executor(executor, self.cfg.cache_enabled.then(|| Arc::clone(&self.cache)))
     }
 
     /// Run one job through the shared pool and cache.
     pub fn run_job(&self, job: &TuningJob) -> Result<JobReport, TunerError> {
+        self.run_job_with(job, self.cfg.executor)
+    }
+
+    /// [`Self::run_job`] with an explicit cell-level executor — the
+    /// concurrent-jobs path divides the host's cores between job
+    /// workers instead of multiplying the two pool sizes.
+    fn run_job_with(
+        &self,
+        job: &TuningJob,
+        executor: ExecutorKind,
+    ) -> Result<JobReport, TunerError> {
         let t0 = Instant::now();
         let before = self.cache.stats();
 
         let driver = Driver::new(job.machine.clone())
             .with_grouping(self.cfg.grouping)
             .with_campaign(job.campaign)
-            .with_executor(self.cfg.executor);
+            .with_executor(executor);
         let profile = driver.profile(&job.spec)?;
         let groups = group(&job.spec, &profile.stats, &self.cfg.grouping);
 
@@ -191,16 +232,12 @@ impl Fleet {
         // config placement plans) are memoized on the plan and shared by
         // the campaign cells and every online probe.
         let plan = CampaignPlan::new(&job.machine, &job.spec, &groups, job.campaign)?
-            .with_policy(self.cfg.rep_policy);
-        let exec = self.exec_stack();
+            .with_policy(job.rep_policy.unwrap_or(self.cfg.rep_policy));
+        let exec = self.exec_stack(executor);
         let campaign = plan.execute(&*exec)?;
 
         let online = if self.cfg.online_check {
-            let ocfg = OnlineConfig {
-                campaign: job.campaign,
-                executor: self.cfg.executor,
-                ..OnlineConfig::default()
-            };
+            let ocfg = OnlineConfig { campaign: job.campaign, executor, ..OnlineConfig::default() };
             Some(online::tune_plan(&plan, &ocfg, &*exec)?)
         } else {
             None
@@ -216,7 +253,37 @@ impl Fleet {
         })
     }
 
+    /// The effective job-level worker count (`0` = auto-detect).
+    fn job_workers(&self) -> usize {
+        if self.cfg.job_workers == 0 {
+            available_workers()
+        } else {
+            self.cfg.job_workers
+        }
+    }
+
+    /// The cell-level executor each of `job_workers` concurrent jobs
+    /// gets: an auto-sized parallel pool is divided by the job workers
+    /// (so nesting never oversubscribes to cores²); an explicit size is
+    /// respected as given. Executor choice never changes result bits.
+    fn divided_executor(&self, job_workers: usize) -> ExecutorKind {
+        match self.cfg.executor {
+            ExecutorKind::Parallel { workers: 0 } => ExecutorKind::Parallel {
+                workers: (available_workers() / job_workers.max(1)).max(1),
+            },
+            other => other,
+        }
+    }
+
     /// Run a batch, streaming each finished job to `on_report`.
+    ///
+    /// With `job_workers > 1`, independent jobs are evaluated
+    /// concurrently on a work-stealing pool; reports are still
+    /// delivered to `on_report` in job-index order (after the batch
+    /// completes), and every result is bit-identical to sequential
+    /// execution — cells are seed-deterministic and a racing cache
+    /// insert stores the identical outcome. On an error, the first
+    /// failing job in index order wins.
     pub fn run_streaming(
         &self,
         jobs: &[TuningJob],
@@ -224,14 +291,28 @@ impl Fleet {
     ) -> Result<FleetReport, TunerError> {
         let t0 = Instant::now();
         let before = self.cache.stats();
+        let workers = self.job_workers().min(jobs.len().max(1));
         let mut reports = Vec::with_capacity(jobs.len());
         let (mut planned, mut executed) = (0u64, 0u64);
-        for (i, job) in jobs.iter().enumerate() {
-            let report = self.run_job(job)?;
-            planned += report.analysis.campaign.planned_runs as u64;
-            executed += report.analysis.campaign.executed_runs as u64;
-            on_report(i, &report);
-            reports.push(report);
+        if workers <= 1 {
+            for (i, job) in jobs.iter().enumerate() {
+                let report = self.run_job(job)?;
+                planned += report.analysis.campaign.planned_runs as u64;
+                executed += report.analysis.campaign.executed_runs as u64;
+                on_report(i, &report);
+                reports.push(report);
+            }
+        } else {
+            let cell_exec = self.divided_executor(workers);
+            let results = ParallelExecutor::with_workers(workers)
+                .run(jobs.len(), |i| self.run_job_with(&jobs[i], cell_exec));
+            for (i, result) in results.into_iter().enumerate() {
+                let report = result?;
+                planned += report.analysis.campaign.planned_runs as u64;
+                executed += report.analysis.campaign.executed_runs as u64;
+                on_report(i, &report);
+                reports.push(report);
+            }
         }
         let wall_s = t0.elapsed().as_secs_f64();
         let cache = self.cache.stats().since(&before);
@@ -355,6 +436,77 @@ mod tests {
         assert_eq!(a.cache.hits, 0);
         assert_eq!(b.cache.hits, 0, "different machine must re-measure");
         assert!(b.analysis.table2.max_speedup < a.analysis.table2.max_speedup);
+    }
+
+    #[test]
+    fn parallel_jobs_are_bit_identical_and_stream_in_order() {
+        let jobs = vec![
+            mg_job(),
+            TuningJob::new(hmpt_workloads::npb::is::workload()),
+            TuningJob::new(hmpt_workloads::npb::sp::workload()),
+        ];
+        let sequential = Fleet::new(FleetConfig { online_check: false, ..Default::default() });
+        let parallel =
+            Fleet::new(FleetConfig { online_check: false, job_workers: 4, ..Default::default() });
+        let s = sequential.run(&jobs).unwrap();
+        let mut seen = Vec::new();
+        let p = parallel
+            .run_streaming(&jobs, |i, r| seen.push((i, r.analysis.workload.clone())))
+            .unwrap();
+        assert_eq!(
+            seen,
+            vec![(0, "mg.D".to_string()), (1, "is.Cx4".to_string()), (2, "sp.D".to_string())],
+            "reports must arrive in job-index order"
+        );
+        for (a, b) in s.reports.iter().zip(&p.reports) {
+            assert_eq!(
+                a.analysis.table2.max_speedup.to_bits(),
+                b.analysis.table2.max_speedup.to_bits()
+            );
+            assert_eq!(
+                a.analysis.table2.usage_90_pct.to_bits(),
+                b.analysis.table2.usage_90_pct.to_bits()
+            );
+            for (x, y) in
+                a.analysis.campaign.measurements.iter().zip(&b.analysis.campaign.measurements)
+            {
+                assert_eq!(x.mean_s.to_bits(), y.mean_s.to_bits());
+            }
+        }
+        assert_eq!(s.stats.planned_cells, p.stats.planned_cells);
+        assert_eq!(s.stats.executed_cells, p.stats.executed_cells);
+    }
+
+    #[test]
+    fn per_job_rep_policy_overrides_the_fleet_default() {
+        let fleet = Fleet::new(FleetConfig { online_check: false, ..Default::default() });
+        let fixed = fleet.run_job(&mg_job()).unwrap();
+        assert_eq!(fixed.cells_skipped(), 0);
+        let adaptive =
+            fleet.run_job(&mg_job().with_rep_policy(RepPolicy::confidence(0.02, 3))).unwrap();
+        assert!(adaptive.cells_skipped() > 0, "override must reach the plan");
+        assert_eq!(adaptive.analysis.campaign.planned_runs, fixed.analysis.campaign.planned_runs);
+    }
+
+    #[test]
+    fn fleets_can_share_one_cache() {
+        let cache = Arc::new(MeasurementCache::new());
+        let a = Fleet::with_cache(
+            FleetConfig { online_check: false, ..Default::default() },
+            Arc::clone(&cache),
+        );
+        let b = Fleet::with_cache(
+            FleetConfig { online_check: false, ..Default::default() },
+            Arc::clone(&cache),
+        );
+        let first = a.run_job(&mg_job()).unwrap();
+        let second = b.run_job(&mg_job()).unwrap();
+        assert!(first.cache.misses > 0);
+        assert_eq!(second.cache.misses, 0, "second fleet rides the first one's cells");
+        assert_eq!(
+            first.analysis.table2.max_speedup.to_bits(),
+            second.analysis.table2.max_speedup.to_bits()
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //! The main entry point is [`machine::Machine`] (usually built with
 //! [`machine::xeon_max_9468`]) combined with [`cost::phase_time`], which
 //! prices one execution phase of a workload given the placement of every
-//! stream it touches.
+//! stream it touches. Beyond the calibrated preset, [`zoo`] describes a
+//! parametric *family* of platforms (named presets plus axis sweeps) as
+//! data for cross-machine scenario campaigns.
 
 pub mod bandwidth;
 pub mod cache;
@@ -41,15 +43,17 @@ pub mod pool;
 pub mod stream;
 pub mod topology;
 pub mod units;
+pub mod zoo;
 
 pub use bandwidth::BwCurve;
 pub use cache::{CacheHierarchy, CacheLevel};
 pub use cost::{phase_time, PhaseCost};
 pub use fingerprint::{fingerprint_of, Fingerprint, StableHasher};
 pub use latency::LatencyModel;
-pub use machine::{xeon_max_9468, Machine, MachineBuilder};
+pub use machine::{xeon_max_9468, Machine, MachineBuilder, MachineError};
 pub use noise::NoiseModel;
 pub use pool::{PoolKind, PoolSpec};
 pub use stream::{AccessPattern, Direction, ResolvedStream};
 pub use topology::{NumaNode, SncMode, Topology};
 pub use units::{gb, gib, kib, mib, Bytes};
+pub use zoo::{Preset, Zoo, ZooEntry};

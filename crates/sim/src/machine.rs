@@ -6,8 +6,35 @@ use crate::bandwidth::BwCurve;
 use crate::cache::{spr_core_hierarchy, CacheHierarchy};
 use crate::latency::LatencyModel;
 use crate::pool::{PoolKind, PoolSpec};
-use crate::topology::Topology;
+use crate::topology::{SncMode, Topology};
 use crate::units::{gib, Bytes};
+
+/// A machine description that cannot be priced: a zero, negative, or
+/// non-finite hardware constant would propagate NaN/∞ through every
+/// phase time the cost model computes, so [`MachineBuilder::build`]
+/// rejects it up front instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// A quantity that must be strictly positive (and finite) is not.
+    NonPositive { field: &'static str, value: f64 },
+    /// A fraction that must lie in `(0, 1]` does not.
+    NotAFraction { field: &'static str, value: f64 },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::NonPositive { field, value } => {
+                write!(f, "machine field `{field}` must be a positive finite number, got {value}")
+            }
+            MachineError::NotAFraction { field, value } => {
+                write!(f, "machine field `{field}` must lie in (0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
 
 /// Core compute capability (for the roofline and compute-bound phases).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -81,6 +108,79 @@ impl Machine {
     pub fn hbm_latency_penalty(&self) -> f64 {
         self.hbm.idle_latency_ns / self.ddr.idle_latency_ns
     }
+
+    /// Check every hardware constant the cost model divides by or
+    /// scales with: pool capacities, bandwidth-curve parameters,
+    /// latencies, random-access fractions, the fabric cap, the
+    /// cross-write penalty, compute rates, and topology counts. A
+    /// machine failing this check would yield NaN or infinite phase
+    /// times instead of an error at measurement time.
+    pub fn validate(&self) -> Result<(), MachineError> {
+        fn positive(field: &'static str, value: f64) -> Result<(), MachineError> {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(MachineError::NonPositive { field, value })
+            }
+        }
+        fn fraction(field: &'static str, value: f64) -> Result<(), MachineError> {
+            if value.is_finite() && value > 0.0 && value <= 1.0 {
+                Ok(())
+            } else {
+                Err(MachineError::NotAFraction { field, value })
+            }
+        }
+        fn curve(fields: [&'static str; 3], bw: &BwCurve) -> Result<(), MachineError> {
+            positive(fields[0], bw.sustained_tile)?;
+            positive(fields[1], bw.t_max)?;
+            positive(fields[2], bw.knee)
+        }
+        // `fields`: capacity, peak bw, latency, random fraction, then the
+        // three bandwidth-curve parameters.
+        fn check_pool(pool: &PoolSpec, fields: [&'static str; 7]) -> Result<(), MachineError> {
+            if pool.capacity_per_tile == 0 {
+                return Err(MachineError::NonPositive { field: fields[0], value: 0.0 });
+            }
+            positive(fields[1], pool.peak_bw_tile)?;
+            positive(fields[2], pool.idle_latency_ns)?;
+            fraction(fields[3], pool.random_bw_fraction)?;
+            curve([fields[4], fields[5], fields[6]], &pool.bw)
+        }
+
+        positive("topology.sockets", self.topology.sockets as f64)?;
+        positive("topology.tiles_per_socket", self.topology.tiles_per_socket as f64)?;
+        positive("topology.cores_per_tile", self.topology.cores_per_tile as f64)?;
+        check_pool(
+            &self.ddr,
+            [
+                "ddr.capacity_per_tile",
+                "ddr.peak_bw_tile",
+                "ddr.idle_latency_ns",
+                "ddr.random_bw_fraction",
+                "ddr.bw.sustained_tile",
+                "ddr.bw.t_max",
+                "ddr.bw.knee",
+            ],
+        )?;
+        check_pool(
+            &self.hbm,
+            [
+                "hbm.capacity_per_tile",
+                "hbm.peak_bw_tile",
+                "hbm.idle_latency_ns",
+                "hbm.random_bw_fraction",
+                "hbm.bw.sustained_tile",
+                "hbm.bw.t_max",
+                "hbm.bw.knee",
+            ],
+        )?;
+        curve(["fabric.sustained_tile", "fabric.t_max", "fabric.knee"], &self.fabric)?;
+        fraction("cross_write_penalty", self.cross_write_penalty)?;
+        positive("compute.freq_ghz", self.compute.freq_ghz)?;
+        positive("compute.dp_flops_per_cycle_vector", self.compute.dp_flops_per_cycle_vector)?;
+        positive("compute.dp_flops_per_cycle_scalar", self.compute.dp_flops_per_cycle_scalar)?;
+        Ok(())
+    }
 }
 
 /// Builder for hypothetical machines (used by the ablation benches).
@@ -101,16 +201,29 @@ impl MachineBuilder {
         self
     }
 
+    /// Override the cross-write penalty (1.0 = symmetric pools).
+    pub fn with_cross_write_penalty(mut self, penalty: f64) -> Self {
+        self.machine.cross_write_penalty = penalty;
+        self
+    }
+
+    /// Override the sub-NUMA clustering mode (the paper evaluates SNC4;
+    /// quadrant mode collapses each socket to one node pair).
+    pub fn with_snc(mut self, snc: SncMode) -> Self {
+        self.machine.topology.snc = snc;
+        self
+    }
+
     /// Scale the HBM idle latency penalty (1.0 = same latency as DDR).
+    /// Like every builder knob, a degenerate value is rejected by
+    /// [`Self::try_build`], not here.
     pub fn with_hbm_latency_penalty(mut self, penalty: f64) -> Self {
-        assert!(penalty > 0.0);
         self.machine.hbm.idle_latency_ns = self.machine.ddr.idle_latency_ns * penalty;
         self
     }
 
     /// Scale the sustained HBM bandwidth by `factor` (fabric cap follows).
     pub fn with_hbm_bw_factor(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0);
         self.machine.hbm.bw.sustained_tile *= factor;
         self.machine.fabric.sustained_tile *= factor;
         self
@@ -122,8 +235,52 @@ impl MachineBuilder {
         self
     }
 
+    /// Scale the per-tile HBM capacity by `factor` (rounded to bytes).
+    pub fn with_hbm_capacity_factor(mut self, factor: f64) -> Self {
+        self.machine.hbm.capacity_per_tile =
+            (self.machine.hbm.capacity_per_tile as f64 * factor) as Bytes;
+        self
+    }
+
+    /// Scale the sustained *and* peak DDR bandwidth by `factor` — a
+    /// slower capacity tier (e.g. CXL-attached memory behind a x8 link).
+    pub fn with_ddr_bw_factor(mut self, factor: f64) -> Self {
+        self.machine.ddr.bw.sustained_tile *= factor;
+        self.machine.ddr.peak_bw_tile *= factor;
+        self
+    }
+
+    /// Scale the DDR idle latency by `factor` (far-tier studies: a
+    /// CXL-attached pool sits several hops further than local DRAM).
+    pub fn with_ddr_latency_factor(mut self, factor: f64) -> Self {
+        self.machine.ddr.idle_latency_ns *= factor;
+        self
+    }
+
+    /// Scale the HBM-vs-DDR idle-latency *gap*: the new penalty is
+    /// `1 + (penalty − 1)·factor`, so `0.0` flattens the latencies and
+    /// `2.0` doubles the paper's ~20 % gap.
+    pub fn with_latency_gap_scale(mut self, factor: f64) -> Self {
+        let penalty = self.machine.hbm.idle_latency_ns / self.machine.ddr.idle_latency_ns;
+        self.machine.hbm.idle_latency_ns =
+            self.machine.ddr.idle_latency_ns * (1.0 + (penalty - 1.0) * factor);
+        self
+    }
+
+    /// Build the machine, validating every hardware constant. An axis
+    /// factor of zero (or a negative/NaN parameter) is rejected here
+    /// with a description of the offending field instead of silently
+    /// producing NaN phase times downstream.
+    pub fn try_build(self) -> Result<Machine, MachineError> {
+        self.machine.validate()?;
+        Ok(self.machine)
+    }
+
+    /// [`Self::try_build`], panicking with the validation message on an
+    /// unbuildable machine (the infallible path for hand-written
+    /// presets).
     pub fn build(self) -> Machine {
-        self.machine
+        self.try_build().unwrap_or_else(|e| panic!("invalid machine: {e}"))
     }
 }
 
@@ -217,6 +374,61 @@ mod tests {
         let m = MachineBuilder::xeon_max().with_hbm_bw_factor(0.5).build();
         assert!((m.hbm.bw.sustained_tile - base.hbm.bw.sustained_tile * 0.5).abs() < 1e-9);
         assert!((m.fabric.sustained_tile - base.fabric.sustained_tile * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_far_tier_knobs_apply() {
+        let base = xeon_max_9468();
+        let m = MachineBuilder::xeon_max()
+            .with_ddr_bw_factor(0.5)
+            .with_ddr_latency_factor(2.0)
+            .with_snc(SncMode::Quad)
+            .build();
+        assert!((m.ddr.bw.sustained_tile - base.ddr.bw.sustained_tile * 0.5).abs() < 1e-9);
+        assert!((m.ddr.peak_bw_tile - base.ddr.peak_bw_tile * 0.5).abs() < 1e-9);
+        assert!((m.ddr.idle_latency_ns - base.ddr.idle_latency_ns * 2.0).abs() < 1e-9);
+        assert_eq!(m.topology.snc, SncMode::Quad);
+        // HBM latency untouched: the pool gap inverts (near tier wins).
+        assert!(m.hbm_latency_penalty() < 1.0);
+    }
+
+    #[test]
+    fn latency_gap_scale_is_anchored_at_ddr() {
+        let base = xeon_max_9468();
+        let flat = MachineBuilder::xeon_max().with_latency_gap_scale(0.0).build();
+        assert!((flat.hbm_latency_penalty() - 1.0).abs() < 1e-12);
+        let doubled = MachineBuilder::xeon_max().with_latency_gap_scale(2.0).build();
+        let expect = 1.0 + (base.hbm_latency_penalty() - 1.0) * 2.0;
+        assert!((doubled.hbm_latency_penalty() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_factor_scales_machine_capacity() {
+        let m = MachineBuilder::xeon_max().with_hbm_capacity_factor(0.125).build();
+        assert_eq!(m.hbm_capacity(), gib(16));
+    }
+
+    #[test]
+    fn invalid_machines_are_rejected_with_the_offending_field() {
+        let err = MachineBuilder::xeon_max().with_hbm_bw_factor(1e-30).try_build();
+        assert!(err.is_ok(), "tiny but positive bandwidth is still a machine");
+        let err = MachineBuilder::xeon_max().with_ddr_latency_factor(0.0).try_build().unwrap_err();
+        assert!(err.to_string().contains("ddr.idle_latency_ns"), "{err}");
+        let err = MachineBuilder::xeon_max().with_ddr_bw_factor(-1.0).try_build().unwrap_err();
+        assert!(err.to_string().contains("ddr."), "{err}");
+        let err = MachineBuilder::xeon_max().with_hbm_capacity_factor(0.0).try_build().unwrap_err();
+        assert!(err.to_string().contains("hbm.capacity_per_tile"), "{err}");
+        let err = MachineBuilder::xeon_max().with_cross_write_penalty(1.5).try_build().unwrap_err();
+        assert!(err.to_string().contains("cross_write_penalty"), "{err}");
+        let err =
+            MachineBuilder::xeon_max().with_latency_gap_scale(f64::NAN).try_build().unwrap_err();
+        assert!(matches!(err, MachineError::NonPositive { .. }), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine")]
+    fn infallible_build_panics_with_a_clear_message() {
+        let _ = MachineBuilder::xeon_max().with_ddr_bw_factor(0.0).build();
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! The machine zoo: a parametric family of platform models.
+//!
+//! The paper evaluates one machine — the dual Xeon Max 9468 in flat
+//! SNC4 mode — but the tuner's pitch is portability. The zoo turns
+//! "which platform" into **data**: a [`ZooEntry`] names a calibrated
+//! [`Preset`] plus a list of [`Axis`] transforms, and only
+//! [`ZooEntry::build`] turns that description into a validated
+//! [`Machine`]. Because entries are plain serializable values, a
+//! scenario matrix can enumerate, fingerprint, and report on platforms
+//! without constructing them, and a CLI flag can name them
+//! (`xeon-max`, `hbm-flat*hbm-bw:0.5`, …).
+//!
+//! Presets cover the qualitative corners of the two-pool design space:
+//!
+//! | name | what it models |
+//! |---|---|
+//! | `xeon-max` | the paper's machine (flat SNC4) |
+//! | `xeon-max-quad` | same part in quadrant mode (one node pair per socket) |
+//! | `hbm-flat` | HBM with no idle-latency penalty and no cross-write asymmetry |
+//! | `cxl-far` | a CXL-like far capacity tier: half the bandwidth, 2.6× the latency |
+//! | `small-hbm` | a capacity-starved part (2 GiB HBM per tile = 16 GiB total) |
+//!
+//! The axis generators ([`scale_hbm_bw`], [`scale_hbm_capacity`],
+//! [`scale_latency_gap`]) sweep one hardware parameter across a preset,
+//! yielding the machine families behind the matrix report's
+//! speedup-vs-bandwidth curves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::{Machine, MachineBuilder, MachineError};
+use crate::topology::SncMode;
+use crate::units::gib;
+
+/// A named, calibrated starting point for a zoo entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preset {
+    /// The paper's evaluation machine: dual Xeon Max 9468, flat SNC4.
+    XeonMaxSnc4,
+    /// The same part in quadrant mode: one NUMA node pair per socket.
+    XeonMaxQuad,
+    /// An idealized flat-HBM machine: no idle-latency penalty over DDR
+    /// and no asymmetric HBM→DDR write penalty.
+    HbmFlat,
+    /// A CXL-like far capacity tier: the DDR slot keeps its capacity
+    /// but loses half its bandwidth and sits 2.6× further away, so the
+    /// fast pool is the *lower*-latency one.
+    CxlFarTier,
+    /// A capacity-starved part: 2 GiB of HBM per tile (16 GiB total),
+    /// well under every Table II footprint — placement is dominated by
+    /// what fits, not what helps.
+    SmallHbm,
+}
+
+impl Preset {
+    /// Every preset, in the order the standard zoo lists them.
+    pub const ALL: [Preset; 5] = [
+        Preset::XeonMaxSnc4,
+        Preset::XeonMaxQuad,
+        Preset::HbmFlat,
+        Preset::CxlFarTier,
+        Preset::SmallHbm,
+    ];
+
+    /// The CLI-facing name (`--zoo` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::XeonMaxSnc4 => "xeon-max",
+            Preset::XeonMaxQuad => "xeon-max-quad",
+            Preset::HbmFlat => "hbm-flat",
+            Preset::CxlFarTier => "cxl-far",
+            Preset::SmallHbm => "small-hbm",
+        }
+    }
+
+    /// Parse a CLI name back into a preset.
+    pub fn from_name(name: &str) -> Option<Preset> {
+        Preset::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The builder positioned at this preset's calibration.
+    pub fn builder(self) -> MachineBuilder {
+        match self {
+            Preset::XeonMaxSnc4 => MachineBuilder::xeon_max(),
+            Preset::XeonMaxQuad => MachineBuilder::xeon_max().with_snc(SncMode::Quad),
+            Preset::HbmFlat => MachineBuilder::xeon_max()
+                .without_cross_write_penalty()
+                .with_hbm_latency_penalty(1.0),
+            Preset::CxlFarTier => MachineBuilder::xeon_max()
+                .with_ddr_bw_factor(0.5)
+                .with_ddr_latency_factor(2.6)
+                .with_cross_write_penalty(0.8),
+            Preset::SmallHbm => MachineBuilder::xeon_max().with_hbm_capacity_per_tile(gib(2)),
+        }
+    }
+}
+
+/// One parametric transform over a preset. An axis is data: applying it
+/// is deferred until the machine is actually built.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Axis {
+    /// Scale the sustained HBM bandwidth (the per-tile fabric cap
+    /// follows, as in the calibrated model).
+    ScaleHbmBw(f64),
+    /// Scale the per-tile HBM capacity.
+    ScaleHbmCapacity(f64),
+    /// Scale the HBM-vs-DDR idle-latency gap: `0.0` flattens it, `2.0`
+    /// doubles the paper's ~20 %.
+    ScaleLatencyGap(f64),
+}
+
+impl Axis {
+    /// Apply the transform to a builder.
+    pub fn apply(self, builder: MachineBuilder) -> MachineBuilder {
+        match self {
+            Axis::ScaleHbmBw(f) => builder.with_hbm_bw_factor(f),
+            Axis::ScaleHbmCapacity(f) => builder.with_hbm_capacity_factor(f),
+            Axis::ScaleLatencyGap(f) => builder.with_latency_gap_scale(f),
+        }
+    }
+
+    /// CLI spelling: `hbm-bw:0.5`, `hbm-cap:0.25`, `lat-gap:2`.
+    pub fn label(self) -> String {
+        match self {
+            Axis::ScaleHbmBw(f) => format!("hbm-bw:{f}"),
+            Axis::ScaleHbmCapacity(f) => format!("hbm-cap:{f}"),
+            Axis::ScaleLatencyGap(f) => format!("lat-gap:{f}"),
+        }
+    }
+
+    /// Parse the CLI spelling.
+    pub fn parse(spec: &str) -> Result<Axis, String> {
+        let (name, value) = spec.split_once(':').ok_or_else(|| {
+            format!("axis `{spec}` is not of the form name:factor (e.g. hbm-bw:0.5)")
+        })?;
+        let f: f64 =
+            value.parse().map_err(|_| format!("axis `{spec}`: `{value}` is not a number"))?;
+        match name {
+            "hbm-bw" => Ok(Axis::ScaleHbmBw(f)),
+            "hbm-cap" => Ok(Axis::ScaleHbmCapacity(f)),
+            "lat-gap" => Ok(Axis::ScaleLatencyGap(f)),
+            other => Err(format!("unknown axis `{other}` (axes: hbm-bw, hbm-cap, lat-gap)")),
+        }
+    }
+}
+
+/// One machine of the zoo: a preset plus axis transforms, under a
+/// stable display name. Data, not code — serialize it, diff it, put it
+/// in a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZooEntry {
+    /// Display/lookup name (`xeon-max`, `xeon-max*hbm-bw:0.5`).
+    pub name: String,
+    pub preset: Preset,
+    pub axes: Vec<Axis>,
+}
+
+impl ZooEntry {
+    /// An entry for a bare preset.
+    pub fn preset(preset: Preset) -> Self {
+        ZooEntry { name: preset.name().to_string(), preset, axes: Vec::new() }
+    }
+
+    /// Append an axis transform (the name records it).
+    pub fn with_axis(mut self, axis: Axis) -> Self {
+        self.name = format!("{}*{}", self.name, axis.label());
+        self.axes.push(axis);
+        self
+    }
+
+    /// Parse a CLI entry spec: a preset name with optional `*`-joined
+    /// axes (`xeon-max*hbm-bw:0.5*lat-gap:2`).
+    pub fn parse(spec: &str) -> Result<ZooEntry, String> {
+        let mut parts = spec.split('*');
+        let name = parts.next().unwrap_or_default();
+        let preset = Preset::from_name(name).ok_or_else(|| {
+            let known: Vec<&str> = Preset::ALL.iter().map(|p| p.name()).collect();
+            format!("unknown machine `{name}` (presets: {})", known.join(", "))
+        })?;
+        let mut entry = ZooEntry::preset(preset);
+        for part in parts {
+            entry = entry.with_axis(Axis::parse(part)?);
+        }
+        Ok(entry)
+    }
+
+    /// Build and validate the machine this entry describes.
+    pub fn try_build(&self) -> Result<Machine, MachineError> {
+        let mut builder = self.preset.builder();
+        for axis in &self.axes {
+            builder = axis.apply(builder);
+        }
+        builder.try_build()
+    }
+
+    /// [`Self::try_build`], panicking on an unbuildable entry.
+    pub fn build(&self) -> Machine {
+        self.try_build().unwrap_or_else(|e| panic!("zoo entry `{}`: {e}", self.name))
+    }
+}
+
+/// An ordered collection of zoo entries (the machine axis of a
+/// scenario matrix).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Zoo {
+    entries: Vec<ZooEntry>,
+}
+
+impl Zoo {
+    pub fn new(entries: Vec<ZooEntry>) -> Zoo {
+        Zoo { entries }
+    }
+
+    /// The five named presets.
+    pub fn standard() -> Zoo {
+        Zoo::new(Preset::ALL.into_iter().map(ZooEntry::preset).collect())
+    }
+
+    /// Parse a comma-separated CLI list of entry specs.
+    pub fn parse(csv: &str) -> Result<Zoo, String> {
+        csv.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(ZooEntry::parse)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Zoo::new)
+    }
+
+    pub fn push(&mut self, entry: ZooEntry) {
+        self.entries.push(entry);
+    }
+
+    pub fn entries(&self) -> &[ZooEntry] {
+        &self.entries
+    }
+
+    pub fn into_entries(self) -> Vec<ZooEntry> {
+        self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&ZooEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// Sweep the sustained HBM bandwidth of `base` across `factors` — the
+/// machine family behind a speedup-vs-bandwidth curve.
+pub fn scale_hbm_bw(base: Preset, factors: &[f64]) -> Zoo {
+    sweep(base, factors, Axis::ScaleHbmBw)
+}
+
+/// Sweep the per-tile HBM capacity of `base` across `factors`.
+pub fn scale_hbm_capacity(base: Preset, factors: &[f64]) -> Zoo {
+    sweep(base, factors, Axis::ScaleHbmCapacity)
+}
+
+/// Sweep the HBM-vs-DDR latency gap of `base` across `factors`.
+pub fn scale_latency_gap(base: Preset, factors: &[f64]) -> Zoo {
+    sweep(base, factors, Axis::ScaleLatencyGap)
+}
+
+fn sweep(base: Preset, factors: &[f64], axis: fn(f64) -> Axis) -> Zoo {
+    Zoo::new(factors.iter().map(|&f| ZooEntry::preset(base).with_axis(axis(f))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolKind;
+
+    #[test]
+    fn every_preset_builds_a_valid_distinct_machine() {
+        let mut fps = Vec::new();
+        for preset in Preset::ALL {
+            let m = ZooEntry::preset(preset).build();
+            assert!(m.validate().is_ok(), "{}", preset.name());
+            fps.push(m.fingerprint());
+        }
+        fps.sort();
+        fps.dedup();
+        assert_eq!(fps.len(), Preset::ALL.len(), "presets must be distinct platforms");
+    }
+
+    #[test]
+    fn preset_names_roundtrip() {
+        for preset in Preset::ALL {
+            assert_eq!(Preset::from_name(preset.name()), Some(preset));
+        }
+        assert_eq!(Preset::from_name("zen5"), None);
+    }
+
+    #[test]
+    fn hbm_flat_removes_both_penalties() {
+        let m = ZooEntry::preset(Preset::HbmFlat).build();
+        assert!((m.hbm_latency_penalty() - 1.0).abs() < 1e-12);
+        assert_eq!(m.cross_write_penalty, 1.0);
+    }
+
+    #[test]
+    fn cxl_far_tier_inverts_the_latency_gap() {
+        let base = ZooEntry::preset(Preset::XeonMaxSnc4).build();
+        let m = ZooEntry::preset(Preset::CxlFarTier).build();
+        assert!(m.hbm_latency_penalty() < 1.0, "fast pool must be the near one");
+        assert!(m.socket_bw(PoolKind::Ddr, 12.0) < 0.6 * base.socket_bw(PoolKind::Ddr, 12.0));
+        assert_eq!(m.ddr_capacity(), base.ddr_capacity(), "capacity tier keeps its size");
+    }
+
+    #[test]
+    fn small_hbm_is_capacity_starved() {
+        let m = ZooEntry::preset(Preset::SmallHbm).build();
+        assert_eq!(m.hbm_capacity(), gib(16));
+        // Under every Table II footprint (the smallest is ~20 GB).
+        assert!(m.hbm_capacity() < 20_000_000_000);
+    }
+
+    #[test]
+    fn axes_compose_and_name_the_entry() {
+        let entry = ZooEntry::preset(Preset::XeonMaxSnc4)
+            .with_axis(Axis::ScaleHbmBw(0.5))
+            .with_axis(Axis::ScaleLatencyGap(2.0));
+        assert_eq!(entry.name, "xeon-max*hbm-bw:0.5*lat-gap:2");
+        let m = entry.build();
+        let base = ZooEntry::preset(Preset::XeonMaxSnc4).build();
+        assert!((m.hbm.bw.sustained_tile - base.hbm.bw.sustained_tile * 0.5).abs() < 1e-9);
+        let expect = 1.0 + (base.hbm_latency_penalty() - 1.0) * 2.0;
+        assert!((m.hbm_latency_penalty() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_specs_parse_and_reject() {
+        let entry = ZooEntry::parse("xeon-max*hbm-bw:0.5").unwrap();
+        assert_eq!(entry.axes, vec![Axis::ScaleHbmBw(0.5)]);
+        assert_eq!(ZooEntry::parse(&entry.name).unwrap(), entry, "names reparse to themselves");
+        assert!(ZooEntry::parse("zen5").unwrap_err().contains("unknown machine"));
+        assert!(ZooEntry::parse("xeon-max*warp:9").unwrap_err().contains("unknown axis"));
+        assert!(ZooEntry::parse("xeon-max*hbm-bw:fast").unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn zoo_parses_csv_and_looks_up_by_name() {
+        let zoo = Zoo::parse("xeon-max, hbm-flat,cxl-far").unwrap();
+        assert_eq!(zoo.len(), 3);
+        assert!(zoo.get("hbm-flat").is_some());
+        assert!(zoo.get("small-hbm").is_none());
+        assert!(Zoo::parse("xeon-max,nope").is_err());
+    }
+
+    #[test]
+    fn axis_generators_sweep_one_parameter() {
+        let zoo = scale_hbm_bw(Preset::XeonMaxSnc4, &[1.0, 0.5, 0.25]);
+        assert_eq!(zoo.len(), 3);
+        let bws: Vec<f64> =
+            zoo.entries().iter().map(|e| e.build().socket_bw(PoolKind::Hbm, 12.0)).collect();
+        assert!((bws[0] - 700.0).abs() < 1e-6);
+        assert!((bws[1] - 350.0).abs() < 1e-6);
+        assert!((bws[2] - 175.0).abs() < 1e-6);
+        // An invalid factor is caught at build time, not at sweep time.
+        let bad = scale_hbm_capacity(Preset::XeonMaxSnc4, &[0.0]);
+        assert!(bad.entries()[0].try_build().is_err());
+    }
+
+    #[test]
+    fn entries_serialize_roundtrip() {
+        let entry = ZooEntry::preset(Preset::CxlFarTier).with_axis(Axis::ScaleHbmCapacity(0.25));
+        let json = serde_json::to_string(&entry).expect("serialize");
+        let back: ZooEntry = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, entry);
+        assert_eq!(back.build().fingerprint(), entry.build().fingerprint());
+    }
+}
