@@ -53,6 +53,31 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Persistent-store round trip: serialize the warmed cache to
+    // snapshot bytes and load them back into a fresh cache — the
+    // disk-less core of `--cache-file`.
+    g.bench_function("store_roundtrip", |b| {
+        b.iter(|| {
+            let (bytes, _) = hmpt_fleet::store::to_bytes(&cache);
+            let fresh = MeasurementCache::new();
+            hmpt_fleet::store::from_bytes(black_box(&bytes), &fresh).expect("load");
+            black_box(fresh.len())
+        })
+    });
+
+    // Warm start from a snapshot: what a cold process pays to inherit
+    // the cache (deserialize + run everything as hits) versus
+    // re-simulating — the number the sharded CI's warm-start assertion
+    // rides on.
+    let (snapshot, _) = hmpt_fleet::store::to_bytes(&cache);
+    g.bench_function("matrix_warm_from_snapshot", |b| {
+        b.iter(|| {
+            let fresh = Arc::new(MeasurementCache::new());
+            hmpt_fleet::store::from_bytes(&snapshot, &fresh).expect("load");
+            black_box(run_matrix_with_cache(black_box(&matrix), &cfg, fresh).expect("matrix"))
+        })
+    });
+
     // Concurrent scenarios over a cold cache (job-level parallelism).
     let parallel_jobs = MatrixConfig { job_workers: 0, ..cfg };
     g.bench_function(format!("matrix_cold_cache_jobs_x{}", available_workers()).as_str(), |b| {

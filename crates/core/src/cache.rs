@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use hmpt_sim::fingerprint::Fingerprint;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::error::TunerError;
 use crate::measure::CellOutcome;
@@ -47,7 +47,7 @@ use crate::measure::CellOutcome;
 pub type CellKey = (Fingerprint, Fingerprint, Fingerprint, Fingerprint);
 
 /// Cache counters (monotonic over the cache's lifetime).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
@@ -112,6 +112,20 @@ impl MeasurementCache {
     /// Peek without measuring.
     pub fn get(&self, key: &CellKey) -> Option<Result<CellOutcome, TunerError>> {
         self.map.lock().expect("cache poisoned").get(key).cloned()
+    }
+
+    /// Insert (or overwrite) an entry without touching the hit/miss
+    /// counters — the preload path of [`crate::store`]. Last write wins
+    /// on an existing key, which is safe because equal content keys
+    /// imply bit-identical measurements.
+    pub fn insert(&self, key: CellKey, value: Result<CellOutcome, TunerError>) {
+        self.map.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// Snapshot every entry (unordered) — the persistence path of
+    /// [`crate::store`], which sorts by key before encoding.
+    pub fn entries(&self) -> Vec<(CellKey, Result<CellOutcome, TunerError>)> {
+        self.map.lock().expect("cache poisoned").iter().map(|(k, v)| (*k, v.clone())).collect()
     }
 
     pub fn len(&self) -> usize {

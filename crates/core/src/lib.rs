@@ -21,7 +21,12 @@
 //! [`roofline`] the Fig 8 model, and [`report`] the text/JSON artifacts.
 //! [`scenario`] lifts all of it across platforms: a lazily enumerated
 //! matrix of machines × workloads × HBM budgets × repetition policies ×
-//! noise levels, with cross-machine report views.
+//! noise levels, with cross-machine report views — shardable by index
+//! range across processes ([`scenario::ScenarioMatrix::shard`]) with a
+//! fingerprint-validated merge ([`scenario::MatrixReport::merge`]).
+//! [`store`] persists the content-addressed measurement cache to disk
+//! (versioned, checksummed, corruption-tolerant snapshots), so
+//! campaigns warm-start across process restarts and CI runs.
 
 pub mod analysis;
 pub mod baselines;
@@ -44,6 +49,7 @@ pub mod report;
 pub mod roofline;
 pub mod scenario;
 pub mod sensitivity;
+pub mod store;
 
 pub use analysis::{DetailedView, SummaryView};
 pub use cache::{CacheStats, CellKey, MeasurementCache};
@@ -55,4 +61,7 @@ pub use exec::{
 };
 pub use grouping::{AllocationGroup, GroupingConfig};
 pub use metrics::Table2Row;
-pub use scenario::{MatrixReport, Scenario, ScenarioMatrix, ScenarioRow};
+pub use scenario::{
+    MatrixReport, MergeError, Scenario, ScenarioMatrix, ScenarioRow, ShardReport, ShardSpec,
+};
+pub use store::{LoadReport, SaveReport, StoreError};

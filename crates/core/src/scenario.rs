@@ -29,14 +29,26 @@
 //! differ only in budget, which does not change the measurement
 //! campaign — a warmed cache answers every cell of the next budget row
 //! without new simulated runs.
+//!
+//! Because enumeration is O(1)-indexed, the scenario space also
+//! *partitions* trivially: [`ScenarioMatrix::shard`] splits the index
+//! range into `n` balanced contiguous shards, each executable in its
+//! own process (or host, or CI job) as a [`ShardReport`], and
+//! [`MatrixReport::merge`] reassembles the full report — validating
+//! that every shard ran the *same* matrix via
+//! [`ScenarioMatrix::fingerprint`] and re-deriving the cross-machine
+//! views from the union of rows.
 
+use std::fmt;
+
+use hmpt_sim::fingerprint::{Fingerprint, StableHasher};
 use hmpt_sim::machine::Machine;
 use hmpt_sim::noise::NoiseModel;
 use hmpt_sim::pool::PoolKind;
 use hmpt_sim::units::{as_gib, Bytes};
 use hmpt_sim::zoo::{Zoo, ZooEntry};
 use hmpt_workloads::model::WorkloadSpec;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::campaign::RepPolicy;
@@ -46,7 +58,7 @@ use crate::measure::CampaignConfig;
 use crate::planner::plan_exhaustive;
 
 /// Position of one scenario along every axis of its matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScenarioCoords {
     pub machine: usize,
     pub workload: usize,
@@ -244,10 +256,109 @@ impl ScenarioMatrix {
     pub fn scenarios(&self) -> impl Iterator<Item = Scenario> + '_ {
         (0..self.len()).map(|i| self.scenario(i))
     }
+
+    /// Content fingerprint of the matrix *axes* (machines, workloads,
+    /// budgets, repetition policies, noise levels, base campaign) —
+    /// everything that determines what `scenario(i)` decodes to.
+    /// Two processes agree on this fingerprint iff they enumerate the
+    /// identical scenario space, which is what makes cross-process
+    /// sharding safe: [`MatrixReport::merge`] refuses shard reports
+    /// whose fingerprints differ.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_str("hmpt-scenario-matrix-v1");
+        h.write_u64(self.machines.len() as u64);
+        for entry in &self.machines {
+            h.write_u64(Fingerprint::of(entry).raw());
+        }
+        h.write_u64(self.workloads.len() as u64);
+        for w in &self.workloads {
+            h.write_u64(w.fingerprint().raw());
+        }
+        h.write_u64(self.budgets.len() as u64);
+        for b in &self.budgets {
+            match b {
+                None => h.write_u8(0),
+                Some(bytes) => h.write_u8(1).write_u64(*bytes),
+            };
+        }
+        h.write_u64(self.rep_policies.len() as u64);
+        for p in &self.rep_policies {
+            match *p {
+                RepPolicy::Fixed => {
+                    h.write_u8(0);
+                }
+                RepPolicy::ConfidenceTarget { min_reps, max_reps, rel_half_width } => {
+                    h.write_u8(1)
+                        .write_u64(min_reps as u64)
+                        .write_u64(max_reps as u64)
+                        .write_f64(rel_half_width);
+                }
+            }
+        }
+        let cvs = self.noise_cvs();
+        h.write_u64(cvs.len() as u64);
+        for cv in cvs {
+            h.write_f64(cv);
+        }
+        h.write_u64(self.base.runs_per_config as u64);
+        h.write_f64(self.base.noise.cv);
+        h.write_u64(self.base.base_seed);
+        Fingerprint::from_raw(h.finish())
+    }
+
+    /// Partition the scenario index space into `total` balanced
+    /// contiguous shards and return shard `shard` (0-based). Shard sizes
+    /// differ by at most one; concatenating shards `0..total` in order
+    /// covers `0..len` exactly once. Because `scenario(i)` is O(1), a
+    /// shard costs nothing to describe — each process decodes only its
+    /// own index range.
+    ///
+    /// # Panics
+    /// If `total == 0` or `shard >= total`.
+    pub fn shard(&self, shard: usize, total: usize) -> ShardSpec {
+        assert!(total >= 1, "shard count must be at least 1");
+        assert!(shard < total, "shard {shard} out of range (total {total})");
+        let len = self.len();
+        let base = len / total;
+        let extra = len % total;
+        let start = shard * base + shard.min(extra);
+        let end = start + base + usize::from(shard < extra);
+        ShardSpec { shard, total, start, end }
+    }
+}
+
+/// One contiguous slice of a matrix's scenario index space, as produced
+/// by [`ScenarioMatrix::shard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// 0-based shard id.
+    pub shard: usize,
+    /// Total shards in the partition.
+    pub total: usize,
+    /// First scenario index of this shard (inclusive).
+    pub start: usize,
+    /// One past the last scenario index of this shard.
+    pub end: usize,
+}
+
+impl ShardSpec {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The scenario indices this shard executes.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
 }
 
 /// The budgeted placement decision of one scenario row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BudgetedRow {
     /// The fastest measured configuration fitting the budget.
     pub config: String,
@@ -266,7 +377,7 @@ pub struct BudgetedRow {
 }
 
 /// One Table-II-style line of the matrix report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioRow {
     pub scenario: usize,
     pub coords: ScenarioCoords,
@@ -355,7 +466,7 @@ impl ScenarioRow {
 }
 
 /// One machine's point on a workload's speedup-vs-HBM-bandwidth curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpeedupBwPoint {
     pub machine: String,
     pub hbm_socket_bw_gbs: f64,
@@ -363,14 +474,14 @@ pub struct SpeedupBwPoint {
 }
 
 /// Speedup as a function of HBM bandwidth across the zoo, per workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BwCurveView {
     pub workload: String,
     pub points: Vec<SpeedupBwPoint>,
 }
 
 /// One budget's point on a (machine, workload) frontier.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FrontierPoint {
     pub budget_bytes: Option<Bytes>,
     pub hbm_bytes: Bytes,
@@ -379,7 +490,7 @@ pub struct FrontierPoint {
 }
 
 /// Budget-vs-slowdown frontier of one workload on one machine.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BudgetFrontier {
     pub machine: String,
     pub workload: String,
@@ -388,14 +499,14 @@ pub struct BudgetFrontier {
 
 /// The allocation groups of one workload whose unconstrained optimum
 /// keeps them in HBM on *every* machine of the zoo.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResidentGroups {
     pub workload: String,
     pub groups: Vec<String>,
 }
 
 /// Whole-matrix execution statistics.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MatrixStats {
     pub scenarios: usize,
     /// Campaign cells the scenarios' plans could have executed.
@@ -409,9 +520,138 @@ pub struct MatrixStats {
     pub scenarios_per_s: f64,
 }
 
+/// What one shard of a sharded matrix run produces: its slice of rows
+/// plus enough identity to be merged safely. Cross-machine views are
+/// *not* derived per shard — a shard may hold only part of a curve or
+/// frontier — they are re-derived from the union of rows by
+/// [`MatrixReport::merge`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// 0-based shard id within the partition.
+    pub shard: usize,
+    /// Total shards in the partition.
+    pub total_shards: usize,
+    /// Identity of what this shard ran (hex): producers combine
+    /// [`ScenarioMatrix::fingerprint`] with a fingerprint of the
+    /// execution settings that determine row bits (see
+    /// `hmpt_fleet::matrix::run_matrix_sharded`) — merge refuses to
+    /// combine shards of different matrices or inconsistent
+    /// configurations.
+    pub matrix_fingerprint: String,
+    pub rows: Vec<ScenarioRow>,
+    pub stats: MatrixStats,
+}
+
+impl ShardReport {
+    /// Bitwise equality of everything execution determines (same
+    /// contract as [`MatrixReport::bit_identical`]).
+    pub fn bit_identical(&self, other: &ShardReport) -> bool {
+        self.shard == other.shard
+            && self.total_shards == other.total_shards
+            && self.matrix_fingerprint == other.matrix_fingerprint
+            && rows_bit_identical(&self.rows, &other.rows)
+    }
+}
+
+/// Why shard reports could not be merged into a matrix report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    NoShards,
+    /// Two shard reports fingerprint different matrices.
+    MatrixMismatch {
+        expected: String,
+        found: String,
+        shard: usize,
+    },
+    /// A shard disagrees about how many shards the partition has.
+    TotalMismatch {
+        expected: usize,
+        found: usize,
+        shard: usize,
+    },
+    ShardOutOfRange {
+        shard: usize,
+        total: usize,
+    },
+    DuplicateShard {
+        shard: usize,
+    },
+    MissingShards {
+        missing: Vec<usize>,
+        total: usize,
+    },
+    /// Two shards claim the same scenario index (overlapping ranges).
+    DuplicateRow {
+        scenario: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shard reports to merge"),
+            MergeError::MatrixMismatch { expected, found, shard } => write!(
+                f,
+                "shard {shard} ran matrix {found}, other shards ran {expected} — \
+                 shard reports of different matrices cannot be merged"
+            ),
+            MergeError::TotalMismatch { expected, found, shard } => {
+                write!(f, "shard {shard} claims {found} total shards, others claim {expected}")
+            }
+            MergeError::ShardOutOfRange { shard, total } => {
+                write!(f, "shard id {shard} out of range for a {total}-shard partition")
+            }
+            MergeError::DuplicateShard { shard } => {
+                write!(f, "shard {shard} appears more than once")
+            }
+            MergeError::MissingShards { missing, total } => {
+                write!(f, "partition of {total} is missing shard(s) {missing:?}")
+            }
+            MergeError::DuplicateRow { scenario } => {
+                write!(f, "scenario {scenario} reported by more than one shard")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Every row's chosen placement respects its budget and its machine's
+/// HBM capacity — the audit behind [`MatrixReport::capacity_ok`],
+/// shared with bare shard rows.
+pub fn rows_capacity_ok(rows: &[ScenarioRow]) -> bool {
+    rows.iter().all(|r| {
+        r.budgeted.fits
+            && r.budgeted.hbm_bytes <= r.hbm_capacity_bytes
+            && r.budget_bytes.is_none_or(|b| r.budgeted.hbm_bytes <= b)
+    })
+}
+
+/// Bitwise equality of everything execution determines about two row
+/// sets (wall-clock and cache statistics excluded — they legitimately
+/// differ between execution strategies and shard partitions).
+pub fn rows_bit_identical(a: &[ScenarioRow], b: &[ScenarioRow]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(a, b)| {
+            a.scenario == b.scenario
+                && a.machine == b.machine
+                && a.machine_fingerprint == b.machine_fingerprint
+                && a.workload == b.workload
+                && a.max_speedup.to_bits() == b.max_speedup.to_bits()
+                && a.hbm_only_speedup.to_bits() == b.hbm_only_speedup.to_bits()
+                && a.usage_90_pct.to_bits() == b.usage_90_pct.to_bits()
+                && a.best_groups == b.best_groups
+                && a.budgeted.config == b.budgeted.config
+                && a.budgeted.hbm_bytes == b.budgeted.hbm_bytes
+                && a.budgeted.speedup.to_bits() == b.budgeted.speedup.to_bits()
+                && a.planned_cells == b.planned_cells
+                && a.executed_cells == b.executed_cells
+        })
+}
+
 /// Everything a scenario-matrix run produces: per-scenario rows plus
 /// the cross-machine views derived from them.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MatrixReport {
     pub scenarios: Vec<ScenarioRow>,
     pub bw_curves: Vec<BwCurveView>,
@@ -487,37 +727,99 @@ impl MatrixReport {
         }
     }
 
+    /// Reassemble a full matrix report from the shard reports of one
+    /// partition. Validates that every shard ran the same matrix (by
+    /// fingerprint), that the partition is complete and non-overlapping
+    /// (every shard id `0..total` exactly once, every scenario index at
+    /// most once), then re-derives the cross-machine views from the
+    /// union of rows in canonical scenario order.
+    ///
+    /// The merged rows and views are **bit-identical** to an unsharded
+    /// [`MatrixReport::assemble`] over the same execution results
+    /// (property-tested in `tests/scenario_properties.rs`); statistics
+    /// are summed, so `planned_cells`/`executed_cells` match the
+    /// unsharded run too, while cache counters reflect what each
+    /// shard's *own* cache saw (cells shared by scenarios split across
+    /// shard boundaries are simulated once per shard, not once
+    /// globally — exactly the cost sharding pays without a shared
+    /// snapshot; see `hmpt_core::store`).
+    pub fn merge(shards: &[ShardReport]) -> Result<MatrixReport, MergeError> {
+        let first = shards.first().ok_or(MergeError::NoShards)?;
+        let total = first.total_shards;
+        let fingerprint = &first.matrix_fingerprint;
+        // `total` comes from an untrusted (possibly hand-edited or
+        // bit-rotted) shard file — validate without allocating
+        // anything proportional to it.
+        let mut seen = std::collections::HashSet::new();
+        for s in shards {
+            if s.matrix_fingerprint != *fingerprint {
+                return Err(MergeError::MatrixMismatch {
+                    expected: fingerprint.clone(),
+                    found: s.matrix_fingerprint.clone(),
+                    shard: s.shard,
+                });
+            }
+            if s.total_shards != total {
+                return Err(MergeError::TotalMismatch {
+                    expected: total,
+                    found: s.total_shards,
+                    shard: s.shard,
+                });
+            }
+            if s.shard >= total {
+                return Err(MergeError::ShardOutOfRange { shard: s.shard, total });
+            }
+            if !seen.insert(s.shard) {
+                return Err(MergeError::DuplicateShard { shard: s.shard });
+            }
+        }
+        if seen.len() != total {
+            // List a bounded sample of the gaps (an absurd `total`
+            // would otherwise enumerate billions of ids).
+            let missing: Vec<usize> = (0..total).filter(|i| !seen.contains(i)).take(32).collect();
+            return Err(MergeError::MissingShards { missing, total });
+        }
+
+        let mut rows: Vec<ScenarioRow> =
+            shards.iter().flat_map(|s| s.rows.iter().cloned()).collect();
+        rows.sort_by_key(|r| r.scenario);
+        if let Some(w) = rows.windows(2).find(|w| w[0].scenario == w[1].scenario) {
+            return Err(MergeError::DuplicateRow { scenario: w[0].scenario });
+        }
+
+        let planned = shards.iter().map(|s| s.stats.planned_cells).sum();
+        let executed = shards.iter().map(|s| s.stats.executed_cells).sum();
+        let cache = shards.iter().fold(CacheStats::default(), |acc, s| CacheStats {
+            hits: acc.hits + s.stats.cache.hits,
+            misses: acc.misses + s.stats.cache.misses,
+            entries: acc.entries + s.stats.cache.entries,
+        });
+        // Wall-clock sums across shards: total compute spent, not
+        // end-to-end latency (shards run concurrently).
+        let wall_s = shards.iter().map(|s| s.stats.wall_s).sum::<f64>();
+        let stats = MatrixStats {
+            scenarios: rows.len(),
+            planned_cells: planned,
+            executed_cells: executed,
+            cache,
+            wall_s,
+            scenarios_per_s: if wall_s > 0.0 { rows.len() as f64 / wall_s } else { 0.0 },
+        };
+        Ok(MatrixReport::assemble(rows, stats))
+    }
+
     /// Bitwise equality of everything execution determines — used to
-    /// assert serial, parallel, and cached matrix runs agree exactly.
-    /// Wall-clock and cache statistics are excluded (they legitimately
-    /// differ between execution strategies).
+    /// assert serial, parallel, cached, and sharded-then-merged matrix
+    /// runs agree exactly. Wall-clock and cache statistics are excluded
+    /// (they legitimately differ between execution strategies).
     pub fn bit_identical(&self, other: &MatrixReport) -> bool {
-        self.scenarios.len() == other.scenarios.len()
-            && self.scenarios.iter().zip(&other.scenarios).all(|(a, b)| {
-                a.scenario == b.scenario
-                    && a.machine == b.machine
-                    && a.machine_fingerprint == b.machine_fingerprint
-                    && a.workload == b.workload
-                    && a.max_speedup.to_bits() == b.max_speedup.to_bits()
-                    && a.hbm_only_speedup.to_bits() == b.hbm_only_speedup.to_bits()
-                    && a.usage_90_pct.to_bits() == b.usage_90_pct.to_bits()
-                    && a.best_groups == b.best_groups
-                    && a.budgeted.config == b.budgeted.config
-                    && a.budgeted.hbm_bytes == b.budgeted.hbm_bytes
-                    && a.budgeted.speedup.to_bits() == b.budgeted.speedup.to_bits()
-                    && a.planned_cells == b.planned_cells
-                    && a.executed_cells == b.executed_cells
-            })
+        rows_bit_identical(&self.scenarios, &other.scenarios)
     }
 
     /// Every scenario's chosen placement respects its budget and its
     /// machine's HBM capacity.
     pub fn capacity_ok(&self) -> bool {
-        self.scenarios.iter().all(|r| {
-            r.budgeted.fits
-                && r.budgeted.hbm_bytes <= r.hbm_capacity_bytes
-                && r.budget_bytes.is_none_or(|b| r.budgeted.hbm_bytes <= b)
-        })
+        rows_capacity_ok(&self.scenarios)
     }
 }
 
@@ -727,6 +1029,172 @@ mod tests {
         };
         let report = MatrixReport::assemble(vec![row], stats);
         assert!(!report.capacity_ok());
+    }
+
+    #[test]
+    fn shards_partition_the_index_space_exactly() {
+        let m = small_matrix();
+        for total in 1..=8 {
+            let shards: Vec<ShardSpec> = (0..total).map(|k| m.shard(k, total)).collect();
+            assert_eq!(shards[0].start, 0);
+            assert_eq!(shards[total - 1].end, m.len());
+            for w in shards.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "shards must be contiguous");
+            }
+            let (min, max) = (
+                shards.iter().map(ShardSpec::len).min().unwrap(),
+                shards.iter().map(ShardSpec::len).max().unwrap(),
+            );
+            assert!(max - min <= 1, "balanced within one scenario");
+            assert_eq!(shards.iter().map(ShardSpec::len).sum::<usize>(), m.len());
+        }
+        // More shards than scenarios: the tail shards are empty, the
+        // partition still covers everything exactly once.
+        let tiny = ScenarioMatrix::new(
+            Zoo::parse("xeon-max").unwrap(),
+            vec![hmpt_workloads::npb::mg::workload()],
+        );
+        assert_eq!(tiny.len(), 1);
+        assert_eq!(tiny.shard(0, 8).len(), 1);
+        assert!(tiny.shard(7, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        small_matrix().shard(3, 3);
+    }
+
+    #[test]
+    fn matrix_fingerprint_tracks_every_axis() {
+        let base = small_matrix();
+        let fp = base.fingerprint();
+        assert_eq!(fp, small_matrix().fingerprint(), "fingerprint is stable");
+        assert_ne!(fp, small_matrix().with_budgets(vec![None]).fingerprint());
+        assert_ne!(fp, small_matrix().with_noise_cvs(vec![0.008]).fingerprint());
+        assert_ne!(fp, small_matrix().with_rep_policies(vec![RepPolicy::Fixed]).fingerprint());
+        assert_ne!(
+            fp,
+            small_matrix()
+                .with_campaign(CampaignConfig { base_seed: 99, ..CampaignConfig::default() })
+                .fingerprint()
+        );
+        let zoo = Zoo::parse("xeon-max").unwrap();
+        assert_ne!(
+            fp,
+            ScenarioMatrix::new(zoo, vec![hmpt_workloads::npb::mg::workload()]).fingerprint()
+        );
+    }
+
+    fn shard_report(shard: usize, total: usize, fp: &str, rows: Vec<ScenarioRow>) -> ShardReport {
+        let stats = MatrixStats {
+            scenarios: rows.len(),
+            planned_cells: 10,
+            executed_cells: 8,
+            cache: CacheStats { hits: 2, misses: 8, entries: 8 },
+            wall_s: 0.5,
+            scenarios_per_s: 2.0,
+        };
+        ShardReport { shard, total_shards: total, matrix_fingerprint: fp.to_string(), rows, stats }
+    }
+
+    #[test]
+    fn merge_reassembles_rows_in_scenario_order_and_sums_stats() {
+        let c = |m, b| ScenarioCoords { machine: m, workload: 0, noise: 0, policy: 0, budget: b };
+        let mut r0 = synthetic_row("fast", "mg.D", c(0, 0), None, 700.0, 2.3, &["u", "r"]);
+        r0.scenario = 0;
+        let mut r1 = synthetic_row("fast", "mg.D", c(0, 1), Some(gib(8)), 700.0, 2.3, &["u", "r"]);
+        r1.scenario = 1;
+        let mut r2 = synthetic_row("slow", "mg.D", c(1, 0), None, 350.0, 1.6, &["r", "v"]);
+        r2.scenario = 2;
+        let mut r3 = synthetic_row("slow", "mg.D", c(1, 1), Some(gib(8)), 350.0, 1.6, &["r", "v"]);
+        r3.scenario = 3;
+
+        // Shards given out of order, rows interleaved across machines.
+        let shards = vec![
+            shard_report(1, 2, "fp", vec![r2.clone(), r3.clone()]),
+            shard_report(0, 2, "fp", vec![r0.clone(), r1.clone()]),
+        ];
+        let merged = MatrixReport::merge(&shards).unwrap();
+        assert_eq!(
+            merged.scenarios.iter().map(|r| r.scenario).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(merged.stats.scenarios, 4);
+        assert_eq!(merged.stats.planned_cells, 20);
+        assert_eq!(merged.stats.executed_cells, 16);
+        assert_eq!(merged.stats.cache.hits, 4);
+        assert_eq!(merged.stats.cache.misses, 16);
+        assert!((merged.stats.wall_s - 1.0).abs() < 1e-12);
+
+        // The merged views equal an unsharded assemble over the rows.
+        let unsharded = MatrixReport::assemble(vec![r0, r1, r2, r3], merged.stats);
+        assert!(merged.bit_identical(&unsharded));
+        assert_eq!(merged.bw_curves.len(), unsharded.bw_curves.len());
+        assert_eq!(merged.frontiers.len(), unsharded.frontiers.len());
+        assert_eq!(merged.resident_groups[0].groups, unsharded.resident_groups[0].groups);
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_partitions() {
+        let c = ScenarioCoords { machine: 0, workload: 0, noise: 0, policy: 0, budget: 0 };
+        let row = || synthetic_row("m", "w", c, None, 700.0, 2.0, &[]);
+
+        assert_eq!(MatrixReport::merge(&[]).unwrap_err(), MergeError::NoShards);
+        assert!(matches!(
+            MatrixReport::merge(&[
+                shard_report(0, 2, "fp-a", vec![row()]),
+                shard_report(1, 2, "fp-b", vec![]),
+            ]),
+            Err(MergeError::MatrixMismatch { .. })
+        ));
+        assert!(matches!(
+            MatrixReport::merge(&[
+                shard_report(0, 2, "fp", vec![row()]),
+                shard_report(1, 3, "fp", vec![]),
+            ]),
+            Err(MergeError::TotalMismatch { .. })
+        ));
+        assert!(matches!(
+            MatrixReport::merge(&[shard_report(5, 2, "fp", vec![row()])]),
+            Err(MergeError::ShardOutOfRange { .. })
+        ));
+        assert!(matches!(
+            MatrixReport::merge(&[
+                shard_report(0, 2, "fp", vec![row()]),
+                shard_report(0, 2, "fp", vec![]),
+            ]),
+            Err(MergeError::DuplicateShard { shard: 0 })
+        ));
+        assert_eq!(
+            MatrixReport::merge(&[shard_report(0, 2, "fp", vec![row()])]).unwrap_err(),
+            MergeError::MissingShards { missing: vec![1], total: 2 }
+        );
+        let mut dup = row();
+        dup.scenario = 0;
+        assert!(matches!(
+            MatrixReport::merge(&[
+                shard_report(0, 2, "fp", vec![row()]),
+                shard_report(1, 2, "fp", vec![dup]),
+            ]),
+            Err(MergeError::DuplicateRow { scenario: 0 })
+        ));
+    }
+
+    #[test]
+    fn shard_report_round_trips_through_json() {
+        let c = ScenarioCoords { machine: 0, workload: 0, noise: 0, policy: 0, budget: 1 };
+        let report = shard_report(
+            1,
+            3,
+            "abcd",
+            vec![synthetic_row("m", "w", c, Some(gib(8)), 1.0, 2.0, &["g"])],
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ShardReport = serde_json::from_str(&json).unwrap();
+        assert!(report.bit_identical(&back));
+        assert_eq!(back.stats.cache.hits, report.stats.cache.hits);
+        assert_eq!(back.rows[0].budget_bytes, Some(gib(8)));
     }
 
     #[test]

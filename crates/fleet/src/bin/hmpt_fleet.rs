@@ -13,6 +13,7 @@
 //! hmpt-fleet --no-compare          # skip the serial-vs-parallel timing pass
 //! hmpt-fleet --no-online           # skip the online cache-warm verification
 //! hmpt-fleet --json report.json    # write the JSON report to a file
+//! hmpt-fleet --cache-file c.bin    # persistent cache: load before, save after
 //! ```
 //!
 //! The default invocation reproduces all seven Table II rows in one
@@ -42,13 +43,33 @@
 //! bit-identical rows, checks every placement against its budget and
 //! machine capacity, and writes a JSON matrix report with per-scenario
 //! Table-II-style rows plus cross-machine views.
+//!
+//! ## Sharding and merging (`--shard`, `hmpt-fleet merge`)
+//!
+//! ```text
+//! hmpt-fleet scenarios --shard 1/3 --shard-out s1.json --cache-file c1.bin
+//! hmpt-fleet scenarios --shard 2/3 --shard-out s2.json --cache-file c2.bin
+//! hmpt-fleet scenarios --shard 3/3 --shard-out s3.json --cache-file c3.bin
+//! hmpt-fleet merge s1.json s2.json s3.json --matrix-out matrix.json \
+//!   --cache-in c1.bin,c2.bin,c3.bin --cache-out merged.bin
+//! hmpt-fleet scenarios --cache-file merged.bin   # warm start: 0 simulated runs
+//! ```
+//!
+//! `--shard K/N` executes the K-th of N balanced index-range shards of
+//! the scenario space (see `ScenarioMatrix::shard`) and emits a shard
+//! report; `merge` validates that all shards ran the same matrix (by
+//! content fingerprint), reassembles the full matrix report
+//! bit-identically to a single-process run, and can merge the shards'
+//! cache snapshots into one warm-start snapshot.
+
+use std::sync::Arc;
 
 use hmpt_core::driver::Driver;
 use hmpt_core::exec::{available_workers, ExecutorKind, RunExecutor};
 use hmpt_core::measure::{run_campaign_with, CampaignConfig};
 use hmpt_fleet::{
-    run_matrix, Fleet, FleetConfig, MatrixConfig, MatrixReport, RepPolicy, ScenarioMatrix,
-    TuningJob,
+    run_matrix, run_matrix_sharded, run_matrix_with_cache, store, Fleet, FleetConfig, MatrixConfig,
+    MatrixReport, MeasurementCache, RepPolicy, ScenarioMatrix, ScenarioRow, ShardReport, TuningJob,
 };
 use hmpt_sim::units::as_gib;
 use hmpt_sim::zoo::Zoo;
@@ -99,6 +120,12 @@ struct Report {
     planned_cells: u64,
     executed_cells: u64,
     cells_skipped: u64,
+    /// Cells that actually cost a simulated run this invocation (cache
+    /// misses; every executed cell when the cache is off). `0` means the
+    /// whole batch was served from a warm cache.
+    simulated_cells: u64,
+    /// Cells preloaded from the `--cache-file` snapshot at startup.
+    cache_preloaded: u64,
     cells_per_s: f64,
     total_wall_s: f64,
 }
@@ -107,6 +134,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: hmpt-fleet [options] [workload...]\n\
          \x20      hmpt-fleet scenarios [options] [workload...]\n\
+         \x20      hmpt-fleet merge <shard-report.json...> [--matrix-out P]\n\
+         \x20                       [--cache-in LIST --cache-out P]\n\
          options:\n\
          \x20 --workers N     parallel worker count (default: available parallelism)\n\
          \x20 --serial        use the serial executor for the batch\n\
@@ -120,6 +149,8 @@ fn usage() -> ! {
          \x20 --no-online     skip the online-tuner verification pass\n\
          \x20 --json PATH     write the JSON report to PATH (default: stdout)\n\
          \x20 --job-workers N concurrent jobs/scenarios (default 1; 0 = auto)\n\
+         \x20 --cache-file P  persistent measurement cache: load the snapshot on\n\
+         \x20                 start (if present), save it back on finish\n\
          scenarios options:\n\
          \x20 --zoo LIST      comma-separated machines: presets (xeon-max,\n\
          \x20                 xeon-max-quad, hbm-flat, cxl-far, small-hbm) with\n\
@@ -130,9 +161,28 @@ fn usage() -> ! {
          \x20 --noise LIST    noise-level axis as cv values (default: campaign cv)\n\
          \x20 --matrix-out P  write the JSON matrix report to P (default: stdout)\n\
          \x20 --no-verify     skip the serial/parallel/cached bit-identity re-runs\n\
+         \x20 --shard K/N     run only the K-th of N index-range shards (1-based)\n\
+         \x20                 and emit a shard report for `hmpt-fleet merge`\n\
+         \x20 --shard-out P   write the shard report JSON to P (default: stdout)\n\
+         merge options:\n\
+         \x20 --matrix-out P  write the merged matrix report to P (default: stdout)\n\
+         \x20 --cache-in L    comma-separated cache snapshots to merge (LWW)\n\
+         \x20 --cache-out P   write the merged cache snapshot to P\n\
          (workloads: built-in names like mg, sp, kwave; default: all seven)"
     );
     std::process::exit(2);
+}
+
+/// Parse `--shard K/N` (1-based K) into a 0-based (shard, total) pair.
+fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let (k, n) =
+        s.split_once('/').ok_or_else(|| format!("--shard `{s}` is not of the form K/N"))?;
+    let k: usize = k.trim().parse().map_err(|_| format!("--shard `{s}`: K is not a number"))?;
+    let n: usize = n.trim().parse().map_err(|_| format!("--shard `{s}`: N is not a number"))?;
+    if n == 0 || k == 0 || k > n {
+        return Err(format!("--shard `{s}`: need 1 ≤ K ≤ N"));
+    }
+    Ok((k - 1, n))
 }
 
 /// Parse the `--budgets` list: GiB values with `none` for unbudgeted.
@@ -242,12 +292,18 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut scenarios_mode = false;
+    let mut merge_mode = false;
     let mut zoo_spec: Option<String> = None;
     let mut budgets_spec: Option<String> = None;
     let mut noise_spec: Option<String> = None;
     let mut matrix_out: Option<String> = None;
     let mut job_workers = 1usize;
     let mut verify = true;
+    let mut cache_file: Option<String> = None;
+    let mut shard_spec: Option<String> = None;
+    let mut shard_out: Option<String> = None;
+    let mut cache_in: Option<String> = None;
+    let mut cache_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -280,10 +336,58 @@ fn main() {
                 job_workers = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
             "--no-verify" => verify = false,
+            "--cache-file" => cache_file = Some(it.next().unwrap_or_else(|| usage())),
+            "--shard" => shard_spec = Some(it.next().unwrap_or_else(|| usage())),
+            "--shard-out" => shard_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--cache-in" => cache_in = Some(it.next().unwrap_or_else(|| usage())),
+            "--cache-out" => cache_out = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
-            "scenarios" if names.is_empty() && !scenarios_mode => scenarios_mode = true,
+            "scenarios" if names.is_empty() && !scenarios_mode && !merge_mode => {
+                scenarios_mode = true
+            }
+            "merge" if names.is_empty() && !scenarios_mode && !merge_mode => merge_mode = true,
             name => names.push(name.to_string()),
+        }
+    }
+
+    if merge_mode {
+        // Merge takes shard-report files plus its own flags only — a
+        // run flag here (e.g. `--cache-file` instead of `--cache-out`)
+        // would otherwise be parsed and silently ignored.
+        for (flag, given) in [
+            ("--workers", workers != 0),
+            ("--serial", serial),
+            ("--reps", runs.is_some()),
+            ("--ci-target", ci_target.is_some()),
+            ("--max-reps", max_reps.is_some()),
+            ("--seed", seed.is_some()),
+            ("--no-cache", !cache_enabled),
+            ("--no-compare", !do_compare),
+            ("--no-online", !online),
+            ("--json", json_path.is_some()),
+            ("--zoo", zoo_spec.is_some()),
+            ("--budgets", budgets_spec.is_some()),
+            ("--noise", noise_spec.is_some()),
+            ("--job-workers", job_workers != 1),
+            ("--no-verify", !verify),
+            ("--cache-file (use --cache-in/--cache-out)", cache_file.is_some()),
+            ("--shard", shard_spec.is_some()),
+            ("--shard-out", shard_out.is_some()),
+        ] {
+            if given {
+                eprintln!("{flag} does not apply to the merge mode (hmpt-fleet merge ...)");
+                usage();
+            }
+        }
+        run_merge(MergeArgs { files: names, matrix_out, cache_in, cache_out });
+        return;
+    }
+    for (flag, given) in [("--cache-in", cache_in.is_some()), ("--cache-out", cache_out.is_some())]
+    {
+        if given {
+            eprintln!("{flag} only applies to the merge mode (hmpt-fleet merge ...)");
+            usage();
         }
     }
 
@@ -332,6 +436,23 @@ fn main() {
                 usage();
             }
         }
+        let shard = shard_spec.as_deref().map(|s| {
+            parse_shard(s).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage();
+            })
+        });
+        if shard.is_none() && shard_out.is_some() {
+            eprintln!("--shard-out only applies with --shard");
+            usage();
+        }
+        if shard.is_some() && matrix_out.is_some() {
+            eprintln!(
+                "--matrix-out does not apply with --shard (use --shard-out; \
+                       `hmpt-fleet merge` produces the matrix report)"
+            );
+            usage();
+        }
         run_scenarios(ScenarioArgs {
             specs,
             campaign,
@@ -344,6 +465,9 @@ fn main() {
             budgets_spec,
             noise_spec,
             matrix_out,
+            cache_file,
+            shard,
+            shard_out,
         });
         return;
     }
@@ -355,11 +479,19 @@ fn main() {
         ("--noise", noise_spec.is_some()),
         ("--matrix-out", matrix_out.is_some()),
         ("--no-verify", !verify),
+        ("--shard", shard_spec.is_some()),
+        ("--shard-out", shard_out.is_some()),
     ] {
         if given {
             eprintln!("{flag} only applies to the scenarios mode (hmpt-fleet scenarios ...)");
             usage();
         }
+    }
+    // Same rule the scenarios mode enforces: a snapshot path with the
+    // cache disabled would be silently neither read nor written.
+    if cache_file.is_some() && !cache_enabled {
+        eprintln!("--cache-file needs the cache enabled (drop --no-cache)");
+        usage();
     }
 
     let jobs: Vec<TuningJob> =
@@ -406,8 +538,16 @@ fn main() {
         online_check: online,
         cache_enabled,
         job_workers,
+        cache_path: cache_file.as_ref().map(std::path::PathBuf::from),
         ..FleetConfig::default()
     });
+    if fleet.preloaded() > 0 {
+        eprintln!(
+            "cache snapshot {}: {} cells preloaded",
+            cache_file.as_deref().unwrap_or_default(),
+            fleet.preloaded()
+        );
+    }
 
     eprintln!("workload     max   HBM-only   90% usage   online   cells (hit/miss)   wall");
     let t0 = Instant::now();
@@ -485,6 +625,8 @@ fn main() {
         planned_cells: stats.planned_cells,
         executed_cells: stats.executed_cells,
         cells_skipped: stats.cells_skipped,
+        simulated_cells: if cache_enabled { stats.cache.misses } else { stats.executed_cells },
+        cache_preloaded: fleet.preloaded(),
         cells_per_s: stats.cells_per_s,
         total_wall_s,
     };
@@ -513,6 +655,10 @@ struct ScenarioArgs {
     budgets_spec: Option<String>,
     noise_spec: Option<String>,
     matrix_out: Option<String>,
+    cache_file: Option<String>,
+    /// 0-based (shard, total) from `--shard K/N`.
+    shard: Option<(usize, usize)>,
+    shard_out: Option<String>,
 }
 
 /// The `scenarios` mode: enumerate the zoo × workload × budget × noise
@@ -580,23 +726,106 @@ fn run_scenarios(args: ScenarioArgs) {
         cache_enabled: args.cache_enabled,
         ..MatrixConfig::default()
     };
-    let report = run_matrix(&matrix, &cfg).unwrap_or_else(|e| fail(format!("matrix failed: {e}")));
 
-    eprintln!(
-        "workload     machine                     budget     max  budgeted  slowdown  90% usage"
-    );
-    for row in &report.scenarios {
-        eprintln!(
-            "{:<12} {:<26} {:>8} {:>6.2}x {:>7.2}x {:>8.2}x {:>9.1}%",
-            row.workload,
-            row.machine,
-            row.budget_bytes.map(|b| format!("{:.0}GiB", as_gib(b))).unwrap_or_else(|| "-".into()),
-            row.max_speedup,
-            row.budgeted.speedup,
-            row.budgeted.slowdown_vs_best,
-            row.usage_90_pct,
-        );
+    // Persistent cache: preload the snapshot (if one exists) before the
+    // run, save the warmed cache back after it.
+    if args.cache_file.is_some() && !args.cache_enabled {
+        fail("--cache-file needs the cache enabled (drop --no-cache)".into());
     }
+    let cache = Arc::new(MeasurementCache::new());
+    if let Some(path) = &args.cache_file {
+        if std::path::Path::new(path).exists() {
+            match store::load_into(&cache, path) {
+                Ok(r) => eprintln!(
+                    "cache snapshot {path}: {} cells preloaded{}{}",
+                    r.loaded,
+                    if r.skipped > 0 { format!(", {} skipped", r.skipped) } else { String::new() },
+                    if r.truncated { ", truncated" } else { "" },
+                ),
+                Err(e) => eprintln!("ignoring cache snapshot {path} (cold start): {e}"),
+            }
+        }
+    }
+    let save_cache = |cache: &MeasurementCache| {
+        if let Some(path) = &args.cache_file {
+            match store::save(cache, path) {
+                Ok(r) => eprintln!("cache snapshot {path}: {} cells saved", r.saved),
+                Err(e) => fail(format!("cannot save cache snapshot {path}: {e}")),
+            }
+        }
+    };
+
+    // Sharded execution: run one index-range shard, verify it against a
+    // serial-uncached re-run of the same shard, and emit the shard
+    // report that `hmpt-fleet merge` reassembles.
+    if let Some((k, n)) = args.shard {
+        let spec = matrix.shard(k, n);
+        eprintln!(
+            "shard {}/{}: scenarios {}..{} of {}",
+            k + 1,
+            n,
+            spec.start,
+            spec.end,
+            matrix.len(),
+        );
+        let report = run_matrix_sharded(&matrix, &cfg, spec, Arc::clone(&cache))
+            .unwrap_or_else(|e| fail(format!("shard failed: {e}")));
+        print_rows(&report.rows);
+        let stats = &report.stats;
+        // Print the same (matrix ⊕ execution-config) fingerprint the
+        // merge step validates, so a MatrixMismatch is traceable to the
+        // misconfigured shard from its log alone.
+        eprintln!(
+            "shard: {} scenarios, {}/{} cells executed, {} hits / {} misses (hit-rate {:.1}%), \
+             {:.3}s (matrix {})",
+            stats.scenarios,
+            stats.executed_cells,
+            stats.planned_cells,
+            stats.cache.hits,
+            stats.cache.misses,
+            stats.cache.hit_rate() * 100.0,
+            stats.wall_s,
+            report.matrix_fingerprint,
+        );
+        if !hmpt_core::scenario::rows_capacity_ok(&report.rows) {
+            fail("a scenario's placement exceeds its budget or machine capacity".into());
+        }
+        if args.verify {
+            let vcfg = MatrixConfig {
+                executor: ExecutorKind::Serial,
+                job_workers: 1,
+                cache_enabled: false,
+                ..MatrixConfig::default()
+            };
+            let other = run_matrix_sharded(&matrix, &vcfg, spec, Arc::new(MeasurementCache::new()))
+                .unwrap_or_else(|e| fail(format!("shard verification: {e}")));
+            if !report.bit_identical(&other) {
+                fail("serial-uncached shard re-run diverged from the main run".into());
+            }
+            eprintln!("verified: serial-uncached shard re-run is bit-identical");
+        }
+        // Report before snapshot: a failing cache save must not
+        // discard the shard's computed results (the report is what the
+        // merge step needs; a missing snapshot fails loudly there).
+        let json = serde_json::to_string_pretty(&report).expect("shard report serialization");
+        match args.shard_out.as_deref() {
+            Some(path) => {
+                std::fs::write(path, &json).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("shard report written to {path}");
+            }
+            None => println!("{json}"),
+        }
+        save_cache(&cache);
+        return;
+    }
+
+    let report = run_matrix_with_cache(&matrix, &cfg, Arc::clone(&cache))
+        .unwrap_or_else(|e| fail(format!("matrix failed: {e}")));
+
+    print_rows(&report.scenarios);
     let stats = &report.stats;
     eprintln!(
         "matrix: {} scenarios, {}/{} cells executed, {} hits / {} misses \
@@ -650,7 +879,117 @@ fn run_scenarios(args: ScenarioArgs) {
         eprintln!("verified: serial, parallel, and cached runs are bit-identical");
     }
 
+    // Report before snapshot, so a failing cache save never discards
+    // the run's results.
     write_matrix_report(&report, args.matrix_out.as_deref());
+    save_cache(&cache);
+}
+
+/// The per-scenario result table (shared by full, shard, and merged
+/// runs).
+fn print_rows(rows: &[ScenarioRow]) {
+    eprintln!(
+        "workload     machine                     budget     max  budgeted  slowdown  90% usage"
+    );
+    for row in rows {
+        eprintln!(
+            "{:<12} {:<26} {:>8} {:>6.2}x {:>7.2}x {:>8.2}x {:>9.1}%",
+            row.workload,
+            row.machine,
+            row.budget_bytes.map(|b| format!("{:.0}GiB", as_gib(b))).unwrap_or_else(|| "-".into()),
+            row.max_speedup,
+            row.budgeted.speedup,
+            row.budgeted.slowdown_vs_best,
+            row.usage_90_pct,
+        );
+    }
+}
+
+struct MergeArgs {
+    files: Vec<String>,
+    matrix_out: Option<String>,
+    cache_in: Option<String>,
+    cache_out: Option<String>,
+}
+
+/// The `merge` mode: reassemble shard reports into the full matrix
+/// report (validating matrix fingerprints and partition completeness),
+/// and optionally merge the shards' cache snapshots into one
+/// warm-start snapshot.
+fn run_merge(args: MergeArgs) {
+    let fail = |msg: String| -> ! {
+        eprintln!("hmpt-fleet merge: {msg}");
+        std::process::exit(1);
+    };
+
+    if args.files.is_empty() {
+        eprintln!("hmpt-fleet merge: no shard report files given");
+        usage();
+    }
+    if args.cache_in.is_some() != args.cache_out.is_some() {
+        eprintln!("hmpt-fleet merge: --cache-in and --cache-out go together");
+        usage();
+    }
+
+    let shards: Vec<ShardReport> = args
+        .files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            serde_json::from_str(&text)
+                .unwrap_or_else(|e| fail(format!("{path} is not a shard report: {e}")))
+        })
+        .collect();
+    let report = MatrixReport::merge(&shards).unwrap_or_else(|e| fail(e.to_string()));
+
+    print_rows(&report.scenarios);
+    let stats = &report.stats;
+    eprintln!(
+        "merged: {} shards, {} scenarios, {}/{} cells executed, {} hits / {} misses, \
+         {:.3}s total shard compute",
+        shards.len(),
+        stats.scenarios,
+        stats.executed_cells,
+        stats.planned_cells,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.wall_s
+    );
+    if !report.capacity_ok() {
+        fail("a scenario's placement exceeds its budget or machine capacity".into());
+    }
+
+    // Report before snapshot: a damaged cache file must not discard the
+    // already-validated merged report.
+    write_matrix_report(&report, args.matrix_out.as_deref());
+
+    if let (Some(cache_in), Some(cache_out)) = (&args.cache_in, &args.cache_out) {
+        let paths: Vec<&str> =
+            cache_in.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        if paths.is_empty() {
+            fail("--cache-in names no snapshot files".into());
+        }
+        let cache = MeasurementCache::new();
+        let loaded = store::merge_into(&cache, &paths)
+            .unwrap_or_else(|e| fail(format!("cache snapshot merge: {e}")));
+        let saved = store::save(&cache, cache_out)
+            .unwrap_or_else(|e| fail(format!("cannot save merged snapshot {cache_out}: {e}")));
+        eprintln!(
+            "cache snapshots merged: {} records read{} → {} unique cells in {cache_out}",
+            loaded.loaded,
+            if loaded.skipped > 0 || loaded.truncated {
+                format!(
+                    " ({} skipped{})",
+                    loaded.skipped,
+                    if loaded.truncated { ", truncated" } else { "" }
+                )
+            } else {
+                String::new()
+            },
+            saved.saved,
+        );
+    }
 }
 
 fn write_matrix_report(report: &MatrixReport, path: Option<&str>) {

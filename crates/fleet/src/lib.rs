@@ -41,9 +41,18 @@
 //!   speedup-vs-HBM-bandwidth curves, budget-vs-slowdown frontiers,
 //!   and zoo-wide HBM-resident groups.
 //!
+//! * **Persistence and sharding** ([`store`], re-exported from
+//!   `hmpt_core::store`, plus [`run_matrix_sharded`] /
+//!   [`MatrixReport::merge`]): the cache snapshots to a versioned,
+//!   checksummed on-disk format ([`FleetConfig::cache_path`] loads on
+//!   start and saves on finish), and a scenario matrix partitions into
+//!   balanced index-range shards whose [`ShardReport`]s merge back
+//!   bit-identically — N processes, N shard files, one merge.
+//!
 //! The `hmpt-fleet` binary runs the paper's entire Table II campaign in
 //! one command and emits a JSON report; its `scenarios` mode does the
-//! same for a whole machine zoo.
+//! same for a whole machine zoo, its `--shard`/`merge` modes
+//! distribute that across processes.
 //!
 //! See `DESIGN.md` (§ "The fleet subsystem") for the cache-key scheme
 //! and the bit-identity argument.
@@ -58,8 +67,11 @@ pub use hmpt_core::exec::{
     available_workers, CachingExecutor, CellExecutor, ExecutorKind, ParallelExecutor, RunExecutor,
     SerialExecutor,
 };
-pub use hmpt_core::scenario::{MatrixReport, Scenario, ScenarioMatrix, ScenarioRow};
-pub use matrix::{run_matrix, run_matrix_with_cache, MatrixConfig};
+pub use hmpt_core::scenario::{
+    MatrixReport, MergeError, Scenario, ScenarioMatrix, ScenarioRow, ShardReport, ShardSpec,
+};
+pub use hmpt_core::store;
+pub use matrix::{run_matrix, run_matrix_sharded, run_matrix_with_cache, MatrixConfig};
 pub use service::{Fleet, FleetConfig, FleetReport, FleetStats, JobReport, TuningJob};
 
 /// Send + Sync audit: everything a campaign cell touches crosses thread

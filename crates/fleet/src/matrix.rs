@@ -16,14 +16,26 @@
 //! concurrent jobs, cache on or off — never changes a row's bits
 //! (property-tested in `tests/scenario_properties.rs` and re-checked at
 //! runtime by the CLI's verification passes).
+//!
+//! The same machinery executes a *shard*: [`run_matrix_sharded`] runs
+//! one index range of the matrix (see [`ScenarioMatrix::shard`]) and
+//! emits a [`ShardReport`]; `MatrixReport::merge` reassembles a
+//! partition's shard reports into the full report, bit-identical to an
+//! unsharded [`run_matrix`]. Combined with an on-disk cache snapshot
+//! (`hmpt_core::store`), this turns a matrix into a distributable
+//! campaign: N processes, N shard files, one merge.
 
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
 use hmpt_core::error::TunerError;
 use hmpt_core::exec::ExecutorKind;
 use hmpt_core::grouping::GroupingConfig;
-use hmpt_core::scenario::{MatrixReport, MatrixStats, Scenario, ScenarioMatrix, ScenarioRow};
+use hmpt_core::scenario::{
+    MatrixReport, MatrixStats, Scenario, ScenarioMatrix, ScenarioRow, ShardReport, ShardSpec,
+};
+use hmpt_sim::fingerprint::Fingerprint;
 
 use crate::cache::MeasurementCache;
 use crate::service::{Fleet, FleetConfig, TuningJob};
@@ -99,14 +111,66 @@ pub fn run_matrix_with_cache(
     cfg: &MatrixConfig,
     cache: Arc<MeasurementCache>,
 ) -> Result<MatrixReport, TunerError> {
+    let (rows, stats) = run_matrix_range(matrix, cfg, cache, 0..matrix.len())?;
+    Ok(MatrixReport::assemble(rows, stats))
+}
+
+/// Content fingerprint of the execution settings that determine row
+/// *bits*: the profiling seed and the grouping parameters. Executor
+/// choice, job workers, chunking, and caching are deliberately
+/// excluded — bit-identity across those is the subsystem's core
+/// invariant, so they may legitimately differ between shards.
+fn execution_fingerprint(cfg: &MatrixConfig) -> Fingerprint {
+    Fingerprint::of(&cfg.grouping).combine(cfg.profile_seed)
+}
+
+/// Execute one shard of a matrix (see [`ScenarioMatrix::shard`]) over
+/// an existing cache, producing the [`ShardReport`] that
+/// `MatrixReport::merge` reassembles. Rows are bit-identical to the
+/// same scenarios' rows in an unsharded run — a scenario's result
+/// depends only on its own campaign, never on which process decoded
+/// its index.
+///
+/// The report's `matrix_fingerprint` combines the matrix-axes
+/// fingerprint with the execution settings that determine row bits
+/// (profiling seed, grouping), so shards run under inconsistent
+/// configurations refuse to merge.
+pub fn run_matrix_sharded(
+    matrix: &ScenarioMatrix,
+    cfg: &MatrixConfig,
+    shard: ShardSpec,
+    cache: Arc<MeasurementCache>,
+) -> Result<ShardReport, TunerError> {
+    let (rows, stats) = run_matrix_range(matrix, cfg, cache, shard.range())?;
+    Ok(ShardReport {
+        shard: shard.shard,
+        total_shards: shard.total,
+        matrix_fingerprint: matrix
+            .fingerprint()
+            .combine(execution_fingerprint(cfg).raw())
+            .to_string(),
+        rows,
+        stats,
+    })
+}
+
+/// The shared range runner: stream `range`'s scenarios in bounded
+/// chunks through a [`Fleet`] over `cache`.
+fn run_matrix_range(
+    matrix: &ScenarioMatrix,
+    cfg: &MatrixConfig,
+    cache: Arc<MeasurementCache>,
+    range: Range<usize>,
+) -> Result<(Vec<ScenarioRow>, MatrixStats), TunerError> {
+    assert!(range.end <= matrix.len(), "range {range:?} exceeds matrix len {}", matrix.len());
     let t0 = Instant::now();
     let before = cache.stats();
     let fleet = Fleet::with_cache(cfg.fleet_config(), cache);
     let chunk_size = cfg.chunk_size();
 
-    let mut rows: Vec<ScenarioRow> = Vec::with_capacity(matrix.len());
+    let mut rows: Vec<ScenarioRow> = Vec::with_capacity(range.len());
     let (mut planned, mut executed) = (0u64, 0u64);
-    let mut scenarios = matrix.scenarios();
+    let mut scenarios = range.map(|i| matrix.scenario(i));
     loop {
         let chunk: Vec<Scenario> = scenarios.by_ref().take(chunk_size).collect();
         if chunk.is_empty() {
@@ -138,7 +202,7 @@ pub fn run_matrix_with_cache(
         wall_s,
         scenarios_per_s: if wall_s > 0.0 { rows.len() as f64 / wall_s } else { 0.0 },
     };
-    Ok(MatrixReport::assemble(rows, stats))
+    Ok((rows, stats))
 }
 
 #[cfg(test)]
@@ -242,6 +306,88 @@ mod tests {
         assert_eq!(fixed.planned_cells, adaptive.planned_cells);
         assert!(adaptive.executed_cells < fixed.executed_cells);
         assert!((fixed.max_speedup - adaptive.max_speedup).abs() < 0.05);
+    }
+
+    #[test]
+    fn sharded_run_merges_bit_identical_to_unsharded() {
+        let matrix = tiny_matrix();
+        let cfg = MatrixConfig::default();
+        let full = run_matrix(&matrix, &cfg).unwrap();
+        for total in [1, 2, 3, 4] {
+            // Each shard in its own fresh cache — the cross-process case.
+            let shards: Vec<_> = (0..total)
+                .map(|k| {
+                    run_matrix_sharded(
+                        &matrix,
+                        &cfg,
+                        matrix.shard(k, total),
+                        Arc::new(MeasurementCache::new()),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let merged = MatrixReport::merge(&shards).unwrap();
+            assert!(full.bit_identical(&merged), "{total} shards diverged");
+            assert_eq!(full.stats.planned_cells, merged.stats.planned_cells);
+            assert_eq!(full.stats.executed_cells, merged.stats.executed_cells);
+            assert_eq!(full.bw_curves.len(), merged.bw_curves.len());
+            assert_eq!(full.frontiers.len(), merged.frontiers.len());
+        }
+    }
+
+    #[test]
+    fn shards_over_a_shared_cache_still_dedup() {
+        let matrix = tiny_matrix();
+        let cfg = MatrixConfig::default();
+        let cache = Arc::new(MeasurementCache::new());
+        let a = run_matrix_sharded(&matrix, &cfg, matrix.shard(0, 2), Arc::clone(&cache)).unwrap();
+        let b = run_matrix_sharded(&matrix, &cfg, matrix.shard(1, 2), Arc::clone(&cache)).unwrap();
+        // Shard 0 = xeon-max × two budgets, shard 1 = hbm-flat × two
+        // budgets: each shard dedups its budget pair internally.
+        assert!(a.stats.cache.hits > 0);
+        assert!(b.stats.cache.hits > 0);
+        let merged = MatrixReport::merge(&[a, b]).unwrap();
+        assert!(run_matrix(&matrix, &cfg).unwrap().bit_identical(&merged));
+    }
+
+    #[test]
+    fn shards_with_different_execution_settings_refuse_to_merge() {
+        let matrix = tiny_matrix();
+        let a = run_matrix_sharded(
+            &matrix,
+            &MatrixConfig::default(),
+            matrix.shard(0, 2),
+            Arc::new(MeasurementCache::new()),
+        )
+        .unwrap();
+        // Same matrix, different profiling seed: row bits differ, so
+        // the combined fingerprint must refuse the merge.
+        let b = run_matrix_sharded(
+            &matrix,
+            &MatrixConfig { profile_seed: 9, ..MatrixConfig::default() },
+            matrix.shard(1, 2),
+            Arc::new(MeasurementCache::new()),
+        )
+        .unwrap();
+        assert!(matches!(
+            MatrixReport::merge(&[a, b]),
+            Err(hmpt_core::scenario::MergeError::MatrixMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shards_of_different_matrices_refuse_to_merge() {
+        let cfg = MatrixConfig::default();
+        let a = tiny_matrix();
+        let b = tiny_matrix().with_budgets(vec![None]);
+        let sa =
+            run_matrix_sharded(&a, &cfg, a.shard(0, 2), Arc::new(MeasurementCache::new())).unwrap();
+        let sb =
+            run_matrix_sharded(&b, &cfg, b.shard(1, 2), Arc::new(MeasurementCache::new())).unwrap();
+        assert!(matches!(
+            MatrixReport::merge(&[sa, sb]),
+            Err(hmpt_core::scenario::MergeError::MatrixMismatch { .. })
+        ));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! without new simulated runs while proving exhaustive and online
 //! tuning agree.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,13 +26,14 @@ use hmpt_core::exec::{
 use hmpt_core::grouping::{group, GroupingConfig};
 use hmpt_core::measure::CampaignConfig;
 use hmpt_core::online::{self, OnlineConfig, OnlineResult};
+use hmpt_core::store::{self, SaveReport, StoreError};
 use hmpt_sim::machine::{xeon_max_9468, Machine};
 use hmpt_workloads::model::WorkloadSpec;
 
 use crate::cache::{CacheStats, MeasurementCache};
 
 /// Fleet-wide settings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// How campaign cells are executed (default: auto-sized parallel).
     pub executor: ExecutorKind,
@@ -60,6 +62,13 @@ pub struct FleetConfig {
     /// sequential execution; only per-job cache *attribution* becomes
     /// approximate when concurrent jobs race on shared cells.
     pub job_workers: usize,
+    /// On-disk cache snapshot ([`hmpt_core::store`]): loaded into the
+    /// shared cache when the fleet is built (a missing or unusable
+    /// snapshot is a cold start, not an error) and re-saved after every
+    /// completed batch — so fleet runs warm-start across process
+    /// restarts. Ignored while `cache_enabled` is off (an empty cache
+    /// must not clobber a good snapshot).
+    pub cache_path: Option<PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -72,6 +81,7 @@ impl Default for FleetConfig {
             online_check: true,
             cache_enabled: true,
             job_workers: 1,
+            cache_path: None,
         }
     }
 }
@@ -171,6 +181,8 @@ pub struct FleetReport {
 pub struct Fleet {
     cfg: FleetConfig,
     cache: Arc<MeasurementCache>,
+    /// Cells preloaded from the configured snapshot at construction.
+    preloaded: u64,
 }
 
 impl Default for Fleet {
@@ -186,9 +198,39 @@ impl Fleet {
 
     /// A fleet over an externally owned cache — several fleets (e.g.
     /// the per-policy fleets of a scenario matrix) can share one
-    /// content-addressed store.
+    /// content-addressed store. If [`FleetConfig::cache_path`] names an
+    /// existing snapshot (and caching is on), it is loaded here —
+    /// load-on-start; an unusable snapshot (foreign format or key
+    /// semantics, header damage) is reported and treated as a cold
+    /// start.
     pub fn with_cache(cfg: FleetConfig, cache: Arc<MeasurementCache>) -> Self {
-        Fleet { cfg, cache }
+        let mut preloaded = 0;
+        if cfg.cache_enabled {
+            if let Some(path) = cfg.cache_path.as_ref().filter(|p| p.exists()) {
+                match store::load_into(&cache, path) {
+                    Ok(report) => {
+                        preloaded = report.loaded;
+                        if report.skipped > 0 || report.truncated {
+                            eprintln!(
+                                "hmpt-fleet: cache snapshot {} partially recovered \
+                                 ({} cells loaded, {} skipped{})",
+                                path.display(),
+                                report.loaded,
+                                report.skipped,
+                                if report.truncated { ", truncated" } else { "" }
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "hmpt-fleet: ignoring cache snapshot {} (cold start): {e}",
+                            path.display()
+                        );
+                    }
+                }
+            }
+        }
+        Fleet { cfg, cache, preloaded }
     }
 
     pub fn config(&self) -> &FleetConfig {
@@ -197,6 +239,23 @@ impl Fleet {
 
     pub fn cache(&self) -> &MeasurementCache {
         &self.cache
+    }
+
+    /// Cells preloaded from [`FleetConfig::cache_path`] at construction.
+    pub fn preloaded(&self) -> u64 {
+        self.preloaded
+    }
+
+    /// Save the shared cache to [`FleetConfig::cache_path`] (atomic
+    /// temp-file + rename). `Ok(None)` when no path is configured or
+    /// caching is off. [`Self::run_streaming`] calls this after every
+    /// completed batch — save-on-finish — but callers may also persist
+    /// explicitly (e.g. after a matrix run over the fleet's cache).
+    pub fn persist(&self) -> Result<Option<SaveReport>, StoreError> {
+        match &self.cfg.cache_path {
+            Some(path) if self.cfg.cache_enabled => store::save(&self.cache, path).map(Some),
+            _ => Ok(None),
+        }
     }
 
     /// The fleet's executor stack: a cell-level pool, wrapped in the
@@ -313,6 +372,13 @@ impl Fleet {
                 on_report(i, &report);
                 reports.push(report);
             }
+        }
+        // Save-on-finish: a configured snapshot path persists the
+        // warmed cache after every completed batch. Failure to persist
+        // degrades the *next* run to a colder start; it does not
+        // invalidate this one, so report it without failing the batch.
+        if let Err(e) = self.persist() {
+            eprintln!("hmpt-fleet: cache snapshot not saved: {e}");
         }
         let wall_s = t0.elapsed().as_secs_f64();
         let cache = self.cache.stats().since(&before);
@@ -507,6 +573,51 @@ mod tests {
             first.analysis.table2.max_speedup.to_bits(),
             second.analysis.table2.max_speedup.to_bits()
         );
+    }
+
+    #[test]
+    fn cache_path_snapshot_warm_starts_a_new_fleet() {
+        let path =
+            std::env::temp_dir().join(format!("hmpt-fleet-cache-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = FleetConfig {
+            online_check: false,
+            cache_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let cold_fleet = Fleet::new(cfg.clone());
+        assert_eq!(cold_fleet.preloaded(), 0, "no snapshot yet");
+        let cold = cold_fleet.run(&[mg_job()]).unwrap();
+        assert!(cold.stats.cache.misses > 0);
+        assert!(path.exists(), "save-on-finish wrote the snapshot");
+
+        // A brand-new fleet (fresh process, as far as the cache is
+        // concerned) answers the same batch with zero simulated runs.
+        let warm_fleet = Fleet::new(cfg);
+        assert_eq!(warm_fleet.preloaded(), cold_fleet.cache().len() as u64);
+        let warm = warm_fleet.run(&[mg_job()]).unwrap();
+        assert_eq!(warm.stats.cache.misses, 0, "zero new cells: {:?}", warm.stats.cache);
+        assert_eq!(
+            cold.reports[0].analysis.table2.max_speedup.to_bits(),
+            warm.reports[0].analysis.table2.max_speedup.to_bits()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disabled_cache_never_touches_the_snapshot_path() {
+        let path =
+            std::env::temp_dir().join(format!("hmpt-fleet-nocache-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let fleet = Fleet::new(FleetConfig {
+            online_check: false,
+            cache_enabled: false,
+            cache_path: Some(path.clone()),
+            ..Default::default()
+        });
+        fleet.run(&[mg_job()]).unwrap();
+        assert!(!path.exists(), "an empty cache must not clobber a snapshot");
+        assert!(fleet.persist().unwrap().is_none());
     }
 
     #[test]

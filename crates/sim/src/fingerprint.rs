@@ -7,6 +7,30 @@
 //! hashing its serialized value tree — deterministic across runs and
 //! processes (object keys are sorted, floats hash by IEEE bit pattern),
 //! and automatically covering every field a type serializes.
+//!
+//! ## Stability contract
+//!
+//! Fingerprints are part of the **on-disk cache format**: cache
+//! snapshots (`hmpt_core::store`) persist raw fingerprint words, and a
+//! snapshot only warm-starts a later process if that process computes
+//! the *same* fingerprints for the same content. The following are
+//! therefore frozen; changing any of them is a cache-key semantics
+//! break that MUST bump `hmpt_core::store::SEMANTICS_VERSION` (old
+//! snapshots are then rejected loudly instead of silently never
+//! matching):
+//!
+//! * the FNV-1a constants and the final avalanche in [`StableHasher`],
+//! * the per-type tag bytes and length prefixes in the value-tree
+//!   encoding ([`fingerprint_of`]),
+//! * the mixing order of [`Fingerprint::combine`],
+//! * which fields the fingerprinted types serialize (a serde rename or
+//!   field addition on `Machine`, `WorkloadSpec`, `PlacementPlan`, or
+//!   `NoiseModel` moves their fingerprints — that is *correct*, the
+//!   content changed; reordering unrelated hashing internals is not).
+//!
+//! The golden-value regression tests at the bottom of this module pin
+//! the encoding; if one fails, either revert the encoding change or
+//! bump the semantics version and update the pins in the same commit.
 
 use std::fmt;
 
@@ -194,6 +218,20 @@ mod tests {
     fn float_fingerprints_use_bit_patterns() {
         assert_ne!(fingerprint_of(&0.1f64), fingerprint_of(&(0.1f64 + 1e-16)));
         assert_eq!(fingerprint_of(&0.25f64), fingerprint_of(&0.25f64));
+    }
+
+    /// Golden values: the encoding is part of the on-disk cache format
+    /// (see the module docs). A failure here means the fingerprint
+    /// semantics changed — bump `hmpt_core::store::SEMANTICS_VERSION`
+    /// and re-pin these in the same commit, or revert the change.
+    #[test]
+    fn fingerprint_encoding_is_pinned() {
+        assert_eq!(fingerprint_of(&1u64), 0x7878_e952_9d15_e750);
+        assert_eq!(fingerprint_of(&0.25f64), 0x934f_e17a_184c_1bcf);
+        assert_eq!(fingerprint_of("mg.D"), 0x1445_ef0b_011e_82d1);
+        assert_eq!(fingerprint_of(""), 0x9741_5220_5117_9a4a);
+        assert_eq!(fingerprint_of(&vec![1u64, 2, 3]), 0xa4a9_0f67_b9a5_767e);
+        assert_eq!(Fingerprint::from_raw(0xdead_beef).combine(42).raw(), 0x2067_7842_c5ab_1f7f);
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! No statistical analysis, warm-up scheduling, or HTML reports — just
 //! honest timings so `cargo bench` works offline. Bench targets set
 //! `harness = false` in Cargo.toml, exactly as with real criterion.
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! completed benchmark additionally appends one JSON line
+//! (`{"bench": ..., "mean_ns": ..., "samples": ...}`) to it — the
+//! machine-readable trail CI uploads as an artifact to track the perf
+//! trajectory run-over-run (`jq -s .` turns the JSONL into an array).
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -64,6 +70,29 @@ impl Bencher {
     }
 }
 
+/// Append one JSONL record for a completed benchmark to the file named
+/// by `BENCH_JSON` (no-op when unset; best-effort — a timing line on
+/// stdout is never lost to an unwritable JSON path).
+fn emit_json(label: &str, mean: Duration, samples: usize, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let escaped = label.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut line =
+        format!("{{\"bench\":\"{escaped}\",\"mean_ns\":{},\"samples\":{samples}", mean.as_nanos());
+    match throughput {
+        Some(Throughput::Bytes(n)) => line.push_str(&format!(",\"throughput_bytes\":{n}")),
+        Some(Throughput::Elements(n)) => line.push_str(&format!(",\"throughput_elements\":{n}")),
+        None => {}
+    }
+    line.push('}');
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        use std::io::Write;
+        let _ = writeln!(f, "{line}");
+    }
+}
+
 fn run_one(
     label: &str,
     samples: usize,
@@ -84,6 +113,7 @@ fn run_one(
                 _ => String::new(),
             };
             println!("{label:<50} {mean:>12.3?}/iter  ({samples} samples){extra}");
+            emit_json(label, mean, samples, throughput);
         }
         None => println!("{label:<50} (no measurement: bencher.iter never called)"),
     }

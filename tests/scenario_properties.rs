@@ -2,13 +2,16 @@
 //! lazy, deterministic, and duplicate-free for arbitrary axes; matrix
 //! execution is bit-identical across serial, parallel, and cached
 //! strategies; the shared measurement cache dedups campaign cells
-//! whenever two scenarios share a machine fingerprint; and the Xeon Max
-//! preset rows still land in the paper's Table II bands.
+//! whenever two scenarios share a machine fingerprint; any shard
+//! partition merged back is bit-identical to the unsharded run (and a
+//! run against a saved cache snapshot executes zero new cells); and the
+//! Xeon Max preset rows still land in the paper's Table II bands.
 
 use std::sync::Arc;
 
 use hmpt_fleet::{
-    run_matrix, run_matrix_with_cache, MatrixConfig, MeasurementCache, ScenarioMatrix,
+    run_matrix, run_matrix_sharded, run_matrix_with_cache, store, MatrixConfig, MatrixReport,
+    MeasurementCache, ScenarioMatrix, ShardReport,
 };
 use hmpt_repro::core::campaign::RepPolicy;
 use hmpt_repro::core::exec::ExecutorKind;
@@ -149,6 +152,29 @@ proptest! {
         let replay: Vec<usize> = matrix.scenarios().map(|s| s.index).collect();
         prop_assert_eq!(replay, (0..matrix.len()).collect::<Vec<_>>());
     }
+
+    /// For any axes and any shard count, the shards tile the index
+    /// space: contiguous, disjoint, complete, balanced within one.
+    #[test]
+    fn shards_partition_any_matrix_exactly(matrix in arb_matrix(), total in 1usize..=8) {
+        let shards: Vec<_> = (0..total).map(|k| matrix.shard(k, total)).collect();
+        prop_assert_eq!(shards[0].start, 0);
+        prop_assert_eq!(shards[total - 1].end, matrix.len());
+        for w in shards.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), matrix.len());
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "balanced within one scenario: {:?}", sizes);
+        // The matrix fingerprint is what merge trusts: stable across
+        // calls, and not shared with a differently-shaped matrix.
+        prop_assert_eq!(matrix.fingerprint(), matrix.fingerprint());
+        let grown = matrix.clone().with_budgets(
+            matrix.budgets().iter().copied().chain([Some(gib(512))]).collect(),
+        );
+        prop_assert!(matrix.fingerprint() != grown.fingerprint());
+    }
 }
 
 proptest! {
@@ -229,6 +255,81 @@ proptest! {
         prop_assert!(report.stats.cache.hit_rate() > 0.0, "stats: {:?}", report.stats.cache);
         // Budget rows need the identical campaign: hits == misses.
         prop_assert_eq!(report.stats.cache.hits, report.stats.cache.misses);
+    }
+
+    /// The acceptance property: for arbitrary axes and any shard count
+    /// `n ≤ 8`, merging the `n` shard reports (each run in its own
+    /// process-private cache) is bit-identical to the unsharded
+    /// `run_matrix` — rows, re-derived views, and stats modulo cache
+    /// counters — and a second run against a saved cache snapshot
+    /// executes zero new cells.
+    #[test]
+    fn sharded_merge_and_snapshot_warm_start_match_unsharded(
+        spec in arb_workload(),
+        seed in 0u64..1000,
+        budget_gib in 1u64..32,
+        total in 1usize..=8,
+        with_noise_axis in any::<bool>(),
+    ) {
+        let zoo = Zoo::new(vec![
+            ZooEntry::preset(Preset::XeonMaxSnc4),
+            ZooEntry::preset(Preset::XeonMaxSnc4).with_axis(Axis::ScaleHbmBw(0.5)),
+        ]);
+        let mut matrix = ScenarioMatrix::new(zoo, vec![spec])
+            .with_budgets(vec![None, Some(gib(budget_gib))])
+            .with_rep_policies(vec![RepPolicy::Fixed, RepPolicy::confidence(0.02, 2)])
+            .with_campaign(campaign(seed));
+        if with_noise_axis {
+            matrix = matrix.with_noise_cvs(vec![0.008, 0.0]);
+        }
+        let cfg = MatrixConfig::default();
+        let full = run_matrix(&matrix, &cfg).unwrap();
+
+        // Shard with independent caches — the cross-process case.
+        let shards: Vec<ShardReport> = (0..total)
+            .map(|k| {
+                run_matrix_sharded(
+                    &matrix,
+                    &cfg,
+                    matrix.shard(k, total),
+                    Arc::new(MeasurementCache::new()),
+                )
+                .unwrap()
+            })
+            .collect();
+        let merged = MatrixReport::merge(&shards).unwrap();
+        prop_assert!(full.bit_identical(&merged), "{} shards diverged", total);
+        // Stats match modulo cache counters (cells shared across a
+        // shard boundary are simulated once per shard).
+        prop_assert_eq!(full.stats.scenarios, merged.stats.scenarios);
+        prop_assert_eq!(full.stats.planned_cells, merged.stats.planned_cells);
+        prop_assert_eq!(full.stats.executed_cells, merged.stats.executed_cells);
+        // The views re-derived from the union of rows are the
+        // unsharded views, field for field.
+        prop_assert_eq!(
+            serde_json::to_string(&full.bw_curves).unwrap(),
+            serde_json::to_string(&merged.bw_curves).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&full.frontiers).unwrap(),
+            serde_json::to_string(&merged.frontiers).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&full.resident_groups).unwrap(),
+            serde_json::to_string(&merged.resident_groups).unwrap()
+        );
+
+        // Warm start: a run against the saved snapshot of a previous
+        // run's cache executes zero new cells.
+        let cache = Arc::new(MeasurementCache::new());
+        let cold = run_matrix_with_cache(&matrix, &cfg, Arc::clone(&cache)).unwrap();
+        let (snapshot, _) = store::to_bytes(&cache);
+        let warm_cache = Arc::new(MeasurementCache::new());
+        store::from_bytes(&snapshot, &warm_cache).unwrap();
+        let warm = run_matrix_with_cache(&matrix, &cfg, warm_cache).unwrap();
+        prop_assert_eq!(warm.stats.cache.misses, 0);
+        prop_assert!(cold.bit_identical(&warm));
+        prop_assert!(full.bit_identical(&warm));
     }
 }
 

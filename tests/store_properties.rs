@@ -1,0 +1,216 @@
+//! Property tests for the persistent measurement store
+//! (`hmpt_core::store`): snapshots round-trip bit-for-bit for arbitrary
+//! cache contents, survive arbitrary truncation and byte flips by
+//! skipping exactly the damaged records, merge with last-write-wins,
+//! and warm-start a real fleet run with zero new simulated cells.
+
+use hmpt_repro::core::cache::CellKey;
+use hmpt_repro::core::error::TunerError;
+use hmpt_repro::core::measure::CellOutcome;
+use hmpt_repro::core::store;
+use hmpt_repro::core::MeasurementCache;
+use hmpt_repro::sim::fingerprint::Fingerprint;
+use hmpt_repro::sim::pool::PoolKind;
+use proptest::prelude::*;
+
+type Entry = (CellKey, Result<CellOutcome, TunerError>);
+
+fn arb_key() -> impl Strategy<Value = CellKey> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c, d)| {
+        (
+            Fingerprint::from_raw(a),
+            Fingerprint::from_raw(b),
+            Fingerprint::from_raw(c),
+            Fingerprint::from_raw(d),
+        )
+    })
+}
+
+/// Any outcome a measured cell can produce (including the cached
+/// infeasible-placement errors).
+fn arb_value() -> impl Strategy<Value = Result<CellOutcome, TunerError>> {
+    prop_oneof![
+        4 => (1u64..1 << 52, 0u64..=1000).prop_map(|(t, h)| Ok(CellOutcome {
+            time_s: t as f64 * 1e-9,
+            hbm_fraction: h as f64 / 1000.0,
+        })),
+        1 => (any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(req, avail, hbm)| {
+            Err(TunerError::Alloc(hmpt_repro::alloc::error::AllocError::PoolExhausted {
+                pool: if hbm { PoolKind::Hbm } else { PoolKind::Ddr },
+                requested: req,
+                available: avail,
+            }))
+        }),
+        1 => Just(Err(TunerError::EmptyWorkload)),
+    ]
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<Entry>> {
+    prop::collection::vec((arb_key(), arb_value()), 0..40)
+}
+
+fn cache_of(entries: &[Entry]) -> MeasurementCache {
+    let cache = MeasurementCache::new();
+    for (k, v) in entries {
+        cache.insert(*k, v.clone());
+    }
+    cache
+}
+
+fn entry_matches(
+    original: &Result<CellOutcome, TunerError>,
+    loaded: &Result<CellOutcome, TunerError>,
+) -> bool {
+    match (original, loaded) {
+        (Ok(a), Ok(b)) => {
+            a.time_s.to_bits() == b.time_s.to_bits()
+                && a.hbm_fraction.to_bits() == b.hbm_fraction.to_bits()
+        }
+        (Err(a), Err(b)) => format!("{a}") == format!("{b}"),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Snapshot bytes round-trip every entry bit-for-bit, and are a
+    /// deterministic (sorted) function of cache content.
+    #[test]
+    fn snapshots_round_trip_bit_for_bit(entries in arb_entries()) {
+        let cache = cache_of(&entries);
+        let (bytes, saved) = store::to_bytes(&cache);
+        prop_assert_eq!(saved.saved as usize, cache.len());
+        prop_assert_eq!(saved.skipped, 0);
+
+        let restored = MeasurementCache::new();
+        let report = store::from_bytes(&bytes, &restored).unwrap();
+        prop_assert_eq!(report.loaded as usize, cache.len());
+        prop_assert_eq!(report.skipped, 0);
+        prop_assert!(!report.truncated);
+        prop_assert_eq!(restored.len(), cache.len());
+        for (k, v) in cache.entries() {
+            let loaded = restored.get(&k).expect("key survives the round trip");
+            prop_assert!(entry_matches(&v, &loaded), "entry at {:?} drifted", k);
+        }
+
+        // Insertion order never shows in the bytes.
+        let mut rev = entries.clone();
+        rev.reverse();
+        prop_assert_eq!(store::to_bytes(&cache_of(&rev)).0, bytes);
+    }
+
+    /// Cutting the snapshot anywhere loses only the tail: every record
+    /// the prefix still contains loads, and the loss is reported.
+    #[test]
+    fn truncation_loses_only_the_tail(entries in arb_entries(), cut_seed in 0usize..1_000_000) {
+        let cache = cache_of(&entries);
+        let (bytes, _) = store::to_bytes(&cache);
+        let cut = cut_seed % (bytes.len() + 1);
+        let restored = MeasurementCache::new();
+        match store::from_bytes(&bytes[..cut], &restored) {
+            Err(_) => prop_assert!(cut < 32, "only header-level cuts may discard the snapshot"),
+            Ok(report) => {
+                prop_assert!(cut >= 32);
+                let whole_records = (cut - 32) / 64;
+                prop_assert_eq!(report.loaded as usize, whole_records);
+                prop_assert_eq!(report.skipped, 0);
+                prop_assert_eq!(report.truncated, whole_records < cache.len());
+                // Everything recovered matches the original content.
+                for (k, v) in restored.entries() {
+                    let original = cache.get(&k).expect("no invented keys");
+                    prop_assert!(entry_matches(&original, &v));
+                }
+            }
+        }
+    }
+
+    /// Flipping one byte inside the record region damages exactly one
+    /// record; the load keeps every other record and counts the loss.
+    #[test]
+    fn a_flipped_record_byte_skips_exactly_one_record(
+        entries in prop::collection::vec((arb_key(), arb_value()), 1..40),
+        pos_seed in 0usize..1_000_000,
+        flip in 1u8..=255,
+    ) {
+        let cache = cache_of(&entries);
+        let (mut bytes, _) = store::to_bytes(&cache);
+        let records = bytes.len() - 32;
+        let pos = 32 + pos_seed % records;
+        bytes[pos] ^= flip;
+
+        let restored = MeasurementCache::new();
+        let report = store::from_bytes(&bytes, &restored).unwrap();
+        prop_assert_eq!(report.skipped, 1);
+        prop_assert_eq!(report.loaded as usize, cache.len() - 1);
+        prop_assert!(!report.truncated);
+        for (k, v) in restored.entries() {
+            let original = cache.get(&k).expect("undamaged keys only");
+            prop_assert!(entry_matches(&original, &v));
+        }
+    }
+
+    /// Merging snapshots is order-insensitive on content: any split of
+    /// the entries into two snapshots merges back to the full cache.
+    #[test]
+    fn merging_split_snapshots_restores_the_whole_cache(
+        entries in arb_entries(),
+        split_seed in 0usize..1_000_000,
+    ) {
+        let split = split_seed % (entries.len() + 1);
+        let (a, b) = entries.split_at(split);
+        let (bytes_a, _) = store::to_bytes(&cache_of(a));
+        let (bytes_b, _) = store::to_bytes(&cache_of(b));
+
+        let merged = MeasurementCache::new();
+        store::merge_bytes(&merged, &[&bytes_a[..], &bytes_b[..]]).unwrap();
+        let full = cache_of(&entries);
+        prop_assert_eq!(merged.len(), full.len());
+        // And merged-in-the-other-order produces the same snapshot
+        // bytes (identical content — LWW on equal keys is a no-op).
+        let merged_rev = MeasurementCache::new();
+        store::merge_bytes(&merged_rev, &[&bytes_b[..], &bytes_a[..]]).unwrap();
+        prop_assert_eq!(store::to_bytes(&merged).0, store::to_bytes(&merged_rev).0);
+    }
+}
+
+/// End to end: a fleet batch saved to disk warm-starts a second fleet in
+/// a "new process" (fresh cache) with zero new simulated cells and a
+/// bit-identical analysis.
+#[test]
+fn snapshot_warm_starts_a_fleet_with_zero_new_cells() {
+    use hmpt_fleet::{Fleet, FleetConfig, TuningJob};
+
+    let path =
+        std::env::temp_dir().join(format!("hmpt-store-properties-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = FleetConfig {
+        online_check: false,
+        cache_path: Some(path.clone()),
+        ..FleetConfig::default()
+    };
+    let jobs = vec![
+        TuningJob::new(hmpt_repro::workloads::npb::mg::workload()),
+        TuningJob::new(hmpt_repro::workloads::npb::is::workload()),
+    ];
+
+    let cold = Fleet::new(cfg.clone()).run(&jobs).unwrap();
+    assert!(cold.stats.cache.misses > 0);
+
+    let warm_fleet = Fleet::new(cfg);
+    assert!(warm_fleet.preloaded() > 0, "snapshot was loaded");
+    let warm = warm_fleet.run(&jobs).unwrap();
+    assert_eq!(warm.stats.cache.misses, 0, "zero new cells: {:?}", warm.stats.cache);
+    assert_eq!(warm.stats.executed_cells, cold.stats.executed_cells);
+    for (c, w) in cold.reports.iter().zip(&warm.reports) {
+        assert_eq!(
+            c.analysis.table2.max_speedup.to_bits(),
+            w.analysis.table2.max_speedup.to_bits()
+        );
+        assert_eq!(
+            c.analysis.table2.usage_90_pct.to_bits(),
+            w.analysis.table2.usage_90_pct.to_bits()
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
