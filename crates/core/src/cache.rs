@@ -76,17 +76,31 @@ impl CacheStats {
     }
 }
 
+/// One cached cell plus its recency stamp (a tick from the cache's
+/// monotonic use-clock, refreshed on every hit, peek, or insert).
+#[derive(Debug)]
+struct Entry {
+    value: Result<CellOutcome, TunerError>,
+    last_used: u64,
+}
+
 /// Thread-safe content-addressed store of measured cells.
 #[derive(Debug, Default)]
 pub struct MeasurementCache {
-    map: Mutex<HashMap<CellKey, Result<CellOutcome, TunerError>>>,
+    map: Mutex<HashMap<CellKey, Entry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotonic use-clock behind the per-entry recency stamps.
+    clock: AtomicU64,
 }
 
 impl MeasurementCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Look up a cell; on a miss, run `measure` and remember its result.
@@ -99,19 +113,30 @@ impl MeasurementCache {
     where
         F: FnOnce() -> Result<CellOutcome, TunerError>,
     {
-        if let Some(cached) = self.map.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+        {
+            let mut map = self.map.lock().expect("cache poisoned");
+            if let Some(entry) = map.get_mut(&key) {
+                entry.last_used = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.value.clone();
+            }
         }
         let outcome = measure();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().expect("cache poisoned").insert(key, outcome.clone());
+        let last_used = self.tick();
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, Entry { value: outcome.clone(), last_used });
         outcome
     }
 
-    /// Peek without measuring.
+    /// Peek without measuring (still counts as a use for recency).
     pub fn get(&self, key: &CellKey) -> Option<Result<CellOutcome, TunerError>> {
-        self.map.lock().expect("cache poisoned").get(key).cloned()
+        let mut map = self.map.lock().expect("cache poisoned");
+        let entry = map.get_mut(key)?;
+        entry.last_used = self.tick();
+        Some(entry.value.clone())
     }
 
     /// Insert (or overwrite) an entry without touching the hit/miss
@@ -119,13 +144,41 @@ impl MeasurementCache {
     /// on an existing key, which is safe because equal content keys
     /// imply bit-identical measurements.
     pub fn insert(&self, key: CellKey, value: Result<CellOutcome, TunerError>) {
-        self.map.lock().expect("cache poisoned").insert(key, value);
+        let last_used = self.tick();
+        self.map.lock().expect("cache poisoned").insert(key, Entry { value, last_used });
     }
 
     /// Snapshot every entry (unordered) — the persistence path of
     /// [`crate::store`], which sorts by key before encoding.
     pub fn entries(&self) -> Vec<(CellKey, Result<CellOutcome, TunerError>)> {
-        self.map.lock().expect("cache poisoned").iter().map(|(k, v)| (*k, v.clone())).collect()
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .iter()
+            .map(|(k, e)| (*k, e.value.clone()))
+            .collect()
+    }
+
+    /// Evict least-recently-used entries until at most `max_entries`
+    /// remain; returns how many were dropped. Ties on the recency stamp
+    /// break by key, so eviction is deterministic for a deterministic
+    /// use history (concurrent workers race on the use-clock, which can
+    /// reorder *which* cells survive — never what a surviving cell
+    /// holds: any subset of a content-addressed cache is valid, so
+    /// compaction affects future cost only, not results).
+    pub fn compact(&self, max_entries: usize) -> u64 {
+        let mut map = self.map.lock().expect("cache poisoned");
+        if map.len() <= max_entries {
+            return 0;
+        }
+        let mut order: Vec<(u64, CellKey)> = map.iter().map(|(k, e)| (e.last_used, *k)).collect();
+        // Most recent first; keep the head.
+        order.sort_by(|a, b| b.cmp(a));
+        let evicted = order.split_off(max_entries);
+        for (_, key) in &evicted {
+            map.remove(key);
+        }
+        evicted.len() as u64
     }
 
     pub fn len(&self) -> usize {
@@ -210,6 +263,24 @@ mod tests {
             assert!(matches!(r, Err(TunerError::EmptyWorkload)));
         }
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn compact_evicts_least_recently_used_first() {
+        let cache = MeasurementCache::new();
+        for i in 0..10 {
+            cache.insert(key(i, 0, 0, 0), cell(i as f64));
+        }
+        // Refresh two old entries; they must outlive younger untouched ones.
+        cache.get(&key(3, 0, 0, 0));
+        cache.get(&key(7, 0, 0, 0));
+        assert_eq!(cache.compact(4), 6);
+        assert_eq!(cache.len(), 4);
+        for survivor in [3, 7, 8, 9] {
+            assert!(cache.get(&key(survivor, 0, 0, 0)).is_some(), "entry {survivor} must survive");
+        }
+        assert!(cache.get(&key(0, 0, 0, 0)).is_none());
+        assert_eq!(cache.compact(10), 0, "under the cap, compaction is a no-op");
     }
 
     #[test]

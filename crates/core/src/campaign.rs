@@ -94,6 +94,83 @@ impl RepPolicy {
         }
     }
 
+    /// Parse the declarative spelling of a repetition policy — the
+    /// grammar shared by the `--policies` axis flag and the
+    /// `CampaignSpec` document:
+    ///
+    /// * `fixed` — the campaign's `runs_per_config` repetitions;
+    /// * `fixed:N` — exactly `N` repetitions (returned as a
+    ///   `runs_per_config` override, since [`RepPolicy::Fixed`] itself
+    ///   carries no count);
+    /// * `ci:T` — confidence-targeted with relative half-width `T` and
+    ///   the ceiling `default_max_reps`;
+    /// * `ci:T:M` — confidence-targeted with an explicit ceiling `M`.
+    ///
+    /// Returns the policy plus the optional `runs_per_config` override
+    /// a `fixed:N` spelling denotes.
+    pub fn from_spec(
+        spec: &str,
+        default_max_reps: usize,
+    ) -> Result<(RepPolicy, Option<usize>), String> {
+        let mut parts = spec.split(':');
+        let head = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        match head {
+            "fixed" => match args.as_slice() {
+                [] => Ok((RepPolicy::Fixed, None)),
+                [n] => {
+                    let n: usize = n
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("policy `{spec}`: `{n}` is not a count ≥ 1"))?;
+                    Ok((RepPolicy::Fixed, Some(n)))
+                }
+                _ => Err(format!("policy `{spec}`: `fixed` takes at most one `:N`")),
+            },
+            "ci" => {
+                let (target, max) = match args.as_slice() {
+                    [t] => (*t, None),
+                    [t, m] => (*t, Some(*m)),
+                    _ => {
+                        return Err(format!(
+                            "policy `{spec}` is not of the form ci:T or ci:T:M (e.g. ci:0.02:5)"
+                        ))
+                    }
+                };
+                let target: f64 =
+                    target.parse().ok().filter(|t: &f64| t.is_finite() && *t > 0.0).ok_or_else(
+                        || format!("policy `{spec}`: `{target}` is not a target > 0"),
+                    )?;
+                let max =
+                    match max {
+                        None => default_max_reps.max(1),
+                        Some(m) => m.parse().ok().filter(|&m| m >= 1).ok_or_else(|| {
+                            format!("policy `{spec}`: `{m}` is not a ceiling ≥ 1")
+                        })?,
+                    };
+                Ok((RepPolicy::confidence(target, max), None))
+            }
+            other => Err(format!("unknown policy `{other}` (policies: fixed[:N], ci:T[:M])")),
+        }
+    }
+
+    /// The canonical declarative spelling ([`RepPolicy::from_spec`]'s
+    /// inverse for every spec-constructible policy; a hand-built
+    /// `min_reps` other than the customary 2 is not spellable and
+    /// round-trips to the spelled policy).
+    pub fn spec_label(&self, reps_override: Option<usize>) -> String {
+        match *self {
+            RepPolicy::Fixed => match reps_override {
+                None => "fixed".to_string(),
+                Some(n) => format!("fixed:{n}"),
+            },
+            RepPolicy::ConfidenceTarget { max_reps, rel_half_width, .. } => {
+                format!("ci:{rel_half_width}:{max_reps}")
+            }
+        }
+    }
+
     /// Short label for reports (`fixed×3`, `ci(2%)≤5`).
     pub fn label(&self, runs_per_config: usize) -> String {
         match *self {
@@ -727,6 +804,27 @@ mod tests {
         assert!(RepPolicy::confidence(0.02, 5).label(3).contains("ci(2.000%)"));
         assert_eq!(RepPolicy::confidence(0.02, 5).planned_reps(3), 5);
         assert_eq!(RepPolicy::Fixed.planned_reps(0), 1);
+    }
+
+    #[test]
+    fn policy_specs_parse_and_roundtrip() {
+        assert_eq!(RepPolicy::from_spec("fixed", 3).unwrap(), (RepPolicy::Fixed, None));
+        assert_eq!(RepPolicy::from_spec("fixed:5", 3).unwrap(), (RepPolicy::Fixed, Some(5)));
+        assert_eq!(
+            RepPolicy::from_spec("ci:0.02", 4).unwrap(),
+            (RepPolicy::confidence(0.02, 4), None)
+        );
+        assert_eq!(
+            RepPolicy::from_spec("ci:0.02:7", 4).unwrap(),
+            (RepPolicy::confidence(0.02, 7), None)
+        );
+        for spec in ["fixed", "fixed:5", "ci:0.02:7"] {
+            let (policy, reps) = RepPolicy::from_spec(spec, 3).unwrap();
+            assert_eq!(policy.spec_label(reps), spec, "canonical spellings round-trip");
+        }
+        for bad in ["fixed:0", "fixed:many", "ci", "ci:-1", "ci:0.02:0", "ci:0.1:2:3", "nightly"] {
+            assert!(RepPolicy::from_spec(bad, 3).is_err(), "`{bad}` must be rejected");
+        }
     }
 
     #[test]

@@ -115,6 +115,62 @@ impl Scenario {
     }
 }
 
+/// One point on the repetition-policy axis: a policy plus an optional
+/// `runs_per_config` override, so `fixed:2` and `fixed:5` can coexist
+/// in one matrix. Cells are seeded per (config, repetition) — never per
+/// repetition *count* — so two points differing only in count share
+/// their common prefix of campaign cells in the measurement cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyPoint {
+    pub policy: RepPolicy,
+    /// `runs_per_config` override for this point (`None` = the base
+    /// campaign's count).
+    pub reps: Option<usize>,
+}
+
+impl PolicyPoint {
+    /// The base-campaign fixed policy (the default axis).
+    pub fn fixed() -> Self {
+        PolicyPoint { policy: RepPolicy::Fixed, reps: None }
+    }
+
+    /// Parse the declarative spelling (`fixed`, `fixed:N`, `ci:T`,
+    /// `ci:T:M` — see [`RepPolicy::from_spec`]). `default_max_reps`
+    /// bounds a `ci:T` spelling with no explicit ceiling.
+    pub fn parse(spec: &str, default_max_reps: usize) -> Result<PolicyPoint, String> {
+        let (policy, reps) = RepPolicy::from_spec(spec, default_max_reps)?;
+        Ok(PolicyPoint { policy, reps })
+    }
+
+    /// The canonical declarative spelling (round-trips through
+    /// [`PolicyPoint::parse`]).
+    pub fn spec_label(&self) -> String {
+        self.policy.spec_label(self.reps)
+    }
+
+    /// The `runs_per_config` this point runs `base` at.
+    pub fn runs_per_config(&self, base: &CampaignConfig) -> usize {
+        self.reps.unwrap_or(base.runs_per_config)
+    }
+}
+
+/// Parse one budget spec: a GiB value, or `none`/`inf` for unbudgeted.
+pub fn parse_budget(spec: &str) -> Result<Option<Bytes>, String> {
+    match spec {
+        "none" | "inf" => Ok(None),
+        _ => spec
+            .parse::<f64>()
+            .map_err(|_| format!("budget `{spec}` is neither a GiB value nor `none`"))
+            .and_then(|gib| {
+                if gib > 0.0 && gib.is_finite() {
+                    Ok(Some((gib * (1u64 << 30) as f64) as u64))
+                } else {
+                    Err(format!("budget `{spec}` must be positive"))
+                }
+            }),
+    }
+}
+
 /// The lazy cross-product of machines × workloads × budgets ×
 /// repetition policies × noise levels.
 #[derive(Debug, Clone)]
@@ -122,7 +178,7 @@ pub struct ScenarioMatrix {
     machines: Vec<ZooEntry>,
     workloads: Vec<WorkloadSpec>,
     budgets: Vec<Option<Bytes>>,
-    rep_policies: Vec<RepPolicy>,
+    rep_policies: Vec<PolicyPoint>,
     /// `None` → a single level at the base campaign's noise cv.
     noise_cvs: Option<Vec<f64>>,
     base: CampaignConfig,
@@ -136,10 +192,60 @@ impl ScenarioMatrix {
             machines: zoo.into_entries(),
             workloads,
             budgets: vec![None],
-            rep_policies: vec![RepPolicy::Fixed],
+            rep_policies: vec![PolicyPoint::fixed()],
             noise_cvs: None,
             base: CampaignConfig::default(),
         }
+    }
+
+    /// Build a matrix from declarative axis spellings — the constructor
+    /// behind `CampaignSpec` documents and the `scenarios` CLI flags.
+    ///
+    /// * `zoo` — [`ZooEntry::parse`] specs; empty = the standard sweep
+    ///   ([`Zoo::standard_sweep`]).
+    /// * `workloads` — Table II workload names (prefix match); empty =
+    ///   all seven.
+    /// * `budgets` — [`parse_budget`] specs; empty = unbudgeted.
+    /// * `policies` — [`PolicyPoint::parse`] specs; empty = the base
+    ///   campaign's fixed policy.
+    /// * `noise` — coefficients of variation; empty = the base
+    ///   campaign's level.
+    pub fn from_spec(
+        zoo: &[String],
+        workloads: &[String],
+        budgets: &[String],
+        policies: &[String],
+        noise: &[f64],
+        base: CampaignConfig,
+    ) -> Result<ScenarioMatrix, String> {
+        let zoo = if zoo.is_empty() { Zoo::standard_sweep() } else { Zoo::parse_entries(zoo)? };
+        let specs = if workloads.is_empty() {
+            hmpt_workloads::table2_workloads()
+        } else {
+            workloads
+                .iter()
+                .map(|name| {
+                    hmpt_workloads::find_table2(name).ok_or_else(|| {
+                        format!("unknown workload `{name}`; built-ins: mg bt lu sp ua is kwave")
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let budgets = budgets.iter().map(|b| parse_budget(b)).collect::<Result<Vec<_>, _>>()?;
+        let policies = policies
+            .iter()
+            .map(|p| PolicyPoint::parse(p, base.runs_per_config))
+            .collect::<Result<Vec<_>, _>>()?;
+        for cv in noise {
+            if !cv.is_finite() || *cv < 0.0 {
+                return Err(format!("noise level `{cv}` must be ≥ 0"));
+            }
+        }
+        Ok(ScenarioMatrix::new(zoo, specs)
+            .with_budgets(budgets)
+            .with_policy_axis(policies)
+            .with_noise_cvs(noise.to_vec())
+            .with_campaign(base))
     }
 
     /// Set the HBM-budget axis (an empty list resets to unbudgeted).
@@ -149,8 +255,16 @@ impl ScenarioMatrix {
     }
 
     /// Set the repetition-policy axis (empty resets to fixed `n`).
-    pub fn with_rep_policies(mut self, policies: Vec<RepPolicy>) -> Self {
-        self.rep_policies = if policies.is_empty() { vec![RepPolicy::Fixed] } else { policies };
+    pub fn with_rep_policies(self, policies: Vec<RepPolicy>) -> Self {
+        self.with_policy_axis(
+            policies.into_iter().map(|policy| PolicyPoint { policy, reps: None }).collect(),
+        )
+    }
+
+    /// Set the repetition-policy axis with per-point `runs_per_config`
+    /// overrides (empty resets to the base campaign's fixed `n`).
+    pub fn with_policy_axis(mut self, policies: Vec<PolicyPoint>) -> Self {
+        self.rep_policies = if policies.is_empty() { vec![PolicyPoint::fixed()] } else { policies };
         self
     }
 
@@ -180,7 +294,7 @@ impl ScenarioMatrix {
         &self.budgets
     }
 
-    pub fn rep_policies(&self) -> &[RepPolicy] {
+    pub fn rep_policies(&self) -> &[PolicyPoint] {
         &self.rep_policies
     }
 
@@ -235,15 +349,17 @@ impl ScenarioMatrix {
         let workload = i % self.workloads.len();
         let machine = i / self.workloads.len();
         let coords = ScenarioCoords { machine, workload, noise, policy, budget };
+        let point = self.rep_policies[policy];
         Scenario {
             index,
             coords,
             entry: self.machines[machine].clone(),
             workload: self.workloads[workload].clone(),
             budget: self.budgets[budget],
-            rep_policy: self.rep_policies[policy],
+            rep_policy: point.policy,
             campaign: CampaignConfig {
                 noise: NoiseModel { cv: self.noise_cv(noise) },
+                runs_per_config: point.runs_per_config(&self.base),
                 ..self.base
             },
         }
@@ -266,7 +382,7 @@ impl ScenarioMatrix {
     /// whose fingerprints differ.
     pub fn fingerprint(&self) -> Fingerprint {
         let mut h = StableHasher::new();
-        h.write_str("hmpt-scenario-matrix-v1");
+        h.write_str("hmpt-scenario-matrix-v2");
         h.write_u64(self.machines.len() as u64);
         for entry in &self.machines {
             h.write_u64(Fingerprint::of(entry).raw());
@@ -284,7 +400,7 @@ impl ScenarioMatrix {
         }
         h.write_u64(self.rep_policies.len() as u64);
         for p in &self.rep_policies {
-            match *p {
+            match p.policy {
                 RepPolicy::Fixed => {
                     h.write_u8(0);
                 }
@@ -295,6 +411,10 @@ impl ScenarioMatrix {
                         .write_f64(rel_half_width);
                 }
             }
+            match p.reps {
+                None => h.write_u8(0),
+                Some(n) => h.write_u8(1).write_u64(n as u64),
+            };
         }
         let cvs = self.noise_cvs();
         h.write_u64(cvs.len() as u64);

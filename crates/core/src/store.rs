@@ -394,6 +394,41 @@ pub fn merge_into<P: AsRef<Path>>(
     Ok(total)
 }
 
+/// What [`compact`] did to a snapshot.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CompactReport {
+    /// Records read from the snapshot (damaged ones were already
+    /// dropped by the load — compacting a partially corrupt snapshot
+    /// also sheds its unreadable records).
+    pub loaded: u64,
+    /// Records skipped by the load (failed checksum / undecodable).
+    pub unreadable: u64,
+    /// Records the size bound evicted.
+    pub evicted: u64,
+    /// Records in the rewritten snapshot.
+    pub kept: u64,
+}
+
+/// Bound a snapshot to at most `max_records` records, rewriting it in
+/// place (atomic temp-file + rename; records are individually
+/// checksummed, so the rewrite never degrades a readable record).
+///
+/// A snapshot file carries no usage history, so file-level compaction
+/// keeps a deterministic subset: the load walks records in file order
+/// (key-sorted), the newest load stamp wins, so the *highest* keys
+/// survive. For genuinely least-recently-used eviction, bound the live
+/// cache instead ([`MeasurementCache::compact`], or
+/// `cache.max_records` in a campaign spec) and let save-on-finish
+/// persist the swept cache — entries the run never touched age out.
+pub fn compact(path: impl AsRef<Path>, max_records: usize) -> Result<CompactReport, StoreError> {
+    let path = path.as_ref();
+    let cache = MeasurementCache::new();
+    let load = load_into(&cache, path)?;
+    let evicted = cache.compact(max_records);
+    let save = save(&cache, path)?;
+    Ok(CompactReport { loaded: load.loaded, unreadable: load.skipped, evicted, kept: save.saved })
+}
+
 /// In-memory merge of snapshot byte buffers (the file-less counterpart
 /// of [`merge_into`], for tests and embedding).
 pub fn merge_bytes(
@@ -453,6 +488,29 @@ mod tests {
                 _ => panic!("Ok/Err mismatch at {ka:?}"),
             }
         }
+    }
+
+    #[test]
+    fn compact_bounds_a_snapshot_in_place() {
+        let path = std::env::temp_dir().join(format!("hmpt-compact-{}.bin", std::process::id()));
+        let cache = MeasurementCache::new();
+        for i in 0..20 {
+            cache.insert(key(i, 1, 2, 3), Ok(CellOutcome { time_s: i as f64, hbm_fraction: 0.1 }));
+        }
+        save(&cache, &path).unwrap();
+        let r = compact(&path, 8).unwrap();
+        assert_eq!((r.loaded, r.unreadable, r.evicted, r.kept), (20, 0, 12, 8));
+        let (compacted, load) = load(&path).unwrap();
+        assert_eq!(load.loaded, 8);
+        // Load order is file order is key order, so the highest keys
+        // carry the newest stamps and survive — deterministically.
+        for i in 12..20 {
+            assert!(compacted.get(&key(i, 1, 2, 3)).is_some(), "key {i} must survive");
+        }
+        // Under the bound, a re-compact rewrites without evicting.
+        let r2 = compact(&path, 8).unwrap();
+        assert_eq!((r2.evicted, r2.kept), (0, 8));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

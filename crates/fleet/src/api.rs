@@ -1,0 +1,457 @@
+//! The unified request API: one typed `Request → Response` entry point
+//! over everything the fleet can do.
+//!
+//! Historically the crate had four front doors — `Fleet::run`,
+//! `run_matrix`, `run_matrix_sharded`, and the merge logic inside the
+//! CLI binary — each with its own argument conventions and failure
+//! modes. This module puts one facade in front of all of them:
+//!
+//! ```text
+//! Request::Batch(spec)  ─┐
+//! Request::Matrix(spec) ─┤→ execute(req) → Response::{Batch, Matrix,
+//! Request::Merge(req)   ─┘                  Shard, Merge} | ApiError
+//! ```
+//!
+//! A [`Request`] is built from a declarative [`CampaignSpec`]
+//! ([`Request::from_spec`]), so the CLI, tests, CI shard jobs, and any
+//! future remote endpoint execute the *same* document through the
+//! *same* code path — the CLI binary is a thin shell that compiles
+//! flags into a spec and renders the response. All verification the
+//! old CLI performed inline (serial-vs-parallel comparison, strategy
+//! bit-identity re-runs, budget/capacity audits, shard fingerprint
+//! validation) lives here, behind one error type ([`ApiError`]), so
+//! every entry point enforces it identically.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hmpt_core::driver::Driver;
+use hmpt_core::error::TunerError;
+use hmpt_core::exec::ExecutorKind;
+use hmpt_core::measure::run_campaign_with;
+use hmpt_core::scenario::{rows_capacity_ok, MatrixReport, MergeError, ShardReport};
+use hmpt_core::store::{self, LoadReport, SaveReport, StoreError};
+use serde::Serialize;
+
+use crate::cache::MeasurementCache;
+use crate::matrix::{run_matrix, run_matrix_sharded, run_matrix_with_cache, MatrixConfig};
+use crate::service::{Fleet, FleetReport, JobReport, TuningJob};
+use crate::spec::{CampaignSpec, Mode, Resolved, ResolvedBatch, ResolvedMatrix, SpecError};
+
+/// One campaign request, as data.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Tune a batch of workloads on one machine (the Table II path).
+    Batch(CampaignSpec),
+    /// Execute a scenario matrix — the whole matrix, or the one shard
+    /// the spec's `shard` range selects.
+    Matrix(CampaignSpec),
+    /// Reassemble shard reports into the full matrix report.
+    Merge(MergeRequest),
+}
+
+impl Request {
+    /// The request a spec denotes (its mode picks the variant; a
+    /// `Merge` request is not spec-denoted — shard reports are inputs,
+    /// not campaign settings).
+    pub fn from_spec(spec: CampaignSpec) -> Result<Request, SpecError> {
+        Ok(match spec.mode()? {
+            Mode::Batch => Request::Batch(spec),
+            Mode::Matrix => Request::Matrix(spec),
+        })
+    }
+}
+
+/// Inputs of a merge: shard reports plus optional cache-snapshot
+/// merging and an optional spec to validate the shards against.
+#[derive(Debug, Clone, Default)]
+pub struct MergeRequest {
+    pub shards: Vec<ShardReport>,
+    /// When present, every shard's `matrix_fingerprint` must equal this
+    /// spec's fingerprint — the CI handshake: shard jobs and the merge
+    /// job share one checked-in spec artifact.
+    pub spec: Option<CampaignSpec>,
+    /// Cache snapshots to fold (last-write-wins) into `cache_out`.
+    pub cache_in: Vec<PathBuf>,
+    /// Where the merged snapshot goes (required with `cache_in`).
+    pub cache_out: Option<PathBuf>,
+}
+
+/// What a request produced.
+#[derive(Debug)]
+pub enum Response {
+    Batch(BatchOutcome),
+    Matrix(MatrixOutcome),
+    /// A sharded matrix request (`shard` set in the spec).
+    Shard(ShardOutcome),
+    Merge(MergeOutcome),
+}
+
+/// The serial-vs-parallel timing pass of a batch request (also a
+/// bit-identity check — a divergence is an [`ApiError::Diverged`], so a
+/// comparison you can read implies determinism held).
+#[derive(Debug, Clone, Serialize)]
+pub struct Comparison {
+    pub serial_s: f64,
+    pub parallel_s: f64,
+    pub speedup: f64,
+}
+
+#[derive(Debug)]
+pub struct BatchOutcome {
+    pub report: FleetReport,
+    pub comparison: Option<Comparison>,
+    /// Cells preloaded from the cache snapshot at start.
+    pub preloaded: u64,
+    /// The executed spec's fingerprint (stamped into the CLI report).
+    pub fingerprint: String,
+}
+
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    pub report: MatrixReport,
+    pub preloaded: u64,
+    pub fingerprint: String,
+    /// A failed save-on-finish of the cache snapshot (the results above
+    /// are still valid — persistence degrades the *next* run).
+    pub save_error: Option<String>,
+}
+
+#[derive(Debug)]
+pub struct ShardOutcome {
+    pub report: ShardReport,
+    pub preloaded: u64,
+    /// Equals `report.matrix_fingerprint` by construction.
+    pub fingerprint: String,
+    pub save_error: Option<String>,
+}
+
+#[derive(Debug)]
+pub struct MergeOutcome {
+    pub report: MatrixReport,
+    /// Cache-snapshot merge accounting, when one was requested.
+    pub cache: Option<(LoadReport, SaveReport)>,
+}
+
+/// The one failure type every entry point shares.
+#[derive(Debug)]
+pub enum ApiError {
+    /// The spec does not parse or denote a valid campaign.
+    Spec(SpecError),
+    /// A campaign failed to execute.
+    Tuner(TunerError),
+    /// Shard reports refuse to merge.
+    Merge(MergeError),
+    /// A cache snapshot could not be read or written.
+    Store { path: String, error: StoreError },
+    /// A verification re-run produced different bits — the
+    /// determinism contract is broken; nothing should trust the run.
+    Diverged { what: String },
+    /// A scenario's placement exceeds its budget or machine capacity.
+    CapacityExceeded,
+    /// A shard report does not match the spec it claims to implement.
+    FingerprintMismatch { shard: usize, found: String, expected: String },
+    /// A merge request is structurally unusable (no shards, cache-out
+    /// without cache-in, …).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Spec(e) => write!(f, "{e}"),
+            ApiError::Tuner(e) => write!(f, "campaign failed: {e}"),
+            ApiError::Merge(e) => write!(f, "{e}"),
+            ApiError::Store { path, error } => write!(f, "cache snapshot {path}: {error}"),
+            ApiError::Diverged { what } => {
+                write!(f, "{what} diverged from the main run (determinism broken)")
+            }
+            ApiError::CapacityExceeded => {
+                write!(f, "a scenario's placement exceeds its budget or machine capacity")
+            }
+            ApiError::FingerprintMismatch { shard, found, expected } => {
+                write!(f, "shard {shard} ran fingerprint {found}, but the spec denotes {expected}")
+            }
+            ApiError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<SpecError> for ApiError {
+    fn from(e: SpecError) -> Self {
+        ApiError::Spec(e)
+    }
+}
+
+impl From<TunerError> for ApiError {
+    fn from(e: TunerError) -> Self {
+        ApiError::Tuner(e)
+    }
+}
+
+impl From<MergeError> for ApiError {
+    fn from(e: MergeError) -> Self {
+        ApiError::Merge(e)
+    }
+}
+
+/// Execute a request.
+pub fn execute(request: &Request) -> Result<Response, ApiError> {
+    execute_streaming(request, |_, _| {})
+}
+
+/// [`execute`], streaming each finished batch job to `on_job` (batch
+/// requests only; matrix scenarios aggregate into rows instead).
+pub fn execute_streaming(
+    request: &Request,
+    on_job: impl FnMut(usize, &JobReport),
+) -> Result<Response, ApiError> {
+    match request {
+        Request::Batch(spec) => {
+            let fingerprint = spec.fingerprint()?.to_string();
+            match spec.resolve()? {
+                Resolved::Batch(resolved) => {
+                    execute_batch(resolved, fingerprint, on_job).map(Response::Batch)
+                }
+                Resolved::Matrix(_) => {
+                    Err(ApiError::BadRequest("Request::Batch carries a matrix-mode spec".into()))
+                }
+            }
+        }
+        Request::Matrix(spec) => {
+            let fingerprint = spec.fingerprint()?.to_string();
+            match spec.resolve()? {
+                Resolved::Matrix(resolved) => execute_matrix(resolved, fingerprint),
+                Resolved::Batch(_) => {
+                    Err(ApiError::BadRequest("Request::Matrix carries a batch-mode spec".into()))
+                }
+            }
+        }
+        Request::Merge(req) => execute_merge(req).map(Response::Merge),
+    }
+}
+
+/// The batch path: optional serial-vs-parallel comparison, then the
+/// fleet run (per-job streaming, shared cache, snapshot load/save).
+fn execute_batch(
+    resolved: ResolvedBatch,
+    fingerprint: String,
+    on_job: impl FnMut(usize, &JobReport),
+) -> Result<BatchOutcome, ApiError> {
+    let comparison = if resolved.compare {
+        // Time against the configured parallel pool (or an auto-sized
+        // one when the main run is serial — the pass exists to compare).
+        let parallel = match resolved.fleet.executor {
+            ExecutorKind::Parallel { .. } => resolved.fleet.executor,
+            ExecutorKind::Serial => ExecutorKind::parallel(),
+        };
+        Some(compare(&resolved.jobs, parallel)?)
+    } else {
+        None
+    };
+    let fleet = Fleet::new(resolved.fleet);
+    let preloaded = fleet.preloaded();
+    let report = fleet.run_streaming(&resolved.jobs, on_job)?;
+    Ok(BatchOutcome { report, comparison, preloaded, fingerprint })
+}
+
+/// Serial vs parallel on the same campaigns, checking bit-identity —
+/// the timing pass behind `execution.compare`.
+fn compare(jobs: &[TuningJob], parallel: ExecutorKind) -> Result<Comparison, ApiError> {
+    // Profile + group once per job; time only the campaigns (the part
+    // the executor abstraction parallelizes).
+    let prepared = jobs
+        .iter()
+        .map(|job| {
+            let driver = Driver::new(job.machine.clone()).with_campaign(job.campaign);
+            let profile = driver.profile(&job.spec)?;
+            let groups = hmpt_core::grouping::group(
+                &job.spec,
+                &profile.stats,
+                &hmpt_core::grouping::GroupingConfig::default(),
+            );
+            Ok((job, groups))
+        })
+        .collect::<Result<Vec<_>, TunerError>>()?;
+
+    let run_all = |exec: ExecutorKind| {
+        prepared
+            .iter()
+            .map(|(job, groups)| {
+                run_campaign_with(&exec, &job.machine, &job.spec, groups, &job.campaign)
+            })
+            .collect::<Result<Vec<_>, TunerError>>()
+    };
+
+    let t0 = Instant::now();
+    let serial = run_all(ExecutorKind::Serial)?;
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let par = run_all(parallel)?;
+    let parallel_s = t0.elapsed().as_secs_f64();
+
+    let bit_identical = serial.iter().zip(&par).all(|(a, b)| {
+        a.measurements.len() == b.measurements.len()
+            && a.measurements.iter().zip(&b.measurements).all(|(x, y)| {
+                x.config == y.config
+                    && x.mean_s.to_bits() == y.mean_s.to_bits()
+                    && x.std_s.to_bits() == y.std_s.to_bits()
+            })
+    });
+    if !bit_identical {
+        return Err(ApiError::Diverged { what: "the parallel campaign".into() });
+    }
+    Ok(Comparison { serial_s, parallel_s, speedup: serial_s / parallel_s.max(1e-12) })
+}
+
+/// The matrix path: preload the snapshot, run the matrix (or its one
+/// shard), audit capacity, verify bit-identity across strategies, and
+/// save the snapshot back (LRU-swept to `cache.max_records`).
+fn execute_matrix(resolved: ResolvedMatrix, fingerprint: String) -> Result<Response, ApiError> {
+    let ResolvedMatrix { matrix, config, verify, cache_file, cache_max_records, shard } = resolved;
+    let cache = Arc::new(MeasurementCache::new());
+    let mut preloaded = 0;
+    if let Some(path) = cache_file.as_ref().filter(|p| p.exists()) {
+        // An unusable snapshot is a cold start, not an error — parity
+        // with `Fleet::with_cache`, including the diagnostics: a CI
+        // warm-start that silently re-simulates from cold is just an
+        // unexplained slow run.
+        match store::load_into(&cache, path) {
+            Ok(report) => {
+                preloaded = report.loaded;
+                if report.skipped > 0 || report.truncated {
+                    eprintln!(
+                        "hmpt-fleet: cache snapshot {} partially recovered \
+                         ({} cells loaded, {} skipped{})",
+                        path.display(),
+                        report.loaded,
+                        report.skipped,
+                        if report.truncated { ", truncated" } else { "" }
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "hmpt-fleet: ignoring cache snapshot {} (cold start): {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+    let save = |cache: &MeasurementCache| -> Option<String> {
+        let path = cache_file.as_ref()?;
+        if let Some(max) = cache_max_records {
+            cache.compact(max as usize);
+        }
+        store::save(cache, path).err().map(|e| format!("{}: {e}", path.display()))
+    };
+
+    if let Some(shard_spec) = shard {
+        let report = run_matrix_sharded(&matrix, &config, shard_spec, Arc::clone(&cache))?;
+        if !rows_capacity_ok(&report.rows) {
+            return Err(ApiError::CapacityExceeded);
+        }
+        if verify {
+            let vcfg = MatrixConfig {
+                executor: ExecutorKind::Serial,
+                job_workers: 1,
+                cache_enabled: false,
+                ..config
+            };
+            let other =
+                run_matrix_sharded(&matrix, &vcfg, shard_spec, Arc::new(MeasurementCache::new()))?;
+            if !report.bit_identical(&other) {
+                return Err(ApiError::Diverged { what: "the serial-uncached shard re-run".into() });
+            }
+        }
+        let save_error = save(&cache);
+        return Ok(Response::Shard(ShardOutcome { report, preloaded, fingerprint, save_error }));
+    }
+
+    let report = run_matrix_with_cache(&matrix, &config, Arc::clone(&cache))?;
+    if !report.capacity_ok() {
+        return Err(ApiError::CapacityExceeded);
+    }
+    if verify {
+        let mut strategies = vec![
+            (
+                "the serial-uncached re-run",
+                MatrixConfig {
+                    executor: ExecutorKind::Serial,
+                    job_workers: 1,
+                    cache_enabled: false,
+                    ..config
+                },
+            ),
+            (
+                "the parallel-uncached re-run",
+                MatrixConfig {
+                    executor: ExecutorKind::parallel(),
+                    job_workers: 0,
+                    cache_enabled: false,
+                    ..config
+                },
+            ),
+        ];
+        if !config.cache_enabled {
+            // The main run was uncached, so a cached pass must run here
+            // for the verified claim to cover all three strategies.
+            strategies.push(("the cached re-run", MatrixConfig { cache_enabled: true, ..config }));
+        }
+        for (name, vcfg) in strategies {
+            let other = run_matrix(&matrix, &vcfg)?;
+            if !report.bit_identical(&other) {
+                return Err(ApiError::Diverged { what: name.into() });
+            }
+        }
+    }
+    let save_error = save(&cache);
+    Ok(Response::Matrix(MatrixOutcome { report, preloaded, fingerprint, save_error }))
+}
+
+/// The merge path: validate the shards (against the spec, when given),
+/// reassemble the matrix report, audit capacity, and optionally fold
+/// the shards' cache snapshots into one warm-start snapshot.
+fn execute_merge(req: &MergeRequest) -> Result<MergeOutcome, ApiError> {
+    if req.shards.is_empty() {
+        return Err(ApiError::BadRequest("no shard reports given".into()));
+    }
+    if req.cache_in.is_empty() != req.cache_out.is_none() {
+        return Err(ApiError::BadRequest("cache_in and cache_out go together".into()));
+    }
+    if let Some(spec) = &req.spec {
+        let expected = spec.fingerprint()?.to_string();
+        for report in &req.shards {
+            if report.matrix_fingerprint != expected {
+                return Err(ApiError::FingerprintMismatch {
+                    shard: report.shard,
+                    found: report.matrix_fingerprint.clone(),
+                    expected,
+                });
+            }
+        }
+    }
+    let report = MatrixReport::merge(&req.shards)?;
+    if !report.capacity_ok() {
+        return Err(ApiError::CapacityExceeded);
+    }
+    let cache = match (&req.cache_in[..], &req.cache_out) {
+        ([], None) => None,
+        (paths, Some(out)) => {
+            let cache = MeasurementCache::new();
+            let loaded = store::merge_into(&cache, paths).map_err(|error| ApiError::Store {
+                path: paths.iter().map(|p| p.display().to_string()).collect::<Vec<_>>().join(","),
+                error,
+            })?;
+            let saved = store::save(&cache, out)
+                .map_err(|error| ApiError::Store { path: out.display().to_string(), error })?;
+            Some((loaded, saved))
+        }
+        _ => unreachable!("checked above"),
+    };
+    Ok(MergeOutcome { report, cache })
+}

@@ -1,26 +1,17 @@
-//! `hmpt-fleet` — run a batch of tuning campaigns through the fleet.
+//! `hmpt-fleet` — declarative campaign execution.
+//!
+//! Every invocation compiles to a [`CampaignSpec`] and executes through
+//! the typed `Request → Response` facade (`hmpt_fleet::api`); this
+//! binary is a thin shell that parses flags (`hmpt_fleet::cli`), prints
+//! progress, and renders the response as JSON.
 //!
 //! ```text
 //! hmpt-fleet                       # full Table II batch: compare + cached run + JSON
-//! hmpt-fleet mg sp                 # a subset of workloads
-//! hmpt-fleet --workers 4           # explicit pool size
-//! hmpt-fleet --serial              # force the serial executor
-//! hmpt-fleet --reps 5 --seed 9     # campaign settings (--runs is an alias)
-//! hmpt-fleet --ci-target 0.02     # adaptive repetitions: stop a config once
-//!                                  # its 95% CI half-width ≤ 2% of the mean
-//! hmpt-fleet --max-reps 5          # adaptive repetition ceiling (default: --reps)
-//! hmpt-fleet --no-cache            # bypass the content-addressed cell cache
-//! hmpt-fleet --no-compare          # skip the serial-vs-parallel timing pass
-//! hmpt-fleet --no-online           # skip the online cache-warm verification
-//! hmpt-fleet --json report.json    # write the JSON report to a file
-//! hmpt-fleet --cache-file c.bin    # persistent cache: load before, save after
+//! hmpt-fleet mg sp --reps 5        # a subset of workloads, campaign overrides
+//! hmpt-fleet --ci-target 0.02      # adaptive repetitions
+//! hmpt-fleet --machine cxl-far     # the batch on another zoo machine
+//! hmpt-fleet --cache-file c.bin --cache-max 100000   # bounded persistent cache
 //! ```
-//!
-//! The default invocation reproduces all seven Table II rows in one
-//! batch and reports, alongside each row: the serial-vs-parallel
-//! wall-clock comparison (with a bit-identity check of the two
-//! campaigns), the cache hit-rate of the batch, cells skipped by
-//! adaptive early stopping, and per-job online verification.
 //!
 //! ## Scenario matrices (`hmpt-fleet scenarios`)
 //!
@@ -28,54 +19,275 @@
 //! hmpt-fleet scenarios             # standard zoo × Table II workloads × budgets
 //! hmpt-fleet scenarios mg is \
 //!   --zoo xeon-max,hbm-flat,cxl-far,xeon-max*hbm-bw:0.5 \
-//!   --budgets none,16,8            # HBM budgets in GiB ("none" = unbudgeted)
-//! hmpt-fleet scenarios --noise 0.008,0   # noise-level axis (cv values)
-//! hmpt-fleet scenarios --job-workers 0   # run scenarios concurrently (0 = auto)
-//! hmpt-fleet scenarios --matrix-out matrix.json
-//! hmpt-fleet scenarios --no-verify       # skip the serial/parallel/cached
-//!                                        # bit-identity re-runs
-//! ```
-//!
-//! The scenarios mode enumerates the machines × workloads × budgets ×
-//! noise cross-product lazily, executes every cell through the shared
-//! measurement cache (budget rows of one machine dedup completely),
-//! verifies that serial, parallel, and cached execution produce
-//! bit-identical rows, checks every placement against its budget and
-//! machine capacity, and writes a JSON matrix report with per-scenario
-//! Table-II-style rows plus cross-machine views.
-//!
-//! ## Sharding and merging (`--shard`, `hmpt-fleet merge`)
-//!
-//! ```text
+//!   --budgets none,16,8 --noise 0.008,0 \
+//!   --policies fixed,fixed:5,ci:0.02:5    # repetition-policy axis
 //! hmpt-fleet scenarios --shard 1/3 --shard-out s1.json --cache-file c1.bin
-//! hmpt-fleet scenarios --shard 2/3 --shard-out s2.json --cache-file c2.bin
-//! hmpt-fleet scenarios --shard 3/3 --shard-out s3.json --cache-file c3.bin
 //! hmpt-fleet merge s1.json s2.json s3.json --matrix-out matrix.json \
 //!   --cache-in c1.bin,c2.bin,c3.bin --cache-out merged.bin
-//! hmpt-fleet scenarios --cache-file merged.bin   # warm start: 0 simulated runs
 //! ```
 //!
-//! `--shard K/N` executes the K-th of N balanced index-range shards of
-//! the scenario space (see `ScenarioMatrix::shard`) and emits a shard
-//! report; `merge` validates that all shards ran the same matrix (by
-//! content fingerprint), reassembles the full matrix report
-//! bit-identically to a single-process run, and can merge the shards'
-//! cache snapshots into one warm-start snapshot.
+//! ## Campaign specs (`hmpt-fleet run`)
+//!
+//! Campaigns are data: any flag invocation emits the spec it denotes
+//! (`--spec-out spec.toml`), and a spec file executes identically to
+//! the flags it came from —
+//!
+//! ```text
+//! hmpt-fleet scenarios --budgets none,8 --spec-out spec.toml   # compile, don't run
+//! hmpt-fleet run spec.toml                                     # same campaign
+//! hmpt-fleet run spec.toml --check                             # parse + fingerprint only
+//! hmpt-fleet run examples/zoo.toml --shard 2/3 --cache-file c2.bin --out s2.json
+//! hmpt-fleet merge s*.json --spec examples/zoo.toml            # validate against the spec
+//! ```
+//!
+//! The spec's content fingerprint covers everything that determines
+//! result bits and nothing that doesn't, so shard jobs driven by one
+//! checked-in spec file refuse to merge with anything else.
+//!
+//! ## Cache maintenance (`hmpt-fleet cache compact`)
+//!
+//! ```text
+//! hmpt-fleet cache compact cells.bin --max-records 50000
+//! ```
 
-use std::sync::Arc;
-
-use hmpt_core::driver::Driver;
 use hmpt_core::exec::{available_workers, ExecutorKind, RunExecutor};
-use hmpt_core::measure::{run_campaign_with, CampaignConfig};
-use hmpt_fleet::{
-    run_matrix, run_matrix_sharded, run_matrix_with_cache, store, Fleet, FleetConfig, MatrixConfig,
-    MatrixReport, MeasurementCache, RepPolicy, ScenarioMatrix, ScenarioRow, ShardReport, TuningJob,
-};
+use hmpt_fleet::api::{self, BatchOutcome, Comparison, MergeRequest, Request, Response};
+use hmpt_fleet::cli::{self, Action};
+use hmpt_fleet::spec::{CampaignSpec, Resolved};
+use hmpt_fleet::{store, ScenarioRow, ShardReport};
 use hmpt_sim::units::as_gib;
-use hmpt_sim::zoo::Zoo;
-use hmpt_workloads::model::WorkloadSpec;
 use serde::Serialize;
 use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmpt-fleet [options] [workload...]\n\
+         \x20      hmpt-fleet scenarios [options] [workload...]\n\
+         \x20      hmpt-fleet run <spec.toml|spec.json> [run options]\n\
+         \x20      hmpt-fleet merge <shard-report.json...> [--matrix-out P]\n\
+         \x20                       [--cache-in LIST --cache-out P] [--spec P]\n\
+         \x20      hmpt-fleet cache compact <snapshot> --max-records N\n\
+         options:\n\
+         \x20 --workers N     parallel worker count (default: available parallelism)\n\
+         \x20 --serial        use the serial executor\n\
+         \x20 --reps N        runs per configuration (default 3; --runs is an alias)\n\
+         \x20 --ci-target X   adaptive repetitions: retire a configuration once its\n\
+         \x20                 95% CI half-width falls to X of the mean (e.g. 0.02)\n\
+         \x20 --max-reps M    repetition ceiling under --ci-target (default: --reps)\n\
+         \x20 --seed S        campaign base seed (default: paper default)\n\
+         \x20 --machine M     batch platform as a zoo entry (default: xeon-max)\n\
+         \x20 --no-cache      bypass the content-addressed measurement cache\n\
+         \x20 --no-compare    skip the serial-vs-parallel comparison pass\n\
+         \x20 --no-online     skip the online-tuner verification pass\n\
+         \x20 --json PATH     write the JSON report to PATH (default: stdout)\n\
+         \x20 --job-workers N concurrent jobs/scenarios (default 1; 0 = auto)\n\
+         \x20 --cache-file P  persistent measurement cache: load the snapshot on\n\
+         \x20                 start (if present), save it back on finish\n\
+         \x20 --cache-max N   LRU-sweep the cache to N records at save time\n\
+         \x20 --spec-out P    write the campaign spec this invocation denotes\n\
+         \x20                 (TOML, or JSON for .json) and exit without running\n\
+         scenarios options:\n\
+         \x20 --zoo LIST      comma-separated machines: presets (xeon-max,\n\
+         \x20                 xeon-max-quad, hbm-flat, cxl-far, small-hbm) with\n\
+         \x20                 optional axes, e.g. xeon-max*hbm-bw:0.5*lat-gap:2\n\
+         \x20                 (default: every preset plus an hbm-bw sweep)\n\
+         \x20 --budgets LIST  HBM budgets in GiB; `none` = unbudgeted\n\
+         \x20                 (default: none,16,8)\n\
+         \x20 --policies LIST repetition-policy axis: fixed[:N] and ci:T[:M]\n\
+         \x20                 entries (default: fixed)\n\
+         \x20 --noise LIST    noise-level axis as cv values (default: campaign cv)\n\
+         \x20 --matrix-out P  write the JSON matrix report to P (default: stdout)\n\
+         \x20 --no-verify     skip the serial/parallel/cached bit-identity re-runs\n\
+         \x20 --shard K/N     run only the K-th of N index-range shards (1-based)\n\
+         \x20                 and emit a shard report for `hmpt-fleet merge`\n\
+         \x20 --shard-out P   write the shard report JSON to P (default: stdout)\n\
+         run options:\n\
+         \x20 --shard K/N     override the spec's shard range (CI job identity)\n\
+         \x20 --cache-file P  override the spec's cache snapshot path\n\
+         \x20 --out P         write the JSON report to P (default: stdout)\n\
+         \x20 --check         parse + resolve + print the fingerprint; don't run\n\
+         merge options:\n\
+         \x20 --matrix-out P  write the merged matrix report to P (default: stdout)\n\
+         \x20 --cache-in L    comma-separated cache snapshots to merge (LWW)\n\
+         \x20 --cache-out P   write the merged cache snapshot to P\n\
+         \x20 --spec P        require every shard to match this spec's fingerprint\n\
+         (workloads: built-in names like mg, sp, kwave; default: all seven)"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("hmpt-fleet: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(args) {
+        Err(e) => {
+            eprintln!("hmpt-fleet: {e}");
+            usage();
+        }
+        Ok(Action::Help) => usage(),
+        Ok(Action::Execute { spec, spec_out, check, out }) => {
+            if let Some(path) = spec_out {
+                let fingerprint = spec.fingerprint().unwrap_or_else(|e| fail(e));
+                spec.save(&path).unwrap_or_else(|e| fail(e));
+                eprintln!("campaign spec written to {path} (fingerprint {fingerprint})");
+                return;
+            }
+            if check {
+                let fingerprint = spec.fingerprint().unwrap_or_else(|e| fail(e));
+                describe(&spec);
+                println!("{fingerprint}");
+                return;
+            }
+            execute(spec, out);
+        }
+        Ok(Action::Merge { files, spec, matrix_out, cache_in, cache_out }) => {
+            merge(files, spec, matrix_out, cache_in, cache_out)
+        }
+        Ok(Action::CacheCompact { file, max_records }) => {
+            let report = store::compact(&file, max_records as usize)
+                .unwrap_or_else(|e| fail(format!("cannot compact {file}: {e}")));
+            eprintln!(
+                "cache snapshot {file}: {} records read{} → {} evicted, {} kept",
+                report.loaded,
+                if report.unreadable > 0 {
+                    format!(" ({} unreadable dropped)", report.unreadable)
+                } else {
+                    String::new()
+                },
+                report.evicted,
+                report.kept,
+            );
+        }
+    }
+}
+
+/// One stderr line summarizing what a spec denotes (the `--check` view
+/// and the pre-run banner share it).
+fn describe(spec: &CampaignSpec) {
+    match spec.resolve() {
+        Err(e) => fail(e),
+        Ok(Resolved::Batch(b)) => {
+            eprintln!(
+                "hmpt-fleet: batch of {} job(s) on {} (reps {}, seed {}, cache {})",
+                b.jobs.len(),
+                b.fleet.executor.label(),
+                b.fleet.rep_policy.label(b.campaign.runs_per_config),
+                b.campaign.base_seed,
+                if b.fleet.cache_enabled { "on" } else { "off" },
+            );
+        }
+        Ok(Resolved::Matrix(m)) => {
+            eprintln!(
+                "hmpt-fleet: {} machines × {} workloads × {} budgets × {} policies × \
+                 {} noise levels = {} scenarios ({}, {} job workers, cache {}{})",
+                m.matrix.machines().len(),
+                m.matrix.workloads().len(),
+                m.matrix.budgets().len(),
+                m.matrix.rep_policies().len(),
+                m.matrix.noise_cvs().len(),
+                m.matrix.len(),
+                m.config.executor.label(),
+                if m.config.job_workers == 0 { available_workers() } else { m.config.job_workers },
+                if m.config.cache_enabled { "on" } else { "off" },
+                match &m.shard {
+                    Some(s) => format!(
+                        "; shard {}/{}: scenarios {}..{}",
+                        s.shard + 1,
+                        s.total,
+                        s.start,
+                        s.end
+                    ),
+                    None => String::new(),
+                },
+            );
+        }
+    }
+}
+
+/// Execute a spec through the API facade and render the response.
+fn execute(spec: CampaignSpec, out: Option<String>) {
+    describe(&spec);
+    let request = Request::from_spec(spec.clone()).unwrap_or_else(|e| fail(e));
+    let batch_header = matches!(request, Request::Batch(_));
+    if batch_header {
+        eprintln!("workload     max   HBM-only   90% usage   online   cells (hit/miss)   wall");
+    }
+    let t0 = Instant::now();
+    let response = api::execute_streaming(&request, |_, r| {
+        let t2 = &r.analysis.table2;
+        eprintln!(
+            "{:<10} {:>5.2}x {:>7.2}x {:>9.1}%  {:>6}  {:>7}/{:<7} {:>7.3}s",
+            r.analysis.workload,
+            t2.max_speedup,
+            t2.hbm_only_speedup,
+            t2.usage_90_pct,
+            r.online
+                .as_ref()
+                .map(|o| format!("{:.2}x", o.speedup))
+                .unwrap_or_else(|| "-".to_string()),
+            r.cache.hits,
+            r.cache.misses,
+            r.wall_s
+        );
+    })
+    .unwrap_or_else(|e| fail(e));
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    match response {
+        Response::Batch(outcome) => render_batch(&spec, outcome, total_wall_s, out),
+        Response::Matrix(outcome) => {
+            print_rows(&outcome.report.scenarios);
+            let stats = &outcome.report.stats;
+            eprintln!(
+                "matrix: {} scenarios, {}/{} cells executed, {} hits / {} misses \
+                 (hit-rate {:.1}%), {:.2} scenarios/s, {:.3}s (spec {})",
+                stats.scenarios,
+                stats.executed_cells,
+                stats.planned_cells,
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.hit_rate() * 100.0,
+                stats.scenarios_per_s,
+                stats.wall_s,
+                outcome.fingerprint,
+            );
+            if outcome.preloaded > 0 {
+                eprintln!("cache snapshot: {} cells preloaded", outcome.preloaded);
+            }
+            // Report before surfacing a failed snapshot save: persistence
+            // degrades the next run, not this one's results.
+            write_json(&outcome.report, out.as_deref(), "matrix report");
+            if let Some(e) = outcome.save_error {
+                fail(format!("cannot save cache snapshot {e}"));
+            }
+        }
+        Response::Shard(outcome) => {
+            print_rows(&outcome.report.rows);
+            let stats = &outcome.report.stats;
+            eprintln!(
+                "shard: {} scenarios, {}/{} cells executed, {} hits / {} misses \
+                 (hit-rate {:.1}%), {:.3}s (spec {})",
+                stats.scenarios,
+                stats.executed_cells,
+                stats.planned_cells,
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.hit_rate() * 100.0,
+                stats.wall_s,
+                outcome.fingerprint,
+            );
+            write_json(&outcome.report, out.as_deref(), "shard report");
+            if let Some(e) = outcome.save_error {
+                fail(format!("cannot save cache snapshot {e}"));
+            }
+        }
+        Response::Merge(_) => unreachable!("specs never denote merges"),
+    }
+}
 
 #[derive(Debug, Clone, Serialize)]
 struct JobRow {
@@ -96,14 +308,6 @@ struct JobRow {
 }
 
 #[derive(Debug, Clone, Serialize)]
-struct Comparison {
-    serial_s: f64,
-    parallel_s: f64,
-    speedup: f64,
-    bit_identical: bool,
-}
-
-#[derive(Debug, Clone, Serialize)]
 struct Report {
     machine: String,
     workers: usize,
@@ -112,6 +316,8 @@ struct Report {
     rep_policy: String,
     cache_enabled: bool,
     base_seed: u64,
+    /// Content fingerprint of the executed campaign spec.
+    spec_fingerprint: String,
     comparison: Option<Comparison>,
     jobs: Vec<JobRow>,
     cache_hits: u64,
@@ -124,461 +330,34 @@ struct Report {
     /// misses; every executed cell when the cache is off). `0` means the
     /// whole batch was served from a warm cache.
     simulated_cells: u64,
-    /// Cells preloaded from the `--cache-file` snapshot at startup.
+    /// Cells preloaded from the cache snapshot at startup.
     cache_preloaded: u64,
     cells_per_s: f64,
     total_wall_s: f64,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: hmpt-fleet [options] [workload...]\n\
-         \x20      hmpt-fleet scenarios [options] [workload...]\n\
-         \x20      hmpt-fleet merge <shard-report.json...> [--matrix-out P]\n\
-         \x20                       [--cache-in LIST --cache-out P]\n\
-         options:\n\
-         \x20 --workers N     parallel worker count (default: available parallelism)\n\
-         \x20 --serial        use the serial executor for the batch\n\
-         \x20 --reps N        runs per configuration (default 3; --runs is an alias)\n\
-         \x20 --ci-target X   adaptive repetitions: retire a configuration once its\n\
-         \x20                 95% CI half-width falls to X of the mean (e.g. 0.02)\n\
-         \x20 --max-reps M    repetition ceiling under --ci-target (default: --reps)\n\
-         \x20 --seed S        campaign base seed (default: paper default)\n\
-         \x20 --no-cache      bypass the content-addressed measurement cache\n\
-         \x20 --no-compare    skip the serial-vs-parallel comparison pass\n\
-         \x20 --no-online     skip the online-tuner verification pass\n\
-         \x20 --json PATH     write the JSON report to PATH (default: stdout)\n\
-         \x20 --job-workers N concurrent jobs/scenarios (default 1; 0 = auto)\n\
-         \x20 --cache-file P  persistent measurement cache: load the snapshot on\n\
-         \x20                 start (if present), save it back on finish\n\
-         scenarios options:\n\
-         \x20 --zoo LIST      comma-separated machines: presets (xeon-max,\n\
-         \x20                 xeon-max-quad, hbm-flat, cxl-far, small-hbm) with\n\
-         \x20                 optional axes, e.g. xeon-max*hbm-bw:0.5*lat-gap:2\n\
-         \x20                 (default: every preset)\n\
-         \x20 --budgets LIST  HBM budgets in GiB; `none` = unbudgeted\n\
-         \x20                 (default: none,16,8)\n\
-         \x20 --noise LIST    noise-level axis as cv values (default: campaign cv)\n\
-         \x20 --matrix-out P  write the JSON matrix report to P (default: stdout)\n\
-         \x20 --no-verify     skip the serial/parallel/cached bit-identity re-runs\n\
-         \x20 --shard K/N     run only the K-th of N index-range shards (1-based)\n\
-         \x20                 and emit a shard report for `hmpt-fleet merge`\n\
-         \x20 --shard-out P   write the shard report JSON to P (default: stdout)\n\
-         merge options:\n\
-         \x20 --matrix-out P  write the merged matrix report to P (default: stdout)\n\
-         \x20 --cache-in L    comma-separated cache snapshots to merge (LWW)\n\
-         \x20 --cache-out P   write the merged cache snapshot to P\n\
-         (workloads: built-in names like mg, sp, kwave; default: all seven)"
-    );
-    std::process::exit(2);
-}
-
-/// Parse `--shard K/N` (1-based K) into a 0-based (shard, total) pair.
-fn parse_shard(s: &str) -> Result<(usize, usize), String> {
-    let (k, n) =
-        s.split_once('/').ok_or_else(|| format!("--shard `{s}` is not of the form K/N"))?;
-    let k: usize = k.trim().parse().map_err(|_| format!("--shard `{s}`: K is not a number"))?;
-    let n: usize = n.trim().parse().map_err(|_| format!("--shard `{s}`: N is not a number"))?;
-    if n == 0 || k == 0 || k > n {
-        return Err(format!("--shard `{s}`: need 1 ≤ K ≤ N"));
-    }
-    Ok((k - 1, n))
-}
-
-/// Parse the `--budgets` list: GiB values with `none` for unbudgeted.
-fn parse_budgets(csv: &str) -> Result<Vec<Option<u64>>, String> {
-    csv.split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(|s| match s {
-            "none" | "inf" => Ok(None),
-            _ => s
-                .parse::<f64>()
-                .map_err(|_| format!("budget `{s}` is neither a GiB value nor `none`"))
-                .and_then(|gib| {
-                    if gib > 0.0 && gib.is_finite() {
-                        Ok(Some((gib * (1u64 << 30) as f64) as u64))
-                    } else {
-                        Err(format!("budget `{s}` must be positive"))
-                    }
-                }),
-        })
-        .collect()
-}
-
-/// Parse the `--noise` list of coefficients of variation.
-fn parse_noise(csv: &str) -> Result<Vec<f64>, String> {
-    csv.split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(|s| {
-            s.parse::<f64>().map_err(|_| format!("noise level `{s}` is not a number")).and_then(
-                |cv| {
-                    if cv.is_finite() && cv >= 0.0 {
-                        Ok(cv)
-                    } else {
-                        Err(format!("noise level `{s}` must be ≥ 0"))
-                    }
-                },
-            )
-        })
-        .collect()
-}
-
-fn find_workload(name: &str) -> Option<WorkloadSpec> {
-    hmpt_workloads::table2_workloads()
-        .into_iter()
-        .find(|w| w.name == name || w.name.starts_with(name))
-}
-
-/// Serial vs parallel on the same campaigns, checking bit-identity.
-fn compare(jobs: &[TuningJob], parallel: ExecutorKind) -> Comparison {
-    // Profile + group once per job; time only the campaigns (the part
-    // the executor abstraction parallelizes).
-    let prepared: Vec<_> = jobs
-        .iter()
-        .map(|job| {
-            let driver = Driver::new(job.machine.clone()).with_campaign(job.campaign);
-            let profile = driver.profile(&job.spec).expect("profiling");
-            let groups = hmpt_core::grouping::group(
-                &job.spec,
-                &profile.stats,
-                &hmpt_core::grouping::GroupingConfig::default(),
-            );
-            (job, groups)
-        })
-        .collect();
-
-    let run_all = |exec: ExecutorKind| {
-        prepared
-            .iter()
-            .map(|(job, groups)| {
-                run_campaign_with(&exec, &job.machine, &job.spec, groups, &job.campaign)
-                    .expect("campaign")
-            })
-            .collect::<Vec<_>>()
+fn render_batch(
+    spec: &CampaignSpec,
+    outcome: BatchOutcome,
+    total_wall_s: f64,
+    out: Option<String>,
+) {
+    let Ok(Resolved::Batch(resolved)) = spec.resolve() else {
+        unreachable!("a batch outcome implies a batch spec");
     };
-
-    let t0 = Instant::now();
-    let serial = run_all(ExecutorKind::Serial);
-    let serial_s = t0.elapsed().as_secs_f64();
-
-    let t0 = Instant::now();
-    let par = run_all(parallel);
-    let parallel_s = t0.elapsed().as_secs_f64();
-
-    let bit_identical = serial.iter().zip(&par).all(|(a, b)| {
-        a.measurements.len() == b.measurements.len()
-            && a.measurements.iter().zip(&b.measurements).all(|(x, y)| {
-                x.config == y.config
-                    && x.mean_s.to_bits() == y.mean_s.to_bits()
-                    && x.std_s.to_bits() == y.std_s.to_bits()
-            })
-    });
-    Comparison { serial_s, parallel_s, speedup: serial_s / parallel_s.max(1e-12), bit_identical }
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut workers = 0usize;
-    let mut serial = false;
-    let mut runs: Option<usize> = None;
-    let mut ci_target: Option<f64> = None;
-    let mut max_reps: Option<usize> = None;
-    let mut seed: Option<u64> = None;
-    let mut cache_enabled = true;
-    let mut do_compare = true;
-    let mut online = true;
-    let mut json_path: Option<String> = None;
-    let mut names: Vec<String> = Vec::new();
-    let mut scenarios_mode = false;
-    let mut merge_mode = false;
-    let mut zoo_spec: Option<String> = None;
-    let mut budgets_spec: Option<String> = None;
-    let mut noise_spec: Option<String> = None;
-    let mut matrix_out: Option<String> = None;
-    let mut job_workers = 1usize;
-    let mut verify = true;
-    let mut cache_file: Option<String> = None;
-    let mut shard_spec: Option<String> = None;
-    let mut shard_out: Option<String> = None;
-    let mut cache_in: Option<String> = None;
-    let mut cache_out: Option<String> = None;
-
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--workers" => {
-                workers = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--serial" => serial = true,
-            "--runs" | "--reps" => {
-                runs = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
-            }
-            "--ci-target" => {
-                ci_target = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
-            }
-            "--max-reps" => {
-                max_reps = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
-            }
-            "--seed" => {
-                seed = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
-            }
-            "--no-cache" => cache_enabled = false,
-            "--no-compare" => do_compare = false,
-            "--no-online" => online = false,
-            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
-            "--zoo" => zoo_spec = Some(it.next().unwrap_or_else(|| usage())),
-            "--budgets" => budgets_spec = Some(it.next().unwrap_or_else(|| usage())),
-            "--noise" => noise_spec = Some(it.next().unwrap_or_else(|| usage())),
-            "--matrix-out" => matrix_out = Some(it.next().unwrap_or_else(|| usage())),
-            "--job-workers" => {
-                job_workers = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--no-verify" => verify = false,
-            "--cache-file" => cache_file = Some(it.next().unwrap_or_else(|| usage())),
-            "--shard" => shard_spec = Some(it.next().unwrap_or_else(|| usage())),
-            "--shard-out" => shard_out = Some(it.next().unwrap_or_else(|| usage())),
-            "--cache-in" => cache_in = Some(it.next().unwrap_or_else(|| usage())),
-            "--cache-out" => cache_out = Some(it.next().unwrap_or_else(|| usage())),
-            "--help" | "-h" => usage(),
-            other if other.starts_with('-') => usage(),
-            "scenarios" if names.is_empty() && !scenarios_mode && !merge_mode => {
-                scenarios_mode = true
-            }
-            "merge" if names.is_empty() && !scenarios_mode && !merge_mode => merge_mode = true,
-            name => names.push(name.to_string()),
-        }
-    }
-
-    if merge_mode {
-        // Merge takes shard-report files plus its own flags only — a
-        // run flag here (e.g. `--cache-file` instead of `--cache-out`)
-        // would otherwise be parsed and silently ignored.
-        for (flag, given) in [
-            ("--workers", workers != 0),
-            ("--serial", serial),
-            ("--reps", runs.is_some()),
-            ("--ci-target", ci_target.is_some()),
-            ("--max-reps", max_reps.is_some()),
-            ("--seed", seed.is_some()),
-            ("--no-cache", !cache_enabled),
-            ("--no-compare", !do_compare),
-            ("--no-online", !online),
-            ("--json", json_path.is_some()),
-            ("--zoo", zoo_spec.is_some()),
-            ("--budgets", budgets_spec.is_some()),
-            ("--noise", noise_spec.is_some()),
-            ("--job-workers", job_workers != 1),
-            ("--no-verify", !verify),
-            ("--cache-file (use --cache-in/--cache-out)", cache_file.is_some()),
-            ("--shard", shard_spec.is_some()),
-            ("--shard-out", shard_out.is_some()),
-        ] {
-            if given {
-                eprintln!("{flag} does not apply to the merge mode (hmpt-fleet merge ...)");
-                usage();
-            }
-        }
-        run_merge(MergeArgs { files: names, matrix_out, cache_in, cache_out });
-        return;
-    }
-    for (flag, given) in [("--cache-in", cache_in.is_some()), ("--cache-out", cache_out.is_some())]
-    {
-        if given {
-            eprintln!("{flag} only applies to the merge mode (hmpt-fleet merge ...)");
-            usage();
-        }
-    }
-
-    let mut campaign = CampaignConfig::default();
-    if let Some(r) = runs {
-        campaign.runs_per_config = r;
-    }
-    if let Some(s) = seed {
-        campaign.base_seed = s;
-    }
-    let rep_policy = match ci_target {
-        Some(hw) => RepPolicy::confidence(hw, max_reps.unwrap_or(campaign.runs_per_config)),
-        None => {
-            if max_reps.is_some() {
-                eprintln!("--max-reps only applies with --ci-target");
-                usage();
-            }
-            RepPolicy::Fixed
-        }
-    };
-
-    let specs: Vec<WorkloadSpec> = if names.is_empty() {
-        hmpt_workloads::table2_workloads()
-    } else {
-        names
-            .iter()
-            .map(|n| {
-                find_workload(n).unwrap_or_else(|| {
-                    eprintln!("unknown workload {n}; built-ins: mg bt lu sp ua is kwave");
-                    std::process::exit(1);
-                })
-            })
-            .collect()
-    };
-    let executor = if serial { ExecutorKind::Serial } else { ExecutorKind::Parallel { workers } };
-
-    if scenarios_mode {
-        // Batch-only flags must not be silently ignored either.
-        for (flag, given) in [
-            ("--json (use --matrix-out)", json_path.is_some()),
-            ("--no-compare", !do_compare),
-            ("--no-online", !online),
-        ] {
-            if given {
-                eprintln!("{flag} only applies to the batch mode");
-                usage();
-            }
-        }
-        let shard = shard_spec.as_deref().map(|s| {
-            parse_shard(s).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                usage();
-            })
-        });
-        if shard.is_none() && shard_out.is_some() {
-            eprintln!("--shard-out only applies with --shard");
-            usage();
-        }
-        if shard.is_some() && matrix_out.is_some() {
-            eprintln!(
-                "--matrix-out does not apply with --shard (use --shard-out; \
-                       `hmpt-fleet merge` produces the matrix report)"
-            );
-            usage();
-        }
-        run_scenarios(ScenarioArgs {
-            specs,
-            campaign,
-            rep_policy,
-            executor,
-            job_workers,
-            cache_enabled,
-            verify,
-            zoo_spec,
-            budgets_spec,
-            noise_spec,
-            matrix_out,
-            cache_file,
-            shard,
-            shard_out,
-        });
-        return;
-    }
-
-    // Scenario-only flags must not be silently ignored in batch mode.
-    for (flag, given) in [
-        ("--zoo", zoo_spec.is_some()),
-        ("--budgets", budgets_spec.is_some()),
-        ("--noise", noise_spec.is_some()),
-        ("--matrix-out", matrix_out.is_some()),
-        ("--no-verify", !verify),
-        ("--shard", shard_spec.is_some()),
-        ("--shard-out", shard_out.is_some()),
-    ] {
-        if given {
-            eprintln!("{flag} only applies to the scenarios mode (hmpt-fleet scenarios ...)");
-            usage();
-        }
-    }
-    // Same rule the scenarios mode enforces: a snapshot path with the
-    // cache disabled would be silently neither read nor written.
-    if cache_file.is_some() && !cache_enabled {
-        eprintln!("--cache-file needs the cache enabled (drop --no-cache)");
-        usage();
-    }
-
-    let jobs: Vec<TuningJob> =
-        specs.into_iter().map(|s| TuningJob::new(s).with_campaign(campaign)).collect();
-
-    let pool = if serial {
-        1
-    } else if workers == 0 {
-        available_workers()
-    } else {
-        workers
-    };
-
-    eprintln!(
-        "hmpt-fleet: {} job(s) on {} (reps {}, seed {}, cache {})",
-        jobs.len(),
-        executor.label(),
-        rep_policy.label(campaign.runs_per_config),
-        campaign.base_seed,
-        if cache_enabled { "on" } else { "off" }
-    );
-
-    let comparison = if do_compare {
-        let c = compare(&jobs, ExecutorKind::Parallel { workers });
+    if let Some(c) = &outcome.comparison {
         eprintln!(
-            "campaign executor comparison: serial {:.3}s vs parallel {:.3}s ({:.2}x, {})",
-            c.serial_s,
-            c.parallel_s,
-            c.speedup,
-            if c.bit_identical { "bit-identical" } else { "MISMATCH" }
-        );
-        if !c.bit_identical {
-            eprintln!("error: parallel campaign diverged from serial campaign");
-            std::process::exit(1);
-        }
-        Some(c)
-    } else {
-        None
-    };
-
-    let fleet = Fleet::new(FleetConfig {
-        executor,
-        rep_policy,
-        online_check: online,
-        cache_enabled,
-        job_workers,
-        cache_path: cache_file.as_ref().map(std::path::PathBuf::from),
-        ..FleetConfig::default()
-    });
-    if fleet.preloaded() > 0 {
-        eprintln!(
-            "cache snapshot {}: {} cells preloaded",
-            cache_file.as_deref().unwrap_or_default(),
-            fleet.preloaded()
+            "campaign executor comparison: serial {:.3}s vs parallel {:.3}s ({:.2}x, bit-identical)",
+            c.serial_s, c.parallel_s, c.speedup,
         );
     }
-
-    eprintln!("workload     max   HBM-only   90% usage   online   cells (hit/miss)   wall");
-    let t0 = Instant::now();
-    let report = fleet
-        .run_streaming(&jobs, |_, r| {
-            let t2 = &r.analysis.table2;
-            eprintln!(
-                "{:<10} {:>5.2}x {:>7.2}x {:>9.1}%  {:>6}  {:>7}/{:<7} {:>7.3}s",
-                r.analysis.workload,
-                t2.max_speedup,
-                t2.hbm_only_speedup,
-                t2.usage_90_pct,
-                r.online
-                    .as_ref()
-                    .map(|o| format!("{:.2}x", o.speedup))
-                    .unwrap_or_else(|| "-".to_string()),
-                r.cache.hits,
-                r.cache.misses,
-                r.wall_s
-            );
-        })
-        .unwrap_or_else(|e| {
-            eprintln!("fleet batch failed: {e}");
-            std::process::exit(1);
-        });
-    let total_wall_s = t0.elapsed().as_secs_f64();
-
-    let stats = report.stats;
+    if outcome.preloaded > 0 {
+        eprintln!("cache snapshot: {} cells preloaded", outcome.preloaded);
+    }
+    let stats = outcome.report.stats;
     eprintln!(
         "batch: {} jobs, {}/{} cells executed ({} skipped by early stop), \
-         {} hits / {} misses (hit-rate {:.1}%), {:.0} cells/s, {:.3}s",
+         {} hits / {} misses (hit-rate {:.1}%), {:.0} cells/s, {:.3}s (spec {})",
         stats.jobs,
         stats.executed_cells,
         stats.planned_cells,
@@ -587,19 +366,27 @@ fn main() {
         stats.cache.misses,
         stats.cache.hit_rate() * 100.0,
         stats.cells_per_s,
-        stats.wall_s
+        stats.wall_s,
+        outcome.fingerprint,
     );
 
-    let out = Report {
-        machine: "xeon_max_9468".to_string(),
+    let pool = match resolved.fleet.executor {
+        ExecutorKind::Serial => 1,
+        ExecutorKind::Parallel { workers: 0 } => available_workers(),
+        ExecutorKind::Parallel { workers } => workers,
+    };
+    let report = Report {
+        machine: spec.machine.clone().unwrap_or_else(|| "xeon_max_9468".to_string()),
         workers: pool,
-        executor: executor.label(),
-        runs_per_config: campaign.runs_per_config,
-        rep_policy: rep_policy.label(campaign.runs_per_config),
-        cache_enabled,
-        base_seed: campaign.base_seed,
-        comparison,
-        jobs: report
+        executor: resolved.fleet.executor.label(),
+        runs_per_config: resolved.campaign.runs_per_config,
+        rep_policy: resolved.fleet.rep_policy.label(resolved.campaign.runs_per_config),
+        cache_enabled: resolved.fleet.cache_enabled,
+        base_seed: resolved.campaign.base_seed,
+        spec_fingerprint: outcome.fingerprint,
+        comparison: outcome.comparison,
+        jobs: outcome
+            .report
             .reports
             .iter()
             .map(|r| JobRow {
@@ -625,264 +412,16 @@ fn main() {
         planned_cells: stats.planned_cells,
         executed_cells: stats.executed_cells,
         cells_skipped: stats.cells_skipped,
-        simulated_cells: if cache_enabled { stats.cache.misses } else { stats.executed_cells },
-        cache_preloaded: fleet.preloaded(),
+        simulated_cells: if resolved.fleet.cache_enabled {
+            stats.cache.misses
+        } else {
+            stats.executed_cells
+        },
+        cache_preloaded: outcome.preloaded,
         cells_per_s: stats.cells_per_s,
         total_wall_s,
     };
-    let json = serde_json::to_string_pretty(&out).expect("report serialization");
-    match json_path {
-        Some(path) => {
-            std::fs::write(&path, &json).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            });
-            eprintln!("report written to {path}");
-        }
-        None => println!("{json}"),
-    }
-}
-
-struct ScenarioArgs {
-    specs: Vec<WorkloadSpec>,
-    campaign: CampaignConfig,
-    rep_policy: RepPolicy,
-    executor: ExecutorKind,
-    job_workers: usize,
-    cache_enabled: bool,
-    verify: bool,
-    zoo_spec: Option<String>,
-    budgets_spec: Option<String>,
-    noise_spec: Option<String>,
-    matrix_out: Option<String>,
-    cache_file: Option<String>,
-    /// 0-based (shard, total) from `--shard K/N`.
-    shard: Option<(usize, usize)>,
-    shard_out: Option<String>,
-}
-
-/// The `scenarios` mode: enumerate the zoo × workload × budget × noise
-/// matrix lazily, execute it through the shared cache, verify
-/// bit-identity across execution strategies, check every placement
-/// against budget and capacity, and emit the JSON matrix report.
-fn run_scenarios(args: ScenarioArgs) {
-    let fail = |msg: String| -> ! {
-        eprintln!("hmpt-fleet scenarios: {msg}");
-        std::process::exit(1);
-    };
-
-    let zoo = match &args.zoo_spec {
-        Some(spec) => {
-            let zoo = Zoo::parse(spec).unwrap_or_else(|e| fail(e));
-            if zoo.is_empty() {
-                fail(format!("--zoo `{spec}` names no machines"));
-            }
-            zoo
-        }
-        None => {
-            // The named presets plus a short HBM-bandwidth sweep, so the
-            // report's speedup-vs-bandwidth curves have a real x-axis.
-            let mut zoo = Zoo::standard();
-            for factor in [0.5, 0.25] {
-                zoo.push(
-                    hmpt_sim::zoo::ZooEntry::preset(hmpt_sim::zoo::Preset::XeonMaxSnc4)
-                        .with_axis(hmpt_sim::zoo::Axis::ScaleHbmBw(factor)),
-                );
-            }
-            zoo
-        }
-    };
-    let budgets = match &args.budgets_spec {
-        Some(spec) => parse_budgets(spec).unwrap_or_else(|e| fail(e)),
-        None => vec![None, Some(16 * (1u64 << 30)), Some(8 * (1u64 << 30))],
-    };
-    let noise_cvs = match &args.noise_spec {
-        Some(spec) => parse_noise(spec).unwrap_or_else(|e| fail(e)),
-        None => Vec::new(),
-    };
-
-    let matrix = ScenarioMatrix::new(zoo, args.specs)
-        .with_budgets(budgets)
-        .with_rep_policies(vec![args.rep_policy])
-        .with_noise_cvs(noise_cvs)
-        .with_campaign(args.campaign);
-
-    eprintln!(
-        "hmpt-fleet scenarios: {} machines × {} workloads × {} budgets × {} noise levels \
-         = {} scenarios ({}, {} job workers, cache {})",
-        matrix.machines().len(),
-        matrix.workloads().len(),
-        matrix.budgets().len(),
-        matrix.noise_cvs().len(),
-        matrix.len(),
-        args.executor.label(),
-        if args.job_workers == 0 { available_workers() } else { args.job_workers },
-        if args.cache_enabled { "on" } else { "off" },
-    );
-
-    let cfg = MatrixConfig {
-        executor: args.executor,
-        job_workers: args.job_workers,
-        cache_enabled: args.cache_enabled,
-        ..MatrixConfig::default()
-    };
-
-    // Persistent cache: preload the snapshot (if one exists) before the
-    // run, save the warmed cache back after it.
-    if args.cache_file.is_some() && !args.cache_enabled {
-        fail("--cache-file needs the cache enabled (drop --no-cache)".into());
-    }
-    let cache = Arc::new(MeasurementCache::new());
-    if let Some(path) = &args.cache_file {
-        if std::path::Path::new(path).exists() {
-            match store::load_into(&cache, path) {
-                Ok(r) => eprintln!(
-                    "cache snapshot {path}: {} cells preloaded{}{}",
-                    r.loaded,
-                    if r.skipped > 0 { format!(", {} skipped", r.skipped) } else { String::new() },
-                    if r.truncated { ", truncated" } else { "" },
-                ),
-                Err(e) => eprintln!("ignoring cache snapshot {path} (cold start): {e}"),
-            }
-        }
-    }
-    let save_cache = |cache: &MeasurementCache| {
-        if let Some(path) = &args.cache_file {
-            match store::save(cache, path) {
-                Ok(r) => eprintln!("cache snapshot {path}: {} cells saved", r.saved),
-                Err(e) => fail(format!("cannot save cache snapshot {path}: {e}")),
-            }
-        }
-    };
-
-    // Sharded execution: run one index-range shard, verify it against a
-    // serial-uncached re-run of the same shard, and emit the shard
-    // report that `hmpt-fleet merge` reassembles.
-    if let Some((k, n)) = args.shard {
-        let spec = matrix.shard(k, n);
-        eprintln!(
-            "shard {}/{}: scenarios {}..{} of {}",
-            k + 1,
-            n,
-            spec.start,
-            spec.end,
-            matrix.len(),
-        );
-        let report = run_matrix_sharded(&matrix, &cfg, spec, Arc::clone(&cache))
-            .unwrap_or_else(|e| fail(format!("shard failed: {e}")));
-        print_rows(&report.rows);
-        let stats = &report.stats;
-        // Print the same (matrix ⊕ execution-config) fingerprint the
-        // merge step validates, so a MatrixMismatch is traceable to the
-        // misconfigured shard from its log alone.
-        eprintln!(
-            "shard: {} scenarios, {}/{} cells executed, {} hits / {} misses (hit-rate {:.1}%), \
-             {:.3}s (matrix {})",
-            stats.scenarios,
-            stats.executed_cells,
-            stats.planned_cells,
-            stats.cache.hits,
-            stats.cache.misses,
-            stats.cache.hit_rate() * 100.0,
-            stats.wall_s,
-            report.matrix_fingerprint,
-        );
-        if !hmpt_core::scenario::rows_capacity_ok(&report.rows) {
-            fail("a scenario's placement exceeds its budget or machine capacity".into());
-        }
-        if args.verify {
-            let vcfg = MatrixConfig {
-                executor: ExecutorKind::Serial,
-                job_workers: 1,
-                cache_enabled: false,
-                ..MatrixConfig::default()
-            };
-            let other = run_matrix_sharded(&matrix, &vcfg, spec, Arc::new(MeasurementCache::new()))
-                .unwrap_or_else(|e| fail(format!("shard verification: {e}")));
-            if !report.bit_identical(&other) {
-                fail("serial-uncached shard re-run diverged from the main run".into());
-            }
-            eprintln!("verified: serial-uncached shard re-run is bit-identical");
-        }
-        // Report before snapshot: a failing cache save must not
-        // discard the shard's computed results (the report is what the
-        // merge step needs; a missing snapshot fails loudly there).
-        let json = serde_json::to_string_pretty(&report).expect("shard report serialization");
-        match args.shard_out.as_deref() {
-            Some(path) => {
-                std::fs::write(path, &json).unwrap_or_else(|e| {
-                    eprintln!("cannot write {path}: {e}");
-                    std::process::exit(1);
-                });
-                eprintln!("shard report written to {path}");
-            }
-            None => println!("{json}"),
-        }
-        save_cache(&cache);
-        return;
-    }
-
-    let report = run_matrix_with_cache(&matrix, &cfg, Arc::clone(&cache))
-        .unwrap_or_else(|e| fail(format!("matrix failed: {e}")));
-
-    print_rows(&report.scenarios);
-    let stats = &report.stats;
-    eprintln!(
-        "matrix: {} scenarios, {}/{} cells executed, {} hits / {} misses \
-         (hit-rate {:.1}%), {:.2} scenarios/s, {:.3}s",
-        stats.scenarios,
-        stats.executed_cells,
-        stats.planned_cells,
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.cache.hit_rate() * 100.0,
-        stats.scenarios_per_s,
-        stats.wall_s
-    );
-
-    if !report.capacity_ok() {
-        fail("a scenario's placement exceeds its budget or machine capacity".into());
-    }
-
-    if args.verify {
-        let mut strategies = vec![
-            (
-                "serial-uncached",
-                MatrixConfig {
-                    executor: ExecutorKind::Serial,
-                    job_workers: 1,
-                    cache_enabled: false,
-                    ..MatrixConfig::default()
-                },
-            ),
-            (
-                "parallel-uncached",
-                MatrixConfig {
-                    executor: ExecutorKind::parallel(),
-                    job_workers: 0,
-                    cache_enabled: false,
-                    ..MatrixConfig::default()
-                },
-            ),
-        ];
-        if !args.cache_enabled {
-            // The main run was uncached, so a cached pass must run here
-            // for the verified claim to cover all three strategies.
-            strategies.push(("parallel-cached", MatrixConfig::default()));
-        }
-        for (name, vcfg) in strategies {
-            let other = run_matrix(&matrix, &vcfg).unwrap_or_else(|e| fail(format!("{name}: {e}")));
-            if !report.bit_identical(&other) {
-                fail(format!("{name} execution diverged from the main run"));
-            }
-        }
-        eprintln!("verified: serial, parallel, and cached runs are bit-identical");
-    }
-
-    // Report before snapshot, so a failing cache save never discards
-    // the run's results.
-    write_matrix_report(&report, args.matrix_out.as_deref());
-    save_cache(&cache);
+    write_json(&report, out.as_deref(), "report");
 }
 
 /// The per-scenario result table (shared by full, shard, and merged
@@ -905,34 +444,14 @@ fn print_rows(rows: &[ScenarioRow]) {
     }
 }
 
-struct MergeArgs {
+fn merge(
     files: Vec<String>,
+    spec: Option<String>,
     matrix_out: Option<String>,
-    cache_in: Option<String>,
+    cache_in: Vec<String>,
     cache_out: Option<String>,
-}
-
-/// The `merge` mode: reassemble shard reports into the full matrix
-/// report (validating matrix fingerprints and partition completeness),
-/// and optionally merge the shards' cache snapshots into one
-/// warm-start snapshot.
-fn run_merge(args: MergeArgs) {
-    let fail = |msg: String| -> ! {
-        eprintln!("hmpt-fleet merge: {msg}");
-        std::process::exit(1);
-    };
-
-    if args.files.is_empty() {
-        eprintln!("hmpt-fleet merge: no shard report files given");
-        usage();
-    }
-    if args.cache_in.is_some() != args.cache_out.is_some() {
-        eprintln!("hmpt-fleet merge: --cache-in and --cache-out go together");
-        usage();
-    }
-
-    let shards: Vec<ShardReport> = args
-        .files
+) {
+    let shards: Vec<ShardReport> = files
         .iter()
         .map(|path| {
             let text = std::fs::read_to_string(path)
@@ -941,14 +460,23 @@ fn run_merge(args: MergeArgs) {
                 .unwrap_or_else(|e| fail(format!("{path} is not a shard report: {e}")))
         })
         .collect();
-    let report = MatrixReport::merge(&shards).unwrap_or_else(|e| fail(e.to_string()));
+    let spec = spec.map(|path| CampaignSpec::load(&path).unwrap_or_else(|e| fail(e)));
+    let request = Request::Merge(MergeRequest {
+        shards,
+        spec,
+        cache_in: cache_in.iter().map(std::path::PathBuf::from).collect(),
+        cache_out: cache_out.as_ref().map(std::path::PathBuf::from),
+    });
+    let Response::Merge(outcome) = api::execute(&request).unwrap_or_else(|e| fail(e)) else {
+        unreachable!("merge requests produce merge responses");
+    };
 
-    print_rows(&report.scenarios);
-    let stats = &report.stats;
+    print_rows(&outcome.report.scenarios);
+    let stats = &outcome.report.stats;
     eprintln!(
         "merged: {} shards, {} scenarios, {}/{} cells executed, {} hits / {} misses, \
          {:.3}s total shard compute",
-        shards.len(),
+        files.len(),
         stats.scenarios,
         stats.executed_cells,
         stats.planned_cells,
@@ -956,27 +484,10 @@ fn run_merge(args: MergeArgs) {
         stats.cache.misses,
         stats.wall_s
     );
-    if !report.capacity_ok() {
-        fail("a scenario's placement exceeds its budget or machine capacity".into());
-    }
-
-    // Report before snapshot: a damaged cache file must not discard the
-    // already-validated merged report.
-    write_matrix_report(&report, args.matrix_out.as_deref());
-
-    if let (Some(cache_in), Some(cache_out)) = (&args.cache_in, &args.cache_out) {
-        let paths: Vec<&str> =
-            cache_in.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
-        if paths.is_empty() {
-            fail("--cache-in names no snapshot files".into());
-        }
-        let cache = MeasurementCache::new();
-        let loaded = store::merge_into(&cache, &paths)
-            .unwrap_or_else(|e| fail(format!("cache snapshot merge: {e}")));
-        let saved = store::save(&cache, cache_out)
-            .unwrap_or_else(|e| fail(format!("cannot save merged snapshot {cache_out}: {e}")));
+    write_json(&outcome.report, matrix_out.as_deref(), "matrix report");
+    if let (Some((loaded, saved)), Some(out)) = (&outcome.cache, &cache_out) {
         eprintln!(
-            "cache snapshots merged: {} records read{} → {} unique cells in {cache_out}",
+            "cache snapshots merged: {} records read{} → {} unique cells in {out}",
             loaded.loaded,
             if loaded.skipped > 0 || loaded.truncated {
                 format!(
@@ -992,15 +503,14 @@ fn run_merge(args: MergeArgs) {
     }
 }
 
-fn write_matrix_report(report: &MatrixReport, path: Option<&str>) {
-    let json = serde_json::to_string_pretty(report).expect("matrix report serialization");
+fn write_json<T: Serialize>(value: &T, path: Option<&str>, what: &str) {
+    let json = serde_json::to_string_pretty(value)
+        .unwrap_or_else(|e| fail(format!("{what} serialization: {e}")));
     match path {
         Some(path) => {
-            std::fs::write(path, &json).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            });
-            eprintln!("matrix report written to {path}");
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+            eprintln!("{what} written to {path}");
         }
         None => println!("{json}"),
     }

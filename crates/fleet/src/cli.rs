@@ -1,0 +1,563 @@
+//! The CLI front end as a *compiler*: flags in, [`CampaignSpec`] out.
+//!
+//! The `hmpt-fleet` binary is a thin shell — everything between `argv`
+//! and the typed [`crate::api`] facade lives here, so tests can assert
+//! that any flag invocation and the spec it denotes execute
+//! bit-identically (`--spec-out` emits that spec; `hmpt-fleet run
+//! spec.toml` starts from one directly).
+//!
+//! Flag validation is uniform: every conflicting, dangling, or
+//! wrong-mode flag is a hard [`UsageError`] (exit 2), never a warning
+//! and never silently ignored. The spec layer enforces the same rules
+//! on documents ([`crate::spec::SpecError`]), so a flag set and the
+//! spec it compiles to are rejected or accepted together.
+
+use crate::spec::{parse_shard, CacheSection, CampaignSection, CampaignSpec, ExecutionSection};
+
+/// A misuse of the command line (print the message and the usage text,
+/// exit 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn usage_err(msg: impl std::fmt::Display) -> UsageError {
+    UsageError(msg.to_string())
+}
+
+/// What the command line asks for.
+// A spec is a page of `Option`s; one transient Action exists per
+// process, so boxing it buys nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Execute a campaign spec (compiled from flags, or loaded by the
+    /// `run` subcommand).
+    Execute {
+        spec: CampaignSpec,
+        /// `--spec-out P`: write the spec and exit without executing.
+        spec_out: Option<String>,
+        /// `--check` (run mode): resolve, print the fingerprint, exit.
+        check: bool,
+        /// Where the JSON report goes (`--json` / `--matrix-out` /
+        /// `--shard-out` / `--out`; `None` = stdout).
+        out: Option<String>,
+    },
+    /// Reassemble shard reports (`hmpt-fleet merge`).
+    Merge {
+        files: Vec<String>,
+        /// `--spec P`: validate every shard against this spec file.
+        spec: Option<String>,
+        matrix_out: Option<String>,
+        cache_in: Vec<String>,
+        cache_out: Option<String>,
+    },
+    /// Bound a cache snapshot (`hmpt-fleet cache compact`).
+    CacheCompact {
+        file: String,
+        max_records: u64,
+    },
+    Help,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sub {
+    Batch,
+    Scenarios,
+    Run,
+    Merge,
+    Cache,
+}
+
+#[derive(Debug, Default)]
+struct Flags {
+    workers: Option<usize>,
+    serial: bool,
+    reps: Option<usize>,
+    ci_target: Option<f64>,
+    max_reps: Option<usize>,
+    seed: Option<u64>,
+    no_cache: bool,
+    no_compare: bool,
+    no_online: bool,
+    json: Option<String>,
+    zoo: Option<String>,
+    budgets: Option<String>,
+    noise: Option<String>,
+    policies: Option<String>,
+    machine: Option<String>,
+    matrix_out: Option<String>,
+    job_workers: Option<usize>,
+    no_verify: bool,
+    cache_file: Option<String>,
+    cache_max: Option<u64>,
+    shard: Option<String>,
+    shard_out: Option<String>,
+    cache_in: Option<String>,
+    cache_out: Option<String>,
+    spec_out: Option<String>,
+    spec: Option<String>,
+    out: Option<String>,
+    max_records: Option<u64>,
+    check: bool,
+    positionals: Vec<String>,
+}
+
+/// Parse `argv[1..]` into an [`Action`]. The `run` subcommand reads its
+/// spec file here (a missing or malformed file is a usage-level
+/// failure).
+pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
+    let mut flags = Flags::default();
+    let mut sub = Sub::Batch;
+    let mut it = args.into_iter();
+
+    fn value<T: std::str::FromStr>(
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<T, UsageError> {
+        let raw = it.next().ok_or_else(|| usage_err(format!("{flag} needs a value")))?;
+        raw.parse().map_err(|_| usage_err(format!("{flag}: `{raw}` is not a valid value")))
+    }
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => flags.workers = Some(value("--workers", &mut it)?),
+            "--serial" => flags.serial = true,
+            "--runs" | "--reps" => flags.reps = Some(value(&arg, &mut it)?),
+            "--ci-target" => flags.ci_target = Some(value("--ci-target", &mut it)?),
+            "--max-reps" => flags.max_reps = Some(value("--max-reps", &mut it)?),
+            "--seed" => flags.seed = Some(value("--seed", &mut it)?),
+            "--no-cache" => flags.no_cache = true,
+            "--no-compare" => flags.no_compare = true,
+            "--no-online" => flags.no_online = true,
+            "--json" => flags.json = Some(value("--json", &mut it)?),
+            "--zoo" => flags.zoo = Some(value("--zoo", &mut it)?),
+            "--budgets" => flags.budgets = Some(value("--budgets", &mut it)?),
+            "--noise" => flags.noise = Some(value("--noise", &mut it)?),
+            "--policies" => flags.policies = Some(value("--policies", &mut it)?),
+            "--machine" => flags.machine = Some(value("--machine", &mut it)?),
+            "--matrix-out" => flags.matrix_out = Some(value("--matrix-out", &mut it)?),
+            "--job-workers" => flags.job_workers = Some(value("--job-workers", &mut it)?),
+            "--no-verify" => flags.no_verify = true,
+            "--cache-file" => flags.cache_file = Some(value("--cache-file", &mut it)?),
+            "--cache-max" => flags.cache_max = Some(value("--cache-max", &mut it)?),
+            "--shard" => flags.shard = Some(value("--shard", &mut it)?),
+            "--shard-out" => flags.shard_out = Some(value("--shard-out", &mut it)?),
+            "--cache-in" => flags.cache_in = Some(value("--cache-in", &mut it)?),
+            "--cache-out" => flags.cache_out = Some(value("--cache-out", &mut it)?),
+            "--spec-out" => flags.spec_out = Some(value("--spec-out", &mut it)?),
+            "--spec" => flags.spec = Some(value("--spec", &mut it)?),
+            "--out" => flags.out = Some(value("--out", &mut it)?),
+            "--max-records" => flags.max_records = Some(value("--max-records", &mut it)?),
+            "--check" => flags.check = true,
+            "--help" | "-h" => return Ok(Action::Help),
+            other if other.starts_with('-') => {
+                return Err(usage_err(format!("unknown flag `{other}`")))
+            }
+            sub_name @ ("scenarios" | "merge" | "run" | "cache")
+                if sub == Sub::Batch && flags.positionals.is_empty() =>
+            {
+                sub = match sub_name {
+                    "scenarios" => Sub::Scenarios,
+                    "merge" => Sub::Merge,
+                    "run" => Sub::Run,
+                    _ => Sub::Cache,
+                };
+            }
+            name => flags.positionals.push(name.to_string()),
+        }
+    }
+
+    match sub {
+        Sub::Batch => batch_action(flags),
+        Sub::Scenarios => scenarios_action(flags),
+        Sub::Run => run_action(flags),
+        Sub::Merge => merge_action(flags),
+        Sub::Cache => cache_action(flags),
+    }
+}
+
+impl Sub {
+    fn name(self) -> &'static str {
+        match self {
+            Sub::Batch => "the batch mode",
+            Sub::Scenarios => "the scenarios mode (hmpt-fleet scenarios …)",
+            Sub::Run => "the run mode (hmpt-fleet run spec.toml — the spec carries the settings)",
+            Sub::Merge => "the merge mode (hmpt-fleet merge <shard-report.json…>)",
+            Sub::Cache => "the cache mode (hmpt-fleet cache compact FILE)",
+        }
+    }
+
+    fn short(self) -> &'static str {
+        match self {
+            Sub::Batch => "batch",
+            Sub::Scenarios => "scenarios",
+            Sub::Run => "run",
+            Sub::Merge => "merge",
+            Sub::Cache => "cache",
+        }
+    }
+}
+
+impl Flags {
+    /// Every flag, whether this invocation gave it, and the modes it
+    /// applies to — the single classification every per-mode rejection
+    /// derives from. A new flag gets exactly one row here; there is no
+    /// per-mode list to forget it in, so it can never be silently
+    /// ignored in some mode.
+    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 29] {
+        use Sub::{Batch, Cache, Merge, Run, Scenarios};
+        [
+            ("--workers", self.workers.is_some(), &[Batch, Scenarios]),
+            ("--serial", self.serial, &[Batch, Scenarios]),
+            ("--reps", self.reps.is_some(), &[Batch, Scenarios]),
+            ("--ci-target", self.ci_target.is_some(), &[Batch, Scenarios]),
+            ("--max-reps", self.max_reps.is_some(), &[Batch, Scenarios]),
+            ("--seed", self.seed.is_some(), &[Batch, Scenarios]),
+            ("--no-cache", self.no_cache, &[Batch, Scenarios]),
+            ("--no-compare", self.no_compare, &[Batch]),
+            ("--no-online", self.no_online, &[Batch]),
+            ("--json", self.json.is_some(), &[Batch]),
+            ("--zoo", self.zoo.is_some(), &[Scenarios]),
+            ("--budgets", self.budgets.is_some(), &[Scenarios]),
+            ("--noise", self.noise.is_some(), &[Scenarios]),
+            ("--policies", self.policies.is_some(), &[Scenarios]),
+            ("--machine", self.machine.is_some(), &[Batch]),
+            ("--matrix-out", self.matrix_out.is_some(), &[Scenarios, Merge]),
+            ("--job-workers", self.job_workers.is_some(), &[Batch, Scenarios]),
+            ("--no-verify", self.no_verify, &[Scenarios]),
+            ("--cache-file", self.cache_file.is_some(), &[Batch, Scenarios, Run]),
+            ("--cache-max", self.cache_max.is_some(), &[Batch, Scenarios]),
+            ("--shard", self.shard.is_some(), &[Scenarios, Run]),
+            ("--shard-out", self.shard_out.is_some(), &[Scenarios]),
+            ("--cache-in", self.cache_in.is_some(), &[Merge]),
+            ("--cache-out", self.cache_out.is_some(), &[Merge]),
+            ("--spec-out", self.spec_out.is_some(), &[Batch, Scenarios, Run]),
+            ("--spec", self.spec.is_some(), &[Merge]),
+            ("--out", self.out.is_some(), &[Run]),
+            ("--max-records", self.max_records.is_some(), &[Cache]),
+            ("--check", self.check, &[Run]),
+        ]
+    }
+
+    /// Reject every given flag whose row does not allow `sub` —
+    /// uniformly, as hard errors naming the modes where it belongs.
+    fn reject_out_of_mode(&self, sub: Sub) -> Result<(), UsageError> {
+        for (name, present, modes) in self.classified() {
+            if present && !modes.contains(&sub) {
+                let valid: Vec<&str> = modes.iter().map(|m| m.short()).collect();
+                return Err(usage_err(format!(
+                    "{name} does not apply to {} (it applies to: {})",
+                    sub.name(),
+                    valid.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The shared `[campaign]`/`[cache]`/policy compilation of the batch
+/// and scenarios modes.
+fn common_sections(flags: &Flags, spec: &mut CampaignSpec) -> Result<(), UsageError> {
+    if flags.max_reps.is_some() && flags.ci_target.is_none() {
+        return Err(usage_err("--max-reps only applies with --ci-target"));
+    }
+    if flags.ci_target.is_some() && flags.policies.is_some() {
+        return Err(usage_err("--ci-target conflicts with --policies (spell it ci:T[:M])"));
+    }
+    if flags.no_cache {
+        if flags.cache_file.is_some() {
+            return Err(usage_err("--cache-file needs the cache enabled (drop --no-cache)"));
+        }
+        if flags.cache_max.is_some() {
+            return Err(usage_err("--cache-max needs the cache enabled (drop --no-cache)"));
+        }
+    }
+    if flags.reps.is_some() || flags.seed.is_some() {
+        spec.campaign = Some(CampaignSection { reps: flags.reps, seed: flags.seed });
+    }
+    if let Some(target) = flags.ci_target {
+        let max = flags.max_reps.or(flags.reps).unwrap_or(3);
+        spec.policies = Some(vec![format!("ci:{target}:{max}")]);
+    } else if let Some(csv) = &flags.policies {
+        spec.policies = Some(split_csv(csv));
+    }
+    if flags.no_cache || flags.cache_file.is_some() || flags.cache_max.is_some() {
+        spec.cache = Some(CacheSection {
+            enabled: flags.no_cache.then_some(false),
+            file: flags.cache_file.clone(),
+            max_records: flags.cache_max,
+        });
+    }
+    if !flags.positionals.is_empty() {
+        spec.workloads = Some(flags.positionals.clone());
+    }
+    Ok(())
+}
+
+fn split_csv(csv: &str) -> Vec<String> {
+    csv.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+}
+
+fn batch_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Batch)?;
+    let mut spec = CampaignSpec { mode: Some("batch".into()), ..CampaignSpec::default() };
+    common_sections(&flags, &mut spec)?;
+    spec.machine = flags.machine.clone();
+    let exec = ExecutionSection {
+        serial: flags.serial.then_some(true),
+        workers: flags.workers,
+        job_workers: flags.job_workers,
+        compare: flags.no_compare.then_some(false),
+        online: flags.no_online.then_some(false),
+        verify: None,
+    };
+    if exec != ExecutionSection::default() {
+        spec.execution = Some(exec);
+    }
+    Ok(Action::Execute { spec, spec_out: flags.spec_out, check: false, out: flags.json })
+}
+
+fn scenarios_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Scenarios)?;
+    if flags.shard.is_none() && flags.shard_out.is_some() {
+        return Err(usage_err("--shard-out only applies with --shard"));
+    }
+    if flags.shard.is_some() && flags.matrix_out.is_some() {
+        return Err(usage_err(
+            "--matrix-out does not apply with --shard (use --shard-out; \
+             `hmpt-fleet merge` produces the matrix report)",
+        ));
+    }
+    if let Some(shard) = &flags.shard {
+        parse_shard(shard).map_err(|e| usage_err(format!("--{e}")))?;
+    }
+    let mut spec = CampaignSpec { mode: Some("matrix".into()), ..CampaignSpec::default() };
+    common_sections(&flags, &mut spec)?;
+    spec.zoo = flags.zoo.as_deref().map(split_csv);
+    spec.budgets = flags.budgets.as_deref().map(split_csv);
+    spec.noise = flags
+        .noise
+        .as_deref()
+        .map(|csv| {
+            split_csv(csv)
+                .iter()
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| usage_err(format!("--noise: `{s}` is not a number")))
+                })
+                .collect::<Result<Vec<f64>, _>>()
+        })
+        .transpose()?;
+    spec.shard = flags.shard.clone();
+    let exec = ExecutionSection {
+        serial: flags.serial.then_some(true),
+        workers: flags.workers,
+        job_workers: flags.job_workers,
+        compare: None,
+        online: None,
+        verify: flags.no_verify.then_some(false),
+    };
+    if exec != ExecutionSection::default() {
+        spec.execution = Some(exec);
+    }
+    let out = flags.shard_out.or(flags.matrix_out);
+    Ok(Action::Execute { spec, spec_out: flags.spec_out, check: false, out })
+}
+
+fn run_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Run)?;
+    let [path] = &flags.positionals[..] else {
+        return Err(usage_err("run takes exactly one spec file (hmpt-fleet run spec.toml)"));
+    };
+    let mut spec = CampaignSpec::load(path).map_err(usage_err)?;
+    // Per-invocation overrides: the shard a CI job executes and the
+    // snapshot it owns are job identity, not campaign identity.
+    if let Some(shard) = &flags.shard {
+        parse_shard(shard).map_err(|e| usage_err(format!("--{e}")))?;
+        spec.shard = Some(shard.clone());
+    }
+    if let Some(file) = &flags.cache_file {
+        let mut cache = spec.cache.clone().unwrap_or_default();
+        cache.file = Some(file.clone());
+        spec.cache = Some(cache);
+    }
+    Ok(Action::Execute { spec, spec_out: flags.spec_out, check: flags.check, out: flags.out })
+}
+
+fn merge_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Merge)?;
+    if flags.positionals.is_empty() {
+        return Err(usage_err("merge needs shard report files"));
+    }
+    if flags.cache_in.is_some() != flags.cache_out.is_some() {
+        return Err(usage_err("--cache-in and --cache-out go together"));
+    }
+    let cache_in = flags.cache_in.as_deref().map(split_csv).unwrap_or_default();
+    if flags.cache_in.is_some() && cache_in.is_empty() {
+        return Err(usage_err("--cache-in names no snapshot files"));
+    }
+    Ok(Action::Merge {
+        files: flags.positionals,
+        spec: flags.spec,
+        matrix_out: flags.matrix_out,
+        cache_in,
+        cache_out: flags.cache_out,
+    })
+}
+
+fn cache_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Cache)?;
+    match &flags.positionals[..] {
+        [verb, file] if verb == "compact" => {
+            let max_records = flags
+                .max_records
+                .ok_or_else(|| usage_err("cache compact needs --max-records N"))?;
+            Ok(Action::CacheCompact { file: file.clone(), max_records })
+        }
+        [verb, ..] if verb != "compact" => {
+            Err(usage_err(format!("unknown cache verb `{verb}` (verbs: compact)")))
+        }
+        _ => Err(usage_err("cache compact takes exactly one snapshot file")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn spec_of(cmdline: &str) -> CampaignSpec {
+        match parse(args(cmdline)).unwrap() {
+            Action::Execute { spec, .. } => spec,
+            other => panic!("{cmdline:?} → {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_default_invocation_compiles_to_the_default_batch_spec() {
+        let spec = spec_of("");
+        assert_eq!(spec, CampaignSpec { mode: Some("batch".into()), ..CampaignSpec::default() });
+    }
+
+    #[test]
+    fn batch_flags_land_in_the_right_spec_fields() {
+        let spec =
+            spec_of("--no-compare --reps 5 --seed 9 --cache-file c.bin --cache-max 100 mg is");
+        assert_eq!(spec.workloads, Some(vec!["mg".to_string(), "is".to_string()]));
+        assert_eq!(spec.campaign, Some(CampaignSection { reps: Some(5), seed: Some(9) }));
+        assert_eq!(
+            spec.execution,
+            Some(ExecutionSection { compare: Some(false), ..ExecutionSection::default() })
+        );
+        assert_eq!(
+            spec.cache,
+            Some(CacheSection {
+                enabled: None,
+                file: Some("c.bin".into()),
+                max_records: Some(100)
+            })
+        );
+    }
+
+    #[test]
+    fn ci_target_compiles_to_a_canonical_policy_spelling() {
+        assert_eq!(spec_of("--ci-target 0.02").policies, Some(vec!["ci:0.02:3".to_string()]));
+        assert_eq!(
+            spec_of("--ci-target 0.02 --max-reps 5").policies,
+            Some(vec!["ci:0.02:5".to_string()])
+        );
+        assert_eq!(
+            spec_of("--ci-target 0.02 --reps 4").policies,
+            Some(vec!["ci:0.02:4".to_string()])
+        );
+    }
+
+    #[test]
+    fn scenarios_flags_compile_to_a_matrix_spec() {
+        let spec = spec_of(
+            "scenarios mg --zoo xeon-max,hbm-flat --budgets none,8 --noise 0.008,0 \
+             --policies fixed,ci:0.02:5 --job-workers 0 --no-verify",
+        );
+        assert_eq!(spec.mode.as_deref(), Some("matrix"));
+        assert_eq!(spec.zoo, Some(vec!["xeon-max".to_string(), "hbm-flat".to_string()]));
+        assert_eq!(spec.budgets, Some(vec!["none".to_string(), "8".to_string()]));
+        assert_eq!(spec.noise, Some(vec![0.008, 0.0]));
+        assert_eq!(spec.policies, Some(vec!["fixed".to_string(), "ci:0.02:5".to_string()]));
+        assert_eq!(
+            spec.execution,
+            Some(ExecutionSection {
+                job_workers: Some(0),
+                verify: Some(false),
+                ..ExecutionSection::default()
+            })
+        );
+    }
+
+    #[test]
+    fn shard_flags_set_the_spec_range_and_route_output() {
+        match parse(args("scenarios --shard 2/3 --shard-out s.json")).unwrap() {
+            Action::Execute { spec, out, .. } => {
+                assert_eq!(spec.shard.as_deref(), Some("2/3"));
+                assert_eq!(out.as_deref(), Some("s.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_and_dangling_flags_are_uniform_hard_errors() {
+        for cmdline in [
+            "--max-reps 5",                               // dangling: needs --ci-target
+            "--zoo xeon-max",                             // scenarios-only in batch mode
+            "--shard 1/2",                                // scenarios-only in batch mode
+            "scenarios --json x.json",                    // batch-only in scenarios mode
+            "scenarios --no-online",                      // batch-only in scenarios mode
+            "scenarios --ci-target 0.1 --policies fixed", // conflict
+            "scenarios --shard-out s.json",               // dangling: needs --shard
+            "scenarios --shard 1/2 --matrix-out m.json",  // conflict
+            "scenarios --shard 0/2",                      // malformed shard
+            "--no-cache --cache-file c.bin",              // conflict
+            "--no-cache --cache-max 10",                  // conflict
+            "merge a.json --reps 3",                      // run flag in merge mode
+            "merge a.json --cache-in a.bin",              // dangling: needs --cache-out
+            "merge",                                      // no shard files
+            "cache compact c.bin",                        // missing --max-records
+            "cache shrink c.bin --max-records 3",         // unknown verb
+            "run",                                        // missing spec file
+            "run a.toml b.toml",                          // too many spec files
+            "run a.toml --reps 3",                        // spec-borne setting as flag
+            "--frobnicate",                               // unknown flag
+        ] {
+            let err = parse(args(cmdline)).expect_err(cmdline);
+            assert!(!err.0.is_empty(), "{cmdline:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_specs_resolve() {
+        for cmdline in [
+            "",
+            "mg is --reps 2 --seed 5 --no-compare --no-online",
+            "--serial --ci-target 0.02 --max-reps 4",
+            "scenarios",
+            "scenarios mg --zoo xeon-max --budgets none --policies fixed:2,ci:0.05 --noise 0.01",
+            "scenarios --shard 1/3",
+        ] {
+            let spec = spec_of(cmdline);
+            spec.resolve().unwrap_or_else(|e| panic!("{cmdline:?} → {e}"));
+            // And the compiled spec round-trips through its TOML form.
+            assert_eq!(CampaignSpec::parse(&spec.to_toml()).unwrap(), spec, "{cmdline:?}");
+        }
+    }
+}

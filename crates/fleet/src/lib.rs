@@ -49,18 +49,34 @@
 //!   balanced index-range shards whose [`ShardReport`]s merge back
 //!   bit-identically — N processes, N shard files, one merge.
 //!
+//! * **Declarative campaign specs and the request API** ([`spec`],
+//!   [`api`], [`cli`], [`toml`]): every campaign is a serializable
+//!   [`CampaignSpec`] document, every entry point a typed
+//!   [`Request`] → [`Response`] through [`execute`] — batch, matrix,
+//!   shard, and merge behind one facade and one error type
+//!   ([`ApiError`]). CLI flags *compile* to specs (`--spec-out` emits
+//!   the document; `hmpt-fleet run spec.toml` executes one), and
+//!   `CampaignSpec::fingerprint()` makes a spec file the artifact CI
+//!   shard jobs validate their merge against.
+//!
 //! The `hmpt-fleet` binary runs the paper's entire Table II campaign in
 //! one command and emits a JSON report; its `scenarios` mode does the
 //! same for a whole machine zoo, its `--shard`/`merge` modes
-//! distribute that across processes.
+//! distribute that across processes, and its `run` mode executes
+//! campaign-spec files.
 //!
 //! See `DESIGN.md` (§ "The fleet subsystem") for the cache-key scheme
 //! and the bit-identity argument.
 
+pub mod api;
 pub mod cache;
+pub mod cli;
 pub mod matrix;
 pub mod service;
+pub mod spec;
+pub mod toml;
 
+pub use api::{execute, ApiError, MergeRequest, Request, Response};
 pub use cache::{CacheStats, CellKey, MeasurementCache};
 pub use hmpt_core::campaign::{CampaignPlan, CellSink, CellSpec, RepPolicy};
 pub use hmpt_core::exec::{
@@ -73,6 +89,7 @@ pub use hmpt_core::scenario::{
 pub use hmpt_core::store;
 pub use matrix::{run_matrix, run_matrix_sharded, run_matrix_with_cache, MatrixConfig};
 pub use service::{Fleet, FleetConfig, FleetReport, FleetStats, JobReport, TuningJob};
+pub use spec::{CampaignSpec, SpecError};
 
 /// Send + Sync audit: everything a campaign cell touches crosses thread
 /// boundaries in the parallel executor, and the fleet shares its cache

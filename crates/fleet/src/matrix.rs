@@ -72,6 +72,21 @@ impl Default for MatrixConfig {
 }
 
 impl MatrixConfig {
+    /// Content fingerprint of the execution settings that determine row
+    /// *bits*: the profiling seed and the grouping parameters. Executor
+    /// choice, job workers, chunking, and caching are deliberately
+    /// excluded — bit-identity across those is the subsystem's core
+    /// invariant, so they may legitimately differ between shards.
+    ///
+    /// [`ShardReport::matrix_fingerprint`] is
+    /// `matrix.fingerprint().combine(cfg.bits_fingerprint().raw())`,
+    /// and `CampaignSpec::fingerprint` reproduces the same value for a
+    /// matrix-mode spec — which is what lets a spec file act as the
+    /// merge-validation artifact CI passes between shard jobs.
+    pub fn bits_fingerprint(&self) -> Fingerprint {
+        Fingerprint::of(&self.grouping).combine(self.profile_seed)
+    }
+
     fn fleet_config(&self) -> FleetConfig {
         FleetConfig {
             executor: self.executor,
@@ -115,15 +130,6 @@ pub fn run_matrix_with_cache(
     Ok(MatrixReport::assemble(rows, stats))
 }
 
-/// Content fingerprint of the execution settings that determine row
-/// *bits*: the profiling seed and the grouping parameters. Executor
-/// choice, job workers, chunking, and caching are deliberately
-/// excluded — bit-identity across those is the subsystem's core
-/// invariant, so they may legitimately differ between shards.
-fn execution_fingerprint(cfg: &MatrixConfig) -> Fingerprint {
-    Fingerprint::of(&cfg.grouping).combine(cfg.profile_seed)
-}
-
 /// Execute one shard of a matrix (see [`ScenarioMatrix::shard`]) over
 /// an existing cache, producing the [`ShardReport`] that
 /// `MatrixReport::merge` reassembles. Rows are bit-identical to the
@@ -145,10 +151,7 @@ pub fn run_matrix_sharded(
     Ok(ShardReport {
         shard: shard.shard,
         total_shards: shard.total,
-        matrix_fingerprint: matrix
-            .fingerprint()
-            .combine(execution_fingerprint(cfg).raw())
-            .to_string(),
+        matrix_fingerprint: matrix.fingerprint().combine(cfg.bits_fingerprint().raw()).to_string(),
         rows,
         stats,
     })

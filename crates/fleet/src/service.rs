@@ -69,6 +69,13 @@ pub struct FleetConfig {
     /// restarts. Ignored while `cache_enabled` is off (an empty cache
     /// must not clobber a good snapshot).
     pub cache_path: Option<PathBuf>,
+    /// Bound on the shared cache applied at persist time: before
+    /// save-on-finish, least-recently-used entries beyond this count
+    /// are swept ([`MeasurementCache::compact`]) so long-lived snapshot
+    /// files stay bounded. Entries this run touched carry fresh recency
+    /// stamps, so a preloaded-but-unused backlog ages out first.
+    /// `None` = unbounded.
+    pub cache_max_records: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -82,6 +89,7 @@ impl Default for FleetConfig {
             cache_enabled: true,
             job_workers: 1,
             cache_path: None,
+            cache_max_records: None,
         }
     }
 }
@@ -253,7 +261,12 @@ impl Fleet {
     /// explicitly (e.g. after a matrix run over the fleet's cache).
     pub fn persist(&self) -> Result<Option<SaveReport>, StoreError> {
         match &self.cfg.cache_path {
-            Some(path) if self.cfg.cache_enabled => store::save(&self.cache, path).map(Some),
+            Some(path) if self.cfg.cache_enabled => {
+                if let Some(max) = self.cfg.cache_max_records {
+                    self.cache.compact(max as usize);
+                }
+                store::save(&self.cache, path).map(Some)
+            }
             _ => Ok(None),
         }
     }
@@ -601,6 +614,24 @@ mod tests {
             cold.reports[0].analysis.table2.max_speedup.to_bits(),
             warm.reports[0].analysis.table2.max_speedup.to_bits()
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cache_max_records_bounds_the_saved_snapshot() {
+        let path =
+            std::env::temp_dir().join(format!("hmpt-fleet-capped-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let fleet = Fleet::new(FleetConfig {
+            online_check: false,
+            cache_path: Some(path.clone()),
+            cache_max_records: Some(5),
+            ..Default::default()
+        });
+        let report = fleet.run(&[mg_job()]).unwrap();
+        assert!(report.stats.cache.misses > 5, "the campaign outgrows the cap");
+        let (_, load) = store::load(&path).unwrap();
+        assert_eq!(load.loaded, 5, "save-on-finish swept the cache to the cap");
         std::fs::remove_file(&path).unwrap();
     }
 

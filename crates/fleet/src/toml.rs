@@ -1,0 +1,436 @@
+//! A minimal TOML-subset reader and writer over [`serde::Value`].
+//!
+//! Campaign specs are plain documents (`hmpt-fleet run spec.toml`), and
+//! the build container has no registry access, so this module
+//! implements exactly the TOML subset the [`crate::spec::CampaignSpec`]
+//! schema needs — nothing more:
+//!
+//! * top-level `key = value` pairs and one level of `[section]` tables;
+//! * strings (`"..."` with the usual escapes), booleans, integers,
+//!   floats, and single- or multi-line arrays of those scalars;
+//! * `#` comments and arbitrary whitespace.
+//!
+//! Not supported (rejected with a positioned error, never misparsed):
+//! dotted/quoted keys, nested or inline tables, arrays of tables,
+//! datetimes, and literal (`'...'`) or multi-line (`"""`) strings.
+//!
+//! The writer is the reader's inverse on the same subset: it emits
+//! scalars and arrays first, then each nested object as a `[section]`,
+//! skips `Null`s (an omitted key *is* the null), and formats floats via
+//! Rust's shortest round-trip `Display` — so a value tree built from a
+//! spec parses back bit-identically (property-tested in
+//! `tests/spec_api.rs`).
+
+use serde::{Map, Value};
+
+/// Parse a TOML-subset document into a [`Value::Object`] tree.
+pub fn parse(text: &str) -> Result<Value, String> {
+    Parser { chars: text.chars().collect(), pos: 0, line: 1 }.document()
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl std::fmt::Display) -> String {
+        format!("TOML line {}: {}", self.line, msg)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Skip spaces, tabs, comments, and (when `newlines`) line breaks.
+    fn skip_trivia(&mut self, newlines: bool) {
+        while let Some(c) = self.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    self.bump();
+                }
+                '\n' if newlines => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// After a header or key-value pair: only trivia may remain on the line.
+    fn expect_line_end(&mut self) -> Result<(), String> {
+        self.skip_trivia(false);
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!("unexpected `{c}` after value"))),
+        }
+    }
+
+    fn bare_key(&mut self) -> Result<String, String> {
+        let mut key = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                key.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if key.is_empty() {
+            let found = self.peek().map_or("end of input".to_string(), |c| format!("`{c}`"));
+            return Err(self.err(format!("expected a bare key, found {found}")));
+        }
+        Ok(key)
+    }
+
+    fn document(&mut self) -> Result<Value, String> {
+        let mut root = Map::new();
+        let mut section: Option<String> = None;
+        loop {
+            self.skip_trivia(true);
+            match self.peek() {
+                None => break,
+                Some('[') => {
+                    self.bump();
+                    self.skip_trivia(false);
+                    let name = self.bare_key()?;
+                    self.skip_trivia(false);
+                    match self.bump() {
+                        Some(']') => {}
+                        Some('.') => {
+                            return Err(self.err(format!(
+                                "dotted table `[{name}.…]` is outside the supported subset"
+                            )))
+                        }
+                        _ => return Err(self.err(format!("unterminated table header `[{name}`"))),
+                    }
+                    self.expect_line_end()?;
+                    if root.contains_key(&name) {
+                        return Err(self.err(format!("duplicate table `[{name}]`")));
+                    }
+                    root.insert(name.clone(), Value::Object(Map::new()));
+                    section = Some(name);
+                }
+                Some(_) => {
+                    let key = self.bare_key()?;
+                    self.skip_trivia(false);
+                    match self.bump() {
+                        Some('=') => {}
+                        _ => return Err(self.err(format!("expected `=` after key `{key}`"))),
+                    }
+                    self.skip_trivia(false);
+                    let value = self.value()?;
+                    self.expect_line_end()?;
+                    let table = match &section {
+                        None => &mut root,
+                        Some(name) => root
+                            .get_mut(name)
+                            .and_then(Value::as_object_mut)
+                            .expect("section tables are created as objects"),
+                    };
+                    if table.insert(key.clone(), value).is_some() {
+                        return Err(self.err(format!("duplicate key `{key}`")));
+                    }
+                }
+            }
+        }
+        Ok(Value::Object(root))
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some('"') => self.string().map(Value::Str),
+            Some('[') => self.array(),
+            Some('\'') => Err(self.err("literal strings ('…') are outside the supported subset")),
+            Some('{') => Err(self.err("inline tables ({…}) are outside the supported subset")),
+            Some(c) if c == 't' || c == 'f' || c == '+' || c == '-' || c.is_ascii_digit() => {
+                self.scalar()
+            }
+            Some(c) => Err(self.err(format!("unexpected `{c}` where a value was expected"))),
+            None => Err(self.err("missing value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("malformed \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?,
+                        );
+                    }
+                    other => return Err(self.err(format!("unknown escape {other:?}"))),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.bump(); // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia(true);
+            match self.peek() {
+                None => return Err(self.err("unterminated array")),
+                Some(']') => {
+                    self.bump();
+                    return Ok(Value::Array(items));
+                }
+                _ => {}
+            }
+            items.push(self.value()?);
+            self.skip_trivia(true);
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {}
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    /// A bareword scalar: `true`, `false`, or a number.
+    fn scalar(&mut self) -> Result<Value, String> {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, '+' | '-' | '.' | '_') {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match word.as_str() {
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            _ => {}
+        }
+        let num = word.replace('_', "");
+        let is_float = num.bytes().any(|b| matches!(b, b'.' | b'e' | b'E'));
+        if !is_float {
+            if let Some(rest) = num.strip_prefix('-') {
+                if rest.bytes().all(|b| b.is_ascii_digit()) && !rest.is_empty() {
+                    return num
+                        .parse::<i64>()
+                        .map(Value::I64)
+                        .map_err(|_| self.err(format!("integer `{word}` out of range")));
+                }
+            } else if num.trim_start_matches('+').bytes().all(|b| b.is_ascii_digit())
+                && !num.trim_start_matches('+').is_empty()
+            {
+                return num
+                    .trim_start_matches('+')
+                    .parse::<u64>()
+                    .map(Value::U64)
+                    .map_err(|_| self.err(format!("integer `{word}` out of range")));
+            }
+        }
+        num.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
+            .map(Value::F64)
+            .ok_or_else(|| self.err(format!("`{word}` is not a number")))
+    }
+}
+
+/// Render a value tree as a TOML-subset document. The top level must be
+/// an object whose values are scalars, arrays of scalars, or one level
+/// of nested objects ( → `[section]`s); `Null`s are omitted.
+pub fn to_toml(value: &Value) -> Result<String, String> {
+    let root = value.as_object().ok_or("top-level TOML value must be a table")?;
+    let mut out = String::new();
+    for (key, v) in root {
+        match v {
+            Value::Null | Value::Object(_) => {}
+            _ => {
+                out.push_str(&format!("{key} = {}\n", render_scalar_or_array(key, v)?));
+            }
+        }
+    }
+    for (key, v) in root {
+        if let Value::Object(section) = v {
+            check_key(key)?;
+            out.push_str(&format!("\n[{key}]\n"));
+            for (k, sv) in section {
+                match sv {
+                    Value::Null => {}
+                    Value::Object(_) => {
+                        return Err(format!("`{key}.{k}`: tables nest at most one level"))
+                    }
+                    _ => out.push_str(&format!("{k} = {}\n", render_scalar_or_array(k, sv)?)),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn check_key(key: &str) -> Result<(), String> {
+    if !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+        Ok(())
+    } else {
+        Err(format!("`{key}` is not a bare TOML key"))
+    }
+}
+
+fn render_scalar_or_array(key: &str, v: &Value) -> Result<String, String> {
+    check_key(key)?;
+    match v {
+        Value::Array(items) => {
+            let rendered: Vec<String> = items
+                .iter()
+                .map(|item| match item {
+                    Value::Array(_) | Value::Object(_) | Value::Null => {
+                        Err(format!("`{key}`: arrays hold scalars only"))
+                    }
+                    _ => render_scalar(item),
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(format!("[{}]", rendered.join(", ")))
+        }
+        _ => render_scalar(v),
+    }
+}
+
+fn render_scalar(v: &Value) -> Result<String, String> {
+    match v {
+        Value::Bool(b) => Ok(b.to_string()),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        // Shortest round-trip Display: parses back to the same bits.
+        Value::F64(f) if f.is_finite() => Ok(format!("{f}")),
+        Value::F64(_) => Err("non-finite floats are not representable".to_string()),
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            Ok(out)
+        }
+        Value::Null | Value::Array(_) | Value::Object(_) => {
+            Err("only scalars render here".to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_subset() {
+        let doc = r#"
+            # campaign spec
+            mode = "matrix"   # trailing comment
+            workloads = ["mg", "is"]
+            noise = [0.008, 0, 1.5e-2]
+            shard = "1/3"
+            flag = true
+
+            [campaign]
+            reps = 3
+            seed = -7
+
+            [execution]
+            workers = 0
+        "#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v["mode"].as_str(), Some("matrix"));
+        assert_eq!(v["workloads"][1].as_str(), Some("is"));
+        assert_eq!(v["noise"][0].as_f64(), Some(0.008));
+        assert_eq!(v["noise"][2].as_f64(), Some(0.015));
+        assert_eq!(v["flag"].as_bool(), Some(true));
+        assert_eq!(v["campaign"]["reps"].as_u64(), Some(3));
+        assert_eq!(v["campaign"]["seed"].as_i64(), Some(-7));
+        assert_eq!(v["execution"]["workers"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn multi_line_arrays_and_escapes() {
+        let doc = "names = [\n  \"a\\n\", # one\n  \"b\\\"\",\n]\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(v["names"][0].as_str(), Some("a\n"));
+        assert_eq!(v["names"][1].as_str(), Some("b\""));
+    }
+
+    #[test]
+    fn out_of_subset_documents_are_rejected_with_line_numbers() {
+        for (doc, what) in [
+            ("[a.b]\n", "dotted"),
+            ("x = 'lit'\n", "literal"),
+            ("x = {a = 1}\n", "inline"),
+            ("x = 1 y = 2\n", "unexpected"),
+            ("x = \"open\n", "unterminated"),
+            ("x = [1, {}]\n", "inline"),
+            ("x = nope\n", "unexpected"),
+            ("x = 1.2.3\n", "not a number"),
+            ("x = 1\nx = 2\n", "duplicate"),
+            ("[t]\n[t]\n", "duplicate"),
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(err.contains("TOML line"), "{doc:?} → {err}");
+            assert!(err.to_lowercase().contains(what), "{doc:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn writer_is_the_readers_inverse() {
+        let doc = "a = [1, -2, 0.5]\nb = \"x\\\"y\"\n\n[s]\nc = true\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(to_toml(&v).unwrap(), doc);
+        assert_eq!(parse(&to_toml(&v).unwrap()).unwrap(), v);
+    }
+}

@@ -215,12 +215,35 @@ impl Zoo {
         Zoo::new(Preset::ALL.into_iter().map(ZooEntry::preset).collect())
     }
 
+    /// The standard presets plus a short HBM-bandwidth sweep of the
+    /// paper's machine (factors 0.5 and 0.25) — the default zoo of the
+    /// `scenarios` CLI and of campaign specs that omit the machine
+    /// axis, sized so the report's speedup-vs-bandwidth curves have a
+    /// real x-axis.
+    pub fn standard_sweep() -> Zoo {
+        let mut zoo = Zoo::standard();
+        for factor in [0.5, 0.25] {
+            zoo.push(ZooEntry::preset(Preset::XeonMaxSnc4).with_axis(Axis::ScaleHbmBw(factor)));
+        }
+        zoo
+    }
+
     /// Parse a comma-separated CLI list of entry specs.
     pub fn parse(csv: &str) -> Result<Zoo, String> {
         csv.split(',')
             .map(str::trim)
             .filter(|s| !s.is_empty())
             .map(ZooEntry::parse)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Zoo::new)
+    }
+
+    /// Parse a list of entry specs (the campaign-spec counterpart of
+    /// the comma-separated [`Zoo::parse`]).
+    pub fn parse_entries<S: AsRef<str>>(specs: &[S]) -> Result<Zoo, String> {
+        specs
+            .iter()
+            .map(|s| ZooEntry::parse(s.as_ref().trim()))
             .collect::<Result<Vec<_>, _>>()
             .map(Zoo::new)
     }

@@ -54,3 +54,40 @@ pub fn table2_workloads() -> Vec<WorkloadSpec> {
         kwave::workload(),
     ]
 }
+
+/// Look up a Table II workload by exact name or unambiguous prefix
+/// (`mg` → `mg.D`) — the resolution behind CLI arguments and campaign
+/// specs. An empty or ambiguous name resolves to nothing: a spec slip
+/// must fail the run, never silently pick a workload.
+pub fn find_table2(name: &str) -> Option<WorkloadSpec> {
+    if name.is_empty() {
+        return None;
+    }
+    let all = table2_workloads();
+    if let Some(w) = all.iter().find(|w| w.name == name) {
+        return Some(w.clone());
+    }
+    let mut matches = all.iter().filter(|w| w.name.starts_with(name));
+    match (matches.next(), matches.next()) {
+        (Some(w), None) => Some(w.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_table2_requires_an_unambiguous_name() {
+        assert_eq!(find_table2("mg").unwrap().name, "mg.D");
+        assert_eq!(find_table2("is.Cx4").unwrap().name, "is.Cx4");
+        assert!(find_table2("").is_none(), "an empty name must not resolve");
+        assert!(find_table2("zz").is_none());
+        // Every exact name and every current one-token prefix resolves
+        // to itself.
+        for w in table2_workloads() {
+            assert_eq!(find_table2(&w.name).unwrap().name, w.name);
+        }
+    }
+}

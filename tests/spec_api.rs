@@ -1,0 +1,319 @@
+//! The declarative-spec contract: any spec document round-trips through
+//! both renderings (TOML subset and JSON) bit-for-bit; every CLI flag
+//! invocation compiles to a spec whose API execution is bit-identical
+//! to the legacy entry point it subsumes (batch, scenarios, sharded,
+//! merge); and the committed `examples/*.toml` specs parse, resolve,
+//! and fingerprint to pinned values — the schema cannot drift silently.
+
+use std::sync::Arc;
+
+use hmpt_fleet::api::{self, MergeRequest, Request, Response};
+use hmpt_fleet::cli::{self, Action};
+use hmpt_fleet::spec::{CacheSection, CampaignSection, CampaignSpec, ExecutionSection};
+use hmpt_fleet::{
+    run_matrix, run_matrix_sharded, Fleet, FleetConfig, MatrixConfig, MatrixReport,
+    MeasurementCache, ScenarioMatrix, TuningJob,
+};
+use hmpt_repro::core::measure::CampaignConfig;
+use hmpt_repro::sim::units::gib;
+use hmpt_repro::sim::zoo::Zoo;
+use proptest::prelude::*;
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn spec_of(cmdline: &str) -> CampaignSpec {
+    match cli::parse(args(cmdline)).unwrap() {
+        Action::Execute { spec, .. } => spec,
+        other => panic!("{cmdline:?} → {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------
+// Spec ⇄ TOML/JSON round-trips for arbitrary documents
+// ---------------------------------------------------------------
+
+/// A deterministic pseudo-random spec from one seed: every field drawn
+/// from its real domain (plus absence), so the round-trip property
+/// covers the whole schema without a hand-rolled strategy per field.
+fn spec_from(mut bits: u64) -> CampaignSpec {
+    let mut next = move || {
+        // xorshift64* — plenty for domain sampling.
+        bits ^= bits << 13;
+        bits ^= bits >> 7;
+        bits ^= bits << 17;
+        bits
+    };
+    fn pick<T: Clone>(choices: &[T], n: u64) -> T {
+        choices[(n % choices.len() as u64) as usize].clone()
+    }
+    let maybe_list = |n: u64, m: u64, pool: &[&str]| -> Option<Vec<String>> {
+        (!n.is_multiple_of(3)).then(|| {
+            (0..1 + m % 3)
+                .map(|i| pool[((m >> (8 * i)) % pool.len() as u64) as usize].into())
+                .collect()
+        })
+    };
+    CampaignSpec {
+        mode: pick(&[None, Some("batch"), Some("matrix")], next()).map(String::from),
+        workloads: maybe_list(next(), next(), &["mg", "is", "sp", "kwave", "nope"]),
+        machine: pick(&[None, Some("xeon-max"), Some("cxl-far*hbm-cap:0.5")], next())
+            .map(String::from),
+        zoo: maybe_list(next(), next(), &["xeon-max", "hbm-flat", "small-hbm*lat-gap:2"]),
+        budgets: maybe_list(next(), next(), &["none", "16", "8", "0.5", "bogus"]),
+        policies: maybe_list(next(), next(), &["fixed", "fixed:5", "ci:0.02", "ci:0.01:4"]),
+        noise: (next() % 3 != 0)
+            .then(|| (0..1 + next() % 3).map(|_| (next() % 1_000_000) as f64 / 1e7).collect()),
+        shard: pick(&[None, Some("1/3"), Some("2/2"), Some("9/4")], next()).map(String::from),
+        campaign: (next() % 2 == 0).then(|| CampaignSection {
+            reps: (next() % 2 == 0).then(|| (next() % 7) as usize),
+            seed: (next() % 2 == 0).then(&mut next),
+        }),
+        execution: (next() % 2 == 0).then(|| ExecutionSection {
+            serial: (next() % 3 == 0).then(|| next() % 2 == 0),
+            workers: (next() % 3 == 0).then(|| (next() % 9) as usize),
+            job_workers: (next() % 3 == 0).then(|| (next() % 9) as usize),
+            compare: (next() % 3 == 0).then(|| next() % 2 == 0),
+            online: (next() % 3 == 0).then(|| next() % 2 == 0),
+            verify: (next() % 3 == 0).then(|| next() % 2 == 0),
+        }),
+        cache: (next() % 2 == 0).then(|| CacheSection {
+            enabled: (next() % 3 == 0).then(|| next() % 2 == 0),
+            file: (next() % 3 == 0).then(|| format!("snapshots/c{}.bin", next() % 100)),
+            max_records: (next() % 3 == 0).then(&mut next),
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Both renderings are lossless for every representable document —
+    /// including ones that don't *resolve* (a spec file you can write
+    /// is a spec file you can read back, before validation).
+    #[test]
+    fn any_spec_roundtrips_through_toml_and_json(bits in any::<u64>()) {
+        let spec = spec_from(bits);
+        let toml = spec.to_toml();
+        prop_assert_eq!(CampaignSpec::parse(&toml).unwrap(), spec.clone());
+        prop_assert_eq!(CampaignSpec::parse(&spec.to_json()).unwrap(), spec);
+    }
+
+    /// Resolution is deterministic: fingerprints are a pure function of
+    /// the document.
+    #[test]
+    fn fingerprints_are_reproducible(bits in any::<u64>()) {
+        let spec = spec_from(bits);
+        match (spec.fingerprint(), spec.fingerprint()) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => return Err(TestCaseError::fail(format!("unstable: {a:?} vs {b:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// flags → spec → execute ≡ the legacy entry points, bit for bit
+// ---------------------------------------------------------------
+
+fn mg() -> hmpt_repro::workloads::model::WorkloadSpec {
+    hmpt_repro::workloads::npb::mg::workload()
+}
+
+fn is() -> hmpt_repro::workloads::model::WorkloadSpec {
+    hmpt_repro::workloads::npb::is::workload()
+}
+
+#[test]
+fn batch_flags_execute_bit_identically_to_the_legacy_fleet_path() {
+    let spec = spec_of("mg is --reps 2 --seed 5 --no-compare --no-online");
+
+    // The legacy path: hand-built jobs through `Fleet::run`, exactly as
+    // the old CLI main() did.
+    let campaign = CampaignConfig { runs_per_config: 2, base_seed: 5, ..CampaignConfig::default() };
+    let jobs: Vec<TuningJob> =
+        vec![mg(), is()].into_iter().map(|w| TuningJob::new(w).with_campaign(campaign)).collect();
+    let legacy = Fleet::new(FleetConfig { online_check: false, ..FleetConfig::default() })
+        .run(&jobs)
+        .unwrap();
+
+    let Response::Batch(out) = api::execute(&Request::from_spec(spec).unwrap()).unwrap() else {
+        panic!("batch spec produced a non-batch response");
+    };
+    assert_eq!(out.report.reports.len(), legacy.reports.len());
+    for (a, b) in out.report.reports.iter().zip(&legacy.reports) {
+        assert_eq!(a.analysis.workload, b.analysis.workload);
+        assert_eq!(
+            a.analysis.table2.max_speedup.to_bits(),
+            b.analysis.table2.max_speedup.to_bits()
+        );
+        assert_eq!(
+            a.analysis.table2.usage_90_pct.to_bits(),
+            b.analysis.table2.usage_90_pct.to_bits()
+        );
+        assert_eq!(a.analysis.campaign.measurements.len(), b.analysis.campaign.measurements.len());
+        for (x, y) in a.analysis.campaign.measurements.iter().zip(&b.analysis.campaign.measurements)
+        {
+            assert_eq!(x.mean_s.to_bits(), y.mean_s.to_bits());
+            assert_eq!(x.std_s.to_bits(), y.std_s.to_bits());
+        }
+    }
+    assert_eq!(out.report.stats.planned_cells, legacy.stats.planned_cells);
+    assert_eq!(out.report.stats.executed_cells, legacy.stats.executed_cells);
+}
+
+fn legacy_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new(Zoo::parse("xeon-max,hbm-flat").unwrap(), vec![mg()])
+        .with_budgets(vec![None, Some(gib(8))])
+}
+
+#[test]
+fn scenarios_flags_execute_bit_identically_to_run_matrix() {
+    let spec = spec_of("scenarios mg --zoo xeon-max,hbm-flat --budgets none,8 --no-verify");
+    let legacy = run_matrix(&legacy_matrix(), &MatrixConfig::default()).unwrap();
+    let Response::Matrix(out) = api::execute(&Request::from_spec(spec).unwrap()).unwrap() else {
+        panic!("matrix spec produced a non-matrix response");
+    };
+    assert!(out.report.bit_identical(&legacy), "spec-driven matrix diverged");
+    assert_eq!(out.report.stats.planned_cells, legacy.stats.planned_cells);
+}
+
+#[test]
+fn shard_flags_execute_bit_identically_to_run_matrix_sharded() {
+    let spec =
+        spec_of("scenarios mg --zoo xeon-max,hbm-flat --budgets none,8 --shard 1/2 --no-verify");
+    let matrix = legacy_matrix();
+    let cfg = MatrixConfig::default();
+    let legacy =
+        run_matrix_sharded(&matrix, &cfg, matrix.shard(0, 2), Arc::new(MeasurementCache::new()))
+            .unwrap();
+    let fingerprint = spec.fingerprint().unwrap().to_string();
+    let Response::Shard(out) = api::execute(&Request::from_spec(spec).unwrap()).unwrap() else {
+        panic!("sharded spec produced a non-shard response");
+    };
+    assert!(out.report.bit_identical(&legacy), "spec-driven shard diverged");
+    // The spec fingerprint IS the shard's merge-validation stamp.
+    assert_eq!(out.report.matrix_fingerprint, legacy.matrix_fingerprint);
+    assert_eq!(out.fingerprint, fingerprint);
+    assert_eq!(fingerprint, legacy.matrix_fingerprint);
+}
+
+#[test]
+fn spec_driven_shards_merge_bit_identically_to_an_unsharded_run() {
+    let full_spec = spec_of("scenarios mg --zoo xeon-max,hbm-flat --budgets none,8 --no-verify");
+    let shards: Vec<_> = (1..=2)
+        .map(|k| {
+            let spec = spec_of(&format!(
+                "scenarios mg --zoo xeon-max,hbm-flat --budgets none,8 --shard {k}/2 --no-verify"
+            ));
+            match api::execute(&Request::from_spec(spec).unwrap()).unwrap() {
+                Response::Shard(out) => out.report,
+                other => panic!("{other:?}"),
+            }
+        })
+        .collect();
+
+    // The API merge, validated against the (unsharded) spec artifact.
+    let req = MergeRequest { shards: shards.clone(), spec: Some(full_spec), ..Default::default() };
+    let Response::Merge(merged) = api::execute(&Request::Merge(req)).unwrap() else {
+        panic!("merge request produced a non-merge response");
+    };
+
+    let legacy = MatrixReport::merge(&shards).unwrap();
+    let full = run_matrix(&legacy_matrix(), &MatrixConfig::default()).unwrap();
+    assert!(merged.report.bit_identical(&legacy));
+    assert!(merged.report.bit_identical(&full), "merged shards diverged from the full run");
+}
+
+#[test]
+fn merge_rejects_shards_of_a_different_spec() {
+    let shard_spec = spec_of("scenarios mg --zoo xeon-max --shard 1/1 --no-verify");
+    let other_spec = spec_of("scenarios is --zoo xeon-max --no-verify");
+    let Response::Shard(out) = api::execute(&Request::from_spec(shard_spec).unwrap()).unwrap()
+    else {
+        panic!("expected a shard response");
+    };
+    let req =
+        MergeRequest { shards: vec![out.report], spec: Some(other_spec), ..Default::default() };
+    match api::execute(&Request::Merge(req)) {
+        Err(api::ApiError::FingerprintMismatch { .. }) => {}
+        other => panic!("a foreign spec must refuse the merge, got {other:?}"),
+    }
+}
+
+#[test]
+fn the_policies_axis_reaches_the_matrix_through_the_spec_layer() {
+    let spec = spec_of(
+        "scenarios mg --zoo xeon-max --budgets none --policies fixed:2,ci:0.02:3 --no-verify",
+    );
+    let Response::Matrix(out) = api::execute(&Request::from_spec(spec).unwrap()).unwrap() else {
+        panic!("expected a matrix response");
+    };
+    let rows = &out.report.scenarios;
+    assert_eq!(rows.len(), 2, "two policy points = two scenarios");
+    let (fixed, adaptive) = (&rows[0], &rows[1]);
+    // `fixed:2` plans 2 cells/config; `ci:0.02:3` plans up to 3 and
+    // retires early — more headroom, fewer (or equal) executed cells
+    // than planned, same answer.
+    assert_eq!(adaptive.planned_cells, fixed.planned_cells / 2 * 3);
+    assert!(adaptive.executed_cells < adaptive.planned_cells, "early stopping never fired");
+    assert!((fixed.max_speedup - adaptive.max_speedup).abs() < 0.05);
+    assert_ne!(fixed.rep_policy, adaptive.rep_policy, "rows label their policy");
+}
+
+// ---------------------------------------------------------------
+// Golden documents: the schema is pinned
+// ---------------------------------------------------------------
+
+#[test]
+fn committed_example_specs_parse_resolve_and_fingerprint_stably() {
+    for path in ["examples/table2.toml", "examples/zoo.toml", "examples/quick.toml"] {
+        let spec = CampaignSpec::load(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        spec.resolve().unwrap_or_else(|e| panic!("{path}: {e}"));
+        // Both renderings preserve the document and its fingerprint.
+        let back = CampaignSpec::parse(&spec.to_toml()).unwrap();
+        assert_eq!(back, spec, "{path} TOML round-trip");
+        assert_eq!(
+            back.fingerprint().unwrap(),
+            spec.fingerprint().unwrap(),
+            "{path} fingerprint drifted across renderings"
+        );
+    }
+}
+
+#[test]
+fn the_zoo_spec_denotes_exactly_the_default_scenarios_invocation() {
+    let from_file = CampaignSpec::load("examples/zoo.toml").unwrap();
+    let from_flags = spec_of("scenarios");
+    assert_eq!(
+        from_file.fingerprint().unwrap(),
+        from_flags.fingerprint().unwrap(),
+        "examples/zoo.toml must stay the default matrix (CI shards merge against it)"
+    );
+}
+
+#[test]
+fn golden_quick_spec_pins_the_schema() {
+    let spec = CampaignSpec::load("examples/quick.toml").unwrap();
+    // Field-level pins: renaming or re-typing any schema field fails here.
+    assert_eq!(spec.mode.as_deref(), Some("matrix"));
+    assert_eq!(spec.workloads.as_deref().map(<[String]>::len), Some(2));
+    assert_eq!(spec.zoo.as_deref().map(<[String]>::len), Some(2));
+    assert_eq!(spec.budgets.as_deref(), Some(&["none".to_string(), "8".to_string()][..]));
+    assert_eq!(
+        spec.policies.as_deref(),
+        Some(&["fixed:2".to_string(), "ci:0.02:3".to_string()][..])
+    );
+    assert_eq!(spec.noise.as_deref(), Some(&[0.008][..]));
+    assert_eq!(spec.campaign, Some(CampaignSection { reps: Some(2), seed: Some(3) }));
+    assert_eq!(
+        spec.execution,
+        Some(ExecutionSection { job_workers: Some(0), ..ExecutionSection::default() })
+    );
+    assert_eq!(spec.cache, Some(CacheSection { enabled: Some(true), ..CacheSection::default() }));
+    // Value-level pin: the fingerprint composition (axes, campaign,
+    // profiling seed, grouping) is frozen. A legitimate semantic change
+    // must update this constant — and say so in the changelog.
+    assert_eq!(spec.fingerprint().unwrap().to_string(), "039146feef7e736b");
+}
