@@ -118,11 +118,13 @@ impl MeasurementCache {
             if let Some(entry) = map.get_mut(&key) {
                 entry.last_used = self.tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                hmpt_obs::counter("cache.hit").incr();
                 return entry.value.clone();
             }
         }
         let outcome = measure();
         self.misses.fetch_add(1, Ordering::Relaxed);
+        hmpt_obs::counter("cache.miss").incr();
         let last_used = self.tick();
         self.map
             .lock()
@@ -178,6 +180,7 @@ impl MeasurementCache {
         for (_, key) in &evicted {
             map.remove(key);
         }
+        hmpt_obs::counter("cache.evict").add(evicted.len() as u64);
         evicted.len() as u64
     }
 

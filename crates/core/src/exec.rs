@@ -112,6 +112,16 @@ impl RunExecutor for ParallelExecutor {
         if workers <= 1 {
             return SerialExecutor.run(n, f);
         }
+        // Telemetry: how often the pool spins up, how many workers it
+        // spawns, how many cells each steals off the shared queue, and
+        // how many workers drain the queue dry (went idle). Counter
+        // handles are resolved once, outside the claim loop.
+        let c_batches = hmpt_obs::counter("exec.parallel.batches");
+        let c_workers = hmpt_obs::counter("exec.parallel.workers");
+        let c_steals = hmpt_obs::counter("exec.parallel.steals");
+        let c_idle = hmpt_obs::counter("exec.parallel.idle");
+        c_batches.incr();
+        c_workers.add(workers as u64);
         let next = AtomicUsize::new(0);
         let f = &f;
         let next = &next;
@@ -125,8 +135,10 @@ impl RunExecutor for ParallelExecutor {
                             if i >= n {
                                 break;
                             }
+                            c_steals.incr();
                             local.push((i, f(i)));
                         }
+                        c_idle.incr();
                         local
                     })
                 })
@@ -206,7 +218,10 @@ impl<E: RunExecutor> CellExecutor for E {
         cells: &[CellSpec],
         measure: &(dyn Fn(&CellSpec) -> Result<CellOutcome, TunerError> + Sync),
     ) -> Vec<Result<CellOutcome, TunerError>> {
-        self.run(cells.len(), |i| measure(&cells[i]))
+        self.run(cells.len(), |i| {
+            let _cell = hmpt_obs::span("exec.cell");
+            measure(&cells[i])
+        })
     }
 
     fn describe(&self) -> String {
@@ -245,8 +260,14 @@ impl<E: RunExecutor> CellExecutor for CachingExecutor<E> {
         cells: &[CellSpec],
         measure: &(dyn Fn(&CellSpec) -> Result<CellOutcome, TunerError> + Sync),
     ) -> Vec<Result<CellOutcome, TunerError>> {
-        self.inner
-            .run(cells.len(), |i| self.cache.get_or_measure(cells[i].key, || measure(&cells[i])))
+        self.inner.run(cells.len(), |i| {
+            // The span sits inside the cache consult: a hit costs no
+            // simulate span, so `exec.cell` counts actual simulations.
+            self.cache.get_or_measure(cells[i].key, || {
+                let _cell = hmpt_obs::span("exec.cell");
+                measure(&cells[i])
+            })
+        })
     }
 
     fn describe(&self) -> String {

@@ -769,6 +769,28 @@ pub fn rows_bit_identical(a: &[ScenarioRow], b: &[ScenarioRow]) -> bool {
         })
 }
 
+/// Per-shard execution accounting preserved through a merge. A merged
+/// [`MatrixStats`] necessarily sums across shards; these rollups keep
+/// the per-shard wall-time, executed-cell, and cache hit/miss
+/// breakdowns that the sum would otherwise destroy — the difference
+/// between "the partition spent 240 ms" and "shard 2 ran cold while
+/// shards 0 and 1 warm-started".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardRollup {
+    /// 0-based shard id within the partition.
+    pub shard: usize,
+    /// Scenario rows this shard produced.
+    pub scenarios: usize,
+    /// Cells this shard's plans could have executed.
+    pub planned_cells: u64,
+    /// Cells this shard actually evaluated (hits + simulated runs).
+    pub executed_cells: u64,
+    /// What this shard's own cache saw.
+    pub cache: CacheStats,
+    /// This shard's own wall-clock seconds.
+    pub wall_s: f64,
+}
+
 /// Everything a scenario-matrix run produces: per-scenario rows plus
 /// the cross-machine views derived from them.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -778,6 +800,10 @@ pub struct MatrixReport {
     pub frontiers: Vec<BudgetFrontier>,
     pub resident_groups: Vec<ResidentGroups>,
     pub stats: MatrixStats,
+    /// Per-shard breakdowns, present only on reports produced by
+    /// [`MatrixReport::merge`] (`None` for single-process runs; absent
+    /// in pre-rollup report files, which still deserialize).
+    pub shards: Option<Vec<ShardRollup>>,
 }
 
 impl MatrixReport {
@@ -844,6 +870,7 @@ impl MatrixReport {
                 .map(|(workload, groups)| ResidentGroups { workload, groups })
                 .collect(),
             stats,
+            shards: None,
         }
     }
 
@@ -862,7 +889,9 @@ impl MatrixReport {
     /// shard's *own* cache saw (cells shared by scenarios split across
     /// shard boundaries are simulated once per shard, not once
     /// globally — exactly the cost sharding pays without a shared
-    /// snapshot; see `hmpt_core::store`).
+    /// snapshot; see `hmpt_core::store`). The per-shard wall-time,
+    /// executed-cell, and hit/miss breakdowns the sum destroys are
+    /// preserved in [`MatrixReport::shards`].
     pub fn merge(shards: &[ShardReport]) -> Result<MatrixReport, MergeError> {
         let first = shards.first().ok_or(MergeError::NoShards)?;
         let total = first.total_shards;
@@ -925,7 +954,24 @@ impl MatrixReport {
             wall_s,
             scenarios_per_s: if wall_s > 0.0 { rows.len() as f64 / wall_s } else { 0.0 },
         };
-        Ok(MatrixReport::assemble(rows, stats))
+        // The summed stats above lose the per-shard shape of the run;
+        // keep it, ordered by shard id, so a merged report can still
+        // say which shard ran cold and which warm-started.
+        let mut rollups: Vec<ShardRollup> = shards
+            .iter()
+            .map(|s| ShardRollup {
+                shard: s.shard,
+                scenarios: s.stats.scenarios,
+                planned_cells: s.stats.planned_cells,
+                executed_cells: s.stats.executed_cells,
+                cache: s.stats.cache,
+                wall_s: s.stats.wall_s,
+            })
+            .collect();
+        rollups.sort_by_key(|r| r.shard);
+        let mut report = MatrixReport::assemble(rows, stats);
+        report.shards = Some(rollups);
+        Ok(report)
     }
 
     /// Bitwise equality of everything execution determines — used to
@@ -1246,6 +1292,18 @@ mod tests {
         assert_eq!(merged.stats.cache.hits, 4);
         assert_eq!(merged.stats.cache.misses, 16);
         assert!((merged.stats.wall_s - 1.0).abs() < 1e-12);
+
+        // The per-shard breakdowns survive the merge, ordered by shard
+        // id regardless of input order.
+        let rollups = merged.shards.as_ref().expect("merge keeps per-shard rollups");
+        assert_eq!(rollups.iter().map(|r| r.shard).collect::<Vec<_>>(), vec![0, 1]);
+        for r in rollups {
+            assert_eq!(r.scenarios, 2);
+            assert_eq!(r.planned_cells, 10);
+            assert_eq!(r.executed_cells, 8);
+            assert_eq!((r.cache.hits, r.cache.misses), (2, 8));
+            assert!((r.wall_s - 0.5).abs() < 1e-12);
+        }
 
         // The merged views equal an unsharded assemble over the rows.
         let unsharded = MatrixReport::assemble(vec![r0, r1, r2, r3], merged.stats);

@@ -355,7 +355,9 @@ pub fn from_bytes(bytes: &[u8], cache: &MeasurementCache) -> Result<LoadReport, 
 /// concurrent reader never observes a half-written snapshot).
 pub fn save(cache: &MeasurementCache, path: impl AsRef<Path>) -> Result<SaveReport, StoreError> {
     let path = path.as_ref();
+    let _span = hmpt_obs::span("store.save");
     let (bytes, report) = to_bytes(cache);
+    hmpt_obs::counter("store.bytes_written").add(bytes.len() as u64);
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     if let Err(e) = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, path)) {
         let _ = fs::remove_file(&tmp);
@@ -370,7 +372,10 @@ pub fn load_into(
     cache: &MeasurementCache,
     path: impl AsRef<Path>,
 ) -> Result<LoadReport, StoreError> {
-    from_bytes(&fs::read(path)?, cache)
+    let _span = hmpt_obs::span("store.load");
+    let bytes = fs::read(path)?;
+    hmpt_obs::counter("store.bytes_read").add(bytes.len() as u64);
+    from_bytes(&bytes, cache)
 }
 
 /// Load a snapshot into a fresh cache.
@@ -387,6 +392,7 @@ pub fn merge_into<P: AsRef<Path>>(
     cache: &MeasurementCache,
     paths: &[P],
 ) -> Result<LoadReport, StoreError> {
+    let _span = hmpt_obs::span("store.merge");
     let mut total = LoadReport::default();
     for path in paths {
         total.absorb(load_into(cache, path)?);

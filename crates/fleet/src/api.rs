@@ -241,6 +241,7 @@ fn execute_batch(
     fingerprint: String,
     on_job: impl FnMut(usize, &JobReport),
 ) -> Result<BatchOutcome, ApiError> {
+    let _span = hmpt_obs::span("api.batch");
     let comparison = if resolved.compare {
         // Time against the configured parallel pool (or an auto-sized
         // one when the main run is serial — the pass exists to compare).
@@ -312,6 +313,7 @@ fn compare(jobs: &[TuningJob], parallel: ExecutorKind) -> Result<Comparison, Api
 /// shard), audit capacity, verify bit-identity across strategies, and
 /// save the snapshot back (LRU-swept to `cache.max_records`).
 fn execute_matrix(resolved: ResolvedMatrix, fingerprint: String) -> Result<Response, ApiError> {
+    let _span = hmpt_obs::span("api.matrix");
     let ResolvedMatrix { matrix, config, verify, cache_file, cache_max_records, shard } = resolved;
     let cache = Arc::new(MeasurementCache::new());
     let mut preloaded = 0;
@@ -324,20 +326,26 @@ fn execute_matrix(resolved: ResolvedMatrix, fingerprint: String) -> Result<Respo
             Ok(report) => {
                 preloaded = report.loaded;
                 if report.skipped > 0 || report.truncated {
-                    eprintln!(
-                        "hmpt-fleet: cache snapshot {} partially recovered \
-                         ({} cells loaded, {} skipped{})",
-                        path.display(),
-                        report.loaded,
-                        report.skipped,
-                        if report.truncated { ", truncated" } else { "" }
+                    hmpt_obs::warn(
+                        "fleet.cache",
+                        format!(
+                            "hmpt-fleet: cache snapshot {} partially recovered \
+                             ({} cells loaded, {} skipped{})",
+                            path.display(),
+                            report.loaded,
+                            report.skipped,
+                            if report.truncated { ", truncated" } else { "" }
+                        ),
                     );
                 }
             }
             Err(e) => {
-                eprintln!(
-                    "hmpt-fleet: ignoring cache snapshot {} (cold start): {e}",
-                    path.display()
+                hmpt_obs::warn(
+                    "fleet.cache",
+                    format!(
+                        "hmpt-fleet: ignoring cache snapshot {} (cold start): {e}",
+                        path.display()
+                    ),
                 );
             }
         }
@@ -417,6 +425,7 @@ fn execute_matrix(resolved: ResolvedMatrix, fingerprint: String) -> Result<Respo
 /// reassemble the matrix report, audit capacity, and optionally fold
 /// the shards' cache snapshots into one warm-start snapshot.
 fn execute_merge(req: &MergeRequest) -> Result<MergeOutcome, ApiError> {
+    let _span = hmpt_obs::span("api.merge");
     if req.shards.is_empty() {
         return Err(ApiError::BadRequest("no shard reports given".into()));
     }

@@ -54,9 +54,12 @@ use hmpt_core::exec::{available_workers, ExecutorKind, RunExecutor};
 use hmpt_fleet::api::{self, BatchOutcome, Comparison, MergeRequest, Request, Response};
 use hmpt_fleet::cli::{self, Action};
 use hmpt_fleet::spec::{CampaignSpec, Resolved};
+use hmpt_fleet::telemetry::{bench_jsonl, summarize_trace, BenchLine};
 use hmpt_fleet::{store, ScenarioRow, ShardReport};
+use hmpt_obs::{Collector, Fanout, JsonlCollector, MemoryCollector, StderrCollector};
 use hmpt_sim::units::as_gib;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn usage() -> ! {
@@ -67,6 +70,7 @@ fn usage() -> ! {
          \x20      hmpt-fleet merge <shard-report.json...> [--matrix-out P]\n\
          \x20                       [--cache-in LIST --cache-out P] [--spec P]\n\
          \x20      hmpt-fleet cache compact <snapshot> --max-records N\n\
+         \x20      hmpt-fleet trace summarize <trace.jsonl>\n\
          options:\n\
          \x20 --workers N     parallel worker count (default: available parallelism)\n\
          \x20 --serial        use the serial executor\n\
@@ -86,6 +90,11 @@ fn usage() -> ! {
          \x20 --cache-max N   LRU-sweep the cache to N records at save time\n\
          \x20 --spec-out P    write the campaign spec this invocation denotes\n\
          \x20                 (TOML, or JSON for .json) and exit without running\n\
+         telemetry options (batch, scenarios, run):\n\
+         \x20 --trace-out P   write a span/counter/event trace (JSONL) to P\n\
+         \x20 --metrics       print the aggregated metrics table on finish\n\
+         \x20 --quiet, -q     suppress info-level status lines (warnings remain)\n\
+         \x20 --bench-out P   write criterion-style {{\"bench\":…}} JSONL timings to P\n\
          scenarios options:\n\
          \x20 --zoo LIST      comma-separated machines: presets (xeon-max,\n\
          \x20                 xeon-max-quad, hbm-flat, cxl-far, small-hbm) with\n\
@@ -133,7 +142,10 @@ fn main() {
             if let Some(path) = spec_out {
                 let fingerprint = spec.fingerprint().unwrap_or_else(|e| fail(e));
                 spec.save(&path).unwrap_or_else(|e| fail(e));
-                eprintln!("campaign spec written to {path} (fingerprint {fingerprint})");
+                hmpt_obs::info(
+                    "fleet.status",
+                    format!("campaign spec written to {path} (fingerprint {fingerprint})"),
+                );
                 return;
             }
             if check {
@@ -150,17 +162,26 @@ fn main() {
         Ok(Action::CacheCompact { file, max_records }) => {
             let report = store::compact(&file, max_records as usize)
                 .unwrap_or_else(|e| fail(format!("cannot compact {file}: {e}")));
-            eprintln!(
-                "cache snapshot {file}: {} records read{} → {} evicted, {} kept",
-                report.loaded,
-                if report.unreadable > 0 {
-                    format!(" ({} unreadable dropped)", report.unreadable)
-                } else {
-                    String::new()
-                },
-                report.evicted,
-                report.kept,
+            hmpt_obs::info(
+                "fleet.cache",
+                format!(
+                    "cache snapshot {file}: {} records read{} → {} evicted, {} kept",
+                    report.loaded,
+                    if report.unreadable > 0 {
+                        format!(" ({} unreadable dropped)", report.unreadable)
+                    } else {
+                        String::new()
+                    },
+                    report.evicted,
+                    report.kept,
+                ),
             );
+        }
+        Ok(Action::TraceSummarize { file }) => {
+            let text = std::fs::read_to_string(&file)
+                .unwrap_or_else(|e| fail(format!("cannot read {file}: {e}")));
+            let summary = summarize_trace(&text).unwrap_or_else(|e| fail(format!("{file}: {e}")));
+            print!("{summary}");
         }
     }
 }
@@ -171,121 +192,227 @@ fn describe(spec: &CampaignSpec) {
     match spec.resolve() {
         Err(e) => fail(e),
         Ok(Resolved::Batch(b)) => {
-            eprintln!(
-                "hmpt-fleet: batch of {} job(s) on {} (reps {}, seed {}, cache {})",
-                b.jobs.len(),
-                b.fleet.executor.label(),
-                b.fleet.rep_policy.label(b.campaign.runs_per_config),
-                b.campaign.base_seed,
-                if b.fleet.cache_enabled { "on" } else { "off" },
+            hmpt_obs::info(
+                "fleet.spec",
+                format!(
+                    "hmpt-fleet: batch of {} job(s) on {} (reps {}, seed {}, cache {})",
+                    b.jobs.len(),
+                    b.fleet.executor.label(),
+                    b.fleet.rep_policy.label(b.campaign.runs_per_config),
+                    b.campaign.base_seed,
+                    if b.fleet.cache_enabled { "on" } else { "off" },
+                ),
             );
         }
         Ok(Resolved::Matrix(m)) => {
-            eprintln!(
-                "hmpt-fleet: {} machines × {} workloads × {} budgets × {} policies × \
-                 {} noise levels = {} scenarios ({}, {} job workers, cache {}{})",
-                m.matrix.machines().len(),
-                m.matrix.workloads().len(),
-                m.matrix.budgets().len(),
-                m.matrix.rep_policies().len(),
-                m.matrix.noise_cvs().len(),
-                m.matrix.len(),
-                m.config.executor.label(),
-                if m.config.job_workers == 0 { available_workers() } else { m.config.job_workers },
-                if m.config.cache_enabled { "on" } else { "off" },
-                match &m.shard {
-                    Some(s) => format!(
-                        "; shard {}/{}: scenarios {}..{}",
-                        s.shard + 1,
-                        s.total,
-                        s.start,
-                        s.end
-                    ),
-                    None => String::new(),
-                },
+            hmpt_obs::info(
+                "fleet.spec",
+                format!(
+                    "hmpt-fleet: {} machines × {} workloads × {} budgets × {} policies × \
+                     {} noise levels = {} scenarios ({}, {} job workers, cache {}{})",
+                    m.matrix.machines().len(),
+                    m.matrix.workloads().len(),
+                    m.matrix.budgets().len(),
+                    m.matrix.rep_policies().len(),
+                    m.matrix.noise_cvs().len(),
+                    m.matrix.len(),
+                    m.config.executor.label(),
+                    if m.config.job_workers == 0 {
+                        available_workers()
+                    } else {
+                        m.config.job_workers
+                    },
+                    if m.config.cache_enabled { "on" } else { "off" },
+                    match &m.shard {
+                        Some(s) => format!(
+                            "; shard {}/{}: scenarios {}..{}",
+                            s.shard + 1,
+                            s.total,
+                            s.start,
+                            s.end
+                        ),
+                        None => String::new(),
+                    },
+                ),
             );
         }
     }
 }
 
+/// Build timing lines in the benchmark schema from one run's totals.
+fn bench_of(mode: &str, wall_s: f64, executed_cells: u64) -> Vec<BenchLine> {
+    let wall_ns = (wall_s * 1e9) as u64;
+    let mut lines = vec![BenchLine { bench: format!("{mode}.wall"), mean_ns: wall_ns, samples: 1 }];
+    if let Some(per_cell) = wall_ns.checked_div(executed_cells) {
+        lines.push(BenchLine {
+            bench: format!("{mode}.cell"),
+            mean_ns: per_cell,
+            samples: executed_cells,
+        });
+    }
+    lines
+}
+
+/// Install the collector stack a spec's `[telemetry]` section asks for.
+/// Returns the memory collector when `--metrics` wants a table rendered
+/// at the end. Recording turns on only when some sink will consume
+/// spans — otherwise the run stays on the no-op path.
+fn install_telemetry(
+    telemetry: &hmpt_fleet::spec::TelemetrySection,
+) -> Option<Arc<MemoryCollector>> {
+    let quiet = telemetry.quiet.unwrap_or(false);
+    let want_metrics = telemetry.metrics.unwrap_or(false);
+    let memory = want_metrics.then(|| Arc::new(MemoryCollector::new()));
+    let mut sinks: Vec<Arc<dyn Collector>> = vec![Arc::new(StderrCollector { quiet })];
+    if let Some(path) = &telemetry.trace {
+        let jsonl = JsonlCollector::create(std::path::Path::new(path))
+            .unwrap_or_else(|e| fail(format!("cannot create trace file {path}: {e}")));
+        sinks.push(Arc::new(jsonl));
+    }
+    if let Some(memory) = &memory {
+        sinks.push(memory.clone() as Arc<dyn Collector>);
+    }
+    let record = telemetry.trace.is_some() || want_metrics;
+    hmpt_obs::install(Arc::new(Fanout::new(sinks)), record);
+    memory
+}
+
+/// The `--metrics` table: span aggregates plus every non-zero counter
+/// and gauge. Printed directly (not as an event) — an explicit
+/// `--metrics` outranks `--quiet`.
+fn print_metrics(memory: &MemoryCollector) {
+    eprintln!("metrics:");
+    let aggregates = memory.span_aggregates();
+    if !aggregates.is_empty() {
+        eprintln!("  {:<20} {:>8} {:>12} {:>12}", "span", "count", "total_ns", "mean_ns");
+        for (name, agg) in aggregates {
+            eprintln!("  {:<20} {:>8} {:>12} {:>12}", name, agg.count, agg.total_ns, agg.mean_ns());
+        }
+    }
+    for (name, value) in hmpt_obs::counters() {
+        eprintln!("  {name} = {value}");
+    }
+    for (name, value) in hmpt_obs::gauges() {
+        eprintln!("  {name} = {value} (gauge)");
+    }
+}
+
 /// Execute a spec through the API facade and render the response.
 fn execute(spec: CampaignSpec, out: Option<String>) {
+    let telemetry = spec.telemetry.clone().unwrap_or_default();
+    let memory = install_telemetry(&telemetry);
     describe(&spec);
     let request = Request::from_spec(spec.clone()).unwrap_or_else(|e| fail(e));
     let batch_header = matches!(request, Request::Batch(_));
     if batch_header {
-        eprintln!("workload     max   HBM-only   90% usage   online   cells (hit/miss)   wall");
+        hmpt_obs::info(
+            "fleet.table",
+            "workload     max   HBM-only   90% usage   online   cells (hit/miss)   wall".into(),
+        );
     }
     let t0 = Instant::now();
     let response = api::execute_streaming(&request, |_, r| {
         let t2 = &r.analysis.table2;
-        eprintln!(
-            "{:<10} {:>5.2}x {:>7.2}x {:>9.1}%  {:>6}  {:>7}/{:<7} {:>7.3}s",
-            r.analysis.workload,
-            t2.max_speedup,
-            t2.hbm_only_speedup,
-            t2.usage_90_pct,
-            r.online
-                .as_ref()
-                .map(|o| format!("{:.2}x", o.speedup))
-                .unwrap_or_else(|| "-".to_string()),
-            r.cache.hits,
-            r.cache.misses,
-            r.wall_s
+        hmpt_obs::info(
+            "fleet.table",
+            format!(
+                "{:<10} {:>5.2}x {:>7.2}x {:>9.1}%  {:>6}  {:>7}/{:<7} {:>7.3}s",
+                r.analysis.workload,
+                t2.max_speedup,
+                t2.hbm_only_speedup,
+                t2.usage_90_pct,
+                r.online
+                    .as_ref()
+                    .map(|o| format!("{:.2}x", o.speedup))
+                    .unwrap_or_else(|| "-".to_string()),
+                r.cache.hits,
+                r.cache.misses,
+                r.wall_s
+            ),
         );
     })
     .unwrap_or_else(|e| fail(e));
     let total_wall_s = t0.elapsed().as_secs_f64();
 
-    match response {
-        Response::Batch(outcome) => render_batch(&spec, outcome, total_wall_s, out),
+    let bench = match response {
+        Response::Batch(outcome) => {
+            let executed = outcome.report.stats.executed_cells;
+            render_batch(&spec, outcome, total_wall_s, out);
+            bench_of("batch", total_wall_s, executed)
+        }
         Response::Matrix(outcome) => {
             print_rows(&outcome.report.scenarios);
             let stats = &outcome.report.stats;
-            eprintln!(
-                "matrix: {} scenarios, {}/{} cells executed, {} hits / {} misses \
-                 (hit-rate {:.1}%), {:.2} scenarios/s, {:.3}s (spec {})",
-                stats.scenarios,
-                stats.executed_cells,
-                stats.planned_cells,
-                stats.cache.hits,
-                stats.cache.misses,
-                stats.cache.hit_rate() * 100.0,
-                stats.scenarios_per_s,
-                stats.wall_s,
-                outcome.fingerprint,
+            hmpt_obs::info(
+                "fleet.stats",
+                format!(
+                    "matrix: {} scenarios, {}/{} cells executed, {} hits / {} misses \
+                     (hit-rate {:.1}%), {:.2} scenarios/s, {:.3}s (spec {})",
+                    stats.scenarios,
+                    stats.executed_cells,
+                    stats.planned_cells,
+                    stats.cache.hits,
+                    stats.cache.misses,
+                    stats.cache.hit_rate() * 100.0,
+                    stats.scenarios_per_s,
+                    stats.wall_s,
+                    outcome.fingerprint,
+                ),
             );
             if outcome.preloaded > 0 {
-                eprintln!("cache snapshot: {} cells preloaded", outcome.preloaded);
+                hmpt_obs::info(
+                    "fleet.cache",
+                    format!("cache snapshot: {} cells preloaded", outcome.preloaded),
+                );
             }
+            let bench = bench_of("matrix", stats.wall_s, stats.executed_cells);
             // Report before surfacing a failed snapshot save: persistence
             // degrades the next run, not this one's results.
             write_json(&outcome.report, out.as_deref(), "matrix report");
             if let Some(e) = outcome.save_error {
                 fail(format!("cannot save cache snapshot {e}"));
             }
+            bench
         }
         Response::Shard(outcome) => {
             print_rows(&outcome.report.rows);
             let stats = &outcome.report.stats;
-            eprintln!(
-                "shard: {} scenarios, {}/{} cells executed, {} hits / {} misses \
-                 (hit-rate {:.1}%), {:.3}s (spec {})",
-                stats.scenarios,
-                stats.executed_cells,
-                stats.planned_cells,
-                stats.cache.hits,
-                stats.cache.misses,
-                stats.cache.hit_rate() * 100.0,
-                stats.wall_s,
-                outcome.fingerprint,
+            hmpt_obs::info(
+                "fleet.stats",
+                format!(
+                    "shard: {} scenarios, {}/{} cells executed, {} hits / {} misses \
+                     (hit-rate {:.1}%), {:.3}s (spec {})",
+                    stats.scenarios,
+                    stats.executed_cells,
+                    stats.planned_cells,
+                    stats.cache.hits,
+                    stats.cache.misses,
+                    stats.cache.hit_rate() * 100.0,
+                    stats.wall_s,
+                    outcome.fingerprint,
+                ),
             );
+            let bench = bench_of("shard", stats.wall_s, stats.executed_cells);
             write_json(&outcome.report, out.as_deref(), "shard report");
             if let Some(e) = outcome.save_error {
                 fail(format!("cannot save cache snapshot {e}"));
             }
+            bench
         }
         Response::Merge(_) => unreachable!("specs never denote merges"),
+    };
+
+    // Deliver counter/gauge totals to the trace and flush it before the
+    // process exits — a trace missing its counters reads as a cache
+    // that never hit.
+    hmpt_obs::flush();
+    if let Some(memory) = &memory {
+        print_metrics(memory);
+    }
+    if let Some(path) = &telemetry.bench {
+        std::fs::write(path, bench_jsonl(&bench))
+            .unwrap_or_else(|e| fail(format!("cannot write bench file {path}: {e}")));
+        hmpt_obs::info("fleet.status", format!("bench timings written to {path}"));
     }
 }
 
@@ -346,28 +473,38 @@ fn render_batch(
         unreachable!("a batch outcome implies a batch spec");
     };
     if let Some(c) = &outcome.comparison {
-        eprintln!(
-            "campaign executor comparison: serial {:.3}s vs parallel {:.3}s ({:.2}x, bit-identical)",
-            c.serial_s, c.parallel_s, c.speedup,
+        hmpt_obs::info(
+            "fleet.stats",
+            format!(
+                "campaign executor comparison: serial {:.3}s vs parallel {:.3}s \
+                 ({:.2}x, bit-identical)",
+                c.serial_s, c.parallel_s, c.speedup,
+            ),
         );
     }
     if outcome.preloaded > 0 {
-        eprintln!("cache snapshot: {} cells preloaded", outcome.preloaded);
+        hmpt_obs::info(
+            "fleet.cache",
+            format!("cache snapshot: {} cells preloaded", outcome.preloaded),
+        );
     }
     let stats = outcome.report.stats;
-    eprintln!(
-        "batch: {} jobs, {}/{} cells executed ({} skipped by early stop), \
-         {} hits / {} misses (hit-rate {:.1}%), {:.0} cells/s, {:.3}s (spec {})",
-        stats.jobs,
-        stats.executed_cells,
-        stats.planned_cells,
-        stats.cells_skipped,
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.cache.hit_rate() * 100.0,
-        stats.cells_per_s,
-        stats.wall_s,
-        outcome.fingerprint,
+    hmpt_obs::info(
+        "fleet.stats",
+        format!(
+            "batch: {} jobs, {}/{} cells executed ({} skipped by early stop), \
+             {} hits / {} misses (hit-rate {:.1}%), {:.0} cells/s, {:.3}s (spec {})",
+            stats.jobs,
+            stats.executed_cells,
+            stats.planned_cells,
+            stats.cells_skipped,
+            stats.cache.hits,
+            stats.cache.misses,
+            stats.cache.hit_rate() * 100.0,
+            stats.cells_per_s,
+            stats.wall_s,
+            outcome.fingerprint,
+        ),
     );
 
     let pool = match resolved.fleet.executor {
@@ -427,19 +564,26 @@ fn render_batch(
 /// The per-scenario result table (shared by full, shard, and merged
 /// runs).
 fn print_rows(rows: &[ScenarioRow]) {
-    eprintln!(
+    hmpt_obs::info(
+        "fleet.table",
         "workload     machine                     budget     max  budgeted  slowdown  90% usage"
+            .into(),
     );
     for row in rows {
-        eprintln!(
-            "{:<12} {:<26} {:>8} {:>6.2}x {:>7.2}x {:>8.2}x {:>9.1}%",
-            row.workload,
-            row.machine,
-            row.budget_bytes.map(|b| format!("{:.0}GiB", as_gib(b))).unwrap_or_else(|| "-".into()),
-            row.max_speedup,
-            row.budgeted.speedup,
-            row.budgeted.slowdown_vs_best,
-            row.usage_90_pct,
+        hmpt_obs::info(
+            "fleet.table",
+            format!(
+                "{:<12} {:<26} {:>8} {:>6.2}x {:>7.2}x {:>8.2}x {:>9.1}%",
+                row.workload,
+                row.machine,
+                row.budget_bytes
+                    .map(|b| format!("{:.0}GiB", as_gib(b)))
+                    .unwrap_or_else(|| "-".into()),
+                row.max_speedup,
+                row.budgeted.speedup,
+                row.budgeted.slowdown_vs_best,
+                row.usage_90_pct,
+            ),
         );
     }
 }
@@ -473,32 +617,38 @@ fn merge(
 
     print_rows(&outcome.report.scenarios);
     let stats = &outcome.report.stats;
-    eprintln!(
-        "merged: {} shards, {} scenarios, {}/{} cells executed, {} hits / {} misses, \
-         {:.3}s total shard compute",
-        files.len(),
-        stats.scenarios,
-        stats.executed_cells,
-        stats.planned_cells,
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.wall_s
+    hmpt_obs::info(
+        "fleet.stats",
+        format!(
+            "merged: {} shards, {} scenarios, {}/{} cells executed, {} hits / {} misses, \
+             {:.3}s total shard compute",
+            files.len(),
+            stats.scenarios,
+            stats.executed_cells,
+            stats.planned_cells,
+            stats.cache.hits,
+            stats.cache.misses,
+            stats.wall_s
+        ),
     );
     write_json(&outcome.report, matrix_out.as_deref(), "matrix report");
     if let (Some((loaded, saved)), Some(out)) = (&outcome.cache, &cache_out) {
-        eprintln!(
-            "cache snapshots merged: {} records read{} → {} unique cells in {out}",
-            loaded.loaded,
-            if loaded.skipped > 0 || loaded.truncated {
-                format!(
-                    " ({} skipped{})",
-                    loaded.skipped,
-                    if loaded.truncated { ", truncated" } else { "" }
-                )
-            } else {
-                String::new()
-            },
-            saved.saved,
+        hmpt_obs::info(
+            "fleet.cache",
+            format!(
+                "cache snapshots merged: {} records read{} → {} unique cells in {out}",
+                loaded.loaded,
+                if loaded.skipped > 0 || loaded.truncated {
+                    format!(
+                        " ({} skipped{})",
+                        loaded.skipped,
+                        if loaded.truncated { ", truncated" } else { "" }
+                    )
+                } else {
+                    String::new()
+                },
+                saved.saved,
+            ),
         );
     }
 }
@@ -510,7 +660,7 @@ fn write_json<T: Serialize>(value: &T, path: Option<&str>, what: &str) {
         Some(path) => {
             std::fs::write(path, &json)
                 .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
-            eprintln!("{what} written to {path}");
+            hmpt_obs::info("fleet.status", format!("{what} written to {path}"));
         }
         None => println!("{json}"),
     }

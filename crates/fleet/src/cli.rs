@@ -63,6 +63,10 @@ pub enum Action {
         file: String,
         max_records: u64,
     },
+    /// Render a trace file (`hmpt-fleet trace summarize FILE`).
+    TraceSummarize {
+        file: String,
+    },
     Help,
 }
 
@@ -73,6 +77,7 @@ enum Sub {
     Run,
     Merge,
     Cache,
+    Trace,
 }
 
 #[derive(Debug, Default)]
@@ -106,6 +111,10 @@ struct Flags {
     out: Option<String>,
     max_records: Option<u64>,
     check: bool,
+    trace_out: Option<String>,
+    metrics: bool,
+    quiet: bool,
+    bench_out: Option<String>,
     positionals: Vec<String>,
 }
 
@@ -156,18 +165,23 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
             "--out" => flags.out = Some(value("--out", &mut it)?),
             "--max-records" => flags.max_records = Some(value("--max-records", &mut it)?),
             "--check" => flags.check = true,
+            "--trace-out" => flags.trace_out = Some(value("--trace-out", &mut it)?),
+            "--metrics" => flags.metrics = true,
+            "--quiet" | "-q" => flags.quiet = true,
+            "--bench-out" => flags.bench_out = Some(value("--bench-out", &mut it)?),
             "--help" | "-h" => return Ok(Action::Help),
             other if other.starts_with('-') => {
                 return Err(usage_err(format!("unknown flag `{other}`")))
             }
-            sub_name @ ("scenarios" | "merge" | "run" | "cache")
+            sub_name @ ("scenarios" | "merge" | "run" | "cache" | "trace")
                 if sub == Sub::Batch && flags.positionals.is_empty() =>
             {
                 sub = match sub_name {
                     "scenarios" => Sub::Scenarios,
                     "merge" => Sub::Merge,
                     "run" => Sub::Run,
-                    _ => Sub::Cache,
+                    "cache" => Sub::Cache,
+                    _ => Sub::Trace,
                 };
             }
             name => flags.positionals.push(name.to_string()),
@@ -180,6 +194,7 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
         Sub::Run => run_action(flags),
         Sub::Merge => merge_action(flags),
         Sub::Cache => cache_action(flags),
+        Sub::Trace => trace_action(flags),
     }
 }
 
@@ -191,6 +206,7 @@ impl Sub {
             Sub::Run => "the run mode (hmpt-fleet run spec.toml — the spec carries the settings)",
             Sub::Merge => "the merge mode (hmpt-fleet merge <shard-report.json…>)",
             Sub::Cache => "the cache mode (hmpt-fleet cache compact FILE)",
+            Sub::Trace => "the trace mode (hmpt-fleet trace summarize FILE)",
         }
     }
 
@@ -201,6 +217,7 @@ impl Sub {
             Sub::Run => "run",
             Sub::Merge => "merge",
             Sub::Cache => "cache",
+            Sub::Trace => "trace",
         }
     }
 }
@@ -211,7 +228,7 @@ impl Flags {
     /// derives from. A new flag gets exactly one row here; there is no
     /// per-mode list to forget it in, so it can never be silently
     /// ignored in some mode.
-    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 29] {
+    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 33] {
         use Sub::{Batch, Cache, Merge, Run, Scenarios};
         [
             ("--workers", self.workers.is_some(), &[Batch, Scenarios]),
@@ -243,6 +260,10 @@ impl Flags {
             ("--out", self.out.is_some(), &[Run]),
             ("--max-records", self.max_records.is_some(), &[Cache]),
             ("--check", self.check, &[Run]),
+            ("--trace-out", self.trace_out.is_some(), &[Batch, Scenarios, Run]),
+            ("--metrics", self.metrics, &[Batch, Scenarios, Run]),
+            ("--quiet", self.quiet, &[Batch, Scenarios, Run]),
+            ("--bench-out", self.bench_out.is_some(), &[Batch, Scenarios, Run]),
         ]
     }
 
@@ -306,6 +327,30 @@ fn split_csv(csv: &str) -> Vec<String> {
     csv.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
 }
 
+/// Fold the telemetry flags into the spec's `[telemetry]` section.
+/// Flags beat the section field-by-field (tracing a run is a decision
+/// of *this invocation*), and an untouched section passes through — so
+/// `run spec.toml` honors a spec-borne `[telemetry]` unless overridden.
+fn apply_telemetry(flags: &Flags, spec: &mut CampaignSpec) {
+    if flags.trace_out.is_none() && !flags.metrics && !flags.quiet && flags.bench_out.is_none() {
+        return;
+    }
+    let mut section = spec.telemetry.clone().unwrap_or_default();
+    if flags.trace_out.is_some() {
+        section.trace = flags.trace_out.clone();
+    }
+    if flags.metrics {
+        section.metrics = Some(true);
+    }
+    if flags.quiet {
+        section.quiet = Some(true);
+    }
+    if flags.bench_out.is_some() {
+        section.bench = flags.bench_out.clone();
+    }
+    spec.telemetry = Some(section);
+}
+
 fn batch_action(flags: Flags) -> Result<Action, UsageError> {
     flags.reject_out_of_mode(Sub::Batch)?;
     let mut spec = CampaignSpec { mode: Some("batch".into()), ..CampaignSpec::default() };
@@ -322,6 +367,7 @@ fn batch_action(flags: Flags) -> Result<Action, UsageError> {
     if exec != ExecutionSection::default() {
         spec.execution = Some(exec);
     }
+    apply_telemetry(&flags, &mut spec);
     Ok(Action::Execute { spec, spec_out: flags.spec_out, check: false, out: flags.json })
 }
 
@@ -368,6 +414,7 @@ fn scenarios_action(flags: Flags) -> Result<Action, UsageError> {
     if exec != ExecutionSection::default() {
         spec.execution = Some(exec);
     }
+    apply_telemetry(&flags, &mut spec);
     let out = flags.shard_out.or(flags.matrix_out);
     Ok(Action::Execute { spec, spec_out: flags.spec_out, check: false, out })
 }
@@ -389,6 +436,7 @@ fn run_action(flags: Flags) -> Result<Action, UsageError> {
         cache.file = Some(file.clone());
         spec.cache = Some(cache);
     }
+    apply_telemetry(&flags, &mut spec);
     Ok(Action::Execute { spec, spec_out: flags.spec_out, check: flags.check, out: flags.out })
 }
 
@@ -429,9 +477,21 @@ fn cache_action(flags: Flags) -> Result<Action, UsageError> {
     }
 }
 
+fn trace_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Trace)?;
+    match &flags.positionals[..] {
+        [verb, file] if verb == "summarize" => Ok(Action::TraceSummarize { file: file.clone() }),
+        [verb, ..] if verb != "summarize" => {
+            Err(usage_err(format!("unknown trace verb `{verb}` (verbs: summarize)")))
+        }
+        _ => Err(usage_err("trace summarize takes exactly one trace file")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::TelemetrySection;
 
     fn args(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -516,6 +576,32 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flags_compile_to_the_telemetry_section() {
+        let spec = spec_of("--trace-out t.jsonl --metrics --quiet --bench-out b.jsonl");
+        assert_eq!(
+            spec.telemetry,
+            Some(TelemetrySection {
+                trace: Some("t.jsonl".into()),
+                metrics: Some(true),
+                quiet: Some(true),
+                bench: Some("b.jsonl".into()),
+            })
+        );
+        assert_eq!(spec_of("scenarios --trace-out t.jsonl").telemetry.unwrap().trace.as_deref(), {
+            Some("t.jsonl")
+        });
+        assert_eq!(spec_of("").telemetry, None, "no flags, no section");
+    }
+
+    #[test]
+    fn trace_summarize_parses_to_its_action() {
+        assert_eq!(
+            parse(args("trace summarize t.jsonl")).unwrap(),
+            Action::TraceSummarize { file: "t.jsonl".into() }
+        );
+    }
+
+    #[test]
     fn conflicting_and_dangling_flags_are_uniform_hard_errors() {
         for cmdline in [
             "--max-reps 5",                               // dangling: needs --ci-target
@@ -538,6 +624,12 @@ mod tests {
             "run a.toml b.toml",                          // too many spec files
             "run a.toml --reps 3",                        // spec-borne setting as flag
             "--frobnicate",                               // unknown flag
+            "merge a.json --trace-out t.jsonl",           // telemetry flag outside run modes
+            "trace",                                      // missing verb + file
+            "trace summarize",                            // missing trace file
+            "trace summarize a.jsonl b.jsonl",            // too many trace files
+            "trace render t.jsonl",                       // unknown trace verb
+            "trace summarize t.jsonl --metrics",          // no flags in trace mode
         ] {
             let err = parse(args(cmdline)).expect_err(cmdline);
             assert!(!err.0.is_empty(), "{cmdline:?}");

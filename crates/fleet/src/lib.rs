@@ -74,6 +74,7 @@ pub mod cli;
 pub mod matrix;
 pub mod service;
 pub mod spec;
+pub mod telemetry;
 pub mod toml;
 
 pub use api::{execute, ApiError, MergeRequest, Request, Response};

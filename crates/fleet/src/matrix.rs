@@ -166,6 +166,8 @@ fn run_matrix_range(
     range: Range<usize>,
 ) -> Result<(Vec<ScenarioRow>, MatrixStats), TunerError> {
     assert!(range.end <= matrix.len(), "range {range:?} exceeds matrix len {}", matrix.len());
+    let _range_span =
+        hmpt_obs::span_with("matrix.range", || format!("{}..{}", range.start, range.end));
     let t0 = Instant::now();
     let before = cache.stats();
     let fleet = Fleet::with_cache(cfg.fleet_config(), cache);
@@ -185,7 +187,10 @@ fn run_matrix_range(
                 Ok(TuningJob::new(s.workload.clone())
                     .with_machine(s.build_machine()?)
                     .with_campaign(s.campaign)
-                    .with_rep_policy(s.rep_policy))
+                    .with_rep_policy(s.rep_policy)
+                    // Per-scenario telemetry label: the `fleet.job` span
+                    // of scenario #i reads "#i machine·workload".
+                    .with_label(format!("#{} {}·{}", s.index, s.entry.name, s.workload.name)))
             })
             .collect::<Result<_, TunerError>>()?;
         let report = fleet.run(&jobs)?;

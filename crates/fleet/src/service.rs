@@ -103,6 +103,10 @@ pub struct TuningJob {
     /// Per-job repetition-policy override (`None` = the fleet's
     /// configured policy). Scenario matrices sweep this as an axis.
     pub rep_policy: Option<RepPolicy>,
+    /// Telemetry label for this job's `fleet.job` span (`None` = the
+    /// workload name). Pure observability: never hashed, never reported
+    /// in results — a label can't change a bit of output.
+    pub label: Option<String>,
 }
 
 impl TuningJob {
@@ -114,6 +118,7 @@ impl TuningJob {
             machine: xeon_max_9468(),
             campaign: CampaignConfig::default(),
             rep_policy: None,
+            label: None,
         }
     }
 
@@ -129,6 +134,12 @@ impl TuningJob {
 
     pub fn with_rep_policy(mut self, rep_policy: RepPolicy) -> Self {
         self.rep_policy = Some(rep_policy);
+        self
+    }
+
+    /// Telemetry label for this job's span (scenario coordinates, say).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
         self
     }
 }
@@ -219,20 +230,26 @@ impl Fleet {
                     Ok(report) => {
                         preloaded = report.loaded;
                         if report.skipped > 0 || report.truncated {
-                            eprintln!(
-                                "hmpt-fleet: cache snapshot {} partially recovered \
-                                 ({} cells loaded, {} skipped{})",
-                                path.display(),
-                                report.loaded,
-                                report.skipped,
-                                if report.truncated { ", truncated" } else { "" }
+                            hmpt_obs::warn(
+                                "fleet.cache",
+                                format!(
+                                    "hmpt-fleet: cache snapshot {} partially recovered \
+                                     ({} cells loaded, {} skipped{})",
+                                    path.display(),
+                                    report.loaded,
+                                    report.skipped,
+                                    if report.truncated { ", truncated" } else { "" }
+                                ),
                             );
                         }
                     }
                     Err(e) => {
-                        eprintln!(
-                            "hmpt-fleet: ignoring cache snapshot {} (cold start): {e}",
-                            path.display()
+                        hmpt_obs::warn(
+                            "fleet.cache",
+                            format!(
+                                "hmpt-fleet: ignoring cache snapshot {} (cold start): {e}",
+                                path.display()
+                            ),
                         );
                     }
                 }
@@ -290,6 +307,9 @@ impl Fleet {
         job: &TuningJob,
         executor: ExecutorKind,
     ) -> Result<JobReport, TunerError> {
+        let _job_span = hmpt_obs::span_with("fleet.job", || {
+            job.label.clone().unwrap_or_else(|| job.spec.name.clone())
+        });
         let t0 = Instant::now();
         let before = self.cache.stats();
 
@@ -297,18 +317,29 @@ impl Fleet {
             .with_grouping(self.cfg.grouping)
             .with_campaign(job.campaign)
             .with_executor(executor);
-        let profile = driver.profile(&job.spec)?;
-        let groups = group(&job.spec, &profile.stats, &self.cfg.grouping);
+        let (profile, groups) = {
+            let _s = hmpt_obs::span("job.profile");
+            let profile = driver.profile(&job.spec)?;
+            let groups = group(&job.spec, &profile.stats, &self.cfg.grouping);
+            (profile, groups)
+        };
 
         // Plan once per job: fingerprints (machine, spec, noise, per-
         // config placement plans) are memoized on the plan and shared by
         // the campaign cells and every online probe.
-        let plan = CampaignPlan::new(&job.machine, &job.spec, &groups, job.campaign)?
-            .with_policy(job.rep_policy.unwrap_or(self.cfg.rep_policy));
+        let plan = {
+            let _s = hmpt_obs::span("job.plan");
+            CampaignPlan::new(&job.machine, &job.spec, &groups, job.campaign)?
+                .with_policy(job.rep_policy.unwrap_or(self.cfg.rep_policy))
+        };
         let exec = self.exec_stack(executor);
-        let campaign = plan.execute(&*exec)?;
+        let campaign = {
+            let _s = hmpt_obs::span("job.campaign");
+            plan.execute(&*exec)?
+        };
 
         let online = if self.cfg.online_check {
+            let _s = hmpt_obs::span("job.online");
             let ocfg = OnlineConfig { campaign: job.campaign, executor, ..OnlineConfig::default() };
             Some(online::tune_plan(&plan, &ocfg, &*exec)?)
         } else {
@@ -316,7 +347,10 @@ impl Fleet {
         };
         drop(plan);
 
-        let analysis = driver.assemble(&job.spec, profile, groups, campaign);
+        let analysis = {
+            let _s = hmpt_obs::span("job.assemble");
+            driver.assemble(&job.spec, profile, groups, campaign)
+        };
         Ok(JobReport {
             analysis,
             online,
@@ -361,6 +395,7 @@ impl Fleet {
         jobs: &[TuningJob],
         mut on_report: impl FnMut(usize, &JobReport),
     ) -> Result<FleetReport, TunerError> {
+        let _batch_span = hmpt_obs::span("fleet.batch");
         let t0 = Instant::now();
         let before = self.cache.stats();
         let workers = self.job_workers().min(jobs.len().max(1));
@@ -391,10 +426,16 @@ impl Fleet {
         // degrades the *next* run to a colder start; it does not
         // invalidate this one, so report it without failing the batch.
         if let Err(e) = self.persist() {
-            eprintln!("hmpt-fleet: cache snapshot not saved: {e}");
+            hmpt_obs::warn("fleet.cache", format!("hmpt-fleet: cache snapshot not saved: {e}"));
         }
         let wall_s = t0.elapsed().as_secs_f64();
         let cache = self.cache.stats().since(&before);
+        // Only a cache-consulting batch updates the residency gauge — a
+        // cache-off pass (e.g. a bit-identity verify re-run) observed
+        // nothing and must not zero the real cache's reading.
+        if self.cfg.cache_enabled {
+            hmpt_obs::gauge("cache.entries").set(self.cache.len() as u64);
+        }
         let cells = cache.hits + cache.misses;
         Ok(FleetReport {
             reports,

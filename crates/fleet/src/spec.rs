@@ -40,6 +40,12 @@
 //! enabled     = true
 //! file        = "cells.bin"     # persistent snapshot (load/save)
 //! max_records = 100000          # LRU sweep at save time
+//!
+//! [telemetry]
+//! trace   = "trace.jsonl"       # span/counter trace (JSONL)
+//! metrics = true                # print the metrics table on finish
+//! quiet   = false               # suppress info-level status events
+//! bench   = "bench.jsonl"       # BENCH_*-style timing lines (JSONL)
 //! ```
 //!
 //! An omitted field means what the CLI default means; unknown keys are
@@ -105,6 +111,11 @@ pub struct CampaignSpec {
     pub campaign: Option<CampaignSection>,
     pub execution: Option<ExecutionSection>,
     pub cache: Option<CacheSection>,
+    /// `[telemetry]`: observability only — ignored by
+    /// `CampaignSpec::resolve` and therefore structurally excluded
+    /// from [`fingerprint`](CampaignSpec::fingerprint): tracing a run
+    /// can never change its bits.
+    pub telemetry: Option<TelemetrySection>,
 }
 
 /// `[campaign]`: overrides of the paper's campaign settings.
@@ -144,6 +155,23 @@ pub struct CacheSection {
     /// LRU bound applied at save time ([`hmpt_core::store`] snapshots
     /// stay ≤ this many records).
     pub max_records: Option<u64>,
+}
+
+/// `[telemetry]`: where observability output goes. Every field is
+/// advisory — the equivalent CLI flag (`--trace-out`, `--metrics`,
+/// `--quiet`, `--bench-out`) overrides it — and none participates in
+/// campaign identity.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySection {
+    /// Write the span/counter/event trace to this JSONL file.
+    pub trace: Option<String>,
+    /// Print the aggregated metrics table when the run finishes.
+    pub metrics: Option<bool>,
+    /// Suppress info-level status events (warnings still print).
+    pub quiet: Option<bool>,
+    /// Write criterion-compatible `{"bench":…,"mean_ns":…}` timing
+    /// lines to this JSONL file.
+    pub bench: Option<String>,
 }
 
 /// Why a spec document cannot be executed.
@@ -561,11 +589,13 @@ fn check_known_keys(value: &Value) -> Result<(), SpecError> {
         "campaign",
         "execution",
         "cache",
+        "telemetry",
     ];
     const SECTIONS: &[(&str, &[&str])] = &[
         ("campaign", &["reps", "seed"]),
         ("execution", &["serial", "workers", "job_workers", "compare", "online", "verify"]),
         ("cache", &["enabled", "file", "max_records"]),
+        ("telemetry", &["trace", "metrics", "quiet", "bench"]),
     ];
     let Some(root) = value.as_object() else {
         return Err(SpecError::Parse("a spec document is a table/object".into()));
@@ -662,8 +692,12 @@ mod tests {
 
     #[test]
     fn unknown_keys_are_rejected() {
-        for doc in ["budgetts = [\"none\"]\n", "[campaign]\nrepz = 3\n", "[cache]\npath = \"x\"\n"]
-        {
+        for doc in [
+            "budgetts = [\"none\"]\n",
+            "[campaign]\nrepz = 3\n",
+            "[cache]\npath = \"x\"\n",
+            "[telemetry]\ntrace_out = \"t\"\n",
+        ] {
             assert!(
                 matches!(CampaignSpec::parse(doc), Err(SpecError::Invalid(_))),
                 "{doc:?} must be rejected"
@@ -691,6 +725,11 @@ mod tests {
                 max_records: Some(1000),
                 ..CacheSection::default()
             }),
+            telemetry: Some(TelemetrySection {
+                trace: Some("trace.jsonl".into()),
+                metrics: Some(true),
+                ..TelemetrySection::default()
+            }),
             ..CampaignSpec::default()
         };
         assert_eq!(CampaignSpec::parse(&spec.to_toml()).unwrap(), spec);
@@ -711,6 +750,12 @@ mod tests {
         });
         sched.cache = Some(CacheSection { enabled: Some(false), ..CacheSection::default() });
         sched.shard = Some("1/3".into());
+        sched.telemetry = Some(TelemetrySection {
+            trace: Some("t.jsonl".into()),
+            metrics: Some(true),
+            quiet: Some(true),
+            bench: Some("b.jsonl".into()),
+        });
         assert_eq!(sched.fingerprint().unwrap(), fp);
         // Axis and campaign changes do.
         let mut axis = base.clone();

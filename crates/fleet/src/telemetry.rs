@@ -1,0 +1,330 @@
+//! Trace rendering and bench export — the read side of `hmpt_obs`.
+//!
+//! The write side lives in the `hmpt_obs` crate (spans, counters,
+//! collectors); this module consumes what an `hmpt_obs::JsonlCollector`
+//! wrote:
+//!
+//! * [`summarize_trace`] renders a trace file the way `hmpt-fleet trace
+//!   summarize FILE` shows it — top spans by total time, per-phase
+//!   duration histograms, per-scenario rollups, and the cache-flow
+//!   totals. It is a pure text → text function so tests can pin the
+//!   rendering without touching the filesystem.
+//! * [`bench_jsonl`] emits criterion-compatible
+//!   `{"bench":…,"mean_ns":…,"samples":…}` lines (the `BENCH_JSON`
+//!   schema of the vendored criterion), so one run's wall-clock numbers
+//!   land in the same format the benchmark suite publishes — a CI job
+//!   can diff cold vs warm timings across both sources with one jq
+//!   expression.
+//!
+//! A malformed trace is a hard error naming the line, not a partial
+//! summary: a trace that half-parses is evidence of a writer bug and
+//! must fail loudly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::Value;
+
+/// One criterion-compatible measurement line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLine {
+    /// Benchmark label, e.g. `matrix.wall` or `matrix.cell`.
+    pub bench: String,
+    /// Mean duration in nanoseconds.
+    pub mean_ns: u64,
+    /// How many samples the mean covers (1 for a whole-run wall time;
+    /// the executed-cell count for a per-cell mean).
+    pub samples: u64,
+}
+
+/// Render bench lines as JSONL in the vendored criterion's
+/// `BENCH_JSON` schema: one `{"bench":…,"mean_ns":…,"samples":…}`
+/// object per line.
+pub fn bench_jsonl(lines: &[BenchLine]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        let _ = writeln!(
+            out,
+            "{{\"bench\":\"{}\",\"mean_ns\":{},\"samples\":{}}}",
+            hmpt_obs::escape_json(&line.bench),
+            line.mean_ns,
+            line.samples
+        );
+    }
+    out
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Agg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    // Decade buckets: <1µs, <10µs, <100µs, <1ms, <10ms, <100ms, <1s, ≥1s.
+    buckets: [u64; 8],
+}
+
+impl Agg {
+    fn record(&mut self, dur_ns: u64) {
+        if self.count == 0 || dur_ns < self.min_ns {
+            self.min_ns = dur_ns;
+        }
+        if dur_ns > self.max_ns {
+            self.max_ns = dur_ns;
+        }
+        self.count += 1;
+        self.total_ns += dur_ns;
+        let mut bucket = 0;
+        let mut bound = 1_000u64;
+        while bucket < 7 && dur_ns >= bound {
+            bucket += 1;
+            bound = bound.saturating_mul(10);
+        }
+        self.buckets[bucket] += 1;
+    }
+}
+
+const BUCKET_LABELS: [&str; 8] =
+    ["<1µs", "<10µs", "<100µs", "<1ms", "<10ms", "<100ms", "<1s", "≥1s"];
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn field_u64(obj: &Value, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("trace line {line_no}: missing or non-numeric `{key}`"))
+}
+
+fn field_str<'v>(obj: &'v Value, key: &str, line_no: usize) -> Result<&'v str, String> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("trace line {line_no}: missing or non-string `{key}`"))
+}
+
+/// Render the human summary of a trace JSONL document (the body of
+/// `hmpt-fleet trace summarize FILE`). Errors name the offending line.
+pub fn summarize_trace(text: &str) -> Result<String, String> {
+    let mut spans: BTreeMap<String, Agg> = BTreeMap::new();
+    let mut scenarios: Vec<(String, u64)> = Vec::new(); // fleet.job details
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+    let mut span_lines = 0u64;
+    let mut event_lines = 0u64;
+
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::parse(line)
+            .map_err(|e| format!("trace line {line_no}: not valid JSON: {e}"))?;
+        match field_str(&value, "type", line_no)? {
+            "span" => {
+                span_lines += 1;
+                let name = field_str(&value, "name", line_no)?;
+                let dur_ns = field_u64(&value, "dur_ns", line_no)?;
+                field_u64(&value, "id", line_no)?;
+                field_u64(&value, "thread", line_no)?;
+                field_u64(&value, "t_us", line_no)?;
+                spans.entry(name.to_string()).or_default().record(dur_ns);
+                if name == "fleet.job" {
+                    if let Some(detail) = value.get("detail").and_then(Value::as_str) {
+                        scenarios.push((detail.to_string(), dur_ns));
+                    }
+                }
+            }
+            "event" => {
+                event_lines += 1;
+                field_str(&value, "level", line_no)?;
+                field_str(&value, "name", line_no)?;
+                field_str(&value, "msg", line_no)?;
+            }
+            "counter" => {
+                let name = field_str(&value, "name", line_no)?;
+                let v = field_u64(&value, "value", line_no)?;
+                // Last write wins: a flush writes totals, not deltas.
+                counters.insert(name.to_string(), v);
+            }
+            "gauge" => {
+                let name = field_str(&value, "name", line_no)?;
+                let v = field_u64(&value, "value", line_no)?;
+                gauges.insert(name.to_string(), v);
+            }
+            other => return Err(format!("trace line {line_no}: unknown record type `{other}`")),
+        }
+    }
+    if span_lines == 0 && event_lines == 0 && counters.is_empty() && gauges.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {span_lines} spans ({} distinct), {event_lines} events, {} counters, {} gauges",
+        spans.len(),
+        counters.len(),
+        gauges.len()
+    );
+
+    // Top spans by total time.
+    let mut by_total: Vec<(&String, &Agg)> = spans.iter().collect();
+    by_total.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+    if !by_total.is_empty() {
+        let _ = writeln!(out, "\ntop spans by total time:");
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "span", "count", "total", "mean", "min", "max"
+        );
+        for (name, agg) in by_total.iter().take(12) {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                agg.count,
+                fmt_ns(agg.total_ns),
+                fmt_ns(agg.total_ns / agg.count.max(1)),
+                fmt_ns(agg.min_ns),
+                fmt_ns(agg.max_ns)
+            );
+        }
+    }
+
+    // Duration histograms for the repeated spans (a phase that ran once
+    // has no distribution to show).
+    let histogrammed: Vec<(&String, &Agg)> =
+        by_total.iter().filter(|(_, a)| a.count >= 2).take(6).copied().collect();
+    if !histogrammed.is_empty() {
+        let _ = writeln!(out, "\nduration histograms (decade buckets):");
+        for (name, agg) in histogrammed {
+            let cells: Vec<String> = BUCKET_LABELS
+                .iter()
+                .zip(agg.buckets.iter())
+                .filter(|(_, n)| **n > 0)
+                .map(|(label, n)| format!("{label}:{n}"))
+                .collect();
+            let _ = writeln!(out, "  {:<16} {}", name, cells.join("  "));
+        }
+    }
+
+    // Per-scenario rollup from the labeled fleet.job spans.
+    if !scenarios.is_empty() {
+        scenarios.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let _ = writeln!(out, "\nslowest scenarios (fleet.job):");
+        for (detail, dur_ns) in scenarios.iter().take(10) {
+            let _ = writeln!(out, "  {:<32} {:>10}", detail, fmt_ns(*dur_ns));
+        }
+        if scenarios.len() > 10 {
+            let _ = writeln!(out, "  … and {} more", scenarios.len() - 10);
+        }
+    }
+
+    // Cache flow: the counters that tell the warm-vs-cold story.
+    let hit = counters.get("cache.hit").copied().unwrap_or(0);
+    let miss = counters.get("cache.miss").copied().unwrap_or(0);
+    if hit + miss > 0 {
+        let _ = writeln!(
+            out,
+            "\ncache flow: {hit} hits / {miss} misses (hit-rate {:.1}%), {} evicted, \
+             {} B written / {} B read, {} entries resident",
+            100.0 * hit as f64 / (hit + miss) as f64,
+            counters.get("cache.evict").copied().unwrap_or(0),
+            counters.get("store.bytes_written").copied().unwrap_or(0),
+            counters.get("store.bytes_read").copied().unwrap_or(0),
+            gauges.get("cache.entries").copied().unwrap_or(0),
+        );
+    }
+
+    // Everything else, raw.
+    let shown =
+        ["cache.hit", "cache.miss", "cache.evict", "store.bytes_written", "store.bytes_read"];
+    let rest: Vec<(&String, &u64)> =
+        counters.iter().filter(|(k, _)| !shown.contains(&k.as_str())).collect();
+    if !rest.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, v) in rest {
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(name: &str, detail: Option<&str>, dur_ns: u64) -> String {
+        format!(
+            "{{\"type\":\"span\",\"name\":\"{name}\",\"detail\":{},\"id\":1,\
+             \"parent\":null,\"thread\":0,\"t_us\":5,\"dur_ns\":{dur_ns}}}",
+            detail.map(|d| format!("\"{d}\"")).unwrap_or_else(|| "null".into())
+        )
+    }
+
+    #[test]
+    fn summarize_renders_spans_cache_flow_and_scenarios() {
+        let trace = [
+            span_line("exec.cell", None, 900),
+            span_line("exec.cell", None, 1_500_000),
+            span_line("fleet.job", Some("#0 xeon-max·mg"), 2_000_000),
+            span_line("fleet.job", Some("#1 xeon-max·is"), 9_000_000),
+            "{\"type\":\"event\",\"level\":\"info\",\"name\":\"x\",\"msg\":\"hi\"}".to_string(),
+            "{\"type\":\"counter\",\"name\":\"cache.hit\",\"value\":3}".to_string(),
+            "{\"type\":\"counter\",\"name\":\"cache.miss\",\"value\":1}".to_string(),
+            "{\"type\":\"counter\",\"name\":\"exec.parallel.steals\",\"value\":7}".to_string(),
+            "{\"type\":\"gauge\",\"name\":\"cache.entries\",\"value\":4}".to_string(),
+        ]
+        .join("\n");
+        let text = summarize_trace(&trace).unwrap();
+        assert!(text.contains("4 spans (2 distinct), 1 events"), "{text}");
+        assert!(text.contains("exec.cell"), "{text}");
+        assert!(text.contains("<1µs:1"), "histogram bucket for the 900ns cell: {text}");
+        assert!(text.contains("<10ms:1"), "histogram bucket for the 1.5ms cell: {text}");
+        assert!(text.contains("#1 xeon-max·is"), "scenario rollup: {text}");
+        assert!(text.contains("3 hits / 1 misses (hit-rate 75.0%)"), "{text}");
+        assert!(text.contains("exec.parallel.steals = 7"), "{text}");
+        // Scenarios sort by duration, slowest first.
+        let is = text.find("#1 xeon-max·is").unwrap();
+        let mg = text.find("#0 xeon-max·mg").unwrap();
+        assert!(is < mg, "{text}");
+    }
+
+    #[test]
+    fn malformed_traces_fail_naming_the_line() {
+        for (doc, what) in [
+            ("not json", "line 1"),
+            ("{\"type\":\"span\",\"name\":\"x\"}", "dur_ns"),
+            ("{\"type\":\"wibble\"}", "unknown record type"),
+            ("", "empty"),
+        ] {
+            let err = summarize_trace(doc).unwrap_err();
+            assert!(err.contains(what), "{doc:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn bench_jsonl_round_trips_through_the_parser() {
+        let lines = vec![
+            BenchLine { bench: "matrix.wall".into(), mean_ns: 92_800_000, samples: 1 },
+            BenchLine { bench: "matrix.cell".into(), mean_ns: 12_345, samples: 480 },
+        ];
+        let text = bench_jsonl(&lines);
+        assert_eq!(text.lines().count(), 2);
+        for (line, want) in text.lines().zip(&lines) {
+            let v: Value = serde_json::parse(line).unwrap();
+            assert_eq!(v.get("bench").and_then(Value::as_str), Some(want.bench.as_str()));
+            assert_eq!(v.get("mean_ns").and_then(Value::as_u64), Some(want.mean_ns));
+            assert_eq!(v.get("samples").and_then(Value::as_u64), Some(want.samples));
+        }
+    }
+}

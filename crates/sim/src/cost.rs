@@ -188,6 +188,12 @@ impl PhaseCost {
 /// assert!((cost.throughput_gbs() - 700.0).abs() < 7.0);
 /// ```
 pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> PhaseCost {
+    // Telemetry for the kernel itself is compile-time gated (`--features
+    // obs`): this is the hottest function in the stack, and default
+    // builds must carry zero instrumentation instructions here — not
+    // even the disabled-recording atomic load.
+    #[cfg(feature = "obs")]
+    let _span = hmpt_obs::span("sim.phase");
     assert!(ctx.threads_per_tile > 0.0 && ctx.tiles > 0, "empty execution context");
     let cores = ctx.cores();
 

@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use hmpt_fleet::api::{self, MergeRequest, Request, Response};
 use hmpt_fleet::cli::{self, Action};
-use hmpt_fleet::spec::{CacheSection, CampaignSection, CampaignSpec, ExecutionSection};
+use hmpt_fleet::spec::{
+    CacheSection, CampaignSection, CampaignSpec, ExecutionSection, TelemetrySection,
+};
 use hmpt_fleet::{
     run_matrix, run_matrix_sharded, Fleet, FleetConfig, MatrixConfig, MatrixReport,
     MeasurementCache, ScenarioMatrix, TuningJob,
@@ -82,6 +84,12 @@ fn spec_from(mut bits: u64) -> CampaignSpec {
             enabled: (next() % 3 == 0).then(|| next() % 2 == 0),
             file: (next() % 3 == 0).then(|| format!("snapshots/c{}.bin", next() % 100)),
             max_records: (next() % 3 == 0).then(&mut next),
+        }),
+        telemetry: (next() % 2 == 0).then(|| TelemetrySection {
+            trace: (next() % 3 == 0).then(|| format!("traces/t{}.jsonl", next() % 100)),
+            metrics: (next() % 3 == 0).then(|| next() % 2 == 0),
+            quiet: (next() % 3 == 0).then(|| next() % 2 == 0),
+            bench: (next() % 3 == 0).then(|| format!("bench{}.jsonl", next() % 100)),
         }),
     }
 }
