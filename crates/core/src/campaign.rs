@@ -32,7 +32,7 @@
 //! vs [`CampaignResult::planned_runs`]).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use hmpt_alloc::plan::PlacementPlan;
 use hmpt_sim::fingerprint::Fingerprint;
@@ -43,6 +43,7 @@ use crate::cache::CellKey;
 use crate::configspace::{Config, MAX_GROUPS};
 use crate::error::TunerError;
 use crate::exec::CellExecutor;
+use crate::fastpath::FastCampaign;
 use crate::grouping::AllocationGroup;
 use crate::measure::{
     assemble_config, measure_cell_with_plan, CampaignConfig, CampaignResult, CellOutcome,
@@ -218,6 +219,10 @@ enum ConfigSet {
 }
 
 impl ConfigSet {
+    fn is_full(&self) -> bool {
+        matches!(self, ConfigSet::Full { .. })
+    }
+
     fn len(&self) -> usize {
         match self {
             ConfigSet::Full { n_groups } => 1usize << n_groups,
@@ -250,6 +255,15 @@ pub struct CampaignPlan<'a> {
     /// first touch and shared by all the configuration's repetitions
     /// (and by online probes of the same plan).
     plans: Mutex<HashMap<u32, Arc<(PlacementPlan, Fingerprint)>>>,
+    /// Whether [`measure_cell`](Self::measure_cell) may answer through
+    /// the batched cold-path kernel. Purely a scheduling choice — the
+    /// kernel is bit-identical by contract and the cache keys never see
+    /// this flag — so it defaults to on.
+    fast_path: bool,
+    /// The compiled fast campaign, built on first measured cell.
+    /// `Some(None)` records that this campaign cannot be compiled (the
+    /// naive path is used without re-probing).
+    fast: OnceLock<Option<FastCampaign>>,
 }
 
 impl<'a> CampaignPlan<'a> {
@@ -303,6 +317,8 @@ impl<'a> CampaignPlan<'a> {
             spec_fp: spec.fingerprint(),
             noise_fp: Fingerprint::of(&cfg.noise),
             plans: Mutex::new(HashMap::new()),
+            fast_path: true,
+            fast: OnceLock::new(),
         }
     }
 
@@ -310,6 +326,33 @@ impl<'a> CampaignPlan<'a> {
     pub fn with_policy(mut self, policy: RepPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Enable or disable the batched cold-path kernel (default on). Off
+    /// forces every cell through the naive per-cell pipeline — useful
+    /// for benchmarking and for CI's off/on equivalence check; results
+    /// are bit-identical either way.
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
+    /// The compiled fast campaign, if enabled and compilable. Built
+    /// lazily on the first cell; full campaigns pre-walk the whole
+    /// configuration space in Gray-code order while they are at it.
+    fn fast(&self) -> Option<&FastCampaign> {
+        if !self.fast_path {
+            return None;
+        }
+        self.fast
+            .get_or_init(|| {
+                let fast = FastCampaign::build(self.machine, self.spec, self.groups, &self.cfg)?;
+                if self.configs.is_full() {
+                    fast.precompute_full();
+                }
+                Some(fast)
+            })
+            .as_ref()
     }
 
     pub fn groups(&self) -> &'a [AllocationGroup] {
@@ -358,17 +401,55 @@ impl<'a> CampaignPlan<'a> {
         }
     }
 
+    /// [`Self::cell`], deriving the content key only when the executor
+    /// will read one. Key derivation builds and fingerprints the
+    /// configuration's placement plan — most of a cold campaign's
+    /// non-simulation cost — so executors that never consult a cache
+    /// ([`CellExecutor::consumes_keys`] is false) get a zeroed key
+    /// instead. Keys only feed cache lookups, never the simulation, so
+    /// this is scheduling-only: outcomes are unaffected, and caching
+    /// executors still see the exact on-disk key encoding.
+    fn cell_for(&self, keyed: bool, config: Config, rep: usize) -> CellSpec {
+        if keyed {
+            return self.cell(config, rep);
+        }
+        let zero = Fingerprint::from_raw(0);
+        CellSpec {
+            config,
+            rep,
+            seed: self.cfg.cell_seed(config, rep),
+            key: (zero, zero, zero, zero),
+        }
+    }
+
     /// Lazily enumerate every planned cell, configuration-major /
     /// repetition-minor — the campaign's canonical order.
     pub fn cells(&self) -> impl Iterator<Item = CellSpec> + '_ {
+        self.cells_for(true)
+    }
+
+    fn cells_for(&self, keyed: bool) -> impl Iterator<Item = CellSpec> + '_ {
         let reps = self.policy.planned_reps(self.cfg.runs_per_config);
-        (0..self.configs.len())
-            .flat_map(move |ci| (0..reps).map(move |rep| self.cell(self.configs.get(ci), rep)))
+        (0..self.configs.len()).flat_map(move |ci| {
+            (0..reps).map(move |rep| self.cell_for(keyed, self.configs.get(ci), rep))
+        })
     }
 
     /// Simulate one cell (ignoring any cache; executors interpose
-    /// caching around this).
+    /// caching around this). Dispatches to the batched cold-path kernel
+    /// when it is enabled and the campaign compiles for it; the kernel
+    /// is bit-identical to [`Self::measure_cell_naive`] by contract.
     pub fn measure_cell(&self, cell: &CellSpec) -> Result<CellOutcome, TunerError> {
+        if let Some(fast) = self.fast() {
+            return fast.outcome(cell.config, cell.seed).map_err(TunerError::Alloc);
+        }
+        self.measure_cell_naive(cell)
+    }
+
+    /// Simulate one cell through the full per-cell pipeline (allocate,
+    /// resolve, price every phase), bypassing the fast path. The
+    /// reference implementation the kernel is verified against.
+    pub fn measure_cell_naive(&self, cell: &CellSpec) -> Result<CellOutcome, TunerError> {
         let plan = self.plan_for(cell.config);
         measure_cell_with_plan(self.machine, self.spec, &plan.0, cell.config, cell.rep, &self.cfg)
     }
@@ -392,7 +473,7 @@ impl<'a> CampaignPlan<'a> {
         sink: &mut dyn CellSink,
     ) -> Result<(), TunerError> {
         let chunk = chunk.max(1);
-        let mut iter = self.cells();
+        let mut iter = self.cells_for(exec.consumes_keys());
         // An oversized chunk degrades to eager execution; don't let it
         // oversize the buffer too.
         let mut buf: Vec<CellSpec> = Vec::with_capacity(chunk.min(self.planned_cells()));
@@ -420,7 +501,8 @@ impl<'a> CampaignPlan<'a> {
         config: Config,
     ) -> Result<ConfigMeasurement, TunerError> {
         let reps = self.cfg.runs_per_config.max(1);
-        let cells: Vec<CellSpec> = (0..reps).map(|rep| self.cell(config, rep)).collect();
+        let keyed = exec.consumes_keys();
+        let cells: Vec<CellSpec> = (0..reps).map(|rep| self.cell_for(keyed, config, rep)).collect();
         let outcomes = self.run_cells(exec, &cells);
         assemble_config(config, &outcomes)
     }
@@ -493,11 +575,12 @@ impl<'a> CampaignPlan<'a> {
         let mut outcomes: Vec<Vec<CellOutcome>> = vec![Vec::new(); n_cfg];
         let mut executed = 0usize;
         let chunk = chunk.max(1);
+        let keyed = exec.consumes_keys();
 
         for rep in 0..max_reps {
             let round: Vec<(usize, CellSpec)> = (0..n_cfg)
                 .filter(|&ci| state[ci] == State::Active)
-                .map(|ci| (ci, self.cell(self.configs.get(ci), rep)))
+                .map(|ci| (ci, self.cell_for(keyed, self.configs.get(ci), rep)))
                 .collect();
             if round.is_empty() {
                 break;

@@ -90,6 +90,10 @@ pub struct Driver {
     /// cells are content-keyed down to the derived seed — it only skips
     /// simulated runs.
     pub cache: Option<Arc<MeasurementCache>>,
+    /// Whether campaign plans may use the batched cold-path kernel
+    /// ([`crate::fastpath::FastCampaign`]; bit-identical by contract, so
+    /// on by default).
+    pub fast_path: bool,
 }
 
 impl Driver {
@@ -102,6 +106,7 @@ impl Driver {
             executor: ExecutorKind::Serial,
             rep_policy: RepPolicy::Fixed,
             cache: None,
+            fast_path: true,
         }
     }
 
@@ -130,6 +135,11 @@ impl Driver {
         self
     }
 
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
     /// Step 1: the profiling run (all-DDR, IBS on).
     pub fn profile(&self, spec: &WorkloadSpec) -> Result<RunOutcome, TunerError> {
         if spec.allocations.is_empty() {
@@ -148,7 +158,8 @@ impl Driver {
         groups: &'a [AllocationGroup],
     ) -> Result<CampaignPlan<'a>, TunerError> {
         Ok(CampaignPlan::new(&self.machine, spec, groups, self.campaign)?
-            .with_policy(self.rep_policy))
+            .with_policy(self.rep_policy)
+            .with_fast_path(self.fast_path))
     }
 
     /// Execute a campaign plan with the driver's executor, consulting

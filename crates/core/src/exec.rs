@@ -209,6 +209,16 @@ pub trait CellExecutor: Sync {
 
     /// Human-readable label for reports.
     fn describe(&self) -> String;
+
+    /// Whether this executor reads [`CellSpec::key`]. Deriving a key is
+    /// the expensive part of building a cell — it constructs and
+    /// fingerprints the configuration's placement plan — so campaign
+    /// code skips derivation for executors that never consult a cache.
+    /// The default is the conservative answer: custom executors get
+    /// real keys unless they opt out.
+    fn consumes_keys(&self) -> bool {
+        true
+    }
 }
 
 /// Every index-level executor evaluates cells by index.
@@ -226,6 +236,12 @@ impl<E: RunExecutor> CellExecutor for E {
 
     fn describe(&self) -> String {
         self.label()
+    }
+
+    // Index-level executors dispatch by position and never look at a
+    // cell's content key, so the campaign can skip deriving one.
+    fn consumes_keys(&self) -> bool {
+        false
     }
 }
 
@@ -272,6 +288,12 @@ impl<E: RunExecutor> CellExecutor for CachingExecutor<E> {
 
     fn describe(&self) -> String {
         format!("{}+cache", self.inner.label())
+    }
+
+    // The whole point of this wrapper is the key lookup: cells must
+    // arrive with their real content keys.
+    fn consumes_keys(&self) -> bool {
+        true
     }
 }
 

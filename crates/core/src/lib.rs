@@ -40,6 +40,7 @@ pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod export;
+pub mod fastpath;
 pub mod grouping;
 pub mod measure;
 pub mod metrics;

@@ -241,17 +241,36 @@ pub fn assemble_config(
     config: Config,
     cells: &[Result<CellOutcome, TunerError>],
 ) -> Result<ConfigMeasurement, TunerError> {
-    let mut times = Vec::with_capacity(cells.len());
-    let mut hbm_fraction = 0.0;
+    // Two passes over the outcomes in place of the old collect-then-fold
+    // (this runs once per configuration across every campaign, sweep,
+    // and online probe — no scratch allocation). The summation order is
+    // the slice order in both passes, same as the old `Vec` walk, so the
+    // statistics carry identical bits.
+    let mut n = 0usize;
+    let mut sum = 0.0f64;
+    let mut hbm_fraction = 0.0f64;
     for cell in cells {
         let cell = cell.as_ref().map_err(Clone::clone)?;
-        times.push(cell.time_s);
+        // The placement plan is identical for every repetition of a
+        // configuration, so the noise-free footprint split must be too.
+        debug_assert!(
+            n == 0 || cell.hbm_fraction.to_bits() == hbm_fraction.to_bits(),
+            "cells of one configuration must agree on hbm_fraction"
+        );
+        n += 1;
+        sum += cell.time_s;
         hbm_fraction = cell.hbm_fraction;
     }
-    let n = times.len() as f64;
-    let mean = times.iter().sum::<f64>() / n;
-    let var = if times.len() > 1 {
-        times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1.0)
+    let nf = n as f64;
+    let mean = sum / nf;
+    let var = if n > 1 {
+        let mut acc = 0.0f64;
+        for cell in cells {
+            let cell = cell.as_ref().map_err(Clone::clone)?;
+            let d = cell.time_s - mean;
+            acc += d * d;
+        }
+        acc / (nf - 1.0)
     } else {
         0.0
     };

@@ -81,6 +81,9 @@ fn usage() -> ! {
          \x20 --seed S        campaign base seed (default: paper default)\n\
          \x20 --machine M     batch platform as a zoo entry (default: xeon-max)\n\
          \x20 --no-cache      bypass the content-addressed measurement cache\n\
+         \x20 --fast-path     evaluate cells with the batched cold-path kernel\n\
+         \x20                 (the default; bit-identical to the naive pipeline)\n\
+         \x20 --no-fast-path  force the naive per-cell pipeline (timing baselines)\n\
          \x20 --no-compare    skip the serial-vs-parallel comparison pass\n\
          \x20 --no-online     skip the online-tuner verification pass\n\
          \x20 --json PATH     write the JSON report to PATH (default: stdout)\n\

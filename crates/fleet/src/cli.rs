@@ -100,6 +100,8 @@ struct Flags {
     matrix_out: Option<String>,
     job_workers: Option<usize>,
     no_verify: bool,
+    fast_path: bool,
+    no_fast_path: bool,
     cache_file: Option<String>,
     cache_max: Option<u64>,
     shard: Option<String>,
@@ -154,6 +156,8 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
             "--matrix-out" => flags.matrix_out = Some(value("--matrix-out", &mut it)?),
             "--job-workers" => flags.job_workers = Some(value("--job-workers", &mut it)?),
             "--no-verify" => flags.no_verify = true,
+            "--fast-path" => flags.fast_path = true,
+            "--no-fast-path" => flags.no_fast_path = true,
             "--cache-file" => flags.cache_file = Some(value("--cache-file", &mut it)?),
             "--cache-max" => flags.cache_max = Some(value("--cache-max", &mut it)?),
             "--shard" => flags.shard = Some(value("--shard", &mut it)?),
@@ -228,7 +232,7 @@ impl Flags {
     /// derives from. A new flag gets exactly one row here; there is no
     /// per-mode list to forget it in, so it can never be silently
     /// ignored in some mode.
-    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 33] {
+    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 35] {
         use Sub::{Batch, Cache, Merge, Run, Scenarios};
         [
             ("--workers", self.workers.is_some(), &[Batch, Scenarios]),
@@ -249,6 +253,8 @@ impl Flags {
             ("--matrix-out", self.matrix_out.is_some(), &[Scenarios, Merge]),
             ("--job-workers", self.job_workers.is_some(), &[Batch, Scenarios]),
             ("--no-verify", self.no_verify, &[Scenarios]),
+            ("--fast-path", self.fast_path, &[Batch, Scenarios]),
+            ("--no-fast-path", self.no_fast_path, &[Batch, Scenarios]),
             ("--cache-file", self.cache_file.is_some(), &[Batch, Scenarios, Run]),
             ("--cache-max", self.cache_max.is_some(), &[Batch, Scenarios]),
             ("--shard", self.shard.is_some(), &[Scenarios, Run]),
@@ -290,6 +296,9 @@ fn common_sections(flags: &Flags, spec: &mut CampaignSpec) -> Result<(), UsageEr
     if flags.max_reps.is_some() && flags.ci_target.is_none() {
         return Err(usage_err("--max-reps only applies with --ci-target"));
     }
+    if flags.fast_path && flags.no_fast_path {
+        return Err(usage_err("--fast-path conflicts with --no-fast-path"));
+    }
     if flags.ci_target.is_some() && flags.policies.is_some() {
         return Err(usage_err("--ci-target conflicts with --policies (spell it ci:T[:M])"));
     }
@@ -321,6 +330,18 @@ fn common_sections(flags: &Flags, spec: &mut CampaignSpec) -> Result<(), UsageEr
         spec.workloads = Some(flags.positionals.clone());
     }
     Ok(())
+}
+
+/// The `[execution] fast_path` value the kernel flags denote: `None`
+/// when neither flag is given (spec default applies, i.e. on).
+fn fast_path_override(flags: &Flags) -> Option<bool> {
+    if flags.no_fast_path {
+        Some(false)
+    } else if flags.fast_path {
+        Some(true)
+    } else {
+        None
+    }
 }
 
 fn split_csv(csv: &str) -> Vec<String> {
@@ -363,6 +384,7 @@ fn batch_action(flags: Flags) -> Result<Action, UsageError> {
         compare: flags.no_compare.then_some(false),
         online: flags.no_online.then_some(false),
         verify: None,
+        fast_path: fast_path_override(&flags),
     };
     if exec != ExecutionSection::default() {
         spec.execution = Some(exec);
@@ -410,6 +432,7 @@ fn scenarios_action(flags: Flags) -> Result<Action, UsageError> {
         compare: None,
         online: None,
         verify: flags.no_verify.then_some(false),
+        fast_path: fast_path_override(&flags),
     };
     if exec != ExecutionSection::default() {
         spec.execution = Some(exec);
@@ -594,6 +617,13 @@ mod tests {
     }
 
     #[test]
+    fn kernel_flags_compile_to_the_execution_section() {
+        assert_eq!(spec_of("--no-fast-path").execution.unwrap().fast_path, Some(false));
+        assert_eq!(spec_of("scenarios --fast-path").execution.unwrap().fast_path, Some(true));
+        assert_eq!(spec_of("").execution, None, "the default stays implicit");
+    }
+
+    #[test]
     fn trace_summarize_parses_to_its_action() {
         assert_eq!(
             parse(args("trace summarize t.jsonl")).unwrap(),
@@ -615,6 +645,8 @@ mod tests {
             "scenarios --shard 0/2",                      // malformed shard
             "--no-cache --cache-file c.bin",              // conflict
             "--no-cache --cache-max 10",                  // conflict
+            "--fast-path --no-fast-path",                 // conflict
+            "merge a.json --fast-path",                   // run flag in merge mode
             "merge a.json --reps 3",                      // run flag in merge mode
             "merge a.json --cache-in a.bin",              // dangling: needs --cache-out
             "merge",                                      // no shard files
@@ -642,7 +674,9 @@ mod tests {
             "",
             "mg is --reps 2 --seed 5 --no-compare --no-online",
             "--serial --ci-target 0.02 --max-reps 4",
+            "--no-fast-path",
             "scenarios",
+            "scenarios --fast-path",
             "scenarios mg --zoo xeon-max --budgets none --policies fixed:2,ci:0.05 --noise 0.01",
             "scenarios --shard 1/3",
         ] {

@@ -56,6 +56,10 @@ pub struct MatrixConfig {
     /// (`0` = auto: a few chunks per worker). Affects scheduling and
     /// peak memory only, never results.
     pub chunk: usize,
+    /// Evaluate campaign cells through the batched cold-path kernel
+    /// (default true; bit-identical by contract, so — like the executor
+    /// choice — deliberately excluded from [`Self::bits_fingerprint`]).
+    pub fast_path: bool,
 }
 
 impl Default for MatrixConfig {
@@ -67,6 +71,7 @@ impl Default for MatrixConfig {
             grouping: GroupingConfig::default(),
             profile_seed: 7,
             chunk: 0,
+            fast_path: true,
         }
     }
 }
@@ -95,6 +100,7 @@ impl MatrixConfig {
             online_check: false,
             cache_enabled: self.cache_enabled,
             job_workers: self.job_workers,
+            fast_path: self.fast_path,
             ..FleetConfig::default()
         }
     }
@@ -249,12 +255,15 @@ mod tests {
     #[test]
     fn execution_strategy_never_changes_row_bits() {
         let matrix = tiny_matrix();
+        // The baseline also forces the naive per-cell kernel, so this
+        // doubles as a fleet-level check of the fast path's bit-identity.
         let serial = run_matrix(
             &matrix,
             &MatrixConfig {
                 executor: ExecutorKind::Serial,
                 job_workers: 1,
                 cache_enabled: false,
+                fast_path: false,
                 ..MatrixConfig::default()
             },
         )

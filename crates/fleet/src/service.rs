@@ -76,6 +76,12 @@ pub struct FleetConfig {
     /// stamps, so a preloaded-but-unused backlog ages out first.
     /// `None` = unbounded.
     pub cache_max_records: Option<u64>,
+    /// Evaluate campaign cells through the batched cold-path kernel
+    /// (default true). The kernel is bit-identical to the naive
+    /// per-cell pipeline by contract, so this is pure scheduling — it
+    /// never changes a result bit or a cache key. `false` forces the
+    /// naive path (timing baselines, kernel triage).
+    pub fast_path: bool,
 }
 
 impl Default for FleetConfig {
@@ -90,6 +96,7 @@ impl Default for FleetConfig {
             job_workers: 1,
             cache_path: None,
             cache_max_records: None,
+            fast_path: true,
         }
     }
 }
@@ -316,7 +323,8 @@ impl Fleet {
         let driver = Driver::new(job.machine.clone())
             .with_grouping(self.cfg.grouping)
             .with_campaign(job.campaign)
-            .with_executor(executor);
+            .with_executor(executor)
+            .with_fast_path(self.cfg.fast_path);
         let (profile, groups) = {
             let _s = hmpt_obs::span("job.profile");
             let profile = driver.profile(&job.spec)?;
@@ -331,6 +339,7 @@ impl Fleet {
             let _s = hmpt_obs::span("job.plan");
             CampaignPlan::new(&job.machine, &job.spec, &groups, job.campaign)?
                 .with_policy(job.rep_policy.unwrap_or(self.cfg.rep_policy))
+                .with_fast_path(self.cfg.fast_path)
         };
         let exec = self.exec_stack(executor);
         let campaign = {

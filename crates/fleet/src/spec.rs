@@ -35,6 +35,7 @@
 //! compare     = true            # batch: serial-vs-parallel timing pass
 //! online      = true            # batch: online-tuner verification
 //! verify      = true            # matrix: bit-identity re-runs
+//! fast_path   = true            # batched cold-path kernel (bit-identical)
 //!
 //! [cache]
 //! enabled     = true
@@ -143,6 +144,10 @@ pub struct ExecutionSection {
     /// Matrix: re-run under other strategies and assert bit-identity
     /// (default true).
     pub verify: Option<bool>,
+    /// Evaluate campaign cells through the batched cold-path kernel
+    /// (default true). Scheduling only — the kernel is bit-identical by
+    /// contract, so this never participates in campaign identity.
+    pub fast_path: Option<bool>,
 }
 
 /// `[cache]`: the shared content-addressed measurement cache.
@@ -355,6 +360,7 @@ impl CampaignSpec {
         let executor =
             if serial { ExecutorKind::Serial } else { ExecutorKind::Parallel { workers } };
         let job_workers = exec.job_workers.unwrap_or(1);
+        let fast_path = exec.fast_path.unwrap_or(true);
 
         let policies = match &self.policies {
             None => Vec::new(),
@@ -408,6 +414,7 @@ impl CampaignSpec {
                     job_workers,
                     cache_path: cache.file.as_ref().map(PathBuf::from),
                     cache_max_records: cache.max_records,
+                    fast_path,
                     ..FleetConfig::default()
                 };
                 Ok(Resolved::Batch(ResolvedBatch {
@@ -456,6 +463,7 @@ impl CampaignSpec {
                     executor,
                     job_workers,
                     cache_enabled,
+                    fast_path,
                     ..MatrixConfig::default()
                 };
                 Ok(Resolved::Matrix(ResolvedMatrix {
@@ -593,7 +601,10 @@ fn check_known_keys(value: &Value) -> Result<(), SpecError> {
     ];
     const SECTIONS: &[(&str, &[&str])] = &[
         ("campaign", &["reps", "seed"]),
-        ("execution", &["serial", "workers", "job_workers", "compare", "online", "verify"]),
+        (
+            "execution",
+            &["serial", "workers", "job_workers", "compare", "online", "verify", "fast_path"],
+        ),
         ("cache", &["enabled", "file", "max_records"]),
         ("telemetry", &["trace", "metrics", "quiet", "bench"]),
     ];
@@ -746,6 +757,7 @@ mod tests {
             serial: Some(true),
             job_workers: Some(4),
             verify: Some(false),
+            fast_path: Some(false),
             ..ExecutionSection::default()
         });
         sched.cache = Some(CacheSection { enabled: Some(false), ..CacheSection::default() });

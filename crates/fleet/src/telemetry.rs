@@ -229,6 +229,19 @@ pub fn summarize_trace(text: &str) -> Result<String, String> {
         }
     }
 
+    // Cell throughput from the exec.cell spans: how fast the campaign
+    // kernel chewed through cells, summed across worker threads (so on
+    // a parallel run this is kernel occupancy, not wall-clock rate).
+    if let Some(agg) = spans.get("exec.cell").filter(|a| a.total_ns > 0) {
+        let _ = writeln!(
+            out,
+            "\ncell throughput: {} cells in {} of exec.cell time ({:.0} cells/s)",
+            agg.count,
+            fmt_ns(agg.total_ns),
+            agg.count as f64 * 1e9 / agg.total_ns as f64,
+        );
+    }
+
     // Cache flow: the counters that tell the warm-vs-cold story.
     let hit = counters.get("cache.hit").copied().unwrap_or(0);
     let miss = counters.get("cache.miss").copied().unwrap_or(0);
@@ -292,6 +305,9 @@ mod tests {
         assert!(text.contains("<10ms:1"), "histogram bucket for the 1.5ms cell: {text}");
         assert!(text.contains("#1 xeon-max·is"), "scenario rollup: {text}");
         assert!(text.contains("3 hits / 1 misses (hit-rate 75.0%)"), "{text}");
+        // 2 cells over 1_500_900ns of exec.cell time → 1333 cells/s.
+        assert!(text.contains("cell throughput: 2 cells in 1.50ms"), "{text}");
+        assert!(text.contains("(1333 cells/s)"), "{text}");
         assert!(text.contains("exec.parallel.steals = 7"), "{text}");
         // Scenarios sort by duration, slowest first.
         let is = text.find("#1 xeon-max·is").unwrap();

@@ -57,6 +57,27 @@ impl ExecCtx {
     pub fn cores(&self) -> f64 {
         self.threads_per_tile * self.tiles as f64
     }
+
+    /// Whether the context can execute anything at all (positive thread
+    /// count on at least one tile). [`phase_time`] only `debug_assert`s
+    /// this — validate where contexts are *constructed or ingested*
+    /// (e.g. [`ExecCtx::validate`] in workload deserialization), not in
+    /// the hottest function of the stack.
+    pub fn is_valid(&self) -> bool {
+        self.threads_per_tile > 0.0 && self.tiles > 0
+    }
+
+    /// Construction-time validation with a descriptive error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.is_valid() {
+            Ok(())
+        } else {
+            Err(format!(
+                "empty execution context: {} threads per tile on {} tiles",
+                self.threads_per_tile, self.tiles
+            ))
+        }
+    }
 }
 
 /// Per-phase sustained-bandwidth derating, relative to the STREAM-copy
@@ -194,7 +215,9 @@ pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> Phas
     // even the disabled-recording atomic load.
     #[cfg(feature = "obs")]
     let _span = hmpt_obs::span("sim.phase");
-    assert!(ctx.threads_per_tile > 0.0 && ctx.tiles > 0, "empty execution context");
+    // Contexts are validated at construction ([`ExecCtx::validate`]);
+    // release builds keep the kernel branch-free.
+    debug_assert!(ctx.is_valid(), "empty execution context");
     let cores = ctx.cores();
 
     // Gather per-pool traffic. Index 0 = DDR, 1 = HBM.

@@ -1,0 +1,478 @@
+//! The flattened cold-path kernel: [`phase_time`](crate::cost::phase_time)
+//! re-expressed over precomputed machine constants and integer traffic
+//! accumulators, bit-identical to the naive form.
+//!
+//! [`phase_time`] does three kinds of work per call: derive
+//! machine-level constants (saturating bandwidths, random throughput,
+//! the compute peak), classify every stream into per-pool integer
+//! accumulators, and combine the accumulators into component times.
+//! Across a measurement campaign only the *accumulators* change between
+//! configurations — and they change incrementally, one allocation group
+//! at a time. This module splits the kernel accordingly:
+//!
+//! * [`MachineCtx`] — every constant derived from `(Machine, ExecCtx)`
+//!   alone, hoisted once per campaign;
+//! * [`PhaseTerms`] — the per-phase constants (pool bandwidth with the
+//!   phase efficiency applied, the whole compute floor);
+//! * [`PhaseAccum`] / [`TrafficDelta`] — the four per-pool `u64` traffic
+//!   accumulators and a group's contribution to them. Integer sums are
+//!   exact and order-independent, so adding and subtracting deltas
+//!   reproduces any configuration's accumulators bit-for-bit;
+//! * [`phase_time_flat`] — the arithmetic tail of [`phase_time`], with
+//!   the *same* expression shapes, evaluation order, and tie-breaking,
+//!   so every `f64` it produces carries identical bits.
+//!
+//! Pointer-chase time is a position-dependent `f64` sum and is therefore
+//! *not* delta-updated: callers re-sum precomputed per-entry seconds in
+//! canonical stream order and pass the total in (see
+//! [`MachineCtx::chase_seconds`]).
+//!
+//! [`phase_time`]: crate::cost::phase_time
+
+use crate::cost::{Bound, ExecCtx, PhaseCost, PoolEfficiency};
+use crate::machine::Machine;
+use crate::pool::PoolKind;
+use crate::stream::{AccessPattern, Direction, ResolvedStream};
+use crate::units::Bytes;
+
+/// Accumulator column of a pool (0 = DDR, 1 = HBM), matching the index
+/// convention inside [`phase_time`](crate::cost::phase_time).
+pub fn pool_index(kind: PoolKind) -> usize {
+    match kind {
+        PoolKind::Ddr => 0,
+        PoolKind::Hbm => 1,
+    }
+}
+
+/// Everything [`phase_time`](crate::cost::phase_time) derives from the
+/// machine and execution context alone, computed once per campaign.
+///
+/// Each field is produced by the *same expression* the naive kernel
+/// evaluates per call, so substituting the hoisted value is bitwise
+/// neutral (note `pool_bw_base`: the naive kernel computes
+/// `bw_per_tile(t) * tiles * eff` left-associatively, so splitting it as
+/// `(bw_per_tile(t) * tiles) * eff` preserves every rounding step).
+#[derive(Debug, Clone)]
+pub struct MachineCtx {
+    /// `ctx.cores()`.
+    pub cores: f64,
+    /// `(cores as usize).max(1)` — the chase-throughput core count.
+    pub chase_cores: usize,
+    /// Per pool: `bw.bw_per_tile(threads_per_tile) * tiles as f64`
+    /// (phase efficiency is applied per phase, see [`PhaseTerms`]).
+    pub pool_bw_base: [f64; 2],
+    /// Per pool: the full MLP-limited random throughput, GB/s.
+    pub rand_gbps: [f64; 2],
+    /// `fabric.bw_per_tile(threads_per_tile) * tiles as f64`.
+    pub fabric_bw: f64,
+    /// `freq_ghz * dp_flops_per_cycle_vector`.
+    pub peak_per_core: f64,
+    pub cross_write_penalty: f64,
+}
+
+impl MachineCtx {
+    /// Hoist the machine constants for `ctx`, or `None` when the context
+    /// is invalid (the naive path asserts on it; callers fall back so
+    /// the failure mode is unchanged).
+    pub fn try_new(machine: &Machine, ctx: ExecCtx) -> Option<Self> {
+        if !ctx.is_valid() {
+            return None;
+        }
+        let cores = ctx.cores();
+        let mut pool_bw_base = [0.0f64; 2];
+        let mut rand_gbps = [0.0f64; 2];
+        for kind in PoolKind::ALL {
+            let i = pool_index(kind);
+            let spec = machine.pool(kind);
+            pool_bw_base[i] = spec.bw.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64;
+            rand_gbps[i] = machine.latency.random_throughput(
+                spec,
+                cores as usize,
+                ctx.threads_per_tile,
+                ctx.tiles,
+            );
+        }
+        Some(MachineCtx {
+            cores,
+            chase_cores: (cores as usize).max(1),
+            pool_bw_base,
+            rand_gbps,
+            fabric_bw: machine.fabric.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64,
+            peak_per_core: machine.compute.freq_ghz * machine.compute.dp_flops_per_cycle_vector,
+            cross_write_penalty: machine.cross_write_penalty,
+        })
+    }
+
+    /// Seconds a pointer chase of `bytes` over `window` costs in `pool` —
+    /// the exact per-stream chase term of the naive kernel. Cache-level
+    /// filtering depends on the window, so this still consults the
+    /// machine; callers precompute it per (entry, pool).
+    pub fn chase_seconds(
+        &self,
+        machine: &Machine,
+        pool: PoolKind,
+        window: Bytes,
+        bytes: Bytes,
+    ) -> f64 {
+        let spec = machine.pool(pool);
+        let lat = machine.caches.chase_latency(window, spec.idle_latency_ns);
+        let gbps = machine.latency.chase_throughput(lat, self.chase_cores);
+        bytes as f64 / 1e9 / gbps
+    }
+}
+
+/// Per-phase constants: pool bandwidth with the phase's efficiency
+/// applied, and the (configuration-independent) compute floor.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTerms {
+    /// Per pool: `pool_bw_base[i] * eff.of(kind)`.
+    pub pool_bw: [f64; 2],
+    /// The whole `t_compute` component (placement never moves FLOPs).
+    pub t_compute: f64,
+    pub flops: f64,
+}
+
+impl PhaseTerms {
+    pub fn new(
+        mctx: &MachineCtx,
+        eff: PoolEfficiency,
+        flops: f64,
+        gflops_per_core_cap: Option<f64>,
+    ) -> Self {
+        let pool_bw = [
+            mctx.pool_bw_base[0] * eff.of(PoolKind::Ddr),
+            mctx.pool_bw_base[1] * eff.of(PoolKind::Hbm),
+        ];
+        let t_compute = if flops > 0.0 {
+            let per_core = gflops_per_core_cap
+                .map(|cap| cap.min(mctx.peak_per_core))
+                .unwrap_or(mctx.peak_per_core);
+            flops / (per_core * mctx.cores * 1e9)
+        } else {
+            0.0
+        };
+        PhaseTerms { pool_bw, t_compute, flops }
+    }
+}
+
+/// The four per-pool traffic accumulators of one phase. Plain `u64`
+/// sums: exact, associative, order-independent — the property that makes
+/// add/subtract delta updates bitwise safe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseAccum {
+    pub seq_read: [u64; 2],
+    /// Pure store streams (non-temporal).
+    pub seq_write_nt: [u64; 2],
+    /// Write half of read-modify-write streams.
+    pub seq_write_rmw: [u64; 2],
+    pub rand_bytes: [u64; 2],
+}
+
+impl PhaseAccum {
+    /// Classify one non-chase stream into column `col`, exactly as the
+    /// naive stream loop does. Chase streams carry no accumulator
+    /// traffic and must be handled by the caller.
+    pub fn add_stream(&mut self, s: &ResolvedStream, col: usize) {
+        match s.pattern {
+            AccessPattern::Sequential => {
+                self.seq_read[col] += s.read_bytes();
+                match s.dir {
+                    Direction::Write => self.seq_write_nt[col] += s.write_bytes(),
+                    _ => self.seq_write_rmw[col] += s.write_bytes(),
+                }
+            }
+            AccessPattern::Random => self.rand_bytes[col] += s.bytes,
+            AccessPattern::PointerChase { .. } => {}
+        }
+    }
+
+    /// Move a group's contribution into column `col`.
+    pub fn add(&mut self, d: TrafficDelta, col: usize) {
+        self.seq_read[col] += d.seq_read;
+        self.seq_write_nt[col] += d.seq_write_nt;
+        self.seq_write_rmw[col] += d.seq_write_rmw;
+        self.rand_bytes[col] += d.rand;
+    }
+
+    /// Remove a group's contribution from column `col`.
+    pub fn sub(&mut self, d: TrafficDelta, col: usize) {
+        self.seq_read[col] -= d.seq_read;
+        self.seq_write_nt[col] -= d.seq_write_nt;
+        self.seq_write_rmw[col] -= d.seq_write_rmw;
+        self.rand_bytes[col] -= d.rand;
+    }
+}
+
+/// One group's pool-independent traffic contribution to a phase: the
+/// bytes that move between accumulator columns when the group flips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficDelta {
+    pub seq_read: u64,
+    pub seq_write_nt: u64,
+    pub seq_write_rmw: u64,
+    pub rand: u64,
+}
+
+impl TrafficDelta {
+    /// Fold one non-chase stream into this delta (same classification as
+    /// [`PhaseAccum::add_stream`]).
+    pub fn add_stream(&mut self, s: &ResolvedStream) {
+        match s.pattern {
+            AccessPattern::Sequential => {
+                self.seq_read += s.read_bytes();
+                match s.dir {
+                    Direction::Write => self.seq_write_nt += s.write_bytes(),
+                    _ => self.seq_write_rmw += s.write_bytes(),
+                }
+            }
+            AccessPattern::Random => self.rand += s.bytes,
+            AccessPattern::PointerChase { .. } => {}
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == TrafficDelta::default()
+    }
+}
+
+/// Classify `streams` the way the naive kernel's stream loop does:
+/// non-chase traffic into a [`PhaseAccum`] (each stream in its pool's
+/// column) and chase time summed in stream order. The building block for
+/// both the base configuration of a delta walk and the reference path of
+/// the equivalence tests.
+pub fn flatten_streams(
+    machine: &Machine,
+    mctx: &MachineCtx,
+    streams: &[ResolvedStream],
+) -> (PhaseAccum, f64) {
+    let mut accum = PhaseAccum::default();
+    let mut t_chase = 0.0f64;
+    for s in streams {
+        match s.pattern {
+            AccessPattern::PointerChase { window } => {
+                t_chase += mctx.chase_seconds(machine, s.pool, window, s.bytes);
+            }
+            _ => accum.add_stream(s, pool_index(s.pool)),
+        }
+    }
+    (accum, t_chase)
+}
+
+/// The arithmetic tail of [`phase_time`](crate::cost::phase_time) over
+/// flattened inputs. Every expression, gate (`if traffic > 0`),
+/// component order, and the last-max tie-break of `max_by(total_cmp)`
+/// mirror the naive kernel exactly — that is the bit-identity contract.
+pub fn phase_time_flat(
+    mctx: &MachineCtx,
+    terms: &PhaseTerms,
+    accum: &PhaseAccum,
+    t_chase: f64,
+) -> PhaseCost {
+    let reads_total =
+        (accum.seq_read[0] + accum.seq_read[1] + accum.rand_bytes[0] + accum.rand_bytes[1]) as f64;
+    let hbm_read_share = if reads_total > 0.0 {
+        (accum.seq_read[1] + accum.rand_bytes[1]) as f64 / reads_total
+    } else {
+        0.0
+    };
+    let ddr_nt_derate = 1.0 - (1.0 - mctx.cross_write_penalty) * hbm_read_share;
+
+    let mut t_pool = [0.0f64; 2];
+    for (i, t_pool_i) in t_pool.iter_mut().enumerate() {
+        let bw = terms.pool_bw[i];
+        let nt_derate = if i == 0 { ddr_nt_derate } else { 1.0 };
+        let mut t = 0.0;
+        let seq = accum.seq_read[i] + accum.seq_write_rmw[i];
+        if seq + accum.seq_write_nt[i] > 0 {
+            t += (seq as f64 + accum.seq_write_nt[i] as f64 / nt_derate) / 1e9 / bw;
+        }
+        if accum.rand_bytes[i] > 0 {
+            t += accum.rand_bytes[i] as f64 / 1e9 / mctx.rand_gbps[i];
+        }
+        *t_pool_i = t;
+    }
+
+    let bytes_ddr =
+        accum.seq_read[0] + accum.seq_write_nt[0] + accum.seq_write_rmw[0] + accum.rand_bytes[0];
+    let bytes_hbm =
+        accum.seq_read[1] + accum.seq_write_nt[1] + accum.seq_write_rmw[1] + accum.rand_bytes[1];
+
+    let t_fabric = (bytes_ddr + bytes_hbm) as f64 / 1e9 / mctx.fabric_bw;
+    let t_compute = terms.t_compute;
+
+    let components = [
+        (t_pool[0], Bound::DdrBandwidth),
+        (t_pool[1], Bound::HbmBandwidth),
+        (t_fabric, Bound::Fabric),
+        (t_chase, Bound::Latency),
+        (t_compute, Bound::Compute),
+    ];
+    let (time_s, bound) = components.iter().copied().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
+
+    PhaseCost {
+        time_s,
+        t_ddr: t_pool[0],
+        t_hbm: t_pool[1],
+        t_fabric,
+        t_chase,
+        t_compute,
+        bytes_ddr,
+        bytes_hbm,
+        flops: terms.flops,
+        bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{phase_time, PhaseLoad};
+    use crate::machine::xeon_max_9468;
+    use crate::units::gb;
+
+    fn assert_cost_bits(a: &PhaseCost, b: &PhaseCost) {
+        assert_eq!(a.time_s.to_bits(), b.time_s.to_bits(), "time_s");
+        assert_eq!(a.t_ddr.to_bits(), b.t_ddr.to_bits(), "t_ddr");
+        assert_eq!(a.t_hbm.to_bits(), b.t_hbm.to_bits(), "t_hbm");
+        assert_eq!(a.t_fabric.to_bits(), b.t_fabric.to_bits(), "t_fabric");
+        assert_eq!(a.t_chase.to_bits(), b.t_chase.to_bits(), "t_chase");
+        assert_eq!(a.t_compute.to_bits(), b.t_compute.to_bits(), "t_compute");
+        assert_eq!(a.bytes_ddr, b.bytes_ddr);
+        assert_eq!(a.bytes_hbm, b.bytes_hbm);
+        assert_eq!(a.flops.to_bits(), b.flops.to_bits());
+        assert_eq!(a.bound, b.bound);
+    }
+
+    fn flat(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> PhaseCost {
+        let mctx = MachineCtx::try_new(machine, ctx).unwrap();
+        let terms = PhaseTerms::new(&mctx, load.eff, load.flops, load.gflops_per_core_cap);
+        let (accum, t_chase) = flatten_streams(machine, &mctx, load.streams);
+        phase_time_flat(&mctx, &terms, &accum, t_chase)
+    }
+
+    fn loads() -> Vec<(Vec<ResolvedStream>, f64, Option<f64>, PoolEfficiency)> {
+        let n = 16_000_000_000u64;
+        vec![
+            // Empty phase: pure compute.
+            (vec![], 3.2e12, None, PoolEfficiency::default()),
+            // Mixed-pool copy with cross-write penalty in play.
+            (
+                vec![
+                    ResolvedStream::seq(n, PoolKind::Hbm, Direction::Read),
+                    ResolvedStream::seq(n, PoolKind::Ddr, Direction::Write),
+                ],
+                0.0,
+                None,
+                PoolEfficiency::default(),
+            ),
+            // RMW + NT + random + chase, with efficiency and a cap.
+            (
+                vec![
+                    ResolvedStream::seq(n, PoolKind::Ddr, Direction::ReadWrite),
+                    ResolvedStream::seq(n / 3, PoolKind::Hbm, Direction::Write),
+                    ResolvedStream {
+                        bytes: gb(8.0),
+                        pool: PoolKind::Ddr,
+                        dir: Direction::Read,
+                        pattern: AccessPattern::Random,
+                    },
+                    ResolvedStream {
+                        bytes: gb(2.0),
+                        pool: PoolKind::Hbm,
+                        dir: Direction::Read,
+                        pattern: AccessPattern::PointerChase { window: gb(4.0) },
+                    },
+                ],
+                5e11,
+                Some(2.5),
+                PoolEfficiency { ddr: 0.97, hbm: 600.0 / 700.0 },
+            ),
+            // Odd byte counts (rounding-sensitive).
+            (
+                vec![
+                    ResolvedStream::seq(1_234_567_891, PoolKind::Hbm, Direction::Read),
+                    ResolvedStream::seq(987_654_321, PoolKind::Ddr, Direction::Write),
+                ],
+                0.0,
+                None,
+                PoolEfficiency::default(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn flat_kernel_is_bit_identical_to_phase_time() {
+        let m = xeon_max_9468();
+        for ctx in [
+            ExecCtx::full_socket(),
+            ExecCtx::whole_machine(),
+            ExecCtx::socket_threads_per_tile(3.0),
+        ] {
+            for (streams, flops, cap, eff) in loads() {
+                let mut load = PhaseLoad::streams_only(&streams).with_flops(flops).with_eff(eff);
+                load.gflops_per_core_cap = cap;
+                let naive = phase_time(&m, ctx, &load);
+                let fast = flat(&m, ctx, &load);
+                assert_cost_bits(&naive, &fast);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_updates_reproduce_direct_accumulation() {
+        // Moving a group DDR→HBM by delta equals classifying the moved
+        // streams in HBM directly — exactly, because the sums are u64.
+        let m = xeon_max_9468();
+        let ctx = ExecCtx::full_socket();
+        let mctx = MachineCtx::try_new(&m, ctx).unwrap();
+        let group: Vec<ResolvedStream> = vec![
+            ResolvedStream::seq(1_000_000_007, PoolKind::Ddr, Direction::Read),
+            ResolvedStream::seq(999_999_937, PoolKind::Ddr, Direction::ReadWrite),
+        ];
+        let rest = [ResolvedStream::seq(5_000_000_011, PoolKind::Ddr, Direction::Write)];
+
+        // Direct: group resolved in HBM.
+        let moved: Vec<ResolvedStream> = group
+            .iter()
+            .map(|s| ResolvedStream { pool: PoolKind::Hbm, ..*s })
+            .chain(rest.iter().copied())
+            .collect();
+        let (direct, _) = flatten_streams(&m, &mctx, &moved);
+
+        // Delta: start all-DDR, flip the group.
+        let all: Vec<ResolvedStream> = group.iter().copied().chain(rest.iter().copied()).collect();
+        let (mut accum, _) = flatten_streams(&m, &mctx, &all);
+        let mut d = TrafficDelta::default();
+        for s in &group {
+            d.add_stream(s);
+        }
+        accum.sub(d, 0);
+        accum.add(d, 1);
+        assert_eq!(accum, direct);
+
+        // And flipping back restores the original exactly.
+        accum.sub(d, 1);
+        accum.add(d, 0);
+        let (base, _) = flatten_streams(&m, &mctx, &all);
+        assert_eq!(accum, base);
+    }
+
+    #[test]
+    fn chase_streams_carry_no_accumulator_traffic() {
+        let mut d = TrafficDelta::default();
+        d.add_stream(&ResolvedStream {
+            bytes: gb(4.0),
+            pool: PoolKind::Ddr,
+            dir: Direction::Read,
+            pattern: AccessPattern::PointerChase { window: gb(4.0) },
+        });
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn invalid_ctx_yields_no_machine_ctx() {
+        let m = xeon_max_9468();
+        assert!(MachineCtx::try_new(&m, ExecCtx { threads_per_tile: 0.0, tiles: 4 }).is_none());
+        assert!(MachineCtx::try_new(&m, ExecCtx { threads_per_tile: 12.0, tiles: 0 }).is_none());
+    }
+}

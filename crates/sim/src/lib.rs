@@ -35,6 +35,7 @@
 pub mod bandwidth;
 pub mod cache;
 pub mod cost;
+pub mod fastpath;
 pub mod fingerprint;
 pub mod latency;
 pub mod machine;

@@ -39,7 +39,7 @@ pub enum AccessPattern {
 /// Allocation-level placement plans are resolved into these by the
 /// workload layer; an allocation split across pools (interleaving) simply
 /// becomes two `ResolvedStream`s with proportional byte counts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ResolvedStream {
     /// Total bytes moved by this stream during the phase.
     pub bytes: Bytes,

@@ -47,7 +47,7 @@ proptest! {
         let base = phase_time(&m, ctx, &PhaseLoad::streams_only(&streams)).time_s;
         let doubled: Vec<_> = streams
             .iter()
-            .map(|s| ResolvedStream { bytes: s.bytes * 2, ..s.clone() })
+            .map(|s| ResolvedStream { bytes: s.bytes * 2, ..*s })
             .collect();
         let double = phase_time(&m, ctx, &PhaseLoad::streams_only(&doubled)).time_s;
         prop_assert!(double >= base * 0.999, "doubling traffic sped phase up: {base} -> {double}");

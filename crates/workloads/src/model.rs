@@ -217,9 +217,12 @@ impl WorkloadSpec {
         serde_json::to_string_pretty(self).expect("workload serialization")
     }
 
-    /// Load a workload from its JSON form, validating stream references.
+    /// Load a workload from its JSON form, validating stream references
+    /// and the execution context (the cost kernel only `debug_assert`s
+    /// the latter, so ingestion is where an empty context must die).
     pub fn from_json(json: &str) -> Result<Self, String> {
         let spec: WorkloadSpec = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        spec.ctx.validate()?;
         for (pi, p) in spec.phases.iter().enumerate() {
             for s in &p.streams {
                 if s.alloc >= spec.allocations.len() {

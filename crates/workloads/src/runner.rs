@@ -107,6 +107,16 @@ fn resolve_streams(
     out
 }
 
+/// Apply the measurement-noise draw of [`run_once`] to a precomputed
+/// noise-free model time: the same freshly seeded generator, consumed by
+/// the same single `perturb` call. A batched evaluator that knows a
+/// configuration's `model_time` uses this to reproduce every
+/// repetition's measured time bit-for-bit without re-walking the phase
+/// pipeline (in an unsampled run the main RNG feeds nothing else).
+pub fn perturb_model_time(noise: &NoiseModel, model_time: f64, seed: u64) -> f64 {
+    noise.perturb(model_time, &mut ChaCha8Rng::seed_from_u64(seed))
+}
+
 /// Run `spec` once on `machine` under `plan`.
 pub fn run_once(
     machine: &Machine,

@@ -79,6 +79,7 @@ fn spec_from(mut bits: u64) -> CampaignSpec {
             compare: (next() % 3 == 0).then(|| next() % 2 == 0),
             online: (next() % 3 == 0).then(|| next() % 2 == 0),
             verify: (next() % 3 == 0).then(|| next() % 2 == 0),
+            fast_path: (next() % 3 == 0).then(|| next() % 2 == 0),
         }),
         cache: (next() % 2 == 0).then(|| CacheSection {
             enabled: (next() % 3 == 0).then(|| next() % 2 == 0),
