@@ -804,6 +804,13 @@ pub struct MatrixReport {
     /// [`MatrixReport::merge`] (`None` for single-process runs; absent
     /// in pre-rollup report files, which still deserialize).
     pub shards: Option<Vec<ShardRollup>>,
+    /// Content fingerprint of the campaign spec that produced this
+    /// report, stamped by the spec-driven entry points
+    /// (`hmpt_fleet::api`). `None` on reports assembled below that
+    /// layer and in pre-stamp report files, which still deserialize.
+    /// Excluded from [`MatrixReport::bit_identical`] — provenance, not
+    /// a result bit.
+    pub spec_fingerprint: Option<String>,
 }
 
 impl MatrixReport {
@@ -871,6 +878,7 @@ impl MatrixReport {
                 .collect(),
             stats,
             shards: None,
+            spec_fingerprint: None,
         }
     }
 

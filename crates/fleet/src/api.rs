@@ -380,7 +380,11 @@ fn execute_matrix(resolved: ResolvedMatrix, fingerprint: String) -> Result<Respo
         return Ok(Response::Shard(ShardOutcome { report, preloaded, fingerprint, save_error }));
     }
 
-    let report = run_matrix_with_cache(&matrix, &config, Arc::clone(&cache))?;
+    let mut report = run_matrix_with_cache(&matrix, &config, Arc::clone(&cache))?;
+    // Provenance stamp: which spec produced these rows. Not a result
+    // bit (bit_identical ignores it), so flag-driven and spec-driven
+    // runs of the same campaign still compare equal.
+    report.spec_fingerprint = Some(fingerprint.clone());
     if !report.capacity_ok() {
         return Err(ApiError::CapacityExceeded);
     }
@@ -444,7 +448,12 @@ fn execute_merge(req: &MergeRequest) -> Result<MergeOutcome, ApiError> {
             }
         }
     }
-    let report = MatrixReport::merge(&req.shards)?;
+    let mut report = MatrixReport::merge(&req.shards)?;
+    // For matrix-mode specs a shard's `matrix_fingerprint` *is* the
+    // spec fingerprint (`CampaignSpec::fingerprint` reproduces the
+    // matrix ⊕ bits combination), so the merged report carries the same
+    // provenance stamp a single-process spec run would.
+    report.spec_fingerprint = req.shards.first().map(|s| s.matrix_fingerprint.clone());
     if !report.capacity_ok() {
         return Err(ApiError::CapacityExceeded);
     }

@@ -52,11 +52,12 @@
 
 use hmpt_core::exec::{available_workers, ExecutorKind, RunExecutor};
 use hmpt_fleet::api::{self, BatchOutcome, Comparison, MergeRequest, Request, Response};
-use hmpt_fleet::cli::{self, Action};
+use hmpt_fleet::cli::{self, Action, ReportCmd};
 use hmpt_fleet::spec::{CampaignSpec, Resolved};
-use hmpt_fleet::telemetry::{bench_jsonl, summarize_trace, BenchLine};
-use hmpt_fleet::{store, ScenarioRow, ShardReport};
+use hmpt_fleet::telemetry::{bench_jsonl, summarize_trace, summarize_trace_json, BenchLine};
+use hmpt_fleet::{store, MatrixReport, ScenarioRow, ShardReport};
 use hmpt_obs::{Collector, Fanout, JsonlCollector, MemoryCollector, StderrCollector};
+use hmpt_report::{CampaignRecord, Thresholds, Warehouse};
 use hmpt_sim::units::as_gib;
 use serde::Serialize;
 use std::sync::Arc;
@@ -70,7 +71,11 @@ fn usage() -> ! {
          \x20      hmpt-fleet merge <shard-report.json...> [--matrix-out P]\n\
          \x20                       [--cache-in LIST --cache-out P] [--spec P]\n\
          \x20      hmpt-fleet cache compact <snapshot> --max-records N\n\
-         \x20      hmpt-fleet trace summarize <trace.jsonl>\n\
+         \x20      hmpt-fleet trace summarize <trace.jsonl> [--json]\n\
+         \x20      hmpt-fleet report ingest --warehouse DIR --label L [sources]\n\
+         \x20      hmpt-fleet report diff <base> <head> [--warehouse DIR] [--json]\n\
+         \x20      hmpt-fleet report gate <base> <head> [gate options]\n\
+         \x20      hmpt-fleet report trend --warehouse DIR [--label L] [--json]\n\
          options:\n\
          \x20 --workers N     parallel worker count (default: available parallelism)\n\
          \x20 --serial        use the serial executor\n\
@@ -123,6 +128,21 @@ fn usage() -> ! {
          \x20 --cache-in L    comma-separated cache snapshots to merge (LWW)\n\
          \x20 --cache-out P   write the merged cache snapshot to P\n\
          \x20 --spec P        require every shard to match this spec's fingerprint\n\
+         report ingest sources (at least one; all repeat-friendly where noted):\n\
+         \x20 --matrix P      a matrix report (scenarios / run / merge output)\n\
+         \x20 --batch P       a batch report (plain `hmpt-fleet` output)\n\
+         \x20 --bench P       criterion-style BENCH JSONL (repeatable)\n\
+         \x20 --trace P       a span/counter trace (JSONL)\n\
+         \x20 --rev N         pin the revision (default: last in series + 1)\n\
+         \x20 --fingerprint F override the spec fingerprint key\n\
+         report diff/gate sides: an artifact file path, or a warehouse\n\
+         \x20 selector `label` (latest) / `label@rev` with --warehouse DIR\n\
+         gate options:\n\
+         \x20 --max-regression X        tolerated speedup drop (default 0)\n\
+         \x20 --max-bench-regression X  gate bench mean-time growth (opt-in)\n\
+         \x20 --max-throughput-drop X   gate cells/sec drop (opt-in)\n\
+         \x20 --allow-flip KEY          allowlist a placement flip (repeatable)\n\
+         \x20 --json                    machine-readable output (diff/gate/trend)\n\
          (workloads: built-in names like mg, sp, kwave; default: all seven)"
     );
     std::process::exit(2);
@@ -180,11 +200,137 @@ fn main() {
                 ),
             );
         }
-        Ok(Action::TraceSummarize { file }) => {
+        Ok(Action::TraceSummarize { file, json }) => {
             let text = std::fs::read_to_string(&file)
                 .unwrap_or_else(|e| fail(format!("cannot read {file}: {e}")));
-            let summary = summarize_trace(&text).unwrap_or_else(|e| fail(format!("{file}: {e}")));
-            print!("{summary}");
+            let render = if json { summarize_trace_json } else { summarize_trace };
+            let summary = render(&text).unwrap_or_else(|e| fail(format!("{file}: {e}")));
+            if json {
+                println!("{summary}");
+            } else {
+                print!("{summary}");
+            }
+        }
+        Ok(Action::Report(cmd)) => report(cmd),
+    }
+}
+
+/// Read one side of a diff/gate: an artifact file if the argument names
+/// one, else a warehouse selector (`label` / `label@rev`).
+fn load_side(warehouse: Option<&Warehouse>, arg: &str) -> CampaignRecord {
+    let path = std::path::Path::new(arg);
+    if path.is_file() {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {arg}: {e}")));
+        let label = path.file_stem().and_then(|s| s.to_str()).unwrap_or(arg);
+        CampaignRecord::from_artifact_text(&text, label)
+            .unwrap_or_else(|e| fail(format!("{arg}: {e}")))
+    } else if let Some(w) = warehouse {
+        let entry = w.resolve(arg).unwrap_or_else(|e| fail(e));
+        w.load(&entry).unwrap_or_else(|e| fail(e))
+    } else {
+        fail(format!(
+            "`{arg}` is not a readable file; to use it as a warehouse selector, pass --warehouse DIR"
+        ))
+    }
+}
+
+/// The warehouse verbs (`hmpt-fleet report …`).
+fn report(cmd: ReportCmd) {
+    match cmd {
+        ReportCmd::Ingest { warehouse, label, rev, fingerprint, matrix, batch, bench, trace } => {
+            let w = Warehouse::open(&warehouse).unwrap_or_else(|e| fail(e));
+            let read = |path: &str| {
+                std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")))
+            };
+            let mut record = CampaignRecord::new(&label);
+            if let Some(path) = &matrix {
+                let report: MatrixReport = serde_json::from_str(&read(path))
+                    .unwrap_or_else(|e| fail(format!("{path} is not a matrix report: {e}")));
+                record.absorb_matrix(&report);
+            }
+            if let Some(path) = &batch {
+                let v = serde_json::parse(&read(path))
+                    .unwrap_or_else(|e| fail(format!("{path} is not JSON: {e}")));
+                record.absorb_batch(&v).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+            }
+            for path in &bench {
+                record
+                    .absorb_bench_jsonl(&read(path))
+                    .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+            }
+            if let Some(path) = &trace {
+                record.absorb_trace(&read(path)).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+            }
+            if let Some(fp) = fingerprint {
+                record.spec_fingerprint = fp;
+            }
+            if let Some(rev) = rev {
+                record.revision = rev;
+            }
+            let (scenarios, benches) = (record.scenarios.len(), record.benches.len());
+            let entry = w.ingest(record).unwrap_or_else(|e| fail(e));
+            hmpt_obs::info(
+                "fleet.report",
+                format!(
+                    "ingested {} into {} ({scenarios} scenario(s), {benches} bench(es)) as {}",
+                    entry.selector(),
+                    warehouse,
+                    entry.file,
+                ),
+            );
+        }
+        ReportCmd::Diff { warehouse, base, head, json } => {
+            let w = warehouse.map(|d| Warehouse::open(d).unwrap_or_else(|e| fail(e)));
+            let diff =
+                hmpt_report::diff(&load_side(w.as_ref(), &base), &load_side(w.as_ref(), &head));
+            if json {
+                println!("{}", diff.to_json_string());
+            } else {
+                print!("{}", diff.render_human());
+            }
+        }
+        ReportCmd::Gate {
+            warehouse,
+            base,
+            head,
+            json,
+            max_regression,
+            max_bench_regression,
+            max_throughput_drop,
+            allow_flips,
+        } => {
+            let w = warehouse.map(|d| Warehouse::open(d).unwrap_or_else(|e| fail(e)));
+            let diff =
+                hmpt_report::diff(&load_side(w.as_ref(), &base), &load_side(w.as_ref(), &head));
+            let thresholds = Thresholds {
+                max_regression: max_regression.unwrap_or(0.0),
+                max_bench_regression,
+                max_throughput_drop,
+                allowed_flips: allow_flips,
+            };
+            let gate = hmpt_report::gate(&diff, &thresholds);
+            if json {
+                println!("{}", gate.to_json_string());
+            } else {
+                print!("{}", gate.render_human());
+            }
+            if !gate.passed {
+                std::process::exit(1);
+            }
+        }
+        ReportCmd::Trend { warehouse, label, json } => {
+            let w = Warehouse::open(&warehouse).unwrap_or_else(|e| fail(e));
+            let entries = w.series(label.as_deref()).unwrap_or_else(|e| fail(e));
+            let records: Vec<CampaignRecord> =
+                entries.iter().map(|e| w.load(e).unwrap_or_else(|e| fail(e))).collect();
+            let view = hmpt_report::trend(&records);
+            if json {
+                println!("{}", view.to_json_string());
+            } else {
+                print!("{}", view.render_human());
+            }
         }
     }
 }
@@ -287,9 +433,27 @@ fn print_metrics(memory: &MemoryCollector) {
     eprintln!("metrics:");
     let aggregates = memory.span_aggregates();
     if !aggregates.is_empty() {
-        eprintln!("  {:<20} {:>8} {:>12} {:>12}", "span", "count", "total_ns", "mean_ns");
+        let percentiles: std::collections::BTreeMap<String, hmpt_obs::SpanPercentiles> =
+            memory.span_percentiles().into_iter().collect();
+        eprintln!(
+            "  {:<20} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            "span", "count", "total_ns", "mean_ns", "p50_ns", "p95_ns", "p99_ns"
+        );
         for (name, agg) in aggregates {
-            eprintln!("  {:<20} {:>8} {:>12} {:>12}", name, agg.count, agg.total_ns, agg.mean_ns());
+            let p = percentiles.get(&name);
+            let pct = |f: fn(&hmpt_obs::SpanPercentiles) -> u64| {
+                p.map(|p| f(p).to_string()).unwrap_or_else(|| "-".to_string())
+            };
+            eprintln!(
+                "  {:<20} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                name,
+                agg.count,
+                agg.total_ns,
+                agg.mean_ns(),
+                pct(|p| p.p50_ns),
+                pct(|p| p.p95_ns),
+                pct(|p| p.p99_ns)
+            );
         }
     }
     for (name, value) in hmpt_obs::counters() {

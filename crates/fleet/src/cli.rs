@@ -66,8 +66,50 @@ pub enum Action {
     /// Render a trace file (`hmpt-fleet trace summarize FILE`).
     TraceSummarize {
         file: String,
+        /// `--json`: machine-readable summary instead of the human
+        /// rendering.
+        json: bool,
     },
+    /// A campaign-warehouse operation (`hmpt-fleet report …`).
+    Report(ReportCmd),
     Help,
+}
+
+/// The warehouse verbs. Pure parse data — the binary implements them
+/// with `hmpt_report`, so this crate stays free of that dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportCmd {
+    /// `report ingest --warehouse DIR --label L [sources…]`.
+    Ingest {
+        warehouse: String,
+        label: String,
+        /// `--rev N`: pin the revision instead of auto-stamping.
+        rev: Option<u64>,
+        /// `--fingerprint F`: override the spec fingerprint when the
+        /// sources carry none.
+        fingerprint: Option<String>,
+        matrix: Option<String>,
+        batch: Option<String>,
+        bench: Vec<String>,
+        trace: Option<String>,
+    },
+    /// `report diff BASE HEAD` — each side a warehouse selector
+    /// (`label` / `label@rev`, with `--warehouse`) or an artifact file.
+    Diff { warehouse: Option<String>, base: String, head: String, json: bool },
+    /// `report gate BASE HEAD [thresholds…]` — diff, then pass/fail
+    /// (exit 1 on fail).
+    Gate {
+        warehouse: Option<String>,
+        base: String,
+        head: String,
+        json: bool,
+        max_regression: Option<f64>,
+        max_bench_regression: Option<f64>,
+        max_throughput_drop: Option<f64>,
+        allow_flips: Vec<String>,
+    },
+    /// `report trend --warehouse DIR [--label L]`.
+    Trend { warehouse: String, label: Option<String>, json: bool },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +120,7 @@ enum Sub {
     Merge,
     Cache,
     Trace,
+    Report,
 }
 
 #[derive(Debug, Default)]
@@ -117,6 +160,21 @@ struct Flags {
     metrics: bool,
     quiet: bool,
     bench_out: Option<String>,
+    warehouse: Option<String>,
+    label: Option<String>,
+    rev: Option<u64>,
+    fingerprint: Option<String>,
+    matrix_in: Option<String>,
+    batch_in: Option<String>,
+    bench_in: Vec<String>,
+    trace_in: Option<String>,
+    max_regression: Option<f64>,
+    max_bench_regression: Option<f64>,
+    max_throughput_drop: Option<f64>,
+    allow_flips: Vec<String>,
+    /// The valueless `--json` of the trace/report modes (in batch mode
+    /// `--json` takes the output path and lands in `json`).
+    json_flag: bool,
     positionals: Vec<String>,
 }
 
@@ -147,7 +205,30 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
             "--no-cache" => flags.no_cache = true,
             "--no-compare" => flags.no_compare = true,
             "--no-online" => flags.no_online = true,
+            // `--json` is context-sensitive: in trace/report mode it is
+            // a valueless "machine-readable output" switch; in batch
+            // mode it takes the report's output path. The subcommand
+            // word always precedes its flags (anything earlier would be
+            // swallowed as a workload positional), so `sub` is settled
+            // by the time the flag shows up.
+            "--json" if matches!(sub, Sub::Trace | Sub::Report) => flags.json_flag = true,
             "--json" => flags.json = Some(value("--json", &mut it)?),
+            "--warehouse" => flags.warehouse = Some(value("--warehouse", &mut it)?),
+            "--label" => flags.label = Some(value("--label", &mut it)?),
+            "--rev" => flags.rev = Some(value("--rev", &mut it)?),
+            "--fingerprint" => flags.fingerprint = Some(value("--fingerprint", &mut it)?),
+            "--matrix" => flags.matrix_in = Some(value("--matrix", &mut it)?),
+            "--batch" => flags.batch_in = Some(value("--batch", &mut it)?),
+            "--bench" => flags.bench_in.push(value("--bench", &mut it)?),
+            "--trace" => flags.trace_in = Some(value("--trace", &mut it)?),
+            "--max-regression" => flags.max_regression = Some(value("--max-regression", &mut it)?),
+            "--max-bench-regression" => {
+                flags.max_bench_regression = Some(value("--max-bench-regression", &mut it)?)
+            }
+            "--max-throughput-drop" => {
+                flags.max_throughput_drop = Some(value("--max-throughput-drop", &mut it)?)
+            }
+            "--allow-flip" => flags.allow_flips.push(value("--allow-flip", &mut it)?),
             "--zoo" => flags.zoo = Some(value("--zoo", &mut it)?),
             "--budgets" => flags.budgets = Some(value("--budgets", &mut it)?),
             "--noise" => flags.noise = Some(value("--noise", &mut it)?),
@@ -177,7 +258,7 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
             other if other.starts_with('-') => {
                 return Err(usage_err(format!("unknown flag `{other}`")))
             }
-            sub_name @ ("scenarios" | "merge" | "run" | "cache" | "trace")
+            sub_name @ ("scenarios" | "merge" | "run" | "cache" | "trace" | "report")
                 if sub == Sub::Batch && flags.positionals.is_empty() =>
             {
                 sub = match sub_name {
@@ -185,7 +266,8 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
                     "merge" => Sub::Merge,
                     "run" => Sub::Run,
                     "cache" => Sub::Cache,
-                    _ => Sub::Trace,
+                    "trace" => Sub::Trace,
+                    _ => Sub::Report,
                 };
             }
             name => flags.positionals.push(name.to_string()),
@@ -199,6 +281,7 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
         Sub::Merge => merge_action(flags),
         Sub::Cache => cache_action(flags),
         Sub::Trace => trace_action(flags),
+        Sub::Report => report_action(flags),
     }
 }
 
@@ -211,6 +294,7 @@ impl Sub {
             Sub::Merge => "the merge mode (hmpt-fleet merge <shard-report.json…>)",
             Sub::Cache => "the cache mode (hmpt-fleet cache compact FILE)",
             Sub::Trace => "the trace mode (hmpt-fleet trace summarize FILE)",
+            Sub::Report => "the report mode (hmpt-fleet report {ingest,diff,gate,trend} …)",
         }
     }
 
@@ -222,6 +306,7 @@ impl Sub {
             Sub::Merge => "merge",
             Sub::Cache => "cache",
             Sub::Trace => "trace",
+            Sub::Report => "report",
         }
     }
 }
@@ -232,8 +317,8 @@ impl Flags {
     /// derives from. A new flag gets exactly one row here; there is no
     /// per-mode list to forget it in, so it can never be silently
     /// ignored in some mode.
-    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 35] {
-        use Sub::{Batch, Cache, Merge, Run, Scenarios};
+    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 47] {
+        use Sub::{Batch, Cache, Merge, Report, Run, Scenarios, Trace};
         [
             ("--workers", self.workers.is_some(), &[Batch, Scenarios]),
             ("--serial", self.serial, &[Batch, Scenarios]),
@@ -244,7 +329,7 @@ impl Flags {
             ("--no-cache", self.no_cache, &[Batch, Scenarios]),
             ("--no-compare", self.no_compare, &[Batch]),
             ("--no-online", self.no_online, &[Batch]),
-            ("--json", self.json.is_some(), &[Batch]),
+            ("--json", self.json.is_some() || self.json_flag, &[Batch, Trace, Report]),
             ("--zoo", self.zoo.is_some(), &[Scenarios]),
             ("--budgets", self.budgets.is_some(), &[Scenarios]),
             ("--noise", self.noise.is_some(), &[Scenarios]),
@@ -270,6 +355,18 @@ impl Flags {
             ("--metrics", self.metrics, &[Batch, Scenarios, Run]),
             ("--quiet", self.quiet, &[Batch, Scenarios, Run]),
             ("--bench-out", self.bench_out.is_some(), &[Batch, Scenarios, Run]),
+            ("--warehouse", self.warehouse.is_some(), &[Report]),
+            ("--label", self.label.is_some(), &[Report]),
+            ("--rev", self.rev.is_some(), &[Report]),
+            ("--fingerprint", self.fingerprint.is_some(), &[Report]),
+            ("--matrix", self.matrix_in.is_some(), &[Report]),
+            ("--batch", self.batch_in.is_some(), &[Report]),
+            ("--bench", !self.bench_in.is_empty(), &[Report]),
+            ("--trace", self.trace_in.is_some(), &[Report]),
+            ("--max-regression", self.max_regression.is_some(), &[Report]),
+            ("--max-bench-regression", self.max_bench_regression.is_some(), &[Report]),
+            ("--max-throughput-drop", self.max_throughput_drop.is_some(), &[Report]),
+            ("--allow-flip", !self.allow_flips.is_empty(), &[Report]),
         ]
     }
 
@@ -503,11 +600,138 @@ fn cache_action(flags: Flags) -> Result<Action, UsageError> {
 fn trace_action(flags: Flags) -> Result<Action, UsageError> {
     flags.reject_out_of_mode(Sub::Trace)?;
     match &flags.positionals[..] {
-        [verb, file] if verb == "summarize" => Ok(Action::TraceSummarize { file: file.clone() }),
+        [verb, file] if verb == "summarize" => {
+            Ok(Action::TraceSummarize { file: file.clone(), json: flags.json_flag })
+        }
         [verb, ..] if verb != "summarize" => {
             Err(usage_err(format!("unknown trace verb `{verb}` (verbs: summarize)")))
         }
         _ => Err(usage_err("trace summarize takes exactly one trace file")),
+    }
+}
+
+/// Reject flags that belong to a different report verb — the per-verb
+/// analogue of [`Flags::reject_out_of_mode`].
+fn reject_out_of_verb(
+    verb: &str,
+    given: &[(&'static str, bool, &'static str)],
+) -> Result<(), UsageError> {
+    for (name, present, owner) in given {
+        if *present && *owner != verb {
+            return Err(usage_err(format!(
+                "{name} does not apply to `report {verb}` (it applies to: report {owner})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn report_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Report)?;
+    let Some((verb, rest)) = flags.positionals.split_first() else {
+        return Err(usage_err("report needs a verb (verbs: ingest, diff, gate, trend)"));
+    };
+    // Which verb each report flag belongs to (shared ones are checked
+    // structurally below).
+    // (`--label` is shared: ingest's series name, trend's filter.)
+    let owned = [
+        ("--label", flags.label.is_some(), if verb == "trend" { "trend" } else { "ingest" }),
+        ("--rev", flags.rev.is_some(), "ingest"),
+        ("--fingerprint", flags.fingerprint.is_some(), "ingest"),
+        ("--matrix", flags.matrix_in.is_some(), "ingest"),
+        ("--batch", flags.batch_in.is_some(), "ingest"),
+        ("--bench", !flags.bench_in.is_empty(), "ingest"),
+        ("--trace", flags.trace_in.is_some(), "ingest"),
+        ("--max-regression", flags.max_regression.is_some(), "gate"),
+        ("--max-bench-regression", flags.max_bench_regression.is_some(), "gate"),
+        ("--max-throughput-drop", flags.max_throughput_drop.is_some(), "gate"),
+        ("--allow-flip", !flags.allow_flips.is_empty(), "gate"),
+    ];
+    match verb.as_str() {
+        "ingest" => {
+            reject_out_of_verb("ingest", &owned)?;
+            if flags.json_flag {
+                return Err(usage_err("--json does not apply to `report ingest`"));
+            }
+            if !rest.is_empty() {
+                return Err(usage_err(format!(
+                    "report ingest takes no positional arguments (got `{}`)",
+                    rest.join(" ")
+                )));
+            }
+            let warehouse =
+                flags.warehouse.ok_or_else(|| usage_err("report ingest needs --warehouse DIR"))?;
+            let label = flags.label.ok_or_else(|| usage_err("report ingest needs --label NAME"))?;
+            if flags.matrix_in.is_none()
+                && flags.batch_in.is_none()
+                && flags.bench_in.is_empty()
+                && flags.trace_in.is_none()
+            {
+                return Err(usage_err(
+                    "report ingest needs at least one source \
+                     (--matrix, --batch, --bench, or --trace)",
+                ));
+            }
+            Ok(Action::Report(ReportCmd::Ingest {
+                warehouse,
+                label,
+                rev: flags.rev,
+                fingerprint: flags.fingerprint,
+                matrix: flags.matrix_in,
+                batch: flags.batch_in,
+                bench: flags.bench_in,
+                trace: flags.trace_in,
+            }))
+        }
+        "diff" | "gate" => {
+            let is_gate = verb == "gate";
+            reject_out_of_verb(if is_gate { "gate" } else { "diff" }, &owned)?;
+            let [base, head] = rest else {
+                return Err(usage_err(format!(
+                    "report {verb} takes exactly two inputs \
+                     (warehouse selectors or artifact files): report {verb} BASE HEAD"
+                )));
+            };
+            if is_gate {
+                Ok(Action::Report(ReportCmd::Gate {
+                    warehouse: flags.warehouse,
+                    base: base.clone(),
+                    head: head.clone(),
+                    json: flags.json_flag,
+                    max_regression: flags.max_regression,
+                    max_bench_regression: flags.max_bench_regression,
+                    max_throughput_drop: flags.max_throughput_drop,
+                    allow_flips: flags.allow_flips,
+                }))
+            } else {
+                Ok(Action::Report(ReportCmd::Diff {
+                    warehouse: flags.warehouse,
+                    base: base.clone(),
+                    head: head.clone(),
+                    json: flags.json_flag,
+                }))
+            }
+        }
+        "trend" => {
+            reject_out_of_verb("trend", &owned)?;
+            if !rest.is_empty() {
+                return Err(usage_err(format!(
+                    "report trend takes no positional arguments (got `{}`); \
+                     filter with --label NAME",
+                    rest.join(" ")
+                )));
+            }
+            let warehouse =
+                flags.warehouse.ok_or_else(|| usage_err("report trend needs --warehouse DIR"))?;
+            Ok(Action::Report(ReportCmd::Trend {
+                warehouse,
+                label: flags.label,
+                json: flags.json_flag,
+            }))
+        }
+        other => Err(usage_err(format!(
+            "unknown report verb `{other}` (verbs: ingest, diff, gate, trend)"
+        ))),
     }
 }
 
@@ -627,41 +851,117 @@ mod tests {
     fn trace_summarize_parses_to_its_action() {
         assert_eq!(
             parse(args("trace summarize t.jsonl")).unwrap(),
-            Action::TraceSummarize { file: "t.jsonl".into() }
+            Action::TraceSummarize { file: "t.jsonl".into(), json: false }
+        );
+        assert_eq!(
+            parse(args("trace summarize t.jsonl --json")).unwrap(),
+            Action::TraceSummarize { file: "t.jsonl".into(), json: true }
+        );
+    }
+
+    #[test]
+    fn report_verbs_parse_to_their_actions() {
+        assert_eq!(
+            parse(args(
+                "report ingest --warehouse w --label zoo --matrix m.json \
+                 --bench a.json --bench b.json --trace t.jsonl --rev 4 --fingerprint ff"
+            ))
+            .unwrap(),
+            Action::Report(ReportCmd::Ingest {
+                warehouse: "w".into(),
+                label: "zoo".into(),
+                rev: Some(4),
+                fingerprint: Some("ff".into()),
+                matrix: Some("m.json".into()),
+                batch: None,
+                bench: vec!["a.json".into(), "b.json".into()],
+                trace: Some("t.jsonl".into()),
+            })
+        );
+        assert_eq!(
+            parse(args("report diff base.json head.json --json")).unwrap(),
+            Action::Report(ReportCmd::Diff {
+                warehouse: None,
+                base: "base.json".into(),
+                head: "head.json".into(),
+                json: true,
+            })
+        );
+        assert_eq!(
+            parse(args(
+                "report gate --warehouse w zoo@1 zoo --max-regression 0.02 \
+                 --max-bench-regression 0.1 --allow-flip a --allow-flip b"
+            ))
+            .unwrap(),
+            Action::Report(ReportCmd::Gate {
+                warehouse: Some("w".into()),
+                base: "zoo@1".into(),
+                head: "zoo".into(),
+                json: false,
+                max_regression: Some(0.02),
+                max_bench_regression: Some(0.1),
+                max_throughput_drop: None,
+                allow_flips: vec!["a".into(), "b".into()],
+            })
+        );
+        assert_eq!(
+            parse(args("report trend --warehouse w --label zoo --json")).unwrap(),
+            Action::Report(ReportCmd::Trend {
+                warehouse: "w".into(),
+                label: Some("zoo".into()),
+                json: true,
+            })
         );
     }
 
     #[test]
     fn conflicting_and_dangling_flags_are_uniform_hard_errors() {
         for cmdline in [
-            "--max-reps 5",                               // dangling: needs --ci-target
-            "--zoo xeon-max",                             // scenarios-only in batch mode
-            "--shard 1/2",                                // scenarios-only in batch mode
-            "scenarios --json x.json",                    // batch-only in scenarios mode
-            "scenarios --no-online",                      // batch-only in scenarios mode
-            "scenarios --ci-target 0.1 --policies fixed", // conflict
-            "scenarios --shard-out s.json",               // dangling: needs --shard
-            "scenarios --shard 1/2 --matrix-out m.json",  // conflict
-            "scenarios --shard 0/2",                      // malformed shard
-            "--no-cache --cache-file c.bin",              // conflict
-            "--no-cache --cache-max 10",                  // conflict
-            "--fast-path --no-fast-path",                 // conflict
-            "merge a.json --fast-path",                   // run flag in merge mode
-            "merge a.json --reps 3",                      // run flag in merge mode
-            "merge a.json --cache-in a.bin",              // dangling: needs --cache-out
-            "merge",                                      // no shard files
-            "cache compact c.bin",                        // missing --max-records
-            "cache shrink c.bin --max-records 3",         // unknown verb
-            "run",                                        // missing spec file
-            "run a.toml b.toml",                          // too many spec files
-            "run a.toml --reps 3",                        // spec-borne setting as flag
-            "--frobnicate",                               // unknown flag
-            "merge a.json --trace-out t.jsonl",           // telemetry flag outside run modes
-            "trace",                                      // missing verb + file
-            "trace summarize",                            // missing trace file
-            "trace summarize a.jsonl b.jsonl",            // too many trace files
-            "trace render t.jsonl",                       // unknown trace verb
-            "trace summarize t.jsonl --metrics",          // no flags in trace mode
+            "--max-reps 5",                                // dangling: needs --ci-target
+            "--zoo xeon-max",                              // scenarios-only in batch mode
+            "--shard 1/2",                                 // scenarios-only in batch mode
+            "scenarios --json x.json",                     // batch-only in scenarios mode
+            "scenarios --no-online",                       // batch-only in scenarios mode
+            "scenarios --ci-target 0.1 --policies fixed",  // conflict
+            "scenarios --shard-out s.json",                // dangling: needs --shard
+            "scenarios --shard 1/2 --matrix-out m.json",   // conflict
+            "scenarios --shard 0/2",                       // malformed shard
+            "--no-cache --cache-file c.bin",               // conflict
+            "--no-cache --cache-max 10",                   // conflict
+            "--fast-path --no-fast-path",                  // conflict
+            "merge a.json --fast-path",                    // run flag in merge mode
+            "merge a.json --reps 3",                       // run flag in merge mode
+            "merge a.json --cache-in a.bin",               // dangling: needs --cache-out
+            "merge",                                       // no shard files
+            "cache compact c.bin",                         // missing --max-records
+            "cache shrink c.bin --max-records 3",          // unknown verb
+            "run",                                         // missing spec file
+            "run a.toml b.toml",                           // too many spec files
+            "run a.toml --reps 3",                         // spec-borne setting as flag
+            "--frobnicate",                                // unknown flag
+            "merge a.json --trace-out t.jsonl",            // telemetry flag outside run modes
+            "trace",                                       // missing verb + file
+            "trace summarize",                             // missing trace file
+            "trace summarize a.jsonl b.jsonl",             // too many trace files
+            "trace render t.jsonl",                        // unknown trace verb
+            "trace summarize t.jsonl --metrics",           // no run flags in trace mode
+            "report",                                      // missing verb
+            "report prune",                                // unknown report verb
+            "report ingest --warehouse w --label l",       // no sources
+            "report ingest --label l --matrix m.json",     // missing --warehouse
+            "report ingest --warehouse w --matrix m.json", // missing --label
+            "report ingest --warehouse w --label l --matrix m.json x", // stray positional
+            "report ingest --warehouse w --label l --matrix m.json --json", // ingest has no --json
+            "report diff a.json",                          // one input
+            "report diff a b c",                           // three inputs
+            "report diff a b --max-regression 0.1",        // gate flag on diff
+            "report diff a b --label l",                   // ingest flag on diff
+            "report gate a b --matrix m.json",             // ingest flag on gate
+            "report trend",                                // missing --warehouse
+            "report trend --warehouse w x",                // stray positional
+            "report trend --warehouse w --rev 3",          // ingest flag on trend
+            "report diff a b --metrics",                   // run flag in report mode
+            "scenarios --warehouse w",                     // report flag in run modes
         ] {
             let err = parse(args(cmdline)).expect_err(cmdline);
             assert!(!err.0.is_empty(), "{cmdline:?}");

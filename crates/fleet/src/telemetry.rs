@@ -4,11 +4,16 @@
 //! collectors); this module consumes what an `hmpt_obs::JsonlCollector`
 //! wrote:
 //!
-//! * [`summarize_trace`] renders a trace file the way `hmpt-fleet trace
-//!   summarize FILE` shows it — top spans by total time, per-phase
-//!   duration histograms, per-scenario rollups, and the cache-flow
-//!   totals. It is a pure text → text function so tests can pin the
-//!   rendering without touching the filesystem.
+//! * [`parse_trace`] folds a trace JSONL document into a typed
+//!   [`TraceSummary`] — per-span statistics with exact p50/p95/p99
+//!   percentiles, per-scenario rollups, counter/gauge totals, and the
+//!   derived cell-throughput and cache-flow views. It is a pure
+//!   text → data function, so both renderers and the campaign
+//!   warehouse (`hmpt_report`) ingest traces through one parser.
+//! * [`summarize_trace`] renders the summary the way `hmpt-fleet trace
+//!   summarize FILE` shows it; [`summarize_trace_json`] emits the same
+//!   content as machine-readable JSON (`trace summarize FILE --json`),
+//!   so CI asserts on summaries with `jq` instead of grepping text.
 //! * [`bench_jsonl`] emits criterion-compatible
 //!   `{"bench":…,"mean_ns":…,"samples":…}` lines (the `BENCH_JSON`
 //!   schema of the vendored criterion), so one run's wall-clock numbers
@@ -23,7 +28,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use serde::Value;
+use hmpt_obs::SpanPercentiles;
+use serde::{Serialize, Value};
 
 /// One criterion-compatible measurement line.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +60,74 @@ pub fn bench_jsonl(lines: &[BenchLine]) -> String {
     out
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+/// Statistics of one span name across a whole trace. The percentiles
+/// are exact (nearest-rank over every recorded duration).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SpanSummary {
+    pub count: u64,
+    pub total_ns: u64,
+    pub mean_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// One labeled `fleet.job` span — the per-scenario rollup entry.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioSpan {
+    /// The span's dynamic label, e.g. `#3 xeon-max·mg`.
+    pub detail: String,
+    pub dur_ns: u64,
+}
+
+/// The derived cell-throughput view: how fast the campaign kernel
+/// chewed through cells, summed across worker threads (so on a
+/// parallel run this is kernel occupancy, not wall-clock rate).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CellThroughput {
+    pub cells: u64,
+    pub total_ns: u64,
+    pub cells_per_s: f64,
+}
+
+/// The derived cache-flow view — the counters that tell the
+/// warm-vs-cold story.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CacheFlow {
+    pub hits: u64,
+    pub misses: u64,
+    /// `hits / (hits + misses)`, in `0..=1`.
+    pub hit_rate: f64,
+    pub evicted: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub entries: u64,
+}
+
+/// Everything a trace JSONL document folds down to — the one typed
+/// view behind the human renderer, the `--json` renderer, and the
+/// campaign warehouse's trace ingestion.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Total span lines in the trace.
+    pub span_lines: u64,
+    /// Total event lines in the trace.
+    pub event_lines: u64,
+    /// Per-name span statistics, sorted by name.
+    pub spans: BTreeMap<String, SpanSummary>,
+    /// Labeled `fleet.job` spans, slowest first.
+    pub scenarios: Vec<ScenarioSpan>,
+    /// Final counter values (last write wins — a flush writes totals).
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values.
+    pub gauges: BTreeMap<String, u64>,
+    /// Decade-bucket histograms, human renderer only.
+    buckets: BTreeMap<String, [u64; 8]>,
+}
+
+#[derive(Debug, Default, Clone)]
 struct Agg {
     count: u64,
     total_ns: u64,
@@ -62,6 +135,8 @@ struct Agg {
     max_ns: u64,
     // Decade buckets: <1µs, <10µs, <100µs, <1ms, <10ms, <100ms, <1s, ≥1s.
     buckets: [u64; 8],
+    // Every duration, for the exact percentile view.
+    durations: Vec<u64>,
 }
 
 impl Agg {
@@ -74,6 +149,7 @@ impl Agg {
         }
         self.count += 1;
         self.total_ns += dur_ns;
+        self.durations.push(dur_ns);
         let mut bucket = 0;
         let mut bound = 1_000u64;
         while bucket < 7 && dur_ns >= bound {
@@ -111,11 +187,12 @@ fn field_str<'v>(obj: &'v Value, key: &str, line_no: usize) -> Result<&'v str, S
         .ok_or_else(|| format!("trace line {line_no}: missing or non-string `{key}`"))
 }
 
-/// Render the human summary of a trace JSONL document (the body of
-/// `hmpt-fleet trace summarize FILE`). Errors name the offending line.
-pub fn summarize_trace(text: &str) -> Result<String, String> {
+/// Fold a trace JSONL document into a [`TraceSummary`]. Errors name the
+/// offending line; an empty trace is an error (a run that produced no
+/// telemetry is a writer bug, not a quiet success).
+pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
     let mut spans: BTreeMap<String, Agg> = BTreeMap::new();
-    let mut scenarios: Vec<(String, u64)> = Vec::new(); // fleet.job details
+    let mut scenarios: Vec<ScenarioSpan> = Vec::new(); // fleet.job details
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
     let mut span_lines = 0u64;
@@ -139,7 +216,7 @@ pub fn summarize_trace(text: &str) -> Result<String, String> {
                 spans.entry(name.to_string()).or_default().record(dur_ns);
                 if name == "fleet.job" {
                     if let Some(detail) = value.get("detail").and_then(Value::as_str) {
-                        scenarios.push((detail.to_string(), dur_ns));
+                        scenarios.push(ScenarioSpan { detail: detail.to_string(), dur_ns });
                     }
                 }
             }
@@ -167,109 +244,207 @@ pub fn summarize_trace(text: &str) -> Result<String, String> {
         return Err("trace is empty".to_string());
     }
 
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "trace: {span_lines} spans ({} distinct), {event_lines} events, {} counters, {} gauges",
-        spans.len(),
-        counters.len(),
-        gauges.len()
-    );
+    scenarios.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.detail.cmp(&b.detail)));
+    let buckets = spans.iter().map(|(name, agg)| (name.clone(), agg.buckets)).collect();
+    let spans = spans
+        .into_iter()
+        .map(|(name, agg)| {
+            let p = SpanPercentiles::of(&agg.durations)
+                .expect("a recorded span name has at least one duration");
+            let summary = SpanSummary {
+                count: agg.count,
+                total_ns: agg.total_ns,
+                mean_ns: agg.total_ns / agg.count.max(1),
+                min_ns: agg.min_ns,
+                max_ns: agg.max_ns,
+                p50_ns: p.p50_ns,
+                p95_ns: p.p95_ns,
+                p99_ns: p.p99_ns,
+            };
+            (name, summary)
+        })
+        .collect();
+    Ok(TraceSummary { span_lines, event_lines, spans, scenarios, counters, gauges, buckets })
+}
 
-    // Top spans by total time.
-    let mut by_total: Vec<(&String, &Agg)> = spans.iter().collect();
-    by_total.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
-    if !by_total.is_empty() {
-        let _ = writeln!(out, "\ntop spans by total time:");
+impl TraceSummary {
+    /// Span names ordered by total time (descending, name-tiebroken) —
+    /// the order of the "top spans" table.
+    fn by_total(&self) -> Vec<(&String, &SpanSummary)> {
+        let mut v: Vec<(&String, &SpanSummary)> = self.spans.iter().collect();
+        v.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// The cell-throughput view, when the trace carries `exec.cell`
+    /// spans with non-zero total time.
+    pub fn cell_throughput(&self) -> Option<CellThroughput> {
+        let s = self.spans.get("exec.cell").filter(|s| s.total_ns > 0)?;
+        Some(CellThroughput {
+            cells: s.count,
+            total_ns: s.total_ns,
+            cells_per_s: s.count as f64 * 1e9 / s.total_ns as f64,
+        })
+    }
+
+    /// The cache-flow view, when the trace saw any cache traffic.
+    pub fn cache_flow(&self) -> Option<CacheFlow> {
+        let get = |k: &str| self.counters.get(k).copied().unwrap_or(0);
+        let (hits, misses) = (get("cache.hit"), get("cache.miss"));
+        if hits + misses == 0 {
+            return None;
+        }
+        Some(CacheFlow {
+            hits,
+            misses,
+            hit_rate: hits as f64 / (hits + misses) as f64,
+            evicted: get("cache.evict"),
+            bytes_written: get("store.bytes_written"),
+            bytes_read: get("store.bytes_read"),
+            entries: self.gauges.get("cache.entries").copied().unwrap_or(0),
+        })
+    }
+
+    /// The human rendering (the default body of `hmpt-fleet trace
+    /// summarize FILE`).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
         let _ = writeln!(
             out,
-            "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
-            "span", "count", "total", "mean", "min", "max"
+            "trace: {} spans ({} distinct), {} events, {} counters, {} gauges",
+            self.span_lines,
+            self.spans.len(),
+            self.event_lines,
+            self.counters.len(),
+            self.gauges.len()
         );
-        for (name, agg) in by_total.iter().take(12) {
+
+        // Top spans by total time, with the exact percentile columns.
+        let by_total = self.by_total();
+        if !by_total.is_empty() {
+            let _ = writeln!(out, "\ntop spans by total time:");
             let _ = writeln!(
                 out,
-                "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
-                name,
-                agg.count,
-                fmt_ns(agg.total_ns),
-                fmt_ns(agg.total_ns / agg.count.max(1)),
-                fmt_ns(agg.min_ns),
-                fmt_ns(agg.max_ns)
+                "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "span", "count", "total", "mean", "p50", "p95", "p99", "max"
+            );
+            for (name, s) in by_total.iter().take(12) {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.mean_ns),
+                    fmt_ns(s.p50_ns),
+                    fmt_ns(s.p95_ns),
+                    fmt_ns(s.p99_ns),
+                    fmt_ns(s.max_ns)
+                );
+            }
+        }
+
+        // Duration histograms for the repeated spans (a phase that ran
+        // once has no distribution to show).
+        let histogrammed: Vec<(&String, &SpanSummary)> =
+            by_total.iter().filter(|(_, s)| s.count >= 2).take(6).copied().collect();
+        if !histogrammed.is_empty() {
+            let _ = writeln!(out, "\nduration histograms (decade buckets):");
+            for (name, _) in histogrammed {
+                let buckets = &self.buckets[name.as_str()];
+                let cells: Vec<String> = BUCKET_LABELS
+                    .iter()
+                    .zip(buckets.iter())
+                    .filter(|(_, n)| **n > 0)
+                    .map(|(label, n)| format!("{label}:{n}"))
+                    .collect();
+                let _ = writeln!(out, "  {:<16} {}", name, cells.join("  "));
+            }
+        }
+
+        // Per-scenario rollup from the labeled fleet.job spans.
+        if !self.scenarios.is_empty() {
+            let _ = writeln!(out, "\nslowest scenarios (fleet.job):");
+            for s in self.scenarios.iter().take(10) {
+                let _ = writeln!(out, "  {:<32} {:>10}", s.detail, fmt_ns(s.dur_ns));
+            }
+            if self.scenarios.len() > 10 {
+                let _ = writeln!(out, "  … and {} more", self.scenarios.len() - 10);
+            }
+        }
+
+        if let Some(t) = self.cell_throughput() {
+            let _ = writeln!(
+                out,
+                "\ncell throughput: {} cells in {} of exec.cell time ({:.0} cells/s)",
+                t.cells,
+                fmt_ns(t.total_ns),
+                t.cells_per_s,
             );
         }
+
+        if let Some(c) = self.cache_flow() {
+            let _ = writeln!(
+                out,
+                "\ncache flow: {} hits / {} misses (hit-rate {:.1}%), {} evicted, \
+                 {} B written / {} B read, {} entries resident",
+                c.hits,
+                c.misses,
+                100.0 * c.hit_rate,
+                c.evicted,
+                c.bytes_written,
+                c.bytes_read,
+                c.entries,
+            );
+        }
+
+        // Everything else, raw.
+        let shown =
+            ["cache.hit", "cache.miss", "cache.evict", "store.bytes_written", "store.bytes_read"];
+        let rest: Vec<(&String, &u64)> =
+            self.counters.iter().filter(|(k, _)| !shown.contains(&k.as_str())).collect();
+        if !rest.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, v) in rest {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        out
     }
 
-    // Duration histograms for the repeated spans (a phase that ran once
-    // has no distribution to show).
-    let histogrammed: Vec<(&String, &Agg)> =
-        by_total.iter().filter(|(_, a)| a.count >= 2).take(6).copied().collect();
-    if !histogrammed.is_empty() {
-        let _ = writeln!(out, "\nduration histograms (decade buckets):");
-        for (name, agg) in histogrammed {
-            let cells: Vec<String> = BUCKET_LABELS
-                .iter()
-                .zip(agg.buckets.iter())
-                .filter(|(_, n)| **n > 0)
-                .map(|(label, n)| format!("{label}:{n}"))
-                .collect();
-            let _ = writeln!(out, "  {:<16} {}", name, cells.join("  "));
-        }
-    }
-
-    // Per-scenario rollup from the labeled fleet.job spans.
-    if !scenarios.is_empty() {
-        scenarios.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let _ = writeln!(out, "\nslowest scenarios (fleet.job):");
-        for (detail, dur_ns) in scenarios.iter().take(10) {
-            let _ = writeln!(out, "  {:<32} {:>10}", detail, fmt_ns(*dur_ns));
-        }
-        if scenarios.len() > 10 {
-            let _ = writeln!(out, "  … and {} more", scenarios.len() - 10);
-        }
-    }
-
-    // Cell throughput from the exec.cell spans: how fast the campaign
-    // kernel chewed through cells, summed across worker threads (so on
-    // a parallel run this is kernel occupancy, not wall-clock rate).
-    if let Some(agg) = spans.get("exec.cell").filter(|a| a.total_ns > 0) {
-        let _ = writeln!(
-            out,
-            "\ncell throughput: {} cells in {} of exec.cell time ({:.0} cells/s)",
-            agg.count,
-            fmt_ns(agg.total_ns),
-            agg.count as f64 * 1e9 / agg.total_ns as f64,
+    /// The machine-readable rendering (`trace summarize FILE --json`):
+    /// one JSON object carrying the same content as the human summary —
+    /// per-span statistics (exact percentiles included), scenario
+    /// rollups, counters/gauges, and the derived throughput and
+    /// cache-flow views (`null` when the trace lacks them).
+    pub fn to_json(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("span_lines".into(), serde_json::to_value(&self.span_lines));
+        m.insert("event_lines".into(), serde_json::to_value(&self.event_lines));
+        m.insert("spans".into(), serde_json::to_value(&self.spans));
+        m.insert("scenarios".into(), serde_json::to_value(&self.scenarios));
+        m.insert("counters".into(), serde_json::to_value(&self.counters));
+        m.insert("gauges".into(), serde_json::to_value(&self.gauges));
+        let opt = |v: Option<Value>| v.unwrap_or(Value::Null);
+        m.insert(
+            "cell_throughput".into(),
+            opt(self.cell_throughput().map(|t| serde_json::to_value(&t))),
         );
+        m.insert("cache_flow".into(), opt(self.cache_flow().map(|c| serde_json::to_value(&c))));
+        Value::Object(m)
     }
+}
 
-    // Cache flow: the counters that tell the warm-vs-cold story.
-    let hit = counters.get("cache.hit").copied().unwrap_or(0);
-    let miss = counters.get("cache.miss").copied().unwrap_or(0);
-    if hit + miss > 0 {
-        let _ = writeln!(
-            out,
-            "\ncache flow: {hit} hits / {miss} misses (hit-rate {:.1}%), {} evicted, \
-             {} B written / {} B read, {} entries resident",
-            100.0 * hit as f64 / (hit + miss) as f64,
-            counters.get("cache.evict").copied().unwrap_or(0),
-            counters.get("store.bytes_written").copied().unwrap_or(0),
-            counters.get("store.bytes_read").copied().unwrap_or(0),
-            gauges.get("cache.entries").copied().unwrap_or(0),
-        );
-    }
+/// Render the human summary of a trace JSONL document (the body of
+/// `hmpt-fleet trace summarize FILE`). Errors name the offending line.
+pub fn summarize_trace(text: &str) -> Result<String, String> {
+    Ok(parse_trace(text)?.render_human())
+}
 
-    // Everything else, raw.
-    let shown =
-        ["cache.hit", "cache.miss", "cache.evict", "store.bytes_written", "store.bytes_read"];
-    let rest: Vec<(&String, &u64)> =
-        counters.iter().filter(|(k, _)| !shown.contains(&k.as_str())).collect();
-    if !rest.is_empty() {
-        let _ = writeln!(out, "\ncounters:");
-        for (name, v) in rest {
-            let _ = writeln!(out, "  {name} = {v}");
-        }
-    }
-    Ok(out)
+/// Render the machine-readable summary of a trace JSONL document (the
+/// body of `hmpt-fleet trace summarize FILE --json`).
+pub fn summarize_trace_json(text: &str) -> Result<String, String> {
+    serde_json::to_string_pretty(&parse_trace(text)?.to_json()).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -284,9 +459,8 @@ mod tests {
         )
     }
 
-    #[test]
-    fn summarize_renders_spans_cache_flow_and_scenarios() {
-        let trace = [
+    fn sample_trace() -> String {
+        [
             span_line("exec.cell", None, 900),
             span_line("exec.cell", None, 1_500_000),
             span_line("fleet.job", Some("#0 xeon-max·mg"), 2_000_000),
@@ -297,8 +471,12 @@ mod tests {
             "{\"type\":\"counter\",\"name\":\"exec.parallel.steals\",\"value\":7}".to_string(),
             "{\"type\":\"gauge\",\"name\":\"cache.entries\",\"value\":4}".to_string(),
         ]
-        .join("\n");
-        let text = summarize_trace(&trace).unwrap();
+        .join("\n")
+    }
+
+    #[test]
+    fn summarize_renders_spans_cache_flow_and_scenarios() {
+        let text = summarize_trace(&sample_trace()).unwrap();
         assert!(text.contains("4 spans (2 distinct), 1 events"), "{text}");
         assert!(text.contains("exec.cell"), "{text}");
         assert!(text.contains("<1µs:1"), "histogram bucket for the 900ns cell: {text}");
@@ -309,10 +487,56 @@ mod tests {
         assert!(text.contains("cell throughput: 2 cells in 1.50ms"), "{text}");
         assert!(text.contains("(1333 cells/s)"), "{text}");
         assert!(text.contains("exec.parallel.steals = 7"), "{text}");
+        // The percentile columns are in the top-spans table.
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p99"), "{text}");
         // Scenarios sort by duration, slowest first.
         let is = text.find("#1 xeon-max·is").unwrap();
         let mg = text.find("#0 xeon-max·mg").unwrap();
         assert!(is < mg, "{text}");
+    }
+
+    #[test]
+    fn parse_trace_computes_exact_percentiles() {
+        let trace: String = (1..=100)
+            .map(|i| span_line("exec.cell", None, i * 1_000))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let summary = parse_trace(&trace).unwrap();
+        let cell = &summary.spans["exec.cell"];
+        assert_eq!(cell.count, 100);
+        assert_eq!(cell.p50_ns, 50_000);
+        assert_eq!(cell.p95_ns, 95_000);
+        assert_eq!(cell.p99_ns, 99_000);
+        assert_eq!(cell.min_ns, 1_000);
+        assert_eq!(cell.max_ns, 100_000);
+    }
+
+    #[test]
+    fn json_summary_carries_the_same_content() {
+        let json = summarize_trace_json(&sample_trace()).unwrap();
+        let v: Value = serde_json::parse(&json).unwrap();
+        assert_eq!(v.get("span_lines").and_then(Value::as_u64), Some(4));
+        let cell = v.get("spans").and_then(|s| s.get("exec.cell")).unwrap();
+        assert_eq!(cell.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(cell.get("p50_ns").and_then(Value::as_u64), Some(900));
+        assert_eq!(cell.get("p99_ns").and_then(Value::as_u64), Some(1_500_000));
+        let flow = v.get("cache_flow").unwrap();
+        assert_eq!(flow.get("hits").and_then(Value::as_u64), Some(3));
+        assert_eq!(flow.get("hit_rate").and_then(Value::as_f64), Some(0.75));
+        let thru = v.get("cell_throughput").unwrap();
+        assert_eq!(thru.get("cells").and_then(Value::as_u64), Some(2));
+        let scenarios = v.get("scenarios").and_then(Value::as_array).unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(
+            scenarios[0].get("detail").and_then(Value::as_str),
+            Some("#1 xeon-max·is"),
+            "slowest first"
+        );
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("exec.parallel.steals")).and_then(Value::as_u64),
+            Some(7)
+        );
     }
 
     #[test]
@@ -325,6 +549,8 @@ mod tests {
         ] {
             let err = summarize_trace(doc).unwrap_err();
             assert!(err.contains(what), "{doc:?} → {err}");
+            let err = summarize_trace_json(doc).unwrap_err();
+            assert!(err.contains(what), "json path: {doc:?} → {err}");
         }
     }
 

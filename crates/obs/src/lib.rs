@@ -184,13 +184,60 @@ impl SpanAggregate {
     }
 }
 
+/// Exact per-span duration percentiles (nearest-rank over every
+/// recorded duration — not an approximation sketch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanPercentiles {
+    /// Median duration, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile duration, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile duration, nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl SpanPercentiles {
+    /// Nearest-rank percentiles of a non-empty duration sample
+    /// (`durations` need not be sorted; `None` for an empty sample).
+    pub fn of(durations: &[u64]) -> Option<SpanPercentiles> {
+        if durations.is_empty() {
+            return None;
+        }
+        let mut sorted = durations.to_vec();
+        sorted.sort_unstable();
+        Some(SpanPercentiles {
+            p50_ns: nearest_rank(&sorted, 50),
+            p95_ns: nearest_rank(&sorted, 95),
+            p99_ns: nearest_rank(&sorted, 99),
+        })
+    }
+}
+
+/// The nearest-rank percentile of a *sorted, non-empty* sample: the
+/// smallest value such that at least `pct`% of the sample is ≤ it.
+/// Exact by construction — `nearest_rank(&s, 50)` of a 2-element sample
+/// is `s[0]`, never an interpolated midpoint.
+pub fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
+    debug_assert!(!sorted.is_empty() && (1..=100).contains(&pct));
+    let rank = (pct * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
 /// Aggregates spans per name in memory — the backing store for the
-/// `--metrics` summary table. Counter/gauge values live in the global
+/// `--metrics` summary table. Every duration is retained, so the
+/// percentile view is exact. Counter/gauge values live in the global
 /// registry, so this collector only tracks spans and events.
 #[derive(Debug, Default)]
 pub struct MemoryCollector {
-    spans: Mutex<BTreeMap<String, SpanAggregate>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
     events: Mutex<Vec<EventRecord>>,
+}
+
+/// Per-name running aggregate plus the raw durations behind it.
+#[derive(Debug)]
+struct SpanStats {
+    agg: SpanAggregate,
+    durations: Vec<u64>,
 }
 
 impl MemoryCollector {
@@ -201,7 +248,21 @@ impl MemoryCollector {
 
     /// Per-name aggregates, sorted by name.
     pub fn span_aggregates(&self) -> Vec<(String, SpanAggregate)> {
-        self.spans.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.spans.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.agg)).collect()
+    }
+
+    /// Exact per-name duration percentiles (p50/p95/p99, nearest-rank),
+    /// sorted by name. Pairs index-for-index with [`span_aggregates`]
+    /// taken under the same collector.
+    ///
+    /// [`span_aggregates`]: MemoryCollector::span_aggregates
+    pub fn span_percentiles(&self) -> Vec<(String, SpanPercentiles)> {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|(k, v)| SpanPercentiles::of(&v.durations).map(|p| (k.clone(), p)))
+            .collect()
     }
 
     /// Every event seen, in arrival order.
@@ -213,10 +274,12 @@ impl MemoryCollector {
 impl Collector for MemoryCollector {
     fn span(&self, record: &SpanRecord) {
         let mut spans = self.spans.lock().unwrap();
-        spans
-            .entry(record.name.to_string())
-            .or_insert(SpanAggregate { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 })
-            .absorb(record.dur_ns);
+        let stats = spans.entry(record.name.to_string()).or_insert_with(|| SpanStats {
+            agg: SpanAggregate { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 },
+            durations: Vec::new(),
+        });
+        stats.agg.absorb(record.dur_ns);
+        stats.durations.push(record.dur_ns);
     }
 
     fn event(&self, record: &EventRecord) {
@@ -844,6 +907,41 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].level, Level::Info);
         assert_eq!(events[0].message, "hello");
+    }
+
+    #[test]
+    fn memory_collector_percentiles_are_exact() {
+        let _guard = exclusive();
+        reset();
+        let mem = Arc::new(MemoryCollector::new());
+        // Feed durations directly (synthetic records) so the expected
+        // percentiles are known exactly: 1..=100 µs.
+        for us in 1..=100u64 {
+            mem.span(&SpanRecord {
+                name: "test.pct",
+                detail: None,
+                id: us,
+                parent: None,
+                thread: 0,
+                start_us: 0,
+                dur_ns: us * 1_000,
+            });
+        }
+        let pcts = mem.span_percentiles();
+        let (_, p) = pcts.iter().find(|(n, _)| n == "test.pct").unwrap();
+        assert_eq!(p.p50_ns, 50_000);
+        assert_eq!(p.p95_ns, 95_000);
+        assert_eq!(p.p99_ns, 99_000);
+        // Percentile rows pair with aggregate rows name-for-name.
+        let aggs = mem.span_aggregates();
+        assert_eq!(
+            aggs.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            pcts.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+        // Nearest-rank is exact, never interpolated: p50 of [1, 3] is 1.
+        assert_eq!(SpanPercentiles::of(&[3, 1]).unwrap().p50_ns, 1);
+        assert_eq!(SpanPercentiles::of(&[]), None);
+        assert_eq!(nearest_rank(&[7], 99), 7);
     }
 
     #[test]

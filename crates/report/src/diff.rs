@@ -1,0 +1,477 @@
+//! The diff engine: what changed between two campaigns.
+//!
+//! [`diff`] matches two records' scenario snapshots by their stable
+//! keys and emits a typed [`DiffReport`]: per-scenario speedup ratios,
+//! placement flips (a group set or budgeted configuration that
+//! changed), Table-II band drift, cache-hit-rate and cells/sec trends,
+//! and bench-time deltas. The report serializes to JSON (`--json`) and
+//! renders human-readably; the gate consumes it typed.
+//!
+//! Every delta is a **head/base ratio**, so the diff is anti-symmetric
+//! by construction: `diff(b, a)` reports the exact reciprocal ratios of
+//! `diff(a, b)` (property-tested in `tests/properties.rs`). A ratio of
+//! `1.0` means bit-identical inputs — the simulator is deterministic,
+//! so same spec + same code ⇒ ratios of exactly 1.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use crate::record::CampaignRecord;
+
+/// Frozen Table-II speedup bands. The paper's Table II groups
+/// (machine, workload) pairs by how much HBM placement buys them; these
+/// edges discretize `max_speedup` into those qualitative bands so the
+/// diff can report *band drift* — a scenario whose story changed — on
+/// top of raw ratio noise. Frozen: changing an edge silently reclassifies
+/// every stored record, so treat this table like a file-format version.
+pub const TABLE2_BANDS: [(f64, &str); 5] = [
+    (1.1, "none (<1.1×)"),
+    (1.5, "mild (<1.5×)"),
+    (2.5, "moderate (<2.5×)"),
+    (4.0, "strong (<4×)"),
+    (f64::INFINITY, "extreme (≥4×)"),
+];
+
+/// The band a max-speedup falls into.
+pub fn table2_band(speedup: f64) -> &'static str {
+    for (edge, name) in TABLE2_BANDS {
+        if speedup < edge {
+            return name;
+        }
+    }
+    TABLE2_BANDS[TABLE2_BANDS.len() - 1].1
+}
+
+/// Identity of one side of a diff.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RecordId {
+    pub fingerprint: String,
+    pub label: String,
+    pub revision: u64,
+}
+
+impl RecordId {
+    pub fn of(record: &CampaignRecord) -> RecordId {
+        RecordId {
+            fingerprint: record.spec_fingerprint.clone(),
+            label: record.label.clone(),
+            revision: record.revision,
+        }
+    }
+}
+
+/// One matched scenario's speedup movement. Ratios are head/base:
+/// `< 1` is a regression, `> 1` an improvement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioDelta {
+    pub key: String,
+    pub base_max_speedup: f64,
+    pub head_max_speedup: f64,
+    pub max_speedup_ratio: f64,
+    pub base_budgeted_speedup: f64,
+    pub head_budgeted_speedup: f64,
+    pub budgeted_speedup_ratio: f64,
+}
+
+/// A scenario whose placement changed between revisions.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementFlip {
+    pub key: String,
+    /// Which placement flipped: `best_groups` (the unconstrained
+    /// optimum's HBM set) or `budgeted_config` (the budget-constrained
+    /// choice).
+    pub what: String,
+    pub base: String,
+    pub head: String,
+}
+
+/// A scenario whose Table-II band changed.
+#[derive(Debug, Clone, Serialize)]
+pub struct BandDrift {
+    pub key: String,
+    pub base_band: String,
+    pub head_band: String,
+    pub base_speedup: f64,
+    pub head_speedup: f64,
+}
+
+/// A whole-run statistic's movement (head/base).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct StatTrend {
+    pub base: f64,
+    pub head: f64,
+    pub ratio: f64,
+}
+
+fn trend(base: f64, head: f64) -> StatTrend {
+    let ratio = if base == 0.0 {
+        if head == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        head / base
+    };
+    StatTrend { base, head, ratio }
+}
+
+/// One matched benchmark's movement. `ratio` is head/base of the mean
+/// time, so here `> 1` is the regression direction.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchDelta {
+    pub bench: String,
+    pub base_mean_ns: u64,
+    pub head_mean_ns: u64,
+    pub ratio: f64,
+}
+
+/// Everything that changed between two campaign records.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiffReport {
+    pub base: RecordId,
+    pub head: RecordId,
+    /// Matched scenarios, in head order.
+    pub scenarios: Vec<ScenarioDelta>,
+    /// Scenario keys present only on one side — a shape change, not a
+    /// delta.
+    pub only_in_base: Vec<String>,
+    pub only_in_head: Vec<String>,
+    pub flips: Vec<PlacementFlip>,
+    pub band_drift: Vec<BandDrift>,
+    /// Cache hit-rate movement (report stats, falling back to trace
+    /// cache flow when only traces were ingested).
+    pub cache_hit_rate: Option<StatTrend>,
+    /// Cells/sec movement (report stats, falling back to `exec.cell`
+    /// trace throughput).
+    pub cells_per_s: Option<StatTrend>,
+    pub bench: Vec<BenchDelta>,
+    pub bench_only_in_base: Vec<String>,
+    pub bench_only_in_head: Vec<String>,
+}
+
+fn groups_label(groups: &[String]) -> String {
+    if groups.is_empty() {
+        "∅".to_string()
+    } else {
+        groups.join("+")
+    }
+}
+
+/// Compare two campaign records (see the module docs for the ratio
+/// conventions).
+pub fn diff(base: &CampaignRecord, head: &CampaignRecord) -> DiffReport {
+    let mut scenarios = Vec::new();
+    let mut flips = Vec::new();
+    let mut band_drift = Vec::new();
+    let mut only_in_head = Vec::new();
+
+    for h in &head.scenarios {
+        let Some(b) = base.scenarios.iter().find(|b| b.key == h.key) else {
+            only_in_head.push(h.key.clone());
+            continue;
+        };
+        scenarios.push(ScenarioDelta {
+            key: h.key.clone(),
+            base_max_speedup: b.max_speedup,
+            head_max_speedup: h.max_speedup,
+            max_speedup_ratio: h.max_speedup / b.max_speedup,
+            base_budgeted_speedup: b.budgeted_speedup,
+            head_budgeted_speedup: h.budgeted_speedup,
+            budgeted_speedup_ratio: h.budgeted_speedup / b.budgeted_speedup,
+        });
+        if b.best_groups != h.best_groups {
+            flips.push(PlacementFlip {
+                key: h.key.clone(),
+                what: "best_groups".to_string(),
+                base: groups_label(&b.best_groups),
+                head: groups_label(&h.best_groups),
+            });
+        }
+        if b.budgeted_config != h.budgeted_config {
+            flips.push(PlacementFlip {
+                key: h.key.clone(),
+                what: "budgeted_config".to_string(),
+                base: b.budgeted_config.clone(),
+                head: h.budgeted_config.clone(),
+            });
+        }
+        let (base_band, head_band) = (table2_band(b.max_speedup), table2_band(h.max_speedup));
+        if base_band != head_band {
+            band_drift.push(BandDrift {
+                key: h.key.clone(),
+                base_band: base_band.to_string(),
+                head_band: head_band.to_string(),
+                base_speedup: b.max_speedup,
+                head_speedup: h.max_speedup,
+            });
+        }
+    }
+    let only_in_base: Vec<String> = base
+        .scenarios
+        .iter()
+        .filter(|b| !head.scenarios.iter().any(|h| h.key == b.key))
+        .map(|b| b.key.clone())
+        .collect();
+
+    // Whole-run trends: report statistics when both sides have them,
+    // else the traces' view of the same quantity.
+    let cache_hit_rate = match (&base.stats, &head.stats) {
+        (Some(b), Some(h)) => Some(trend(b.cache_hit_rate, h.cache_hit_rate)),
+        _ => base
+            .trace
+            .and_then(|b| b.cache_hit_rate)
+            .zip(head.trace.and_then(|h| h.cache_hit_rate))
+            .map(|(b, h)| trend(b, h)),
+    };
+    let cells_per_s = match (&base.stats, &head.stats) {
+        (Some(b), Some(h)) if b.cells_per_s > 0.0 || h.cells_per_s > 0.0 => {
+            Some(trend(b.cells_per_s, h.cells_per_s))
+        }
+        _ => base
+            .trace
+            .and_then(|b| b.cells_per_s)
+            .zip(head.trace.and_then(|h| h.cells_per_s))
+            .map(|(b, h)| trend(b, h)),
+    };
+
+    let mut bench = Vec::new();
+    let mut bench_only_in_head = Vec::new();
+    for (name, h) in &head.benches {
+        match base.benches.get(name) {
+            Some(b) => bench.push(BenchDelta {
+                bench: name.clone(),
+                base_mean_ns: b.mean_ns,
+                head_mean_ns: h.mean_ns,
+                ratio: h.mean_ns as f64 / (b.mean_ns as f64).max(1.0),
+            }),
+            None => bench_only_in_head.push(name.clone()),
+        }
+    }
+    let bench_only_in_base: Vec<String> =
+        base.benches.keys().filter(|k| !head.benches.contains_key(*k)).cloned().collect();
+
+    DiffReport {
+        base: RecordId::of(base),
+        head: RecordId::of(head),
+        scenarios,
+        only_in_base,
+        only_in_head,
+        flips,
+        band_drift,
+        cache_hit_rate,
+        cells_per_s,
+        bench,
+        bench_only_in_base,
+        bench_only_in_head,
+    }
+}
+
+impl DiffReport {
+    /// No movement at all: every ratio is exactly 1, no flips, no
+    /// drift, no shape change. `diff(a, a)` is clean by construction.
+    pub fn is_clean(&self) -> bool {
+        self.flips.is_empty()
+            && self.band_drift.is_empty()
+            && self.only_in_base.is_empty()
+            && self.only_in_head.is_empty()
+            && self.bench_only_in_base.is_empty()
+            && self.bench_only_in_head.is_empty()
+            && self
+                .scenarios
+                .iter()
+                .all(|s| s.max_speedup_ratio == 1.0 && s.budgeted_speedup_ratio == 1.0)
+            && self.bench.iter().all(|b| b.base_mean_ns == b.head_mean_ns)
+            && self.cache_hit_rate.is_none_or(|t| t.base == t.head)
+            && self.cells_per_s.is_none_or(|t| t.base == t.head)
+    }
+
+    /// The machine-readable form (`report diff --json`).
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("a DiffReport always serializes: {e}"))
+    }
+
+    /// The human rendering (the default body of `report diff`).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "diff: {}@{} → {}@{}  ({} scenario(s) matched)",
+            self.base.label,
+            self.base.revision,
+            self.head.label,
+            self.head.revision,
+            self.scenarios.len()
+        );
+        if self.is_clean() {
+            let _ = writeln!(out, "  clean — no movement");
+            return out;
+        }
+
+        let pct = |ratio: f64| format!("{:+.2}%", (ratio - 1.0) * 100.0);
+        let moved: Vec<&ScenarioDelta> = self
+            .scenarios
+            .iter()
+            .filter(|s| s.max_speedup_ratio != 1.0 || s.budgeted_speedup_ratio != 1.0)
+            .collect();
+        if !moved.is_empty() {
+            let _ = writeln!(out, "\nscenario speedup deltas ({} moved):", moved.len());
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>10} {:>10} {:>9} {:>9}",
+                "scenario", "base", "head", "max", "budgeted"
+            );
+            for s in moved {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>9.3}× {:>9.3}× {:>9} {:>9}",
+                    s.key,
+                    s.base_max_speedup,
+                    s.head_max_speedup,
+                    pct(s.max_speedup_ratio),
+                    pct(s.budgeted_speedup_ratio)
+                );
+            }
+        }
+        if !self.flips.is_empty() {
+            let _ = writeln!(out, "\nplacement flips ({}):", self.flips.len());
+            for f in &self.flips {
+                let _ = writeln!(out, "  {:<44} {}: {} → {}", f.key, f.what, f.base, f.head);
+            }
+        }
+        if !self.band_drift.is_empty() {
+            let _ = writeln!(out, "\nTable-II band drift ({}):", self.band_drift.len());
+            for d in &self.band_drift {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {} ({:.2}×) → {} ({:.2}×)",
+                    d.key, d.base_band, d.base_speedup, d.head_band, d.head_speedup
+                );
+            }
+        }
+        for (name, keys) in
+            [("only in base", &self.only_in_base), ("only in head", &self.only_in_head)]
+        {
+            if !keys.is_empty() {
+                let _ = writeln!(out, "\nscenarios {name} ({}):", keys.len());
+                for k in keys {
+                    let _ = writeln!(out, "  {k}");
+                }
+            }
+        }
+        if let Some(t) = self.cache_hit_rate {
+            let _ = writeln!(
+                out,
+                "\ncache hit-rate: {:.1}% → {:.1}% ({})",
+                100.0 * t.base,
+                100.0 * t.head,
+                pct(t.ratio)
+            );
+        }
+        if let Some(t) = self.cells_per_s {
+            let _ = writeln!(out, "cells/sec: {:.0} → {:.0} ({})", t.base, t.head, pct(t.ratio));
+        }
+        let bench_moved: Vec<&BenchDelta> =
+            self.bench.iter().filter(|b| b.base_mean_ns != b.head_mean_ns).collect();
+        if !bench_moved.is_empty() {
+            let _ = writeln!(out, "\nbench deltas ({} moved):", bench_moved.len());
+            for b in bench_moved {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>12} → {:>12}  ({})",
+                    b.bench,
+                    format!("{}ns", b.base_mean_ns),
+                    format!("{}ns", b.head_mean_ns),
+                    pct(b.ratio)
+                );
+            }
+        }
+        for (name, keys) in [
+            ("benches only in base", &self.bench_only_in_base),
+            ("benches only in head", &self.bench_only_in_head),
+        ] {
+            if !keys.is_empty() {
+                let _ = writeln!(out, "\n{name}: {}", keys.join(", "));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ScenarioSnapshot;
+
+    fn snap(key: &str, speedup: f64, groups: &[&str], config: &str) -> ScenarioSnapshot {
+        ScenarioSnapshot {
+            key: key.to_string(),
+            machine: "m".into(),
+            workload: "w".into(),
+            max_speedup: speedup,
+            hbm_only_speedup: speedup * 0.9,
+            usage_90_pct: 0.5,
+            best_groups: groups.iter().map(|s| s.to_string()).collect(),
+            budgeted_config: config.to_string(),
+            budgeted_speedup: speedup * 0.95,
+        }
+    }
+
+    fn rec(snaps: Vec<ScenarioSnapshot>) -> CampaignRecord {
+        let mut r = CampaignRecord::new("t");
+        r.scenarios = snaps;
+        r
+    }
+
+    #[test]
+    fn bands_are_frozen() {
+        assert_eq!(table2_band(1.0), "none (<1.1×)");
+        assert_eq!(table2_band(1.3), "mild (<1.5×)");
+        assert_eq!(table2_band(2.0), "moderate (<2.5×)");
+        assert_eq!(table2_band(3.0), "strong (<4×)");
+        assert_eq!(table2_band(7.0), "extreme (≥4×)");
+    }
+
+    #[test]
+    fn diff_detects_regressions_flips_and_drift() {
+        let base = rec(vec![
+            snap("a", 2.0, &["grid"], "grid"),
+            snap("b", 3.0, &["grid", "halo"], "grid+halo"),
+            snap("gone", 1.2, &[], ""),
+        ]);
+        let head = rec(vec![
+            snap("a", 1.4, &["grid"], "grid"),      // regression + band drift
+            snap("b", 3.0, &["halo"], "grid+halo"), // placement flip only
+            snap("new", 1.2, &[], ""),
+        ]);
+        let d = diff(&base, &head);
+        assert!(!d.is_clean());
+        assert_eq!(d.scenarios.len(), 2);
+        let a = d.scenarios.iter().find(|s| s.key == "a").unwrap();
+        assert!((a.max_speedup_ratio - 0.7).abs() < 1e-12);
+        assert_eq!(d.flips.len(), 1);
+        assert_eq!(d.flips[0].base, "grid+halo");
+        assert_eq!(d.flips[0].head, "halo");
+        assert_eq!(d.band_drift.len(), 1);
+        assert_eq!(d.band_drift[0].base_band, "moderate (<2.5×)");
+        assert_eq!(d.band_drift[0].head_band, "mild (<1.5×)");
+        assert_eq!(d.only_in_base, vec!["gone".to_string()]);
+        assert_eq!(d.only_in_head, vec!["new".to_string()]);
+
+        let text = d.render_human();
+        assert!(text.contains("placement flips (1):"), "{text}");
+        assert!(text.contains("-30.00%"), "{text}");
+        let json: serde::Value = serde_json::parse(&d.to_json_string()).unwrap();
+        assert_eq!(json.get("flips").and_then(serde::Value::as_array).map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let r = rec(vec![snap("a", 2.0, &["grid"], "grid")]);
+        let d = diff(&r, &r);
+        assert!(d.is_clean());
+        assert!(d.render_human().contains("clean — no movement"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The regression gate: a [`DiffReport`] plus thresholds → pass/fail.
+//!
+//! The gate is what CI runs against the pinned baseline. It fails on:
+//!
+//! * a matched scenario whose max or budgeted speedup dropped by more
+//!   than `max_regression`,
+//! * any placement flip whose scenario key is not allowlisted,
+//! * a scenario present in the baseline but missing from head (a shape
+//!   change is never a silent pass),
+//! * a bench whose mean time grew by more than `max_bench_regression`
+//!   (only when that threshold is set — bench wall-times are
+//!   runner-dependent, so CI gates scenarios bit-deterministically and
+//!   leaves bench gating to like-for-like environments),
+//! * a cells/sec drop beyond `max_throughput_drop` (same opt-in).
+//!
+//! Simulated speedups are bit-deterministic, so against a baseline
+//! produced by the same spec the scenario checks hold even at
+//! `max_regression = 0`.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use crate::diff::DiffReport;
+
+/// What the gate tolerates. All regressions are fractions: `0.02`
+/// allows a 2% drop (or growth, for bench times).
+#[derive(Debug, Clone, Serialize)]
+pub struct Thresholds {
+    /// Maximum tolerated per-scenario speedup drop (max and budgeted).
+    pub max_regression: f64,
+    /// Maximum tolerated bench mean-time growth; `None` disables bench
+    /// gating.
+    pub max_bench_regression: Option<f64>,
+    /// Maximum tolerated cells/sec drop; `None` disables throughput
+    /// gating.
+    pub max_throughput_drop: Option<f64>,
+    /// Scenario keys whose placement flips are intentional (re-pinned
+    /// after review).
+    pub allowed_flips: Vec<String>,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            max_regression: 0.0,
+            max_bench_regression: None,
+            max_throughput_drop: None,
+            allowed_flips: Vec::new(),
+        }
+    }
+}
+
+/// One reason the gate failed.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// `scenario-regression`, `placement-flip`, `scenario-missing`,
+    /// `bench-regression`, or `throughput-drop`.
+    pub kind: String,
+    /// The scenario key, bench label, or statistic that violated.
+    pub subject: String,
+    pub detail: String,
+}
+
+/// The gate's verdict, JSON-serializable for CI artifacts.
+#[derive(Debug, Clone, Serialize)]
+pub struct GateReport {
+    pub passed: bool,
+    pub violations: Vec<Violation>,
+    pub checked_scenarios: usize,
+    pub checked_benches: usize,
+}
+
+/// Run `diff` through `thresholds` (see the module docs for the rules).
+pub fn gate(diff: &DiffReport, thresholds: &Thresholds) -> GateReport {
+    let mut violations = Vec::new();
+    let floor = 1.0 - thresholds.max_regression;
+
+    for s in &diff.scenarios {
+        for (what, ratio) in
+            [("max_speedup", s.max_speedup_ratio), ("budgeted_speedup", s.budgeted_speedup_ratio)]
+        {
+            if ratio < floor {
+                violations.push(Violation {
+                    kind: "scenario-regression".to_string(),
+                    subject: s.key.clone(),
+                    detail: format!(
+                        "{what} dropped {:.2}% (limit {:.2}%)",
+                        (1.0 - ratio) * 100.0,
+                        thresholds.max_regression * 100.0
+                    ),
+                });
+            }
+        }
+    }
+    for f in &diff.flips {
+        if !thresholds.allowed_flips.iter().any(|k| k == &f.key) {
+            violations.push(Violation {
+                kind: "placement-flip".to_string(),
+                subject: f.key.clone(),
+                detail: format!("{}: {} → {} (not allowlisted)", f.what, f.base, f.head),
+            });
+        }
+    }
+    for key in &diff.only_in_base {
+        violations.push(Violation {
+            kind: "scenario-missing".to_string(),
+            subject: key.clone(),
+            detail: "present in base, missing from head".to_string(),
+        });
+    }
+    if let Some(limit) = thresholds.max_bench_regression {
+        for b in &diff.bench {
+            if b.ratio > 1.0 + limit {
+                violations.push(Violation {
+                    kind: "bench-regression".to_string(),
+                    subject: b.bench.clone(),
+                    detail: format!(
+                        "mean time grew {:.2}% ({}ns → {}ns, limit {:.2}%)",
+                        (b.ratio - 1.0) * 100.0,
+                        b.base_mean_ns,
+                        b.head_mean_ns,
+                        limit * 100.0
+                    ),
+                });
+            }
+        }
+    }
+    if let (Some(limit), Some(t)) = (thresholds.max_throughput_drop, diff.cells_per_s) {
+        if t.ratio < 1.0 - limit {
+            violations.push(Violation {
+                kind: "throughput-drop".to_string(),
+                subject: "cells_per_s".to_string(),
+                detail: format!(
+                    "dropped {:.2}% ({:.0} → {:.0} cells/s, limit {:.2}%)",
+                    (1.0 - t.ratio) * 100.0,
+                    t.base,
+                    t.head,
+                    limit * 100.0
+                ),
+            });
+        }
+    }
+
+    GateReport {
+        passed: violations.is_empty(),
+        violations,
+        checked_scenarios: diff.scenarios.len(),
+        checked_benches: if thresholds.max_bench_regression.is_some() {
+            diff.bench.len()
+        } else {
+            0
+        },
+    }
+}
+
+impl GateReport {
+    /// The machine-readable form (`report gate --json`).
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("a GateReport always serializes: {e}"))
+    }
+
+    /// The human rendering (the default body of `report gate`).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if self.passed {
+            let _ = writeln!(
+                out,
+                "gate: PASS ({} scenario(s), {} bench(es) checked)",
+                self.checked_scenarios, self.checked_benches
+            );
+        } else {
+            let _ = writeln!(out, "gate: FAIL — {} violation(s):", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(out, "  [{}] {}: {}", v.kind, v.subject, v.detail);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff;
+    use crate::record::{CampaignRecord, ScenarioSnapshot};
+
+    fn rec(speedup: f64, groups: &[&str]) -> CampaignRecord {
+        let mut r = CampaignRecord::new("t");
+        r.scenarios.push(ScenarioSnapshot {
+            key: "m·w".into(),
+            machine: "m".into(),
+            workload: "w".into(),
+            max_speedup: speedup,
+            hbm_only_speedup: speedup,
+            usage_90_pct: 0.5,
+            best_groups: groups.iter().map(|s| s.to_string()).collect(),
+            budgeted_config: "c".into(),
+            budgeted_speedup: speedup,
+        });
+        r
+    }
+
+    #[test]
+    fn identical_records_pass_at_zero_tolerance() {
+        let r = rec(2.0, &["grid"]);
+        let g = gate(&diff(&r, &r), &Thresholds::default());
+        assert!(g.passed, "{:?}", g.violations);
+        assert!(g.render_human().contains("gate: PASS"));
+    }
+
+    #[test]
+    fn regressions_and_flips_fail_unless_allowlisted() {
+        let base = rec(2.0, &["grid"]);
+        let head = rec(1.8, &["halo"]);
+        let d = diff(&base, &head);
+        let g = gate(&d, &Thresholds { max_regression: 0.05, ..Thresholds::default() });
+        assert!(!g.passed);
+        let kinds: Vec<&str> = g.violations.iter().map(|v| v.kind.as_str()).collect();
+        assert!(kinds.contains(&"scenario-regression"), "{kinds:?}");
+        assert!(kinds.contains(&"placement-flip"), "{kinds:?}");
+
+        // A 10% drop passes a 15% threshold; the flip still fails until
+        // allowlisted.
+        let lax = Thresholds { max_regression: 0.15, ..Thresholds::default() };
+        let g = gate(&d, &lax);
+        assert!(g.violations.iter().all(|v| v.kind == "placement-flip"), "{:?}", g.violations);
+        let allowed = Thresholds { allowed_flips: vec!["m·w".to_string()], ..lax };
+        assert!(gate(&d, &allowed).passed);
+    }
+
+    #[test]
+    fn bench_and_throughput_gating_are_opt_in() {
+        let mut base = rec(2.0, &[]);
+        let mut head = rec(2.0, &[]);
+        base.absorb_bench_jsonl("{\"bench\":\"wall\",\"mean_ns\":100,\"samples\":1}").unwrap();
+        head.absorb_bench_jsonl("{\"bench\":\"wall\",\"mean_ns\":150,\"samples\":1}").unwrap();
+        base.stats = Some(crate::record::RunStats {
+            cache_hit_rate: 0.9,
+            cells_per_s: 1000.0,
+            wall_s: 1.0,
+            planned_cells: 10,
+            executed_cells: 10,
+        });
+        head.stats = Some(crate::record::RunStats {
+            cache_hit_rate: 0.9,
+            cells_per_s: 400.0,
+            wall_s: 1.0,
+            planned_cells: 10,
+            executed_cells: 10,
+        });
+        let d = diff(&base, &head);
+        // Off by default.
+        assert!(gate(&d, &Thresholds::default()).passed);
+        // On, both fire.
+        let strict = Thresholds {
+            max_bench_regression: Some(0.10),
+            max_throughput_drop: Some(0.25),
+            ..Thresholds::default()
+        };
+        let g = gate(&d, &strict);
+        let kinds: Vec<&str> = g.violations.iter().map(|v| v.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["bench-regression", "throughput-drop"]);
+        assert_eq!(g.checked_benches, 1);
+    }
+
+    #[test]
+    fn missing_scenarios_never_pass_silently() {
+        let base = rec(2.0, &[]);
+        let head = CampaignRecord::new("t");
+        let g = gate(&diff(&base, &head), &Thresholds::default());
+        assert!(!g.passed);
+        assert_eq!(g.violations[0].kind, "scenario-missing");
+    }
+}

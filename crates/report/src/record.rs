@@ -1,0 +1,388 @@
+//! The unit of the warehouse: one campaign's results, normalized.
+//!
+//! Every producer in the stack emits a different artifact — a
+//! [`MatrixReport`] from spec/matrix runs, a batch report from
+//! `hmpt-fleet --json`, criterion-schema `BENCH_*.json` JSONL from the
+//! benchmark suite and CI timing steps, and trace JSONL from
+//! `--trace-file`. A [`CampaignRecord`] folds any combination of them
+//! into one typed row keyed by (`spec_fingerprint`, `label`,
+//! `revision`), so the diff engine and the trend view never care which
+//! entry point produced the numbers.
+//!
+//! ## The frozen `BENCH_*.json` schema
+//!
+//! Bench ingestion parses the vendored criterion's `BENCH_JSON` JSONL
+//! schema, one object per line:
+//!
+//! ```text
+//! {"bench":"<label>","mean_ns":<u64>,"samples":<u64>}
+//! ```
+//!
+//! with optional `"throughput_bytes"` / `"throughput_elements"` keys
+//! (tolerated, not stored). `hmpt_fleet::telemetry::bench_jsonl` emits
+//! the same schema. This shape is pinned by a golden-file test in
+//! `tests/golden_bench.rs`; changing either writer is a schema break
+//! and must bump [`RECORD_SCHEMA`].
+
+use std::collections::BTreeMap;
+
+use hmpt_core::scenario::{MatrixReport, ScenarioRow};
+use hmpt_fleet::telemetry::parse_trace;
+use serde::{Deserialize, Serialize, Value};
+
+/// Schema tag written into every record file; readers reject records
+/// written under a different schema rather than misinterpreting them.
+pub const RECORD_SCHEMA: &str = "hmpt.campaign-record.v1";
+
+/// The fingerprint used when a source artifact carries none (pre-stamp
+/// report files, hand-assembled reports).
+pub const UNKNOWN_FINGERPRINT: &str = "unknown";
+
+/// One scenario's results, reduced to what cross-campaign comparison
+/// needs. `key` is a stable identity across revisions of the same
+/// campaign — two records' snapshots are matched by it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSnapshot {
+    /// Stable identity: machine · workload (· noise/reps/budget for
+    /// matrix rows).
+    pub key: String,
+    pub machine: String,
+    pub workload: String,
+    pub max_speedup: f64,
+    pub hbm_only_speedup: f64,
+    pub usage_90_pct: f64,
+    /// Groups the unconstrained optimum keeps in HBM (empty on batch
+    /// reports, which carry no placement detail).
+    pub best_groups: Vec<String>,
+    /// Label of the budget-constrained placement (empty on batch
+    /// reports; for an unconstrained batch run the budgeted optimum
+    /// *is* the unconstrained one).
+    pub budgeted_config: String,
+    pub budgeted_speedup: f64,
+}
+
+/// Whole-run execution statistics, normalized across producers.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Fraction of cell lookups answered from the cache, `0..=1`.
+    pub cache_hit_rate: f64,
+    /// Executed cells per wall-clock second (`0` when the producer ran
+    /// too fast to time).
+    pub cells_per_s: f64,
+    pub wall_s: f64,
+    pub planned_cells: u64,
+    pub executed_cells: u64,
+}
+
+/// One benchmark's measurement (the `BENCH_*.json` line, minus the
+/// label that keys it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchPoint {
+    pub mean_ns: u64,
+    pub samples: u64,
+}
+
+/// What a trace contributes: kernel-level throughput and latency that
+/// report-level statistics cannot see. All fields optional — a trace
+/// without `exec.cell` spans still ingests.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub cells: Option<u64>,
+    /// `exec.cell` throughput summed across worker threads.
+    pub cells_per_s: Option<f64>,
+    pub cache_hit_rate: Option<f64>,
+    pub exec_cell_p50_ns: Option<u64>,
+    pub exec_cell_p95_ns: Option<u64>,
+    pub exec_cell_p99_ns: Option<u64>,
+}
+
+/// One campaign's results, normalized — the unit the warehouse stores,
+/// diffs, gates, and trends.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignRecord {
+    /// Always [`RECORD_SCHEMA`]; readers reject anything else.
+    pub schema: String,
+    /// Content fingerprint of the producing campaign spec
+    /// ([`UNKNOWN_FINGERPRINT`] when the source carries none).
+    pub spec_fingerprint: String,
+    /// Human series name, e.g. `zoo` or `coldpath` — the axis trends
+    /// run along.
+    pub label: String,
+    /// Monotonic revision within (`spec_fingerprint`, `label`); `0`
+    /// means "unassigned" and the warehouse stamps the next free one
+    /// on ingest.
+    pub revision: u64,
+    pub scenarios: Vec<ScenarioSnapshot>,
+    pub stats: Option<RunStats>,
+    /// Bench label → measurement, merged from any number of
+    /// `BENCH_*.json` files.
+    pub benches: BTreeMap<String, BenchPoint>,
+    pub trace: Option<TraceStats>,
+}
+
+fn budget_label(bytes: Option<u64>) -> String {
+    match bytes {
+        Some(b) => format!("{b}B"),
+        None => "none".to_string(),
+    }
+}
+
+fn snapshot_of_row(row: &ScenarioRow) -> ScenarioSnapshot {
+    ScenarioSnapshot {
+        key: format!(
+            "{}·{} cv={} reps={} budget={}",
+            row.machine,
+            row.workload,
+            row.noise_cv,
+            row.rep_policy,
+            budget_label(row.budget_bytes)
+        ),
+        machine: row.machine.clone(),
+        workload: row.workload.clone(),
+        max_speedup: row.max_speedup,
+        hbm_only_speedup: row.hbm_only_speedup,
+        usage_90_pct: row.usage_90_pct,
+        best_groups: row.best_groups.clone(),
+        budgeted_config: row.budgeted.config.clone(),
+        budgeted_speedup: row.budgeted.speedup,
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn get_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+fn get_str<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
+    v.get(key).and_then(Value::as_str)
+}
+
+impl CampaignRecord {
+    /// An empty record — the accumulator the `with_*` / `add_*`
+    /// ingestion methods fill.
+    pub fn new(label: &str) -> CampaignRecord {
+        CampaignRecord {
+            schema: RECORD_SCHEMA.to_string(),
+            spec_fingerprint: UNKNOWN_FINGERPRINT.to_string(),
+            label: label.to_string(),
+            revision: 0,
+            scenarios: Vec::new(),
+            stats: None,
+            benches: BTreeMap::new(),
+            trace: None,
+        }
+    }
+
+    /// Fold a [`MatrixReport`] in: one snapshot per scenario row, plus
+    /// run statistics and the spec fingerprint when stamped.
+    pub fn absorb_matrix(&mut self, report: &MatrixReport) {
+        if let Some(fp) = &report.spec_fingerprint {
+            self.spec_fingerprint = fp.clone();
+        }
+        self.scenarios.extend(report.scenarios.iter().map(snapshot_of_row));
+        let s = &report.stats;
+        self.stats = Some(RunStats {
+            cache_hit_rate: s.cache.hit_rate(),
+            cells_per_s: if s.wall_s > 0.0 { s.executed_cells as f64 / s.wall_s } else { 0.0 },
+            wall_s: s.wall_s,
+            planned_cells: s.planned_cells,
+            executed_cells: s.executed_cells,
+        });
+    }
+
+    /// Fold a batch report (`hmpt-fleet --json` output) in. Batch jobs
+    /// carry no placement or budget detail, so their snapshots key on
+    /// machine · workload only, with empty placement fields.
+    pub fn absorb_batch(&mut self, batch: &Value) -> Result<(), String> {
+        let machine = get_str(batch, "machine").ok_or("batch report: missing `machine`")?;
+        if let Some(fp) = get_str(batch, "spec_fingerprint") {
+            self.spec_fingerprint = fp.to_string();
+        }
+        let jobs = batch
+            .get("jobs")
+            .and_then(Value::as_array)
+            .ok_or("batch report: missing `jobs` array")?;
+        for (i, job) in jobs.iter().enumerate() {
+            let field = |k: &str| {
+                get_f64(job, k).ok_or_else(|| format!("batch report job {i}: missing `{k}`"))
+            };
+            let workload =
+                get_str(job, "workload").ok_or_else(|| format!("job {i}: missing `workload`"))?;
+            let max_speedup = field("max_speedup")?;
+            self.scenarios.push(ScenarioSnapshot {
+                key: format!("{machine}·{workload}"),
+                machine: machine.to_string(),
+                workload: workload.to_string(),
+                max_speedup,
+                hbm_only_speedup: field("hbm_only_speedup")?,
+                usage_90_pct: field("usage_90_pct")?,
+                best_groups: Vec::new(),
+                budgeted_config: String::new(),
+                // An unconstrained batch run's budgeted optimum is the
+                // unconstrained one.
+                budgeted_speedup: max_speedup,
+            });
+        }
+        self.stats = Some(RunStats {
+            cache_hit_rate: get_f64(batch, "cache_hit_rate").unwrap_or(0.0),
+            cells_per_s: get_f64(batch, "cells_per_s").unwrap_or(0.0),
+            wall_s: get_f64(batch, "total_wall_s").unwrap_or(0.0),
+            planned_cells: get_u64(batch, "planned_cells").unwrap_or(0),
+            executed_cells: get_u64(batch, "executed_cells").unwrap_or(0),
+        });
+        Ok(())
+    }
+
+    /// Fold a `BENCH_*.json` document in (see the module docs for the
+    /// frozen schema). Accepts both shapes the toolchain produces: raw
+    /// JSONL (one object per line, as `--bench-out` and the criterion
+    /// `BENCH_JSON` hook write) and a top-level JSON array of the same
+    /// objects (as CI's `jq -s` slurp produces). Returns how many bench
+    /// entries were absorbed; a malformed one is a hard error naming it.
+    pub fn absorb_bench_jsonl(&mut self, text: &str) -> Result<usize, String> {
+        if text.trim_start().starts_with('[') {
+            let v: Value =
+                serde_json::parse(text).map_err(|e| format!("bench array: not valid JSON: {e}"))?;
+            let items = v.as_array().ok_or_else(|| "bench array: not a JSON array".to_string())?;
+            for (i, item) in items.iter().enumerate() {
+                self.absorb_bench_value(item, i + 1)?;
+            }
+            return Ok(items.len());
+        }
+        let mut absorbed = 0;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: Value = serde_json::parse(line)
+                .map_err(|e| format!("bench line {}: not valid JSON: {e}", i + 1))?;
+            self.absorb_bench_value(&v, i + 1)?;
+            absorbed += 1;
+        }
+        Ok(absorbed)
+    }
+
+    fn absorb_bench_value(&mut self, v: &Value, line: usize) -> Result<(), String> {
+        let bench =
+            get_str(v, "bench").ok_or_else(|| format!("bench line {line}: missing `bench`"))?;
+        let mean_ns =
+            get_u64(v, "mean_ns").ok_or_else(|| format!("bench line {line}: missing `mean_ns`"))?;
+        let samples =
+            get_u64(v, "samples").ok_or_else(|| format!("bench line {line}: missing `samples`"))?;
+        self.benches.insert(bench.to_string(), BenchPoint { mean_ns, samples });
+        Ok(())
+    }
+
+    /// Fold a trace JSONL document in through the fleet's trace parser:
+    /// `exec.cell` throughput and exact percentiles, plus the
+    /// cache-flow hit rate.
+    pub fn absorb_trace(&mut self, text: &str) -> Result<(), String> {
+        let summary = parse_trace(text)?;
+        let throughput = summary.cell_throughput();
+        let cell = summary.spans.get("exec.cell");
+        self.trace = Some(TraceStats {
+            cells: throughput.map(|t| t.cells),
+            cells_per_s: throughput.map(|t| t.cells_per_s),
+            cache_hit_rate: summary.cache_flow().map(|c| c.hit_rate),
+            exec_cell_p50_ns: cell.map(|s| s.p50_ns),
+            exec_cell_p95_ns: cell.map(|s| s.p95_ns),
+            exec_cell_p99_ns: cell.map(|s| s.p99_ns),
+        });
+        Ok(())
+    }
+
+    /// Parse an artifact by shape — a record file round-trips, a matrix
+    /// report or batch report is absorbed into a fresh record. This is
+    /// what lets `report diff A B` take any two artifact files.
+    pub fn from_artifact_text(text: &str, label: &str) -> Result<CampaignRecord, String> {
+        let v: Value = serde_json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+        match get_str(&v, "schema") {
+            Some(RECORD_SCHEMA) => {
+                return serde_json::from_str::<CampaignRecord>(text)
+                    .map_err(|e| format!("malformed campaign record: {e}"));
+            }
+            Some(other) => return Err(format!("unknown record schema `{other}`")),
+            None => {}
+        }
+        let mut record = CampaignRecord::new(label);
+        if v.get("jobs").is_some() {
+            record.absorb_batch(&v)?;
+        } else if v.get("scenarios").is_some() && v.get("stats").is_some() {
+            let report: MatrixReport =
+                serde_json::from_str(text).map_err(|e| format!("malformed matrix report: {e}"))?;
+            record.absorb_matrix(&report);
+        } else {
+            return Err(
+                "unrecognized artifact: expected a campaign record, matrix report, or batch report"
+                    .to_string(),
+            );
+        }
+        Ok(record)
+    }
+
+    /// The record's serialized form (pretty JSON — record files are
+    /// checked into `baselines/` and reviewed in diffs).
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("a CampaignRecord always serializes: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_jsonl_ingests_and_merges_by_label() {
+        let mut r = CampaignRecord::new("t");
+        let n = r
+            .absorb_bench_jsonl(
+                "{\"bench\":\"a\",\"mean_ns\":10,\"samples\":2}\n\
+                 {\"bench\":\"b\",\"mean_ns\":20,\"samples\":1,\"throughput_elements\":480}\n",
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        // A later file overrides the same label (last write wins).
+        r.absorb_bench_jsonl("{\"bench\":\"a\",\"mean_ns\":12,\"samples\":2}").unwrap();
+        assert_eq!(r.benches["a"], BenchPoint { mean_ns: 12, samples: 2 });
+        assert_eq!(r.benches["b"].mean_ns, 20);
+        let err = r.absorb_bench_jsonl("{\"bench\":\"c\"}").unwrap_err();
+        assert!(err.contains("mean_ns"), "{err}");
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        let mut r = CampaignRecord::new("zoo");
+        r.spec_fingerprint = "abcd1234".into();
+        r.revision = 3;
+        r.scenarios.push(ScenarioSnapshot {
+            key: "m·w cv=0 reps=fixed×3 budget=none".into(),
+            machine: "m".into(),
+            workload: "w".into(),
+            max_speedup: 2.5,
+            hbm_only_speedup: 2.1,
+            usage_90_pct: 0.4,
+            best_groups: vec!["grid".into(), "halo".into()],
+            budgeted_config: "grid+halo".into(),
+            budgeted_speedup: 2.5,
+        });
+        r.absorb_bench_jsonl("{\"bench\":\"wall\",\"mean_ns\":5,\"samples\":1}").unwrap();
+        let text = r.to_json_string();
+        let back = CampaignRecord::from_artifact_text(&text, "ignored").unwrap();
+        assert_eq!(back.label, "zoo");
+        assert_eq!(back.revision, 3);
+        assert_eq!(back.scenarios, r.scenarios);
+        assert_eq!(back.benches, r.benches);
+    }
+
+    #[test]
+    fn unknown_schema_and_shape_are_rejected() {
+        let err = CampaignRecord::from_artifact_text("{\"schema\":\"wibble\"}", "t").unwrap_err();
+        assert!(err.contains("wibble"), "{err}");
+        let err = CampaignRecord::from_artifact_text("{\"x\":1}", "t").unwrap_err();
+        assert!(err.contains("unrecognized artifact"), "{err}");
+    }
+}

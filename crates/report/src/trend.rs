@@ -1,0 +1,191 @@
+//! The trend view: one series' trajectory across revisions.
+//!
+//! Where [`crate::diff()`] compares two records, [`trend()`] lines up every
+//! revision of each (`spec_fingerprint`, `label`) series and reduces
+//! each record to a handful of trajectory numbers — geometric-mean
+//! speedup, cache hit rate, cells/sec, bench means — so a glance at
+//! `report trend` (or the JSON artifact CI uploads) shows whether the
+//! repo's own performance story is drifting.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use crate::record::CampaignRecord;
+
+/// One revision's reduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrendPoint {
+    pub revision: u64,
+    pub scenarios: usize,
+    /// Geometric mean of per-scenario max speedups (speedups compose
+    /// multiplicatively, so the geometric mean is the honest summary).
+    pub geomean_max_speedup: f64,
+    pub cache_hit_rate: Option<f64>,
+    pub cells_per_s: Option<f64>,
+    /// Bench label → mean ns at this revision.
+    pub benches: BTreeMap<String, u64>,
+}
+
+/// One (`spec_fingerprint`, `label`) series, revisions ascending.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrendSeries {
+    pub fingerprint: String,
+    pub label: String,
+    pub points: Vec<TrendPoint>,
+}
+
+/// The whole warehouse's trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrendView {
+    pub series: Vec<TrendSeries>,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0u32);
+    for v in values {
+        if v > 0.0 {
+            sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+fn point_of(record: &CampaignRecord) -> TrendPoint {
+    TrendPoint {
+        revision: record.revision,
+        scenarios: record.scenarios.len(),
+        geomean_max_speedup: geomean(record.scenarios.iter().map(|s| s.max_speedup)),
+        cache_hit_rate: record
+            .stats
+            .map(|s| s.cache_hit_rate)
+            .or_else(|| record.trace.and_then(|t| t.cache_hit_rate)),
+        cells_per_s: record
+            .stats
+            .map(|s| s.cells_per_s)
+            .filter(|c| *c > 0.0)
+            .or_else(|| record.trace.and_then(|t| t.cells_per_s)),
+        benches: record.benches.iter().map(|(k, v)| (k.clone(), v.mean_ns)).collect(),
+    }
+}
+
+/// Group records into series and reduce each revision (input order
+/// does not matter; points sort by revision).
+pub fn trend(records: &[CampaignRecord]) -> TrendView {
+    let mut by_series: BTreeMap<(String, String), Vec<TrendPoint>> = BTreeMap::new();
+    for r in records {
+        by_series
+            .entry((r.spec_fingerprint.clone(), r.label.clone()))
+            .or_default()
+            .push(point_of(r));
+    }
+    let series = by_series
+        .into_iter()
+        .map(|((fingerprint, label), mut points)| {
+            points.sort_by_key(|p| p.revision);
+            TrendSeries { fingerprint, label, points }
+        })
+        .collect();
+    TrendView { series }
+}
+
+impl TrendView {
+    /// The machine-readable form (`report trend --json`).
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("a TrendView always serializes: {e}"))
+    }
+
+    /// The human rendering (the default body of `report trend`).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if self.series.is_empty() {
+            let _ = writeln!(out, "trend: warehouse is empty");
+            return out;
+        }
+        for s in &self.series {
+            let fp8: String = s.fingerprint.chars().take(8).collect();
+            let _ = writeln!(out, "series {} [{}] — {} revision(s):", s.label, fp8, s.points.len());
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>10} {:>9} {:>10} {:>12}  benches",
+                "rev", "scenarios", "geomean", "hit-rate", "cells/s"
+            );
+            for p in &s.points {
+                let hit = p
+                    .cache_hit_rate
+                    .map(|h| format!("{:.1}%", 100.0 * h))
+                    .unwrap_or_else(|| "—".to_string());
+                let cells =
+                    p.cells_per_s.map(|c| format!("{c:.0}")).unwrap_or_else(|| "—".to_string());
+                let benches: Vec<String> =
+                    p.benches.iter().map(|(k, v)| format!("{k}={v}ns")).collect();
+                let _ = writeln!(
+                    out,
+                    "  {:>4} {:>10} {:>8.3}× {:>10} {:>12}  {}",
+                    p.revision,
+                    p.scenarios,
+                    p.geomean_max_speedup,
+                    hit,
+                    cells,
+                    benches.join(" ")
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ScenarioSnapshot;
+
+    fn rec(label: &str, rev: u64, speedups: &[f64]) -> CampaignRecord {
+        let mut r = CampaignRecord::new(label);
+        r.spec_fingerprint = "fp".into();
+        r.revision = rev;
+        for (i, s) in speedups.iter().enumerate() {
+            r.scenarios.push(ScenarioSnapshot {
+                key: format!("s{i}"),
+                machine: "m".into(),
+                workload: format!("w{i}"),
+                max_speedup: *s,
+                hbm_only_speedup: *s,
+                usage_90_pct: 0.5,
+                best_groups: Vec::new(),
+                budgeted_config: String::new(),
+                budgeted_speedup: *s,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn series_group_and_sort_by_revision() {
+        let records =
+            vec![rec("zoo", 2, &[2.0, 8.0]), rec("zoo", 1, &[2.0, 2.0]), rec("cold", 1, &[1.5])];
+        let view = trend(&records);
+        assert_eq!(view.series.len(), 2);
+        let zoo = view.series.iter().find(|s| s.label == "zoo").unwrap();
+        assert_eq!(zoo.points.iter().map(|p| p.revision).collect::<Vec<_>>(), vec![1, 2]);
+        // geomean(2, 8) = 4.
+        assert!((zoo.points[1].geomean_max_speedup - 4.0).abs() < 1e-12);
+        let text = view.render_human();
+        assert!(text.contains("series zoo [fp]"), "{text}");
+        assert!(text.contains("geomean"), "{text}");
+        let json: serde::Value = serde_json::parse(&view.to_json_string()).unwrap();
+        assert_eq!(json.get("series").and_then(serde::Value::as_array).map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn empty_warehouse_renders_as_such() {
+        assert!(trend(&[]).render_human().contains("empty"));
+    }
+}

@@ -1,0 +1,168 @@
+//! The warehouse-stack properties ISSUE pins:
+//!
+//! * `diff(a, a)` is clean for any record (and the gate passes it at
+//!   zero tolerance);
+//! * speedup deltas are anti-symmetric: every matched ratio in
+//!   `diff(a, b)` is the exact reciprocal of its `diff(b, a)` twin, and
+//!   the only-in sets mirror;
+//! * the gate fails any perturbed head — a speedup drop or a placement
+//!   flip — while still passing the unperturbed record;
+//! * a truncated warehouse index loses only the damaged tail: every
+//!   line that survives the cut intact still decodes, loads, and
+//!   checksum-verifies.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hmpt_report::record::ScenarioSnapshot;
+use hmpt_report::warehouse::INDEX_FILE;
+use hmpt_report::{diff, gate, CampaignRecord, Thresholds, Warehouse};
+use proptest::prelude::*;
+
+const GROUP_SETS: [&[&str]; 3] = [&["grid"], &["grid", "halo"], &["halo"]];
+
+/// One synthetic scenario row. `speedup_milli` is the max speedup in
+/// thousandths (so the strategy stays on integer strategies); `flavor`
+/// picks the placement.
+fn snapshot(i: usize, speedup_milli: u64, flavor: u8) -> ScenarioSnapshot {
+    let speedup = speedup_milli as f64 / 1000.0;
+    ScenarioSnapshot {
+        key: format!("m·w{i}"),
+        machine: "m".into(),
+        workload: format!("w{i}"),
+        max_speedup: speedup,
+        hbm_only_speedup: speedup * 0.8,
+        usage_90_pct: 0.5,
+        best_groups: GROUP_SETS[flavor as usize % GROUP_SETS.len()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        budgeted_config: format!("c{}", flavor % 2),
+        budgeted_speedup: speedup * 0.9,
+    }
+}
+
+fn record_of(label: &str, rows: &[(u64, u8)]) -> CampaignRecord {
+    let mut r = CampaignRecord::new(label);
+    for (i, (speedup_milli, flavor)) in rows.iter().enumerate() {
+        r.scenarios.push(snapshot(i, *speedup_milli, *flavor));
+    }
+    r
+}
+
+/// Rows: (speedup in milli-x ∈ [0.1×, 10×), placement flavor).
+fn rows() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    proptest::collection::vec((100u64..10_000, 0u8..4), 1..8)
+}
+
+fn temp_warehouse(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hmpt-report-prop-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diff_of_a_record_with_itself_is_clean(rows in rows()) {
+        let r = record_of("self", &rows);
+        let d = diff(&r, &r);
+        prop_assert!(d.is_clean(), "{}", d.render_human());
+        prop_assert!(d.scenarios.iter().all(|s| s.max_speedup_ratio == 1.0));
+        prop_assert!(d.flips.is_empty());
+        prop_assert!(d.band_drift.is_empty());
+        prop_assert!(gate(&d, &Thresholds::default()).passed);
+    }
+
+    #[test]
+    fn speedup_deltas_are_anti_symmetric(a in rows(), b in rows()) {
+        let (ra, rb) = (record_of("a", &a), record_of("b", &b));
+        let (fwd, bwd) = (diff(&ra, &rb), diff(&rb, &ra));
+        prop_assert_eq!(fwd.scenarios.len(), bwd.scenarios.len());
+        for (f, r) in fwd.scenarios.iter().zip(bwd.scenarios.iter()) {
+            prop_assert_eq!(&f.key, &r.key);
+            let prod = f.max_speedup_ratio * r.max_speedup_ratio;
+            prop_assert!((prod - 1.0).abs() < 1e-9, "{} fwd·bwd = {prod}", f.key);
+            let prod = f.budgeted_speedup_ratio * r.budgeted_speedup_ratio;
+            prop_assert!((prod - 1.0).abs() < 1e-9, "{} fwd·bwd = {prod}", f.key);
+        }
+        prop_assert_eq!(&fwd.only_in_base, &bwd.only_in_head);
+        prop_assert_eq!(&fwd.only_in_head, &bwd.only_in_base);
+        prop_assert_eq!(fwd.flips.len(), bwd.flips.len());
+    }
+
+    #[test]
+    fn gate_fails_perturbed_heads_only(
+        rows in rows(),
+        which in 0usize..64,
+        drop_pct in 1u64..50,
+    ) {
+        let base = record_of("g", &rows);
+        prop_assert!(gate(&diff(&base, &base), &Thresholds::default()).passed);
+
+        let i = which % base.scenarios.len();
+        let mut slower = base.clone();
+        slower.scenarios[i].max_speedup *= 1.0 - drop_pct as f64 / 100.0;
+        let g = gate(&diff(&base, &slower), &Thresholds::default());
+        prop_assert!(!g.passed);
+        prop_assert!(g.violations.iter().any(|v| v.kind == "scenario-regression"));
+
+        let mut flipped = base.clone();
+        flipped.scenarios[i].best_groups = vec!["elsewhere".into()];
+        let g = gate(&diff(&base, &flipped), &Thresholds::default());
+        prop_assert!(!g.passed, "{:?}", g.violations);
+        prop_assert!(g.violations.iter().any(|v| v.kind == "placement-flip"));
+        // The same flip passes once allowlisted.
+        let allow = Thresholds {
+            allowed_flips: vec![flipped.scenarios[i].key.clone()],
+            ..Thresholds::default()
+        };
+        prop_assert!(gate(&diff(&base, &flipped), &allow).passed);
+    }
+
+    #[test]
+    fn truncated_index_loses_only_the_damaged_tail(
+        n in 2usize..6,
+        cut_permille in 0u64..=1000,
+    ) {
+        let dir = temp_warehouse("truncate");
+        let w = Warehouse::open(&dir).unwrap();
+        for i in 0..n {
+            let mut r = record_of("zoo", &[(2_000 + i as u64, 0)]);
+            r.spec_fingerprint = "fp".into();
+            w.ingest(r).unwrap();
+        }
+        let path = dir.join(INDEX_FILE);
+        let bytes = fs::read(&path).unwrap();
+        let cut = (bytes.len() as u64 * cut_permille / 1000) as usize;
+        fs::write(&path, &bytes[..cut]).unwrap();
+
+        // Exactly the original lines that survived the cut intact
+        // decode; a truncated trailing line is skipped, never misread.
+        let full = String::from_utf8_lossy(&bytes).into_owned();
+        let original: Vec<&str> = full.lines().collect();
+        let text = String::from_utf8_lossy(&bytes[..cut]).into_owned();
+        let survived: Vec<&str> = text.split('\n').filter(|l| !l.is_empty()).collect();
+        let intact = survived.iter().filter(|l| original.contains(l)).count();
+        let damaged = survived.len() - intact;
+
+        let (entries, report) = w.index().unwrap();
+        prop_assert_eq!(entries.len(), intact);
+        prop_assert_eq!(report.loaded, intact as u64);
+        prop_assert_eq!(report.skipped, damaged as u64);
+        for (i, e) in entries.iter().enumerate() {
+            // Surviving prefix is in ingest order.
+            prop_assert_eq!(e.revision, i as u64 + 1);
+            let back = w.load(e).unwrap();
+            prop_assert_eq!(back.scenarios.len(), 1);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
