@@ -30,17 +30,21 @@ pub struct Migration {
 
 /// Price a migration of `bytes` between the pools: the copy reads from
 /// one pool and writes to the other, so it is bound by the slower side
-/// (with the cross-write penalty when draining HBM to DDR).
+/// (with the cross-write penalty whenever the destination is not HBM —
+/// stores leaving the on-package pool are the penalized direction,
+/// Fig 5a).
 pub fn migration_cost_s(machine: &Machine, bytes: Bytes, to: PoolKind) -> f64 {
     let tpt = 12.0;
-    let ddr = machine.socket_bw(PoolKind::Ddr, tpt);
     let hbm = machine.socket_bw(PoolKind::Hbm, tpt);
+    let dest = machine.socket_bw(to, tpt);
     let gb = bytes as f64 / 1e9;
-    match to {
-        // DDR → HBM: read DDR, write HBM; DDR binds.
-        PoolKind::Hbm => gb / ddr.min(hbm),
-        // HBM → DDR: the penalized direction (Fig 5a).
-        PoolKind::Ddr => gb / (ddr * machine.cross_write_penalty).min(hbm),
+    if to == PoolKind::Hbm {
+        // DDR → HBM: read DDR, write HBM; the slower side binds.
+        let ddr = machine.socket_bw(PoolKind::Ddr, tpt);
+        gb / ddr.min(hbm)
+    } else {
+        // HBM → DDR/CXL/PMEM: penalized destination writes.
+        gb / (dest * machine.cross_write_penalty).min(hbm)
     }
 }
 

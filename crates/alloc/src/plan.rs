@@ -38,11 +38,17 @@ impl Assignment {
         }
     }
 
-    /// Fraction of bytes that land in HBM under this assignment.
+    /// Fraction of bytes that land in HBM under this assignment. Far
+    /// tiers (CXL/PMEM) count as 0 — only HBM bytes are HBM bytes.
     pub fn hbm_fraction(&self) -> f64 {
         match *self {
-            Assignment::Pool(PoolKind::Hbm) => 1.0,
-            Assignment::Pool(PoolKind::Ddr) => 0.0,
+            Assignment::Pool(p) => {
+                if p == PoolKind::Hbm {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
             Assignment::Split { hbm_fraction } => hbm_fraction,
         }
     }

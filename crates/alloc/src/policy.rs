@@ -17,8 +17,8 @@ pub enum MemPolicy {
     /// Hard-bind to a pool; allocation fails when the pool is full
     /// (`numactl --membind`).
     Bind(PoolKind),
-    /// Prefer a pool but fall back to the other when full
-    /// (`numactl --preferred`).
+    /// Prefer a pool but fall back to another existing pool when full
+    /// (`numactl --preferred`). Fallback pools are tried in index order.
     Preferred(PoolKind),
     /// Interleave pages across both pools with the given HBM share
     /// (`numactl --interleave`; 0.5 for round-robin over equal node
@@ -34,10 +34,23 @@ impl MemPolicy {
             MemPolicy::Bind(pool) => Assignment::Pool(pool),
             MemPolicy::Preferred(pool) => {
                 if space.available(pool) >= bytes {
-                    Assignment::Pool(pool)
-                } else {
-                    Assignment::Pool(pool.other())
+                    return Assignment::Pool(pool);
                 }
+                let mut fallback = None;
+                for i in 0..space.n_pools() {
+                    let candidate = PoolKind::of_index(i);
+                    if candidate == pool {
+                        continue;
+                    }
+                    fallback = Some(candidate);
+                    if space.available(candidate) >= bytes {
+                        break;
+                    }
+                }
+                // When every fallback is also full, return the last one
+                // tried — the allocation then fails with that pool's
+                // exhaustion error, matching the two-pool behaviour.
+                Assignment::Pool(fallback.unwrap_or(pool))
             }
             MemPolicy::Interleave { hbm_share } => {
                 Assignment::Split { hbm_fraction: hbm_share.clamp(0.0, 1.0) }

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use hmpt_sim::pool::PoolKind;
+use hmpt_sim::pool::{PoolKind, MAX_POOLS};
 use hmpt_sim::units::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -18,23 +18,22 @@ use crate::error::AllocError;
 /// Simulated page size (2 MiB huge pages, as HPC allocators use).
 pub const PAGE: Bytes = 2 * 1024 * 1024;
 
-/// Base virtual address of each pool's region.
+/// Base virtual address of each pool's region (one region per pool
+/// index: DDR, HBM, CXL, PMEM).
 pub fn pool_base(pool: PoolKind) -> u64 {
-    match pool {
-        PoolKind::Ddr => 0x0000_1000_0000_0000,
-        PoolKind::Hbm => 0x0000_2000_0000_0000,
-    }
+    0x0000_1000_0000_0000 * (pool.index() as u64 + 1)
 }
 
 /// The pool an address belongs to, by region.
 pub fn pool_of_addr(addr: u64) -> Option<PoolKind> {
     const REGION: u64 = 0x0000_1000_0000_0000;
     match addr / REGION {
-        1 => Some(PoolKind::Ddr),
-        2 => Some(PoolKind::Hbm),
+        i @ 1..=MAX_POOLS_U64 => Some(PoolKind::of_index(i as usize - 1)),
         _ => None,
     }
 }
+
+const MAX_POOLS_U64: u64 = MAX_POOLS as u64;
 
 /// A contiguous allocated range in one pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,29 +67,38 @@ struct PoolRegion {
 /// Per-pool extent allocator over the simulated address space.
 #[derive(Debug, Clone)]
 pub struct VirtualSpace {
-    capacity: [Bytes; 2],
-    regions: [PoolRegion; 2],
+    capacity: [Bytes; MAX_POOLS],
+    regions: [PoolRegion; MAX_POOLS],
+    n_pools: usize,
 }
 
 fn idx(pool: PoolKind) -> usize {
-    match pool {
-        PoolKind::Ddr => 0,
-        PoolKind::Hbm => 1,
-    }
+    pool.index()
 }
 
 impl VirtualSpace {
-    /// Create a space with the given per-pool capacities (whole machine).
+    /// Create a two-pool space with the given capacities (whole machine).
     pub fn new(ddr_capacity: Bytes, hbm_capacity: Bytes) -> Self {
-        VirtualSpace {
-            capacity: [ddr_capacity, hbm_capacity],
-            regions: [PoolRegion::default(), PoolRegion::default()],
-        }
+        let mut capacity = [0; MAX_POOLS];
+        capacity[0] = ddr_capacity;
+        capacity[1] = hbm_capacity;
+        VirtualSpace { capacity, regions: Default::default(), n_pools: 2 }
     }
 
-    /// Capacities taken from a simulated machine.
+    /// Capacities taken from a simulated machine — one region per pool,
+    /// including any far tiers beyond DDR/HBM.
     pub fn for_machine(machine: &hmpt_sim::machine::Machine) -> Self {
-        Self::new(machine.ddr_capacity(), machine.hbm_capacity())
+        let mut capacity = [0; MAX_POOLS];
+        for (i, spec) in machine.pools.iter().enumerate() {
+            capacity[i] = machine.pool_capacity(i);
+            debug_assert_eq!(spec.kind.index(), i);
+        }
+        VirtualSpace { capacity, regions: Default::default(), n_pools: machine.n_pools() }
+    }
+
+    /// Number of pools this space was built with.
+    pub fn n_pools(&self) -> usize {
+        self.n_pools
     }
 
     pub fn capacity(&self, pool: PoolKind) -> Bytes {

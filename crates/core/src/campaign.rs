@@ -40,7 +40,7 @@ use hmpt_sim::machine::Machine;
 use hmpt_workloads::model::WorkloadSpec;
 
 use crate::cache::CellKey;
-use crate::configspace::{Config, MAX_GROUPS};
+use crate::configspace::Config;
 use crate::error::TunerError;
 use crate::exec::CellExecutor;
 use crate::fastpath::FastCampaign;
@@ -209,12 +209,12 @@ pub trait CellSink {
     ) -> Result<(), TunerError>;
 }
 
-/// The configurations a plan covers: the full `2^|AG|` space is kept
+/// The configurations a plan covers: the full `P^|AG|` space is kept
 /// implicit (a 24-group campaign should not allocate a 16M-entry
 /// vector just to know its own shape).
 #[derive(Debug, Clone)]
 enum ConfigSet {
-    Full { n_groups: usize },
+    Full { n_groups: usize, n_pools: usize },
     Explicit(Vec<Config>),
 }
 
@@ -225,14 +225,16 @@ impl ConfigSet {
 
     fn len(&self) -> usize {
         match self {
-            ConfigSet::Full { n_groups } => 1usize << n_groups,
+            ConfigSet::Full { n_groups, n_pools } => n_pools.pow(*n_groups as u32),
             ConfigSet::Explicit(v) => v.len(),
         }
     }
 
     fn get(&self, i: usize) -> Config {
         match self {
-            ConfigSet::Full { .. } => Config(i as u32),
+            ConfigSet::Full { n_groups, n_pools } => {
+                Config::from_rank(i as u64, *n_groups, *n_pools)
+            }
             ConfigSet::Explicit(v) => v[i],
         }
     }
@@ -254,7 +256,7 @@ pub struct CampaignPlan<'a> {
     /// Per-configuration placement plan + its fingerprint, built on
     /// first touch and shared by all the configuration's repetitions
     /// (and by online probes of the same plan).
-    plans: Mutex<HashMap<u32, Arc<(PlacementPlan, Fingerprint)>>>,
+    plans: Mutex<HashMap<u64, Arc<(PlacementPlan, Fingerprint)>>>,
     /// Whether [`measure_cell`](Self::measure_cell) may answer through
     /// the batched cold-path kernel. Purely a scheduling choice — the
     /// kernel is bit-identical by contract and the cache keys never see
@@ -267,22 +269,23 @@ pub struct CampaignPlan<'a> {
 }
 
 impl<'a> CampaignPlan<'a> {
-    /// Plan the full exhaustive campaign over all `2^|AG|`
-    /// configurations.
+    /// Plan the full exhaustive campaign over all `P^|AG|`
+    /// configurations, where `P` is the machine's pool count.
     pub fn new(
         machine: &'a Machine,
         spec: &'a WorkloadSpec,
         groups: &'a [AllocationGroup],
         cfg: CampaignConfig,
     ) -> Result<Self, TunerError> {
-        if groups.len() > MAX_GROUPS {
-            return Err(TunerError::TooManyGroups { groups: groups.len(), limit: MAX_GROUPS });
+        let limit = crate::configspace::max_groups_for(machine.n_pools());
+        if groups.len() > limit {
+            return Err(TunerError::TooManyGroups { groups: groups.len(), limit });
         }
         Ok(Self::with_config_set(
             machine,
             spec,
             groups,
-            ConfigSet::Full { n_groups: groups.len() },
+            ConfigSet::Full { n_groups: groups.len(), n_pools: machine.n_pools() },
             cfg,
         ))
     }
@@ -705,6 +708,7 @@ impl CellSink for Assembler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::configspace::MAX_GROUPS;
     use crate::exec::{CachingExecutor, ExecutorKind, ParallelExecutor, SerialExecutor};
     use crate::measure::run_campaign;
     use hmpt_sim::machine::xeon_max_9468;

@@ -97,8 +97,8 @@ pub fn diagnose(
             bound: c.bound,
             throughput_gbs: c.throughput_gbs(),
             gflops: c.gflops(),
-            ddr_utilization: if c.time_s > 0.0 { c.t_ddr / c.time_s } else { 0.0 },
-            hbm_utilization: if c.time_s > 0.0 { c.t_hbm / c.time_s } else { 0.0 },
+            ddr_utilization: if c.time_s > 0.0 { c.t_ddr() / c.time_s } else { 0.0 },
+            hbm_utilization: if c.time_s > 0.0 { c.t_hbm() / c.time_s } else { 0.0 },
         })
         .collect();
     Ok(Diagnosis { workload: spec.name.clone(), total_time_s: total, phases })

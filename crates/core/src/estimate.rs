@@ -66,7 +66,7 @@ mod tests {
     use super::*;
     use crate::measure::ConfigMeasurement;
 
-    fn campaign(times: &[(u32, f64)]) -> CampaignResult {
+    fn campaign(times: &[(u64, f64)]) -> CampaignResult {
         CampaignResult::new(
             times
                 .iter()

@@ -53,12 +53,12 @@ use hmpt_alloc::vspace::PAGE;
 use hmpt_sim::fastpath::{phase_time_flat, MachineCtx, PhaseAccum, PhaseTerms, TrafficDelta};
 use hmpt_sim::machine::Machine;
 use hmpt_sim::noise::NoiseModel;
-use hmpt_sim::pool::PoolKind;
+use hmpt_sim::pool::{PoolKind, MAX_POOLS};
 use hmpt_sim::stream::{AccessPattern, ResolvedStream};
 use hmpt_workloads::model::WorkloadSpec;
 use hmpt_workloads::runner::perturb_model_time;
 
-use crate::configspace::Config;
+use crate::configspace::{Config, MAX_GROUPS};
 use crate::grouping::AllocationGroup;
 use crate::measure::{CampaignConfig, CellOutcome};
 
@@ -97,8 +97,9 @@ struct PhaseData {
     deltas: Vec<TrafficDelta>,
     /// Chase entries, stream order: owning group position (or `None`).
     chase_group: Vec<Option<usize>>,
-    /// Chase entries, stream order: seconds if resolved to [DDR, HBM].
-    chase_t: Vec<[f64; 2]>,
+    /// Chase entries, stream order: seconds if resolved to each pool
+    /// (slots beyond the machine's pool count stay zero).
+    chase_t: Vec<[f64; MAX_POOLS]>,
 }
 
 /// The accumulator walk: which (masked) configuration the live
@@ -107,9 +108,11 @@ struct PhaseData {
 /// per-rep noise draw happens outside it.
 #[derive(Debug)]
 struct WalkState {
-    current: u32,
+    /// The pool digit each group position currently occupies in the
+    /// live accumulators.
+    current: Vec<u8>,
     accums: Vec<PhaseAccum>,
-    memo: HashMap<u32, Result<CellTemplate, AllocError>>,
+    memo: HashMap<u64, Result<CellTemplate, AllocError>>,
 }
 
 /// A campaign compiled for batched evaluation. Built once per
@@ -119,15 +122,15 @@ struct WalkState {
 pub struct FastCampaign {
     mctx: MachineCtx,
     noise: NoiseModel,
-    /// Config-word bit of each group position (`group.id`).
+    n_pools: usize,
+    /// Config-word bit/digit index of each group position (`group.id`).
     group_bits: Vec<usize>,
-    /// Bit → group position, for XOR-seek.
-    bit_group: [usize; 32],
-    /// OR of all group bits: stray config bits outside it cannot move
-    /// any allocation, so templates are memoized on the masked word.
-    group_mask: u32,
+    /// OR of all group bits: stray binary config bits outside it cannot
+    /// move any allocation, so templates are memoized on the masked
+    /// word ([`Self::canonical_word`] handles the mixed form).
+    group_mask: u64,
     allocs: Vec<AllocInfo>,
-    capacity: [u64; 2],
+    capacity: [u64; MAX_POOLS],
     /// Per group position: summed member bytes (HBM-fraction numerator).
     group_bytes: Vec<u64>,
     total_alloc_bytes: u64,
@@ -160,17 +163,21 @@ impl FastCampaign {
                 return None;
             }
         }
+        let n_pools = machine.n_pools();
         let mut group_bits = Vec::with_capacity(groups.len());
-        let mut bit_group = [0usize; 32];
-        let mut group_mask = 0u32;
+        let mut group_mask = 0u64;
         let mut alloc_group: Vec<Option<usize>> = vec![None; spec.allocations.len()];
         let mut group_bytes = vec![0u64; groups.len()];
         for (pos, g) in groups.iter().enumerate() {
             if g.id >= 32 || group_mask >> g.id & 1 == 1 {
                 return None;
             }
+            // Mixed (≥3-pool) words store two bits per digit, so far-tier
+            // campaigns additionally need ids inside the digit span.
+            if n_pools > 2 && g.id >= MAX_GROUPS {
+                return None;
+            }
             group_mask |= 1 << g.id;
-            bit_group[g.id] = pos;
             group_bits.push(g.id);
             for &m in &g.members {
                 if m >= alloc_group.len() || alloc_group[m].is_some() {
@@ -212,10 +219,12 @@ impl FastCampaign {
                     AccessPattern::PointerChase { window } => {
                         let window = ((window as f64 * share).round() as u64).max(1);
                         chase_group.push(alloc_group[s.alloc]);
-                        chase_t.push([
-                            mctx.chase_seconds(machine, PoolKind::Ddr, window, bytes),
-                            mctx.chase_seconds(machine, PoolKind::Hbm, window, bytes),
-                        ]);
+                        let mut t = [0.0f64; MAX_POOLS];
+                        for (i, slot) in t.iter_mut().enumerate().take(n_pools) {
+                            *slot =
+                                mctx.chase_seconds(machine, PoolKind::of_index(i), window, bytes);
+                        }
+                        chase_t.push(t);
                     }
                     pattern => {
                         let rs = ResolvedStream { bytes, pool: PoolKind::Ddr, dir: s.dir, pattern };
@@ -237,19 +246,42 @@ impl FastCampaign {
         }
 
         let accums = phases.iter().map(|p| p.base).collect();
+        let mut capacity = [0u64; MAX_POOLS];
+        for (i, slot) in capacity.iter_mut().enumerate().take(n_pools) {
+            *slot = machine.pool_capacity(i);
+        }
+        let current = vec![0u8; groups.len()];
         Some(FastCampaign {
             mctx,
             noise: cfg.noise,
+            n_pools,
             group_bits,
-            bit_group,
             group_mask,
             allocs,
-            capacity: [machine.ddr_capacity(), machine.hbm_capacity()],
+            capacity,
             group_bytes,
             total_alloc_bytes,
             phases,
-            walk: Mutex::new(WalkState { current: 0, accums, memo: HashMap::new() }),
+            walk: Mutex::new(WalkState { current, accums, memo: HashMap::new() }),
         })
+    }
+
+    /// The canonical memo key of `config`: its digits restricted to this
+    /// campaign's groups, re-encoded canonically. For binary words this
+    /// is a single AND with the group mask — stray bits outside it
+    /// cannot move any allocation.
+    fn canonical_word(&self, config: Config) -> u64 {
+        if !config.is_mixed() {
+            return config.0 & self.group_mask;
+        }
+        let mut restricted = Config::DDR_ONLY;
+        for &id in &self.group_bits {
+            let d = config.digit(id);
+            if d != 0 {
+                restricted = restricted.with_digit(id, d);
+            }
+        }
+        restricted.0
     }
 
     /// Number of groups (the delta walk's dimensionality).
@@ -261,7 +293,7 @@ impl FastCampaign {
     /// memoized `CellTemplate`; only the seeded noise draw is per-rep
     /// (and happens outside the walk lock).
     pub fn outcome(&self, config: Config, seed: u64) -> Result<CellOutcome, AllocError> {
-        let masked = config.0 & self.group_mask;
+        let masked = self.canonical_word(config);
         let template = {
             let mut walk = self.walk.lock().expect("fast-path walk poisoned");
             match walk.memo.get(&masked) {
@@ -279,25 +311,32 @@ impl FastCampaign {
         })
     }
 
-    /// Pre-walk the full `2^|AG|` space in Gray-code order — exactly one
-    /// group flip per step — filling the template memo. Campaign
-    /// streaming then emits results in its usual config-major order out
-    /// of the memo. Skipped for spaces big enough that eager
+    /// Pre-walk the full `P^|AG|` space, filling the template memo.
+    /// Two-pool campaigns walk in Gray-code order — exactly one group
+    /// flip per step; more pools walk in mixed-radix rank order, whose
+    /// odometer increments average `P/(P-1)` digit moves per step.
+    /// Campaign streaming then emits results in its usual config-major
+    /// order out of the memo. Skipped for spaces big enough that eager
     /// materialization could outweigh the demand-driven walk.
     pub fn precompute_full(&self) {
         let n = self.n_groups();
-        if n > 14 {
-            return;
-        }
+        let total = match (self.n_pools as u64).checked_pow(n as u32) {
+            Some(t) if t <= 1 << 14 => t,
+            _ => return,
+        };
         let mut walk = self.walk.lock().expect("fast-path walk poisoned");
-        for i in 0..(1u32 << n) {
-            let positions = gray(i);
-            let mut masked = 0u32;
-            for (pos, &bit) in self.group_bits.iter().enumerate() {
-                if positions >> pos & 1 == 1 {
-                    masked |= 1 << bit;
+        for i in 0..total {
+            let positions = if self.n_pools == 2 { gray(i as u32) as u64 } else { i };
+            let mut masked = Config::DDR_ONLY;
+            let mut r = positions;
+            for &bit in &self.group_bits {
+                let d = (r % self.n_pools as u64) as u8;
+                r /= self.n_pools as u64;
+                if d != 0 {
+                    masked = masked.with_digit(bit, d);
                 }
             }
+            let masked = masked.0;
             if walk.memo.contains_key(&masked) {
                 continue;
             }
@@ -309,15 +348,17 @@ impl FastCampaign {
     /// Evaluate the template of one masked configuration: seek the live
     /// accumulators to it (one delta pair per differing group), replay
     /// feasibility, then price every phase through the flat kernel.
-    fn evaluate(&self, walk: &mut WalkState, masked: u32) -> Result<CellTemplate, AllocError> {
-        // XOR-seek: each differing bit moves exactly one group's traffic
-        // between the pool columns. u64 sums make the path irrelevant.
-        let mut diff = walk.current ^ masked;
-        while diff != 0 {
-            let bit = diff.trailing_zeros() as usize;
-            diff &= diff - 1;
-            let pos = self.bit_group[bit];
-            let (from, to) = if masked >> bit & 1 == 1 { (0, 1) } else { (1, 0) };
+    fn evaluate(&self, walk: &mut WalkState, masked: u64) -> Result<CellTemplate, AllocError> {
+        let target = Config(masked);
+        // Digit-seek: each group whose digit differs moves exactly its
+        // traffic between two pool columns. u64 sums make the path
+        // irrelevant.
+        for (pos, &bit) in self.group_bits.iter().enumerate() {
+            let to = target.digit(bit) as usize;
+            let from = walk.current[pos] as usize;
+            if from == to {
+                continue;
+            }
             for (phase, accum) in self.phases.iter().zip(walk.accums.iter_mut()) {
                 let d = phase.deltas[pos];
                 if d.is_zero() {
@@ -326,20 +367,20 @@ impl FastCampaign {
                 accum.sub(d, from);
                 accum.add(d, to);
             }
+            walk.current[pos] = to as u8;
         }
-        walk.current = masked;
 
         // Feasibility: the shim's malloc loop in spec order, against
         // page-rounded per-pool live counters.
-        let mut live = [0u64; 2];
+        let mut live = [0u64; MAX_POOLS];
         for a in &self.allocs {
             let pool = match a.group {
-                Some(pos) if masked >> self.group_bits[pos] & 1 == 1 => 1,
-                _ => 0,
+                Some(pos) => target.digit(self.group_bits[pos]) as usize,
+                None => 0,
             };
             if live[pool] + a.reserved > self.capacity[pool] {
                 return Err(AllocError::PoolExhausted {
-                    pool: if pool == 1 { PoolKind::Hbm } else { PoolKind::Ddr },
+                    pool: PoolKind::of_index(pool),
                     requested: a.bytes,
                     available: self.capacity[pool] - live[pool],
                 });
@@ -347,11 +388,11 @@ impl FastCampaign {
             live[pool] += a.reserved;
         }
 
-        // The registry's footprint fraction: promoted requested bytes
-        // over all requested bytes (u64 sums — order-independent).
+        // The registry's footprint fraction: HBM-resident requested
+        // bytes over all requested bytes (u64 sums — order-independent).
         let mut hbm_bytes = 0u64;
         for (pos, &bytes) in self.group_bytes.iter().enumerate() {
-            if masked >> self.group_bits[pos] & 1 == 1 {
+            if target.digit(self.group_bits[pos]) == 1 {
                 hbm_bytes += bytes;
             }
         }
@@ -366,8 +407,8 @@ impl FastCampaign {
             let mut t_chase = 0.0f64;
             for (group, t) in phase.chase_group.iter().zip(&phase.chase_t) {
                 let col = match group {
-                    Some(pos) if masked >> self.group_bits[*pos] & 1 == 1 => 1,
-                    _ => 0,
+                    Some(pos) => target.digit(self.group_bits[*pos]) as usize,
+                    None => 0,
                 };
                 t_chase += t[col];
             }

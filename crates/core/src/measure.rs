@@ -61,7 +61,7 @@ impl CampaignConfig {
     pub fn cell_seed(&self, config: Config, rep: usize) -> u64 {
         self.base_seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add((config.0 as u64) << 32 | rep as u64 & 0xffff_ffff)
+            .wrapping_add(config.0 << 32 | rep as u64 & 0xffff_ffff)
     }
 
     /// The run configuration of one cell.
@@ -108,7 +108,7 @@ pub struct CampaignResult {
     /// Config bits → index into `measurements`, so `get`/`baseline_s` are
     /// O(1) instead of a linear scan over up to 2^|AG| entries (hot in
     /// analysis, estimator fitting, and the fleet cache path).
-    index: HashMap<u32, usize>,
+    index: HashMap<u64, usize>,
 }
 
 // Manual serde impls: the index is derivable state, so it is neither
@@ -439,7 +439,7 @@ mod tests {
     #[test]
     fn get_is_indexed_not_scanned() {
         // Build a synthetic result with a gap (config 0b10 infeasible).
-        let mk = |bits: u32, t: f64| ConfigMeasurement {
+        let mk = |bits: u64, t: f64| ConfigMeasurement {
             config: Config(bits),
             mean_s: t,
             std_s: 0.0,

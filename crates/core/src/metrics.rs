@@ -102,7 +102,7 @@ mod tests {
             .collect()
     }
 
-    fn campaign(times: &[(u32, f64)]) -> CampaignResult {
+    fn campaign(times: &[(u64, f64)]) -> CampaignResult {
         CampaignResult::new(
             times
                 .iter()

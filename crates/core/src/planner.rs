@@ -90,7 +90,7 @@ pub fn plan_knapsack(
         .collect();
 
     // dp[w] = (best gain, chosen set) at weight w.
-    let mut dp: Vec<(f64, u32)> = vec![(0.0, 0); cap + 1];
+    let mut dp: Vec<(f64, u64)> = vec![(0.0, 0); cap + 1];
     for (i, g) in groups.iter().enumerate() {
         let w = weights[i];
         if w > cap {
@@ -99,7 +99,7 @@ pub fn plan_knapsack(
         for j in (w..=cap).rev() {
             let cand = dp[j - w].0 + gains[i];
             if cand > dp[j].0 {
-                dp[j] = (cand, dp[j - w].1 | (1u32 << g.id));
+                dp[j] = (cand, dp[j - w].1 | (1u64 << g.id));
             }
         }
     }

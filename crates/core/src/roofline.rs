@@ -40,22 +40,25 @@ impl Roofs {
         }
     }
 
+    /// Bandwidth roof for a pool. The chart keeps the paper's two
+    /// roofs: HBM, and the DDR roof shared by every off-package tier.
+    fn pool_bw(&self, pool: PoolKind) -> f64 {
+        if pool == PoolKind::Hbm {
+            self.hbm_bw_gbs
+        } else {
+            self.ddr_bw_gbs
+        }
+    }
+
     /// Attainable GFLOP/s at arithmetic intensity `ai` from `pool`.
     pub fn attainable(&self, ai: f64, pool: PoolKind) -> f64 {
-        let bw = match pool {
-            PoolKind::Ddr => self.ddr_bw_gbs,
-            PoolKind::Hbm => self.hbm_bw_gbs,
-        };
+        let bw = self.pool_bw(pool);
         (ai * bw).min(self.vector_peak_gflops)
     }
 
     /// The AI where a pool's bandwidth roof meets the vector peak.
     pub fn ridge_point(&self, pool: PoolKind) -> f64 {
-        let bw = match pool {
-            PoolKind::Ddr => self.ddr_bw_gbs,
-            PoolKind::Hbm => self.hbm_bw_gbs,
-        };
-        self.vector_peak_gflops / bw
+        self.vector_peak_gflops / self.pool_bw(pool)
     }
 }
 

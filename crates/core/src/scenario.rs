@@ -484,6 +484,12 @@ pub struct BudgetedRow {
     pub config: String,
     /// Bytes that configuration places in HBM.
     pub hbm_bytes: Bytes,
+    /// Bytes the configuration places in each pool, indexed by pool
+    /// index (DDR = 0). Entries sum to the workload footprint —
+    /// ungrouped allocations are accounted to DDR, where the shim
+    /// leaves them. `None` in pre-N-pool report files, which still
+    /// deserialize.
+    pub pool_bytes: Option<Vec<Bytes>>,
     /// Its measured speedup over the DDR baseline.
     pub speedup: f64,
     /// How much slower the budgeted optimum is than the unconstrained
@@ -510,6 +516,13 @@ pub struct ScenarioRow {
     pub noise_cv: f64,
     pub budget_bytes: Option<Bytes>,
     pub hbm_capacity_bytes: Bytes,
+    /// Total bytes the workload allocates (the mass the per-pool
+    /// accounting must conserve). `None` in pre-N-pool report files,
+    /// which still deserialize.
+    pub footprint_bytes: Option<Bytes>,
+    /// Whole-machine capacity of each pool, indexed by pool index
+    /// (DDR = 0). `None` in pre-N-pool report files.
+    pub pool_capacity_bytes: Option<Vec<Bytes>>,
     /// Sustained HBM socket bandwidth of this machine, GB/s (the
     /// x-coordinate of the speedup-vs-bandwidth view).
     pub hbm_socket_bw_gbs: f64,
@@ -537,13 +550,25 @@ impl ScenarioRow {
         // shim *measured* during the chosen configuration's runs (an
         // independent accounting — this is what makes `fits`, and the
         // CLI/CI capacity audit on top of it, a real check).
-        let footprint = scenario.workload.footprint() as f64;
+        let footprint_bytes = scenario.workload.footprint();
+        let footprint = footprint_bytes as f64;
         let measured_hbm_bytes = analysis
             .campaign
             .get(plan.config)
             .map_or(plan.hbm_bytes as f64, |m| m.hbm_fraction * footprint);
-        let fits =
-            plan.hbm_bytes <= effective && measured_hbm_bytes <= effective as f64 * (1.0 + 1e-9);
+        // Per-pool accounting of the chosen placement. Groups land in
+        // the pool their digit names; allocations the grouping pass
+        // left out stay in DDR (pool 0), so the vector always sums to
+        // the footprint.
+        let n_pools = machine.n_pools();
+        let mut pool_bytes = plan.config.pool_bytes(&analysis.groups, n_pools);
+        let grouped: Bytes = pool_bytes.iter().sum();
+        pool_bytes[0] += footprint_bytes.saturating_sub(grouped);
+        let pool_capacity_bytes: Vec<Bytes> =
+            (0..n_pools).map(|i| machine.pool_capacity(i)).collect();
+        let fits = plan.hbm_bytes <= effective
+            && measured_hbm_bytes <= effective as f64 * (1.0 + 1e-9)
+            && pool_bytes.iter().zip(&pool_capacity_bytes).all(|(b, c)| b <= c);
         let table2 = &analysis.table2;
         let best_groups = analysis
             .groups
@@ -561,7 +586,9 @@ impl ScenarioRow {
             noise_cv: scenario.campaign.noise.cv,
             budget_bytes: scenario.budget,
             hbm_capacity_bytes: capacity,
-            hbm_socket_bw_gbs: machine.socket_bw(PoolKind::Hbm, machine.hbm.bw.t_max),
+            footprint_bytes: Some(footprint_bytes),
+            pool_capacity_bytes: Some(pool_capacity_bytes),
+            hbm_socket_bw_gbs: machine.socket_bw(PoolKind::Hbm, machine.hbm().bw.t_max),
             max_speedup: table2.max_speedup,
             hbm_only_speedup: table2.hbm_only_speedup,
             usage_90_pct: table2.usage_90_pct,
@@ -569,6 +596,7 @@ impl ScenarioRow {
             budgeted: BudgetedRow {
                 config: plan.config.label(),
                 hbm_bytes: plan.hbm_bytes,
+                pool_bytes: Some(pool_bytes),
                 speedup: plan.speedup,
                 slowdown_vs_best: table2.max_speedup / plan.speedup,
                 fits,
@@ -737,13 +765,20 @@ impl fmt::Display for MergeError {
 impl std::error::Error for MergeError {}
 
 /// Every row's chosen placement respects its budget and its machine's
-/// HBM capacity — the audit behind [`MatrixReport::capacity_ok`],
-/// shared with bare shard rows.
+/// per-pool capacities, and its per-pool byte accounting conserves the
+/// workload footprint — the audit behind [`MatrixReport::capacity_ok`],
+/// shared with bare shard rows. The per-pool clauses vacuously pass on
+/// rows deserialized from pre-N-pool report files (absent vectors).
 pub fn rows_capacity_ok(rows: &[ScenarioRow]) -> bool {
     rows.iter().all(|r| {
+        let pool_bytes = r.budgeted.pool_bytes.as_deref().unwrap_or(&[]);
+        let pool_caps = r.pool_capacity_bytes.as_deref().unwrap_or(&[]);
         r.budgeted.fits
             && r.budgeted.hbm_bytes <= r.hbm_capacity_bytes
             && r.budget_bytes.is_none_or(|b| r.budgeted.hbm_bytes <= b)
+            && pool_bytes.iter().zip(pool_caps).all(|(b, c)| b <= c)
+            && (pool_bytes.is_empty()
+                || Some(pool_bytes.iter().sum::<Bytes>()) == r.footprint_bytes)
     })
 }
 
@@ -763,6 +798,7 @@ pub fn rows_bit_identical(a: &[ScenarioRow], b: &[ScenarioRow]) -> bool {
                 && a.best_groups == b.best_groups
                 && a.budgeted.config == b.budgeted.config
                 && a.budgeted.hbm_bytes == b.budgeted.hbm_bytes
+                && a.budgeted.pool_bytes == b.budgeted.pool_bytes
                 && a.budgeted.speedup.to_bits() == b.budgeted.speedup.to_bits()
                 && a.planned_cells == b.planned_cells
                 && a.executed_cells == b.executed_cells
@@ -1115,6 +1151,8 @@ mod tests {
             noise_cv: 0.008,
             budget_bytes: budget,
             hbm_capacity_bytes: gib(128),
+            footprint_bytes: Some(gib(40)),
+            pool_capacity_bytes: Some(vec![gib(1024), gib(128)]),
             hbm_socket_bw_gbs: bw,
             max_speedup: speedup,
             hbm_only_speedup: speedup,
@@ -1123,6 +1161,10 @@ mod tests {
             budgeted: BudgetedRow {
                 config: "[0]".to_string(),
                 hbm_bytes: budget.unwrap_or(gib(20)).min(gib(20)),
+                pool_bytes: {
+                    let hbm = budget.unwrap_or(gib(20)).min(gib(20));
+                    Some(vec![gib(40) - hbm, hbm])
+                },
                 speedup: speedup * 0.9,
                 slowdown_vs_best: 1.0 / 0.9,
                 fits: true,

@@ -82,7 +82,11 @@ pub const FORMAT_VERSION: u32 = 1;
 /// derivation, key composition. Bump it whenever a change makes old keys
 /// incomparable with new ones (see the module docs); snapshots written
 /// under a different semantics version are rejected on load.
-pub const SEMANTICS_VERSION: u32 = 1;
+///
+/// v2: the N-pool generalization widened `Config` to a 64-bit word and
+/// made machine fingerprints cover the pool vector, so keys written by
+/// v1 binaries must not be compared against live keys.
+pub const SEMANTICS_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 32;
 const RECORD_LEN: usize = 64;
@@ -180,17 +184,14 @@ const TAG_EMPTY_WORKLOAD: u64 = 4;
 const TAG_TOO_MANY_GROUPS: u64 = 5;
 
 fn pool_code(pool: PoolKind) -> u64 {
-    match pool {
-        PoolKind::Ddr => 0,
-        PoolKind::Hbm => 1,
-    }
+    pool.index() as u64
 }
 
 fn pool_from_code(code: u64) -> Option<PoolKind> {
-    match code {
-        0 => Some(PoolKind::Ddr),
-        1 => Some(PoolKind::Hbm),
-        _ => None,
+    if (code as usize) < hmpt_sim::pool::MAX_POOLS {
+        Some(PoolKind::of_index(code as usize))
+    } else {
+        None
     }
 }
 

@@ -18,6 +18,7 @@ use hmpt_core::error::TunerError;
 use hmpt_core::exec::{CachingExecutor, ExecutorKind, ParallelExecutor, SerialExecutor};
 use hmpt_core::grouping::AllocationGroup;
 use hmpt_core::measure::{CampaignConfig, CampaignResult};
+use hmpt_core::planner;
 use hmpt_core::store;
 use hmpt_sim::machine::Machine;
 use hmpt_sim::noise::NoiseModel;
@@ -35,6 +36,24 @@ fn arb_machine() -> impl Strategy<Value = Machine> {
     )
         .prop_map(|(p, cap)| {
             let mut entry = ZooEntry::preset(Preset::ALL[p]);
+            if let Some(f) = cap {
+                entry = entry.with_axis(Axis::ScaleHbmCapacity(f));
+            }
+            entry.build()
+        })
+}
+
+/// A genuinely three-pool machine (DDR + HBM + CXL), optionally
+/// HBM-capacity-scaled: [`arb_machine`] only samples these by luck, and
+/// binary enumeration never exercises far-tier digits, so the mixed
+/// configuration space gets its own dedicated strategy.
+fn arb_three_pool_machine() -> impl Strategy<Value = Machine> {
+    (
+        prop_oneof![Just(Preset::CxlFarTier), Just(Preset::ThreeTier)],
+        prop_oneof![Just(None), (1u32..8).prop_map(|s| Some(s as f64 / 4.0))],
+    )
+        .prop_map(|(p, cap)| {
+            let mut entry = ZooEntry::preset(p);
             if let Some(f) = cap {
                 entry = entry.with_axis(Axis::ScaleHbmCapacity(f));
             }
@@ -223,5 +242,68 @@ proptest! {
             .execute(&CachingExecutor::new(ExecutorKind::parallel(), cache))
             .unwrap();
         assert_results_bitwise(&naive, &cached);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The bit-identity contract on genuinely three-pool machines, over
+    /// the *full* mixed-radix configuration space: every far-tier digit
+    /// combination measures to the same float bits (or the same
+    /// allocation error) on both paths, the whole campaign round-trips
+    /// bitwise, and the exhaustive planner's budget arithmetic conserves
+    /// per-pool bytes on whatever configuration it picks.
+    #[test]
+    fn three_pool_cells_are_bit_identical(
+        machine in arb_three_pool_machine(),
+        spec in arb_workload(),
+        assignment in prop::collection::vec(0usize..5, 4),
+        cfg in arb_campaign(),
+        budget_gib in 1u64..80,
+    ) {
+        let groups = groups_for(&spec, &assignment[..spec.allocations.len()]);
+        prop_assert!(machine.n_pools() == 3, "strategy must yield three pools");
+        let plan = CampaignPlan::new(&machine, &spec, &groups, cfg).unwrap();
+        for config in configspace::enumerate_pools(groups.len(), machine.n_pools()) {
+            for rep in 0..cfg.runs_per_config {
+                let cell = plan.cell(config, rep);
+                let naive = plan.measure_cell_naive(&cell);
+                let fast = plan.measure_cell(&cell);
+                match (naive, fast) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert!(a.time_s.to_bits() == b.time_s.to_bits(),
+                            "time bits for {} rep {}", config.label(), rep);
+                        prop_assert!(a.hbm_fraction.to_bits() == b.hbm_fraction.to_bits(),
+                            "hbm_fraction bits for {}", config.label());
+                    }
+                    (Err(TunerError::Alloc(a)), Err(TunerError::Alloc(b))) => {
+                        prop_assert!(a == b, "alloc error for {}", config.label());
+                    }
+                    (a, b) => prop_assert!(false, "divergence for {}: {:?} vs {:?}",
+                        config.label(), a, b),
+                }
+            }
+        }
+
+        let naive = CampaignPlan::new(&machine, &spec, &groups, cfg)
+            .unwrap()
+            .with_fast_path(false)
+            .execute(&SerialExecutor)
+            .unwrap();
+        let fast = CampaignPlan::new(&machine, &spec, &groups, cfg)
+            .unwrap()
+            .with_fast_path(true)
+            .execute(&SerialExecutor)
+            .unwrap();
+        assert_results_bitwise(&naive, &fast);
+
+        let budgeted = planner::plan_exhaustive(&naive, &groups, budget_gib << 30);
+        prop_assert!(budgeted.hbm_bytes <= budgeted.budget, "planner ignored the budget");
+        let pool_bytes = budgeted.config.pool_bytes(&groups, machine.n_pools());
+        prop_assert!(pool_bytes[1] == budgeted.hbm_bytes, "HBM slot disagrees with the plan");
+        let footprint: u64 = groups.iter().map(|g| g.bytes).sum();
+        prop_assert!(pool_bytes.iter().sum::<u64>() == footprint,
+            "planner placement leaks bytes: {:?} vs footprint {}", pool_bytes, footprint);
     }
 }

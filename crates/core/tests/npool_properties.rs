@@ -1,0 +1,96 @@
+//! Property tests for the N-pool configuration encoding: the
+//! mixed-radix rank is a bijection onto the digit vectors at every pool
+//! count, [`enumerate_pools`] walks it in order, and per-pool byte
+//! accounting conserves the grouped footprint — the invariants the
+//! planner and the three-tier CI audit lean on.
+
+use hmpt_core::configspace::{self, max_groups_for, Config};
+use hmpt_core::grouping::AllocationGroup;
+use proptest::prelude::*;
+
+/// A pool count and a digit vector legal for it: 2–4 pools, each digit
+/// a valid pool index, length up to that pool count's group capacity.
+fn arb_digits() -> impl Strategy<Value = (usize, Vec<u8>)> {
+    (2usize..=4)
+        .prop_flat_map(|p| (Just(p), prop::collection::vec(0u8..p as u8, 1..max_groups_for(p) + 1)))
+}
+
+/// Disjoint single-member groups with the given byte sizes.
+fn groups_of(bytes: &[u64]) -> Vec<AllocationGroup> {
+    bytes
+        .iter()
+        .enumerate()
+        .map(|(id, &b)| AllocationGroup {
+            id,
+            label: format!("g{id}"),
+            bytes: b,
+            density: 0.1,
+            members: vec![id],
+        })
+        .collect()
+}
+
+fn config_from(digits: &[u8]) -> Config {
+    digits.iter().enumerate().fold(Config::DDR_ONLY, |c, (g, &d)| c.with_digit(g, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `rank` and `from_rank` are inverse bijections at every pool
+    /// count 2–4: the rank stays below `p^n`, decoding it restores the
+    /// exact configuration word, and every digit survives the trip.
+    #[test]
+    fn mixed_radix_rank_roundtrips((n_pools, digits) in arb_digits()) {
+        let config = config_from(&digits);
+        let rank = config.rank(n_pools);
+        let bound = (n_pools as u64).pow(digits.len() as u32);
+        prop_assert!(rank < bound, "rank {rank} out of bounds {bound}");
+        let back = Config::from_rank(rank, digits.len(), n_pools);
+        prop_assert!(back == config, "decode(encode) is not identity");
+        for (g, &d) in digits.iter().enumerate() {
+            prop_assert!(back.digit(g) == d, "digit {} corrupted", g);
+        }
+    }
+
+    /// `enumerate_pools` is exactly the rank order: the configuration at
+    /// position `i` has rank `i`, so the walk is exhaustive and
+    /// duplicate-free by construction. (Bounded group counts keep the
+    /// full `p^n` sweep cheap.)
+    #[test]
+    fn enumerate_pools_walks_rank_order(n_pools in 2usize..=4, n_groups in 1usize..=5) {
+        let mut count = 0u64;
+        for (i, config) in configspace::enumerate_pools(n_groups, n_pools).enumerate() {
+            prop_assert!(config.rank(n_pools) == i as u64, "position {} is not its rank", i);
+            count += 1;
+        }
+        prop_assert_eq!(count, (n_pools as u64).pow(n_groups as u32));
+    }
+
+    /// Per-pool byte conservation: every group's bytes land in exactly
+    /// the pool its digit names, so the per-pool vector sums to the
+    /// grouped footprint and the HBM slot agrees with `hbm_bytes` — the
+    /// law the planner's budget arithmetic and the three-tier CI byte
+    /// audit both assume.
+    #[test]
+    fn pool_bytes_conserves_the_footprint(
+        (n_pools, digits) in arb_digits(),
+        seed_bytes in prop::collection::vec(1u64..1 << 40, 24),
+    ) {
+        let groups = groups_of(&seed_bytes[..digits.len()]);
+        let config = config_from(&digits);
+        let pool_bytes = config.pool_bytes(&groups, n_pools);
+        prop_assert_eq!(pool_bytes.len(), n_pools);
+        let footprint: u64 = groups.iter().map(|g| g.bytes).sum();
+        prop_assert!(pool_bytes.iter().sum::<u64>() == footprint, "bytes leaked or duplicated");
+        prop_assert!(pool_bytes[1] == config.hbm_bytes(&groups), "HBM slot disagrees");
+        for (pool, &total) in pool_bytes.iter().enumerate() {
+            let expect: u64 = groups
+                .iter()
+                .filter(|g| config.digit(g.id) as usize == pool)
+                .map(|g| g.bytes)
+                .sum();
+            prop_assert!(total == expect, "pool {} holds the wrong bytes", pool);
+        }
+    }
+}

@@ -6,14 +6,16 @@
 //! accumulating them per run gives the Fig 8 roofline operating points.
 
 use hmpt_sim::cost::PhaseCost;
+use hmpt_sim::pool::MAX_POOLS;
 use hmpt_sim::units::Bytes;
 use serde::{Deserialize, Serialize};
 
-/// Accumulated hardware counters for one run.
+/// Accumulated hardware counters for one run, one traffic slot per
+/// memory pool (uncore counters exist per memory controller, so the
+/// real machine exposes exactly this per-pool resolution).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Counters {
-    pub ddr_bytes: Bytes,
-    pub hbm_bytes: Bytes,
+    pub pool_bytes: [Bytes; MAX_POOLS],
     pub flops: f64,
     pub elapsed_s: f64,
 }
@@ -25,15 +27,26 @@ impl Counters {
 
     /// Accumulate one priced phase (scaled by its repeat count).
     pub fn add_phase(&mut self, cost: &PhaseCost, repeats: u64) {
-        self.ddr_bytes += cost.bytes_ddr * repeats;
-        self.hbm_bytes += cost.bytes_hbm * repeats;
+        for (slot, bytes) in self.pool_bytes.iter_mut().zip(cost.bytes_pools) {
+            *slot += bytes * repeats;
+        }
         self.flops += cost.flops * repeats as f64;
         self.elapsed_s += cost.time_s * repeats as f64;
     }
 
-    /// Total DRAM traffic.
+    /// DDR traffic (pool 0).
+    pub fn ddr_bytes(&self) -> Bytes {
+        self.pool_bytes[0]
+    }
+
+    /// HBM traffic (pool 1).
+    pub fn hbm_bytes(&self) -> Bytes {
+        self.pool_bytes[1]
+    }
+
+    /// Total DRAM traffic across every pool.
     pub fn dram_bytes(&self) -> Bytes {
-        self.ddr_bytes + self.hbm_bytes
+        self.pool_bytes.iter().sum()
     }
 
     /// Arithmetic intensity in FLOP/byte of DRAM traffic.
@@ -66,8 +79,9 @@ impl Counters {
 
     /// Merge another counter set (e.g. across benchmark iterations).
     pub fn merge(&mut self, other: &Counters) {
-        self.ddr_bytes += other.ddr_bytes;
-        self.hbm_bytes += other.hbm_bytes;
+        for (slot, bytes) in self.pool_bytes.iter_mut().zip(other.pool_bytes) {
+            *slot += bytes;
+        }
         self.flops += other.flops;
         self.elapsed_s += other.elapsed_s;
     }
@@ -99,8 +113,8 @@ mod tests {
         let cost = priced();
         let mut c = Counters::new();
         c.add_phase(&cost, 3);
-        assert_eq!(c.ddr_bytes, 30_000_000_000);
-        assert_eq!(c.hbm_bytes, 15_000_000_000);
+        assert_eq!(c.ddr_bytes(), 30_000_000_000);
+        assert_eq!(c.hbm_bytes(), 15_000_000_000);
         assert!((c.flops - 4.5e12).abs() < 1.0);
         assert!((c.elapsed_s - 3.0 * cost.time_s).abs() < 1e-12);
     }

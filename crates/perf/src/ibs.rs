@@ -215,8 +215,8 @@ mod tests {
         let mut s = sampler(256 * 1024);
         let e = [extent(0x2000_0000_0000, 1 << 28, PoolKind::Hbm)];
         let samples = s.sample_stream(&e, 1 << 30, Direction::Read, |p| match p {
-            PoolKind::Ddr => 95.0,
             PoolKind::Hbm => 114.0,
+            _ => 95.0,
         });
         for smp in samples {
             assert!((smp.latency_ns - 114.0).abs() < 1e-9);

@@ -12,17 +12,22 @@
 //! * the compute floor (priced at the phase's *effective* compute
 //!   throughput, which for real kernels sits far below vector FMA peak).
 //!
-//! Pure store streams to DDR in a phase that also reads from HBM are
-//! derated by [`Machine::cross_write_penalty`], graded by the HBM share
-//! of the phase's read traffic. This reproduces the asymmetric `HBM→DDR`
-//! copy behaviour of Fig 5a (full penalty when all reads come from HBM)
-//! without penalizing in-place updates of DDR-resident arrays, which keep
-//! cache-line ownership and do not exhibit the effect.
+//! Pure store streams to non-HBM pools in a phase that also reads from
+//! HBM are derated by [`Machine::cross_write_penalty`], graded by the HBM
+//! share of the phase's read traffic. This reproduces the asymmetric
+//! `HBM→DDR` copy behaviour of Fig 5a (full penalty when all reads come
+//! from HBM) without penalizing in-place updates of DDR-resident arrays,
+//! which keep cache-line ownership and do not exhibit the effect.
+//!
+//! The kernel is written over `machine.n_pools()` indexed pools; on a
+//! two-pool machine every arithmetic step (accumulation order, component
+//! ordering, the last-max tie-break) is identical to the original
+//! DDR/HBM-pair formulation, so phase times are bit-for-bit unchanged.
 
 use serde::{Deserialize, Serialize};
 
 use crate::machine::Machine;
-use crate::pool::PoolKind;
+use crate::pool::{PoolKind, MAX_POOLS};
 use crate::stream::{AccessPattern, Direction, ResolvedStream};
 use crate::units::Bytes;
 
@@ -85,6 +90,9 @@ impl ExecCtx {
 /// access mixes) that reduce achievable HBM bandwidth more than DDR
 /// (Fig 5b: the Add kernel tops out near 600 GB/s on HBM while DDR still
 /// reaches its 200 GB/s).
+///
+/// Workload TOMLs only name the two paper pools; far tiers (CXL, PMEM)
+/// are priced at the DDR efficiency — they are DDR-like capacity tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PoolEfficiency {
     pub ddr: f64,
@@ -99,9 +107,15 @@ impl Default for PoolEfficiency {
 
 impl PoolEfficiency {
     pub fn of(&self, kind: PoolKind) -> f64 {
-        match kind {
-            PoolKind::Ddr => self.ddr,
-            PoolKind::Hbm => self.hbm,
+        self.of_index(kind.index())
+    }
+
+    /// Efficiency of the pool at index `i` (HBM at 1, DDR-like elsewhere).
+    pub fn of_index(&self, i: usize) -> f64 {
+        if i == PoolKind::Hbm.index() {
+            self.hbm
+        } else {
+            self.ddr
         }
     }
 }
@@ -147,9 +161,18 @@ impl<'a> PhaseLoad<'a> {
 pub enum Bound {
     DdrBandwidth,
     HbmBandwidth,
+    CxlBandwidth,
+    PmemBandwidth,
     Fabric,
     Latency,
     Compute,
+}
+
+impl Bound {
+    /// The bandwidth bound of the pool at index `i`.
+    pub fn pool_bandwidth(i: usize) -> Bound {
+        [Bound::DdrBandwidth, Bound::HbmBandwidth, Bound::CxlBandwidth, Bound::PmemBandwidth][i]
+    }
 }
 
 /// Priced phase: total time plus the full component breakdown.
@@ -157,22 +180,38 @@ pub enum Bound {
 pub struct PhaseCost {
     /// Phase duration in seconds (max of the component times).
     pub time_s: f64,
-    pub t_ddr: f64,
-    pub t_hbm: f64,
+    /// Per-pool busy time (index = [`PoolKind::index`]; absent pools 0).
+    pub t_pools: [f64; MAX_POOLS],
     pub t_fabric: f64,
     pub t_chase: f64,
     pub t_compute: f64,
-    /// DRAM traffic per pool (read + write), bytes.
-    pub bytes_ddr: Bytes,
-    pub bytes_hbm: Bytes,
+    /// DRAM traffic per pool (read + write), bytes, indexed like
+    /// `t_pools`.
+    pub bytes_pools: [Bytes; MAX_POOLS],
     pub flops: f64,
     pub bound: Bound,
 }
 
 impl PhaseCost {
+    pub fn t_ddr(&self) -> f64 {
+        self.t_pools[0]
+    }
+
+    pub fn t_hbm(&self) -> f64 {
+        self.t_pools[1]
+    }
+
+    pub fn bytes_ddr(&self) -> Bytes {
+        self.bytes_pools[0]
+    }
+
+    pub fn bytes_hbm(&self) -> Bytes {
+        self.bytes_pools[1]
+    }
+
     /// Aggregate DRAM traffic of the phase.
     pub fn total_bytes(&self) -> Bytes {
-        self.bytes_ddr + self.bytes_hbm
+        self.bytes_pools.iter().sum()
     }
 
     /// Achieved combined memory throughput, GB/s.
@@ -219,29 +258,29 @@ pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> Phas
     // release builds keep the kernel branch-free.
     debug_assert!(ctx.is_valid(), "empty execution context");
     let cores = ctx.cores();
+    let n = machine.n_pools();
 
-    // Gather per-pool traffic. Index 0 = DDR, 1 = HBM.
-    let mut seq_read = [0u64; 2];
-    let mut seq_write_nt = [0u64; 2]; // pure store streams
-    let mut seq_write_rmw = [0u64; 2]; // write half of read-modify-write
-    let mut rand_bytes = [0u64; 2];
+    // Gather per-pool traffic, indexed by `PoolKind::index` (0 = DDR,
+    // 1 = HBM, then far tiers).
+    let mut seq_read = [0u64; MAX_POOLS];
+    let mut seq_write_nt = [0u64; MAX_POOLS]; // pure store streams
+    let mut seq_write_rmw = [0u64; MAX_POOLS]; // write half of read-modify-write
+    let mut rand_bytes = [0u64; MAX_POOLS];
     let mut t_chase = 0.0f64;
-    let idx = |k: PoolKind| match k {
-        PoolKind::Ddr => 0usize,
-        PoolKind::Hbm => 1usize,
-    };
 
     for s in load.streams {
+        let i = s.pool.index();
+        debug_assert!(i < n, "stream targets pool {} absent from this machine", s.pool);
         match s.pattern {
             AccessPattern::Sequential => {
-                seq_read[idx(s.pool)] += s.read_bytes();
+                seq_read[i] += s.read_bytes();
                 match s.dir {
-                    Direction::Write => seq_write_nt[idx(s.pool)] += s.write_bytes(),
-                    _ => seq_write_rmw[idx(s.pool)] += s.write_bytes(),
+                    Direction::Write => seq_write_nt[i] += s.write_bytes(),
+                    _ => seq_write_rmw[i] += s.write_bytes(),
                 }
             }
             AccessPattern::Random => {
-                rand_bytes[idx(s.pool)] += s.bytes;
+                rand_bytes[i] += s.bytes;
             }
             AccessPattern::PointerChase { window } => {
                 let pool = machine.pool(s.pool);
@@ -252,19 +291,18 @@ pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> Phas
         }
     }
 
-    // Cross-pool write penalty: pure stores to DDR are derated by the HBM
-    // share of this phase's read traffic.
-    let reads_total = (seq_read[0] + seq_read[1] + rand_bytes[0] + rand_bytes[1]) as f64;
+    // Cross-pool write penalty: pure stores to any non-HBM pool are
+    // derated by the HBM share of this phase's read traffic.
+    let reads_total = (seq_read.iter().sum::<u64>() + rand_bytes.iter().sum::<u64>()) as f64;
     let hbm_read_share =
         if reads_total > 0.0 { (seq_read[1] + rand_bytes[1]) as f64 / reads_total } else { 0.0 };
     let ddr_nt_derate = 1.0 - (1.0 - machine.cross_write_penalty) * hbm_read_share;
 
-    let mut t_pool = [0.0f64; 2];
-    for kind in PoolKind::ALL {
-        let i = idx(kind);
-        let spec = machine.pool(kind);
-        let bw = spec.bw.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64 * load.eff.of(kind);
-        let nt_derate = if kind == PoolKind::Ddr { ddr_nt_derate } else { 1.0 };
+    let mut t_pools = [0.0f64; MAX_POOLS];
+    for (i, spec) in machine.pools.iter().enumerate() {
+        let bw =
+            spec.bw.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64 * load.eff.of_index(i);
+        let nt_derate = if i == PoolKind::Hbm.index() { 1.0 } else { ddr_nt_derate };
         let mut t = 0.0;
         let seq = seq_read[i] + seq_write_rmw[i];
         if seq + seq_write_nt[i] > 0 {
@@ -279,16 +317,19 @@ pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> Phas
             );
             t += rand_bytes[i] as f64 / 1e9 / gbps;
         }
-        t_pool[i] = t;
+        t_pools[i] = t;
     }
 
-    let bytes_ddr = seq_read[0] + seq_write_nt[0] + seq_write_rmw[0] + rand_bytes[0];
-    let bytes_hbm = seq_read[1] + seq_write_nt[1] + seq_write_rmw[1] + rand_bytes[1];
+    let mut bytes_pools = [0u64; MAX_POOLS];
+    for i in 0..MAX_POOLS {
+        bytes_pools[i] = seq_read[i] + seq_write_nt[i] + seq_write_rmw[i] + rand_bytes[i];
+    }
+    let total_bytes: u64 = bytes_pools.iter().sum();
 
     // Fabric cap applies to combined DRAM traffic (chase traffic is
     // latency-dominated and negligible in volume).
     let fabric_bw = machine.fabric.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64;
-    let t_fabric = (bytes_ddr + bytes_hbm) as f64 / 1e9 / fabric_bw;
+    let t_fabric = total_bytes as f64 / 1e9 / fabric_bw;
 
     let t_compute = if load.flops > 0.0 {
         let peak_per_core = machine.compute.freq_ghz * machine.compute.dp_flops_per_cycle_vector;
@@ -299,24 +340,26 @@ pub fn phase_time(machine: &Machine, ctx: ExecCtx, load: &PhaseLoad<'_>) -> Phas
         0.0
     };
 
-    let components = [
-        (t_pool[0], Bound::DdrBandwidth),
-        (t_pool[1], Bound::HbmBandwidth),
-        (t_fabric, Bound::Fabric),
-        (t_chase, Bound::Latency),
-        (t_compute, Bound::Compute),
-    ];
-    let (time_s, bound) = components.iter().copied().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
+    // Pools first (index order), then fabric, chase, compute: for n = 2
+    // this is the exact component sequence — and therefore the exact
+    // last-max tie-break — of the original two-pool kernel.
+    let mut components = [(0.0f64, Bound::Compute); MAX_POOLS + 3];
+    for i in 0..n {
+        components[i] = (t_pools[i], Bound::pool_bandwidth(i));
+    }
+    components[n] = (t_fabric, Bound::Fabric);
+    components[n + 1] = (t_chase, Bound::Latency);
+    components[n + 2] = (t_compute, Bound::Compute);
+    let (time_s, bound) =
+        components[..n + 3].iter().copied().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
 
     PhaseCost {
         time_s,
-        t_ddr: t_pool[0],
-        t_hbm: t_pool[1],
+        t_pools,
         t_fabric,
         t_chase,
         t_compute,
-        bytes_ddr,
-        bytes_hbm,
+        bytes_pools,
         flops: load.flops,
         bound,
     }
@@ -394,7 +437,7 @@ mod tests {
         ];
         let c = phase_time(&m, ctx, &PhaseLoad::streams_only(&rmw));
         // DDR side: N bytes at 200 GB/s with no derating.
-        assert!((c.t_ddr - N as f64 / 1e9 / 200.0).abs() < 1e-6, "t_ddr {}", c.t_ddr);
+        assert!((c.t_ddr() - N as f64 / 1e9 / 200.0).abs() < 1e-6, "t_ddr {}", c.t_ddr());
     }
 
     #[test]
@@ -410,7 +453,7 @@ mod tests {
         let c = phase_time(&m, ctx, &PhaseLoad::streams_only(&half));
         let derate = 1.0 - (1.0 - 0.65) * 0.5;
         let expect = (N as f64 + N as f64 / derate) / 1e9 / 200.0;
-        assert!((c.t_ddr - expect).abs() < 1e-6, "t_ddr {} expect {expect}", c.t_ddr);
+        assert!((c.t_ddr() - expect).abs() < 1e-6, "t_ddr {} expect {expect}", c.t_ddr());
     }
 
     #[test]
@@ -508,6 +551,84 @@ mod tests {
             phase_time(&m, ExecCtx::socket_threads_per_tile(2.0), &PhaseLoad::streams_only(&s));
         let t12 = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
         assert!(t2.time_s > 2.0 * t12.time_s, "HBM should scale strongly with threads");
+    }
+}
+
+#[cfg(test)]
+mod three_pool_tests {
+    use super::*;
+    use crate::bandwidth::BwCurve;
+    use crate::machine::MachineBuilder;
+    use crate::pool::PoolSpec;
+    use crate::stream::Direction;
+    use crate::units::gib;
+
+    fn three_tier() -> Machine {
+        MachineBuilder::xeon_max()
+            .with_extra_pool(PoolSpec {
+                kind: PoolKind::Cxl,
+                capacity_per_tile: gib(64),
+                peak_bw_tile: 19.2,
+                bw: BwCurve::new(12.5, 12.0, 0.05),
+                idle_latency_ns: 400.0,
+                random_bw_fraction: 0.9,
+            })
+            .build()
+    }
+
+    #[test]
+    fn extra_pool_does_not_perturb_two_pool_traffic() {
+        // A phase with no CXL streams prices bit-identically on the
+        // two-pool and three-pool machines.
+        let two = crate::machine::xeon_max_9468();
+        let three = three_tier();
+        let s = [
+            ResolvedStream::seq(4_000_000_000, PoolKind::Hbm, Direction::Read),
+            ResolvedStream::seq(4_000_000_000, PoolKind::Ddr, Direction::Write),
+        ];
+        let a = phase_time(&two, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
+        let b = phase_time(&three, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
+        assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+        assert_eq!(a.bound, b.bound);
+        assert_eq!(a.bytes_pools, b.bytes_pools);
+    }
+
+    #[test]
+    fn cxl_traffic_accumulates_in_the_third_slot() {
+        let m = three_tier();
+        let s = [ResolvedStream::seq(4_000_000_000, PoolKind::Cxl, Direction::Read)];
+        let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
+        assert_eq!(c.bytes_pools, [0, 0, 4_000_000_000, 0]);
+        assert_eq!(c.bound, Bound::CxlBandwidth);
+        // 4 GB at 4 tiles × 12.5 GB/s = 50 GB/s.
+        assert!((c.throughput_gbs() - 50.0).abs() < 1.0, "got {}", c.throughput_gbs());
+    }
+
+    #[test]
+    fn cross_write_penalty_derates_cxl_stores_too() {
+        let m = MachineBuilder::xeon_max().with_extra_pool(m_cxl()).build();
+        let s = [
+            ResolvedStream::seq(N3, PoolKind::Hbm, Direction::Read),
+            ResolvedStream::seq(N3, PoolKind::Cxl, Direction::Write),
+        ];
+        let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&s));
+        // All reads from HBM → full 0.65 derate on the CXL store stream.
+        let bw = 4.0 * 12.5;
+        let expect = (N3 as f64 / 0.65) / 1e9 / bw;
+        assert!((c.t_pools[2] - expect).abs() < 1e-9, "t_cxl {} expect {expect}", c.t_pools[2]);
+    }
+
+    const N3: Bytes = 4_000_000_000;
+
+    fn m_cxl() -> PoolSpec {
+        PoolSpec {
+            kind: PoolKind::Cxl,
+            capacity_per_tile: gib(64),
+            peak_bw_tile: 19.2,
+            bw: BwCurve::new(12.5, 12.0, 0.05),
+            idle_latency_ns: 400.0,
+            random_bw_fraction: 0.9,
+        }
     }
 }
 

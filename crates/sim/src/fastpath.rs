@@ -14,10 +14,11 @@
 //!   alone, hoisted once per campaign;
 //! * [`PhaseTerms`] — the per-phase constants (pool bandwidth with the
 //!   phase efficiency applied, the whole compute floor);
-//! * [`PhaseAccum`] / [`TrafficDelta`] — the four per-pool `u64` traffic
-//!   accumulators and a group's contribution to them. Integer sums are
-//!   exact and order-independent, so adding and subtracting deltas
-//!   reproduces any configuration's accumulators bit-for-bit;
+//! * [`PhaseAccum`] / [`TrafficDelta`] — the per-pool `u64` traffic
+//!   accumulators ([`MAX_POOLS`] columns; absent pools stay zero) and a
+//!   group's contribution to them. Integer sums are exact and
+//!   order-independent, so adding and subtracting deltas reproduces any
+//!   configuration's accumulators bit-for-bit;
 //! * [`phase_time_flat`] — the arithmetic tail of [`phase_time`], with
 //!   the *same* expression shapes, evaluation order, and tie-breaking,
 //!   so every `f64` it produces carries identical bits.
@@ -31,17 +32,14 @@
 
 use crate::cost::{Bound, ExecCtx, PhaseCost, PoolEfficiency};
 use crate::machine::Machine;
-use crate::pool::PoolKind;
+use crate::pool::{PoolKind, MAX_POOLS};
 use crate::stream::{AccessPattern, Direction, ResolvedStream};
 use crate::units::Bytes;
 
-/// Accumulator column of a pool (0 = DDR, 1 = HBM), matching the index
-/// convention inside [`phase_time`](crate::cost::phase_time).
+/// Accumulator column of a pool, matching the index convention inside
+/// [`phase_time`](crate::cost::phase_time) ([`PoolKind::index`]).
 pub fn pool_index(kind: PoolKind) -> usize {
-    match kind {
-        PoolKind::Ddr => 0,
-        PoolKind::Hbm => 1,
-    }
+    kind.index()
 }
 
 /// Everything [`phase_time`](crate::cost::phase_time) derives from the
@@ -58,11 +56,13 @@ pub struct MachineCtx {
     pub cores: f64,
     /// `(cores as usize).max(1)` — the chase-throughput core count.
     pub chase_cores: usize,
+    /// Number of pools on the machine; columns `n_pools..` stay zero.
+    pub n_pools: usize,
     /// Per pool: `bw.bw_per_tile(threads_per_tile) * tiles as f64`
     /// (phase efficiency is applied per phase, see [`PhaseTerms`]).
-    pub pool_bw_base: [f64; 2],
+    pub pool_bw_base: [f64; MAX_POOLS],
     /// Per pool: the full MLP-limited random throughput, GB/s.
-    pub rand_gbps: [f64; 2],
+    pub rand_gbps: [f64; MAX_POOLS],
     /// `fabric.bw_per_tile(threads_per_tile) * tiles as f64`.
     pub fabric_bw: f64,
     /// `freq_ghz * dp_flops_per_cycle_vector`.
@@ -79,11 +79,9 @@ impl MachineCtx {
             return None;
         }
         let cores = ctx.cores();
-        let mut pool_bw_base = [0.0f64; 2];
-        let mut rand_gbps = [0.0f64; 2];
-        for kind in PoolKind::ALL {
-            let i = pool_index(kind);
-            let spec = machine.pool(kind);
+        let mut pool_bw_base = [0.0f64; MAX_POOLS];
+        let mut rand_gbps = [0.0f64; MAX_POOLS];
+        for (i, spec) in machine.pools.iter().enumerate() {
             pool_bw_base[i] = spec.bw.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64;
             rand_gbps[i] = machine.latency.random_throughput(
                 spec,
@@ -95,6 +93,7 @@ impl MachineCtx {
         Some(MachineCtx {
             cores,
             chase_cores: (cores as usize).max(1),
+            n_pools: machine.n_pools(),
             pool_bw_base,
             rand_gbps,
             fabric_bw: machine.fabric.bw_per_tile(ctx.threads_per_tile) * ctx.tiles as f64,
@@ -125,8 +124,8 @@ impl MachineCtx {
 /// applied, and the (configuration-independent) compute floor.
 #[derive(Debug, Clone, Copy)]
 pub struct PhaseTerms {
-    /// Per pool: `pool_bw_base[i] * eff.of(kind)`.
-    pub pool_bw: [f64; 2],
+    /// Per pool: `pool_bw_base[i] * eff.of_index(i)`.
+    pub pool_bw: [f64; MAX_POOLS],
     /// The whole `t_compute` component (placement never moves FLOPs).
     pub t_compute: f64,
     pub flops: f64,
@@ -139,10 +138,10 @@ impl PhaseTerms {
         flops: f64,
         gflops_per_core_cap: Option<f64>,
     ) -> Self {
-        let pool_bw = [
-            mctx.pool_bw_base[0] * eff.of(PoolKind::Ddr),
-            mctx.pool_bw_base[1] * eff.of(PoolKind::Hbm),
-        ];
+        let mut pool_bw = [0.0f64; MAX_POOLS];
+        for (i, bw) in pool_bw.iter_mut().enumerate() {
+            *bw = mctx.pool_bw_base[i] * eff.of_index(i);
+        }
         let t_compute = if flops > 0.0 {
             let per_core = gflops_per_core_cap
                 .map(|cap| cap.min(mctx.peak_per_core))
@@ -155,17 +154,17 @@ impl PhaseTerms {
     }
 }
 
-/// The four per-pool traffic accumulators of one phase. Plain `u64`
-/// sums: exact, associative, order-independent — the property that makes
+/// The per-pool traffic accumulators of one phase. Plain `u64` sums:
+/// exact, associative, order-independent — the property that makes
 /// add/subtract delta updates bitwise safe.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseAccum {
-    pub seq_read: [u64; 2],
+    pub seq_read: [u64; MAX_POOLS],
     /// Pure store streams (non-temporal).
-    pub seq_write_nt: [u64; 2],
+    pub seq_write_nt: [u64; MAX_POOLS],
     /// Write half of read-modify-write streams.
-    pub seq_write_rmw: [u64; 2],
-    pub rand_bytes: [u64; 2],
+    pub seq_write_rmw: [u64; MAX_POOLS],
+    pub rand_bytes: [u64; MAX_POOLS],
 }
 
 impl PhaseAccum {
@@ -268,8 +267,9 @@ pub fn phase_time_flat(
     accum: &PhaseAccum,
     t_chase: f64,
 ) -> PhaseCost {
+    let n = mctx.n_pools;
     let reads_total =
-        (accum.seq_read[0] + accum.seq_read[1] + accum.rand_bytes[0] + accum.rand_bytes[1]) as f64;
+        (accum.seq_read.iter().sum::<u64>() + accum.rand_bytes.iter().sum::<u64>()) as f64;
     let hbm_read_share = if reads_total > 0.0 {
         (accum.seq_read[1] + accum.rand_bytes[1]) as f64 / reads_total
     } else {
@@ -277,10 +277,10 @@ pub fn phase_time_flat(
     };
     let ddr_nt_derate = 1.0 - (1.0 - mctx.cross_write_penalty) * hbm_read_share;
 
-    let mut t_pool = [0.0f64; 2];
-    for (i, t_pool_i) in t_pool.iter_mut().enumerate() {
+    let mut t_pools = [0.0f64; MAX_POOLS];
+    for (i, t_pool_i) in t_pools.iter_mut().enumerate().take(n) {
         let bw = terms.pool_bw[i];
-        let nt_derate = if i == 0 { ddr_nt_derate } else { 1.0 };
+        let nt_derate = if i == PoolKind::Hbm.index() { 1.0 } else { ddr_nt_derate };
         let mut t = 0.0;
         let seq = accum.seq_read[i] + accum.seq_write_rmw[i];
         if seq + accum.seq_write_nt[i] > 0 {
@@ -292,32 +292,35 @@ pub fn phase_time_flat(
         *t_pool_i = t;
     }
 
-    let bytes_ddr =
-        accum.seq_read[0] + accum.seq_write_nt[0] + accum.seq_write_rmw[0] + accum.rand_bytes[0];
-    let bytes_hbm =
-        accum.seq_read[1] + accum.seq_write_nt[1] + accum.seq_write_rmw[1] + accum.rand_bytes[1];
+    let mut bytes_pools = [0u64; MAX_POOLS];
+    for (i, b) in bytes_pools.iter_mut().enumerate() {
+        *b = accum.seq_read[i]
+            + accum.seq_write_nt[i]
+            + accum.seq_write_rmw[i]
+            + accum.rand_bytes[i];
+    }
+    let total_bytes: u64 = bytes_pools.iter().sum();
 
-    let t_fabric = (bytes_ddr + bytes_hbm) as f64 / 1e9 / mctx.fabric_bw;
+    let t_fabric = total_bytes as f64 / 1e9 / mctx.fabric_bw;
     let t_compute = terms.t_compute;
 
-    let components = [
-        (t_pool[0], Bound::DdrBandwidth),
-        (t_pool[1], Bound::HbmBandwidth),
-        (t_fabric, Bound::Fabric),
-        (t_chase, Bound::Latency),
-        (t_compute, Bound::Compute),
-    ];
-    let (time_s, bound) = components.iter().copied().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
+    let mut components = [(0.0f64, Bound::Compute); MAX_POOLS + 3];
+    for i in 0..n {
+        components[i] = (t_pools[i], Bound::pool_bandwidth(i));
+    }
+    components[n] = (t_fabric, Bound::Fabric);
+    components[n + 1] = (t_chase, Bound::Latency);
+    components[n + 2] = (t_compute, Bound::Compute);
+    let (time_s, bound) =
+        components[..n + 3].iter().copied().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
 
     PhaseCost {
         time_s,
-        t_ddr: t_pool[0],
-        t_hbm: t_pool[1],
+        t_pools,
         t_fabric,
         t_chase,
         t_compute,
-        bytes_ddr,
-        bytes_hbm,
+        bytes_pools,
         flops: terms.flops,
         bound,
     }
@@ -326,19 +329,21 @@ pub fn phase_time_flat(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bandwidth::BwCurve;
     use crate::cost::{phase_time, PhaseLoad};
-    use crate::machine::xeon_max_9468;
-    use crate::units::gb;
+    use crate::machine::{xeon_max_9468, MachineBuilder};
+    use crate::pool::PoolSpec;
+    use crate::units::{gb, gib};
 
     fn assert_cost_bits(a: &PhaseCost, b: &PhaseCost) {
         assert_eq!(a.time_s.to_bits(), b.time_s.to_bits(), "time_s");
-        assert_eq!(a.t_ddr.to_bits(), b.t_ddr.to_bits(), "t_ddr");
-        assert_eq!(a.t_hbm.to_bits(), b.t_hbm.to_bits(), "t_hbm");
+        for i in 0..MAX_POOLS {
+            assert_eq!(a.t_pools[i].to_bits(), b.t_pools[i].to_bits(), "t_pools[{i}]");
+            assert_eq!(a.bytes_pools[i], b.bytes_pools[i], "bytes_pools[{i}]");
+        }
         assert_eq!(a.t_fabric.to_bits(), b.t_fabric.to_bits(), "t_fabric");
         assert_eq!(a.t_chase.to_bits(), b.t_chase.to_bits(), "t_chase");
         assert_eq!(a.t_compute.to_bits(), b.t_compute.to_bits(), "t_compute");
-        assert_eq!(a.bytes_ddr, b.bytes_ddr);
-        assert_eq!(a.bytes_hbm, b.bytes_hbm);
         assert_eq!(a.flops.to_bits(), b.flops.to_bits());
         assert_eq!(a.bound, b.bound);
     }
@@ -419,6 +424,53 @@ mod tests {
     }
 
     #[test]
+    fn flat_kernel_is_bit_identical_on_three_pools() {
+        let m = MachineBuilder::xeon_max()
+            .with_extra_pool(PoolSpec {
+                kind: PoolKind::Cxl,
+                capacity_per_tile: gib(64),
+                peak_bw_tile: 19.2,
+                bw: BwCurve::new(12.5, 12.0, 0.05),
+                idle_latency_ns: 400.0,
+                random_bw_fraction: 0.9,
+            })
+            .build();
+        let n = 6_000_000_000u64;
+        let mut three_pool_loads = loads();
+        three_pool_loads.push((
+            vec![
+                ResolvedStream::seq(n, PoolKind::Cxl, Direction::Read),
+                ResolvedStream::seq(n / 2, PoolKind::Hbm, Direction::Read),
+                ResolvedStream::seq(n / 3, PoolKind::Cxl, Direction::Write),
+                ResolvedStream {
+                    bytes: gb(1.0),
+                    pool: PoolKind::Cxl,
+                    dir: Direction::Read,
+                    pattern: AccessPattern::Random,
+                },
+                ResolvedStream {
+                    bytes: gb(0.5),
+                    pool: PoolKind::Cxl,
+                    dir: Direction::Read,
+                    pattern: AccessPattern::PointerChase { window: gb(2.0) },
+                },
+            ],
+            1e11,
+            Some(3.0),
+            PoolEfficiency { ddr: 0.97, hbm: 0.9 },
+        ));
+        for ctx in [ExecCtx::full_socket(), ExecCtx::whole_machine()] {
+            for (streams, flops, cap, eff) in &three_pool_loads {
+                let mut load = PhaseLoad::streams_only(streams).with_flops(*flops).with_eff(*eff);
+                load.gflops_per_core_cap = *cap;
+                let naive = phase_time(&m, ctx, &load);
+                let fast = flat(&m, ctx, &load);
+                assert_cost_bits(&naive, &fast);
+            }
+        }
+    }
+
+    #[test]
     fn delta_updates_reproduce_direct_accumulation() {
         // Moving a group DDR→HBM by delta equals classifying the moved
         // streams in HBM directly — exactly, because the sums are u64.
@@ -455,6 +507,25 @@ mod tests {
         accum.add(d, 0);
         let (base, _) = flatten_streams(&m, &mctx, &all);
         assert_eq!(accum, base);
+    }
+
+    #[test]
+    fn delta_updates_move_between_any_columns() {
+        // DDR→CXL and back: the third column behaves exactly like the
+        // original pair.
+        let mut accum = PhaseAccum::default();
+        let s = ResolvedStream::seq(1_000_000_007, PoolKind::Ddr, Direction::ReadWrite);
+        accum.add_stream(&s, 0);
+        let mut d = TrafficDelta::default();
+        d.add_stream(&s);
+        let before = accum;
+        accum.sub(d, 0);
+        accum.add(d, 2);
+        assert_eq!(accum.seq_read[2], s.read_bytes());
+        assert_eq!(accum.seq_read[0], 0);
+        accum.sub(d, 2);
+        accum.add(d, 0);
+        assert_eq!(accum, before);
     }
 
     #[test]

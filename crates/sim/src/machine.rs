@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::bandwidth::BwCurve;
 use crate::cache::{spr_core_hierarchy, CacheHierarchy};
 use crate::latency::LatencyModel;
-use crate::pool::{PoolKind, PoolSpec};
+use crate::pool::{PoolKind, PoolSpec, MAX_POOLS};
 use crate::topology::{SncMode, Topology};
 use crate::units::{gib, Bytes};
 
@@ -19,6 +19,8 @@ pub enum MachineError {
     NonPositive { field: &'static str, value: f64 },
     /// A fraction that must lie in `(0, 1]` does not.
     NotAFraction { field: &'static str, value: f64 },
+    /// The pools vector is empty, too long, or out of index order.
+    BadPools { detail: &'static str },
 }
 
 impl std::fmt::Display for MachineError {
@@ -29,6 +31,9 @@ impl std::fmt::Display for MachineError {
             }
             MachineError::NotAFraction { field, value } => {
                 write!(f, "machine field `{field}` must lie in (0, 1], got {value}")
+            }
+            MachineError::BadPools { detail } => {
+                write!(f, "machine pools vector is invalid: {detail}")
             }
         }
     }
@@ -62,31 +67,53 @@ impl Compute {
 }
 
 /// The complete platform model used by the cost function and the tuner.
+///
+/// Pools are indexed: `pools[i].kind == PoolKind::of_index(i)`, so a
+/// two-pool machine is exactly `[Ddr, Hbm]` and a three-tier machine
+/// appends a `Cxl` spec. All per-pool accumulators downstream use this
+/// index.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Machine {
     pub topology: Topology,
-    pub ddr: PoolSpec,
-    pub hbm: PoolSpec,
+    /// The memory pools, in [`PoolKind::index`] order (DDR first).
+    pub pools: Vec<PoolSpec>,
     pub caches: CacheHierarchy,
     pub latency: LatencyModel,
-    /// Per-tile cap on the combined DDR+HBM traffic a tile's mesh stop can
-    /// sustain. On the real machine mixing pools never exceeds HBM-only
-    /// throughput (Fig 5b: `DDR+HBM→HBM` matches `HBM+HBM→HBM`), so the
-    /// cap sits just above the HBM sustained bandwidth.
+    /// Per-tile cap on the combined cross-pool traffic a tile's mesh stop
+    /// can sustain. On the real machine mixing pools never exceeds
+    /// HBM-only throughput (Fig 5b: `DDR+HBM→HBM` matches `HBM+HBM→HBM`),
+    /// so the cap sits just above the HBM sustained bandwidth.
     pub fabric: BwCurve,
-    /// Efficiency of DDR writes whose data is sourced from HBM reads in
-    /// the same phase (Fig 5a: HBM→DDR copy reaches only ~65 % of the
+    /// Efficiency of non-HBM writes whose data is sourced from HBM reads
+    /// in the same phase (Fig 5a: HBM→DDR copy reaches only ~65 % of the
     /// bandwidth its complementary configuration achieves).
     pub cross_write_penalty: f64,
     pub compute: Compute,
 }
 
 impl Machine {
+    /// Number of pools this machine exposes (2 for the paper platform).
+    pub fn n_pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The pool spec at index `i`. Panics on an absent pool.
+    pub fn pool_at(&self, i: usize) -> &PoolSpec {
+        &self.pools[i]
+    }
+
+    /// The DDR pool (index 0, always present).
+    pub fn ddr(&self) -> &PoolSpec {
+        &self.pools[0]
+    }
+
+    /// The HBM pool (index 1, always present).
+    pub fn hbm(&self) -> &PoolSpec {
+        &self.pools[1]
+    }
+
     pub fn pool(&self, kind: PoolKind) -> &PoolSpec {
-        match kind {
-            PoolKind::Ddr => &self.ddr,
-            PoolKind::Hbm => &self.hbm,
-        }
+        &self.pools[kind.index()]
     }
 
     /// Sustained socket bandwidth of a pool at `threads_per_tile`, GB/s.
@@ -94,19 +121,31 @@ impl Machine {
         self.pool(kind).socket_bw(threads_per_tile, self.topology.tiles_per_socket)
     }
 
+    /// Capacity of the pool at index `i` for the whole machine (0 for an
+    /// absent pool).
+    pub fn pool_capacity(&self, i: usize) -> Bytes {
+        match self.pools.get(i) {
+            Some(p) => {
+                p.capacity_per_tile
+                    * (self.topology.tiles_per_socket * self.topology.sockets) as u64
+            }
+            None => 0,
+        }
+    }
+
     /// HBM capacity of the whole machine.
     pub fn hbm_capacity(&self) -> Bytes {
-        self.hbm.capacity_per_tile * (self.topology.tiles_per_socket * self.topology.sockets) as u64
+        self.pool_capacity(PoolKind::Hbm.index())
     }
 
     /// DDR capacity of the whole machine.
     pub fn ddr_capacity(&self) -> Bytes {
-        self.ddr.capacity_per_tile * (self.topology.tiles_per_socket * self.topology.sockets) as u64
+        self.pool_capacity(PoolKind::Ddr.index())
     }
 
     /// Idle-latency penalty of HBM relative to DDR (≈1.2 on Xeon Max).
     pub fn hbm_latency_penalty(&self) -> f64 {
-        self.hbm.idle_latency_ns / self.ddr.idle_latency_ns
+        self.hbm().idle_latency_ns / self.ddr().idle_latency_ns
     }
 
     /// Check every hardware constant the cost model divides by or
@@ -146,12 +185,9 @@ impl Machine {
             fraction(fields[3], pool.random_bw_fraction)?;
             curve([fields[4], fields[5], fields[6]], &pool.bw)
         }
-
-        positive("topology.sockets", self.topology.sockets as f64)?;
-        positive("topology.tiles_per_socket", self.topology.tiles_per_socket as f64)?;
-        positive("topology.cores_per_tile", self.topology.cores_per_tile as f64)?;
-        check_pool(
-            &self.ddr,
+        // Static per-index field-name tables so MachineError can keep
+        // carrying `&'static str` field names.
+        const POOL_FIELDS: [[&str; 7]; MAX_POOLS] = [
             [
                 "ddr.capacity_per_tile",
                 "ddr.peak_bw_tile",
@@ -161,9 +197,6 @@ impl Machine {
                 "ddr.bw.t_max",
                 "ddr.bw.knee",
             ],
-        )?;
-        check_pool(
-            &self.hbm,
             [
                 "hbm.capacity_per_tile",
                 "hbm.peak_bw_tile",
@@ -173,7 +206,46 @@ impl Machine {
                 "hbm.bw.t_max",
                 "hbm.bw.knee",
             ],
-        )?;
+            [
+                "cxl.capacity_per_tile",
+                "cxl.peak_bw_tile",
+                "cxl.idle_latency_ns",
+                "cxl.random_bw_fraction",
+                "cxl.bw.sustained_tile",
+                "cxl.bw.t_max",
+                "cxl.bw.knee",
+            ],
+            [
+                "pmem.capacity_per_tile",
+                "pmem.peak_bw_tile",
+                "pmem.idle_latency_ns",
+                "pmem.random_bw_fraction",
+                "pmem.bw.sustained_tile",
+                "pmem.bw.t_max",
+                "pmem.bw.knee",
+            ],
+        ];
+
+        if self.pools.len() < 2 {
+            return Err(MachineError::BadPools { detail: "a machine needs at least DDR and HBM" });
+        }
+        if self.pools.len() > MAX_POOLS {
+            return Err(MachineError::BadPools { detail: "more pools than MAX_POOLS" });
+        }
+        for (i, pool) in self.pools.iter().enumerate() {
+            if pool.kind != PoolKind::of_index(i) {
+                return Err(MachineError::BadPools {
+                    detail: "pools must be in PoolKind::index order (DDR, HBM, CXL, PMEM)",
+                });
+            }
+        }
+
+        positive("topology.sockets", self.topology.sockets as f64)?;
+        positive("topology.tiles_per_socket", self.topology.tiles_per_socket as f64)?;
+        positive("topology.cores_per_tile", self.topology.cores_per_tile as f64)?;
+        for (i, pool) in self.pools.iter().enumerate() {
+            check_pool(pool, POOL_FIELDS[i])?;
+        }
         curve(["fabric.sustained_tile", "fabric.t_max", "fabric.knee"], &self.fabric)?;
         fraction("cross_write_penalty", self.cross_write_penalty)?;
         positive("compute.freq_ghz", self.compute.freq_ghz)?;
@@ -218,42 +290,42 @@ impl MachineBuilder {
     /// Like every builder knob, a degenerate value is rejected by
     /// [`Self::try_build`], not here.
     pub fn with_hbm_latency_penalty(mut self, penalty: f64) -> Self {
-        self.machine.hbm.idle_latency_ns = self.machine.ddr.idle_latency_ns * penalty;
+        self.machine.pools[1].idle_latency_ns = self.machine.pools[0].idle_latency_ns * penalty;
         self
     }
 
     /// Scale the sustained HBM bandwidth by `factor` (fabric cap follows).
     pub fn with_hbm_bw_factor(mut self, factor: f64) -> Self {
-        self.machine.hbm.bw.sustained_tile *= factor;
+        self.machine.pools[1].bw.sustained_tile *= factor;
         self.machine.fabric.sustained_tile *= factor;
         self
     }
 
     /// Override the per-tile HBM capacity (capacity-pressure studies).
     pub fn with_hbm_capacity_per_tile(mut self, capacity: Bytes) -> Self {
-        self.machine.hbm.capacity_per_tile = capacity;
+        self.machine.pools[1].capacity_per_tile = capacity;
         self
     }
 
     /// Scale the per-tile HBM capacity by `factor` (rounded to bytes).
     pub fn with_hbm_capacity_factor(mut self, factor: f64) -> Self {
-        self.machine.hbm.capacity_per_tile =
-            (self.machine.hbm.capacity_per_tile as f64 * factor) as Bytes;
+        self.machine.pools[1].capacity_per_tile =
+            (self.machine.pools[1].capacity_per_tile as f64 * factor) as Bytes;
         self
     }
 
     /// Scale the sustained *and* peak DDR bandwidth by `factor` — a
     /// slower capacity tier (e.g. CXL-attached memory behind a x8 link).
     pub fn with_ddr_bw_factor(mut self, factor: f64) -> Self {
-        self.machine.ddr.bw.sustained_tile *= factor;
-        self.machine.ddr.peak_bw_tile *= factor;
+        self.machine.pools[0].bw.sustained_tile *= factor;
+        self.machine.pools[0].peak_bw_tile *= factor;
         self
     }
 
     /// Scale the DDR idle latency by `factor` (far-tier studies: a
     /// CXL-attached pool sits several hops further than local DRAM).
     pub fn with_ddr_latency_factor(mut self, factor: f64) -> Self {
-        self.machine.ddr.idle_latency_ns *= factor;
+        self.machine.pools[0].idle_latency_ns *= factor;
         self
     }
 
@@ -261,9 +333,17 @@ impl MachineBuilder {
     /// `1 + (penalty − 1)·factor`, so `0.0` flattens the latencies and
     /// `2.0` doubles the paper's ~20 % gap.
     pub fn with_latency_gap_scale(mut self, factor: f64) -> Self {
-        let penalty = self.machine.hbm.idle_latency_ns / self.machine.ddr.idle_latency_ns;
-        self.machine.hbm.idle_latency_ns =
-            self.machine.ddr.idle_latency_ns * (1.0 + (penalty - 1.0) * factor);
+        let penalty = self.machine.pools[1].idle_latency_ns / self.machine.pools[0].idle_latency_ns;
+        self.machine.pools[1].idle_latency_ns =
+            self.machine.pools[0].idle_latency_ns * (1.0 + (penalty - 1.0) * factor);
+        self
+    }
+
+    /// Append an extra (far-tier) pool. The spec's `kind` must be the
+    /// next pool index — appending `Cxl` to a `[Ddr, Hbm]` machine —
+    /// which [`Self::try_build`] enforces.
+    pub fn with_extra_pool(mut self, spec: PoolSpec) -> Self {
+        self.machine.pools.push(spec);
         self
     }
 
@@ -293,26 +373,28 @@ impl MachineBuilder {
 pub fn xeon_max_9468() -> Machine {
     Machine {
         topology: Topology::dual_xeon_max_snc4(),
-        ddr: PoolSpec {
-            kind: PoolKind::Ddr,
-            capacity_per_tile: gib(32),
-            peak_bw_tile: 76.8,
-            bw: BwCurve::new(50.0, 12.0, 0.05),
-            idle_latency_ns: 95.0,
-            // DDR keeps a large share of its sequential bandwidth under
-            // random access thanks to low queueing and many banks.
-            random_bw_fraction: 0.95,
-        },
-        hbm: PoolSpec {
-            kind: PoolKind::Hbm,
-            capacity_per_tile: gib(16),
-            peak_bw_tile: 409.6,
-            bw: BwCurve::new(175.0, 12.0, 0.8),
-            idle_latency_ns: 114.0,
-            // Wide, deeply banked stacks lose more of their headline
-            // bandwidth to random cache-line traffic.
-            random_bw_fraction: 0.55,
-        },
+        pools: vec![
+            PoolSpec {
+                kind: PoolKind::Ddr,
+                capacity_per_tile: gib(32),
+                peak_bw_tile: 76.8,
+                bw: BwCurve::new(50.0, 12.0, 0.05),
+                idle_latency_ns: 95.0,
+                // DDR keeps a large share of its sequential bandwidth under
+                // random access thanks to low queueing and many banks.
+                random_bw_fraction: 0.95,
+            },
+            PoolSpec {
+                kind: PoolKind::Hbm,
+                capacity_per_tile: gib(16),
+                peak_bw_tile: 409.6,
+                bw: BwCurve::new(175.0, 12.0, 0.8),
+                idle_latency_ns: 114.0,
+                // Wide, deeply banked stacks lose more of their headline
+                // bandwidth to random cache-line traffic.
+                random_bw_fraction: 0.55,
+            },
+        ],
         caches: spr_core_hierarchy(),
         latency: LatencyModel::default(),
         // Per-tile mesh-stop cap slightly above HBM sustained bandwidth.
@@ -337,6 +419,7 @@ mod tests {
         assert!((m.socket_bw(PoolKind::Hbm, 12.0) - 700.0).abs() < 1e-6);
         assert_eq!(m.hbm_capacity(), gib(128));
         assert_eq!(m.ddr_capacity(), gib(256));
+        assert_eq!(m.n_pools(), 2);
         let pen = m.hbm_latency_penalty();
         assert!(pen > 1.15 && pen < 1.25, "latency penalty {pen}");
     }
@@ -365,14 +448,14 @@ mod tests {
             .with_hbm_latency_penalty(1.0)
             .build();
         assert_eq!(m.cross_write_penalty, 1.0);
-        assert!((m.hbm.idle_latency_ns - m.ddr.idle_latency_ns).abs() < 1e-12);
+        assert!((m.hbm().idle_latency_ns - m.ddr().idle_latency_ns).abs() < 1e-12);
     }
 
     #[test]
     fn builder_bw_factor_scales_fabric_too() {
         let base = xeon_max_9468();
         let m = MachineBuilder::xeon_max().with_hbm_bw_factor(0.5).build();
-        assert!((m.hbm.bw.sustained_tile - base.hbm.bw.sustained_tile * 0.5).abs() < 1e-9);
+        assert!((m.hbm().bw.sustained_tile - base.hbm().bw.sustained_tile * 0.5).abs() < 1e-9);
         assert!((m.fabric.sustained_tile - base.fabric.sustained_tile * 0.5).abs() < 1e-9);
     }
 
@@ -384,9 +467,9 @@ mod tests {
             .with_ddr_latency_factor(2.0)
             .with_snc(SncMode::Quad)
             .build();
-        assert!((m.ddr.bw.sustained_tile - base.ddr.bw.sustained_tile * 0.5).abs() < 1e-9);
-        assert!((m.ddr.peak_bw_tile - base.ddr.peak_bw_tile * 0.5).abs() < 1e-9);
-        assert!((m.ddr.idle_latency_ns - base.ddr.idle_latency_ns * 2.0).abs() < 1e-9);
+        assert!((m.ddr().bw.sustained_tile - base.ddr().bw.sustained_tile * 0.5).abs() < 1e-9);
+        assert!((m.ddr().peak_bw_tile - base.ddr().peak_bw_tile * 0.5).abs() < 1e-9);
+        assert!((m.ddr().idle_latency_ns - base.ddr().idle_latency_ns * 2.0).abs() < 1e-9);
         assert_eq!(m.topology.snc, SncMode::Quad);
         // HBM latency untouched: the pool gap inverts (near tier wins).
         assert!(m.hbm_latency_penalty() < 1.0);
@@ -406,6 +489,35 @@ mod tests {
     fn capacity_factor_scales_machine_capacity() {
         let m = MachineBuilder::xeon_max().with_hbm_capacity_factor(0.125).build();
         assert_eq!(m.hbm_capacity(), gib(16));
+    }
+
+    #[test]
+    fn extra_pool_appends_a_third_tier() {
+        let cxl = PoolSpec {
+            kind: PoolKind::Cxl,
+            capacity_per_tile: gib(64),
+            peak_bw_tile: 19.2,
+            bw: BwCurve::new(12.5, 12.0, 0.05),
+            idle_latency_ns: 400.0,
+            random_bw_fraction: 0.9,
+        };
+        let m = MachineBuilder::xeon_max().with_extra_pool(cxl).build();
+        assert_eq!(m.n_pools(), 3);
+        assert_eq!(m.pool_at(2).kind, PoolKind::Cxl);
+        assert_eq!(m.pool_capacity(2), gib(512));
+        // Absent pools report zero capacity.
+        assert_eq!(m.pool_capacity(3), 0);
+        // The first two pools are untouched.
+        let base = xeon_max_9468();
+        assert_eq!(m.hbm_capacity(), base.hbm_capacity());
+        assert_eq!(m.ddr_capacity(), base.ddr_capacity());
+    }
+
+    #[test]
+    fn out_of_order_pools_are_rejected() {
+        let hbm_again = xeon_max_9468().hbm().clone();
+        let err = MachineBuilder::xeon_max().with_extra_pool(hbm_again).try_build().unwrap_err();
+        assert!(matches!(err, MachineError::BadPools { .. }), "{err}");
     }
 
     #[test]
@@ -438,5 +550,6 @@ mod tests {
         let back: Machine = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back.topology.total_cores(), m.topology.total_cores());
         assert_eq!(back.cross_write_penalty, m.cross_write_penalty);
+        assert_eq!(back.n_pools(), 2);
     }
 }

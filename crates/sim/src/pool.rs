@@ -5,11 +5,20 @@ use serde::{Deserialize, Serialize};
 use crate::bandwidth::BwCurve;
 use crate::units::Bytes;
 
+/// Maximum number of memory pools a [`crate::machine::Machine`] can
+/// carry. Fixed-size per-pool accumulator arrays throughout the fast
+/// paths are sized by this constant; a `Machine` with fewer pools simply
+/// leaves the tail slots at zero.
+pub const MAX_POOLS: usize = 4;
+
 /// The kind of a physical memory pool.
 ///
-/// The evaluated platform exposes two kinds; the enum is exhaustive on
-/// purpose — the paper's configuration space is `P = {DDR, HBM}` and the
-/// tuner enumerates `2^|AG|` placements over it.
+/// The paper's evaluated platform exposes two kinds (`P = {DDR, HBM}`);
+/// the zoo extends the model to far tiers. Every kind has a fixed pool
+/// *index* ([`PoolKind::index`]) that orders pools on a machine:
+/// DDR = 0, HBM = 1, CXL = 2, PMEM = 3. A machine's `pools` vector is
+/// always a prefix of this order, so the two-pool case is exactly the
+/// original `[Ddr, Hbm]` layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PoolKind {
     /// Off-package DDR5, two channels per tile (32 GB / tile on the
@@ -18,26 +27,44 @@ pub enum PoolKind {
     /// On-package HBM2e, one stack per tile (16 GB / tile). Limited
     /// capacity, ~3.5× the DDR bandwidth, ~20 % higher idle latency.
     Hbm,
+    /// CXL.mem expander behind the DDR controllers: large capacity,
+    /// modest bandwidth, high latency far tier.
+    Cxl,
+    /// Persistent-memory DIMMs: the slowest, largest tier the model
+    /// admits.
+    Pmem,
 }
 
 impl PoolKind {
-    /// All pool kinds, in the order used throughout reports.
-    pub const ALL: [PoolKind; 2] = [PoolKind::Ddr, PoolKind::Hbm];
+    /// All pool kinds, in pool-index order (the order used throughout
+    /// reports).
+    pub const ALL: [PoolKind; MAX_POOLS] =
+        [PoolKind::Ddr, PoolKind::Hbm, PoolKind::Cxl, PoolKind::Pmem];
 
-    /// Short label used in figures (`DDR`, `HBM`).
+    /// Short label used in figures (`DDR`, `HBM`, `CXL`, `PMEM`).
     pub fn label(self) -> &'static str {
         match self {
             PoolKind::Ddr => "DDR",
             PoolKind::Hbm => "HBM",
+            PoolKind::Cxl => "CXL",
+            PoolKind::Pmem => "PMEM",
         }
     }
 
-    /// The opposite pool on a two-pool platform.
-    pub fn other(self) -> PoolKind {
+    /// The fixed pool index of this kind (DDR = 0, HBM = 1, CXL = 2,
+    /// PMEM = 3).
+    pub fn index(self) -> usize {
         match self {
-            PoolKind::Ddr => PoolKind::Hbm,
-            PoolKind::Hbm => PoolKind::Ddr,
+            PoolKind::Ddr => 0,
+            PoolKind::Hbm => 1,
+            PoolKind::Cxl => 2,
+            PoolKind::Pmem => 3,
         }
+    }
+
+    /// The kind at pool index `i`. Panics when `i >= MAX_POOLS`.
+    pub fn of_index(i: usize) -> PoolKind {
+        PoolKind::ALL[i]
     }
 }
 
@@ -106,10 +133,10 @@ mod tests {
     }
 
     #[test]
-    fn other_is_involution() {
-        for k in PoolKind::ALL {
-            assert_eq!(k.other().other(), k);
-            assert_ne!(k.other(), k);
+    fn index_roundtrips() {
+        for (i, k) in PoolKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(PoolKind::of_index(i), *k);
         }
     }
 
@@ -117,6 +144,8 @@ mod tests {
     fn labels_match_paper_figures() {
         assert_eq!(PoolKind::Ddr.to_string(), "DDR");
         assert_eq!(PoolKind::Hbm.to_string(), "HBM");
+        assert_eq!(PoolKind::Cxl.to_string(), "CXL");
+        assert_eq!(PoolKind::Pmem.to_string(), "PMEM");
     }
 
     #[test]

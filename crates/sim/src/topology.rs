@@ -94,10 +94,9 @@ impl Topology {
         let domains = self.domains_per_socket();
         let tile = tile.min(domains - 1);
         let half = self.sockets * domains;
-        let offset = match kind {
-            PoolKind::Ddr => 0,
-            PoolKind::Hbm => half,
-        };
+        // Extends the Fig 1 numbering to far tiers: one block of nodes
+        // per pool kind, in pool-index order.
+        let offset = half * kind.index();
         NumaNode { id: offset + socket * domains + tile, socket, tile, kind }
     }
 
@@ -106,10 +105,9 @@ impl Topology {
     /// conventions of the real machine: 10 local, 12/13 same-socket,
     /// 21/23 cross-socket (HBM one step further than DDR).
     pub fn distance(&self, a: &NumaNode, b: &NumaNode) -> u32 {
-        let hbm_extra = match b.kind {
-            PoolKind::Ddr => 0,
-            PoolKind::Hbm => 1,
-        };
+        // On-package pools sit one step further than DDR; far tiers
+        // (CXL/PMEM) at least as far as HBM in this coarse metric.
+        let hbm_extra = if b.kind == PoolKind::Ddr { 0 } else { 1 };
         if a.socket == b.socket {
             if a.tile == b.tile {
                 10 + hbm_extra

@@ -10,15 +10,16 @@
 //! without constructing them, and a CLI flag can name them
 //! (`xeon-max`, `hbm-flat*hbm-bw:0.5`, …).
 //!
-//! Presets cover the qualitative corners of the two-pool design space:
+//! Presets cover the qualitative corners of the design space:
 //!
-//! | name | what it models |
-//! |---|---|
-//! | `xeon-max` | the paper's machine (flat SNC4) |
-//! | `xeon-max-quad` | same part in quadrant mode (one node pair per socket) |
-//! | `hbm-flat` | HBM with no idle-latency penalty and no cross-write asymmetry |
-//! | `cxl-far` | a CXL-like far capacity tier: half the bandwidth, 2.6× the latency |
-//! | `small-hbm` | a capacity-starved part (2 GiB HBM per tile = 16 GiB total) |
+//! | name | pools | what it models |
+//! |---|---|---|
+//! | `xeon-max` | 2 | the paper's machine (flat SNC4) |
+//! | `xeon-max-quad` | 2 | same part in quadrant mode (one node pair per socket) |
+//! | `hbm-flat` | 2 | HBM with no idle-latency penalty and no cross-write asymmetry |
+//! | `cxl-far` | 3 | slowed DDR (half bandwidth, 2.6× latency) plus a real CXL expander pool |
+//! | `small-hbm` | 2 | a capacity-starved part (2 GiB HBM per tile = 16 GiB total) |
+//! | `three-tier` | 3 | capacity-starved HBM over full DDR with a usable CXL spill tier |
 //!
 //! The axis generators ([`scale_hbm_bw`], [`scale_hbm_capacity`],
 //! [`scale_latency_gap`]) sweep one hardware parameter across a preset,
@@ -27,7 +28,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bandwidth::BwCurve;
 use crate::machine::{Machine, MachineBuilder, MachineError};
+use crate::pool::{PoolKind, PoolSpec};
 use crate::topology::SncMode;
 use crate::units::gib;
 
@@ -41,24 +44,58 @@ pub enum Preset {
     /// An idealized flat-HBM machine: no idle-latency penalty over DDR
     /// and no asymmetric HBM→DDR write penalty.
     HbmFlat,
-    /// A CXL-like far capacity tier: the DDR slot keeps its capacity
-    /// but loses half its bandwidth and sits 2.6× further away, so the
-    /// fast pool is the *lower*-latency one.
+    /// A true three-pool machine: the paper's DDR and HBM tiers plus a
+    /// CXL expander pool behind them — the DDR slot additionally loses
+    /// half its bandwidth and sits 2.6× further away, so the fast pool
+    /// is the *lower*-latency one and the expander is the slowest.
     CxlFarTier,
     /// A capacity-starved part: 2 GiB of HBM per tile (16 GiB total),
     /// well under every Table II footprint — placement is dominated by
     /// what fits, not what helps.
     SmallHbm,
+    /// A three-tier DDR+HBM+CXL machine whose HBM is capacity-starved
+    /// (2 GiB per tile): placement must spill past HBM into the far
+    /// tier, exercising genuinely 3-ary configuration spaces.
+    ThreeTier,
+}
+
+/// The CXL expander pool of the `cxl-far` preset: 64 GiB per tile,
+/// roughly a quarter of the DDR tier's sustained bandwidth and ~4× its
+/// idle latency — typical Type-3 expander numbers.
+fn cxl_expander_pool() -> PoolSpec {
+    PoolSpec {
+        kind: PoolKind::Cxl,
+        capacity_per_tile: gib(64),
+        peak_bw_tile: 19.2,
+        bw: BwCurve::new(12.5, 12.0, 0.05),
+        idle_latency_ns: 400.0,
+        random_bw_fraction: 0.9,
+    }
+}
+
+/// The `three-tier` preset's CXL pool: a faster expander (sustained
+/// 25 GB/s per tile, 250 ns) so the spill tier is usable, not merely
+/// survivable.
+fn three_tier_cxl_pool() -> PoolSpec {
+    PoolSpec {
+        kind: PoolKind::Cxl,
+        capacity_per_tile: gib(64),
+        peak_bw_tile: 38.4,
+        bw: BwCurve::new(25.0, 12.0, 0.05),
+        idle_latency_ns: 250.0,
+        random_bw_fraction: 0.9,
+    }
 }
 
 impl Preset {
     /// Every preset, in the order the standard zoo lists them.
-    pub const ALL: [Preset; 5] = [
+    pub const ALL: [Preset; 6] = [
         Preset::XeonMaxSnc4,
         Preset::XeonMaxQuad,
         Preset::HbmFlat,
         Preset::CxlFarTier,
         Preset::SmallHbm,
+        Preset::ThreeTier,
     ];
 
     /// The CLI-facing name (`--zoo` spelling).
@@ -69,6 +106,7 @@ impl Preset {
             Preset::HbmFlat => "hbm-flat",
             Preset::CxlFarTier => "cxl-far",
             Preset::SmallHbm => "small-hbm",
+            Preset::ThreeTier => "three-tier",
         }
     }
 
@@ -88,8 +126,12 @@ impl Preset {
             Preset::CxlFarTier => MachineBuilder::xeon_max()
                 .with_ddr_bw_factor(0.5)
                 .with_ddr_latency_factor(2.6)
-                .with_cross_write_penalty(0.8),
+                .with_cross_write_penalty(0.8)
+                .with_extra_pool(cxl_expander_pool()),
             Preset::SmallHbm => MachineBuilder::xeon_max().with_hbm_capacity_per_tile(gib(2)),
+            Preset::ThreeTier => MachineBuilder::xeon_max()
+                .with_hbm_capacity_per_tile(gib(2))
+                .with_extra_pool(three_tier_cxl_pool()),
         }
     }
 }
@@ -210,9 +252,23 @@ impl Zoo {
         Zoo { entries }
     }
 
-    /// The five named presets.
+    /// The five historical presets. `three-tier` is deliberately not
+    /// part of the standard zoo: the default matrix (and its pinned
+    /// baseline) stays exactly what it was before the N-pool
+    /// generalization; the three-tier matrix is its own CI job.
     pub fn standard() -> Zoo {
-        Zoo::new(Preset::ALL.into_iter().map(ZooEntry::preset).collect())
+        Zoo::new(
+            [
+                Preset::XeonMaxSnc4,
+                Preset::XeonMaxQuad,
+                Preset::HbmFlat,
+                Preset::CxlFarTier,
+                Preset::SmallHbm,
+            ]
+            .into_iter()
+            .map(ZooEntry::preset)
+            .collect(),
+        )
     }
 
     /// The standard presets plus a short HBM-bandwidth sweep of the
@@ -336,6 +392,40 @@ mod tests {
     }
 
     #[test]
+    fn cxl_far_is_a_true_three_pool_machine() {
+        let m = ZooEntry::preset(Preset::CxlFarTier).build();
+        assert_eq!(m.n_pools(), 3);
+        let cxl = m.pool(PoolKind::Cxl);
+        assert_eq!(cxl.kind, PoolKind::Cxl);
+        assert_eq!(m.pool_capacity(2), gib(512), "64 GiB × 8 tiles");
+        // The expander is strictly the slowest, furthest tier.
+        assert!(m.socket_bw(PoolKind::Cxl, 12.0) < m.socket_bw(PoolKind::Ddr, 12.0));
+        assert!(cxl.idle_latency_ns > m.ddr().idle_latency_ns);
+    }
+
+    #[test]
+    fn three_tier_spills_past_starved_hbm() {
+        let m = ZooEntry::preset(Preset::ThreeTier).build();
+        assert_eq!(m.n_pools(), 3);
+        assert_eq!(m.hbm_capacity(), gib(16), "HBM starved as in small-hbm");
+        assert!(m.pool_capacity(2) > m.hbm_capacity(), "spill tier is bigger than HBM");
+        // Bandwidth order: HBM > DDR > CXL.
+        let bw = |k| m.socket_bw(k, 12.0);
+        assert!(bw(PoolKind::Hbm) > bw(PoolKind::Ddr));
+        assert!(bw(PoolKind::Ddr) > bw(PoolKind::Cxl));
+    }
+
+    #[test]
+    fn standard_zoo_stays_two_pool_era_stable() {
+        // The default matrix (and its pinned baseline) must not grow a
+        // sixth machine just because the preset list did.
+        let zoo = Zoo::standard();
+        assert_eq!(zoo.len(), 5);
+        assert!(zoo.get("three-tier").is_none());
+        assert!(Zoo::parse("three-tier").unwrap().get("three-tier").is_some());
+    }
+
+    #[test]
     fn small_hbm_is_capacity_starved() {
         let m = ZooEntry::preset(Preset::SmallHbm).build();
         assert_eq!(m.hbm_capacity(), gib(16));
@@ -351,7 +441,7 @@ mod tests {
         assert_eq!(entry.name, "xeon-max*hbm-bw:0.5*lat-gap:2");
         let m = entry.build();
         let base = ZooEntry::preset(Preset::XeonMaxSnc4).build();
-        assert!((m.hbm.bw.sustained_tile - base.hbm.bw.sustained_tile * 0.5).abs() < 1e-9);
+        assert!((m.hbm().bw.sustained_tile - base.hbm().bw.sustained_tile * 0.5).abs() < 1e-9);
         let expect = 1.0 + (base.hbm_latency_penalty() - 1.0) * 2.0;
         assert!((m.hbm_latency_penalty() - expect).abs() < 1e-12);
     }

@@ -74,8 +74,10 @@ proptest! {
         let m = xeon_max_9468();
         let c = phase_time(&m, ExecCtx::full_socket(), &PhaseLoad::streams_only(&streams).with_flops(1e10));
         let component = match c.bound {
-            Bound::DdrBandwidth => c.t_ddr,
-            Bound::HbmBandwidth => c.t_hbm,
+            Bound::DdrBandwidth => c.t_pools[0],
+            Bound::HbmBandwidth => c.t_pools[1],
+            Bound::CxlBandwidth => c.t_pools[2],
+            Bound::PmemBandwidth => c.t_pools[3],
             Bound::Fabric => c.t_fabric,
             Bound::Latency => c.t_chase,
             Bound::Compute => c.t_compute,
@@ -122,8 +124,8 @@ proptest! {
     fn chase_latency_monotone(w1 in 13u32..38, w2 in 13u32..38) {
         let m = xeon_max_9468();
         let (lo, hi) = (w1.min(w2), w1.max(w2));
-        for kind in PoolKind::ALL {
-            let lat = |e: u32| m.caches.chase_latency(1u64 << e, m.pool(kind).idle_latency_ns);
+        for spec in &m.pools {
+            let lat = |e: u32| m.caches.chase_latency(1u64 << e, spec.idle_latency_ns);
             prop_assert!(lat(hi) >= lat(lo));
         }
     }

@@ -399,6 +399,17 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+        if arr.len() != N {
+            return Err(Error::custom(format!("expected array of length {N}, got {}", arr.len())));
+        }
+        let items: Vec<T> = arr.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
+        items.try_into().map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize_value(&self) -> Value {
         match self {

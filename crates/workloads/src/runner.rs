@@ -249,7 +249,7 @@ mod tests {
         let out = run_once(&m, &w, &plan, &RunConfig::exact()).unwrap();
         // hot traffic 40 GiB split evenly + cold 5 GiB in DDR.
         let expect_hbm = 5 * gib(4);
-        assert!((out.counters.hbm_bytes as f64 - expect_hbm as f64).abs() < gib(1) as f64);
+        assert!((out.counters.hbm_bytes() as f64 - expect_hbm as f64).abs() < gib(1) as f64);
     }
 
     #[test]
