@@ -449,6 +449,18 @@ pub fn merge_bytes(
     Ok(total)
 }
 
+/// Fold every entry of `src` into `dst` through the snapshot wire
+/// format (serialize with [`to_bytes`], absorb with [`merge_bytes`]),
+/// so the fold exercises the same checksummed record path as a file
+/// round-trip and inherits its last-write-wins collision rule. This is
+/// the coordinator's cross-job fold: a finished job's private cache is
+/// folded into the shared persistent cache so the next job's boundary
+/// cells hit instead of re-simulating.
+pub fn fold(dst: &MeasurementCache, src: &MeasurementCache) -> LoadReport {
+    let (bytes, _) = to_bytes(src);
+    merge_bytes(dst, &[&bytes]).expect("snapshot bytes from to_bytes always parse")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +530,21 @@ mod tests {
         let r2 = compact(&path, 8).unwrap();
         assert_eq!((r2.evicted, r2.kept), (0, 8));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fold_absorbs_a_cache_bit_for_bit_with_last_write_wins() {
+        let shared = MeasurementCache::new();
+        shared.insert(key(1, 2, 3, 4), Ok(CellOutcome { time_s: 9.0, hbm_fraction: 0.9 }));
+        let job = sample_cache();
+        let report = fold(&shared, &job);
+        assert_eq!(report, LoadReport { loaded: 4, skipped: 0, truncated: false });
+        // The job's value for the colliding key wins, like merge_into.
+        assert_same_entries(&shared, &job);
+        // Folding is idempotent and never fakes cache traffic.
+        fold(&shared, &job);
+        assert_same_entries(&shared, &job);
+        assert_eq!(shared.stats().hits + shared.stats().misses, 0);
     }
 
     #[test]

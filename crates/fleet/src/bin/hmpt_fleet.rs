@@ -52,16 +52,19 @@
 
 use hmpt_core::exec::{available_workers, ExecutorKind, RunExecutor};
 use hmpt_fleet::api::{self, BatchOutcome, Comparison, MergeRequest, Request, Response};
-use hmpt_fleet::cli::{self, Action, ReportCmd};
-use hmpt_fleet::spec::{CampaignSpec, Resolved};
+use hmpt_fleet::cli::{self, Action, ClientCmd, ReportCmd};
+use hmpt_fleet::spec::{CampaignSpec, Resolved, TelemetrySection};
 use hmpt_fleet::telemetry::{bench_jsonl, summarize_trace, summarize_trace_json, BenchLine};
 use hmpt_fleet::{store, MatrixReport, ScenarioRow, ShardReport};
 use hmpt_obs::{Collector, Fanout, JsonlCollector, MemoryCollector, StderrCollector};
 use hmpt_report::{CampaignRecord, Thresholds, Warehouse};
+use hmpt_served::state::{JobState, JobStatus};
+use hmpt_served::wire::StatusView;
+use hmpt_served::{Client, Coordinator, CoordinatorConfig, Server};
 use hmpt_sim::units::as_gib;
 use serde::Serialize;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
@@ -76,6 +79,11 @@ fn usage() -> ! {
          \x20      hmpt-fleet report diff <base> <head> [--warehouse DIR] [--json]\n\
          \x20      hmpt-fleet report gate <base> <head> [gate options]\n\
          \x20      hmpt-fleet report trend --warehouse DIR [--label L] [--json]\n\
+         \x20      hmpt-fleet serve --listen ADDR --state-dir DIR [serve options]\n\
+         \x20      hmpt-fleet submit <spec.toml> --connect ADDR [submit options]\n\
+         \x20      hmpt-fleet status [JOB] --connect ADDR [--json]\n\
+         \x20      hmpt-fleet cancel JOB --connect ADDR\n\
+         \x20      hmpt-fleet drain --connect ADDR\n\
          options:\n\
          \x20 --workers N     parallel worker count (default: available parallelism)\n\
          \x20 --serial        use the serial executor\n\
@@ -143,6 +151,20 @@ fn usage() -> ! {
          \x20 --max-throughput-drop X   gate cells/sec drop (opt-in)\n\
          \x20 --allow-flip KEY          allowlist a placement flip (repeatable)\n\
          \x20 --json                    machine-readable output (diff/gate/trend)\n\
+         serve options (the campaign-service daemon):\n\
+         \x20 --workers N     shard workers per job (default: one per CPU)\n\
+         \x20 --quota N       max live jobs per tenant (default 4)\n\
+         \x20 --cache-max N   LRU bound on the shared cross-job cache\n\
+         \x20 --trace-out P   write the daemon's span/counter trace (JSONL) to P\n\
+         \x20 --metrics       print the metrics table when the daemon exits\n\
+         \x20 --quiet, -q     suppress info-level status lines (warnings remain)\n\
+         \x20 (SIGTERM or `hmpt-fleet drain` stops it gracefully: the running\n\
+         \x20  job finishes, queued jobs persist and are adopted on restart)\n\
+         submit options:\n\
+         \x20 --tenant T      tenant the job counts against (default: default)\n\
+         \x20 --priority N    queue priority; higher runs earlier (default 0)\n\
+         \x20 --follow        wait for the job and fetch its merged report\n\
+         \x20 --out P         write the fetched report to P (with --follow)\n\
          (workloads: built-in names like mg, sp, kwave; default: all seven)"
     );
     std::process::exit(2);
@@ -212,7 +234,210 @@ fn main() {
             }
         }
         Ok(Action::Report(cmd)) => report(cmd),
+        Ok(Action::Serve {
+            listen,
+            state_dir,
+            workers,
+            quota,
+            cache_max,
+            trace_out,
+            metrics,
+            quiet,
+        }) => serve(listen, state_dir, workers, quota, cache_max, trace_out, metrics, quiet),
+        Ok(Action::Client { connect, cmd }) => client(connect, cmd),
     }
+}
+
+/// The daemon: open the state dir, bind the listener, run jobs until
+/// drained (by SIGTERM or a `drain` frame), then flush and exit.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    listen: String,
+    state_dir: String,
+    workers: Option<usize>,
+    quota: Option<usize>,
+    cache_max: Option<u64>,
+    trace_out: Option<String>,
+    metrics: bool,
+    quiet: bool,
+) {
+    let telemetry = TelemetrySection {
+        trace: trace_out,
+        metrics: metrics.then_some(true),
+        quiet: quiet.then_some(true),
+        bench: None,
+    };
+    let memory = install_telemetry(&telemetry);
+    let mut cfg = CoordinatorConfig::new(&state_dir);
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+    if let Some(q) = quota {
+        cfg.tenant_quota = q;
+    }
+    cfg.cache_max_records = cache_max;
+    let coordinator = Arc::new(Coordinator::open(cfg).unwrap_or_else(|e| fail(e)));
+    let server = Server::start(coordinator.clone(), &listen)
+        .unwrap_or_else(|e| fail(format!("cannot listen on {listen}: {e}")));
+    hmpt_obs::info(
+        "serve.status",
+        format!(
+            "listening on {} (state dir {state_dir}, {} cached cell(s))",
+            server.addr(),
+            coordinator.cache_len()
+        ),
+    );
+    #[cfg(unix)]
+    watch_sigterm(coordinator.clone());
+    coordinator.run();
+    hmpt_obs::flush();
+    if let Some(memory) = &memory {
+        print_metrics(memory);
+    }
+}
+
+/// Turn SIGTERM into a graceful drain. The handler itself only flips an
+/// atomic (the async-signal-safe subset); a watcher thread notices and
+/// calls the coordinator verb.
+#[cfg(unix)]
+fn watch_sigterm(coordinator: Arc<Coordinator>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigterm(_sig: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+    std::thread::spawn(move || loop {
+        if REQUESTED.load(Ordering::SeqCst) {
+            let (queued, running) = coordinator.drain();
+            hmpt_obs::info(
+                "serve.status",
+                format!("SIGTERM: draining ({queued} queued, {running} running)"),
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
+}
+
+/// The service-client verbs (`submit`, `status`, `cancel`, `drain`).
+fn client(connect: String, cmd: ClientCmd) {
+    let mut client = Client::connect(connect.as_str())
+        .unwrap_or_else(|e| fail(format!("cannot connect to {connect}: {e}")));
+    match cmd {
+        ClientCmd::Submit { spec, tenant, priority, follow, out } => {
+            let text = std::fs::read_to_string(&spec)
+                .unwrap_or_else(|e| fail(format!("cannot read {spec}: {e}")));
+            let tenant = tenant.unwrap_or_else(|| "default".to_string());
+            let (job, fingerprint) =
+                client.submit(&tenant, priority.unwrap_or(0), &text).unwrap_or_else(|e| fail(e));
+            hmpt_obs::info(
+                "serve.client",
+                format!("job {job} admitted for tenant {tenant} (spec {fingerprint})"),
+            );
+            if !follow {
+                return;
+            }
+            let status = client.wait(job, Duration::from_millis(200)).unwrap_or_else(|e| fail(e));
+            match status.state {
+                JobState::Completed => {
+                    if let Some(s) = &status.stats {
+                        hmpt_obs::info(
+                            "serve.client",
+                            format!(
+                                "job {job} completed: {} scenarios, {} simulated / {} skipped \
+                                 cell(s), {:.3}s wall ({:.3}s merge)",
+                                s.scenarios,
+                                s.simulated_cells,
+                                s.cells_skipped,
+                                s.wall_s,
+                                s.merge_s
+                            ),
+                        );
+                    }
+                    let report = client.report(job).unwrap_or_else(|e| fail(e));
+                    write_json(&report, out.as_deref(), "matrix report");
+                }
+                JobState::Failed => fail(format!(
+                    "job {job} failed: {}",
+                    status.error.as_deref().unwrap_or("(no error recorded)")
+                )),
+                state => fail(format!("job {job} ended {state}")),
+            }
+        }
+        ClientCmd::Status { job, json } => {
+            let view = client.status(job).unwrap_or_else(|e| fail(e));
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&view)
+                        .unwrap_or_else(|e| fail(format!("status serialization: {e}")))
+                );
+            } else {
+                print_status(&view);
+            }
+        }
+        ClientCmd::Cancel { job } => {
+            client.cancel(job).unwrap_or_else(|e| fail(e));
+            hmpt_obs::info("serve.client", format!("job {job} cancelled"));
+        }
+        ClientCmd::Drain => {
+            let (queued, running) = client.drain().unwrap_or_else(|e| fail(e));
+            hmpt_obs::info(
+                "serve.client",
+                format!(
+                    "service draining: {running} running job(s) will finish, \
+                     {queued} queued job(s) persist for the next start"
+                ),
+            );
+        }
+    }
+}
+
+/// The human `status` table.
+fn print_status(view: &StatusView) {
+    println!("queue depth {}{}", view.queue_depth, if view.draining { " (draining)" } else { "" });
+    if view.jobs.is_empty() {
+        return;
+    }
+    println!(
+        "{:>5} {:<12} {:>4} {:<10} {:>9} {:>9} {:>9}  detail",
+        "job", "tenant", "prio", "state", "simulated", "skipped", "wall"
+    );
+    for row in &view.jobs {
+        println!("{}", status_line(row));
+    }
+}
+
+fn status_line(row: &JobStatus) -> String {
+    let (simulated, skipped, wall) = match &row.stats {
+        Some(s) => (
+            s.simulated_cells.to_string(),
+            s.cells_skipped.to_string(),
+            format!("{:.2}s", s.wall_s),
+        ),
+        None => ("-".into(), "-".into(), "-".into()),
+    };
+    format!(
+        "{:>5} {:<12} {:>4} {:<10} {:>9} {:>9} {:>9}  {}",
+        row.job,
+        row.tenant,
+        row.priority,
+        row.state,
+        simulated,
+        skipped,
+        wall,
+        row.error.as_deref().unwrap_or(&row.fingerprint),
+    )
 }
 
 /// Read one side of a diff/gate: an artifact file if the argument names

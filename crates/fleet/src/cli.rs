@@ -72,7 +72,51 @@ pub enum Action {
     },
     /// A campaign-warehouse operation (`hmpt-fleet report …`).
     Report(ReportCmd),
+    /// Run the campaign-service daemon (`hmpt-fleet serve`).
+    Serve {
+        listen: String,
+        state_dir: String,
+        /// `--workers N`: shard fan-out per job (0 = one per CPU).
+        workers: Option<usize>,
+        /// `--quota N`: max live jobs per tenant.
+        quota: Option<usize>,
+        /// `--cache-max N`: LRU bound on the shared cross-job cache.
+        cache_max: Option<u64>,
+        trace_out: Option<String>,
+        metrics: bool,
+        quiet: bool,
+    },
+    /// A client verb against a running service (`hmpt-fleet
+    /// {submit,status,cancel,drain} --connect ADDR`).
+    Client {
+        connect: String,
+        cmd: ClientCmd,
+    },
     Help,
+}
+
+/// The service-client verbs. Pure parse data — the binary implements
+/// them with `hmpt_served`, so this crate stays free of that
+/// dependency (the `ReportCmd` pattern).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientCmd {
+    /// `submit SPEC [--tenant T] [--priority N] [--follow [--out P]]`.
+    Submit {
+        /// Path of the spec document to submit.
+        spec: String,
+        tenant: Option<String>,
+        priority: Option<i64>,
+        /// Wait for the job and fetch its merged report.
+        follow: bool,
+        /// Where the fetched report goes (`--follow` only).
+        out: Option<String>,
+    },
+    /// `status [JOB] [--json]`.
+    Status { job: Option<u64>, json: bool },
+    /// `cancel JOB`.
+    Cancel { job: u64 },
+    /// `drain`.
+    Drain,
 }
 
 /// The warehouse verbs. Pure parse data — the binary implements them
@@ -121,6 +165,11 @@ enum Sub {
     Cache,
     Trace,
     Report,
+    Serve,
+    Submit,
+    Status,
+    Cancel,
+    Drain,
 }
 
 #[derive(Debug, Default)]
@@ -160,6 +209,13 @@ struct Flags {
     metrics: bool,
     quiet: bool,
     bench_out: Option<String>,
+    listen: Option<String>,
+    state_dir: Option<String>,
+    connect: Option<String>,
+    tenant: Option<String>,
+    priority: Option<i64>,
+    follow: bool,
+    quota: Option<usize>,
     warehouse: Option<String>,
     label: Option<String>,
     rev: Option<u64>,
@@ -211,7 +267,9 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
             // word always precedes its flags (anything earlier would be
             // swallowed as a workload positional), so `sub` is settled
             // by the time the flag shows up.
-            "--json" if matches!(sub, Sub::Trace | Sub::Report) => flags.json_flag = true,
+            "--json" if matches!(sub, Sub::Trace | Sub::Report | Sub::Status) => {
+                flags.json_flag = true
+            }
             "--json" => flags.json = Some(value("--json", &mut it)?),
             "--warehouse" => flags.warehouse = Some(value("--warehouse", &mut it)?),
             "--label" => flags.label = Some(value("--label", &mut it)?),
@@ -254,11 +312,19 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
             "--metrics" => flags.metrics = true,
             "--quiet" | "-q" => flags.quiet = true,
             "--bench-out" => flags.bench_out = Some(value("--bench-out", &mut it)?),
+            "--listen" => flags.listen = Some(value("--listen", &mut it)?),
+            "--state-dir" => flags.state_dir = Some(value("--state-dir", &mut it)?),
+            "--connect" => flags.connect = Some(value("--connect", &mut it)?),
+            "--tenant" => flags.tenant = Some(value("--tenant", &mut it)?),
+            "--priority" => flags.priority = Some(value("--priority", &mut it)?),
+            "--follow" => flags.follow = true,
+            "--quota" => flags.quota = Some(value("--quota", &mut it)?),
             "--help" | "-h" => return Ok(Action::Help),
             other if other.starts_with('-') => {
                 return Err(usage_err(format!("unknown flag `{other}`")))
             }
-            sub_name @ ("scenarios" | "merge" | "run" | "cache" | "trace" | "report")
+            sub_name @ ("scenarios" | "merge" | "run" | "cache" | "trace" | "report" | "serve"
+            | "submit" | "status" | "cancel" | "drain")
                 if sub == Sub::Batch && flags.positionals.is_empty() =>
             {
                 sub = match sub_name {
@@ -267,6 +333,11 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
                     "run" => Sub::Run,
                     "cache" => Sub::Cache,
                     "trace" => Sub::Trace,
+                    "serve" => Sub::Serve,
+                    "submit" => Sub::Submit,
+                    "status" => Sub::Status,
+                    "cancel" => Sub::Cancel,
+                    "drain" => Sub::Drain,
                     _ => Sub::Report,
                 };
             }
@@ -282,6 +353,11 @@ pub fn parse(args: Vec<String>) -> Result<Action, UsageError> {
         Sub::Cache => cache_action(flags),
         Sub::Trace => trace_action(flags),
         Sub::Report => report_action(flags),
+        Sub::Serve => serve_action(flags),
+        Sub::Submit => submit_action(flags),
+        Sub::Status => status_action(flags),
+        Sub::Cancel => cancel_action(flags),
+        Sub::Drain => drain_action(flags),
     }
 }
 
@@ -295,6 +371,11 @@ impl Sub {
             Sub::Cache => "the cache mode (hmpt-fleet cache compact FILE)",
             Sub::Trace => "the trace mode (hmpt-fleet trace summarize FILE)",
             Sub::Report => "the report mode (hmpt-fleet report {ingest,diff,gate,trend} …)",
+            Sub::Serve => "the serve mode (hmpt-fleet serve --listen ADDR --state-dir DIR)",
+            Sub::Submit => "the submit mode (hmpt-fleet submit spec.toml --connect ADDR)",
+            Sub::Status => "the status mode (hmpt-fleet status [JOB] --connect ADDR)",
+            Sub::Cancel => "the cancel mode (hmpt-fleet cancel JOB --connect ADDR)",
+            Sub::Drain => "the drain mode (hmpt-fleet drain --connect ADDR)",
         }
     }
 
@@ -307,6 +388,11 @@ impl Sub {
             Sub::Cache => "cache",
             Sub::Trace => "trace",
             Sub::Report => "report",
+            Sub::Serve => "serve",
+            Sub::Submit => "submit",
+            Sub::Status => "status",
+            Sub::Cancel => "cancel",
+            Sub::Drain => "drain",
         }
     }
 }
@@ -317,10 +403,13 @@ impl Flags {
     /// derives from. A new flag gets exactly one row here; there is no
     /// per-mode list to forget it in, so it can never be silently
     /// ignored in some mode.
-    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 47] {
-        use Sub::{Batch, Cache, Merge, Report, Run, Scenarios, Trace};
+    fn classified(&self) -> [(&'static str, bool, &'static [Sub]); 54] {
+        use Sub::{
+            Batch, Cache, Cancel, Drain, Merge, Report, Run, Scenarios, Serve, Status, Submit,
+            Trace,
+        };
         [
-            ("--workers", self.workers.is_some(), &[Batch, Scenarios]),
+            ("--workers", self.workers.is_some(), &[Batch, Scenarios, Serve]),
             ("--serial", self.serial, &[Batch, Scenarios]),
             ("--reps", self.reps.is_some(), &[Batch, Scenarios]),
             ("--ci-target", self.ci_target.is_some(), &[Batch, Scenarios]),
@@ -329,7 +418,7 @@ impl Flags {
             ("--no-cache", self.no_cache, &[Batch, Scenarios]),
             ("--no-compare", self.no_compare, &[Batch]),
             ("--no-online", self.no_online, &[Batch]),
-            ("--json", self.json.is_some() || self.json_flag, &[Batch, Trace, Report]),
+            ("--json", self.json.is_some() || self.json_flag, &[Batch, Trace, Report, Status]),
             ("--zoo", self.zoo.is_some(), &[Scenarios]),
             ("--budgets", self.budgets.is_some(), &[Scenarios]),
             ("--noise", self.noise.is_some(), &[Scenarios]),
@@ -341,20 +430,27 @@ impl Flags {
             ("--fast-path", self.fast_path, &[Batch, Scenarios]),
             ("--no-fast-path", self.no_fast_path, &[Batch, Scenarios]),
             ("--cache-file", self.cache_file.is_some(), &[Batch, Scenarios, Run]),
-            ("--cache-max", self.cache_max.is_some(), &[Batch, Scenarios]),
+            ("--cache-max", self.cache_max.is_some(), &[Batch, Scenarios, Serve]),
             ("--shard", self.shard.is_some(), &[Scenarios, Run]),
             ("--shard-out", self.shard_out.is_some(), &[Scenarios]),
             ("--cache-in", self.cache_in.is_some(), &[Merge]),
             ("--cache-out", self.cache_out.is_some(), &[Merge]),
             ("--spec-out", self.spec_out.is_some(), &[Batch, Scenarios, Run]),
             ("--spec", self.spec.is_some(), &[Merge]),
-            ("--out", self.out.is_some(), &[Run]),
+            ("--out", self.out.is_some(), &[Run, Submit]),
             ("--max-records", self.max_records.is_some(), &[Cache]),
             ("--check", self.check, &[Run]),
-            ("--trace-out", self.trace_out.is_some(), &[Batch, Scenarios, Run]),
-            ("--metrics", self.metrics, &[Batch, Scenarios, Run]),
-            ("--quiet", self.quiet, &[Batch, Scenarios, Run]),
+            ("--trace-out", self.trace_out.is_some(), &[Batch, Scenarios, Run, Serve]),
+            ("--metrics", self.metrics, &[Batch, Scenarios, Run, Serve]),
+            ("--quiet", self.quiet, &[Batch, Scenarios, Run, Serve]),
             ("--bench-out", self.bench_out.is_some(), &[Batch, Scenarios, Run]),
+            ("--listen", self.listen.is_some(), &[Serve]),
+            ("--state-dir", self.state_dir.is_some(), &[Serve]),
+            ("--quota", self.quota.is_some(), &[Serve]),
+            ("--connect", self.connect.is_some(), &[Submit, Status, Cancel, Drain]),
+            ("--tenant", self.tenant.is_some(), &[Submit]),
+            ("--priority", self.priority.is_some(), &[Submit]),
+            ("--follow", self.follow, &[Submit]),
             ("--warehouse", self.warehouse.is_some(), &[Report]),
             ("--label", self.label.is_some(), &[Report]),
             ("--rev", self.rev.is_some(), &[Report]),
@@ -735,6 +831,93 @@ fn report_action(flags: Flags) -> Result<Action, UsageError> {
     }
 }
 
+fn serve_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Serve)?;
+    if !flags.positionals.is_empty() {
+        return Err(usage_err(format!(
+            "serve takes no positional arguments (got `{}`)",
+            flags.positionals.join(" ")
+        )));
+    }
+    let listen = flags.listen.ok_or_else(|| usage_err("serve needs --listen ADDR"))?;
+    let state_dir = flags.state_dir.ok_or_else(|| usage_err("serve needs --state-dir DIR"))?;
+    Ok(Action::Serve {
+        listen,
+        state_dir,
+        workers: flags.workers,
+        quota: flags.quota,
+        cache_max: flags.cache_max,
+        trace_out: flags.trace_out,
+        metrics: flags.metrics,
+        quiet: flags.quiet,
+    })
+}
+
+/// The `--connect ADDR` every client verb requires.
+fn connect_of(flags: &Flags, verb: &str) -> Result<String, UsageError> {
+    flags.connect.clone().ok_or_else(|| usage_err(format!("{verb} needs --connect ADDR")))
+}
+
+/// A positional job id (`status 3`, `cancel 3`).
+fn job_id(verb: &str, raw: &str) -> Result<u64, UsageError> {
+    raw.parse().map_err(|_| usage_err(format!("{verb}: `{raw}` is not a job id")))
+}
+
+fn submit_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Submit)?;
+    if flags.out.is_some() && !flags.follow {
+        return Err(usage_err("--out only applies with --follow (it stores the fetched report)"));
+    }
+    let connect = connect_of(&flags, "submit")?;
+    let [spec] = &flags.positionals[..] else {
+        return Err(usage_err(
+            "submit takes exactly one spec file (hmpt-fleet submit spec.toml --connect ADDR)",
+        ));
+    };
+    Ok(Action::Client {
+        connect,
+        cmd: ClientCmd::Submit {
+            spec: spec.clone(),
+            tenant: flags.tenant,
+            priority: flags.priority,
+            follow: flags.follow,
+            out: flags.out,
+        },
+    })
+}
+
+fn status_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Status)?;
+    let connect = connect_of(&flags, "status")?;
+    let job = match &flags.positionals[..] {
+        [] => None,
+        [raw] => Some(job_id("status", raw)?),
+        _ => return Err(usage_err("status takes at most one job id")),
+    };
+    Ok(Action::Client { connect, cmd: ClientCmd::Status { job, json: flags.json_flag } })
+}
+
+fn cancel_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Cancel)?;
+    let connect = connect_of(&flags, "cancel")?;
+    let [raw] = &flags.positionals[..] else {
+        return Err(usage_err("cancel takes exactly one job id (hmpt-fleet cancel JOB)"));
+    };
+    Ok(Action::Client { connect, cmd: ClientCmd::Cancel { job: job_id("cancel", raw)? } })
+}
+
+fn drain_action(flags: Flags) -> Result<Action, UsageError> {
+    flags.reject_out_of_mode(Sub::Drain)?;
+    let connect = connect_of(&flags, "drain")?;
+    if !flags.positionals.is_empty() {
+        return Err(usage_err(format!(
+            "drain takes no positional arguments (got `{}`)",
+            flags.positionals.join(" ")
+        )));
+    }
+    Ok(Action::Client { connect, cmd: ClientCmd::Drain })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -915,6 +1098,66 @@ mod tests {
     }
 
     #[test]
+    fn service_verbs_parse_to_their_actions() {
+        assert_eq!(
+            parse(args(
+                "serve --listen 127.0.0.1:7070 --state-dir st --workers 4 --quota 2 \
+                 --cache-max 500 --trace-out d.jsonl --quiet"
+            ))
+            .unwrap(),
+            Action::Serve {
+                listen: "127.0.0.1:7070".into(),
+                state_dir: "st".into(),
+                workers: Some(4),
+                quota: Some(2),
+                cache_max: Some(500),
+                trace_out: Some("d.jsonl".into()),
+                metrics: false,
+                quiet: true,
+            }
+        );
+        assert_eq!(
+            parse(args(
+                "submit zoo.toml --connect 127.0.0.1:7070 --tenant ci --priority -2 \
+                 --follow --out r.json"
+            ))
+            .unwrap(),
+            Action::Client {
+                connect: "127.0.0.1:7070".into(),
+                cmd: ClientCmd::Submit {
+                    spec: "zoo.toml".into(),
+                    tenant: Some("ci".into()),
+                    priority: Some(-2),
+                    follow: true,
+                    out: Some("r.json".into()),
+                },
+            }
+        );
+        assert_eq!(
+            parse(args("status --connect h:1 3 --json")).unwrap(),
+            Action::Client {
+                connect: "h:1".into(),
+                cmd: ClientCmd::Status { job: Some(3), json: true },
+            }
+        );
+        assert_eq!(
+            parse(args("status --connect h:1")).unwrap(),
+            Action::Client {
+                connect: "h:1".into(),
+                cmd: ClientCmd::Status { job: None, json: false }
+            }
+        );
+        assert_eq!(
+            parse(args("cancel 7 --connect h:1")).unwrap(),
+            Action::Client { connect: "h:1".into(), cmd: ClientCmd::Cancel { job: 7 } }
+        );
+        assert_eq!(
+            parse(args("drain --connect h:1")).unwrap(),
+            Action::Client { connect: "h:1".into(), cmd: ClientCmd::Drain }
+        );
+    }
+
+    #[test]
     fn conflicting_and_dangling_flags_are_uniform_hard_errors() {
         for cmdline in [
             "--max-reps 5",                                // dangling: needs --ci-target
@@ -962,6 +1205,24 @@ mod tests {
             "report trend --warehouse w --rev 3",          // ingest flag on trend
             "report diff a b --metrics",                   // run flag in report mode
             "scenarios --warehouse w",                     // report flag in run modes
+            "serve",                                       // missing --listen + --state-dir
+            "serve --listen h:1",                          // missing --state-dir
+            "serve --listen h:1 --state-dir st x",         // stray positional
+            "serve --listen h:1 --state-dir st --follow",  // submit flag in serve mode
+            "--listen h:1",                                // serve flag in batch mode
+            "submit --connect h:1",                        // missing spec file
+            "submit a.toml",                               // missing --connect
+            "submit a.toml b.toml --connect h:1",          // too many spec files
+            "submit a.toml --connect h:1 --out r.json",    // dangling: needs --follow
+            "submit a.toml --connect h:1 --json x",        // status flag in submit mode
+            "status --connect h:1 1 2",                    // too many job ids
+            "status --connect h:1 nope",                   // non-numeric job id
+            "status 3",                                    // missing --connect
+            "cancel --connect h:1",                        // missing job id
+            "cancel 3 --connect h:1 --tenant t",           // submit flag in cancel mode
+            "drain",                                       // missing --connect
+            "drain --connect h:1 x",                       // stray positional
+            "drain --connect h:1 --quiet",                 // serve flag in drain mode
         ] {
             let err = parse(args(cmdline)).expect_err(cmdline);
             assert!(!err.0.is_empty(), "{cmdline:?}");

@@ -82,6 +82,33 @@ pub struct ScenarioSpan {
     pub dur_ns: u64,
 }
 
+/// One job of the campaign-service rollup: wall time from its labeled
+/// `serve.job` span, merge time from the matching `serve.merge` span.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceJob {
+    /// The job span's label, e.g. `job 3 ci`.
+    pub detail: String,
+    pub wall_ns: u64,
+    /// Of the wall: merging shard reports + folding the cache (`None`
+    /// when the job failed before its merge).
+    pub merge_ns: Option<u64>,
+}
+
+/// The campaign-service view of a daemon trace: where service time
+/// goes, split into queue wait (admission → claim) and per-job wall vs
+/// merge time.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceRollup {
+    /// Jobs the trace saw execute (`serve.job` spans).
+    pub jobs: u64,
+    /// Queue-wait statistics (`serve.queue_wait` spans), exact
+    /// percentiles included. `None` when every job was claimed without
+    /// a recorded wait.
+    pub queue_wait: Option<SpanSummary>,
+    /// Per-job wall vs merge breakdown, slowest first.
+    pub per_job: Vec<ServiceJob>,
+}
+
 /// The derived cell-throughput view: how fast the campaign kernel
 /// chewed through cells, summed across worker threads (so on a
 /// parallel run this is kernel occupancy, not wall-clock rate).
@@ -125,6 +152,10 @@ pub struct TraceSummary {
     pub gauges: BTreeMap<String, u64>,
     /// Decade-bucket histograms, human renderer only.
     buckets: BTreeMap<String, [u64; 8]>,
+    /// Labeled `serve.job` spans (`job N tenant`), for the service view.
+    serve_jobs: Vec<ScenarioSpan>,
+    /// Labeled `serve.merge` durations, keyed by `job N`.
+    serve_merges: BTreeMap<String, u64>,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -193,6 +224,8 @@ fn field_str<'v>(obj: &'v Value, key: &str, line_no: usize) -> Result<&'v str, S
 pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
     let mut spans: BTreeMap<String, Agg> = BTreeMap::new();
     let mut scenarios: Vec<ScenarioSpan> = Vec::new(); // fleet.job details
+    let mut serve_jobs: Vec<ScenarioSpan> = Vec::new(); // serve.job details
+    let mut serve_merges: BTreeMap<String, u64> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
     let mut span_lines = 0u64;
@@ -217,6 +250,16 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                 if name == "fleet.job" {
                     if let Some(detail) = value.get("detail").and_then(Value::as_str) {
                         scenarios.push(ScenarioSpan { detail: detail.to_string(), dur_ns });
+                    }
+                }
+                if name == "serve.job" {
+                    if let Some(detail) = value.get("detail").and_then(Value::as_str) {
+                        serve_jobs.push(ScenarioSpan { detail: detail.to_string(), dur_ns });
+                    }
+                }
+                if name == "serve.merge" {
+                    if let Some(detail) = value.get("detail").and_then(Value::as_str) {
+                        serve_merges.insert(detail.to_string(), dur_ns);
                     }
                 }
             }
@@ -245,6 +288,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
     }
 
     scenarios.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.detail.cmp(&b.detail)));
+    serve_jobs.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.detail.cmp(&b.detail)));
     let buckets = spans.iter().map(|(name, agg)| (name.clone(), agg.buckets)).collect();
     let spans = spans
         .into_iter()
@@ -264,7 +308,17 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
             (name, summary)
         })
         .collect();
-    Ok(TraceSummary { span_lines, event_lines, spans, scenarios, counters, gauges, buckets })
+    Ok(TraceSummary {
+        span_lines,
+        event_lines,
+        spans,
+        scenarios,
+        counters,
+        gauges,
+        buckets,
+        serve_jobs,
+        serve_merges,
+    })
 }
 
 impl TraceSummary {
@@ -285,6 +339,30 @@ impl TraceSummary {
             total_ns: s.total_ns,
             cells_per_s: s.count as f64 * 1e9 / s.total_ns as f64,
         })
+    }
+
+    /// The campaign-service view, when the trace came from a serving
+    /// daemon (`serve.job` / `serve.queue_wait` spans present).
+    pub fn service_rollup(&self) -> Option<ServiceRollup> {
+        let queue_wait = self.spans.get("serve.queue_wait").copied();
+        if self.serve_jobs.is_empty() && queue_wait.is_none() {
+            return None;
+        }
+        let per_job = self
+            .serve_jobs
+            .iter()
+            .map(|s| {
+                // The job span's label is `job N tenant`; the merge
+                // span's is the `job N` prefix.
+                let key: String = s.detail.split_whitespace().take(2).collect::<Vec<_>>().join(" ");
+                ServiceJob {
+                    detail: s.detail.clone(),
+                    wall_ns: s.dur_ns,
+                    merge_ns: self.serve_merges.get(&key).copied(),
+                }
+            })
+            .collect();
+        Some(ServiceRollup { jobs: self.serve_jobs.len() as u64, queue_wait, per_job })
     }
 
     /// The cache-flow view, when the trace saw any cache traffic.
@@ -373,6 +451,45 @@ impl TraceSummary {
             }
         }
 
+        // The campaign-service rollup: where daemon time goes.
+        if let Some(service) = self.service_rollup() {
+            let _ = write!(out, "\ncampaign service: {} job(s)", service.jobs);
+            match &service.queue_wait {
+                Some(w) => {
+                    let _ = writeln!(
+                        out,
+                        "; queue wait p50 {} p95 {} p99 {}",
+                        fmt_ns(w.p50_ns),
+                        fmt_ns(w.p95_ns),
+                        fmt_ns(w.p99_ns)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out);
+                }
+            }
+            for job in service.per_job.iter().take(10) {
+                let merge = match job.merge_ns {
+                    Some(m) => format!(
+                        "{} merge ({:.1}%)",
+                        fmt_ns(m),
+                        100.0 * m as f64 / job.wall_ns.max(1) as f64
+                    ),
+                    None => "no merge recorded".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>10} wall, {}",
+                    job.detail,
+                    fmt_ns(job.wall_ns),
+                    merge
+                );
+            }
+            if service.per_job.len() > 10 {
+                let _ = writeln!(out, "  … and {} more", service.per_job.len() - 10);
+            }
+        }
+
         if let Some(t) = self.cell_throughput() {
             let _ = writeln!(
                 out,
@@ -431,6 +548,7 @@ impl TraceSummary {
             opt(self.cell_throughput().map(|t| serde_json::to_value(&t))),
         );
         m.insert("cache_flow".into(), opt(self.cache_flow().map(|c| serde_json::to_value(&c))));
+        m.insert("service".into(), opt(self.service_rollup().map(|s| serde_json::to_value(&s))));
         Value::Object(m)
     }
 }
@@ -537,6 +655,45 @@ mod tests {
             v.get("counters").and_then(|c| c.get("exec.parallel.steals")).and_then(Value::as_u64),
             Some(7)
         );
+    }
+
+    #[test]
+    fn service_rollup_pairs_job_walls_with_their_merges() {
+        let trace = [
+            span_line("serve.queue_wait", Some("job 1"), 1_000_000),
+            span_line("serve.queue_wait", Some("job 2"), 3_000_000),
+            span_line("serve.job", Some("job 1 ci"), 60_000_000),
+            span_line("serve.job", Some("job 2 dev"), 20_000_000),
+            span_line("serve.merge", Some("job 1"), 6_000_000),
+        ]
+        .join("\n");
+        let summary = parse_trace(&trace).unwrap();
+        let service = summary.service_rollup().expect("a daemon trace has a service view");
+        assert_eq!(service.jobs, 2);
+        let wait = service.queue_wait.unwrap();
+        assert_eq!((wait.count, wait.p50_ns, wait.p99_ns), (2, 1_000_000, 3_000_000));
+        // Slowest job first; merge paired by the `job N` label prefix.
+        assert_eq!(service.per_job[0].detail, "job 1 ci");
+        assert_eq!(service.per_job[0].merge_ns, Some(6_000_000));
+        assert_eq!(service.per_job[1].detail, "job 2 dev");
+        assert_eq!(service.per_job[1].merge_ns, None, "job 2 never merged");
+
+        let human = summary.render_human();
+        assert!(human.contains("campaign service: 2 job(s)"), "{human}");
+        assert!(human.contains("queue wait p50 1.00ms p95 3.00ms p99 3.00ms"), "{human}");
+        assert!(human.contains("6.00ms merge (10.0%)"), "{human}");
+        assert!(human.contains("no merge recorded"), "{human}");
+
+        let json = summary.to_json();
+        let service = json.get("service").unwrap();
+        assert_eq!(service.get("jobs").and_then(Value::as_u64), Some(2));
+        let per_job = service.get("per_job").and_then(Value::as_array).unwrap();
+        assert_eq!(per_job[0].get("wall_ns").and_then(Value::as_u64), Some(60_000_000));
+        // A non-service trace has no service view.
+        assert!(parse_trace(&sample_trace()).unwrap().service_rollup().is_none());
+        assert_eq!(parse_trace(&sample_trace()).unwrap().to_json().get("service"), {
+            Some(&Value::Null)
+        });
     }
 
     #[test]

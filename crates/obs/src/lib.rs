@@ -55,7 +55,7 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Records
@@ -611,6 +611,31 @@ fn open_span(name: &'static str, detail: Option<String>) -> Span {
     }
 }
 
+/// Record a span whose duration was measured by the caller — for
+/// intervals that cross threads, where an RAII [`Span`] guard cannot
+/// travel (a [`Span`] is `!Send`; a job's queue wait starts on the
+/// connection thread but ends on the runner thread). The record gets a
+/// fresh id, no parent, and the recording thread's ordinal; `start_us`
+/// is back-computed from now minus `dur` so the interval lines up on a
+/// timeline next to guard-recorded spans.
+pub fn record_span(name: &'static str, detail: Option<String>, dur: Duration) {
+    if !recording() {
+        return;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let now_us = Instant::now().duration_since(epoch()).as_micros() as u64;
+    let record = SpanRecord {
+        name,
+        detail,
+        id,
+        parent: None,
+        thread: THREAD_ORD.with(|t| *t),
+        start_us: now_us.saturating_sub(dur.as_micros() as u64),
+        dur_ns: dur.as_nanos() as u64,
+    };
+    dispatch(|c| c.span(&record));
+}
+
 // ---------------------------------------------------------------------------
 // Events
 // ---------------------------------------------------------------------------
@@ -821,6 +846,22 @@ mod tests {
             spans.iter().position(|s| s.id == inner.id)
                 < spans.iter().position(|s| s.id == outer.id)
         );
+    }
+
+    #[test]
+    fn record_span_carries_caller_measured_duration() {
+        let _guard = exclusive();
+        reset();
+        let mem = Arc::new(MemoryCollector::new());
+        install(mem.clone(), true);
+        record_span("test.manual", Some("job 1".into()), Duration::from_micros(1500));
+        reset();
+        // Recording off again: a no-op, like the guard API.
+        record_span("test.manual", None, Duration::from_micros(9));
+        let aggs = mem.span_aggregates();
+        let (_, agg) = aggs.iter().find(|(n, _)| n == "test.manual").unwrap();
+        assert_eq!(agg.count, 1);
+        assert_eq!(agg.total_ns, 1_500_000);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! The blocking client the CLI verbs are built on.
+//!
+//! One [`Client`] is one connection; each call writes one request
+//! frame and reads the matching response. Request ids are generated
+//! per-connection and checked on every response, so a desynchronized
+//! stream surfaces as a typed [`ClientError::Protocol`] instead of a
+//! misattributed answer. Server-side refusals arrive as
+//! [`ClientError::Server`] carrying the wire [`ErrorKind`], so callers
+//! dispatch on the kind (`QuotaExceeded`, `Draining`…) without parsing
+//! messages.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::state::JobStatus;
+use crate::wire::{self, ErrorKind, Malformed, RawFrame, StatusView, WireRequest, WireResponse};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(String),
+    /// The server's line failed to decode as a response frame.
+    Malformed(Malformed),
+    /// A typed refusal from the service.
+    Server { kind: ErrorKind, message: String },
+    /// The stream answered out of contract (wrong id, wrong variant,
+    /// unexpected EOF).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Malformed(m) => write!(f, "unreadable response: {}", m.error),
+            ClientError::Server { kind, message } => write!(f, "{kind}: {message}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// A connected service client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a serving daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    /// One request → one response, with the id checked. Typed server
+    /// errors pass through as [`WireResponse::Error`]; use the verb
+    /// helpers to get them as [`ClientError::Server`].
+    pub fn call(&mut self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer.write_all(wire::encode_request(id, req).as_bytes())?;
+        self.writer.flush()?;
+        let frame = wire::read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("connection closed mid-call".into()))?;
+        let line = match frame {
+            RawFrame::Line(line) => line,
+            RawFrame::Oversize { bytes } => {
+                return Err(ClientError::Protocol(format!("{bytes}-byte response frame")))
+            }
+        };
+        let frame = wire::decode_response(&line).map_err(ClientError::Malformed)?;
+        if frame.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                frame.id
+            )));
+        }
+        Ok(frame.resp)
+    }
+
+    /// [`Client::call`] with refusals lifted into `Err`.
+    fn rpc(&mut self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        match self.call(req)? {
+            WireResponse::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    fn unexpected<T>(resp: WireResponse) -> Result<T, ClientError> {
+        Err(ClientError::Protocol(format!("unexpected response {resp:?}")))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.rpc(&WireRequest::Ping)? {
+            WireResponse::Pong => Ok(()),
+            resp => Self::unexpected(resp),
+        }
+    }
+
+    /// Submit a spec document; returns `(job id, spec fingerprint)`.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        priority: i64,
+        spec: &str,
+    ) -> Result<(u64, String), ClientError> {
+        let req =
+            WireRequest::Submit { tenant: tenant.to_string(), priority, spec: spec.to_string() };
+        match self.rpc(&req)? {
+            WireResponse::Submitted { job, fingerprint } => Ok((job, fingerprint)),
+            resp => Self::unexpected(resp),
+        }
+    }
+
+    /// Status of one job or of the whole service.
+    pub fn status(&mut self, job: Option<u64>) -> Result<StatusView, ClientError> {
+        match self.rpc(&WireRequest::Status { job })? {
+            WireResponse::Status(view) => Ok(view),
+            resp => Self::unexpected(resp),
+        }
+    }
+
+    /// Fetch a completed job's merged `MatrixReport` as parsed JSON.
+    pub fn report(&mut self, job: u64) -> Result<Value, ClientError> {
+        match self.rpc(&WireRequest::Report { job })? {
+            WireResponse::Report { report, .. } => Ok(report),
+            resp => Self::unexpected(resp),
+        }
+    }
+
+    /// Cancel a queued job.
+    pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
+        match self.rpc(&WireRequest::Cancel { job })? {
+            WireResponse::Cancelled { .. } => Ok(()),
+            resp => Self::unexpected(resp),
+        }
+    }
+
+    /// Ask the service to drain; returns the (queued, running) counts
+    /// at the instant the drain took effect.
+    pub fn drain(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.rpc(&WireRequest::Drain)? {
+            WireResponse::Draining { queued, running } => Ok((queued, running)),
+            resp => Self::unexpected(resp),
+        }
+    }
+
+    /// Poll until the job reaches a terminal state; returns its final
+    /// status row.
+    pub fn wait(&mut self, job: u64, poll: Duration) -> Result<JobStatus, ClientError> {
+        loop {
+            let view = self.status(Some(job))?;
+            let status = view.jobs.into_iter().next().ok_or_else(|| {
+                ClientError::Protocol(format!("status of job {job} came back empty"))
+            })?;
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            std::thread::sleep(poll);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The TCP front door: one accept loop, one thread per connection.
+//!
+//! Each connection is a sequence of newline-framed request envelopes
+//! answered in order on the same socket. The handler's robustness
+//! contract is the wire module's: every decodable request gets its
+//! typed response, every malformed line gets a
+//! [`WireResponse::Error`] of kind `Protocol` (with the best-effort
+//! request id echoed), and only EOF or a socket error ends the
+//! connection — a fuzzer cannot take the accept loop down.
+//!
+//! The accept loop runs on a detached thread for the life of the
+//! process; the daemon exits by letting `Coordinator::run` return
+//! (drain) and ending the process, which is also what closes the
+//! listener.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::coordinator::{Coordinator, ServeError};
+use crate::wire::{self, ErrorKind, RawFrame, WireError, WireRequest, WireResponse};
+
+/// A running TCP front door. Dropping the handle does not stop the
+/// accept loop (it is detached); it only forgets the address.
+pub struct Server {
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:7171`, port 0 for ephemeral) and
+    /// start answering on background threads.
+    pub fn start(coordinator: Arc<Coordinator>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        std::thread::spawn(move || accept_loop(listener, coordinator));
+        Ok(Server { addr })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+fn accept_loop(listener: TcpListener, coordinator: Arc<Coordinator>) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let coordinator = Arc::clone(&coordinator);
+                std::thread::spawn(move || {
+                    let _ = handle(stream, &coordinator);
+                });
+            }
+            Err(e) => hmpt_obs::warn("serve.accept", format!("accept failed: {e}")),
+        }
+    }
+}
+
+/// One connection, start to finish. The `serve.accept` span covers its
+/// whole life, so `trace summarize` shows connection dwell time.
+fn handle(stream: TcpStream, coordinator: &Coordinator) -> std::io::Result<()> {
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+    let _conn = hmpt_obs::span_with("serve.accept", || peer);
+    hmpt_obs::counter("serve.connections").incr();
+    let requests = hmpt_obs::counter("serve.requests");
+    let rejected = hmpt_obs::counter("serve.malformed");
+
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    while let Some(frame) = wire::read_frame(&mut reader)? {
+        let (id, resp) = match frame {
+            RawFrame::Oversize { bytes } => {
+                rejected.incr();
+                (0, protocol_error(&WireError::Oversize { bytes }))
+            }
+            RawFrame::Line(line) => match wire::decode_request(&line) {
+                Ok(frame) => {
+                    requests.incr();
+                    (frame.id, dispatch(coordinator, frame.req))
+                }
+                Err(malformed) => {
+                    rejected.incr();
+                    (malformed.id.unwrap_or(0), protocol_error(&malformed.error))
+                }
+            },
+        };
+        writer.write_all(wire::encode_response(id, &resp).as_bytes())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn protocol_error(error: &WireError) -> WireResponse {
+    WireResponse::Error { kind: ErrorKind::Protocol, message: error.to_string() }
+}
+
+fn refusal(error: ServeError) -> WireResponse {
+    WireResponse::Error { kind: error.kind(), message: error.to_string() }
+}
+
+fn dispatch(c: &Coordinator, req: WireRequest) -> WireResponse {
+    match req {
+        WireRequest::Ping => WireResponse::Pong,
+        WireRequest::Submit { tenant, priority, spec } => {
+            match c.submit(&tenant, priority, &spec) {
+                Ok((job, fingerprint)) => WireResponse::Submitted { job, fingerprint },
+                Err(e) => refusal(e),
+            }
+        }
+        WireRequest::Status { job } => match c.status(job) {
+            Ok(view) => WireResponse::Status(view),
+            Err(e) => refusal(e),
+        },
+        WireRequest::Report { job } => match c.report(job) {
+            Ok(report) => WireResponse::Report { job, report },
+            Err(e) => refusal(e),
+        },
+        WireRequest::Cancel { job } => match c.cancel(job) {
+            Ok(()) => WireResponse::Cancelled { job },
+            Err(e) => refusal(e),
+        },
+        WireRequest::Drain => {
+            let (queued, running) = c.drain();
+            WireResponse::Draining { queued, running }
+        }
+    }
+}

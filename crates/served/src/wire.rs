@@ -1,0 +1,338 @@
+//! The service protocol: line-delimited JSON frames over TCP.
+//!
+//! One frame per line. Every frame is a versioned envelope —
+//! [`RequestFrame`] `{v, id, req}` / [`ResponseFrame`] `{v, id, resp}`
+//! — where `id` is a client-chosen request id echoed back on the
+//! response, so a client can pipeline requests on one connection. The
+//! bodies are typed enums mirroring `hmpt_fleet::api`'s request →
+//! response shape, serialized in the externally-tagged form the rest of
+//! the repo uses (`"Drain"`, `{"Submit": {...}}`).
+//!
+//! Robustness contract: a malformed line — truncated JSON, garbage
+//! bytes, wrong envelope version, over-long frame — decodes to a typed
+//! [`Malformed`] carrying the best-effort request id, which the server
+//! answers with a [`WireResponse::Error`] frame of kind
+//! [`ErrorKind::Protocol`] and then keeps reading. Framing is
+//! line-based, so the next line is the next frame; nothing short of a
+//! closed socket ends a connection.
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::state::JobStatus;
+
+/// Envelope version; a frame with any other `v` is rejected with
+/// [`WireError::Version`] before its body is looked at.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard per-frame size limit, bytes (newline excluded). Large enough
+/// for any real spec or report frame, small enough that a stuck or
+/// hostile peer cannot balloon the server's line buffer.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// What a client asks the service to do. `Submit.spec` carries the
+/// campaign-spec document text verbatim (TOML or JSON) — the
+/// coordinator parses it with `CampaignSpec::parse`, so the wire stays
+/// agnostic of the spec grammar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// Liveness probe; also what `--follow` polls between status reads.
+    Ping,
+    /// Enqueue a campaign. Higher `priority` runs first; ties run in
+    /// submission order.
+    Submit { tenant: String, priority: i64, spec: String },
+    /// Status of one job, or of every job the service knows.
+    Status { job: Option<u64> },
+    /// Fetch the merged `MatrixReport` of a completed job.
+    Report { job: u64 },
+    /// Cancel a queued job.
+    Cancel { job: u64 },
+    /// Stop accepting work, finish the running job, persist, exit.
+    Drain,
+}
+
+/// What the service answers. Every request maps to exactly one
+/// response; anything that cannot be honored comes back as a typed
+/// [`WireResponse::Error`], never a disconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireResponse {
+    Pong,
+    Submitted { job: u64, fingerprint: String },
+    Status(StatusView),
+    Report { job: u64, report: Value },
+    Cancelled { job: u64 },
+    Draining { queued: u64, running: u64 },
+    Error { kind: ErrorKind, message: String },
+}
+
+/// The queue as a client sees it: per-job status plus the two numbers
+/// that describe the service itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusView {
+    pub jobs: Vec<JobStatus>,
+    pub queue_depth: u64,
+    pub draining: bool,
+}
+
+/// The error taxonomy. `Protocol` is the wire's own kind (malformed
+/// frames); the rest classify coordinator refusals so clients can
+/// dispatch on the kind instead of parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The frame itself was unreadable (bad JSON, bad version, too long).
+    Protocol,
+    /// The submitted spec failed to parse, resolve, or suit the service.
+    BadSpec,
+    /// The tenant already has its quota of queued + running jobs.
+    QuotaExceeded,
+    /// No job with that id.
+    UnknownJob,
+    /// The job exists but is not in a state the verb applies to.
+    WrongState,
+    /// The service is draining and takes no new work.
+    Draining,
+    /// Coordinator-side failure (I/O on the state dir, a poisoned lock…).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable lowercase name, for log lines and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::BadSpec => "bad-spec",
+            ErrorKind::QuotaExceeded => "quota-exceeded",
+            ErrorKind::UnknownJob => "unknown-job",
+            ErrorKind::WrongState => "wrong-state",
+            ErrorKind::Draining => "draining",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A request envelope as it travels on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFrame {
+    pub v: u64,
+    pub id: u64,
+    pub req: WireRequest,
+}
+
+/// A response envelope as it travels on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFrame {
+    pub v: u64,
+    pub id: u64,
+    pub resp: WireResponse,
+}
+
+/// Why a line failed to decode into a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The line exceeds [`MAX_FRAME_BYTES`].
+    Oversize { bytes: usize },
+    /// Not UTF-8, or not JSON (covers truncated and garbage lines).
+    Json(String),
+    /// A well-formed envelope of the wrong protocol version.
+    Version { found: u64 },
+    /// Valid JSON that is not a valid frame of the expected type.
+    Schema(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversize { bytes } => {
+                write!(f, "frame of {bytes} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+            }
+            WireError::Json(e) => write!(f, "frame is not a JSON line: {e}"),
+            WireError::Version { found } => {
+                write!(f, "protocol version {found} (this service speaks {PROTOCOL_VERSION})")
+            }
+            WireError::Schema(e) => write!(f, "frame does not match the envelope schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decode failure plus the best-effort request id recovered from the
+/// broken frame, so the error response can still be correlated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Malformed {
+    pub id: Option<u64>,
+    pub error: WireError,
+}
+
+impl Malformed {
+    fn bare(error: WireError) -> Malformed {
+        Malformed { id: None, error }
+    }
+}
+
+/// Encode a request as one newline-terminated frame line.
+pub fn encode_request(id: u64, req: &WireRequest) -> String {
+    let frame = RequestFrame { v: PROTOCOL_VERSION, id, req: req.clone() };
+    let mut line = serde_json::to_string(&frame).expect("request frames always serialize");
+    line.push('\n');
+    line
+}
+
+/// Encode a response as one newline-terminated frame line.
+pub fn encode_response(id: u64, resp: &WireResponse) -> String {
+    let frame = ResponseFrame { v: PROTOCOL_VERSION, id, resp: resp.clone() };
+    let mut line = serde_json::to_string(&frame).expect("response frames always serialize");
+    line.push('\n');
+    line
+}
+
+/// Decode one line (without its newline) into a request frame.
+pub fn decode_request(raw: &[u8]) -> Result<RequestFrame, Malformed> {
+    decode(raw)
+}
+
+/// Decode one line (without its newline) into a response frame.
+pub fn decode_response(raw: &[u8]) -> Result<ResponseFrame, Malformed> {
+    decode(raw)
+}
+
+fn decode<T: Deserialize>(raw: &[u8]) -> Result<T, Malformed> {
+    if raw.len() > MAX_FRAME_BYTES {
+        return Err(Malformed::bare(WireError::Oversize { bytes: raw.len() }));
+    }
+    let text = std::str::from_utf8(raw)
+        .map_err(|e| Malformed::bare(WireError::Json(format!("invalid UTF-8: {e}"))))?;
+    let value =
+        serde_json::parse(text).map_err(|e| Malformed::bare(WireError::Json(e.to_string())))?;
+    let id = value.get("id").and_then(Value::as_u64);
+    match value.get("v").and_then(Value::as_u64) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(found) => return Err(Malformed { id, error: WireError::Version { found } }),
+        None => {
+            return Err(Malformed {
+                id,
+                error: WireError::Schema("missing or non-integer `v` field".into()),
+            })
+        }
+    }
+    serde_json::from_value(&value)
+        .map_err(|e| Malformed { id, error: WireError::Schema(e.to_string()) })
+}
+
+/// One line as pulled off the socket by [`read_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawFrame {
+    /// A complete line, newline stripped — feed it to [`decode_request`]
+    /// or [`decode_response`].
+    Line(Vec<u8>),
+    /// A line longer than [`MAX_FRAME_BYTES`]. The reader has already
+    /// skipped to the next newline, so the stream is resynchronized.
+    Oversize { bytes: usize },
+}
+
+/// Read one frame line, enforcing [`MAX_FRAME_BYTES`] without ever
+/// buffering an unbounded line. Returns `None` at EOF. An over-long
+/// line is drained through to its newline and reported as
+/// [`RawFrame::Oversize`] so the caller can answer with a typed error
+/// and keep the connection.
+pub fn read_frame(r: &mut impl std::io::BufRead) -> std::io::Result<Option<RawFrame>> {
+    use std::io::{BufRead, Read};
+    let mut buf = Vec::new();
+    let n = r.by_ref().take(MAX_FRAME_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > MAX_FRAME_BYTES {
+        let mut bytes = buf.len();
+        loop {
+            let chunk = r.fill_buf()?;
+            if chunk.is_empty() {
+                break;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    bytes += i + 1;
+                    r.consume(i + 1);
+                    break;
+                }
+                None => {
+                    bytes += chunk.len();
+                    let used = chunk.len();
+                    r.consume(used);
+                }
+            }
+        }
+        return Ok(Some(RawFrame::Oversize { bytes }));
+    }
+    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+        buf.pop();
+    }
+    Ok(Some(RawFrame::Line(buf)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip_compactly() {
+        let req = WireRequest::Submit {
+            tenant: "alice".into(),
+            priority: 3,
+            spec: "mode = \"matrix\"\n".into(),
+        };
+        let line = encode_request(7, &req);
+        assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
+        let frame = decode_request(line.trim_end().as_bytes()).unwrap();
+        assert_eq!(frame, RequestFrame { v: PROTOCOL_VERSION, id: 7, req });
+
+        let resp = WireResponse::Error { kind: ErrorKind::Draining, message: "later".into() };
+        let line = encode_response(7, &resp);
+        let frame = decode_response(line.trim_end().as_bytes()).unwrap();
+        assert_eq!(frame.resp, resp);
+    }
+
+    #[test]
+    fn garbage_and_truncation_yield_typed_errors() {
+        // Truncated JSON.
+        let full = encode_request(1, &WireRequest::Drain);
+        let cut = &full.as_bytes()[..full.len() / 2];
+        assert!(matches!(decode_request(cut), Err(Malformed { error: WireError::Json(_), .. })));
+        // Raw garbage, including non-UTF-8.
+        assert!(matches!(
+            decode_request(b"\xff\xfe not a frame"),
+            Err(Malformed { error: WireError::Json(_), .. })
+        ));
+        // Valid JSON, wrong shape — id still recovered.
+        let m = decode_request(br#"{"v":1,"id":42,"req":{"Nope":{}}}"#).unwrap_err();
+        assert_eq!(m.id, Some(42));
+        assert!(matches!(m.error, WireError::Schema(_)));
+        // Wrong version.
+        let m = decode_request(br#"{"v":9,"id":3,"req":"Drain"}"#).unwrap_err();
+        assert_eq!((m.id, m.error), (Some(3), WireError::Version { found: 9 }));
+    }
+
+    #[test]
+    fn read_frame_resynchronizes_after_an_oversize_line() {
+        let mut input = vec![b'x'; MAX_FRAME_BYTES + 10];
+        input.push(b'\n');
+        input.extend_from_slice(encode_request(5, &WireRequest::Ping).as_bytes());
+        let mut r = BufReader::new(&input[..]);
+        match read_frame(&mut r).unwrap().unwrap() {
+            RawFrame::Oversize { bytes } => assert_eq!(bytes, MAX_FRAME_BYTES + 11),
+            other => panic!("expected oversize, got {other:?}"),
+        }
+        // The next frame on the same stream still parses.
+        let RawFrame::Line(line) = read_frame(&mut r).unwrap().unwrap() else {
+            panic!("expected a line after resync")
+        };
+        assert_eq!(decode_request(&line).unwrap().req, WireRequest::Ping);
+        assert!(read_frame(&mut r).unwrap().is_none(), "then EOF");
+    }
+}
